@@ -1,0 +1,101 @@
+// Ablation: the §9.2 parking alternatives for an inactive hardware app.
+//
+// The paper weighs three designs for the app while the host serves:
+// keeping LaKe "programmed but inactive" (clock gated, memories in reset),
+// keeping the cache warm all the time, and partial reconfiguration. It
+// chooses gated parking as "the best of both performance and power
+// efficiency worlds". This bench quantifies the triangle: parked watts,
+// traffic lost at a shift, and warm-up misses after a shift.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/ondemand/migrator.h"
+#include "src/scenarios/kvs_testbed.h"
+#include "src/sim/simulation.h"
+#include "src/stats/csv.h"
+#include "src/workload/client.h"
+
+namespace incod {
+namespace {
+
+RequestFactory GetFactory(NodeId service, uint64_t keys) {
+  return [service, keys](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+    const uint64_t key =
+        static_cast<uint64_t>(rng.UniformInt(0, static_cast<int64_t>(keys) - 1));
+    return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
+  };
+}
+
+struct PolicyResult {
+  double parked_board_watts = 0;
+  uint64_t lost_requests = 0;       // Client losses around the shift.
+  uint64_t warmup_misses = 0;       // Hardware misses after the shift.
+  double p50_us_after = 0;          // Steady-state latency once shifted.
+};
+
+PolicyResult RunPolicy(ParkPolicy policy) {
+  Simulation sim(51);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  options.lake_initially_active = false;
+  options.lake.l1_entries = 4096;
+  KvsTestbed testbed(sim, options);
+  const uint64_t keys = 2000;
+  // Host store warm; hardware caches warm from the app's previous tenure.
+  for (uint64_t k = 0; k < keys; ++k) {
+    testbed.memcached()->store().Set(k, 64);
+  }
+  testbed.lake()->WarmFill(0, keys, 64);
+  // Parking applies the policy: gated/reprogram reset the memories (caches
+  // lost), keep-warm retains them.
+  ClassifierMigrator migrator(sim, *testbed.fpga(),
+                              ClassifierMigrator::Options::FromPolicy(policy));
+
+  PolicyResult result;
+  result.parked_board_watts = testbed.fpga()->PowerWatts();
+
+  auto& client = testbed.AddClient(LoadClientConfig{},
+                                   std::make_unique<ConstantArrival>(200000.0),
+                                   GetFactory(testbed.ServiceNode(), keys));
+  client.Start();
+  sim.RunUntil(Milliseconds(100));
+  sim.Schedule(0, [&] { migrator.ShiftToNetwork(); });
+  sim.RunUntil(Milliseconds(400));
+  result.warmup_misses = testbed.lake()->misses_to_host();
+  client.mutable_latency().Reset();
+  // Run past the client's loss-timeout sweep so halt-induced drops count.
+  sim.RunUntil(Milliseconds(2500));
+  result.lost_requests = client.lost();  // Shift-induced drops (reprogram halt).
+  result.p50_us_after =
+      ToMicroseconds(static_cast<SimDuration>(client.latency().P50()));
+  return result;
+}
+
+}  // namespace
+}  // namespace incod
+
+int main() {
+  using namespace incod;
+  bench::PrintHeader("Ablation: §9.2 parking policies",
+                     "Parked board power vs shift cost for gated-park (the "
+                     "paper's choice), keep-warm, and partial "
+                     "reconfiguration.");
+  CsvTable table({"policy", "parked_board_w", "warmup_misses", "lost_requests",
+                  "p50_us_after_shift"});
+  for (ParkPolicy policy :
+       {ParkPolicy::kGatedPark, ParkPolicy::kKeepWarm, ParkPolicy::kReprogram}) {
+    const auto r = RunPolicy(policy);
+    table.AddRow({std::string(ParkPolicyName(policy)), r.parked_board_watts,
+                  static_cast<int64_t>(r.warmup_misses),
+                  static_cast<int64_t>(r.lost_requests), r.p50_us_after});
+  }
+  table.WriteAligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  table.WriteCsv(std::cout);
+  std::cout << "\n(§9.2: keeping the cache warm costs ~5 W of parked power "
+               "but shifts instantly; partial reconfiguration parks deepest "
+               "but halts traffic; gated parking pays only a warm-up in "
+               "misses that the host absorbs at unchanged throughput.)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 3(c): DNS power vs throughput.
+//
+// NSD (software) vs Emu DNS (hardware) vs the standalone board. Expected
+// shape: both peak near 1 Mqps (Emu is non-pipelined); Emu draws 47.5-48 W
+// flat; the software line crosses it below 200 Kqps and reaches about twice
+// Emu's power at peak.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/scenarios/dns_testbed.h"
+#include "src/sim/simulation.h"
+#include "src/workload/dns_workload.h"
+
+namespace incod {
+namespace {
+
+using bench::SweepPoint;
+using bench::SweepSeries;
+
+SweepPoint MeasureAt(DnsMode mode, double rate_pps) {
+  Simulation sim(13);
+  DnsTestbedOptions options;
+  options.mode = mode;
+  options.zone_size = 4096;
+  DnsTestbed testbed(sim, options);
+  DnsWorkloadConfig workload;
+  workload.dns_service = testbed.ServiceNode();
+  workload.zone_size = options.zone_size;
+  if (rate_pps > 0) {
+    auto& client = testbed.AddClient(LoadClientConfig{},
+                                     std::make_unique<ConstantArrival>(rate_pps),
+                                     MakeDnsRequestFactory(workload));
+    client.Start();
+  }
+  sim.RunUntil(Milliseconds(50));
+  if (testbed.client() != nullptr) {
+    testbed.client()->ResetStats();
+  }
+  const SimTime measure_start = sim.Now();
+  sim.RunUntil(measure_start + Milliseconds(100));
+  SweepPoint point;
+  point.offered_pps = rate_pps;
+  if (testbed.client() != nullptr) {
+    point.achieved_pps = static_cast<double>(testbed.client()->received()) / 0.1;
+    point.p50_us =
+        ToMicroseconds(static_cast<SimDuration>(testbed.client()->latency().P50()));
+    point.p99_us =
+        ToMicroseconds(static_cast<SimDuration>(testbed.client()->latency().P99()));
+  }
+  point.watts = testbed.meter().MeanWatts(measure_start, sim.Now());
+  return point;
+}
+
+}  // namespace
+}  // namespace incod
+
+int main() {
+  using namespace incod;
+  using namespace incod::bench;
+  PrintHeader("Figure 3(c): DNS power vs throughput",
+              "NSD (software), Emu DNS (hardware), standalone board; "
+              "0-1 Mqps sweep.");
+  std::vector<SweepSeries> series;
+  const struct {
+    DnsMode mode;
+    const char* name;
+  } configs[] = {
+      {DnsMode::kSoftwareOnly, "NSD (SW)"},
+      {DnsMode::kEmu, "Emu (HW)"},
+      {DnsMode::kEmuStandalone, "Standalone"},
+  };
+  for (const auto& config : configs) {
+    SweepSeries s;
+    s.name = config.name;
+    s.points.push_back(MeasureAt(config.mode, 0));
+    for (double rate : Fig3RateGrid(1000, 10)) {
+      s.points.push_back(MeasureAt(config.mode, rate));
+    }
+    series.push_back(std::move(s));
+  }
+  PrintSeries(series);
+  const auto crossover = CrossoverRate(series[0], series[1]);
+  std::cout << "\nNSD->Emu power crossover: ";
+  if (crossover.has_value()) {
+    std::cout << *crossover / 1000.0 << " kpps (paper: <200 kpps)\n";
+  } else {
+    std::cout << "not found\n";
+  }
+  return 0;
+}

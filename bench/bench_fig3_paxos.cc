@@ -1,0 +1,89 @@
+// Figure 3(b): Paxos power vs throughput, leader and acceptor roles.
+//
+// Four deployments per role: libpaxos (kernel), DPDK (busy poll), P4xos on
+// NetFPGA in a server, and the standalone board. Expected shape: software
+// rises with load and saturates at ~178 Kmsg/s; DPDK flat and high; P4xos
+// ~48 W flat with the crossover near 150 Kmsg/s; standalone 18.2 W +1.2 W.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/scenarios/paxos_testbed.h"
+#include "src/sim/simulation.h"
+
+namespace incod {
+namespace {
+
+using bench::SweepPoint;
+using bench::SweepSeries;
+
+SweepPoint MeasureAt(PaxosDeployment deployment, PaxosSut sut, double rate_pps) {
+  Simulation sim(11);
+  PaxosTestbedOptions options;
+  options.deployment = deployment;
+  options.sut = sut;
+  options.client.requests_per_second = rate_pps > 0 ? rate_pps : 1.0;
+  options.client.max_retries = 0;  // Raw rate sweep, no retry amplification.
+  PaxosTestbed testbed(sim, options);
+  if (rate_pps > 0) {
+    testbed.client().Start();
+  }
+  sim.RunUntil(Milliseconds(50));
+  const SimTime measure_start = sim.Now();
+  const uint64_t completed_before = testbed.client().completed();
+  sim.RunUntil(measure_start + Milliseconds(100));
+  SweepPoint point;
+  point.offered_pps = rate_pps;
+  point.achieved_pps =
+      static_cast<double>(testbed.client().completed() - completed_before) / 0.1;
+  point.watts = testbed.meter().MeanWatts(measure_start, sim.Now());
+  point.p50_us =
+      ToMicroseconds(static_cast<SimDuration>(testbed.client().latency().P50()));
+  point.p99_us =
+      ToMicroseconds(static_cast<SimDuration>(testbed.client().latency().P99()));
+  return point;
+}
+
+void RunRole(PaxosSut sut, const char* role_name) {
+  std::cout << "\n-- " << role_name << " role --\n";
+  std::vector<SweepSeries> series;
+  const struct {
+    PaxosDeployment deployment;
+    const char* name;
+  } configs[] = {
+      {PaxosDeployment::kLibpaxos, "libpaxos"},
+      {PaxosDeployment::kDpdk, "dpdk"},
+      {PaxosDeployment::kP4xosFpga, "p4xos"},
+      {PaxosDeployment::kP4xosStandalone, "standalone"},
+  };
+  for (const auto& config : configs) {
+    SweepSeries s;
+    s.name = config.name;
+    s.points.push_back(MeasureAt(config.deployment, sut, 0));  // Idle.
+    for (double rate : bench::Fig3RateGrid(1000, 10)) {
+      s.points.push_back(MeasureAt(config.deployment, sut, rate));
+    }
+    series.push_back(std::move(s));
+  }
+  bench::PrintSeries(series);
+  const auto crossover = bench::CrossoverRate(series[0], series[2]);
+  std::cout << "\nlibpaxos->p4xos crossover: ";
+  if (crossover.has_value()) {
+    std::cout << *crossover / 1000.0 << " kpps (paper: ~150 kpps)\n";
+  } else {
+    std::cout << "not found\n";
+  }
+}
+
+}  // namespace
+}  // namespace incod
+
+int main() {
+  using namespace incod;
+  bench::PrintHeader("Figure 3(b): Paxos power vs throughput",
+                     "libpaxos / DPDK / P4xos-FPGA / standalone, leader and "
+                     "acceptor roles, 0-1 Mmsg/s sweep.");
+  RunRole(PaxosSut::kLeader, "leader");
+  RunRole(PaxosSut::kAcceptor, "acceptor");
+  return 0;
+}

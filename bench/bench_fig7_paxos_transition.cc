@@ -1,0 +1,73 @@
+// Figure 7: transitioning the Paxos leader between software and hardware.
+//
+// A central controller re-points the leader service (switch rule) from the
+// software leader to the P4xos leader on the NetFPGA and back. Expected
+// shape (§9.2): throughput rises and latency halves while the leader is in
+// hardware; at each shift throughput drops to zero for about the client
+// timeout (~100 ms) while the new leader learns the latest Paxos instance.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/ondemand/migrator.h"
+#include "src/scenarios/paxos_testbed.h"
+#include "src/sim/simulation.h"
+#include "src/stats/csv.h"
+
+int main() {
+  using namespace incod;
+  bench::PrintHeader("Figure 7: Paxos leader software->network->software",
+                     "10 kreq/s client, 100 ms retry timeout; shifts at 1 s "
+                     "and 3 s (the paper's red dashed lines).");
+
+  Simulation sim(29);
+  PaxosTestbedOptions options;
+  options.deployment = PaxosDeployment::kP4xosFpga;
+  options.dual_leader = true;
+  options.client.requests_per_second = 10000;
+  options.client.retry_timeout = Milliseconds(100);
+  options.client.rate_bucket = Milliseconds(100);
+  PaxosTestbed testbed(sim, options);
+
+  PaxosLeaderMigrator migrator(sim, testbed.net_switch(), kPaxosLeaderService,
+                               *testbed.software_leader(), testbed.leader_port(),
+                               *testbed.sut_fpga(), *testbed.fpga_leader(),
+                               testbed.leader_port());
+  sim.Schedule(Seconds(1), [&] { migrator.ShiftToNetwork(); });
+  sim.Schedule(Seconds(3), [&] { migrator.ShiftToHost(); });
+
+  CsvTable timeline({"time_ms", "throughput_kpps", "latency_us", "placement"});
+  SchedulePeriodic(sim, Milliseconds(100), Milliseconds(100), [&] {
+    const auto& series = testbed.client().completion_rate();
+    const double kpps = series.empty() ? 0.0 : series.samples().back().value / 1000.0;
+    timeline.AddRow({static_cast<int64_t>(ToMilliseconds(sim.Now())), kpps,
+                     ToMicroseconds(static_cast<SimDuration>(
+                         testbed.client().latency().P50())),
+                     std::string(PlacementName(migrator.placement()))});
+    testbed.client().mutable_latency().Reset();
+    return sim.Now() < Seconds(5);
+  });
+
+  testbed.client().Start();
+  sim.RunUntil(Seconds(5));
+
+  timeline.WriteAligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  timeline.WriteCsv(std::cout);
+
+  std::cout << "\ntransitions:";
+  for (const auto& t : migrator.transitions()) {
+    std::cout << " " << ToSeconds(t.at) << "s->" << PlacementName(t.to);
+  }
+  std::cout << "\nclient: sent " << testbed.client().sent() << ", completed "
+            << testbed.client().completed() << ", retries " << testbed.client().retries()
+            << " (the ~100 ms gap at each shift)\n";
+  std::cout << "sequence jumps learned by leaders: hw="
+            << testbed.fpga_leader()->leader()->sequence_jumps()
+            << " sw=" << testbed.software_leader()->state().sequence_jumps() << "\n";
+  std::cout << "learner: delivered " << testbed.learner()->state().delivered_count()
+            << ", no-ops " << testbed.learner()->state().noop_count()
+            << ", fill requests " << testbed.learner()->state().fill_requests_sent()
+            << "\n";
+  return 0;
+}

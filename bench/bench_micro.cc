@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks for the hot data structures: the event
+// queue, KV store, histogram, Zipf sampler, and Paxos role state machines.
+// These bound the simulator's own overhead (the "substrate" cost) and guard
+// against regressions that would distort the figure benches' runtimes.
+#include <benchmark/benchmark.h>
+
+#include "src/kvs/kv_store.h"
+#include "src/paxos/roles.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/stats/histogram.h"
+
+namespace incod {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.Schedule(i, [] {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_KvStoreSetGet(benchmark::State& state) {
+  KvStore store(static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    store.Set(key, 64);
+    uint32_t bytes;
+    benchmark::DoNotOptimize(store.Get(key / 2, &bytes));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_KvStoreSetGet)->Arg(1024)->Arg(1 << 16);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v);
+    v = v * 1664525 + 1013904223;
+    v &= (UINT64_C(1) << 30) - 1;
+    v |= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    histogram.Record(static_cast<uint64_t>(rng.UniformInt(1, 1 << 20)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.P99());
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(3);
+  ZipfDistribution zipf(static_cast<uint64_t>(state.range(0)), 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_PaxosRoundTrip(benchmark::State& state) {
+  PaxosGroupConfig group;
+  group.acceptors = {10, 11, 12};
+  group.learners = {30};
+  group.leader_service = 200;
+  LeaderState leader(group, 1);
+  AcceptorState acceptors[3] = {{group, 0}, {group, 1}, {group, 2}};
+  LearnerState learner(group);
+  PaxosValue value = 1;
+  for (auto _ : state) {
+    PaxosMessage request;
+    request.type = PaxosMsgType::kClientRequest;
+    request.value = ++value;
+    request.client = 100;
+    for (const auto& p2a : leader.HandleMessage(request)) {
+      for (auto& acceptor : acceptors) {
+        if (p2a.dst == 10 + acceptor.acceptor_id()) {
+          for (const auto& p2b : acceptor.HandleMessage(p2a.msg)) {
+            benchmark::DoNotOptimize(learner.HandleMessage(p2b.msg, 0));
+          }
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaxosRoundTrip);
+
+}  // namespace
+}  // namespace incod
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// §8 / §9.4 / §10: when and where to run in-network computing.
+//
+// Uses the EnergyAdvisor to compute tipping points for each application on
+// each device class, the ToR-switch marginal-power argument (tipping point
+// near zero), and the §10 SmartNIC comparison table.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/device/smartnic.h"
+#include "src/ondemand/energy_advisor.h"
+#include "src/power/cpu_power.h"
+#include "src/sim/time.h"
+#include "src/stats/csv.h"
+
+int main() {
+  using namespace incod;
+  bench::PrintHeader("Sections 8/9.4/10: placement analysis",
+                     "Energy tipping points per application and target.");
+
+  // --- §8: FPGA-in-server tipping points per application ---
+  CsvTable tips({"application", "software", "network", "tipping_kpps", "paper_kpps"});
+  struct Case {
+    const char* app;
+    RatePowerFn software;
+    RatePowerFn network;
+    const char* paper;
+  };
+  auto add4 = [](RatePowerFn fn) {
+    return [fn](double r) { return fn(r) + 4.0; };  // + conventional NIC.
+  };
+  const Case cases[] = {
+      {"KVS (memcached vs LaKe)",
+       add4(MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4)),
+       MakeFpgaRatePower(35.0, 24.0, 1.0, 13e6), "~80"},
+      {"Paxos (libpaxos vs P4xos)",
+       add4(MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1)),
+       MakeFpgaRatePower(35.0, 12.6, 1.2, 10e6), "~150"},
+      {"DNS (NSD vs Emu)",
+       add4(MakeServerRatePower(I7NsdCurve(), Nanoseconds(4180), 4)),
+       MakeFpgaRatePower(35.0, 12.5, 0.5, 1e6), "<200"},
+  };
+  for (const auto& c : cases) {
+    const auto advice = AdvisePlacement(c.software, c.network, 2e6);
+    tips.AddRow({std::string(c.app), c.software(0.0), c.network(0.0),
+                 advice.tipping_rate_pps.has_value() ? *advice.tipping_rate_pps / 1000.0
+                                                     : -1.0,
+                 std::string(c.paper)});
+  }
+  tips.WriteAligned(std::cout);
+  std::cout << "\n";
+
+  // --- §9.4: ToR switch on demand ---
+  auto software = MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1);
+  auto switch_marginal = MakeSwitchMarginalPower(0.02, 350.0, 2.5e9);
+  const auto advice = AdvisePlacement(software, switch_marginal, 1e6);
+  std::cout << "ToR switch marginal tipping point: "
+            << (advice.tipping_rate_pps.has_value() ? *advice.tipping_rate_pps : -1)
+            << " pps — " << (advice.network_always_wins ? "network always wins" : "")
+            << " (paper: Pd_N(R)=Pd_S(R) when R is almost zero; <1 W per "
+               "million queries at <5 W per 100G port)\n\n";
+
+  // --- §10: FPGA vs SmartNIC vs switch ---
+  CsvTable nics({"device", "arch", "idle_w", "max_w", "peak_mpps", "mops_per_watt",
+                 "flexible_io", "scalable"});
+  for (const auto& preset : StandardSmartNicPresets()) {
+    nics.AddRow({preset.name, std::string(SmartNicArchName(preset.arch)),
+                 preset.idle_watts, preset.max_watts, preset.peak_mpps,
+                 OpsPerWattAtPeak(preset) / 1e6,
+                 std::string(preset.flexible_interfaces ? "yes" : "no"),
+                 std::string(preset.scalable_resources ? "yes" : "no")});
+  }
+  // The switch ASIC and NetFPGA rows for comparison.
+  nics.AddRow({std::string("tofino-switch"), std::string("asic"), 294.0, 350.0, 2500.0,
+               2500e6 / 350.0 / 1e6, std::string("no"), std::string("yes")});
+  nics.AddRow({std::string("netfpga-sume"), std::string("fpga"), 11.0, 28.0, 13.0,
+               13e6 / 28.0 / 1e6, std::string("yes"), std::string("yes")});
+  nics.WriteAligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  nics.WriteCsv(std::cout);
+  std::cout << "\n(§10: the switch wins on absolute performance and perf/W; "
+               "SmartNICs stay within the 25 W PCIe budget at millions of "
+               "ops/W; FPGAs trade peak efficiency for flexibility.)\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §9.3 "Real Workloads": Dynamo power variance and Google-trace analysis.
+//
+// Synthesizes traces with the published statistics, then runs the paper's
+// analyses: windowed power-variation percentiles (Dynamo) and the
+// offload-candidate count / per-node contention (Google cluster trace).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/sim/random.h"
+#include "src/stats/csv.h"
+#include "src/workload/dynamo.h"
+#include "src/workload/google_trace.h"
+
+int main() {
+  using namespace incod;
+  bench::PrintHeader("Section 9.3: real-workload analyses",
+                     "Dynamo rack power variance; Google cluster trace "
+                     "offload candidates.");
+
+  // --- Dynamo power variance ---
+  Rng rng(43);
+  CsvTable dynamo({"workload", "window_s", "median_variation_pct", "p99_variation_pct",
+                   "safe_for_static_offload"});
+  struct TraceCase {
+    const char* name;
+    PowerTraceConfig config;
+  };
+  const TraceCase cases[] = {
+      {"caching", DynamoCachingTraceConfig()},
+      {"web", DynamoWebTraceConfig()},
+  };
+  for (const auto& c : cases) {
+    Rng trace_rng = rng.Fork();
+    const auto trace = SynthesizePowerTrace(c.config, trace_rng);
+    for (double window : {3.0, 30.0, 60.0}) {
+      const auto stats = AnalyzePowerVariation(trace, c.config.sample_period_seconds,
+                                               window);
+      dynamo.AddRow({std::string(c.name), window, 100.0 * stats.median,
+                     100.0 * stats.p99,
+                     std::string(SafeForInNetworkPlacement(stats) ? "yes" : "no")});
+    }
+  }
+  dynamo.WriteAligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  dynamo.WriteCsv(std::cout);
+  std::cout << "\n(paper: rack p99 12.8% @3s, 26.6% @30s; caching 9.2%/26.2% "
+               "@60s; web 37.2%/62.2% @60s. Low variance -> safe to place "
+               "in-network; high variance -> on-demand may bounce.)\n\n";
+
+  // --- Google cluster trace ---
+  Rng gt_rng(47);
+  GoogleTraceConfig config;
+  config.num_tasks = 400000;
+  config.num_nodes = 2000;
+  const auto tasks = SynthesizeGoogleTrace(config, gt_rng);
+  const auto stats = AnalyzeOffloadCandidates(tasks, config.num_nodes);
+  const double long_share = LongJobUtilizationShare(tasks, 2 * 3600);
+
+  CsvTable google({"metric", "value"});
+  google.AddRow({std::string("tasks synthesized"),
+                 static_cast<int64_t>(tasks.size())});
+  google.AddRow({std::string("utilization share of >=2h jobs"), long_share});
+  google.AddRow({std::string("offload candidates (>=10% core, >=5 min)"),
+                 static_cast<int64_t>(stats.candidate_tasks)});
+  google.AddRow({std::string("candidate fraction of tasks"), stats.candidate_fraction});
+  google.AddRow({std::string("candidate share of utilization"),
+                 stats.utilization_share});
+  google.AddRow({std::string("mean candidate cores per node"),
+                 stats.mean_candidate_cores_per_node});
+  google.WriteAligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  google.WriteCsv(std::cout);
+  std::cout << "\n(paper: 90% of utilization from jobs >2h that are 5% of "
+               "jobs; 1.39M candidate tasks in the full trace; 7.7 candidate "
+               "cores per node per 5-min window -> offload as load "
+               "*diminishes*, moving the last job to the network.)\n";
+  return 0;
+}

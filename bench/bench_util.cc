@@ -1,0 +1,62 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incod {
+namespace bench {
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::cout << "\n=== " << figure << " ===\n" << description << "\n\n";
+}
+
+void PrintSeries(const std::vector<SweepSeries>& series) {
+  CsvTable table({"series", "offered_kpps", "achieved_kpps", "power_w", "p50_us",
+                  "p99_us"});
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      table.AddRow({s.name, p.offered_pps / 1000.0, p.achieved_pps / 1000.0, p.watts,
+                    p.p50_us, p.p99_us});
+    }
+  }
+  table.WriteAligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  table.WriteCsv(std::cout);
+  std::cout << std::flush;
+}
+
+std::optional<double> CrossoverRate(const SweepSeries& sw, const SweepSeries& hw) {
+  const size_t n = std::min(sw.points.size(), hw.points.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double diff = sw.points[i].watts - hw.points[i].watts;
+    if (diff >= 0) {
+      if (i == 0) {
+        return sw.points[0].offered_pps;
+      }
+      const double prev_diff = sw.points[i - 1].watts - hw.points[i - 1].watts;
+      const double t = prev_diff / (prev_diff - diff);  // prev_diff < 0 <= diff.
+      const double r0 = sw.points[i - 1].offered_pps;
+      const double r1 = sw.points[i].offered_pps;
+      return r0 + t * (r1 - r0);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<double> Fig3RateGrid(double max_kpps, int points) {
+  // Dense at the low end (where the SW/HW crossover lives), then linear to
+  // the peak. Fractions of max rate:
+  static const double kLowFractions[] = {0.0125, 0.025, 0.0375, 0.05, 0.075, 0.1, 0.15};
+  std::vector<double> rates;
+  for (double f : kLowFractions) {
+    rates.push_back(max_kpps * 1000.0 * f);
+  }
+  const int linear = std::max(3, points - static_cast<int>(rates.size()));
+  for (int i = 1; i <= linear; ++i) {
+    rates.push_back(max_kpps * 1000.0 * (0.15 + 0.85 * i / linear));
+  }
+  return rates;
+}
+
+}  // namespace bench
+}  // namespace incod

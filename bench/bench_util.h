@@ -1,0 +1,50 @@
+// Shared helpers for the figure/table benchmark harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper: it runs
+// the relevant testbed at a sweep of offered loads, measures steady-state
+// wall power and achieved throughput, and prints the same rows/series the
+// paper reports (plus a CSV block for plotting).
+#ifndef INCOD_BENCH_BENCH_UTIL_H_
+#define INCOD_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/stats/csv.h"
+
+namespace incod {
+namespace bench {
+
+struct SweepPoint {
+  double offered_pps = 0;
+  double achieved_pps = 0;
+  double watts = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+// One measured deployment curve (e.g. "memcached", "LaKe").
+struct SweepSeries {
+  std::string name;
+  std::vector<SweepPoint> points;
+};
+
+// Prints a figure header in the style the harness uses everywhere.
+void PrintHeader(const std::string& figure, const std::string& description);
+
+// Prints series as an aligned table followed by a CSV block.
+void PrintSeries(const std::vector<SweepSeries>& series);
+
+// First offered rate at which `hw` power drops to or below `sw` power
+// (linear interpolation between sweep points). nullopt if never.
+std::optional<double> CrossoverRate(const SweepSeries& sw, const SweepSeries& hw);
+
+// Standard sweep grid (kpps -> pps) used by the Fig 3 benches.
+std::vector<double> Fig3RateGrid(double max_kpps, int points = 12);
+
+}  // namespace bench
+}  // namespace incod
+
+#endif  // INCOD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+// §7 "Lessons from a Server": Xeon-class power vs core load.
+//
+// Reproduces the RAPL study on the dual-socket Xeon E5-2660 v4 (2 x 14
+// cores): idle 56 W, a jump to 91 W when a single core runs, ~86 W at just
+// 10 % of one core, 1-2 W per additional core, 134 W all-cores.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/host/server.h"
+#include "src/power/cpu_power.h"
+#include "src/power/meter.h"
+#include "src/sim/simulation.h"
+#include "src/stats/csv.h"
+
+int main() {
+  using namespace incod;
+  bench::PrintHeader("Section 7: Xeon server power vs core load",
+                     "Synthetic no-I/O workload on a dual E5-2660 v4 "
+                     "(28 cores), measured via the wall meter + RAPL model.");
+
+  Simulation sim(37);
+  ServerConfig config;
+  config.name = "xeon";
+  config.node = 1;
+  config.num_cores = 28;
+  config.power_curve = XeonE52660SyntheticCurve();
+  Server server(sim, config);
+  WallPowerMeter meter(sim, Milliseconds(1));
+  meter.Attach(&server);
+  meter.Start();
+
+  CsvTable table({"busy_cores", "power_w", "delta_vs_prev_w"});
+  double previous = 0;
+  const double loads[] = {0.0, 0.1, 1.0, 2.0, 3.0, 4.0, 8.0, 14.0, 21.0, 28.0};
+  for (double load : loads) {
+    server.SetBackgroundUtilization(load);
+    const SimTime start = sim.Now();
+    sim.RunUntil(start + Milliseconds(100));
+    const double watts = meter.MeanWatts(start + Milliseconds(10), sim.Now());
+    table.AddRow({load, watts, previous == 0 ? 0.0 : watts - previous});
+    previous = watts;
+  }
+  table.WriteAligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  table.WriteCsv(std::cout);
+
+  std::cout << "\npaper anchors: idle 56 W | 10% of one core 86 W | one core "
+               "91 W | +1-2 W per extra core | full 134 W\n";
+  std::cout << "observation (§7): even at low core load the server draws most "
+               "of its single-core power -> offloading to the network pays "
+               "off when workloads under-utilize the server.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: measure the power/performance trade-off of in-network
+// computing in ~60 lines of API use.
+//
+// Builds the paper's KVS testbed twice — memcached in software, then LaKe
+// on the FPGA NIC — drives both with the same load, and prints throughput,
+// latency and wall power side by side.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "src/scenarios/kvs_testbed.h"
+#include "src/sim/simulation.h"
+#include "src/workload/client.h"
+
+using namespace incod;
+
+namespace {
+
+// A request factory: uniform GETs over 1000 keys.
+RequestFactory MakeGets(NodeId service) {
+  return [service](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 999));
+    return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
+  };
+}
+
+struct Result {
+  double kqps;
+  double p50_us;
+  double watts;
+};
+
+Result Run(KvsMode mode, double offered_pps) {
+  // 1. A deterministic simulation.
+  Simulation sim(/*seed=*/42);
+
+  // 2. The testbed: client -- (NIC or NetFPGA+LaKe) -- i7 server, with a
+  //    wall power meter attached exactly as in the paper's setup.
+  KvsTestbedOptions options;
+  options.mode = mode;
+  KvsTestbed testbed(sim, options);
+  testbed.Prefill(/*count=*/1000, /*value_bytes=*/64);
+
+  // 3. An open-loop client at the offered rate.
+  auto& client = testbed.AddClient(LoadClientConfig{},
+                                   std::make_unique<ConstantArrival>(offered_pps),
+                                   MakeGets(testbed.ServiceNode()));
+  client.Start();
+
+  // 4. Warm up, then measure a steady-state window.
+  sim.RunUntil(Milliseconds(100));
+  client.ResetStats();
+  const SimTime start = sim.Now();
+  sim.RunUntil(start + Milliseconds(200));
+
+  return Result{
+      static_cast<double>(client.received()) / 0.2 / 1000.0,
+      ToMicroseconds(static_cast<SimDuration>(client.latency().P50())),
+      testbed.meter().MeanWatts(start, sim.Now()),
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("offered    | memcached (software)        | LaKe (in-network)\n");
+  std::printf("kqps       | kqps   p50us   watts        | kqps   p50us   watts\n");
+  for (double offered : {50e3, 150e3, 400e3, 800e3}) {
+    const Result sw = Run(KvsMode::kSoftwareOnly, offered);
+    const Result hw = Run(KvsMode::kLake, offered);
+    std::printf("%-10.0f | %-6.1f %-7.2f %-12.1f | %-6.1f %-7.2f %-6.1f\n",
+                offered / 1000.0, sw.kqps, sw.p50_us, sw.watts, hw.kqps, hw.p50_us,
+                hw.watts);
+  }
+  std::printf(
+      "\nThe paper's result in miniature: the software server is cheaper at\n"
+      "idle, but past ~80 kqps the FPGA serves the same load at lower power\n"
+      "and ~10x lower latency — which is why placement should be decided\n"
+      "on demand (see examples/kvs_ondemand and examples/paxos_migration).\n");
+  return 0;
+}

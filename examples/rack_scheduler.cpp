@@ -1,0 +1,91 @@
+// Power-aware placement for a rack: §8's energy model + §9.4's ToR switch
+// analysis as a small scheduling tool.
+//
+// Given a set of workloads (application type + expected request rate), the
+// advisor computes the energy tipping point for each available in-network
+// target (FPGA NIC, programmable ToR switch) and recommends a placement,
+// printing the projected watts for a scheduling period.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/ondemand/energy_advisor.h"
+#include "src/power/cpu_power.h"
+#include "src/sim/time.h"
+
+using namespace incod;
+
+namespace {
+
+struct Workload {
+  std::string name;
+  double rate_pps;
+  RatePowerFn software;
+  RatePowerFn fpga;
+};
+
+}  // namespace
+
+int main() {
+  auto with_nic = [](RatePowerFn fn) {
+    return [fn](double r) { return fn(r) + 4.0; };
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"kvs-frontend", 250000,
+                       with_nic(MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4)),
+                       MakeFpgaRatePower(35.0, 24.0, 1.0, 13e6)});
+  workloads.push_back({"kvs-archive", 15000,
+                       with_nic(MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4)),
+                       MakeFpgaRatePower(35.0, 24.0, 1.0, 13e6)});
+  workloads.push_back({"consensus", 120000,
+                       with_nic(MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1)),
+                       MakeFpgaRatePower(35.0, 12.6, 1.2, 10e6)});
+  workloads.push_back({"dns-edge", 300000,
+                       with_nic(MakeServerRatePower(I7NsdCurve(), Nanoseconds(4180), 4)),
+                       MakeFpgaRatePower(35.0, 12.5, 0.5, 1e6)});
+
+  // The rack's programmable ToR switch is already forwarding all traffic:
+  // only the marginal program power counts (§9.4).
+  auto switch_marginal = MakeSwitchMarginalPower(0.02, 350.0, 2.5e9);
+
+  std::printf("%-14s %9s | %12s | %14s | %s\n", "workload", "rate", "fpga tip",
+              "sw/fpga watts", "recommendation");
+  for (const auto& w : workloads) {
+    const auto fpga_advice = AdvisePlacement(w.software, w.fpga, 2e6);
+    const auto switch_advice = AdvisePlacement(w.software, switch_marginal, 2e6);
+    const double sw_watts = w.software(w.rate_pps);
+    const double fpga_watts = w.fpga(w.rate_pps);
+    std::string recommendation;
+    if (switch_advice.network_always_wins) {
+      recommendation = "ToR switch (marginal power ~0)";
+    }
+    if (fpga_advice.tipping_rate_pps.has_value() &&
+        w.rate_pps >= *fpga_advice.tipping_rate_pps) {
+      recommendation += recommendation.empty() ? "" : " or ";
+      recommendation += "FPGA NIC";
+    }
+    if (recommendation.empty()) {
+      recommendation = "stay in software";
+    }
+    std::printf("%-14s %6.0fkps | %9.1fkps | %5.1f / %5.1f W | %s\n", w.name.c_str(),
+                w.rate_pps / 1000.0,
+                fpga_advice.tipping_rate_pps.value_or(-1) / 1000.0, sw_watts,
+                fpga_watts, recommendation.c_str());
+  }
+
+  // Energy over a 1-hour scheduling period for the consensus workload,
+  // placed each way (eq. 1 of §8).
+  const auto& consensus = workloads[2];
+  const double packets = consensus.rate_pps * 3600;
+  const double sw_energy =
+      PeriodEnergyJoules(consensus.software, consensus.software(0), packets,
+                         consensus.rate_pps, 3600);
+  const double hw_energy = PeriodEnergyJoules(consensus.fpga, consensus.fpga(0), packets,
+                                              consensus.rate_pps, 3600);
+  std::printf("\nconsensus, 1h at %.0f kmsg/s: software %.0f kJ vs in-network %.0f kJ "
+              "(%.1f%% saved)\n",
+              consensus.rate_pps / 1000.0, sw_energy / 1000.0, hw_energy / 1000.0,
+              100.0 * (sw_energy - hw_energy) / sw_energy);
+  std::printf("\nsee DESIGN.md for the calibration sources of every constant.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "src/device/conventional_nic.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace incod {
+
+ConventionalNicConfig MellanoxConnectX3Config(NodeId host_node) {
+  ConventionalNicConfig config;
+  config.name = "mellanox-cx3";
+  config.host_node = host_node;
+  config.watts = 4.0;
+  config.max_pps = 0;  // Not the bottleneck for memcached (§4.2).
+  return config;
+}
+
+ConventionalNicConfig IntelX520Config(NodeId host_node) {
+  ConventionalNicConfig config;
+  config.name = "intel-x520";
+  config.host_node = host_node;
+  // §4.2: with the X520 "the host became more power efficient; the crossing
+  // point moved to over 300Kpps. However, the maximum throughput the server
+  // achieves using the Intel NIC is lower."
+  config.watts = 2.2;
+  config.max_pps = 600000.0;
+  return config;
+}
+
+ConventionalNic::ConventionalNic(Simulation& sim, ConventionalNicConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+void ConventionalNic::Receive(Packet packet) {
+  const bool from_host = packet.src == config_.host_node;
+  Link* out = from_host ? net_link_ : host_link_;
+  if (out == nullptr) {
+    throw std::logic_error("ConventionalNic: missing link on " + config_.name);
+  }
+  if (config_.max_pps > 0) {
+    // Per-packet pacing models the NIC's packet-rate ceiling.
+    const SimDuration per_packet = SecondsF(1.0 / config_.max_pps);
+    const SimTime now = sim_.Now();
+    const SimTime start = std::max(now, busy_until_);
+    if (start - now > 128 * per_packet) {  // Small on-NIC buffer, then drop.
+      dropped_.Increment();
+      return;
+    }
+    busy_until_ = start + per_packet;
+    sim_.ScheduleAt(start + per_packet + config_.latency,
+                    [this, out, pkt = std::move(packet)]() mutable {
+                      out->Send(this, std::move(pkt));
+                    });
+    return;
+  }
+  sim_.Schedule(config_.latency, [this, out, pkt = std::move(packet)]() mutable {
+    out->Send(this, std::move(pkt));
+  });
+}
+
+}  // namespace incod

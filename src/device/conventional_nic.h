@@ -1,0 +1,59 @@
+// Conventional (fixed-function) NIC power model.
+//
+// The software-only testbeds use an Intel X520 or Mellanox ConnectX-3 NIC
+// (§4.1). They contribute a small constant draw to server wall power and a
+// pass-through datapath. The Mellanox NIC sustains higher packet rates; the
+// Intel NIC bottlenecks KVS around 300 Kpps yet is slightly more power
+// efficient (§4.2) — modeled via the rate cap and watts below.
+#ifndef INCOD_SRC_DEVICE_CONVENTIONAL_NIC_H_
+#define INCOD_SRC_DEVICE_CONVENTIONAL_NIC_H_
+
+#include <string>
+
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/power/power_source.h"
+#include "src/sim/simulation.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+struct ConventionalNicConfig {
+  std::string name = "nic";
+  NodeId host_node = 1;
+  double watts = 4.0;              // Mellanox MCX311A-class draw.
+  double max_pps = 0;              // 0: line-rate (no NIC bottleneck).
+  SimDuration latency = Microseconds(1);  // PCIe + driver path.
+};
+
+// Presets from §4.1/§4.2.
+ConventionalNicConfig MellanoxConnectX3Config(NodeId host_node);
+ConventionalNicConfig IntelX520Config(NodeId host_node);
+
+class ConventionalNic : public PacketSink, public PowerSource {
+ public:
+  ConventionalNic(Simulation& sim, ConventionalNicConfig config);
+
+  void SetNetworkLink(Link* link) { net_link_ = link; }
+  void SetHostLink(Link* link) { host_link_ = link; }
+
+  void Receive(Packet packet) override;
+  std::string SinkName() const override { return config_.name; }
+
+  double PowerWatts() const override { return config_.watts; }
+  std::string PowerName() const override { return config_.name; }
+
+  uint64_t dropped() const { return dropped_.value(); }
+
+ private:
+  Simulation& sim_;
+  ConventionalNicConfig config_;
+  Link* net_link_ = nullptr;
+  Link* host_link_ = nullptr;
+  SimTime busy_until_ = 0;
+  Counter dropped_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DEVICE_CONVENTIONAL_NIC_H_

@@ -1,0 +1,41 @@
+#include "src/device/smartnic.h"
+
+namespace incod {
+
+const char* SmartNicArchName(SmartNicArch arch) {
+  switch (arch) {
+    case SmartNicArch::kFpga:
+      return "fpga";
+    case SmartNicArch::kAsic:
+      return "asic";
+    case SmartNicArch::kAsicPlusFpga:
+      return "asic+fpga";
+    case SmartNicArch::kSoc:
+      return "soc";
+  }
+  return "?";
+}
+
+double OpsPerWattAtPeak(const SmartNicPreset& preset) {
+  if (preset.max_watts <= 0) {
+    return 0;
+  }
+  return preset.peak_mpps * 1e6 / preset.max_watts;
+}
+
+std::vector<SmartNicPreset> StandardSmartNicPresets() {
+  return {
+      // Azure AccelNet-like FPGA SmartNIC: 17-19 W standalone, 40GE,
+      // ~4 Mpps/W (§10).
+      {"accelnet-fpga", SmartNicArch::kFpga, 17.0, 19.0, 72.0, 40.0, true, true},
+      // ASIC SmartNIC (Netronome Agilio-like): efficient, less flexible.
+      {"agilio-asic", SmartNicArch::kAsic, 12.0, 25.0, 120.0, 50.0, false, true},
+      // Combined ASIC+FPGA (Mellanox Innova-like).
+      {"innova-asic+fpga", SmartNicArch::kAsicPlusFpga, 15.0, 25.0, 90.0, 25.0, true,
+       true},
+      // SoC SmartNIC (BlueField-like): easy to program, resource-walled.
+      {"bluefield-soc", SmartNicArch::kSoc, 14.0, 25.0, 30.0, 100.0, false, false},
+  };
+}
+
+}  // namespace incod

@@ -1,0 +1,43 @@
+// SmartNIC presets for the §10 placement discussion.
+//
+// The paper surveys four SmartNIC architectures (FPGA, ASIC, ASIC+FPGA,
+// SoC) and anchors one concrete data point: Azure's AccelNet FPGA SmartNIC
+// at 17-19 W standalone on a 40GE board, "close to 4Mpps/W for some use
+// cases". These presets feed the placement advisor and bench_placement.
+#ifndef INCOD_SRC_DEVICE_SMARTNIC_H_
+#define INCOD_SRC_DEVICE_SMARTNIC_H_
+
+#include <string>
+#include <vector>
+
+namespace incod {
+
+enum class SmartNicArch {
+  kFpga,
+  kAsic,
+  kAsicPlusFpga,
+  kSoc,
+};
+
+const char* SmartNicArchName(SmartNicArch arch);
+
+struct SmartNicPreset {
+  std::string name;
+  SmartNicArch arch;
+  double idle_watts;
+  double max_watts;          // Typically <= 25 W (PCIe slot budget, §10).
+  double peak_mpps;          // Packet-processing capability.
+  double port_gbps;
+  // Qualitative §10 traits used by the advisor.
+  bool flexible_interfaces;  // Can attach bespoke memory/storage (FPGA).
+  bool scalable_resources;   // SoCs hit the "resource wall" earlier.
+};
+
+// Ops-per-watt at full load (Mpps per watt of max power).
+double OpsPerWattAtPeak(const SmartNicPreset& preset);
+
+std::vector<SmartNicPreset> StandardSmartNicPresets();
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DEVICE_SMARTNIC_H_

@@ -1,0 +1,67 @@
+#include "src/dns/emu_dns.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/device/fpga_nic.h"
+#include "src/dns/nsd_server.h"
+
+namespace incod {
+
+EmuDns::EmuDns(const Zone* zone, EmuDnsConfig config) : zone_(zone), config_(config) {
+  if (zone == nullptr) {
+    throw std::invalid_argument("EmuDns: null zone");
+  }
+}
+
+std::vector<ModulePowerSpec> EmuDns::PowerModules() const {
+  // Classifier (added by this paper, §3.3) plus the Emu main logical core.
+  // Total ~1.5 W over the reference NIC: Emu DNS draws ~47.5 W in a 35 W
+  // server + 11 W board (§4.4). No external memories.
+  return {
+      MakeModuleSpec("classifier", 0.5, kLogicStaticFraction, 1.0),
+      MakeModuleSpec("emu_core", 1.0, kLogicStaticFraction, 1.0),
+  };
+}
+
+FpgaPipelineSpec EmuDns::PipelineSpec() const {
+  FpgaPipelineSpec spec;
+  spec.workers = 1;  // Non-pipelined design (§4.4).
+  spec.worker_service = config_.service_time;
+  spec.pipeline_latency = config_.egress_latency;
+  spec.input_queue_capacity = 256;
+  return spec;
+}
+
+void EmuDns::Process(Packet packet) {
+  if (!PayloadIs<DnsMessage>(packet)) {
+    nic()->DeliverToHost(std::move(packet));
+    return;
+  }
+  const auto& query = PayloadAs<DnsMessage>(packet);
+  if (!query.questions.empty() &&
+      CountLabels(query.questions.front().name) > config_.max_labels) {
+    // Parser depth exceeded: let the host handle it (worst case the client
+    // treats it as an iterative request, §9.2).
+    punted_.Increment();
+    nic()->DeliverToHost(std::move(packet));
+    return;
+  }
+  DnsMessage resp = NsdServer::Resolve(*zone_, query);
+  if (resp.rcode == DnsRcode::kNoError) {
+    answered_.Increment();
+  } else if (resp.rcode == DnsRcode::kNxDomain) {
+    nxdomain_.Increment();
+  }
+  Packet out;
+  out.dst = packet.src;
+  out.src = nic()->config().device_node != 0 ? nic()->config().device_node : packet.dst;
+  out.proto = AppProto::kDns;
+  out.size_bytes = DnsWireBytes(resp);
+  out.id = packet.id;
+  out.created_at = nic()->sim().Now();
+  out.payload = std::move(resp);
+  nic()->TransmitToNetwork(std::move(out));
+}
+
+}  // namespace incod

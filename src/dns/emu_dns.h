@@ -1,0 +1,62 @@
+// Emu DNS: the FPGA DNS server (§3.3, §4.4).
+//
+// Developed with Kiwi/Emu (C# to FPGA) in the paper; here a FpgaApp with the
+// same observable behaviour: authoritative A-record resolution from an
+// on-chip table, NXDOMAIN for absent names, and — because the original was
+// amended with a LaKe-style packet classifier — NIC passthrough for non-DNS
+// traffic. The design is non-pipelined ("a result of Emu's non-pipelined
+// nature"), so its peak is ~1 Mqps: one query in flight per microsecond.
+// Names deeper than the hardware parser's label budget are punted to the
+// host (cf. §9.2's discussion of parse-depth limits).
+#ifndef INCOD_SRC_DNS_EMU_DNS_H_
+#define INCOD_SRC_DNS_EMU_DNS_H_
+
+#include <string>
+
+#include "src/device/fpga_app.h"
+#include "src/dns/dns_message.h"
+#include "src/dns/zone.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+struct EmuDnsConfig {
+  // Non-pipelined service time: peak ~1 Mqps (§4.4).
+  SimDuration service_time = Microseconds(1);
+  SimDuration egress_latency = Nanoseconds(200);
+  // Hardware parser label budget; deeper names go to the host.
+  int max_labels = 8;
+  // On-chip table capacity (BRAM).
+  size_t max_records = 65536;
+};
+
+class EmuDns : public FpgaApp {
+ public:
+  // The zone is shared (read-only) with the host's NSD so both sides answer
+  // identically.
+  explicit EmuDns(const Zone* zone, EmuDnsConfig config = {});
+
+  AppProto proto() const override { return AppProto::kDns; }
+  std::string AppName() const override { return "emu-dns"; }
+
+  std::vector<ModulePowerSpec> PowerModules() const override;
+  double DynamicWattsAtCapacity() const override { return 0.5; }
+  FpgaPipelineSpec PipelineSpec() const override;
+
+  void Process(Packet packet) override;
+
+  uint64_t answered() const { return answered_.value(); }
+  uint64_t nxdomain() const { return nxdomain_.value(); }
+  uint64_t punted_to_host() const { return punted_.value(); }
+
+ private:
+  const Zone* zone_;
+  EmuDnsConfig config_;
+  Counter answered_;
+  Counter nxdomain_;
+  Counter punted_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DNS_EMU_DNS_H_

@@ -1,0 +1,80 @@
+#include "src/dns/nsd_server.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/host/server.h"
+
+namespace incod {
+
+NsdServer::NsdServer(const Zone* zone, NsdConfig config) : zone_(zone), config_(config) {
+  if (zone == nullptr) {
+    throw std::invalid_argument("NsdServer: null zone");
+  }
+}
+
+SimDuration NsdServer::CpuTimePerRequest(const Packet& packet) const {
+  (void)packet;
+  return config_.query_cpu_time;
+}
+
+DnsMessage NsdServer::Resolve(const Zone& zone, const DnsMessage& query) {
+  DnsMessage resp;
+  resp.id = query.id;
+  resp.is_response = true;
+  resp.authoritative = true;
+  resp.recursion_available = false;  // Authoritative-only (like NSD).
+  resp.questions = query.questions;
+  if (query.questions.empty()) {
+    resp.rcode = DnsRcode::kFormErr;
+    return resp;
+  }
+  const DnsQuestion& q = query.questions.front();
+  if (q.qtype != kDnsTypeA || q.qclass != kDnsClassIn) {
+    resp.rcode = DnsRcode::kNotImp;
+    return resp;
+  }
+  const auto record = zone.Lookup(q.name);
+  if (!record.has_value()) {
+    resp.rcode = DnsRcode::kNxDomain;
+    return resp;
+  }
+  DnsResourceRecord rr;
+  rr.name = q.name;
+  rr.rtype = kDnsTypeA;
+  rr.rclass = kDnsClassIn;
+  rr.ttl = record->ttl;
+  rr.rdata = Ipv4ToRdata(record->ipv4);
+  resp.answers.push_back(std::move(rr));
+  return resp;
+}
+
+void NsdServer::Execute(Packet packet) {
+  if (!PayloadIs<DnsMessage>(packet)) {
+    malformed_.Increment();
+    return;
+  }
+  const auto& query = PayloadAs<DnsMessage>(packet);
+  DnsMessage resp = Resolve(*zone_, query);
+  switch (resp.rcode) {
+    case DnsRcode::kNoError:
+      answered_.Increment();
+      break;
+    case DnsRcode::kNxDomain:
+      nxdomain_.Increment();
+      break;
+    default:
+      malformed_.Increment();
+      break;
+  }
+  Packet out;
+  out.dst = packet.src;
+  out.proto = AppProto::kDns;
+  out.size_bytes = DnsWireBytes(resp);
+  out.id = packet.id;
+  out.created_at = server()->sim().Now();
+  out.payload = std::move(resp);
+  server()->Transmit(std::move(out));
+}
+
+}  // namespace incod

@@ -1,0 +1,53 @@
+// NSD-like authoritative software DNS server (host side of the DNS study).
+//
+// Calibration (§4.4): NSD on the i7-6700K serves ~956 Kqps at peak with the
+// server drawing about twice Emu DNS's power. With kernel stack costs of
+// 1 µs rx + 0.5 µs tx, a 2.68 µs service time across 4 worker threads gives
+// a ~956 Kqps ceiling.
+#ifndef INCOD_SRC_DNS_NSD_SERVER_H_
+#define INCOD_SRC_DNS_NSD_SERVER_H_
+
+#include <string>
+
+#include "src/dns/dns_message.h"
+#include "src/dns/zone.h"
+#include "src/host/software_app.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+struct NsdConfig {
+  int threads = 4;
+  SimDuration query_cpu_time = Nanoseconds(2680);
+};
+
+class NsdServer : public SoftwareApp {
+ public:
+  explicit NsdServer(const Zone* zone, NsdConfig config = {});
+
+  AppProto proto() const override { return AppProto::kDns; }
+  std::string AppName() const override { return "nsd"; }
+  int num_threads() const override { return config_.threads; }
+
+  SimDuration CpuTimePerRequest(const Packet& packet) const override;
+  void Execute(Packet packet) override;
+
+  uint64_t answered() const { return answered_.value(); }
+  uint64_t nxdomain() const { return nxdomain_.value(); }
+  uint64_t malformed() const { return malformed_.value(); }
+
+  // Builds an authoritative response for a query against a zone; shared with
+  // the hardware implementation so both reply identically.
+  static DnsMessage Resolve(const Zone& zone, const DnsMessage& query);
+
+ private:
+  const Zone* zone_;
+  NsdConfig config_;
+  Counter answered_;
+  Counter nxdomain_;
+  Counter malformed_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DNS_NSD_SERVER_H_

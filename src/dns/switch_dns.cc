@@ -1,0 +1,57 @@
+#include "src/dns/switch_dns.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/dns/nsd_server.h"
+
+namespace incod {
+
+DnsSwitchProgram::DnsSwitchProgram(const Zone* zone, DnsSwitchConfig config)
+    : zone_(zone), config_(config) {
+  if (zone == nullptr) {
+    throw std::invalid_argument("DnsSwitchProgram: null zone");
+  }
+  if (config_.dns_service == 0) {
+    throw std::invalid_argument("DnsSwitchProgram: dns_service required");
+  }
+}
+
+bool DnsSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
+  if (packet.proto != AppProto::kDns || packet.dst != config_.dns_service) {
+    return false;
+  }
+  if (!PayloadIs<DnsMessage>(packet)) {
+    return false;
+  }
+  const auto& query = PayloadAs<DnsMessage>(packet);
+  if (query.is_response || query.questions.empty()) {
+    return false;  // Responses and junk just forward.
+  }
+  const DnsQuestion& question = query.questions.front();
+  if (CountLabels(question.name) > config_.max_labels ||
+      question.qtype != kDnsTypeA || question.qclass != kDnsClassIn) {
+    // Beyond the pipeline parser: "treated as iterative requests" — the
+    // host answers instead (§9.2).
+    punted_.Increment();
+    return false;
+  }
+  DnsMessage resp = NsdServer::Resolve(*zone_, query);
+  if (resp.rcode == DnsRcode::kNxDomain) {
+    nxdomain_.Increment();
+  } else {
+    answered_.Increment();
+  }
+  Packet out;
+  out.src = packet.dst;
+  out.dst = packet.src;
+  out.proto = AppProto::kDns;
+  out.size_bytes = DnsWireBytes(resp);
+  out.id = packet.id;
+  out.created_at = sw.sim().Now();
+  out.payload = std::move(resp);
+  sw.TransmitFromPipeline(std::move(out));
+  return true;
+}
+
+}  // namespace incod

@@ -1,0 +1,56 @@
+// DNS resolution in the switch ASIC pipeline (§9.2).
+//
+// "Shifting a DNS server to a programmable ASIC, like Barefoot's Tofino,
+// should also be possible ... DNS responses fit comfortably within the
+// storage limits ... The biggest challenge would be supporting DNS queries
+// that require parsing deeper than the maximum supported depth. However, in
+// the worst case scenario, those queries could be treated as iterative
+// requests." This program answers A-record queries from an on-switch copy
+// of the zone at line rate and passes everything it cannot parse (deep
+// names, non-A types, malformed) through to the host.
+#ifndef INCOD_SRC_DNS_SWITCH_DNS_H_
+#define INCOD_SRC_DNS_SWITCH_DNS_H_
+
+#include <string>
+
+#include "src/device/switch_asic.h"
+#include "src/dns/dns_message.h"
+#include "src/dns/zone.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+struct DnsSwitchConfig {
+  NodeId dns_service = 0;  // Address of the DNS service this program fronts.
+  // Hardware parser depth: the paper calls this the biggest challenge for
+  // DNS on an ASIC. Tofino parsers manage fewer labels than an FPGA.
+  int max_labels = 4;
+  double power_overhead_at_full_load = 0.015;
+};
+
+class DnsSwitchProgram : public SwitchProgram {
+ public:
+  // The zone is shared read-only with the authoritative software server.
+  DnsSwitchProgram(const Zone* zone, DnsSwitchConfig config);
+
+  std::string ProgramName() const override { return "switch-dns"; }
+  double PowerOverheadAtFullLoad() const override {
+    return config_.power_overhead_at_full_load;
+  }
+  bool Process(SwitchAsic& sw, Packet& packet) override;
+
+  uint64_t answered() const { return answered_.value(); }
+  uint64_t nxdomain() const { return nxdomain_.value(); }
+  uint64_t punted_to_host() const { return punted_.value(); }
+
+ private:
+  const Zone* zone_;
+  DnsSwitchConfig config_;
+  Counter answered_;
+  Counter nxdomain_;
+  Counter punted_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DNS_SWITCH_DNS_H_

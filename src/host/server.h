@@ -1,0 +1,150 @@
+// Host server model.
+//
+// A Server executes bound SoftwareApps on a fixed set of cores using a
+// per-thread FIFO run queue (UDP drop-tail on overflow), tracks core
+// utilization over a sampling period, and reports wall power through a
+// calibrated CpuPowerModel curve. The network stack is configurable between
+// a kernel path and a DPDK-style busy-polling path, reproducing the paper's
+// observation that "DPDK constantly polls", keeping power high at idle.
+#ifndef INCOD_SRC_HOST_SERVER_H_
+#define INCOD_SRC_HOST_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/host/software_app.h"
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/power/cpu_power.h"
+#include "src/sim/simulation.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+enum class NetStackType {
+  kKernel,  // Interrupt-driven: higher per-packet cost, no idle burn.
+  kDpdk,    // Busy polling: poll cores always at 100 %, low per-packet cost.
+};
+
+struct ServerConfig {
+  std::string name = "server";
+  NodeId node = 1;
+  int num_cores = 4;
+  PiecewiseLinearCurve power_curve = I7SyntheticCurve();
+  NetStackType stack = NetStackType::kKernel;
+  SimDuration stack_rx_cost = Microseconds(1);    // Added to each request's service.
+  SimDuration stack_tx_cost = Nanoseconds(500);   // Added to each reply.
+  int dpdk_poll_cores = 1;                        // Cores pinned to polling (kDpdk).
+  size_t rx_queue_capacity = 1024;                // Per worker thread.
+  SimDuration utilization_sample_period = Milliseconds(1);
+};
+
+class Server : public PacketSink, public PowerSource {
+ public:
+  Server(Simulation& sim, ServerConfig config);
+
+  // Binds an application (not owned). Several apps may share a protocol if
+  // they declare distinct service addresses.
+  void BindApp(SoftwareApp* app);
+  // First app bound for the protocol (nullptr if none).
+  SoftwareApp* AppFor(AppProto proto) const;
+
+  // Network attachment: replies and originated packets leave via this link.
+  void SetUplink(Link* link) { uplink_ = link; }
+  Link* uplink() const { return uplink_; }
+
+  // PacketSink: dispatches requests to the bound app's worker threads.
+  void Receive(Packet packet) override;
+  std::string SinkName() const override { return config_.name; }
+
+  // Sends a packet out the uplink (stamps src).
+  void Transmit(Packet packet);
+
+  // Additional synthetic utilization (e.g. a co-running workload). Added to
+  // measured app utilization, clamped to the core count.
+  void SetBackgroundUtilization(double cores_busy);
+  double background_utilization() const { return background_utilization_; }
+
+  // Total core utilization (includes DPDK poll cores and background load),
+  // averaged over at least the last sample period.
+  double TotalUtilization() const;
+
+  // Fraction [0,1] of the bound apps' worker threads that are busy (averaged
+  // with the sampled utilization); this is what the host on-demand
+  // controller reads as "CPU usage of the app".
+  double AppCpuUsage(AppProto proto) const;
+
+  // Per-app drop counter support: total dropped across all apps is exposed
+  // via requests_dropped().
+
+  // PowerSource: whole-server wall power from the calibrated curve.
+  double PowerWatts() const override;
+  std::string PowerName() const override { return config_.name; }
+
+  // RAPL-visible package power: the dynamic part of the wall power plus a
+  // small package idle floor (the wall curve includes PSU/fans/etc. which
+  // RAPL does not see).
+  double RaplPackageWatts() const;
+
+  const ServerConfig& config() const { return config_; }
+  NodeId node() const { return config_.node; }
+  uint64_t requests_completed() const { return completed_.value(); }
+  uint64_t requests_dropped() const { return dropped_.value(); }
+
+  Simulation& sim() { return sim_; }
+
+ private:
+  struct WorkerThread {
+    std::deque<Packet> queue;
+    bool busy = false;
+    SimDuration cumulative_busy = 0;
+  };
+  struct BoundApp {
+    SoftwareApp* app = nullptr;
+    std::vector<WorkerThread> threads;
+  };
+
+  BoundApp* FindBound(const Packet& packet);
+  void StartService(BoundApp& bound, size_t thread_index);
+  // Lazily re-samples utilization into the power model when at least one
+  // sample period has elapsed. Called from every power/utilization read so
+  // the simulation needs no perpetual sampling event (runs terminate).
+  void MaybeSampleUtilization() const;
+
+  Simulation& sim_;
+  ServerConfig config_;
+  mutable CpuPowerModel cpu_power_;
+  Link* uplink_ = nullptr;
+  std::vector<std::unique_ptr<BoundApp>> apps_;
+  double background_utilization_ = 0;
+  mutable SimDuration last_sample_busy_ = 0;
+  mutable SimTime last_sample_at_ = 0;
+  mutable double last_app_utilization_ = 0;
+  Counter completed_;
+  Counter dropped_;
+};
+
+// A co-running CPU-bound workload (the paper uses ChainerMN as the second
+// workload in Fig 6). Ramps background utilization on the server between
+// start and stop times.
+class BackgroundLoad {
+ public:
+  BackgroundLoad(Simulation& sim, Server& server, double cores_busy);
+
+  void StartAt(SimTime at);
+  void StopAt(SimTime at);
+  bool active() const { return active_; }
+
+ private:
+  Simulation& sim_;
+  Server& server_;
+  double cores_busy_;
+  bool active_ = false;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_HOST_SERVER_H_

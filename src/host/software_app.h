@@ -1,0 +1,53 @@
+// Base class for software (host-side) application implementations.
+//
+// A SoftwareApp is bound to a Server and consumes CPU time per request; the
+// server's execution model (threads, queues) and power model account for it.
+// Concrete apps: kvs::MemcachedServer, paxos software roles, dns::NsdServer.
+#ifndef INCOD_SRC_HOST_SOFTWARE_APP_H_
+#define INCOD_SRC_HOST_SOFTWARE_APP_H_
+
+#include <optional>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace incod {
+
+class Server;
+
+class SoftwareApp {
+ public:
+  virtual ~SoftwareApp() = default;
+
+  // The protocol this app serves; the server dispatches by this tag.
+  virtual AppProto proto() const = 0;
+
+  // Pure CPU time consumed by one request, excluding network-stack costs
+  // (the server adds those per its stack configuration).
+  virtual SimDuration CpuTimePerRequest(const Packet& packet) const = 0;
+
+  // Runs the application logic for a request whose service time elapsed.
+  // Replies are sent through server().
+  virtual void Execute(Packet packet) = 0;
+
+  // Number of worker threads the app runs (each can occupy one core).
+  virtual int num_threads() const { return 1; }
+
+  // If set, the app only receives packets addressed to this service address.
+  // Used when several apps of the same protocol (e.g. Paxos roles) share a
+  // host; unset apps receive any packet of their protocol.
+  virtual std::optional<NodeId> service_address() const { return std::nullopt; }
+
+  virtual std::string AppName() const = 0;
+
+  Server* server() const { return server_; }
+  void set_server(Server* server) { server_ = server; }
+
+ private:
+  Server* server_ = nullptr;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_HOST_SOFTWARE_APP_H_

@@ -1,0 +1,59 @@
+#include "src/kvs/kv_protocol.h"
+
+namespace incod {
+
+const char* KvOpName(KvOp op) {
+  switch (op) {
+    case KvOp::kGet:
+      return "GET";
+    case KvOp::kSet:
+      return "SET";
+    case KvOp::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+uint32_t KvRequestWireBytes(const KvRequest& request) {
+  uint32_t bytes = kKvHeaderBytes + 8;  // Header + key.
+  if (request.op == KvOp::kSet) {
+    bytes += request.value_bytes;
+  }
+  return bytes;
+}
+
+uint32_t KvResponseWireBytes(const KvResponse& response) {
+  uint32_t bytes = kKvHeaderBytes + 8;
+  if (response.op == KvOp::kGet && response.hit) {
+    bytes += response.value_bytes;
+  }
+  return bytes;
+}
+
+Packet MakeKvRequestPacket(NodeId src, NodeId dst, const KvRequest& request, uint64_t id,
+                           SimTime now) {
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.proto = AppProto::kKv;
+  pkt.size_bytes = KvRequestWireBytes(request);
+  pkt.id = id;
+  pkt.created_at = now;
+  pkt.payload = request;
+  return pkt;
+}
+
+Packet MakeKvResponsePacket(NodeId src, NodeId dst, const KvResponse& response,
+                            uint64_t id, SimTime now) {
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.proto = AppProto::kKv;
+  pkt.size_bytes = KvResponseWireBytes(response);
+  pkt.id = id;
+  pkt.created_at = now;
+  pkt.payload = response;
+  return pkt;
+}
+
+}  // namespace incod

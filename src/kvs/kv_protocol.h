@@ -1,0 +1,48 @@
+// memcached-style key-value protocol messages.
+//
+// The paper's LaKe supports "standard memcached functionality" (§3.1); we
+// model the binary-protocol semantics (GET/SET/DELETE over UDP) with numeric
+// keys and byte-counted values.
+#ifndef INCOD_SRC_KVS_KV_PROTOCOL_H_
+#define INCOD_SRC_KVS_KV_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace incod {
+
+enum class KvOp : uint8_t { kGet, kSet, kDelete };
+
+const char* KvOpName(KvOp op);
+
+struct KvRequest {
+  KvOp op = KvOp::kGet;
+  uint64_t key = 0;
+  uint32_t value_bytes = 0;  // SET payload size (value content is not modeled).
+};
+
+struct KvResponse {
+  KvOp op = KvOp::kGet;
+  uint64_t key = 0;
+  bool hit = false;          // GET: found; SET/DELETE: stored/deleted.
+  uint32_t value_bytes = 0;  // GET hit: returned value size.
+};
+
+// Wire sizes (UDP + memcached binary framing).
+constexpr uint32_t kKvHeaderBytes = 66;
+
+uint32_t KvRequestWireBytes(const KvRequest& request);
+uint32_t KvResponseWireBytes(const KvResponse& response);
+
+// Builds a request packet addressed to a KVS service.
+Packet MakeKvRequestPacket(NodeId src, NodeId dst, const KvRequest& request, uint64_t id,
+                           SimTime now);
+Packet MakeKvResponsePacket(NodeId src, NodeId dst, const KvResponse& response,
+                            uint64_t id, SimTime now);
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_KVS_KV_PROTOCOL_H_

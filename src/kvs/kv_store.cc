@@ -1,0 +1,59 @@
+#include "src/kvs/kv_store.h"
+
+#include <stdexcept>
+
+namespace incod {
+
+KvStore::KvStore(size_t capacity_entries) : capacity_(capacity_entries) {
+  if (capacity_entries == 0) {
+    throw std::invalid_argument("KvStore: capacity must be > 0");
+  }
+}
+
+bool KvStore::Get(uint64_t key, uint32_t* value_bytes) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    lookups_.Miss();
+    return false;
+  }
+  lookups_.Hit();
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (value_bytes != nullptr) {
+    *value_bytes = it->second->value_bytes;
+  }
+  return true;
+}
+
+void KvStore::Set(uint64_t key, uint32_t value_bytes) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value_bytes = value_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_.Increment();
+  }
+  lru_.push_front(Entry{key, value_bytes});
+  index_[key] = lru_.begin();
+}
+
+bool KvStore::Delete(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void KvStore::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace incod

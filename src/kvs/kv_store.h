@@ -1,0 +1,58 @@
+// Bounded key-value store with LRU eviction.
+//
+// The same store logic backs the software memcached model and both levels
+// of LaKe's layered cache, so shifting a workload between host and network
+// preserves semantics (a requirement of on-demand shifting, §9).
+#ifndef INCOD_SRC_KVS_KV_STORE_H_
+#define INCOD_SRC_KVS_KV_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/stats/counters.h"
+
+namespace incod {
+
+class KvStore {
+ public:
+  // capacity_entries: maximum number of resident keys (0 is invalid).
+  explicit KvStore(size_t capacity_entries);
+
+  // Returns true and writes the stored value size on hit; promotes the entry
+  // to most-recently-used.
+  bool Get(uint64_t key, uint32_t* value_bytes);
+
+  // Inserts or updates; evicts the least-recently-used entry when full.
+  void Set(uint64_t key, uint32_t value_bytes);
+
+  // Returns true if the key existed.
+  bool Delete(uint64_t key);
+
+  bool Contains(uint64_t key) const { return index_.count(key) != 0; }
+
+  void Clear();
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_.value(); }
+  const RatioCounter& lookup_stats() const { return lookups_; }
+  void ResetStats() { lookups_.Reset(); evictions_.Reset(); }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint32_t value_bytes;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // Front: most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  RatioCounter lookups_;
+  Counter evictions_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_KVS_KV_STORE_H_

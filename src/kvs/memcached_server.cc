@@ -1,0 +1,51 @@
+#include "src/kvs/memcached_server.h"
+
+#include <utility>
+
+#include "src/host/server.h"
+
+namespace incod {
+
+MemcachedServer::MemcachedServer(MemcachedConfig config)
+    : config_(config), store_(config.capacity_entries) {}
+
+SimDuration MemcachedServer::CpuTimePerRequest(const Packet& packet) const {
+  const auto& req = PayloadAs<KvRequest>(packet);
+  switch (req.op) {
+    case KvOp::kGet:
+      return config_.get_cpu_time;
+    case KvOp::kSet:
+    case KvOp::kDelete:
+      return config_.set_cpu_time;
+  }
+  return config_.get_cpu_time;
+}
+
+void MemcachedServer::Execute(Packet packet) {
+  const auto req = PayloadAs<KvRequest>(packet);
+  KvResponse resp;
+  resp.op = req.op;
+  resp.key = req.key;
+  switch (req.op) {
+    case KvOp::kGet: {
+      gets_.Increment();
+      uint32_t bytes = 0;
+      resp.hit = store_.Get(req.key, &bytes);
+      resp.value_bytes = bytes;
+      break;
+    }
+    case KvOp::kSet:
+      sets_.Increment();
+      store_.Set(req.key, req.value_bytes);
+      resp.hit = true;
+      break;
+    case KvOp::kDelete:
+      sets_.Increment();
+      resp.hit = store_.Delete(req.key);
+      break;
+  }
+  server()->Transmit(MakeKvResponsePacket(server()->node(), packet.src, resp, packet.id,
+                                          server()->sim().Now()));
+}
+
+}  // namespace incod

@@ -1,0 +1,80 @@
+#include "src/kvs/netcache.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace incod {
+
+KvSwitchCache::KvSwitchCache(KvSwitchCacheConfig config)
+    : config_(config),
+      cache_(config.cache_entries),
+      sketch_(config.sketch_width, config.sketch_depth) {
+  if (config_.kvs_service == 0) {
+    throw std::invalid_argument("KvSwitchCache: kvs_service required");
+  }
+}
+
+double KvSwitchCache::HitRatio() const {
+  const uint64_t total = hits_.value() + misses_.value();
+  return total == 0 ? 0.0 : static_cast<double>(hits_.value()) / static_cast<double>(total);
+}
+
+bool KvSwitchCache::HandleGet(SwitchAsic& sw, const Packet& packet,
+                              const KvRequest& request) {
+  uint32_t bytes = 0;
+  if (cache_.Get(request.key, &bytes)) {
+    hits_.Increment();
+    KvResponse resp{KvOp::kGet, request.key, true, bytes};
+    sw.TransmitFromPipeline(
+        MakeKvResponsePacket(packet.dst, packet.src, resp, packet.id, sw.sim().Now()));
+    return true;  // Served at line rate; request terminated in the switch.
+  }
+  // Miss: count towards hotness and let the server answer (the fill
+  // happens when the response passes back through, mirroring NetCache's
+  // controller-mediated insertion).
+  misses_.Increment();
+  sketch_.Increment(request.key);
+  return false;
+}
+
+void KvSwitchCache::ObserveResponse(const Packet& packet, const KvResponse& response) {
+  (void)packet;
+  if (response.op != KvOp::kGet || !response.hit) {
+    return;
+  }
+  if (response.value_bytes > config_.max_value_bytes) {
+    return;  // Does not fit the register-array slot.
+  }
+  if (sketch_.Estimate(response.key) >= config_.hot_threshold) {
+    cache_.Set(response.key, response.value_bytes);
+    insertions_.Increment();
+  }
+}
+
+bool KvSwitchCache::Process(SwitchAsic& sw, Packet& packet) {
+  if (packet.proto != AppProto::kKv) {
+    return false;
+  }
+  if (PayloadIs<KvRequest>(packet) && packet.dst == config_.kvs_service) {
+    const auto& request = PayloadAs<KvRequest>(packet);
+    switch (request.op) {
+      case KvOp::kGet:
+        return HandleGet(sw, packet, request);
+      case KvOp::kSet:
+      case KvOp::kDelete:
+        // Write-around with invalidation: the server owns the data.
+        if (cache_.Delete(request.key)) {
+          invalidations_.Increment();
+        }
+        return false;
+    }
+    return false;
+  }
+  if (PayloadIs<KvResponse>(packet) && packet.src == config_.kvs_service) {
+    ObserveResponse(packet, PayloadAs<KvResponse>(packet));
+    return false;  // Responses always continue to the client.
+  }
+  return false;
+}
+
+}  // namespace incod

@@ -1,0 +1,67 @@
+// NetCache-style key-value cache in the switch ASIC pipeline.
+//
+// The paper points to NetCache/NetChain (Jin et al.) as proof that caches
+// fit a Tofino, and §9.2 argues DNS/KVS responses "fit comfortably within
+// the storage limits for values identified in their evaluation". This
+// program caches hot keys in switch register arrays: GETs that hit are
+// answered at line rate; misses and writes pass through to the server.
+// Hot-key detection uses a count-min sketch over the miss stream, and
+// cached entries are invalidated by passing SET/DELETEs.
+#ifndef INCOD_SRC_KVS_NETCACHE_H_
+#define INCOD_SRC_KVS_NETCACHE_H_
+
+#include <string>
+
+#include "src/device/switch_asic.h"
+#include "src/kvs/kv_protocol.h"
+#include "src/kvs/kv_store.h"
+#include "src/stats/count_min.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+struct KvSwitchCacheConfig {
+  NodeId kvs_service = 0;      // Address of the KVS this cache fronts.
+  size_t cache_entries = 65536;  // Register-array budget (NetCache: 64K items).
+  uint32_t max_value_bytes = 128;  // Values above this are not cacheable.
+  // A key becomes cache-worthy after this many estimated accesses.
+  uint64_t hot_threshold = 8;
+  size_t sketch_width = 4096;
+  size_t sketch_depth = 3;
+  // §6-style power accounting relative to L2 forwarding.
+  double power_overhead_at_full_load = 0.02;
+};
+
+class KvSwitchCache : public SwitchProgram {
+ public:
+  explicit KvSwitchCache(KvSwitchCacheConfig config);
+
+  std::string ProgramName() const override { return "netcache-kv"; }
+  double PowerOverheadAtFullLoad() const override {
+    return config_.power_overhead_at_full_load;
+  }
+  bool Process(SwitchAsic& sw, Packet& packet) override;
+
+  KvStore& cache() { return cache_; }
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses_forwarded() const { return misses_.value(); }
+  uint64_t invalidations() const { return invalidations_.value(); }
+  uint64_t insertions() const { return insertions_.value(); }
+  double HitRatio() const;
+
+ private:
+  bool HandleGet(SwitchAsic& sw, const Packet& packet, const KvRequest& request);
+  void ObserveResponse(const Packet& packet, const KvResponse& response);
+
+  KvSwitchCacheConfig config_;
+  KvStore cache_;
+  CountMinSketch sketch_;
+  Counter hits_;
+  Counter misses_;
+  Counter invalidations_;
+  Counter insertions_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_KVS_NETCACHE_H_

@@ -1,0 +1,77 @@
+#include "src/net/link.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace incod {
+
+Link::Link(Simulation& sim, Config config, std::string name)
+    : sim_(sim), config_(config), name_(std::move(name)) {
+  if (config_.gigabits_per_second <= 0) {
+    throw std::invalid_argument("Link: rate must be > 0");
+  }
+}
+
+void Link::Connect(PacketSink* end_a, PacketSink* end_b) {
+  ends_[0] = end_a;
+  ends_[1] = end_b;
+  dir_[0].to = end_a;
+  dir_[1].to = end_b;
+}
+
+SimDuration Link::SerializationDelay(uint32_t bytes) const {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double seconds = bits / (config_.gigabits_per_second * 1e9);
+  return SecondsF(seconds);
+}
+
+int Link::IndexToward(const PacketSink* to) const {
+  if (to == ends_[0]) {
+    return 0;
+  }
+  if (to == ends_[1]) {
+    return 1;
+  }
+  throw std::invalid_argument("Link: sink not connected to " + name_);
+}
+
+Link::Direction& Link::DirectionToward(const PacketSink* to) {
+  return dir_[IndexToward(to)];
+}
+
+void Link::Send(const PacketSink* from, Packet packet) {
+  if (ends_[0] == nullptr || ends_[1] == nullptr) {
+    throw std::logic_error("Link::Send before Connect on " + name_);
+  }
+  PacketSink* to = (from == ends_[0]) ? ends_[1] : (from == ends_[1]) ? ends_[0] : nullptr;
+  if (to == nullptr) {
+    throw std::invalid_argument("Link::Send: sender not connected to " + name_);
+  }
+  Direction& d = DirectionToward(to);
+  if (d.queued >= config_.queue_capacity_packets) {
+    ++d.dropped;
+    return;
+  }
+  const SimTime now = sim_.Now();
+  const SimTime start = std::max(now, d.busy_until);
+  const SimDuration ser = SerializationDelay(packet.size_bytes);
+  d.busy_until = start + ser;
+  ++d.queued;
+  const SimTime deliver_at = start + ser + config_.propagation_delay;
+  sim_.ScheduleAt(deliver_at, [this, to, pkt = std::move(packet)]() mutable {
+    Direction& dd = DirectionToward(to);
+    --dd.queued;
+    ++dd.delivered;
+    to->Receive(std::move(pkt));
+  });
+}
+
+uint64_t Link::delivered(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].delivered;
+}
+
+uint64_t Link::dropped(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].dropped;
+}
+
+}  // namespace incod

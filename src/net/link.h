@@ -1,0 +1,64 @@
+// Point-to-point full-duplex link.
+//
+// Models a 10GE (or faster) cable: serialization delay from the configured
+// rate, fixed propagation delay, and a bounded per-direction FIFO that drops
+// on overflow (UDP semantics — the applications tolerate loss).
+#ifndef INCOD_SRC_NET_LINK_H_
+#define INCOD_SRC_NET_LINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/simulation.h"
+
+namespace incod {
+
+class Link {
+ public:
+  struct Config {
+    double gigabits_per_second = 10.0;
+    SimDuration propagation_delay = Nanoseconds(500);
+    size_t queue_capacity_packets = 1024;
+  };
+
+  Link(Simulation& sim, Config config, std::string name = "link");
+
+  // Both endpoints must be set before Send() is used.
+  void Connect(PacketSink* end_a, PacketSink* end_b);
+
+  // Sends a packet from one endpoint toward the other. `from` must be one of
+  // the two connected endpoints.
+  void Send(const PacketSink* from, Packet packet);
+
+  uint64_t delivered(const PacketSink* toward) const;
+  uint64_t dropped(const PacketSink* toward) const;
+  uint64_t total_dropped() const { return dir_[0].dropped + dir_[1].dropped; }
+
+  const std::string& name() const { return name_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Direction {
+    PacketSink* to = nullptr;
+    SimTime busy_until = 0;
+    size_t queued = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+  };
+
+  SimDuration SerializationDelay(uint32_t bytes) const;
+  Direction& DirectionToward(const PacketSink* to);
+  int IndexToward(const PacketSink* to) const;
+
+  Simulation& sim_;
+  Config config_;
+  std::string name_;
+  PacketSink* ends_[2] = {nullptr, nullptr};
+  Direction dir_[2];  // dir_[i] carries traffic toward ends_[i].
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_NET_LINK_H_

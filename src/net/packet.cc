@@ -1,0 +1,21 @@
+#include "src/net/packet.h"
+
+namespace incod {
+
+const char* AppProtoName(AppProto proto) {
+  switch (proto) {
+    case AppProto::kRaw:
+      return "raw";
+    case AppProto::kKv:
+      return "kv";
+    case AppProto::kPaxos:
+      return "paxos";
+    case AppProto::kDns:
+      return "dns";
+    case AppProto::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+}  // namespace incod

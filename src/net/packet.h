@@ -1,0 +1,68 @@
+// Packet and addressing primitives.
+//
+// All three case-study applications are UDP based (§3.4), so a Packet models
+// a single UDP datagram: addresses, an application protocol tag (what the
+// hardware packet classifiers match on), a wire size, and a typed payload.
+#ifndef INCOD_SRC_NET_PACKET_H_
+#define INCOD_SRC_NET_PACKET_H_
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace incod {
+
+// Flat node address (stands in for MAC/IP; the simulation needs no subnets).
+using NodeId = uint32_t;
+
+constexpr NodeId kBroadcastNode = 0xffffffff;
+
+// Application protocol, as identified by the packet classifiers in LaKe /
+// Emu DNS / the P4xos parser (derived from UDP port in the real designs).
+enum class AppProto : uint8_t {
+  kRaw = 0,    // Ordinary traffic: passes through NICs untouched.
+  kKv,         // memcached / LaKe
+  kPaxos,      // libpaxos / P4xos
+  kDns,        // NSD / Emu DNS
+  kControl,    // On-demand controller messages.
+};
+
+const char* AppProtoName(AppProto proto);
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  AppProto proto = AppProto::kRaw;
+  uint32_t size_bytes = 64;  // Wire size including headers.
+  uint64_t id = 0;           // Request-correlation id (set by clients).
+  SimTime created_at = 0;    // Set by the sender; used for latency capture.
+  std::any payload;          // Typed per-application message struct.
+};
+
+// Anything that can accept a packet: hosts, NICs, switches, devices.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  virtual void Receive(Packet packet) = 0;
+
+  // Diagnostic name.
+  virtual std::string SinkName() const = 0;
+};
+
+// Payload accessor with a clear failure mode.
+template <typename T>
+const T& PayloadAs(const Packet& packet) {
+  return std::any_cast<const T&>(packet.payload);
+}
+
+template <typename T>
+bool PayloadIs(const Packet& packet) {
+  return std::any_cast<T>(&packet.payload) != nullptr;
+}
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_NET_PACKET_H_

@@ -1,0 +1,81 @@
+// L2 switch with a programmable forwarding table.
+//
+// Forwarding is by destination NodeId, with an overlay of priority rules
+// matching (proto, dst) pairs. The Paxos leader-migration controller (§9.2)
+// performs its shift exactly as in the paper: "the controller modifies
+// switch forwarding rules to send messages to the new leader" — here, by
+// installing a rule that redirects AppProto::kPaxos traffic addressed to the
+// leader service address toward a different port.
+#ifndef INCOD_SRC_NET_SWITCH_H_
+#define INCOD_SRC_NET_SWITCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/sim/simulation.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+class L2Switch : public PacketSink {
+ public:
+  struct ForwardingRule {
+    AppProto proto = AppProto::kRaw;
+    std::optional<NodeId> match_dst;  // nullopt: match any destination.
+    int out_port = -1;
+    std::optional<NodeId> rewrite_dst;  // Optionally rewrites the destination.
+    int priority = 0;                   // Higher wins.
+  };
+
+  L2Switch(Simulation& sim, std::string name,
+           SimDuration forwarding_latency = Nanoseconds(800));
+
+  // Attaches a link to the next port; returns the port index. The switch
+  // must be one of the link's endpoints (Connect the link before/after).
+  int AttachLink(Link* link);
+
+  // Static route: packets for `node` leave via `port`.
+  void AddRoute(NodeId node, int port);
+
+  // Installs (or replaces, by identical proto+match_dst+priority) a rule.
+  void InstallRule(const ForwardingRule& rule);
+  // Removes all rules matching proto (+dst if given). Returns count removed.
+  size_t RemoveRules(AppProto proto, std::optional<NodeId> match_dst = std::nullopt);
+
+  void Receive(Packet packet) override;
+  std::string SinkName() const override { return name_; }
+
+  Simulation& sim() { return sim_; }
+
+  uint64_t forwarded() const { return forwarded_.value(); }
+  uint64_t dropped_no_route() const { return dropped_no_route_.value(); }
+  size_t num_ports() const { return ports_.size(); }
+  size_t num_rules() const { return rules_.size(); }
+
+ protected:
+  // Hook for derived devices (the programmable ASIC) to intercept packets
+  // before forwarding. Returns true if the packet was consumed.
+  virtual bool ProcessInPipeline(Packet& packet);
+
+  Simulation& sim_;
+
+ private:
+  void Forward(Packet packet, int port);
+
+  std::string name_;
+  SimDuration forwarding_latency_;
+  std::vector<Link*> ports_;
+  std::unordered_map<NodeId, int> routes_;
+  std::vector<ForwardingRule> rules_;
+  Counter forwarded_;
+  Counter dropped_no_route_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_NET_SWITCH_H_

@@ -1,0 +1,26 @@
+#include "src/net/topology.h"
+
+#include <utility>
+
+namespace incod {
+
+Link* Topology::Connect(PacketSink* a, PacketSink* b, Link::Config config,
+                        std::string name) {
+  if (name.empty()) {
+    name = "link-" + std::to_string(links_.size());
+  }
+  links_.push_back(std::make_unique<Link>(sim_, config, std::move(name)));
+  Link* link = links_.back().get();
+  link->Connect(a, b);
+  return link;
+}
+
+Link* Topology::ConnectToSwitch(L2Switch* sw, PacketSink* sink, NodeId node,
+                                Link::Config config, std::string name) {
+  Link* link = Connect(sw, sink, config, std::move(name));
+  const int port = sw->AttachLink(link);
+  sw->AddRoute(node, port);
+  return link;
+}
+
+}  // namespace incod

@@ -1,0 +1,41 @@
+// Topology assembly helper.
+//
+// Owns links and wires endpoints together so experiment setups read like the
+// testbed descriptions in the paper (client -- switch -- server, etc.).
+#ifndef INCOD_SRC_NET_TOPOLOGY_H_
+#define INCOD_SRC_NET_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/switch.h"
+#include "src/sim/simulation.h"
+
+namespace incod {
+
+class Topology {
+ public:
+  explicit Topology(Simulation& sim) : sim_(sim) {}
+
+  // Creates a link and connects both ends. Returned pointer is owned by the
+  // topology and valid for its lifetime.
+  Link* Connect(PacketSink* a, PacketSink* b, Link::Config config = {},
+                std::string name = "");
+
+  // Creates a link between a switch and a sink, attaches it as a switch port
+  // and adds a route for `node` via that port. Returns the link.
+  Link* ConnectToSwitch(L2Switch* sw, PacketSink* sink, NodeId node,
+                        Link::Config config = {}, std::string name = "");
+
+  size_t num_links() const { return links_.size(); }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_NET_TOPOLOGY_H_

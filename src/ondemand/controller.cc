@@ -1,0 +1,136 @@
+#include "src/ondemand/controller.h"
+
+namespace incod {
+
+NetworkController::NetworkController(Simulation& sim, FpgaNic& nic, Migrator& migrator,
+                                     NetworkControllerConfig config)
+    : sim_(sim),
+      nic_(nic),
+      migrator_(migrator),
+      config_(config),
+      up_mean_(config.up_window),
+      down_mean_(config.down_window) {}
+
+void NetworkController::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  last_tick_ = sim_.Now();
+  last_ingress_count_ = nic_.app_ingress_packets();
+  SchedulePeriodic(sim_, config_.check_period, config_.check_period, [this] {
+    if (stopped_) {
+      return false;
+    }
+    Tick();
+    return true;
+  });
+}
+
+void NetworkController::Tick() {
+  const SimTime now = sim_.Now();
+  const SimDuration dt = now - last_tick_;
+  if (dt <= 0) {
+    return;
+  }
+  // Classifier-visible message rate since the last check.
+  const uint64_t count = nic_.app_ingress_packets();
+  const double rate = static_cast<double>(count - last_ingress_count_) / ToSeconds(dt);
+  last_ingress_count_ = count;
+  last_tick_ = now;
+  up_mean_.AddSample(now, rate);
+  down_mean_.AddSample(now, rate);
+  ++decisions_;
+
+  if (now - last_shift_ < config_.min_dwell) {
+    return;
+  }
+  if (migrator_.placement() == Placement::kHost) {
+    if (up_mean_.WindowFull(now) && up_mean_.Mean(now) >= config_.up_rate_pps) {
+      migrator_.ShiftToNetwork();
+      last_shift_ = now;
+      down_mean_.Clear();
+    }
+  } else {
+    if (down_mean_.WindowFull(now) && down_mean_.Mean(now) <= config_.down_rate_pps) {
+      migrator_.ShiftToHost();
+      last_shift_ = now;
+      up_mean_.Clear();
+    }
+  }
+}
+
+HostController::HostController(Simulation& sim, Server& server, AppProto app,
+                               RaplCounter& rapl, FpgaNic& nic, Migrator& migrator,
+                               HostControllerConfig config)
+    : sim_(sim),
+      server_(server),
+      app_(app),
+      rapl_(rapl),
+      nic_(nic),
+      migrator_(migrator),
+      config_(config),
+      power_mean_(config.up_window),
+      cpu_mean_(config.up_window),
+      rate_mean_(config.down_window) {}
+
+void HostController::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  last_tick_ = sim_.Now();
+  last_energy_uj_ = rapl_.EnergyMicrojoules();
+  SchedulePeriodic(sim_, config_.check_period, config_.check_period, [this] {
+    if (stopped_) {
+      return false;
+    }
+    Tick();
+    return true;
+  });
+}
+
+void HostController::Tick() {
+  const SimTime now = sim_.Now();
+  const SimDuration dt = now - last_tick_;
+  if (dt <= 0) {
+    return;
+  }
+  // RAPL read: average package watts since the previous tick.
+  const uint64_t energy = rapl_.EnergyMicrojoules();
+  last_rapl_watts_ = rapl_.AverageWattsSince(last_energy_uj_, dt);
+  last_energy_uj_ = energy;
+  last_tick_ = now;
+
+  power_mean_.AddSample(now, last_rapl_watts_);
+  cpu_mean_.AddSample(now, server_.AppCpuUsage(app_));
+  rate_mean_.AddSample(now, nic_.ProcessedRatePerSecond());
+
+  if (now - last_shift_ < config_.min_dwell) {
+    return;
+  }
+  if (migrator_.placement() == Placement::kHost) {
+    // "If the application exceeds a (programmable) power threshold set for
+    // offloading, and CPU usage is high, the controller shifts the workload
+    // to the network" — inspected over time (§9.1).
+    if (power_mean_.WindowFull(now) && power_mean_.Mean(now) >= config_.up_power_watts &&
+        cpu_mean_.Mean(now) >= config_.up_cpu_usage) {
+      migrator_.ShiftToNetwork();
+      last_shift_ = now;
+      rate_mean_.Clear();
+    }
+  } else {
+    // "In order to shift back to the host from the network, the controller
+    // needs information from the network (e.g., packet rate processed using
+    // in-network computing)" (§9.1).
+    if (rate_mean_.WindowFull(now) && rate_mean_.Mean(now) <= config_.down_rate_pps &&
+        power_mean_.Mean(now) <= config_.down_power_watts) {
+      migrator_.ShiftToHost();
+      last_shift_ = now;
+      power_mean_.Clear();
+      cpu_mean_.Clear();
+    }
+  }
+}
+
+}  // namespace incod

@@ -1,0 +1,70 @@
+#include "src/ondemand/energy_controller.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace incod {
+
+EnergyAwareController::EnergyAwareController(Simulation& sim, FpgaNic& nic,
+                                             Migrator& migrator,
+                                             RatePowerFn software_watts,
+                                             RatePowerFn network_watts,
+                                             EnergyAwareControllerConfig config)
+    : sim_(sim),
+      nic_(nic),
+      migrator_(migrator),
+      software_watts_(std::move(software_watts)),
+      network_watts_(std::move(network_watts)),
+      config_(config),
+      saving_mean_(config.window) {
+  if (software_watts_ == nullptr || network_watts_ == nullptr) {
+    throw std::invalid_argument("EnergyAwareController: null power model");
+  }
+}
+
+void EnergyAwareController::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  last_tick_ = sim_.Now();
+  last_ingress_count_ = nic_.app_ingress_packets();
+  SchedulePeriodic(sim_, config_.check_period, config_.check_period, [this] {
+    if (stopped_) {
+      return false;
+    }
+    Tick();
+    return true;
+  });
+}
+
+void EnergyAwareController::Tick() {
+  const SimTime now = sim_.Now();
+  const SimDuration dt = now - last_tick_;
+  if (dt <= 0) {
+    return;
+  }
+  const uint64_t count = nic_.app_ingress_packets();
+  const double rate = static_cast<double>(count - last_ingress_count_) / ToSeconds(dt);
+  last_ingress_count_ = count;
+  last_tick_ = now;
+
+  // Positive saving: the network placement would draw less at this rate.
+  last_saving_ = software_watts_(rate) - network_watts_(rate);
+  saving_mean_.AddSample(now, last_saving_);
+
+  if (now - last_shift_ < config_.min_dwell || !saving_mean_.WindowFull(now)) {
+    return;
+  }
+  const double saving = saving_mean_.Mean(now);
+  if (migrator_.placement() == Placement::kHost && saving >= config_.min_saving_watts) {
+    migrator_.ShiftToNetwork();
+    last_shift_ = now;
+  } else if (migrator_.placement() == Placement::kNetwork &&
+             saving <= -config_.min_saving_watts) {
+    migrator_.ShiftToHost();
+    last_shift_ = now;
+  }
+}
+
+}  // namespace incod

@@ -1,0 +1,190 @@
+#include "src/ondemand/migrator.h"
+
+namespace incod {
+
+const char* PlacementName(Placement placement) {
+  return placement == Placement::kHost ? "host" : "network";
+}
+
+const char* ParkPolicyName(ParkPolicy policy) {
+  switch (policy) {
+    case ParkPolicy::kGatedPark:
+      return "gated-park";
+    case ParkPolicy::kKeepWarm:
+      return "keep-warm";
+    case ParkPolicy::kReprogram:
+      return "reprogram";
+  }
+  return "?";
+}
+
+ClassifierMigrator::Options ClassifierMigrator::Options::FromPolicy(
+    ParkPolicy policy, SimDuration reprogram_halt) {
+  Options options;
+  options.policy = policy;
+  switch (policy) {
+    case ParkPolicy::kGatedPark:
+      options.clock_gate_when_idle = true;
+      options.reset_memories_when_idle = true;
+      break;
+    case ParkPolicy::kKeepWarm:
+      options.clock_gate_when_idle = false;
+      options.reset_memories_when_idle = false;
+      break;
+    case ParkPolicy::kReprogram:
+      options.clock_gate_when_idle = true;
+      options.reset_memories_when_idle = true;
+      options.reprogram_halt = reprogram_halt;
+      break;
+  }
+  return options;
+}
+
+ClassifierMigrator::ClassifierMigrator(Simulation& sim, FpgaNic& nic, Options options)
+    : sim_(sim), nic_(nic), options_(options) {
+  // Start in the host placement with the configured idle power savings.
+  nic_.SetAppActive(false);
+  ApplyParkedState();
+}
+
+void ClassifierMigrator::ApplyParkedState() {
+  nic_.SetClockGating(options_.clock_gate_when_idle);
+  nic_.SetMemoryReset(options_.reset_memories_when_idle);
+  if (options_.policy == ParkPolicy::kReprogram) {
+    // The app core is not resident while parked: its logic draws nothing.
+    for (const auto& name : nic_.ledger().ModuleNames()) {
+      if (name != "shell" && name != "pcie_dma" && name != "dram_if" &&
+          name != "sram_if") {
+        nic_.ledger().SetState(name, ModulePowerState::kPowerGated);
+      }
+    }
+  }
+}
+
+std::string ClassifierMigrator::MigratorName() const {
+  return "classifier/" + (nic_.app() != nullptr ? nic_.app()->AppName() : "none");
+}
+
+void ClassifierMigrator::ShiftToNetwork() {
+  if (placement() == Placement::kNetwork) {
+    return;
+  }
+  if (options_.policy == ParkPolicy::kReprogram && options_.reprogram_halt > 0) {
+    // Loading the bitstream halts the data path (§9.2: partial
+    // reconfiguration "may result in a momentary traffic halt").
+    nic_.SetReprogramming(true);
+    RecordTransition(sim_.Now(), Placement::kNetwork);
+    sim_.Schedule(options_.reprogram_halt, [this] {
+      if (placement() != Placement::kNetwork) {
+        return;  // Shifted back while reprogramming.
+      }
+      nic_.SetReprogramming(false);
+      nic_.SetMemoryReset(false);
+      nic_.SetClockGating(false);
+      nic_.SetAppActive(true);  // Re-activation restores module states.
+    });
+    return;
+  }
+  // Order matters: wake memories and clocks, then divert traffic. The
+  // caches start cold (all misses go to the host) and warm up; query rate
+  // is maintained throughout (§9.2).
+  nic_.SetMemoryReset(false);
+  nic_.SetClockGating(false);
+  nic_.SetAppActive(true);
+  RecordTransition(sim_.Now(), Placement::kNetwork);
+}
+
+void ClassifierMigrator::ShiftToHost() {
+  if (placement() == Placement::kHost) {
+    return;
+  }
+  nic_.SetReprogramming(false);
+  nic_.SetAppActive(false);
+  ApplyParkedState();
+  RecordTransition(sim_.Now(), Placement::kHost);
+}
+
+PaxosLeaderMigrator::PaxosLeaderMigrator(Simulation& sim, L2Switch& sw,
+                                         NodeId leader_service,
+                                         SoftwareLeader& software_leader,
+                                         int software_port, FpgaNic& hardware_nic,
+                                         P4xosFpgaApp& hardware_leader, int hardware_port,
+                                         Options options)
+    : sim_(sim),
+      switch_(sw),
+      leader_service_(leader_service),
+      software_leader_(software_leader),
+      software_port_(software_port),
+      hardware_nic_(hardware_nic),
+      hardware_leader_(hardware_leader),
+      hardware_port_(hardware_port),
+      options_(options),
+      ballot_(software_leader.state().ballot()) {
+  // Initial placement: software leader serves the service address.
+  RepointService(software_port_);
+  software_leader_.SetActive(true);
+  hardware_nic_.SetAppActive(false);
+}
+
+void PaxosLeaderMigrator::RepointService(int port) {
+  L2Switch::ForwardingRule rule;
+  rule.proto = AppProto::kPaxos;
+  rule.match_dst = leader_service_;
+  rule.out_port = port;
+  rule.priority = 10;
+  switch_.InstallRule(rule);
+}
+
+void PaxosLeaderMigrator::ShiftToNetwork() {
+  if (placement() == Placement::kNetwork) {
+    return;
+  }
+  ++ballot_;
+  // The new leader "starts with an initial sequence number of 1 and must
+  // learn the next sequence number that it can use" (§9.2).
+  hardware_leader_.leader()->Reset(ballot_);
+  hardware_nic_.SetAppActive(true);
+  software_leader_.SetActive(false);
+  RepointService(hardware_port_);
+  // §9.2: the incoming leader learns the latest instance from the acceptors
+  // before proposing (client requests are buffered meanwhile).
+  hardware_leader_.BeginSequenceLearning(options_.active_probe);
+  RecordTransition(sim_.Now(), Placement::kNetwork);
+  ArmLearningTimeout(Placement::kNetwork);
+}
+
+void PaxosLeaderMigrator::ArmLearningTimeout(Placement for_placement) {
+  // Passive learning (the paper's mode) must not deadlock: after the
+  // timeout, release buffered proposals; acceptor hints and client retries
+  // then teach the sequence (§9.2, Fig 7's ~100 ms gap).
+  sim_.Schedule(options_.learning_timeout, [this, for_placement] {
+    if (placement() != for_placement) {
+      return;  // Another shift happened meanwhile.
+    }
+    if (for_placement == Placement::kNetwork) {
+      if (hardware_leader_.leader()->awaiting_sequence()) {
+        hardware_leader_.TransmitOutbox(
+            hardware_leader_.leader()->AbandonSequenceLearning());
+      }
+    } else if (software_leader_.state().awaiting_sequence()) {
+      software_leader_.TransmitOutbox(
+          software_leader_.state().AbandonSequenceLearning());
+    }
+  });
+}
+
+void PaxosLeaderMigrator::ShiftToHost() {
+  if (placement() == Placement::kHost) {
+    return;
+  }
+  ++ballot_;
+  software_leader_.state().Reset(ballot_);
+  software_leader_.SetActive(true);
+  hardware_nic_.SetAppActive(false);
+  RepointService(software_port_);
+  software_leader_.BeginSequenceLearning(options_.active_probe);
+  RecordTransition(sim_.Now(), Placement::kHost);
+  ArmLearningTimeout(Placement::kHost);
+}
+
+}  // namespace incod

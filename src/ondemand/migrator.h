@@ -1,0 +1,155 @@
+// Application migrators: the "application-specific task ... in charge of the
+// actual transition" (§9).
+//
+// A Migrator knows how to move one application between host software and
+// network hardware. Controllers (network- or host-controlled) decide *when*;
+// migrators implement *how*. KVS and DNS shifts are classifier flips plus
+// power-state housekeeping; the Paxos shift is a leader election through the
+// central controller's switch-rule rewrite (§9.2).
+#ifndef INCOD_SRC_ONDEMAND_MIGRATOR_H_
+#define INCOD_SRC_ONDEMAND_MIGRATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/device/fpga_nic.h"
+#include "src/net/switch.h"
+#include "src/paxos/p4xos.h"
+#include "src/paxos/software_roles.h"
+#include "src/sim/simulation.h"
+
+namespace incod {
+
+enum class Placement { kHost, kNetwork };
+
+const char* PlacementName(Placement placement);
+
+struct TransitionEvent {
+  SimTime at = 0;
+  Placement to = Placement::kHost;
+};
+
+// Where an application currently runs, and how to move it.
+class Migrator {
+ public:
+  virtual ~Migrator() = default;
+
+  virtual void ShiftToNetwork() = 0;
+  virtual void ShiftToHost() = 0;
+  virtual std::string MigratorName() const = 0;
+
+  Placement placement() const { return placement_; }
+  const std::vector<TransitionEvent>& transitions() const { return transitions_; }
+
+ protected:
+  void RecordTransition(SimTime at, Placement to) {
+    placement_ = to;
+    transitions_.push_back(TransitionEvent{at, to});
+  }
+
+ private:
+  Placement placement_ = Placement::kHost;
+  std::vector<TransitionEvent> transitions_;
+};
+
+// §9.2 discusses three ways to park the inactive hardware app:
+//   kGatedPark  — "keeps LaKe programmed but inactive": clock-gated logic,
+//                 memories in reset. The paper's choice ("the best of both
+//                 performance and power efficiency worlds"). Caches re-warm
+//                 after each shift.
+//   kKeepWarm   — keep the app's memories live while the host serves:
+//                 instant warm shifts, "reduced power saving".
+//   kReprogram  — load the bitstream only when needed (partial
+//                 reconfiguration): deepest idle power (app modules power
+//                 gated) but "a momentary traffic halt" on every shift.
+enum class ParkPolicy { kGatedPark, kKeepWarm, kReprogram };
+
+const char* ParkPolicyName(ParkPolicy policy);
+
+// KVS / DNS migrator: flips the device classifier, applying the configured
+// park policy while the host serves. Configurable to reproduce the Fig 6
+// experiment (which ran with gating disabled -> kKeepWarm).
+class ClassifierMigrator : public Migrator {
+ public:
+  struct Options {
+    bool clock_gate_when_idle = true;
+    bool reset_memories_when_idle = true;
+    // Reconfiguration halt; only used by FromPolicy(kReprogram).
+    SimDuration reprogram_halt = 0;
+    ParkPolicy policy = ParkPolicy::kGatedPark;
+
+    static Options FromPolicy(ParkPolicy policy,
+                              SimDuration reprogram_halt = Milliseconds(40));
+  };
+
+  ClassifierMigrator(Simulation& sim, FpgaNic& nic, Options options);
+  ClassifierMigrator(Simulation& sim, FpgaNic& nic)
+      : ClassifierMigrator(sim, nic, Options{}) {}
+
+  void ShiftToNetwork() override;
+  void ShiftToHost() override;
+  std::string MigratorName() const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void ApplyParkedState();
+
+  Simulation& sim_;
+  FpgaNic& nic_;
+  Options options_;
+};
+
+// Paxos leader migrator (§9.2): "we use a centralized controller to initiate
+// the shift ... the controller modifies switch forwarding rules to send
+// messages to the new leader". The incoming leader starts from sequence
+// number 1 with a higher ballot and re-learns the next usable instance from
+// acceptor hints and client retries.
+class PaxosLeaderMigrator : public Migrator {
+ public:
+  struct Options {
+    // false (the paper's behaviour): the incoming leader waits passively
+    // for sequence hints; proposals are released after `learning_timeout`,
+    // and client retries drive recovery — producing Fig 7's ~100 ms gap.
+    // true: an active phase-1 probe learns the sequence in one round trip.
+    bool active_probe = false;
+    SimDuration learning_timeout = Milliseconds(100);
+  };
+
+  PaxosLeaderMigrator(Simulation& sim, L2Switch& sw, NodeId leader_service,
+                      SoftwareLeader& software_leader, int software_port,
+                      FpgaNic& hardware_nic, P4xosFpgaApp& hardware_leader,
+                      int hardware_port, Options options);
+  PaxosLeaderMigrator(Simulation& sim, L2Switch& sw, NodeId leader_service,
+                      SoftwareLeader& software_leader, int software_port,
+                      FpgaNic& hardware_nic, P4xosFpgaApp& hardware_leader,
+                      int hardware_port)
+      : PaxosLeaderMigrator(sim, sw, leader_service, software_leader, software_port,
+                            hardware_nic, hardware_leader, hardware_port, Options{}) {}
+
+  void ShiftToNetwork() override;
+  void ShiftToHost() override;
+  std::string MigratorName() const override { return "paxos-leader"; }
+
+  uint16_t current_ballot() const { return ballot_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void RepointService(int port);
+  void ArmLearningTimeout(Placement for_placement);
+
+  Simulation& sim_;
+  L2Switch& switch_;
+  NodeId leader_service_;
+  SoftwareLeader& software_leader_;
+  int software_port_;
+  FpgaNic& hardware_nic_;
+  P4xosFpgaApp& hardware_leader_;
+  int hardware_port_;
+  Options options_;
+  uint16_t ballot_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_ONDEMAND_MIGRATOR_H_

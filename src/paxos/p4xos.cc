@@ -1,0 +1,111 @@
+#include "src/paxos/p4xos.h"
+
+#include <utility>
+
+#include "src/device/fpga_nic.h"
+
+namespace incod {
+
+const char* P4xosRoleName(P4xosRole role) {
+  return role == P4xosRole::kLeader ? "leader" : "acceptor";
+}
+
+P4xosFpgaApp::P4xosFpgaApp(P4xosRole role, PaxosGroupConfig group, uint32_t role_id,
+                           NodeId role_address, P4xosFpgaConfig config)
+    : role_(role), role_address_(role_address), config_(config) {
+  if (role_ == P4xosRole::kLeader) {
+    leader_ = std::make_unique<LeaderState>(std::move(group),
+                                            static_cast<uint16_t>(role_id));
+  } else {
+    acceptor_ = std::make_unique<AcceptorState>(std::move(group), role_id);
+  }
+}
+
+std::string P4xosFpgaApp::AppName() const {
+  return std::string("p4xos-fpga-") + P4xosRoleName(role_);
+}
+
+std::vector<ModulePowerSpec> P4xosFpgaApp::PowerModules() const {
+  // A single main logical core compiled from P4, on-chip memory only
+  // (Figure 2). No DRAM/SRAM interfaces: base power ~10 W below LaKe.
+  return {MakeModuleSpec("p4xos_core", config_.core_watts, kLogicStaticFraction, 1.0)};
+}
+
+FpgaPipelineSpec P4xosFpgaApp::PipelineSpec() const {
+  FpgaPipelineSpec spec;
+  spec.workers = 1;
+  spec.worker_service = config_.initiation_interval;
+  spec.pipeline_latency = config_.pipeline_latency;
+  spec.input_queue_capacity = 1024;
+  return spec;
+}
+
+bool P4xosFpgaApp::Matches(const Packet& packet) const {
+  return packet.proto == AppProto::kPaxos && packet.dst == role_address_;
+}
+
+void P4xosFpgaApp::Process(Packet packet) {
+  if (!PayloadIs<PaxosMessage>(packet)) {
+    nic()->DeliverToHost(std::move(packet));
+    return;
+  }
+  handled_.Increment();
+  const auto& msg = PayloadAs<PaxosMessage>(packet);
+  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(msg)
+                                            : acceptor_->HandleMessage(msg);
+  const NodeId src =
+      nic()->config().device_node != 0 ? nic()->config().device_node : role_address_;
+  for (auto& out : outbox) {
+    nic()->TransmitToNetwork(MakePaxosPacket(src, out.dst, out.msg, nic()->sim().Now()));
+  }
+}
+
+void P4xosFpgaApp::BeginSequenceLearning(bool active_probe) {
+  if (leader_ == nullptr) {
+    return;
+  }
+  TransmitOutbox(leader_->StartSequenceLearning(active_probe));
+}
+
+void P4xosFpgaApp::TransmitOutbox(std::vector<PaxosOut> outbox) {
+  const NodeId src =
+      nic()->config().device_node != 0 ? nic()->config().device_node : role_address_;
+  for (auto& out : outbox) {
+    nic()->TransmitToNetwork(MakePaxosPacket(src, out.dst, out.msg, nic()->sim().Now()));
+  }
+}
+
+P4xosSwitchProgram::P4xosSwitchProgram(P4xosRole role, PaxosGroupConfig group,
+                                       uint32_t role_id, NodeId role_address)
+    : role_(role), role_address_(role_address) {
+  if (role_ == P4xosRole::kLeader) {
+    leader_ = std::make_unique<LeaderState>(std::move(group),
+                                            static_cast<uint16_t>(role_id));
+  } else {
+    acceptor_ = std::make_unique<AcceptorState>(std::move(group), role_id);
+  }
+}
+
+std::string P4xosSwitchProgram::ProgramName() const {
+  return std::string("p4xos-") + P4xosRoleName(role_);
+}
+
+bool P4xosSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
+  if (packet.proto != AppProto::kPaxos || packet.dst != role_address_) {
+    return false;
+  }
+  if (!PayloadIs<PaxosMessage>(packet)) {
+    return false;
+  }
+  handled_.Increment();
+  const auto& msg = PayloadAs<PaxosMessage>(packet);
+  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(msg)
+                                            : acceptor_->HandleMessage(msg);
+  for (auto& out : outbox) {
+    sw.TransmitFromPipeline(
+        MakePaxosPacket(role_address_, out.dst, out.msg, sw.sim().Now()));
+  }
+  return true;
+}
+
+}  // namespace incod

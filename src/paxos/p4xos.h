@@ -1,0 +1,101 @@
+// P4xos: hardware deployments of the Paxos leader and acceptor roles.
+//
+// "P4xos provides P4 implementations of the leader and acceptors" (§3.2).
+// The same role state machines run (a) as a FpgaApp on the NetFPGA model —
+// 10 Mmsg/s, on-chip memory only, ~10 W lower base power than LaKe — and
+// (b) as a SwitchProgram on the Tofino model, processing consensus at line
+// rate combined with L2 forwarding (§6).
+#ifndef INCOD_SRC_PAXOS_P4XOS_H_
+#define INCOD_SRC_PAXOS_P4XOS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/device/fpga_app.h"
+#include "src/device/switch_asic.h"
+#include "src/paxos/roles.h"
+#include "src/stats/counters.h"
+
+namespace incod {
+
+enum class P4xosRole { kLeader, kAcceptor };
+
+const char* P4xosRoleName(P4xosRole role);
+
+struct P4xosFpgaConfig {
+  // Fully pipelined: 10 Mmsg/s on NetFPGA SUME (§3.2).
+  SimDuration initiation_interval = Nanoseconds(100);
+  SimDuration pipeline_latency = Nanoseconds(1300);
+  // Main logical core power: P4xos base is ~10 W below LaKe (§4.3), i.e.
+  // logic only, no external memories.
+  double core_watts = 1.6;
+  double dynamic_watts = 1.2;  // +1.2 W max under load (§4.3).
+};
+
+class P4xosFpgaApp : public FpgaApp {
+ public:
+  // `role_address`: the address this role answers on. For a leader this is
+  // usually the group's leader_service (the switch routes it here); for an
+  // acceptor, the device's own address. `role_id` is the leader's ballot or
+  // the acceptor's id, depending on `role`.
+  P4xosFpgaApp(P4xosRole role, PaxosGroupConfig group, uint32_t role_id,
+               NodeId role_address, P4xosFpgaConfig config = {});
+
+  AppProto proto() const override { return AppProto::kPaxos; }
+  std::string AppName() const override;
+
+  std::vector<ModulePowerSpec> PowerModules() const override;
+  double DynamicWattsAtCapacity() const override { return config_.dynamic_watts; }
+  FpgaPipelineSpec PipelineSpec() const override;
+
+  bool Matches(const Packet& packet) const override;
+  void Process(Packet packet) override;
+
+  // Leader role only: starts §9.2 sequence learning (probing the acceptors
+  // when `active_probe`). Call after activation and service re-pointing.
+  void BeginSequenceLearning(bool active_probe);
+  // Transmits role-state output through the device's network port.
+  void TransmitOutbox(std::vector<PaxosOut> outbox);
+
+  P4xosRole role() const { return role_; }
+  LeaderState* leader() { return leader_.get(); }
+  AcceptorState* acceptor() { return acceptor_.get(); }
+  uint64_t messages_handled() const { return handled_.value(); }
+
+ private:
+  P4xosRole role_;
+  NodeId role_address_;
+  P4xosFpgaConfig config_;
+  std::unique_ptr<LeaderState> leader_;
+  std::unique_ptr<AcceptorState> acceptor_;
+  Counter handled_;
+};
+
+// Paxos in the switch pipeline, combined with L2 forwarding (§6). Consumes
+// Paxos packets addressed to `role_address`; everything else forwards.
+class P4xosSwitchProgram : public SwitchProgram {
+ public:
+  // `role_id`: the leader's ballot or the acceptor's id, by `role`.
+  P4xosSwitchProgram(P4xosRole role, PaxosGroupConfig group, uint32_t role_id,
+                     NodeId role_address);
+
+  std::string ProgramName() const override;
+  // §6: running P4xos adds no more than 2 % to overall power at full load.
+  double PowerOverheadAtFullLoad() const override { return 0.02; }
+  bool Process(SwitchAsic& sw, Packet& packet) override;
+
+  LeaderState* leader() { return leader_.get(); }
+  AcceptorState* acceptor() { return acceptor_.get(); }
+  uint64_t messages_handled() const { return handled_.value(); }
+
+ private:
+  P4xosRole role_;
+  NodeId role_address_;
+  std::unique_ptr<LeaderState> leader_;
+  std::unique_ptr<AcceptorState> acceptor_;
+  Counter handled_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_PAXOS_P4XOS_H_

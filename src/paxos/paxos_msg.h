@@ -1,0 +1,77 @@
+// Paxos protocol messages and group configuration (§3.2, §9.2).
+//
+// We implement the message vocabulary of Lamport's single-decree Paxos run
+// over a sequence of instances (Multi-Paxos), matching P4xos: client
+// requests reach a leader (coordinator) which assigns monotonically
+// increasing instance numbers and runs phase 2 against the acceptors;
+// learners deliver on a quorum of matching phase-2b votes.
+//
+// Two extensions from §9.2 support on-demand leader migration:
+//  - acceptors piggyback their last-voted-upon instance on every response,
+//    so a fresh leader can learn the next usable sequence number, and
+//  - learners detect instance gaps and ask the leader to re-initiate them
+//    (delivering a no-op when no value was previously voted).
+#ifndef INCOD_SRC_PAXOS_PAXOS_MSG_H_
+#define INCOD_SRC_PAXOS_PAXOS_MSG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace incod {
+
+enum class PaxosMsgType : uint8_t {
+  kClientRequest,   // client -> leader service
+  kPhase1a,         // leader -> acceptors (prepare; gap recovery)
+  kPhase1b,         // acceptor -> leader (promise / NACK with hints)
+  kPhase2a,         // leader -> acceptors (accept)
+  kPhase2b,         // acceptor -> learners (accepted)
+  kFillRequest,     // learner -> leader service (gap re-initiation, §9.2)
+  kClientResponse,  // learner -> client
+};
+
+const char* PaxosMsgTypeName(PaxosMsgType type);
+
+// A consensus value: the client request id. 0 is reserved for no-op.
+using PaxosValue = uint64_t;
+constexpr PaxosValue kPaxosNoop = 0;
+
+struct PaxosMessage {
+  PaxosMsgType type = PaxosMsgType::kClientRequest;
+  uint32_t instance = 0;  // 1-based; 0 means "none".
+  uint16_t round = 0;     // Ballot of the sender (leader) or promised round.
+  uint16_t vround = 0;    // Phase1b: round of the reported accepted value.
+  PaxosValue value = kPaxosNoop;
+  NodeId client = 0;      // Originator of the value (reply target).
+  uint32_t sender_id = 0;               // Role id (acceptor id) of the sender.
+  uint32_t last_voted_instance = 0;     // §9.2 piggyback; 0 = never voted.
+};
+
+// The consensus group layout. The leader is addressed through a stable
+// *service* address; the on-demand controller re-points that address at the
+// software or hardware leader by rewriting a switch forwarding rule.
+struct PaxosGroupConfig {
+  std::vector<NodeId> acceptors;
+  std::vector<NodeId> learners;
+  NodeId leader_service = 0;
+
+  size_t QuorumSize() const { return acceptors.size() / 2 + 1; }
+};
+
+// A message queued for transmission by a role state machine.
+struct PaxosOut {
+  NodeId dst = 0;
+  PaxosMessage msg;
+};
+
+// Paxos-over-UDP wire size used throughout (§3.4: all UDP based).
+constexpr uint32_t kPaxosWireBytes = 102;
+
+Packet MakePaxosPacket(NodeId src, NodeId dst, const PaxosMessage& msg, SimTime now);
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_PAXOS_PAXOS_MSG_H_

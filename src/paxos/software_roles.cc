@@ -1,0 +1,87 @@
+#include "src/paxos/software_roles.h"
+
+#include <utility>
+
+#include "src/host/server.h"
+
+namespace incod {
+
+PaxosSoftwareConfig LibpaxosConfig() {
+  return PaxosSoftwareConfig{Nanoseconds(4100), 1};
+}
+
+PaxosSoftwareConfig DpdkPaxosConfig() {
+  return PaxosSoftwareConfig{Nanoseconds(900), 1};
+}
+
+PaxosSoftwareApp::PaxosSoftwareApp(PaxosSoftwareConfig config) : config_(config) {}
+
+SimDuration PaxosSoftwareApp::CpuTimePerRequest(const Packet& packet) const {
+  (void)packet;
+  return config_.cpu_time_per_message;
+}
+
+void PaxosSoftwareApp::Execute(Packet packet) {
+  if (!active_ || !PayloadIs<PaxosMessage>(packet)) {
+    return;
+  }
+  handled_.Increment();
+  const auto& msg = PayloadAs<PaxosMessage>(packet);
+  for (auto& out : Handle(msg)) {
+    server()->Transmit(
+        MakePaxosPacket(server()->node(), out.dst, out.msg, server()->sim().Now()));
+  }
+}
+
+SoftwareLeader::SoftwareLeader(PaxosGroupConfig group, uint16_t ballot,
+                               PaxosSoftwareConfig config)
+    : PaxosSoftwareApp(config),
+      leader_service_(group.leader_service),
+      state_(std::move(group), ballot) {}
+
+std::vector<PaxosOut> SoftwareLeader::Handle(const PaxosMessage& msg) {
+  return state_.HandleMessage(msg);
+}
+
+void SoftwareLeader::BeginSequenceLearning(bool active_probe) {
+  TransmitOutbox(state_.StartSequenceLearning(active_probe));
+}
+
+void SoftwareLeader::TransmitOutbox(std::vector<PaxosOut> outbox) {
+  for (auto& out : outbox) {
+    server()->Transmit(
+        MakePaxosPacket(server()->node(), out.dst, out.msg, server()->sim().Now()));
+  }
+}
+
+SoftwareAcceptor::SoftwareAcceptor(PaxosGroupConfig group, uint32_t acceptor_id,
+                                   PaxosSoftwareConfig config)
+    : PaxosSoftwareApp(config), state_(std::move(group), acceptor_id) {}
+
+std::vector<PaxosOut> SoftwareAcceptor::Handle(const PaxosMessage& msg) {
+  return state_.HandleMessage(msg);
+}
+
+SoftwareLearner::SoftwareLearner(PaxosGroupConfig group, PaxosSoftwareConfig config,
+                                 SimDuration gap_timeout)
+    : PaxosSoftwareApp(config), state_(std::move(group)), gap_timeout_(gap_timeout) {}
+
+std::vector<PaxosOut> SoftwareLearner::Handle(const PaxosMessage& msg) {
+  return state_.HandleMessage(msg, server()->sim().Now());
+}
+
+void SoftwareLearner::StartGapTimer() {
+  if (timer_started_ || server() == nullptr) {
+    return;
+  }
+  timer_started_ = true;
+  SchedulePeriodic(server()->sim(), gap_timeout_, gap_timeout_, [this] {
+    for (auto& out : state_.CheckGaps(server()->sim().Now(), gap_timeout_)) {
+      server()->Transmit(
+          MakePaxosPacket(server()->node(), out.dst, out.msg, server()->sim().Now()));
+    }
+    return true;
+  });
+}
+
+}  // namespace incod

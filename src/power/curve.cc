@@ -1,0 +1,86 @@
+#include "src/power/curve.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace incod {
+
+PiecewiseLinearCurve::PiecewiseLinearCurve(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("PiecewiseLinearCurve: need >= 2 points");
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].first <= points_[i - 1].first) {
+      throw std::invalid_argument("PiecewiseLinearCurve: x not strictly increasing");
+    }
+  }
+}
+
+double PiecewiseLinearCurve::Evaluate(double x) const {
+  if (x <= points_.front().first) {
+    return points_.front().second;
+  }
+  if (x >= points_.back().first) {
+    return points_.back().second;
+  }
+  // Binary search for the segment containing x.
+  size_t lo = 0;
+  size_t hi = points_.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (points_[mid].first <= x) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& [x0, y0] = points_[lo];
+  const auto& [x1, y1] = points_[hi];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double PiecewiseLinearCurve::InverseLower(double y) const {
+  if (y <= points_.front().second) {
+    return points_.front().first;
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].second >= y) {
+      const auto& [x0, y0] = points_[i - 1];
+      const auto& [x1, y1] = points_[i];
+      if (y1 == y0) {
+        return x0;
+      }
+      return x0 + (y - y0) / (y1 - y0) * (x1 - x0);
+    }
+  }
+  return points_.back().first;
+}
+
+double PiecewiseLinearCurve::MinY() const {
+  double m = points_.front().second;
+  for (const auto& [x, y] : points_) {
+    m = std::min(m, y);
+  }
+  return m;
+}
+
+double PiecewiseLinearCurve::MaxY() const {
+  double m = points_.front().second;
+  for (const auto& [x, y] : points_) {
+    m = std::max(m, y);
+  }
+  return m;
+}
+
+bool PiecewiseLinearCurve::IsNonDecreasing() const {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].second < points_[i - 1].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace incod

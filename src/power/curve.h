@@ -1,0 +1,41 @@
+// Piecewise-linear calibration curves.
+//
+// Server power-vs-utilization relations in the paper are reported as a small
+// set of measured anchor points (idle watts, watts at the crossover load,
+// watts at peak). We interpolate linearly between anchors and clamp outside
+// the calibrated domain.
+#ifndef INCOD_SRC_POWER_CURVE_H_
+#define INCOD_SRC_POWER_CURVE_H_
+
+#include <utility>
+#include <vector>
+
+namespace incod {
+
+class PiecewiseLinearCurve {
+ public:
+  // Points must be strictly increasing in x.
+  explicit PiecewiseLinearCurve(std::vector<std::pair<double, double>> points);
+
+  double Evaluate(double x) const;
+  double operator()(double x) const { return Evaluate(x); }
+
+  // Inverse lookup: smallest x with Evaluate(x) >= y, or max-x if the curve
+  // never reaches y. Requires the curve to be non-decreasing.
+  double InverseLower(double y) const;
+
+  double MinX() const { return points_.front().first; }
+  double MaxX() const { return points_.back().first; }
+  double MinY() const;
+  double MaxY() const;
+  bool IsNonDecreasing() const;
+
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_POWER_CURVE_H_

@@ -1,0 +1,59 @@
+#include "src/power/energy_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace incod {
+
+double EnergyJoules(const EnergyProfile& profile, double packets, double rate,
+                    double idle_seconds) {
+  if (rate <= 0 && packets > 0) {
+    throw std::invalid_argument("EnergyJoules: rate must be > 0 when packets > 0");
+  }
+  double e = 0;
+  if (packets > 0) {
+    const double td = packets / rate;
+    const double pd = profile.idle_watts + profile.dynamic_watts(rate);
+    e += pd * td;
+  }
+  e += profile.sleep_watts * profile.sleep_seconds;
+  e += profile.idle_watts * idle_seconds;
+  return e;
+}
+
+std::optional<double> TippingPointRate(const std::function<double(double)>& software_watts,
+                                       const std::function<double(double)>& network_watts,
+                                       double lo, double hi, double tolerance) {
+  if (lo > hi) {
+    throw std::invalid_argument("TippingPointRate: lo > hi");
+  }
+  auto diff = [&](double r) { return software_watts(r) - network_watts(r); };
+  if (diff(lo) >= 0) {
+    return lo;  // Network already wins at (or below) the low end.
+  }
+  if (diff(hi) < 0) {
+    return std::nullopt;  // Network never wins on this range.
+  }
+  double a = lo;
+  double b = hi;
+  while (b - a > tolerance) {
+    const double mid = 0.5 * (a + b);
+    if (diff(mid) >= 0) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  return b;
+}
+
+std::optional<double> TippingPointRate(const EnergyProfile& software,
+                                       const EnergyProfile& network, double lo, double hi,
+                                       double tolerance) {
+  return TippingPointRate(
+      [&](double r) { return software.idle_watts + software.dynamic_watts(r); },
+      [&](double r) { return network.idle_watts + network.dynamic_watts(r); }, lo, hi,
+      tolerance);
+}
+
+}  // namespace incod

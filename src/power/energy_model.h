@@ -1,0 +1,49 @@
+// §8 energy model: "When to Use In-Network Computing".
+//
+// Implements the Niccolini et al. decomposition the paper builds on:
+//   E = Pd(f) * Td(W, f) + Ps * Ts + Pi * Ti                      (eq. 1)
+// plus the tipping-point analysis: offload when the software system's energy
+// exceeds the in-network system's, i.e. find R with Pd_N(R) = Pd_S(R).
+#ifndef INCOD_SRC_POWER_ENERGY_MODEL_H_
+#define INCOD_SRC_POWER_ENERGY_MODEL_H_
+
+#include <functional>
+#include <optional>
+
+namespace incod {
+
+// One deployment's power profile as a function of offered packet rate R
+// (packets/second). `dynamic_watts(R)` is power above idle attributable to
+// processing; `idle_watts` is Pi; `sleep_watts`/`sleep_seconds` model the
+// transition term Ps*Ts (zero for devices that never sleep).
+struct EnergyProfile {
+  std::function<double(double)> dynamic_watts;  // Pd(R) - Pi, as a function of rate.
+  double idle_watts = 0;                        // Pi
+  double sleep_watts = 0;                       // Ps
+  double sleep_seconds = 0;                     // Ts
+};
+
+// Energy (joules) to process `packets` at rate R plus `idle_seconds` of idle
+// time, per eq. 1. Td = packets / R.
+double EnergyJoules(const EnergyProfile& profile, double packets, double rate,
+                    double idle_seconds);
+
+// Finds the smallest rate R in [lo, hi] where the network deployment's total
+// power is <= the software deployment's, by bisection on the difference
+// (assumes the difference changes sign at most once, which holds for the
+// monotone curves in this study). Returns nullopt if the network deployment
+// never wins on [lo, hi].
+std::optional<double> TippingPointRate(const std::function<double(double)>& software_watts,
+                                       const std::function<double(double)>& network_watts,
+                                       double lo, double hi, double tolerance = 1.0);
+
+// §8's second question: for a programmable device already forwarding traffic
+// (Pi_N == Pi_S), only the dynamic parts matter. Convenience overload taking
+// EnergyProfiles and comparing Pd curves.
+std::optional<double> TippingPointRate(const EnergyProfile& software,
+                                       const EnergyProfile& network, double lo, double hi,
+                                       double tolerance = 1.0);
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_POWER_ENERGY_MODEL_H_

@@ -1,0 +1,119 @@
+#include "src/power/ledger.h"
+
+#include <stdexcept>
+
+namespace incod {
+
+const char* ModulePowerStateName(ModulePowerState state) {
+  switch (state) {
+    case ModulePowerState::kActive:
+      return "active";
+    case ModulePowerState::kIdle:
+      return "idle";
+    case ModulePowerState::kClockGated:
+      return "clock_gated";
+    case ModulePowerState::kReset:
+      return "reset";
+    case ModulePowerState::kPowerGated:
+      return "power_gated";
+  }
+  return "?";
+}
+
+ModulePowerSpec MakeModuleSpec(const std::string& name, double active_watts,
+                               double static_fraction, double reset_fraction) {
+  ModulePowerSpec spec;
+  spec.name = name;
+  spec.active_watts = active_watts;
+  spec.idle_watts = active_watts;
+  spec.clock_gated_watts = active_watts * static_fraction;
+  spec.reset_watts = active_watts * reset_fraction;
+  return spec;
+}
+
+PowerLedger::PowerLedger(std::string name) : name_(std::move(name)) {}
+
+size_t PowerLedger::AddModule(ModulePowerSpec spec, ModulePowerState initial) {
+  for (const auto& e : modules_) {
+    if (e.spec.name == spec.name) {
+      throw std::invalid_argument("PowerLedger: duplicate module " + spec.name);
+    }
+  }
+  modules_.push_back(Entry{std::move(spec), initial});
+  return modules_.size() - 1;
+}
+
+const PowerLedger::Entry& PowerLedger::Find(const std::string& module) const {
+  for (const auto& e : modules_) {
+    if (e.spec.name == module) {
+      return e;
+    }
+  }
+  throw std::out_of_range("PowerLedger: no module " + module);
+}
+
+PowerLedger::Entry& PowerLedger::Find(const std::string& module) {
+  return const_cast<Entry&>(static_cast<const PowerLedger*>(this)->Find(module));
+}
+
+bool PowerLedger::HasModule(const std::string& module) const {
+  for (const auto& e : modules_) {
+    if (e.spec.name == module) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PowerLedger::SetState(const std::string& module, ModulePowerState state) {
+  Find(module).state = state;
+}
+
+void PowerLedger::SetStateAll(ModulePowerState state) {
+  for (auto& e : modules_) {
+    e.state = state;
+  }
+}
+
+ModulePowerState PowerLedger::GetState(const std::string& module) const {
+  return Find(module).state;
+}
+
+double PowerLedger::WattsFor(const Entry& e) {
+  switch (e.state) {
+    case ModulePowerState::kActive:
+      return e.spec.active_watts;
+    case ModulePowerState::kIdle:
+      return e.spec.idle_watts;
+    case ModulePowerState::kClockGated:
+      return e.spec.clock_gated_watts;
+    case ModulePowerState::kReset:
+      return e.spec.reset_watts;
+    case ModulePowerState::kPowerGated:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double PowerLedger::ModuleWatts(const std::string& module) const {
+  return WattsFor(Find(module));
+}
+
+double PowerLedger::PowerWatts() const {
+  double sum = 0;
+  for (const auto& e : modules_) {
+    sum += WattsFor(e);
+  }
+  return sum;
+}
+
+std::vector<std::string> PowerLedger::ModuleNames() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& e : modules_) {
+    names.push_back(e.spec.name);
+  }
+  return names;
+}
+
+}  // namespace incod

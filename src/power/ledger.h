@@ -1,0 +1,79 @@
+// Per-module power ledger for hardware devices.
+//
+// §5.1 of the paper distinguishes three power-saving techniques available to
+// an operator of a fixed platform: clock gating, power gating, and
+// deactivating (resetting) modules. The ledger tracks each named module's
+// contribution under its current state so that device power is the sum of
+// its parts — exactly how Figure 4 decomposes LaKe's consumption.
+#ifndef INCOD_SRC_POWER_LEDGER_H_
+#define INCOD_SRC_POWER_LEDGER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/power/power_source.h"
+
+namespace incod {
+
+enum class ModulePowerState {
+  kActive,      // Processing at full activity.
+  kIdle,        // Clocked but not processing.
+  kClockGated,  // Clock disabled: saves dynamic power only.
+  kReset,       // Held in reset: e.g. 40% saving on memory interfaces (§5.1).
+  kPowerGated,  // Power removed (or module eliminated from the design): 0 W.
+};
+
+const char* ModulePowerStateName(ModulePowerState state);
+
+struct ModulePowerSpec {
+  std::string name;
+  double active_watts = 0;       // Draw when actively processing.
+  double idle_watts = 0;         // Draw when clocked but idle.
+  double clock_gated_watts = 0;  // Draw when clock gated (static power remains).
+  double reset_watts = 0;        // Draw when held in reset.
+};
+
+// Convenience builder: idle == active (typical for always-toggling
+// interfaces), clock gating keeps `static_fraction` of power, reset keeps
+// `reset_fraction`.
+ModulePowerSpec MakeModuleSpec(const std::string& name, double active_watts,
+                               double static_fraction, double reset_fraction);
+
+class PowerLedger : public PowerSource {
+ public:
+  explicit PowerLedger(std::string name);
+
+  // Registers a module; returns its index. Names must be unique.
+  size_t AddModule(ModulePowerSpec spec,
+                   ModulePowerState initial = ModulePowerState::kIdle);
+
+  void SetState(const std::string& module, ModulePowerState state);
+  void SetStateAll(ModulePowerState state);
+  ModulePowerState GetState(const std::string& module) const;
+
+  bool HasModule(const std::string& module) const;
+
+  double ModuleWatts(const std::string& module) const;
+  double PowerWatts() const override;
+  std::string PowerName() const override { return name_; }
+
+  size_t module_count() const { return modules_.size(); }
+  std::vector<std::string> ModuleNames() const;
+
+ private:
+  struct Entry {
+    ModulePowerSpec spec;
+    ModulePowerState state;
+  };
+
+  static double WattsFor(const Entry& e);
+  const Entry& Find(const std::string& module) const;
+  Entry& Find(const std::string& module);
+
+  std::string name_;
+  std::vector<Entry> modules_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_POWER_LEDGER_H_

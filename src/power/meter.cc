@@ -1,0 +1,84 @@
+#include "src/power/meter.h"
+
+namespace incod {
+
+WallPowerMeter::WallPowerMeter(Simulation& sim, SimDuration period)
+    : sim_(sim), period_(period) {}
+
+void WallPowerMeter::Attach(const PowerSource* source) { sources_.push_back(source); }
+
+double WallPowerMeter::InstantWatts() const {
+  double sum = 0;
+  for (const auto* s : sources_) {
+    sum += s->PowerWatts();
+  }
+  return sum;
+}
+
+void WallPowerMeter::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  stop_requested_ = false;
+  Sample();
+}
+
+void WallPowerMeter::Stop() { stop_requested_ = true; }
+
+void WallPowerMeter::Sample() {
+  if (stop_requested_) {
+    running_ = false;
+    return;
+  }
+  const double watts = InstantWatts();
+  const SimTime now = sim_.Now();
+  if (has_sample_) {
+    const double dt = ToSeconds(now - last_sample_at_);
+    energy_joules_ += 0.5 * (watts + last_watts_) * dt;
+  }
+  series_.Append(now, watts);
+  last_watts_ = watts;
+  last_sample_at_ = now;
+  has_sample_ = true;
+  sim_.Schedule(period_, [this] { Sample(); });
+}
+
+double WallPowerMeter::MeanWatts(SimTime from, SimTime to) const {
+  return series_.MeanValueBetween(from, to);
+}
+
+RaplCounter::RaplCounter(Simulation& sim, std::function<double()> package_watts,
+                         SimDuration update_period)
+    : sim_(sim), package_watts_(std::move(package_watts)), period_(update_period) {}
+
+void RaplCounter::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Tick();
+}
+
+void RaplCounter::Tick() {
+  const SimTime now = sim_.Now();
+  const double watts = package_watts_();
+  if (has_tick_) {
+    const double dt = ToSeconds(now - last_tick_);
+    energy_uj_ += static_cast<uint64_t>(0.5 * (watts + last_watts_) * dt * 1e6);
+  }
+  last_tick_ = now;
+  last_watts_ = watts;
+  has_tick_ = true;
+  sim_.Schedule(period_, [this] { Tick(); });
+}
+
+double RaplCounter::AverageWattsSince(uint64_t prior_energy_uj, SimDuration interval) const {
+  if (interval <= 0 || energy_uj_ < prior_energy_uj) {
+    return 0;
+  }
+  const double joules = static_cast<double>(energy_uj_ - prior_energy_uj) / 1e6;
+  return joules / ToSeconds(interval);
+}
+
+}  // namespace incod

@@ -1,0 +1,27 @@
+// Core power-model interfaces.
+//
+// Every powered component (server CPU, FPGA board, switch ASIC, PSU) exposes
+// its instantaneous draw through PowerSource; meters integrate over simulated
+// time. This mirrors the paper's methodology of measuring wall power with an
+// SHW-3A meter while sweeping offered load (§4.1).
+#ifndef INCOD_SRC_POWER_POWER_SOURCE_H_
+#define INCOD_SRC_POWER_POWER_SOURCE_H_
+
+#include <string>
+
+namespace incod {
+
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+
+  // Instantaneous power draw in watts at the current simulation state.
+  virtual double PowerWatts() const = 0;
+
+  // Human-readable name for reports.
+  virtual std::string PowerName() const = 0;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_POWER_POWER_SOURCE_H_

@@ -1,0 +1,35 @@
+#include "src/power/psu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace incod {
+
+PsuModel::PsuModel(double rated_watts)
+    : rated_watts_(rated_watts),
+      efficiency_(PiecewiseLinearCurve({
+          {0.00, 0.60},
+          {0.05, 0.75},
+          {0.10, 0.82},
+          {0.20, 0.87},
+          {0.50, 0.90},
+          {1.00, 0.87},
+      })) {
+  if (rated_watts <= 0) {
+    throw std::invalid_argument("PsuModel: rated_watts must be > 0");
+  }
+}
+
+double PsuModel::EfficiencyAt(double dc_watts) const {
+  const double frac = std::clamp(dc_watts / rated_watts_, 0.0, 1.0);
+  return efficiency_.Evaluate(frac);
+}
+
+double PsuModel::WallWatts(double dc_watts) const {
+  if (dc_watts <= 0) {
+    return 0.0;
+  }
+  return dc_watts / EfficiencyAt(dc_watts);
+}
+
+}  // namespace incod

@@ -1,0 +1,35 @@
+// Power-supply-unit efficiency model.
+//
+// The paper includes PSU overheads in its measurements ("including overheads,
+// e.g., power supply unit", §4). Standalone accelerator cards carry their own
+// PSU (§4.3: "the platforms require power supply, management and programming
+// interfaces"); servers amortize one PSU over everything inside the box.
+#ifndef INCOD_SRC_POWER_PSU_H_
+#define INCOD_SRC_POWER_PSU_H_
+
+#include "src/power/curve.h"
+
+namespace incod {
+
+class PsuModel {
+ public:
+  // rated_watts: nameplate capacity. Efficiency follows an 80-PLUS-like
+  // curve: poor at tiny fractional load, peaking near 50-100% load.
+  explicit PsuModel(double rated_watts);
+
+  // Wall (AC) power needed to deliver `dc_watts` to the load.
+  double WallWatts(double dc_watts) const;
+
+  // Efficiency at a given DC load.
+  double EfficiencyAt(double dc_watts) const;
+
+  double rated_watts() const { return rated_watts_; }
+
+ private:
+  double rated_watts_;
+  PiecewiseLinearCurve efficiency_;  // load fraction -> efficiency
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_POWER_PSU_H_

@@ -1,0 +1,71 @@
+// DNS experiment testbed (Fig 3c and the §9.2 DNS shift).
+//
+// Same topology family as the KVS testbed:
+//   kSoftwareOnly:  client --10GE-- conventional NIC --PCIe-- i7 server (NSD)
+//   kEmu:           client --10GE-- NetFPGA(Emu DNS) --PCIe-- i7 server
+//   kEmuStandalone: client --10GE-- NetFPGA(Emu DNS) (hostless)
+#ifndef INCOD_SRC_SCENARIOS_DNS_TESTBED_H_
+#define INCOD_SRC_SCENARIOS_DNS_TESTBED_H_
+
+#include <memory>
+
+#include "src/device/conventional_nic.h"
+#include "src/device/fpga_nic.h"
+#include "src/dns/emu_dns.h"
+#include "src/dns/nsd_server.h"
+#include "src/dns/zone.h"
+#include "src/host/server.h"
+#include "src/net/topology.h"
+#include "src/power/meter.h"
+#include "src/sim/simulation.h"
+#include "src/workload/client.h"
+
+namespace incod {
+
+enum class DnsMode { kSoftwareOnly, kEmu, kEmuStandalone };
+
+struct DnsTestbedOptions {
+  DnsMode mode = DnsMode::kEmu;
+  bool emu_initially_active = true;
+  size_t zone_size = 10000;
+  NsdConfig nsd;
+  EmuDnsConfig emu;
+  SimDuration meter_period = Milliseconds(1);
+};
+
+class DnsTestbed {
+ public:
+  DnsTestbed(Simulation& sim, DnsTestbedOptions options);
+
+  Server* server() { return server_.get(); }
+  FpgaNic* fpga() { return fpga_.get(); }
+  EmuDns* emu() { return emu_.get(); }
+  NsdServer* nsd() { return nsd_.get(); }
+  Zone& zone() { return zone_; }
+  WallPowerMeter& meter() { return *meter_; }
+  Simulation& sim() { return sim_; }
+
+  LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
+                        RequestFactory factory);
+  LoadClient* client() { return client_.get(); }
+
+  NodeId ServiceNode() const;
+
+ private:
+  Simulation& sim_;
+  DnsTestbedOptions options_;
+  Topology topology_;
+  Zone zone_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<NsdServer> nsd_;
+  std::unique_ptr<FpgaNic> fpga_;
+  std::unique_ptr<EmuDns> emu_;
+  std::unique_ptr<ConventionalNic> nic_;
+  std::unique_ptr<WallPowerMeter> meter_;
+  std::unique_ptr<LoadClient> client_;
+  PacketSink* ingress_ = nullptr;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SCENARIOS_DNS_TESTBED_H_

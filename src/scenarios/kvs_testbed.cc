@@ -1,0 +1,120 @@
+#include "src/scenarios/kvs_testbed.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/power/cpu_power.h"
+
+namespace incod {
+
+namespace {
+Link::Config TenGigLink() {
+  Link::Config config;
+  config.gigabits_per_second = 10.0;
+  config.propagation_delay = Nanoseconds(100);  // ToR-adjacent client.
+  return config;
+}
+
+Link::Config PcieLink() {
+  Link::Config config;
+  config.gigabits_per_second = 32.0;  // PCIe gen3 x4-ish effective.
+  // PCIe + DMA + driver + kernel wakeup: crossing into the host costs
+  // microseconds (§9.5, citing "Where has my time gone?" [88]) — this is
+  // what makes a hardware miss ~an order of magnitude above a cache hit.
+  config.propagation_delay = Nanoseconds(2500);
+  return config;
+}
+}  // namespace
+
+KvsTestbed::KvsTestbed(Simulation& sim, KvsTestbedOptions options)
+    : sim_(sim), options_(std::move(options)), topology_(sim) {
+  meter_ = std::make_unique<WallPowerMeter>(sim_, options_.meter_period);
+
+  const bool has_host = options_.mode != KvsMode::kLakeStandalone;
+  if (has_host) {
+    ServerConfig server_config;
+    server_config.name = "i7-server";
+    server_config.node = kTestbedServerNode;
+    server_config.num_cores = 4;
+    server_config.power_curve = I7MemcachedCurve();
+    server_ = std::make_unique<Server>(sim_, server_config);
+    memcached_ = std::make_unique<MemcachedServer>(options_.memcached);
+    server_->BindApp(memcached_.get());
+    meter_->Attach(server_.get());
+  }
+
+  switch (options_.mode) {
+    case KvsMode::kSoftwareOnly: {
+      ConventionalNicConfig nic_config = options_.intel_nic
+                                             ? IntelX520Config(kTestbedServerNode)
+                                             : MellanoxConnectX3Config(kTestbedServerNode);
+      nic_ = std::make_unique<ConventionalNic>(sim_, nic_config);
+      Link* host_link = topology_.Connect(nic_.get(), server_.get(), PcieLink(), "pcie");
+      nic_->SetHostLink(host_link);
+      server_->SetUplink(host_link);
+      ingress_ = nic_.get();
+      meter_->Attach(nic_.get());
+      break;
+    }
+    case KvsMode::kLake:
+    case KvsMode::kLakeStandalone: {
+      FpgaNicConfig fpga_config;
+      fpga_config.name = "netfpga-lake";
+      fpga_config.host_node = kTestbedServerNode;
+      fpga_config.device_node = kTestbedDeviceNode;
+      fpga_config.standalone = options_.mode == KvsMode::kLakeStandalone;
+      fpga_ = std::make_unique<FpgaNic>(sim_, fpga_config);
+      lake_ = std::make_unique<LakeCache>(options_.lake);
+      fpga_->InstallApp(lake_.get());
+      if (has_host) {
+        Link* host_link = topology_.Connect(fpga_.get(), server_.get(), PcieLink(), "pcie");
+        fpga_->SetHostLink(host_link);
+        server_->SetUplink(host_link);
+      }
+      fpga_->SetAppActive(options_.lake_initially_active);
+      ingress_ = fpga_.get();
+      meter_->Attach(fpga_.get());
+      break;
+    }
+  }
+  meter_->Start();
+}
+
+NodeId KvsTestbed::ServiceNode() const {
+  // Clients address the KVS service by the host node (the classifier
+  // intercepts in hardware modes); standalone LaKe answers on its own.
+  return options_.mode == KvsMode::kLakeStandalone ? kTestbedDeviceNode
+                                                   : kTestbedServerNode;
+}
+
+LoadClient& KvsTestbed::AddClient(LoadClientConfig config,
+                                  std::unique_ptr<ArrivalProcess> arrival,
+                                  RequestFactory factory) {
+  if (client_ != nullptr) {
+    throw std::logic_error("KvsTestbed: client already attached");
+  }
+  client_ = std::make_unique<LoadClient>(sim_, std::move(config), std::move(arrival),
+                                         std::move(factory));
+  Link* link = topology_.Connect(client_.get(), ingress_, TenGigLink(), "client-10ge");
+  client_->SetUplink(link);
+  if (fpga_ != nullptr) {
+    fpga_->SetNetworkLink(link);
+  }
+  if (nic_ != nullptr) {
+    nic_->SetNetworkLink(link);
+  }
+  return *client_;
+}
+
+void KvsTestbed::Prefill(uint64_t count, uint32_t value_bytes) {
+  if (memcached_ != nullptr) {
+    for (uint64_t k = 0; k < count; ++k) {
+      memcached_->store().Set(k, value_bytes);
+    }
+  }
+  if (lake_ != nullptr) {
+    lake_->WarmFill(0, count, value_bytes);
+  }
+}
+
+}  // namespace incod

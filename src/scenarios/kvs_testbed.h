@@ -1,0 +1,83 @@
+// KVS experiment testbed (Fig 3a, Fig 4, Fig 6 topologies).
+//
+// Wires up the paper's §4.1 setup in one of three modes:
+//   kSoftwareOnly:   client --10GE-- conventional NIC --PCIe-- i7 server
+//   kLake:           client --10GE-- NetFPGA(LaKe)    --PCIe-- i7 server
+//   kLakeStandalone: client --10GE-- NetFPGA(LaKe) (hostless, own PSU)
+// and attaches a wall power meter to exactly the components the paper's
+// SHW-3A saw for that configuration.
+#ifndef INCOD_SRC_SCENARIOS_KVS_TESTBED_H_
+#define INCOD_SRC_SCENARIOS_KVS_TESTBED_H_
+
+#include <memory>
+
+#include "src/device/conventional_nic.h"
+#include "src/device/fpga_nic.h"
+#include "src/host/server.h"
+#include "src/kvs/lake.h"
+#include "src/kvs/memcached_server.h"
+#include "src/net/topology.h"
+#include "src/power/meter.h"
+#include "src/sim/simulation.h"
+#include "src/workload/client.h"
+
+namespace incod {
+
+// Testbed node addresses.
+constexpr NodeId kTestbedClientNode = 100;
+constexpr NodeId kTestbedServerNode = 1;
+constexpr NodeId kTestbedDeviceNode = 50;
+
+enum class KvsMode { kSoftwareOnly, kLake, kLakeStandalone };
+
+struct KvsTestbedOptions {
+  KvsMode mode = KvsMode::kLake;
+  bool lake_initially_active = true;
+  LakeConfig lake;
+  MemcachedConfig memcached;
+  bool intel_nic = false;  // kSoftwareOnly: Intel X520 instead of Mellanox.
+  SimDuration meter_period = Milliseconds(1);
+};
+
+class KvsTestbed {
+ public:
+  KvsTestbed(Simulation& sim, KvsTestbedOptions options);
+
+  // Null when the mode lacks the component.
+  Server* server() { return server_.get(); }
+  FpgaNic* fpga() { return fpga_.get(); }
+  LakeCache* lake() { return lake_.get(); }
+  ConventionalNic* nic() { return nic_.get(); }
+  MemcachedServer* memcached() { return memcached_.get(); }
+  WallPowerMeter& meter() { return *meter_; }
+  Simulation& sim() { return sim_; }
+
+  // Creates the (single) load client wired to the testbed ingress.
+  LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
+                        RequestFactory factory);
+  LoadClient* client() { return client_.get(); }
+
+  // Address clients should target.
+  NodeId ServiceNode() const;
+
+  // Fills the software store (and, when present, LaKe's caches) with keys
+  // [0, count) so GETs hit.
+  void Prefill(uint64_t count, uint32_t value_bytes);
+
+ private:
+  Simulation& sim_;
+  KvsTestbedOptions options_;
+  Topology topology_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<MemcachedServer> memcached_;
+  std::unique_ptr<FpgaNic> fpga_;
+  std::unique_ptr<LakeCache> lake_;
+  std::unique_ptr<ConventionalNic> nic_;
+  std::unique_ptr<WallPowerMeter> meter_;
+  std::unique_ptr<LoadClient> client_;
+  PacketSink* ingress_ = nullptr;  // What the client link attaches to.
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SCENARIOS_KVS_TESTBED_H_

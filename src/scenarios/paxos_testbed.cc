@@ -1,0 +1,343 @@
+#include "src/scenarios/paxos_testbed.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/power/cpu_power.h"
+
+namespace incod {
+
+namespace {
+Link::Config TenGigLink() {
+  Link::Config config;
+  config.gigabits_per_second = 10.0;
+  config.propagation_delay = Nanoseconds(500);
+  return config;
+}
+
+Link::Config PcieLink() {
+  Link::Config config;
+  config.gigabits_per_second = 32.0;
+  config.propagation_delay = Nanoseconds(900);
+  return config;
+}
+}  // namespace
+
+const char* PaxosDeploymentName(PaxosDeployment deployment) {
+  switch (deployment) {
+    case PaxosDeployment::kLibpaxos:
+      return "libpaxos";
+    case PaxosDeployment::kDpdk:
+      return "dpdk";
+    case PaxosDeployment::kP4xosFpga:
+      return "p4xos-fpga";
+    case PaxosDeployment::kP4xosStandalone:
+      return "p4xos-standalone";
+  }
+  return "?";
+}
+
+PaxosTestbed::PaxosTestbed(Simulation& sim, PaxosTestbedOptions options)
+    : sim_(sim), options_(std::move(options)), topology_(sim) {
+  if (options_.num_acceptors < 1) {
+    throw std::invalid_argument("PaxosTestbed: need >= 1 acceptor");
+  }
+  if (options_.dual_leader && options_.sut != PaxosSut::kLeader) {
+    throw std::invalid_argument("PaxosTestbed: dual_leader requires leader SUT");
+  }
+  for (int i = 0; i < options_.num_acceptors; ++i) {
+    group_.acceptors.push_back(kPaxosAcceptorBaseNode + static_cast<NodeId>(i));
+  }
+  group_.learners.push_back(kPaxosLearnerNode);
+  group_.leader_service = kPaxosLeaderService;
+
+  switch_ = std::make_unique<L2Switch>(sim_, "tor-switch");
+  meter_ = std::make_unique<WallPowerMeter>(sim_, options_.meter_period);
+
+  // Client.
+  options_.client.node = kPaxosClientNode;
+  options_.client.leader_service = kPaxosLeaderService;
+  client_ = std::make_unique<PaxosClient>(sim_, options_.client);
+  Link* client_link =
+      topology_.ConnectToSwitch(switch_.get(), client_.get(), kPaxosClientNode,
+                                TenGigLink(), "client-10ge");
+  client_->SetUplink(client_link);
+
+  WireLeader();
+  WireAcceptors();
+  WireLearner();
+  meter_->Start();
+}
+
+Server* PaxosTestbed::MakeAuxServer(NodeId node, const char* name, int cores,
+                                    SimDuration cpu_time_hint) {
+  (void)cpu_time_hint;
+  ServerConfig config;
+  config.name = name;
+  config.node = node;
+  config.num_cores = cores;
+  config.power_curve = I7SyntheticCurve();
+  config.stack_rx_cost = Nanoseconds(100);  // Aux boxes must never bottleneck.
+  config.stack_tx_cost = Nanoseconds(50);
+  servers_.push_back(std::make_unique<Server>(sim_, config));
+  Server* server = servers_.back().get();
+  Link* link = topology_.ConnectToSwitch(switch_.get(), server, node, TenGigLink());
+  server->SetUplink(link);
+  return server;
+}
+
+void PaxosTestbed::WireLeader() {
+  const bool leader_is_sut = options_.sut == PaxosSut::kLeader;
+  const PaxosDeployment deployment =
+      leader_is_sut ? options_.deployment : PaxosDeployment::kP4xosFpga;
+
+  if (options_.dual_leader) {
+    // Fig 7: software leader on the host, P4xos leader on the host's NIC.
+    ServerConfig server_config;
+    server_config.name = "leader-host";
+    server_config.node = kPaxosLeaderHostNode;
+    server_config.num_cores = 4;
+    server_config.power_curve = I7LibpaxosCurve();
+    servers_.push_back(std::make_unique<Server>(sim_, server_config));
+    Server* host = servers_.back().get();
+    sut_server_ = host;
+    software_leader_ = std::make_unique<SoftwareLeader>(group_, /*ballot=*/1);
+    host->BindApp(software_leader_.get());
+
+    FpgaNicConfig fpga_config;
+    fpga_config.name = "netfpga-p4xos-leader";
+    fpga_config.host_node = kPaxosLeaderHostNode;
+    fpga_config.device_node = kPaxosLeaderDeviceNode;
+    sut_fpga_ = std::make_unique<FpgaNic>(sim_, fpga_config);
+    fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
+                                                  /*role_id=*/1, kPaxosLeaderService);
+    sut_fpga_->InstallApp(fpga_leader_.get());
+    sut_fpga_->SetAppActive(false);  // Software leader serves initially.
+
+    Link* net_link = topology_.Connect(switch_.get(), sut_fpga_.get(), TenGigLink(),
+                                       "leader-10ge");
+    leader_port_ = switch_->AttachLink(net_link);
+    switch_->AddRoute(kPaxosLeaderService, leader_port_);
+    switch_->AddRoute(kPaxosLeaderHostNode, leader_port_);
+    switch_->AddRoute(kPaxosLeaderDeviceNode, leader_port_);
+    sut_fpga_->SetNetworkLink(net_link);
+    Link* pcie = topology_.Connect(sut_fpga_.get(), host, PcieLink(), "leader-pcie");
+    sut_fpga_->SetHostLink(pcie);
+    host->SetUplink(pcie);
+
+    meter_->Attach(host);
+    meter_->Attach(sut_fpga_.get());
+    return;
+  }
+
+  switch (deployment) {
+    case PaxosDeployment::kLibpaxos:
+    case PaxosDeployment::kDpdk: {
+      ServerConfig server_config;
+      server_config.name = "leader-host";
+      server_config.node = kPaxosLeaderHostNode;
+      server_config.num_cores = 4;
+      if (deployment == PaxosDeployment::kDpdk) {
+        server_config.power_curve = I7DpdkCurve();
+        server_config.stack = NetStackType::kDpdk;
+        server_config.stack_rx_cost = Nanoseconds(200);
+        server_config.stack_tx_cost = Nanoseconds(50);
+        server_config.dpdk_poll_cores = 1;
+      } else {
+        server_config.power_curve = I7LibpaxosCurve();
+      }
+      servers_.push_back(std::make_unique<Server>(sim_, server_config));
+      Server* host = servers_.back().get();
+      software_leader_ = std::make_unique<SoftwareLeader>(
+          group_, /*ballot=*/1,
+          deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig() : LibpaxosConfig());
+      host->BindApp(software_leader_.get());
+
+      sut_nic_ = std::make_unique<ConventionalNic>(
+          sim_, MellanoxConnectX3Config(kPaxosLeaderHostNode));
+      Link* net_link = topology_.Connect(switch_.get(), sut_nic_.get(), TenGigLink(),
+                                         "leader-10ge");
+      leader_port_ = switch_->AttachLink(net_link);
+      switch_->AddRoute(kPaxosLeaderService, leader_port_);
+      switch_->AddRoute(kPaxosLeaderHostNode, leader_port_);
+      sut_nic_->SetNetworkLink(net_link);
+      Link* pcie = topology_.Connect(sut_nic_.get(), host, PcieLink(), "leader-pcie");
+      sut_nic_->SetHostLink(pcie);
+      host->SetUplink(pcie);
+      if (leader_is_sut) {
+        sut_server_ = host;
+        meter_->Attach(host);
+        meter_->Attach(sut_nic_.get());
+      }
+      break;
+    }
+    case PaxosDeployment::kP4xosFpga:
+    case PaxosDeployment::kP4xosStandalone: {
+      const bool standalone = deployment == PaxosDeployment::kP4xosStandalone;
+      FpgaNicConfig fpga_config;
+      fpga_config.name = "netfpga-p4xos-leader";
+      fpga_config.host_node = kPaxosLeaderHostNode;
+      fpga_config.device_node = kPaxosLeaderDeviceNode;
+      fpga_config.standalone = standalone;
+      auto& fpga_slot = leader_is_sut ? sut_fpga_ : aux_fpga_;
+      fpga_slot = std::make_unique<FpgaNic>(sim_, fpga_config);
+      fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
+                                                    /*role_id=*/1, kPaxosLeaderService);
+      fpga_slot->InstallApp(fpga_leader_.get());
+      fpga_slot->SetAppActive(true);
+
+      Link* net_link = topology_.Connect(switch_.get(), fpga_slot.get(), TenGigLink(),
+                                         "leader-10ge");
+      leader_port_ = switch_->AttachLink(net_link);
+      switch_->AddRoute(kPaxosLeaderService, leader_port_);
+      switch_->AddRoute(kPaxosLeaderDeviceNode, leader_port_);
+      fpga_slot->SetNetworkLink(net_link);
+
+      if (!standalone && leader_is_sut) {
+        // The board sits in an otherwise idle host whose power the paper
+        // includes in the P4xos-in-server numbers (§4.3).
+        ServerConfig host_config;
+        host_config.name = "p4xos-host";
+        host_config.node = kPaxosLeaderHostNode;
+        host_config.num_cores = 4;
+        host_config.power_curve = I7LibpaxosCurve();
+        servers_.push_back(std::make_unique<Server>(sim_, host_config));
+        Server* host = servers_.back().get();
+        switch_->AddRoute(kPaxosLeaderHostNode, leader_port_);
+        Link* pcie = topology_.Connect(fpga_slot.get(), host, PcieLink(), "leader-pcie");
+        fpga_slot->SetHostLink(pcie);
+        host->SetUplink(pcie);
+        sut_server_ = host;
+        meter_->Attach(host);
+      }
+      if (leader_is_sut) {
+        meter_->Attach(fpga_slot.get());
+      }
+      break;
+    }
+  }
+}
+
+void PaxosTestbed::WireAcceptors() {
+  for (int i = 0; i < options_.num_acceptors; ++i) {
+    const NodeId node = kPaxosAcceptorBaseNode + static_cast<NodeId>(i);
+    const bool is_sut = options_.sut == PaxosSut::kAcceptor && i == 0;
+    if (!is_sut) {
+      // Aux acceptor: fast enough to never bottleneck leader-SUT sweeps.
+      Server* server = MakeAuxServer(node, "aux-acceptor", 4, Nanoseconds(300));
+      auto acceptor = std::make_unique<SoftwareAcceptor>(
+          group_, static_cast<uint32_t>(i), PaxosSoftwareConfig{Nanoseconds(300), 2});
+      server->BindApp(acceptor.get());
+      software_acceptors_.push_back(std::move(acceptor));
+      continue;
+    }
+    switch (options_.deployment) {
+      case PaxosDeployment::kLibpaxos:
+      case PaxosDeployment::kDpdk: {
+        ServerConfig server_config;
+        server_config.name = "acceptor-host";
+        server_config.node = node;
+        server_config.num_cores = 4;
+        if (options_.deployment == PaxosDeployment::kDpdk) {
+          server_config.power_curve = I7DpdkCurve();
+          server_config.stack = NetStackType::kDpdk;
+          server_config.stack_rx_cost = Nanoseconds(200);
+          server_config.stack_tx_cost = Nanoseconds(50);
+        } else {
+          server_config.power_curve = I7LibpaxosCurve();
+        }
+        servers_.push_back(std::make_unique<Server>(sim_, server_config));
+        Server* host = servers_.back().get();
+        auto acceptor = std::make_unique<SoftwareAcceptor>(
+            group_, static_cast<uint32_t>(i),
+            options_.deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig()
+                                                          : LibpaxosConfig());
+        host->BindApp(acceptor.get());
+        software_acceptors_.insert(software_acceptors_.begin(), std::move(acceptor));
+
+        sut_nic_ = std::make_unique<ConventionalNic>(sim_, MellanoxConnectX3Config(node));
+        Link* net_link =
+            topology_.Connect(switch_.get(), sut_nic_.get(), TenGigLink(), "acceptor-10ge");
+        const int port = switch_->AttachLink(net_link);
+        switch_->AddRoute(node, port);
+        sut_nic_->SetNetworkLink(net_link);
+        Link* pcie = topology_.Connect(sut_nic_.get(), host, PcieLink(), "acceptor-pcie");
+        sut_nic_->SetHostLink(pcie);
+        host->SetUplink(pcie);
+        sut_server_ = host;
+        meter_->Attach(host);
+        meter_->Attach(sut_nic_.get());
+        break;
+      }
+      case PaxosDeployment::kP4xosFpga:
+      case PaxosDeployment::kP4xosStandalone: {
+        const bool standalone = options_.deployment == PaxosDeployment::kP4xosStandalone;
+        FpgaNicConfig fpga_config;
+        fpga_config.name = "netfpga-p4xos-acceptor";
+        fpga_config.host_node = 40;  // Distinct host address.
+        fpga_config.device_node = kPaxosAcceptorDeviceNode;
+        fpga_config.standalone = standalone;
+        sut_fpga_ = std::make_unique<FpgaNic>(sim_, fpga_config);
+        fpga_acceptor_ = std::make_unique<P4xosFpgaApp>(
+            P4xosRole::kAcceptor, group_, static_cast<uint32_t>(i), node);
+        sut_fpga_->InstallApp(fpga_acceptor_.get());
+        sut_fpga_->SetAppActive(true);
+
+        Link* net_link = topology_.Connect(switch_.get(), sut_fpga_.get(), TenGigLink(),
+                                           "acceptor-10ge");
+        const int port = switch_->AttachLink(net_link);
+        switch_->AddRoute(node, port);
+        switch_->AddRoute(kPaxosAcceptorDeviceNode, port);
+        sut_fpga_->SetNetworkLink(net_link);
+
+        if (!standalone) {
+          ServerConfig host_config;
+          host_config.name = "p4xos-acceptor-host";
+          host_config.node = 40;
+          host_config.num_cores = 4;
+          host_config.power_curve = I7LibpaxosCurve();
+          servers_.push_back(std::make_unique<Server>(sim_, host_config));
+          Server* host = servers_.back().get();
+          switch_->AddRoute(40, port);
+          Link* pcie =
+              topology_.Connect(sut_fpga_.get(), host, PcieLink(), "acceptor-pcie");
+          sut_fpga_->SetHostLink(pcie);
+          host->SetUplink(pcie);
+          sut_server_ = host;
+          meter_->Attach(host);
+        }
+        meter_->Attach(sut_fpga_.get());
+        break;
+      }
+    }
+  }
+}
+
+void PaxosTestbed::WireLearner() {
+  Server* server = MakeAuxServer(kPaxosLearnerNode, "learner-host", 8, Nanoseconds(100));
+  learner_ = std::make_unique<SoftwareLearner>(
+      group_, PaxosSoftwareConfig{Nanoseconds(100), 8}, options_.learner_gap_timeout);
+  server->BindApp(learner_.get());
+  learner_->StartGapTimer();
+}
+
+uint64_t PaxosTestbed::SutMessagesHandled() const {
+  if (options_.sut == PaxosSut::kLeader) {
+    if (fpga_leader_ != nullptr &&
+        (options_.deployment == PaxosDeployment::kP4xosFpga ||
+         options_.deployment == PaxosDeployment::kP4xosStandalone || options_.dual_leader)) {
+      uint64_t total = fpga_leader_->messages_handled();
+      if (software_leader_ != nullptr) {
+        total += software_leader_->messages_handled();
+      }
+      return total;
+    }
+    return software_leader_ != nullptr ? software_leader_->messages_handled() : 0;
+  }
+  if (fpga_acceptor_ != nullptr) {
+    return fpga_acceptor_->messages_handled();
+  }
+  return software_acceptors_.empty() ? 0 : software_acceptors_.front()->messages_handled();
+}
+
+}  // namespace incod

@@ -1,0 +1,114 @@
+// Paxos experiment testbed (Fig 3b sweeps, §6 spot checks, Fig 7 migration).
+//
+// Topology: a client, three acceptor hosts, a learner host, and a leader
+// deployment, all hanging off one L2 switch. The system under test (leader
+// or one acceptor) is deployed per the requested variant — libpaxos on the
+// kernel stack, the DPDK port, P4xos on a NetFPGA in a server, or P4xos on
+// a standalone board — and only the SUT's components are metered, matching
+// §4.1 ("the isolated ... application under test, traffic source excluded").
+//
+// The `dual_leader` option builds the Fig 7 testbed: the software leader on
+// the host *and* the P4xos leader on that host's NetFPGA NIC, shiftable via
+// PaxosLeaderMigrator.
+#ifndef INCOD_SRC_SCENARIOS_PAXOS_TESTBED_H_
+#define INCOD_SRC_SCENARIOS_PAXOS_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/device/conventional_nic.h"
+#include "src/device/fpga_nic.h"
+#include "src/host/server.h"
+#include "src/net/topology.h"
+#include "src/paxos/p4xos.h"
+#include "src/paxos/paxos_client.h"
+#include "src/paxos/software_roles.h"
+#include "src/power/meter.h"
+#include "src/sim/simulation.h"
+
+namespace incod {
+
+enum class PaxosDeployment { kLibpaxos, kDpdk, kP4xosFpga, kP4xosStandalone };
+enum class PaxosSut { kLeader, kAcceptor };
+
+const char* PaxosDeploymentName(PaxosDeployment deployment);
+
+// Testbed addresses.
+constexpr NodeId kPaxosClientNode = 100;
+constexpr NodeId kPaxosLeaderService = 200;
+constexpr NodeId kPaxosLeaderHostNode = 1;
+constexpr NodeId kPaxosAcceptorBaseNode = 10;  // 10, 11, 12, ...
+constexpr NodeId kPaxosLearnerNode = 30;
+constexpr NodeId kPaxosLeaderDeviceNode = 50;
+constexpr NodeId kPaxosAcceptorDeviceNode = 51;
+
+struct PaxosTestbedOptions {
+  PaxosDeployment deployment = PaxosDeployment::kLibpaxos;
+  PaxosSut sut = PaxosSut::kLeader;
+  int num_acceptors = 3;
+  bool dual_leader = false;  // Fig 7: SW + HW leader on one host/NIC pair.
+  PaxosClientConfig client;
+  SimDuration meter_period = Milliseconds(1);
+  SimDuration learner_gap_timeout = Milliseconds(50);
+};
+
+class PaxosTestbed {
+ public:
+  PaxosTestbed(Simulation& sim, PaxosTestbedOptions options);
+
+  PaxosClient& client() { return *client_; }
+  WallPowerMeter& meter() { return *meter_; }
+  L2Switch& net_switch() { return *switch_; }
+  Simulation& sim() { return sim_; }
+
+  // SUT components (null when absent in the chosen variant).
+  Server* sut_server() { return sut_server_; }
+  FpgaNic* sut_fpga() { return sut_fpga_.get(); }
+
+  // Roles.
+  SoftwareLeader* software_leader() { return software_leader_.get(); }
+  P4xosFpgaApp* fpga_leader() { return fpga_leader_.get(); }
+  SoftwareLearner* learner() { return learner_.get(); }
+  SoftwareAcceptor* software_acceptor(int i) { return software_acceptors_[i].get(); }
+  P4xosFpgaApp* fpga_acceptor() { return fpga_acceptor_.get(); }
+
+  // Fig 7 support: the switch port serving the leader service.
+  int leader_port() const { return leader_port_; }
+
+  const PaxosGroupConfig& group() const { return group_; }
+
+  // Total messages the SUT handled (for ops/watt style reporting).
+  uint64_t SutMessagesHandled() const;
+
+ private:
+  Server* MakeAuxServer(NodeId node, const char* name, int cores,
+                        SimDuration cpu_time_hint);
+  void WireLeader();
+  void WireAcceptors();
+  void WireLearner();
+
+  Simulation& sim_;
+  PaxosTestbedOptions options_;
+  Topology topology_;
+  PaxosGroupConfig group_;
+  std::unique_ptr<L2Switch> switch_;
+  std::unique_ptr<WallPowerMeter> meter_;
+  std::unique_ptr<PaxosClient> client_;
+
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<PaxosSoftwareApp>> aux_apps_;
+  std::unique_ptr<SoftwareLeader> software_leader_;
+  std::unique_ptr<SoftwareLearner> learner_;
+  std::vector<std::unique_ptr<SoftwareAcceptor>> software_acceptors_;
+  std::unique_ptr<FpgaNic> sut_fpga_;
+  std::unique_ptr<FpgaNic> aux_fpga_;  // Unmetered fast leader for acceptor SUTs.
+  std::unique_ptr<P4xosFpgaApp> fpga_leader_;
+  std::unique_ptr<P4xosFpgaApp> fpga_acceptor_;
+  std::unique_ptr<ConventionalNic> sut_nic_;
+  Server* sut_server_ = nullptr;
+  int leader_port_ = -1;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SCENARIOS_PAXOS_TESTBED_H_

@@ -1,0 +1,182 @@
+#include "src/sim/random.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace incod {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) {
+    w = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("UniformInt: lo > hi");
+  }
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v = NextU64();
+  while (v >= limit) {
+    v = NextU64();
+  }
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::UniformDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::Exponential(double mean) {
+  if (mean <= 0) {
+    throw std::invalid_argument("Exponential: mean must be > 0");
+  }
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() {
+  // Derive a child seed from fresh draws; parent advances, child independent.
+  return Rng(NextU64() ^ Rotl(NextU64(), 31));
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  }
+  if (s <= 0) {
+    throw std::invalid_argument("ZipfDistribution: s must be > 0");
+  }
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  cut_ = 1.0 - HInverse(H(1.5) - std::pow(1.0, -s_));
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of x^-s: handles s == 1 (harmonic) separately.
+  if (std::abs(s_ - 1.0) < 1e-12) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  // Rejection-inversion (Hörmann & Derflinger 1996).
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    }
+    if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= cut_ || u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // 0-based rank.
+    }
+  }
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("DiscreteDistribution: empty weights");
+  }
+  cumulative_.resize(weights.size());
+  double sum = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0) {
+      throw std::invalid_argument("DiscreteDistribution: negative weight");
+    }
+    sum += weights[i];
+    cumulative_[i] = sum;
+  }
+  if (sum <= 0) {
+    throw std::invalid_argument("DiscreteDistribution: zero total weight");
+  }
+  for (auto& c : cumulative_) {
+    c /= sum;
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t DiscreteDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  size_t lo = 0;
+  size_t hi = cumulative_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cumulative_[mid] <= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace incod

@@ -1,0 +1,95 @@
+// Deterministic random number generation for the simulator.
+//
+// We provide our own engine (xoshiro256**, seeded via splitmix64) instead of
+// std::mt19937 so that streams are cheap to fork per component and stable
+// across standard library implementations. Distribution helpers cover the
+// needs of the workload generators: uniform, exponential (Poisson arrivals),
+// normal, and Zipf (key popularity, per the Facebook ETC workload).
+#ifndef INCOD_SRC_SIM_RANDOM_H_
+#define INCOD_SRC_SIM_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incod {
+
+// splitmix64: used to expand a single 64-bit seed into engine state.
+// Reference: http://prng.di.unimi.it/splitmix64.c (public domain).
+uint64_t SplitMix64(uint64_t* state);
+
+// xoshiro256** engine. Small, fast, high quality; passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Exponential with the given mean (mean > 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller; NormalDist below caches the spare value.
+  double Normal(double mean, double stddev);
+
+  // Bernoulli trial.
+  bool Bernoulli(double p);
+
+  // Forks an independent stream (hash-derived seed). Components each own a
+  // forked stream so adding a component never perturbs another's draws.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+// Zipf-distributed integers over [0, n). Uses the rejection-inversion method
+// of Hörmann & Derflinger, O(1) per sample and exact for any skew s > 0.
+class ZipfDistribution {
+ public:
+  // n: population size; s: skew exponent (s=0.99 matches key-value store
+  // workload studies such as Atikoglu et al., SIGMETRICS'12).
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double cut_;
+};
+
+// Discrete distribution over explicit weights (used for trace synthesis).
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  // Returns an index in [0, weights.size()).
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SIM_RANDOM_H_

@@ -1,0 +1,98 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace incod {
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+uint64_t Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+uint64_t Simulation::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  const uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulation::Cancel(uint64_t id) {
+  // We cannot remove from the middle of a priority_queue; record the id and
+  // skip the event when it surfaces. The cancelled list stays small because
+  // entries are erased on pop.
+  if (id == 0 || id >= next_id_) {
+    return false;
+  }
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  ++cancelled_pending_;
+  return true;
+}
+
+bool Simulation::IsCancelled(uint64_t id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) {
+    return false;
+  }
+  cancelled_.erase(it);
+  --cancelled_pending_;
+  return true;
+}
+
+bool Simulation::RunNext() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (IsCancelled(ev.id)) {
+      continue;
+    }
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (RunNext()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    RunNext();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void SchedulePeriodic(Simulation& sim, SimDuration initial_delay, SimDuration period,
+                      std::function<bool()> fn) {
+  auto shared = std::make_shared<std::function<bool()>>(std::move(fn));
+  // Self-rescheduling callable; stops when the callback returns false.
+  struct Rescheduler {
+    Simulation& sim;
+    SimDuration period;
+    std::shared_ptr<std::function<bool()>> fn;
+    void operator()() const {
+      if ((*fn)()) {
+        sim.Schedule(period, Rescheduler{sim, period, fn});
+      }
+    }
+  };
+  sim.Schedule(initial_delay, Rescheduler{sim, period, shared});
+}
+
+}  // namespace incod

@@ -1,0 +1,93 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a priority queue of (time, sequence, callback) events.
+// Components schedule callbacks; RunUntil/Run drains the queue in time order
+// with FIFO tie-breaking, so results are bit-for-bit reproducible.
+#ifndef INCOD_SRC_SIM_SIMULATION_H_
+#define INCOD_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace incod {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ns from now. Negative delays are clamped
+  // to zero (run "immediately", after already-queued events at Now()).
+  // Returns an id usable with Cancel().
+  uint64_t Schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `at` (clamped to Now()).
+  uint64_t ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already ran / was cancelled.
+  bool Cancel(uint64_t id);
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs events with time <= t, then sets Now() to t.
+  void RunUntil(SimTime t);
+
+  // Runs a single event. Returns false if the queue is empty.
+  bool RunNext();
+
+  // Number of events executed since construction.
+  uint64_t events_executed() const { return events_executed_; }
+
+  // Number of events currently pending.
+  size_t pending_events() const { return queue_.size() - cancelled_pending_; }
+
+  // Root RNG. Components should call rng().Fork() once at setup.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    uint64_t id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;  // FIFO among same-time events.
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  size_t cancelled_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<uint64_t> cancelled_;  // Sorted insertion not needed; small.
+  Rng rng_;
+
+  bool IsCancelled(uint64_t id);
+};
+
+// Convenience: schedules `fn` every `period` until it returns false.
+// The first invocation happens after `initial_delay`.
+void SchedulePeriodic(Simulation& sim, SimDuration initial_delay, SimDuration period,
+                      std::function<bool()> fn);
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,45 @@
+// Simulated-time primitives.
+//
+// All simulation time is kept in integer nanoseconds (SimTime). Helper
+// constructors and accessors convert to/from human units. Integer time keeps
+// event ordering exact and the simulation fully deterministic.
+#ifndef INCOD_SRC_SIM_TIME_H_
+#define INCOD_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace incod {
+
+// Nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// Duration in nanoseconds (same representation as SimTime).
+using SimDuration = int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+// Converts a floating point quantity of seconds to SimDuration, rounding to
+// the nearest nanosecond. Useful for rate-derived inter-arrival gaps.
+constexpr SimDuration SecondsF(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMicroseconds(SimDuration d) {
+  return static_cast<double>(d) / kMicrosecond;
+}
+constexpr double ToMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / kMillisecond;
+}
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SIM_TIME_H_

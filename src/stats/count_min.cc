@@ -1,0 +1,53 @@
+#include "src/stats/count_min.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace incod {
+
+namespace {
+// splitmix64 finalizer as the per-row hash mixer.
+uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth)
+    : width_(width), depth_(depth) {
+  if (width == 0 || depth == 0) {
+    throw std::invalid_argument("CountMinSketch: width/depth must be > 0");
+  }
+  counters_.assign(width_ * depth_, 0);
+}
+
+size_t CountMinSketch::Index(uint64_t key, size_t row) const {
+  // Distinct row seeds give near-independent hashes.
+  const uint64_t h = Mix(key + 0x9e3779b97f4a7c15ULL * (row + 1));
+  return row * width_ + static_cast<size_t>(h % width_);
+}
+
+void CountMinSketch::Increment(uint64_t key, uint64_t by) {
+  for (size_t row = 0; row < depth_; ++row) {
+    counters_[Index(key, row)] += by;
+  }
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = UINT64_MAX;
+  for (size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, counters_[Index(key, row)]);
+  }
+  return best;
+}
+
+void CountMinSketch::Decay() {
+  for (auto& c : counters_) {
+    c >>= 1;
+  }
+}
+
+void CountMinSketch::Clear() { std::fill(counters_.begin(), counters_.end(), 0); }
+
+}  // namespace incod

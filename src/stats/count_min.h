@@ -1,0 +1,42 @@
+// Count-min sketch for heavy-hitter (hot key) detection.
+//
+// NetCache-style in-switch caches decide what to cache with a count-min
+// sketch over the key stream (Jin et al., SOSP'17 — cited by the paper as
+// the canonical in-network cache). Estimates never under-count; collisions
+// can over-count, which only risks caching a lukewarm key.
+#ifndef INCOD_SRC_STATS_COUNT_MIN_H_
+#define INCOD_SRC_STATS_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incod {
+
+class CountMinSketch {
+ public:
+  // width: counters per row (power of two recommended); depth: hash rows.
+  CountMinSketch(size_t width, size_t depth);
+
+  void Increment(uint64_t key, uint64_t by = 1);
+  uint64_t Estimate(uint64_t key) const;
+
+  // Halves every counter: a cheap sliding-window decay (NetCache resets
+  // its sketch every epoch; halving keeps more history).
+  void Decay();
+  void Clear();
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+ private:
+  size_t Index(uint64_t key, size_t row) const;
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint64_t> counters_;  // depth_ rows of width_ counters.
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_STATS_COUNT_MIN_H_

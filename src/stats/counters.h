@@ -1,0 +1,41 @@
+// Lightweight counters shared by applications and devices.
+#ifndef INCOD_SRC_STATS_COUNTERS_H_
+#define INCOD_SRC_STATS_COUNTERS_H_
+
+#include <cstdint>
+
+namespace incod {
+
+// Monotonic event counter (packets processed, cache hits, ...).
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Hit/miss ratio tracker for the layered caches.
+class RatioCounter {
+ public:
+  void Hit() { ++hits_; }
+  void Miss() { ++misses_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t total() const { return hits_ + misses_; }
+  double HitRatio() const {
+    const uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(t);
+  }
+  void Reset() { hits_ = misses_ = 0; }
+
+ private:
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_STATS_COUNTERS_H_

@@ -1,0 +1,93 @@
+#include "src/stats/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace incod {
+
+CsvTable::CsvTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("CsvTable: need at least one column");
+  }
+}
+
+void CsvTable::AddRow(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("CsvTable::AddRow: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvTable::CellToString(const Cell& c) {
+  if (std::holds_alternative<std::string>(c)) {
+    return std::get<std::string>(c);
+  }
+  if (std::holds_alternative<int64_t>(c)) {
+    return std::to_string(std::get<int64_t>(c));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", std::get<double>(c));
+  return buf;
+}
+
+std::string CsvTable::EscapeCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void CsvTable::WriteCsv(std::ostream& os) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    os << (i ? "," : "") << EscapeCsv(columns_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "") << EscapeCsv(CellToString(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::WriteAligned(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      r.push_back(CellToString(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      os << (i ? "  " : "");
+      os << r[i];
+      os << std::string(widths[i] - r[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& r : cells) {
+    emit(r);
+  }
+}
+
+}  // namespace incod

@@ -1,0 +1,42 @@
+// Small CSV table writer used by the benchmark harness to emit the rows and
+// series behind each figure/table of the paper.
+#ifndef INCOD_SRC_STATS_CSV_H_
+#define INCOD_SRC_STATS_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace incod {
+
+class CsvTable {
+ public:
+  using Cell = std::variant<std::string, double, int64_t>;
+
+  explicit CsvTable(std::vector<std::string> columns);
+
+  // Appends a row; must match the column count.
+  void AddRow(std::vector<Cell> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void WriteCsv(std::ostream& os) const;
+
+  // Writes an aligned human-readable table (what the benches print).
+  void WriteAligned(std::ostream& os) const;
+
+ private:
+  static std::string CellToString(const Cell& c);
+  static std::string EscapeCsv(const std::string& s);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_STATS_CSV_H_

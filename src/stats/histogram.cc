@@ -1,0 +1,155 @@
+#include "src/stats/histogram.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace incod {
+
+Histogram::Histogram(uint64_t max_value, int significant_bits)
+    : significant_bits_(significant_bits), max_value_(max_value) {
+  if (significant_bits < 1 || significant_bits > 14) {
+    throw std::invalid_argument("Histogram: significant_bits out of range");
+  }
+  if (max_value < 2) {
+    throw std::invalid_argument("Histogram: max_value too small");
+  }
+  sub_bucket_count_ = UINT64_C(1) << (significant_bits_ + 1);
+  sub_bucket_half_ = UINT64_C(1) << significant_bits_;
+  // Number of power-of-two "super buckets" needed to cover max_value.
+  int super = 1;
+  uint64_t top = sub_bucket_count_ - 1;
+  while (top < max_value_ && super < 64) {
+    top = (top << 1) | 1;
+    ++super;
+  }
+  // First super-bucket has sub_bucket_count_ slots; each later one adds half.
+  counts_.assign(sub_bucket_count_ + static_cast<size_t>(super - 1) * sub_bucket_half_, 0);
+}
+
+size_t Histogram::BucketIndex(uint64_t value) const {
+  if (value >= max_value_) {
+    value = max_value_;
+  }
+  if (value < sub_bucket_count_) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - significant_bits_;
+  const uint64_t sub = value >> shift;  // In [sub_bucket_half_, sub_bucket_count_).
+  const size_t super = static_cast<size_t>(shift);  // >= 1 here.
+  return sub_bucket_count_ + (super - 1) * sub_bucket_half_ +
+         static_cast<size_t>(sub - sub_bucket_half_);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) const {
+  if (index < sub_bucket_count_) {
+    return index;
+  }
+  const size_t rel = index - sub_bucket_count_;
+  const size_t super = rel / sub_bucket_half_ + 1;
+  const uint64_t sub = sub_bucket_half_ + rel % sub_bucket_half_;
+  return sub << super;
+}
+
+uint64_t Histogram::BucketRepresentative(size_t index) const {
+  if (index < sub_bucket_count_) {
+    return index;
+  }
+  const size_t rel = index - sub_bucket_count_;
+  const size_t super = rel / sub_bucket_half_ + 1;
+  const uint64_t lo = BucketLowerBound(index);
+  // Midpoint of the bucket: width is 2^super.
+  return lo + (UINT64_C(1) << super) / 2;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const size_t idx = BucketIndex(value);
+  counts_[idx] += count;
+  total_count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  if (value < recorded_min_) {
+    recorded_min_ = value;
+  }
+  if (value > recorded_max_) {
+    recorded_max_ = value;
+  }
+}
+
+uint64_t Histogram::min() const { return total_count_ == 0 ? 0 : recorded_min_; }
+uint64_t Histogram::max() const { return recorded_max_; }
+
+double Histogram::Mean() const {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  return sum_ / static_cast<double>(total_count_);
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_count_) + 0.5);
+  if (target == 0) {
+    target = 1;
+  }
+  if (target > total_count_) {
+    target = total_count_;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      uint64_t rep = BucketRepresentative(i);
+      if (rep > recorded_max_) {
+        rep = recorded_max_;
+      }
+      if (rep < recorded_min_) {
+        rep = recorded_min_;
+      }
+      return rep;
+    }
+  }
+  return recorded_max_;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  recorded_min_ = UINT64_MAX;
+  recorded_max_ = 0;
+  sum_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() ||
+      other.significant_bits_ != significant_bits_) {
+    throw std::invalid_argument("Histogram::Merge: geometry mismatch");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+  if (other.total_count_ > 0) {
+    if (other.recorded_min_ < recorded_min_) {
+      recorded_min_ = other.recorded_min_;
+    }
+    if (other.recorded_max_ > recorded_max_) {
+      recorded_max_ = other.recorded_max_;
+    }
+  }
+}
+
+}  // namespace incod

@@ -1,0 +1,61 @@
+// Latency histogram with log-spaced buckets and percentile queries.
+//
+// Modeled on HdrHistogram-style recording: values (nanoseconds, counts, ...)
+// are bucketed with bounded relative error so p50/p99/p999 queries are cheap
+// and allocation-free after construction.
+#ifndef INCOD_SRC_STATS_HISTOGRAM_H_
+#define INCOD_SRC_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incod {
+
+class Histogram {
+ public:
+  // Tracks values in [1, max_value] with ~`significant_bits` bits of relative
+  // precision (default: value resolved to within 1/64 ≈ 1.6 %).
+  explicit Histogram(uint64_t max_value = UINT64_C(1) << 40, int significant_bits = 6);
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  uint64_t count() const { return total_count_; }
+  uint64_t min() const;
+  uint64_t max() const;
+  double Mean() const;
+
+  // Returns the value at the given quantile q in [0, 1]. Returns 0 when the
+  // histogram is empty.
+  uint64_t ValueAtQuantile(double q) const;
+
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P90() const { return ValueAtQuantile(0.90); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+  uint64_t P999() const { return ValueAtQuantile(0.999); }
+
+  void Reset();
+
+  // Merges another histogram with identical geometry.
+  void Merge(const Histogram& other);
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+  uint64_t BucketLowerBound(size_t index) const;
+  uint64_t BucketRepresentative(size_t index) const;
+
+  int significant_bits_;
+  uint64_t max_value_;
+  uint64_t sub_bucket_count_;   // 2^(significant_bits+1)
+  uint64_t sub_bucket_half_;    // 2^significant_bits
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  uint64_t recorded_min_ = UINT64_MAX;
+  uint64_t recorded_max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,74 @@
+#include "src/workload/arrival.h"
+
+#include <stdexcept>
+
+namespace incod {
+
+ConstantArrival::ConstantArrival(double rate_per_second) : rate_(0), gap_(0) {
+  SetRate(rate_per_second);
+}
+
+void ConstantArrival::SetRate(double rate_per_second) {
+  if (rate_per_second <= 0) {
+    throw std::invalid_argument("ConstantArrival: rate must be > 0");
+  }
+  rate_ = rate_per_second;
+  gap_ = SecondsF(1.0 / rate_per_second);
+  if (gap_ < 1) {
+    gap_ = 1;
+  }
+}
+
+SimDuration ConstantArrival::NextGap(Rng& rng) {
+  (void)rng;
+  return gap_;
+}
+
+PoissonArrival::PoissonArrival(double rate_per_second) : rate_(0) {
+  SetRate(rate_per_second);
+}
+
+void PoissonArrival::SetRate(double rate_per_second) {
+  if (rate_per_second <= 0) {
+    throw std::invalid_argument("PoissonArrival: rate must be > 0");
+  }
+  rate_ = rate_per_second;
+}
+
+SimDuration PoissonArrival::NextGap(Rng& rng) {
+  const SimDuration gap = SecondsF(rng.Exponential(1.0 / rate_));
+  return gap < 1 ? 1 : gap;
+}
+
+OnOffArrival::OnOffArrival(double on_rate, double off_rate, SimDuration on_duration,
+                           SimDuration off_duration)
+    : on_rate_(on_rate),
+      off_rate_(off_rate),
+      on_duration_(on_duration),
+      off_duration_(off_duration) {
+  if (on_rate <= 0 || off_rate <= 0) {
+    throw std::invalid_argument("OnOffArrival: rates must be > 0");
+  }
+  if (on_duration <= 0 || off_duration <= 0) {
+    throw std::invalid_argument("OnOffArrival: durations must be > 0");
+  }
+}
+
+double OnOffArrival::TargetRate() const { return on_ ? on_rate_ : off_rate_; }
+
+SimDuration OnOffArrival::NextGap(Rng& rng) {
+  const double rate = on_ ? on_rate_ : off_rate_;
+  SimDuration gap = SecondsF(rng.Exponential(1.0 / rate));
+  if (gap < 1) {
+    gap = 1;
+  }
+  phase_elapsed_ += gap;
+  const SimDuration phase_len = on_ ? on_duration_ : off_duration_;
+  if (phase_elapsed_ >= phase_len) {
+    phase_elapsed_ = 0;
+    on_ = !on_;
+  }
+  return gap;
+}
+
+}  // namespace incod

@@ -1,0 +1,78 @@
+// Arrival processes for open-loop load generation.
+//
+// The paper drives load with OSNT at finely controlled constant rates (§4.1)
+// and with a mutilate client using the Facebook "ETC" arrival distribution
+// for the transition experiment (§9.2). We provide constant, Poisson, and
+// on/off-modulated arrivals.
+#ifndef INCOD_SRC_WORKLOAD_ARRIVAL_H_
+#define INCOD_SRC_WORKLOAD_ARRIVAL_H_
+
+#include <memory>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace incod {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Time until the next arrival.
+  virtual SimDuration NextGap(Rng& rng) = 0;
+
+  // Current target rate (events/second), for introspection.
+  virtual double TargetRate() const = 0;
+};
+
+// Evenly spaced arrivals (OSNT-style precise rate control).
+class ConstantArrival : public ArrivalProcess {
+ public:
+  explicit ConstantArrival(double rate_per_second);
+
+  SimDuration NextGap(Rng& rng) override;
+  double TargetRate() const override { return rate_; }
+
+  void SetRate(double rate_per_second);
+
+ private:
+  double rate_;
+  SimDuration gap_;
+};
+
+// Memoryless arrivals at a given mean rate.
+class PoissonArrival : public ArrivalProcess {
+ public:
+  explicit PoissonArrival(double rate_per_second);
+
+  SimDuration NextGap(Rng& rng) override;
+  double TargetRate() const override { return rate_; }
+
+  void SetRate(double rate_per_second);
+
+ private:
+  double rate_;
+};
+
+// Alternates between a high-rate and a low-rate Poisson phase; used for the
+// bursty on-demand experiments.
+class OnOffArrival : public ArrivalProcess {
+ public:
+  OnOffArrival(double on_rate, double off_rate, SimDuration on_duration,
+               SimDuration off_duration);
+
+  SimDuration NextGap(Rng& rng) override;
+  double TargetRate() const override;
+
+ private:
+  double on_rate_;
+  double off_rate_;
+  SimDuration on_duration_;
+  SimDuration off_duration_;
+  SimDuration phase_elapsed_ = 0;
+  bool on_ = true;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_WORKLOAD_ARRIVAL_H_

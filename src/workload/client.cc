@@ -1,0 +1,108 @@
+#include "src/workload/client.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace incod {
+
+LoadClient::LoadClient(Simulation& sim, LoadClientConfig config,
+                       std::unique_ptr<ArrivalProcess> arrival, RequestFactory factory)
+    : sim_(sim),
+      config_(std::move(config)),
+      arrival_(std::move(arrival)),
+      factory_(std::move(factory)),
+      rng_(sim.rng().Fork()) {
+  if (arrival_ == nullptr) {
+    throw std::invalid_argument("LoadClient: null arrival process");
+  }
+  if (factory_ == nullptr) {
+    throw std::invalid_argument("LoadClient: null request factory");
+  }
+}
+
+void LoadClient::Start() {
+  SendNext();
+  RollBucket();
+  SweepTimeouts();
+}
+
+void LoadClient::SendNext() {
+  if (sim_.Now() >= stop_at_) {
+    return;
+  }
+  sim_.Schedule(arrival_->NextGap(rng_), [this] {
+    if (sim_.Now() >= stop_at_) {
+      return;
+    }
+    const uint64_t id = next_id_++;
+    Packet pkt = factory_(config_.node, id, sim_.Now(), rng_);
+    pkt.src = config_.node;
+    pkt.id = id;
+    pkt.created_at = sim_.Now();
+    outstanding_[id] = sim_.Now();
+    sent_.Increment();
+    if (uplink_ == nullptr) {
+      throw std::logic_error("LoadClient: no uplink");
+    }
+    uplink_->Send(this, std::move(pkt));
+    SendNext();
+  });
+}
+
+void LoadClient::RollBucket() {
+  sim_.Schedule(config_.rate_bucket, [this] {
+    completion_series_.Append(
+        sim_.Now(),
+        static_cast<double>(bucket_completions_) / ToSeconds(config_.rate_bucket));
+    bucket_completions_ = 0;
+    if (sim_.Now() < stop_at_) {
+      RollBucket();
+    }
+  });
+}
+
+void LoadClient::SweepTimeouts() {
+  sim_.Schedule(config_.loss_timeout, [this] {
+    const SimTime cutoff = sim_.Now() - config_.loss_timeout;
+    std::vector<uint64_t> expired;
+    for (const auto& [id, at] : outstanding_) {
+      if (at < cutoff) {
+        expired.push_back(id);
+      }
+    }
+    for (uint64_t id : expired) {
+      outstanding_.erase(id);
+      lost_.Increment();
+    }
+    if (sim_.Now() < stop_at_) {
+      SweepTimeouts();
+    }
+  });
+}
+
+void LoadClient::Receive(Packet packet) {
+  auto it = outstanding_.find(packet.id);
+  if (it == outstanding_.end()) {
+    return;  // Late or duplicate response.
+  }
+  received_.Increment();
+  ++bucket_completions_;
+  latency_.Record(static_cast<uint64_t>(sim_.Now() - it->second));
+  outstanding_.erase(it);
+}
+
+double LoadClient::LossFraction() const {
+  const uint64_t total = sent_.value();
+  return total == 0 ? 0.0 : static_cast<double>(lost_.value()) / static_cast<double>(total);
+}
+
+void LoadClient::ResetStats() {
+  sent_.Reset();
+  received_.Reset();
+  lost_.Reset();
+  latency_.Reset();
+  bucket_completions_ = 0;
+}
+
+}  // namespace incod

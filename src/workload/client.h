@@ -1,0 +1,90 @@
+// Generic open-loop load client (OSNT / mutilate stand-in).
+//
+// Sends application requests produced by a RequestFactory at the configured
+// arrival process, matches responses by request id, and records end-to-end
+// latency and completion-rate time series. Used for the KVS and DNS sweeps;
+// Paxos has its own client with retry semantics (paxos/paxos_client.h).
+#ifndef INCOD_SRC_WORKLOAD_CLIENT_H_
+#define INCOD_SRC_WORKLOAD_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/sim/simulation.h"
+#include "src/stats/counters.h"
+#include "src/stats/histogram.h"
+#include "src/stats/timeseries.h"
+#include "src/workload/arrival.h"
+
+namespace incod {
+
+// Builds the next request packet. `id` is the unique request id the client
+// uses for matching; implementations must store it in packet.id.
+using RequestFactory = std::function<Packet(NodeId src, uint64_t id, SimTime now, Rng& rng)>;
+
+struct LoadClientConfig {
+  std::string name = "client";
+  NodeId node = 100;
+  SimDuration rate_bucket = Milliseconds(100);  // Completion-series bucket.
+  // Outstanding requests are abandoned (counted as lost) after this long.
+  SimDuration loss_timeout = Seconds(1);
+};
+
+class LoadClient : public PacketSink {
+ public:
+  LoadClient(Simulation& sim, LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
+             RequestFactory factory);
+
+  void SetUplink(Link* link) { uplink_ = link; }
+
+  void Start();
+  void StopAt(SimTime at) { stop_at_ = at; }
+
+  void Receive(Packet packet) override;
+  std::string SinkName() const override { return config_.name; }
+
+  uint64_t sent() const { return sent_.value(); }
+  uint64_t received() const { return received_.value(); }
+  uint64_t lost() const { return lost_.value(); }
+  size_t outstanding() const { return outstanding_.size(); }
+  double LossFraction() const;
+
+  const Histogram& latency() const { return latency_; }
+  // Mutable access for windowed sampling (benches reset it per interval).
+  Histogram& mutable_latency() { return latency_; }
+  const TimeSeries& completion_rate() const { return completion_series_; }
+  ArrivalProcess& arrival() { return *arrival_; }
+
+  // Resets measurement state (latency, counters) without stopping traffic;
+  // used after warm-up phases.
+  void ResetStats();
+
+ private:
+  void SendNext();
+  void RollBucket();
+  void SweepTimeouts();
+
+  Simulation& sim_;
+  LoadClientConfig config_;
+  std::unique_ptr<ArrivalProcess> arrival_;
+  RequestFactory factory_;
+  Link* uplink_ = nullptr;
+  SimTime stop_at_ = INT64_MAX;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, SimTime> outstanding_;
+  Counter sent_;
+  Counter received_;
+  Counter lost_;
+  Histogram latency_;
+  TimeSeries completion_series_{"completions_per_sec"};
+  uint64_t bucket_completions_ = 0;
+  Rng rng_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_WORKLOAD_CLIENT_H_

@@ -1,0 +1,105 @@
+#include "src/workload/dynamo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace incod {
+
+PowerTraceConfig DynamoCachingTraceConfig() {
+  PowerTraceConfig config;
+  config.mean_watts = 1000;
+  config.sigma_watts = 14;
+  config.ar1_coefficient = 0.965;
+  config.num_samples = 7200;
+  return config;
+}
+
+PowerTraceConfig DynamoWebTraceConfig() {
+  PowerTraceConfig config;
+  config.mean_watts = 1000;
+  config.sigma_watts = 60;
+  config.ar1_coefficient = 0.94;
+  config.num_samples = 7200;
+  return config;
+}
+
+std::vector<double> SynthesizePowerTrace(const PowerTraceConfig& config, Rng& rng) {
+  if (config.num_samples == 0) {
+    throw std::invalid_argument("SynthesizePowerTrace: num_samples must be > 0");
+  }
+  if (config.ar1_coefficient < 0 || config.ar1_coefficient >= 1) {
+    throw std::invalid_argument("SynthesizePowerTrace: ar1 in [0,1)");
+  }
+  std::vector<double> trace;
+  trace.reserve(config.num_samples);
+  double deviation = 0;
+  for (uint64_t i = 0; i < config.num_samples; ++i) {
+    deviation = config.ar1_coefficient * deviation +
+                rng.Normal(0.0, config.sigma_watts);
+    // Power cannot go negative; clamp far excursions.
+    trace.push_back(std::max(0.0, config.mean_watts + deviation));
+  }
+  return trace;
+}
+
+PowerVariationStats AnalyzePowerVariation(const std::vector<double>& trace_watts,
+                                          double sample_period_seconds,
+                                          double window_seconds) {
+  PowerVariationStats stats;
+  if (trace_watts.empty() || sample_period_seconds <= 0 || window_seconds <= 0) {
+    return stats;
+  }
+  const size_t window = std::max<size_t>(
+      1, static_cast<size_t>(window_seconds / sample_period_seconds + 0.5));
+  if (trace_watts.size() < window) {
+    return stats;
+  }
+  std::vector<double> variations;
+  variations.reserve(trace_watts.size() - window + 1);
+  // Monotonic deques for sliding min/max, plus a running sum.
+  std::deque<size_t> maxq;
+  std::deque<size_t> minq;
+  double sum = 0;
+  for (size_t i = 0; i < trace_watts.size(); ++i) {
+    sum += trace_watts[i];
+    while (!maxq.empty() && trace_watts[maxq.back()] <= trace_watts[i]) {
+      maxq.pop_back();
+    }
+    maxq.push_back(i);
+    while (!minq.empty() && trace_watts[minq.back()] >= trace_watts[i]) {
+      minq.pop_back();
+    }
+    minq.push_back(i);
+    if (i + 1 >= window) {
+      const size_t lo = i + 1 - window;
+      while (maxq.front() < lo) {
+        maxq.pop_front();
+      }
+      while (minq.front() < lo) {
+        minq.pop_front();
+      }
+      const double mean = sum / static_cast<double>(window);
+      if (mean > 0) {
+        variations.push_back((trace_watts[maxq.front()] - trace_watts[minq.front()]) / mean);
+      }
+      sum -= trace_watts[lo];
+    }
+  }
+  if (variations.empty()) {
+    return stats;
+  }
+  std::sort(variations.begin(), variations.end());
+  stats.median = variations[variations.size() / 2];
+  stats.p99 = variations[static_cast<size_t>(
+      std::min<double>(static_cast<double>(variations.size()) - 1,
+                       0.99 * static_cast<double>(variations.size())))];
+  return stats;
+}
+
+bool SafeForInNetworkPlacement(const PowerVariationStats& stats, double threshold) {
+  return stats.p99 <= threshold;
+}
+
+}  // namespace incod

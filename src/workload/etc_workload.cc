@@ -1,0 +1,64 @@
+#include "src/workload/etc_workload.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace incod {
+
+namespace {
+// Value-size buckets approximating the ETC pool's published distribution:
+// a spike of tiny values, bulk below 500 B, and a thin tail to a few KB.
+struct ValueBucket {
+  uint32_t lo;
+  uint32_t hi;
+};
+constexpr std::array<ValueBucket, 6> kValueBuckets = {{
+    {2, 10},       // tiny (counters)
+    {11, 100},     // small
+    {101, 500},    // bulk of the distribution
+    {501, 1000},   //
+    {1001, 2048},  //
+    {2049, 4096},  // tail
+}};
+const std::vector<double> kValueWeights = {0.25, 0.30, 0.35, 0.06, 0.03, 0.01};
+}  // namespace
+
+EtcWorkload::EtcWorkload(EtcWorkloadConfig config)
+    : config_(config),
+      popularity_(config.key_population, config.zipf_skew),
+      value_buckets_(kValueWeights) {
+  if (config_.kvs_service == 0) {
+    throw std::invalid_argument("EtcWorkload: kvs_service address required");
+  }
+  if (config_.get_fraction < 0 || config_.get_fraction > 1) {
+    throw std::invalid_argument("EtcWorkload: get_fraction in [0,1]");
+  }
+}
+
+uint32_t EtcWorkload::SampleValueBytes(Rng& rng) const {
+  const ValueBucket& bucket = kValueBuckets[value_buckets_.Sample(rng)];
+  return static_cast<uint32_t>(rng.UniformInt(bucket.lo, bucket.hi));
+}
+
+KvRequest EtcWorkload::NextRequest(Rng& rng) const {
+  KvRequest req;
+  req.key = popularity_.Sample(rng);
+  if (rng.Bernoulli(config_.get_fraction)) {
+    req.op = KvOp::kGet;
+  } else {
+    req.op = KvOp::kSet;
+    req.value_bytes = SampleValueBytes(rng);
+  }
+  return req;
+}
+
+RequestFactory EtcWorkload::MakeFactory() const {
+  // Copy `this` state by value pieces used; the workload object must outlive
+  // the client, so capture by pointer for the distributions.
+  return [this](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+    const KvRequest req = NextRequest(rng);
+    return MakeKvRequestPacket(src, config_.kvs_service, req, id, now);
+  };
+}
+
+}  // namespace incod

@@ -1,0 +1,49 @@
+// Facebook "ETC" key-value workload model (Atikoglu et al., SIGMETRICS'12).
+//
+// The paper uses the ETC arrival distribution for its Fig 6 transition
+// experiment and cites its key statistics in §5.3 (10^9-10^11 unique keys
+// per hour, 3-35 % of keys unique). We model the published shape: Zipfian
+// key popularity, small keys, predominantly sub-500 B values, and a
+// GET-dominated mix (~30:1 GET:SET for ETC).
+#ifndef INCOD_SRC_WORKLOAD_ETC_WORKLOAD_H_
+#define INCOD_SRC_WORKLOAD_ETC_WORKLOAD_H_
+
+#include <memory>
+
+#include "src/kvs/kv_protocol.h"
+#include "src/sim/random.h"
+#include "src/workload/client.h"
+
+namespace incod {
+
+struct EtcWorkloadConfig {
+  uint64_t key_population = 1'000'000;
+  double zipf_skew = 0.99;
+  double get_fraction = 0.97;  // ~30:1 GET:SET.
+  NodeId kvs_service = 0;      // Destination address of the KVS.
+};
+
+class EtcWorkload {
+ public:
+  explicit EtcWorkload(EtcWorkloadConfig config);
+
+  // Draws the next request.
+  KvRequest NextRequest(Rng& rng) const;
+
+  // Value-size distribution per the ETC pool: mostly tiny, long tail.
+  uint32_t SampleValueBytes(Rng& rng) const;
+
+  // Adapts this workload to the LoadClient interface.
+  RequestFactory MakeFactory() const;
+
+  const EtcWorkloadConfig& config() const { return config_; }
+
+ private:
+  EtcWorkloadConfig config_;
+  ZipfDistribution popularity_;
+  DiscreteDistribution value_buckets_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_WORKLOAD_ETC_WORKLOAD_H_

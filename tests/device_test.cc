@@ -1,0 +1,365 @@
+// Tests for the FPGA NIC, switch ASIC, conventional NICs and SmartNIC data.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/device/conventional_nic.h"
+#include "src/device/fpga_nic.h"
+#include "src/device/smartnic.h"
+#include "src/device/switch_asic.h"
+#include "src/net/topology.h"
+#include "src/sim/simulation.h"
+
+namespace incod {
+namespace {
+
+class CollectorSink : public PacketSink {
+ public:
+  void Receive(Packet packet) override { packets.push_back(std::move(packet)); }
+  std::string SinkName() const override { return "collector"; }
+  std::vector<Packet> packets;
+};
+
+// Minimal FPGA app that consumes matching packets and echoes to network.
+class EchoFpgaApp : public FpgaApp {
+ public:
+  AppProto proto() const override { return AppProto::kKv; }
+  std::string AppName() const override { return "echo-hw"; }
+  std::vector<ModulePowerSpec> PowerModules() const override {
+    return {MakeModuleSpec("logic", 2.0, 0.6, 1.0),
+            MakeModuleSpec("dram_if", 4.8, 1.0, 0.6)};
+  }
+  double DynamicWattsAtCapacity() const override { return 1.0; }
+  FpgaPipelineSpec PipelineSpec() const override {
+    FpgaPipelineSpec spec;
+    spec.workers = 2;
+    spec.worker_service = Nanoseconds(500);
+    spec.pipeline_latency = Microseconds(1);
+    spec.input_queue_capacity = 8;
+    return spec;
+  }
+  void Process(Packet packet) override {
+    ++processed;
+    Packet reply;
+    reply.src = nic()->config().device_node;
+    reply.dst = packet.src;
+    reply.proto = AppProto::kKv;
+    nic()->TransmitToNetwork(reply);
+  }
+  int processed = 0;
+};
+
+struct FpgaHarness {
+  FpgaHarness(bool standalone = false, bool with_host = true)
+      : sim(), topo(sim), fpga(sim, MakeConfig(standalone)) {
+    fpga.InstallApp(&app);
+    net_link = topo.Connect(&net_side, &fpga);
+    fpga.SetNetworkLink(net_link);
+    if (with_host) {
+      host_link = topo.Connect(&fpga, &host_side);
+      fpga.SetHostLink(host_link);
+    }
+  }
+  static FpgaNicConfig MakeConfig(bool standalone) {
+    FpgaNicConfig config;
+    config.host_node = 1;
+    config.device_node = 50;
+    config.standalone = standalone;
+    return config;
+  }
+  Packet KvPacket(NodeId src, NodeId dst) {
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.proto = AppProto::kKv;
+    return pkt;
+  }
+  Simulation sim;
+  Topology topo;
+  CollectorSink net_side;
+  CollectorSink host_side;
+  EchoFpgaApp app;
+  FpgaNic fpga;
+  Link* net_link;
+  Link* host_link = nullptr;
+};
+
+TEST(FpgaNicTest, InactivePassesThroughToHost) {
+  FpgaHarness h;
+  h.fpga.SetAppActive(false);
+  h.fpga.Receive(h.KvPacket(100, 1));
+  h.sim.Run();
+  EXPECT_EQ(h.host_side.packets.size(), 1u);
+  EXPECT_EQ(h.app.processed, 0);
+  EXPECT_EQ(h.fpga.delivered_to_host(), 1u);
+}
+
+TEST(FpgaNicTest, ActiveProcessesMatchingTraffic) {
+  FpgaHarness h;
+  h.fpga.SetAppActive(true);
+  h.fpga.Receive(h.KvPacket(100, 1));
+  h.sim.Run();
+  EXPECT_EQ(h.app.processed, 1);
+  EXPECT_EQ(h.net_side.packets.size(), 1u);
+  EXPECT_TRUE(h.host_side.packets.empty());
+  EXPECT_EQ(h.fpga.processed_in_hardware(), 1u);
+}
+
+TEST(FpgaNicTest, NonMatchingTrafficGoesToHostEvenWhenActive) {
+  FpgaHarness h;
+  h.fpga.SetAppActive(true);
+  Packet raw = h.KvPacket(100, 1);
+  raw.proto = AppProto::kRaw;
+  h.fpga.Receive(raw);
+  h.sim.Run();
+  EXPECT_EQ(h.host_side.packets.size(), 1u);
+  EXPECT_EQ(h.app.processed, 0);
+}
+
+TEST(FpgaNicTest, HostEgressForwardsToNetwork) {
+  FpgaHarness h;
+  h.fpga.Receive(h.KvPacket(1, 100));  // src == host node.
+  h.sim.Run();
+  EXPECT_EQ(h.net_side.packets.size(), 1u);
+}
+
+TEST(FpgaNicTest, AppIngressCountedEvenWhenInactive) {
+  FpgaHarness h;
+  h.fpga.SetAppActive(false);
+  h.fpga.Receive(h.KvPacket(100, 1));
+  h.fpga.Receive(h.KvPacket(100, 1));
+  h.sim.Run();
+  EXPECT_EQ(h.fpga.app_ingress_packets(), 2u);
+}
+
+TEST(FpgaNicTest, ReferenceNicPowerIsShellPlusPcie) {
+  Simulation sim;
+  FpgaNicConfig config;
+  FpgaNic bare(sim, config);  // No app installed: the reference NIC.
+  EXPECT_DOUBLE_EQ(bare.PowerWatts(), kFpgaShellWatts + kFpgaPcieWatts);
+}
+
+TEST(FpgaNicTest, PowerStatesFollowGatingControls) {
+  FpgaHarness h;
+  const double idle = h.fpga.PowerWatts();  // 11 + 2 + 4.8 = 17.8.
+  EXPECT_NEAR(idle, 17.8, 1e-9);
+  h.fpga.SetClockGating(true);  // logic 2.0 -> 1.2.
+  EXPECT_NEAR(h.fpga.PowerWatts(), 17.0, 1e-9);
+  h.fpga.SetMemoryReset(true);  // dram 4.8 -> 2.88.
+  EXPECT_NEAR(h.fpga.PowerWatts(), 15.08, 1e-9);
+  // Activating restores everything to active draw.
+  h.fpga.SetAppActive(true);
+  EXPECT_NEAR(h.fpga.PowerWatts(), 17.8, 1e-9);
+}
+
+TEST(FpgaNicTest, PowerGatedModuleStaysOff) {
+  FpgaHarness h;
+  h.fpga.PowerGateModule("dram_if");
+  EXPECT_NEAR(h.fpga.PowerWatts(), 13.0, 1e-9);
+  h.fpga.SetAppActive(true);  // Gated module must not wake.
+  EXPECT_NEAR(h.fpga.PowerWatts(), 13.0, 1e-9);
+}
+
+TEST(FpgaNicTest, StandalonePowerIncludesPsuOverhead) {
+  FpgaHarness inserver(/*standalone=*/false, /*with_host=*/false);
+  FpgaHarness standalone(/*standalone=*/true, /*with_host=*/false);
+  EXPECT_GT(standalone.fpga.PowerWatts(), inserver.fpga.PowerWatts() + 2.0);
+}
+
+TEST(FpgaNicTest, StandaloneDropsHostTraffic) {
+  FpgaHarness h(/*standalone=*/true, /*with_host=*/false);
+  h.fpga.SetAppActive(true);
+  Packet raw = h.KvPacket(100, 1);
+  raw.proto = AppProto::kRaw;
+  h.fpga.Receive(raw);
+  h.sim.Run();
+  EXPECT_EQ(h.fpga.dropped(), 1u);
+}
+
+TEST(FpgaNicTest, PipelineDropsWhenOverloaded) {
+  FpgaHarness h;
+  h.fpga.SetAppActive(true);
+  // 2 workers x 500 ns = 4 Mpps capacity; queue 8. Blast 100 at once.
+  for (int i = 0; i < 100; ++i) {
+    h.fpga.Receive(h.KvPacket(100, 1));
+  }
+  h.sim.Run();
+  EXPECT_GT(h.fpga.dropped(), 0u);
+  EXPECT_LT(h.app.processed, 100);
+}
+
+TEST(FpgaNicTest, MemoryResetNotifiesApp) {
+  struct ResetProbeApp : EchoFpgaApp {
+    void OnMemoryReset() override { ++resets; }
+    int resets = 0;
+  };
+  Simulation sim;
+  Topology topo(sim);
+  FpgaNicConfig config;
+  FpgaNic fpga(sim, config);
+  ResetProbeApp app;
+  fpga.InstallApp(&app);
+  fpga.SetMemoryReset(true);
+  fpga.SetMemoryReset(true);  // Idempotent: only the edge notifies.
+  EXPECT_EQ(app.resets, 1);
+  fpga.SetMemoryReset(false);
+  fpga.SetMemoryReset(true);
+  EXPECT_EQ(app.resets, 2);
+}
+
+TEST(FpgaNicTest, SecondAppInstallRejected) {
+  Simulation sim;
+  FpgaNic fpga(sim, FpgaNicConfig{});
+  EchoFpgaApp a;
+  EchoFpgaApp b;
+  fpga.InstallApp(&a);
+  EXPECT_THROW(fpga.InstallApp(&b), std::logic_error);
+  EXPECT_THROW(FpgaNic(sim, FpgaNicConfig{}).SetAppActive(true), std::logic_error);
+}
+
+// ---- Switch ASIC ----
+
+TEST(SwitchAsicTest, IdlePowerIsSameWithAndWithoutPrograms) {
+  Simulation sim;
+  SwitchAsic sw(sim, SwitchAsicConfig{});
+  const double idle = sw.PowerWatts();
+  DiagProgram diag;
+  sw.LoadProgram(&diag);
+  EXPECT_DOUBLE_EQ(sw.PowerWatts(), idle);  // §6: identical at idle.
+}
+
+TEST(SwitchAsicTest, NormalizedIdleFraction) {
+  Simulation sim;
+  SwitchAsicConfig config;
+  SwitchAsic sw(sim, config);
+  EXPECT_NEAR(sw.NormalizedPower(), config.idle_power_fraction, 1e-9);
+}
+
+TEST(SwitchAsicTest, LineRatePpsMatchesConfig) {
+  Simulation sim;
+  SwitchAsic sw(sim, SwitchAsicConfig{});
+  // 32 x 40G = 1.28 Tbps at 64 B -> 2.5 Gpps (§6).
+  EXPECT_NEAR(sw.LineRatePps(), 2.5e9, 1e7);
+}
+
+TEST(SwitchAsicTest, MinMaxSpreadUnder20Percent) {
+  SwitchAsicConfig config;
+  // At full utilization (without programs) power is Pmax; idle 0.84 Pmax.
+  EXPECT_GT(config.idle_power_fraction, 0.8);
+}
+
+TEST(SwitchAsicTest, ProgramOverheadScalesWithLoad) {
+  Simulation sim;
+  Topology topo(sim);
+  SwitchAsicConfig config;
+  config.rate_window = Milliseconds(1);
+  SwitchAsic sw(sim, config);
+  CollectorSink host;
+  topo.ConnectToSwitch(&sw, &host, 1);
+  DiagProgram diag;
+  sw.LoadProgram(&diag);
+  // Push some traffic through to raise the observed rate.
+  for (int i = 0; i < 1000; ++i) {
+    Packet pkt;
+    pkt.src = 9;
+    pkt.dst = 1;
+    sw.Receive(pkt);
+  }
+  const double with_diag = sw.PowerWatts();
+  const double forwarding_only = sw.ForwardingOnlyWatts();
+  EXPECT_GT(with_diag, forwarding_only);
+  // At utilization u the diag overhead is 4.8 % of base at most.
+  EXPECT_LE(with_diag / forwarding_only, 1.048 + 1e-9);
+}
+
+TEST(SwitchAsicTest, UnloadProgramRestoresPower) {
+  Simulation sim;
+  SwitchAsic sw(sim, SwitchAsicConfig{});
+  DiagProgram diag;
+  sw.LoadProgram(&diag);
+  EXPECT_EQ(sw.LoadedPrograms().size(), 1u);
+  sw.UnloadProgram("diag.p4");
+  EXPECT_TRUE(sw.LoadedPrograms().empty());
+  EXPECT_THROW(sw.LoadProgram(nullptr), std::invalid_argument);
+}
+
+// ---- Conventional NIC ----
+
+TEST(ConventionalNicTest, PassesThroughBothDirections) {
+  Simulation sim;
+  Topology topo(sim);
+  ConventionalNic nic(sim, MellanoxConnectX3Config(1));
+  CollectorSink net;
+  CollectorSink host;
+  Link* net_link = topo.Connect(&net, &nic);
+  Link* host_link = topo.Connect(&nic, &host);
+  nic.SetNetworkLink(net_link);
+  nic.SetHostLink(host_link);
+  Packet in;
+  in.src = 100;
+  in.dst = 1;
+  nic.Receive(in);
+  Packet out;
+  out.src = 1;
+  out.dst = 100;
+  nic.Receive(out);
+  sim.Run();
+  EXPECT_EQ(host.packets.size(), 1u);
+  EXPECT_EQ(net.packets.size(), 1u);
+}
+
+TEST(ConventionalNicTest, IntelNicCapsPacketRate) {
+  Simulation sim;
+  Topology topo(sim);
+  ConventionalNic nic(sim, IntelX520Config(1));
+  CollectorSink host;
+  Link* host_link = topo.Connect(&nic, &host);
+  nic.SetHostLink(host_link);
+  // Blast 10000 packets instantaneously; the 600 Kpps cap + 128-slot buffer
+  // forces drops.
+  for (int i = 0; i < 10000; ++i) {
+    Packet pkt;
+    pkt.src = 100;
+    pkt.dst = 1;
+    nic.Receive(pkt);
+  }
+  sim.Run();
+  EXPECT_GT(nic.dropped(), 0u);
+  EXPECT_LT(host.packets.size(), 10000u);
+}
+
+TEST(ConventionalNicTest, PresetsDiffer) {
+  const auto mellanox = MellanoxConnectX3Config(1);
+  const auto intel = IntelX520Config(1);
+  EXPECT_GT(mellanox.watts, intel.watts);  // §4.2: Intel more efficient...
+  EXPECT_EQ(mellanox.max_pps, 0);          // ...but Mellanox sustains more.
+  EXPECT_GT(intel.max_pps, 0);
+}
+
+// ---- SmartNIC presets ----
+
+TEST(SmartNicTest, PresetsCoverAllArchitectures) {
+  const auto presets = StandardSmartNicPresets();
+  ASSERT_EQ(presets.size(), 4u);
+  bool fpga = false;
+  bool soc = false;
+  for (const auto& p : presets) {
+    EXPECT_LE(p.max_watts, 25.0);  // §10: PCIe slot budget.
+    EXPECT_GT(OpsPerWattAtPeak(p), 1e6);  // "millions of operations per Watt".
+    if (p.arch == SmartNicArch::kFpga) {
+      fpga = true;
+      // AccelNet: 17-19 W, ~4 Mpps/W.
+      EXPECT_NEAR(OpsPerWattAtPeak(p) / 1e6, 4.0, 0.5);
+    }
+    if (p.arch == SmartNicArch::kSoc) {
+      soc = true;
+      EXPECT_FALSE(p.scalable_resources);  // The §10 "resource wall".
+    }
+  }
+  EXPECT_TRUE(fpga);
+  EXPECT_TRUE(soc);
+  EXPECT_STREQ(SmartNicArchName(SmartNicArch::kAsicPlusFpga), "asic+fpga");
+}
+
+}  // namespace
+}  // namespace incod

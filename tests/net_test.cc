@@ -1,0 +1,298 @@
+// Tests for packets, links, the L2 switch, and topology assembly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/net/switch.h"
+#include "src/net/topology.h"
+#include "src/sim/simulation.h"
+
+namespace incod {
+namespace {
+
+class CollectorSink : public PacketSink {
+ public:
+  explicit CollectorSink(Simulation* sim = nullptr, std::string name = "collector")
+      : sim_(sim), name_(std::move(name)) {}
+
+  void Receive(Packet packet) override {
+    packets.push_back(packet);
+    if (sim_ != nullptr) {
+      arrival_times.push_back(sim_->Now());
+    }
+  }
+  std::string SinkName() const override { return name_; }
+
+  std::vector<Packet> packets;
+  std::vector<SimTime> arrival_times;
+
+ private:
+  Simulation* sim_;
+  std::string name_;
+};
+
+Packet MakeRawPacket(NodeId src, NodeId dst, uint32_t bytes = 64) {
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.proto = AppProto::kRaw;
+  pkt.size_bytes = bytes;
+  return pkt;
+}
+
+TEST(PacketTest, ProtoNames) {
+  EXPECT_STREQ(AppProtoName(AppProto::kKv), "kv");
+  EXPECT_STREQ(AppProtoName(AppProto::kPaxos), "paxos");
+  EXPECT_STREQ(AppProtoName(AppProto::kDns), "dns");
+  EXPECT_STREQ(AppProtoName(AppProto::kRaw), "raw");
+}
+
+TEST(PacketTest, PayloadAccessors) {
+  Packet pkt;
+  pkt.payload = std::string("hello");
+  EXPECT_TRUE(PayloadIs<std::string>(pkt));
+  EXPECT_FALSE(PayloadIs<int>(pkt));
+  EXPECT_EQ(PayloadAs<std::string>(pkt), "hello");
+}
+
+TEST(LinkTest, DeliversWithSerializationAndPropagation) {
+  Simulation sim;
+  CollectorSink a(&sim, "a");
+  CollectorSink b(&sim, "b");
+  Link::Config config;
+  config.gigabits_per_second = 10.0;
+  config.propagation_delay = Nanoseconds(500);
+  Link link(sim, config, "test");
+  link.Connect(&a, &b);
+  link.Send(&a, MakeRawPacket(1, 2, 1250));  // 1250 B at 10 Gbps = 1 us.
+  sim.Run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(b.arrival_times[0], Microseconds(1) + Nanoseconds(500));
+}
+
+TEST(LinkTest, BackToBackPacketsQueueBehindSerialization) {
+  Simulation sim;
+  CollectorSink a(&sim);
+  CollectorSink b(&sim);
+  Link::Config config;
+  config.gigabits_per_second = 10.0;
+  config.propagation_delay = 0;
+  Link link(sim, config);
+  link.Connect(&a, &b);
+  link.Send(&a, MakeRawPacket(1, 2, 1250));
+  link.Send(&a, MakeRawPacket(1, 2, 1250));
+  sim.Run();
+  ASSERT_EQ(b.packets.size(), 2u);
+  EXPECT_EQ(b.arrival_times[0], Microseconds(1));
+  EXPECT_EQ(b.arrival_times[1], Microseconds(2));
+}
+
+TEST(LinkTest, FullDuplexDirectionsIndependent) {
+  Simulation sim;
+  CollectorSink a(&sim);
+  CollectorSink b(&sim);
+  Link link(sim, {});
+  link.Connect(&a, &b);
+  link.Send(&a, MakeRawPacket(1, 2));
+  link.Send(&b, MakeRawPacket(2, 1));
+  sim.Run();
+  EXPECT_EQ(a.packets.size(), 1u);
+  EXPECT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(link.delivered(&a), 1u);
+  EXPECT_EQ(link.delivered(&b), 1u);
+}
+
+TEST(LinkTest, DropsWhenQueueFull) {
+  Simulation sim;
+  CollectorSink a(&sim);
+  CollectorSink b(&sim);
+  Link::Config config;
+  config.gigabits_per_second = 0.001;  // 1 Mbps: slow.
+  config.queue_capacity_packets = 4;
+  Link link(sim, config);
+  link.Connect(&a, &b);
+  for (int i = 0; i < 100; ++i) {
+    link.Send(&a, MakeRawPacket(1, 2, 1500));
+  }
+  sim.Run();
+  EXPECT_EQ(b.packets.size(), 4u);
+  EXPECT_EQ(link.dropped(&b), 96u);
+  EXPECT_EQ(link.total_dropped(), 96u);
+}
+
+TEST(LinkTest, RejectsUnknownSender) {
+  Simulation sim;
+  CollectorSink a;
+  CollectorSink b;
+  CollectorSink stranger;
+  Link link(sim, {});
+  link.Connect(&a, &b);
+  EXPECT_THROW(link.Send(&stranger, MakeRawPacket(1, 2)), std::invalid_argument);
+}
+
+TEST(LinkTest, SendBeforeConnectThrows) {
+  Simulation sim;
+  CollectorSink a;
+  Link link(sim, {});
+  EXPECT_THROW(link.Send(&a, MakeRawPacket(1, 2)), std::logic_error);
+}
+
+TEST(SwitchTest, RoutesByDestination) {
+  Simulation sim;
+  Topology topo(sim);
+  L2Switch sw(sim, "sw");
+  CollectorSink h1(&sim, "h1");
+  CollectorSink h2(&sim, "h2");
+  topo.ConnectToSwitch(&sw, &h1, 1);
+  topo.ConnectToSwitch(&sw, &h2, 2);
+  sw.Receive(MakeRawPacket(1, 2));
+  sim.Run();
+  EXPECT_EQ(h2.packets.size(), 1u);
+  EXPECT_TRUE(h1.packets.empty());
+  EXPECT_EQ(sw.forwarded(), 1u);
+}
+
+TEST(SwitchTest, DropsUnroutable) {
+  Simulation sim;
+  L2Switch sw(sim, "sw");
+  sw.Receive(MakeRawPacket(1, 99));
+  sim.Run();
+  EXPECT_EQ(sw.dropped_no_route(), 1u);
+}
+
+TEST(SwitchTest, RuleOverridesRoute) {
+  Simulation sim;
+  Topology topo(sim);
+  L2Switch sw(sim, "sw");
+  CollectorSink h1(&sim, "h1");
+  CollectorSink h2(&sim, "h2");
+  topo.ConnectToSwitch(&sw, &h1, 1);
+  const int port2 = sw.AttachLink(topo.Connect(&sw, &h2, {}, "p2"));
+  sw.AddRoute(2, port2);
+
+  // Paxos traffic for node 1 is redirected to port2 (the migration rewrite).
+  L2Switch::ForwardingRule rule;
+  rule.proto = AppProto::kPaxos;
+  rule.match_dst = 1;
+  rule.out_port = port2;
+  sw.InstallRule(rule);
+
+  Packet paxos = MakeRawPacket(9, 1);
+  paxos.proto = AppProto::kPaxos;
+  sw.Receive(paxos);
+  sw.Receive(MakeRawPacket(9, 1));  // Raw still follows the route.
+  sim.Run();
+  EXPECT_EQ(h2.packets.size(), 1u);
+  EXPECT_EQ(h1.packets.size(), 1u);
+}
+
+TEST(SwitchTest, RuleRewriteChangesDestination) {
+  Simulation sim;
+  Topology topo(sim);
+  L2Switch sw(sim, "sw");
+  CollectorSink h1(&sim);
+  topo.ConnectToSwitch(&sw, &h1, 1);
+  L2Switch::ForwardingRule rule;
+  rule.proto = AppProto::kDns;
+  rule.match_dst = 200;
+  rule.out_port = 0;
+  rule.rewrite_dst = 1;
+  sw.InstallRule(rule);
+  Packet pkt = MakeRawPacket(9, 200);
+  pkt.proto = AppProto::kDns;
+  sw.Receive(pkt);
+  sim.Run();
+  ASSERT_EQ(h1.packets.size(), 1u);
+  EXPECT_EQ(h1.packets[0].dst, 1u);
+}
+
+TEST(SwitchTest, HigherPriorityRuleWins) {
+  Simulation sim;
+  Topology topo(sim);
+  L2Switch sw(sim, "sw");
+  CollectorSink h1(&sim, "h1");
+  CollectorSink h2(&sim, "h2");
+  topo.ConnectToSwitch(&sw, &h1, 1);
+  topo.ConnectToSwitch(&sw, &h2, 2);
+  L2Switch::ForwardingRule low;
+  low.proto = AppProto::kKv;
+  low.out_port = 0;
+  low.priority = 1;
+  L2Switch::ForwardingRule high;
+  high.proto = AppProto::kKv;
+  high.out_port = 1;
+  high.priority = 5;
+  sw.InstallRule(low);
+  sw.InstallRule(high);
+  Packet pkt = MakeRawPacket(9, 42);
+  pkt.proto = AppProto::kKv;
+  sw.Receive(pkt);
+  sim.Run();
+  EXPECT_EQ(h2.packets.size(), 1u);
+  EXPECT_TRUE(h1.packets.empty());
+}
+
+TEST(SwitchTest, InstallRuleReplacesSameKey) {
+  Simulation sim;
+  Topology topo(sim);
+  L2Switch sw(sim, "sw");
+  CollectorSink h1(&sim);
+  CollectorSink h2(&sim);
+  topo.ConnectToSwitch(&sw, &h1, 1);
+  topo.ConnectToSwitch(&sw, &h2, 2);
+  L2Switch::ForwardingRule rule;
+  rule.proto = AppProto::kPaxos;
+  rule.match_dst = 7;
+  rule.out_port = 0;
+  sw.InstallRule(rule);
+  rule.out_port = 1;  // Re-point (leader migration).
+  sw.InstallRule(rule);
+  EXPECT_EQ(sw.num_rules(), 1u);
+  Packet pkt = MakeRawPacket(9, 7);
+  pkt.proto = AppProto::kPaxos;
+  sw.Receive(pkt);
+  sim.Run();
+  EXPECT_EQ(h2.packets.size(), 1u);
+}
+
+TEST(SwitchTest, RemoveRules) {
+  Simulation sim;
+  Topology topo(sim);
+  L2Switch sw(sim, "sw");
+  CollectorSink h1(&sim);
+  topo.ConnectToSwitch(&sw, &h1, 1);
+  L2Switch::ForwardingRule rule;
+  rule.proto = AppProto::kKv;
+  rule.match_dst = 5;
+  rule.out_port = 0;
+  sw.InstallRule(rule);
+  EXPECT_EQ(sw.RemoveRules(AppProto::kKv, 6), 0u);
+  EXPECT_EQ(sw.RemoveRules(AppProto::kKv, 5), 1u);
+  EXPECT_EQ(sw.num_rules(), 0u);
+}
+
+TEST(SwitchTest, BadPortsRejected) {
+  Simulation sim;
+  L2Switch sw(sim, "sw");
+  EXPECT_THROW(sw.AddRoute(1, 0), std::out_of_range);
+  L2Switch::ForwardingRule rule;
+  rule.out_port = 3;
+  EXPECT_THROW(sw.InstallRule(rule), std::out_of_range);
+}
+
+TEST(TopologyTest, ConnectsAndCounts) {
+  Simulation sim;
+  Topology topo(sim);
+  CollectorSink a(&sim);
+  CollectorSink b(&sim);
+  Link* link = topo.Connect(&a, &b);
+  EXPECT_EQ(topo.num_links(), 1u);
+  link->Send(&a, MakeRawPacket(1, 2));
+  sim.Run();
+  EXPECT_EQ(b.packets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace incod

@@ -1,0 +1,193 @@
+// Tests for the experiment testbeds: component wiring, metering scope, and
+// configuration validation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/scenarios/dns_testbed.h"
+#include "src/scenarios/kvs_testbed.h"
+#include "src/scenarios/paxos_testbed.h"
+
+namespace incod {
+namespace {
+
+TEST(KvsTestbedTest, SoftwareModeComponents) {
+  Simulation sim(1);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kSoftwareOnly;
+  KvsTestbed testbed(sim, options);
+  EXPECT_NE(testbed.server(), nullptr);
+  EXPECT_NE(testbed.nic(), nullptr);
+  EXPECT_NE(testbed.memcached(), nullptr);
+  EXPECT_EQ(testbed.fpga(), nullptr);
+  EXPECT_EQ(testbed.lake(), nullptr);
+  EXPECT_EQ(testbed.ServiceNode(), kTestbedServerNode);
+}
+
+TEST(KvsTestbedTest, LakeModeComponents) {
+  Simulation sim(1);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  KvsTestbed testbed(sim, options);
+  EXPECT_NE(testbed.server(), nullptr);
+  EXPECT_NE(testbed.fpga(), nullptr);
+  EXPECT_NE(testbed.lake(), nullptr);
+  EXPECT_EQ(testbed.nic(), nullptr);
+  EXPECT_TRUE(testbed.fpga()->app_active());
+}
+
+TEST(KvsTestbedTest, StandaloneModeHasNoHost) {
+  Simulation sim(1);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLakeStandalone;
+  KvsTestbed testbed(sim, options);
+  EXPECT_EQ(testbed.server(), nullptr);
+  EXPECT_EQ(testbed.memcached(), nullptr);
+  EXPECT_NE(testbed.fpga(), nullptr);
+  EXPECT_EQ(testbed.ServiceNode(), kTestbedDeviceNode);
+}
+
+TEST(KvsTestbedTest, LakeInitiallyInactiveOption) {
+  Simulation sim(1);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  options.lake_initially_active = false;
+  KvsTestbed testbed(sim, options);
+  EXPECT_FALSE(testbed.fpga()->app_active());
+}
+
+TEST(KvsTestbedTest, SecondClientRejected) {
+  Simulation sim(1);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kSoftwareOnly;
+  KvsTestbed testbed(sim, options);
+  auto factory = [](NodeId src, uint64_t id, SimTime now, Rng&) {
+    return MakeKvRequestPacket(src, 1, KvRequest{}, id, now);
+  };
+  testbed.AddClient(LoadClientConfig{}, std::make_unique<ConstantArrival>(1000.0),
+                    factory);
+  EXPECT_THROW(testbed.AddClient(LoadClientConfig{},
+                                 std::make_unique<ConstantArrival>(1000.0), factory),
+               std::logic_error);
+}
+
+TEST(KvsTestbedTest, PrefillWarmsBothSides) {
+  Simulation sim(1);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  KvsTestbed testbed(sim, options);
+  testbed.Prefill(100, 64);
+  EXPECT_EQ(testbed.memcached()->store().size(), 100u);
+  EXPECT_GT(testbed.lake()->l1().size(), 0u);
+  EXPECT_EQ(testbed.lake()->l2()->size(), 100u);
+}
+
+TEST(KvsTestbedTest, MeterSeesIdleAnchor) {
+  Simulation sim(1);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kSoftwareOnly;
+  KvsTestbed testbed(sim, options);
+  // 35 W server + 4 W Mellanox NIC.
+  EXPECT_NEAR(testbed.meter().InstantWatts(), 39.0, 0.1);
+}
+
+TEST(DnsTestbedTest, ModesAndZoneSharing) {
+  Simulation sim(1);
+  DnsTestbedOptions options;
+  options.mode = DnsMode::kEmu;
+  options.zone_size = 123;
+  DnsTestbed testbed(sim, options);
+  EXPECT_EQ(testbed.zone().size(), 123u);
+  EXPECT_NE(testbed.emu(), nullptr);
+  EXPECT_NE(testbed.nsd(), nullptr);  // Host fallback present in kEmu mode.
+  EXPECT_EQ(testbed.ServiceNode(), kTestbedServerNode);
+
+  DnsTestbedOptions standalone;
+  standalone.mode = DnsMode::kEmuStandalone;
+  DnsTestbed hostless(sim, standalone);
+  EXPECT_EQ(hostless.server(), nullptr);
+  EXPECT_EQ(hostless.ServiceNode(), kTestbedDeviceNode);
+}
+
+TEST(PaxosTestbedTest, LeaderSutVariantsWireExpectedComponents) {
+  Simulation sim(1);
+  {
+    PaxosTestbedOptions options;
+    options.deployment = PaxosDeployment::kLibpaxos;
+    PaxosTestbed testbed(sim, options);
+    EXPECT_NE(testbed.sut_server(), nullptr);
+    EXPECT_EQ(testbed.sut_fpga(), nullptr);
+    EXPECT_NE(testbed.software_leader(), nullptr);
+    EXPECT_EQ(testbed.fpga_leader(), nullptr);
+  }
+  {
+    PaxosTestbedOptions options;
+    options.deployment = PaxosDeployment::kP4xosFpga;
+    PaxosTestbed testbed(sim, options);
+    EXPECT_NE(testbed.sut_server(), nullptr);  // Host enclosing the board.
+    EXPECT_NE(testbed.sut_fpga(), nullptr);
+    EXPECT_NE(testbed.fpga_leader(), nullptr);
+    EXPECT_EQ(testbed.software_leader(), nullptr);
+  }
+  {
+    PaxosTestbedOptions options;
+    options.deployment = PaxosDeployment::kP4xosStandalone;
+    PaxosTestbed testbed(sim, options);
+    EXPECT_EQ(testbed.sut_server(), nullptr);
+    EXPECT_NE(testbed.sut_fpga(), nullptr);
+  }
+}
+
+TEST(PaxosTestbedTest, DualLeaderHasBothLeaders) {
+  Simulation sim(1);
+  PaxosTestbedOptions options;
+  options.deployment = PaxosDeployment::kP4xosFpga;
+  options.dual_leader = true;
+  PaxosTestbed testbed(sim, options);
+  EXPECT_NE(testbed.software_leader(), nullptr);
+  EXPECT_NE(testbed.fpga_leader(), nullptr);
+  EXPECT_FALSE(testbed.sut_fpga()->app_active());  // Software serves first.
+  EXPECT_GE(testbed.leader_port(), 0);
+}
+
+TEST(PaxosTestbedTest, GroupLayout) {
+  Simulation sim(1);
+  PaxosTestbedOptions options;
+  options.num_acceptors = 5;
+  PaxosTestbed testbed(sim, options);
+  EXPECT_EQ(testbed.group().acceptors.size(), 5u);
+  EXPECT_EQ(testbed.group().QuorumSize(), 3u);
+  EXPECT_EQ(testbed.group().leader_service, kPaxosLeaderService);
+  EXPECT_NE(testbed.learner(), nullptr);
+}
+
+TEST(PaxosTestbedTest, InvalidConfigsRejected) {
+  Simulation sim(1);
+  {
+    PaxosTestbedOptions options;
+    options.num_acceptors = 0;
+    EXPECT_THROW(PaxosTestbed(sim, options), std::invalid_argument);
+  }
+  {
+    PaxosTestbedOptions options;
+    options.dual_leader = true;
+    options.sut = PaxosSut::kAcceptor;
+    EXPECT_THROW(PaxosTestbed(sim, options), std::invalid_argument);
+  }
+}
+
+TEST(PaxosTestbedTest, AcceptorSutUsesHardwareLeader) {
+  Simulation sim(1);
+  PaxosTestbedOptions options;
+  options.sut = PaxosSut::kAcceptor;
+  options.deployment = PaxosDeployment::kLibpaxos;
+  PaxosTestbed testbed(sim, options);
+  // The leader must never bottleneck an acceptor sweep: it runs on an
+  // (unmetered) FPGA regardless of the acceptor deployment under test.
+  EXPECT_NE(testbed.fpga_leader(), nullptr);
+  EXPECT_NE(testbed.software_acceptor(0), nullptr);
+  EXPECT_NE(testbed.sut_server(), nullptr);
+}
+
+}  // namespace
+}  // namespace incod

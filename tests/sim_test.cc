@@ -1,0 +1,340 @@
+// Tests for the discrete-event engine and RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace incod {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(Milliseconds(1), 1000 * 1000);
+  EXPECT_EQ(Seconds(1), 1000 * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(9)), 9.0);
+}
+
+TEST(TimeTest, SecondsFRounds) {
+  EXPECT_EQ(SecondsF(1.0), Seconds(1));
+  EXPECT_EQ(SecondsF(0.5e-9), 1);  // Rounds half up to 1 ns.
+  EXPECT_EQ(SecondsF(1e-6), Microseconds(1));
+}
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Microseconds(30), [&] { order.push_back(3); });
+  sim.Schedule(Microseconds(10), [&] { order.push_back(1); });
+  sim.Schedule(Microseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Microseconds(30));
+}
+
+TEST(SimulationTest, FifoTieBreakAtSameTime) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulationTest, NestedSchedulingAdvancesTime) {
+  Simulation sim;
+  SimTime inner_time = -1;
+  sim.Schedule(Microseconds(10), [&] {
+    sim.Schedule(Microseconds(5), [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, Microseconds(15));
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  bool ran = false;
+  sim.Schedule(Microseconds(10), [&] {
+    sim.Schedule(-Microseconds(100), [&] {
+      ran = true;
+      EXPECT_EQ(sim.Now(), Microseconds(10));
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryAndSetsNow) {
+  Simulation sim;
+  int count = 0;
+  sim.Schedule(Microseconds(10), [&] { ++count; });
+  sim.Schedule(Microseconds(20), [&] { ++count; });
+  sim.Schedule(Microseconds(30), [&] { ++count; });
+  sim.RunUntil(Microseconds(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), Microseconds(20));
+  sim.RunUntil(Microseconds(25));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), Microseconds(25));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const uint64_t id = sim.Schedule(Microseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, CancelTwiceFails) {
+  Simulation sim;
+  const uint64_t id = sim.Schedule(Microseconds(10), [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(0));
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(SimulationTest, PendingEventsAccountsForCancellations) {
+  Simulation sim;
+  sim.Schedule(Microseconds(10), [] {});
+  const uint64_t id = sim.Schedule(Microseconds(20), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulationTest, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Microseconds(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulationTest, SchedulePeriodicStopsWhenCallbackReturnsFalse) {
+  Simulation sim;
+  int ticks = 0;
+  SchedulePeriodic(sim, Microseconds(10), Microseconds(10), [&] {
+    ++ticks;
+    return ticks < 3;
+  });
+  sim.Run();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(sim.Now(), Microseconds(30));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values reachable.
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  EXPECT_THROW(rng.UniformInt(6, 5), std::invalid_argument);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Exponential(0), std::invalid_argument);
+  EXPECT_THROW(rng.Exponential(-1), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsConverge) {
+  Rng rng(17);
+  double sum = 0;
+  double sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child stream should not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(29);
+  ZipfDistribution zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, PopularItemsDominate) {
+  Rng rng(31);
+  ZipfDistribution zipf(100000, 0.99);
+  int top10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 10) {
+      ++top10;
+    }
+  }
+  // With s=0.99 over 100k items, the top-10 ranks draw a large share.
+  EXPECT_GT(top10, n / 5);
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMore) {
+  Rng rng1(37);
+  Rng rng2(37);
+  ZipfDistribution mild(10000, 0.7);
+  ZipfDistribution steep(10000, 1.3);
+  int mild_top = 0;
+  int steep_top = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (mild.Sample(rng1) < 10) {
+      ++mild_top;
+    }
+    if (steep.Sample(rng2) < 10) {
+      ++steep_top;
+    }
+  }
+  EXPECT_GT(steep_top, mild_top);
+}
+
+TEST(ZipfTest, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, 0.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  Rng rng(41);
+  ZipfDistribution zipf(1, 0.99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 0u);
+  }
+}
+
+TEST(DiscreteDistributionTest, RespectsWeights) {
+  Rng rng(43);
+  DiscreteDistribution dist({1.0, 3.0});
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.Sample(rng) == 1) {
+      ++ones;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverSampled) {
+  Rng rng(47);
+  DiscreteDistribution dist({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 1u);
+  }
+}
+
+TEST(DiscreteDistributionTest, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteDistribution({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), std::invalid_argument);
+}
+
+// Property sweep: the exponential distribution's mean tracks the parameter.
+class ExponentialMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanTest, MeanTracksParameter) {
+  Rng rng(53);
+  const double mean = GetParam();
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(mean);
+  }
+  EXPECT_NEAR(sum / n / mean, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanTest,
+                         ::testing::Values(0.001, 0.1, 1.0, 50.0, 1e6));
+
+}  // namespace
+}  // namespace incod

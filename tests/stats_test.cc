@@ -1,0 +1,265 @@
+// Tests for histograms, time series, sliding windows, and CSV output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/stats/counters.h"
+#include "src/stats/csv.h"
+#include "src/stats/histogram.h"
+#include "src/stats/timeseries.h"
+
+namespace incod {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.P50(), 1000u);
+  EXPECT_EQ(h.P99(), 1000u);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  // Values below the sub-bucket count are recorded exactly.
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 50u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 100u);
+  EXPECT_EQ(h.min(), 1u);
+}
+
+TEST(HistogramTest, RelativePrecisionBounded) {
+  Histogram h;  // 6 significant bits -> ~1.6 % relative error.
+  const uint64_t value = 123456789;
+  h.Record(value);
+  const uint64_t p50 = h.P50();
+  const double rel =
+      std::abs(static_cast<double>(p50) - static_cast<double>(value)) / value;
+  EXPECT_LT(rel, 0.02);
+}
+
+TEST(HistogramTest, QuantileMonotonicity) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<uint64_t>(i * 37 + 1));
+  }
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const uint64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordNCounts) {
+  Histogram h;
+  h.RecordN(5, 100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.P50(), 5u);
+  h.RecordN(7, 0);  // No-op.
+  EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.P50(), 7u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, MergeRejectsGeometryMismatch) {
+  Histogram a(1 << 20, 6);
+  Histogram b(1 << 30, 6);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+}
+
+TEST(HistogramTest, ClampsAboveMaxValue) {
+  Histogram h(1000, 6);
+  h.Record(50000);  // Far beyond max: clamped into the top bucket.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 50000u);  // recorded_max keeps the raw value.
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1, 6), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 15), std::invalid_argument);
+}
+
+// Percentile sanity across magnitudes (property sweep).
+class HistogramScaleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramScaleTest, P99WithinPrecision) {
+  Histogram h;
+  const uint64_t scale = GetParam();
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Record(i * scale);
+  }
+  const double p99 = static_cast<double>(h.P99());
+  const double expect = static_cast<double>(990 * scale);
+  EXPECT_NEAR(p99 / expect, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramScaleTest,
+                         ::testing::Values(1u, 10u, 1000u, 1000000u));
+
+TEST(TimeSeriesTest, BasicStats) {
+  TimeSeries ts("x");
+  ts.Append(0, 1.0);
+  ts.Append(Seconds(1), 3.0);
+  ts.Append(Seconds(2), 5.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.MaxValue(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.MeanValue(), 3.0);
+}
+
+TEST(TimeSeriesTest, MeanBetweenWindow) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.Append(Seconds(i), static_cast<double>(i));
+  }
+  // [2s, 5s) covers samples 2, 3, 4.
+  EXPECT_DOUBLE_EQ(ts.MeanValueBetween(Seconds(2), Seconds(5)), 3.0);
+  EXPECT_DOUBLE_EQ(ts.MeanValueBetween(Seconds(100), Seconds(200)), 0.0);
+}
+
+TEST(SlidingWindowRateTest, RateOverWindow) {
+  SlidingWindowRate rate(Seconds(1));
+  for (int i = 0; i < 100; ++i) {
+    rate.RecordEvent(Milliseconds(i * 10));
+  }
+  // 100 events in the last second.
+  EXPECT_NEAR(rate.RatePerSecond(Milliseconds(990)), 100.0, 1.0);
+}
+
+TEST(SlidingWindowRateTest, OldEventsEvicted) {
+  SlidingWindowRate rate(Seconds(1));
+  rate.RecordEvent(0, 1000);
+  EXPECT_GT(rate.RatePerSecond(Milliseconds(500)), 0.0);
+  EXPECT_DOUBLE_EQ(rate.RatePerSecond(Seconds(3)), 0.0);
+}
+
+TEST(SlidingWindowRateTest, CountedEvents) {
+  SlidingWindowRate rate(Seconds(1));
+  rate.RecordEvent(0, 50);
+  rate.RecordEvent(Milliseconds(100), 50);
+  EXPECT_NEAR(rate.RatePerSecond(Milliseconds(200)), 100.0, 0.1);
+}
+
+TEST(SlidingWindowRateTest, RejectsBadWindow) {
+  EXPECT_THROW(SlidingWindowRate(0), std::invalid_argument);
+}
+
+TEST(SlidingWindowMeanTest, MeanAndEviction) {
+  SlidingWindowMean mean(Seconds(1));
+  mean.AddSample(0, 10.0);
+  mean.AddSample(Milliseconds(500), 20.0);
+  EXPECT_DOUBLE_EQ(mean.Mean(Milliseconds(600)), 15.0);
+  // After 1.2 s the first sample is evicted.
+  EXPECT_DOUBLE_EQ(mean.Mean(Milliseconds(1200)), 20.0);
+}
+
+TEST(SlidingWindowMeanTest, WindowFullDetection) {
+  SlidingWindowMean mean(Seconds(1));
+  mean.AddSample(0, 1.0);
+  EXPECT_FALSE(mean.WindowFull(Milliseconds(100)));
+  mean.AddSample(Milliseconds(500), 1.0);
+  mean.AddSample(Milliseconds(1000), 1.0);
+  EXPECT_TRUE(mean.WindowFull(Milliseconds(1000)));
+  // Far in the future everything is evicted again.
+  EXPECT_FALSE(mean.WindowFull(Seconds(10)));
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RatioCounterTest, HitRatio) {
+  RatioCounter r;
+  EXPECT_DOUBLE_EQ(r.HitRatio(), 0.0);
+  r.Hit();
+  r.Hit();
+  r.Hit();
+  r.Miss();
+  EXPECT_DOUBLE_EQ(r.HitRatio(), 0.75);
+  EXPECT_EQ(r.total(), 4u);
+}
+
+TEST(CsvTableTest, WritesHeaderAndRows) {
+  CsvTable table({"name", "value"});
+  table.AddRow({std::string("a"), 1.5});
+  table.AddRow({std::string("b"), static_cast<int64_t>(42)});
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_EQ(out.str(), "name,value\na,1.5\nb,42\n");
+}
+
+TEST(CsvTableTest, EscapesSpecialCharacters) {
+  CsvTable table({"text"});
+  table.AddRow({std::string("a,b")});
+  table.AddRow({std::string("say \"hi\"")});
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_EQ(out.str(), "text\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTableTest, RejectsMismatchedRow) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({std::string("only-one")}), std::invalid_argument);
+  EXPECT_THROW(CsvTable({}), std::invalid_argument);
+}
+
+TEST(CsvTableTest, AlignedOutputHasAllCells) {
+  CsvTable table({"col", "value"});
+  table.AddRow({std::string("row1"), 3.25});
+  std::ostringstream out;
+  table.WriteAligned(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("row1"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incod
