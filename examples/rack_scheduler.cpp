@@ -1,91 +1,128 @@
-// Power-aware placement for a rack: §8's energy model + §9.4's ToR switch
-// analysis as a small scheduling tool.
+// Rack-scale on-demand placement: the real orchestrator, live.
 //
-// Given a set of workloads (application type + expected request rate), the
-// advisor computes the energy tipping point for each available in-network
-// target (FPGA NIC, programmable ToR switch) and recommends a placement,
-// printing the projected watts for a scheduling period.
+// A mixed rack — memcached+LaKe, NSD+switch-DNS, and a dual Paxos leader —
+// runs under one RackOrchestrator with a shared offload power budget. Load
+// ramps per app; the orchestrator measures each app's classifier-visible
+// rate, predicts both placements' watts with the §8 models, and greedily
+// places each app on its cheapest eligible target (FPGA NIC for the KVS,
+// the ToR pipeline for DNS, the P4xos NIC for the Paxos leader), honoring
+// capacity and the shared budget. The timeline below narrates the result.
 #include <cstdio>
-#include <string>
-#include <vector>
+#include <memory>
 
-#include "src/ondemand/energy_advisor.h"
-#include "src/power/cpu_power.h"
-#include "src/sim/time.h"
+#include "src/scenarios/rack_scenario.h"
+#include "src/sim/simulation.h"
+#include "src/workload/dns_workload.h"
+#include "src/workload/etc_workload.h"
 
 using namespace incod;
 
 namespace {
 
-struct Workload {
-  std::string name;
-  double rate_pps;
-  RatePowerFn software;
-  RatePowerFn fpga;
-};
+std::string AppPlacement(MixedRackScenario& rack, size_t app) {
+  const RackPlacementOption* option = rack.orchestrator().current_option(app);
+  return option == nullptr ? "host" : option->target->TargetName();
+}
 
 }  // namespace
 
 int main() {
-  auto with_nic = [](RatePowerFn fn) {
-    return [fn](double r) { return fn(r) + 4.0; };
-  };
-  std::vector<Workload> workloads;
-  workloads.push_back({"kvs-frontend", 250000,
-                       with_nic(MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4)),
-                       MakeFpgaRatePower(35.0, 24.0, 1.0, 13e6)});
-  workloads.push_back({"kvs-archive", 15000,
-                       with_nic(MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4)),
-                       MakeFpgaRatePower(35.0, 24.0, 1.0, 13e6)});
-  workloads.push_back({"consensus", 120000,
-                       with_nic(MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1)),
-                       MakeFpgaRatePower(35.0, 12.6, 1.2, 10e6)});
-  workloads.push_back({"dns-edge", 300000,
-                       with_nic(MakeServerRatePower(I7NsdCurve(), Nanoseconds(4180), 4)),
-                       MakeFpgaRatePower(35.0, 12.5, 0.5, 1e6)});
+  Simulation sim(/*seed=*/11);
 
-  // The rack's programmable ToR switch is already forwarding all traffic:
-  // only the marginal program power counts (§9.4).
-  auto switch_marginal = MakeSwitchMarginalPower(0.02, 350.0, 2.5e9);
+  MixedRackOptions options;
+  options.power_budget_watts = 120.0;  // Shared PDU headroom for offloads.
+  options.orchestrator.min_saving_watts = 2.0;
+  options.orchestrator.min_dwell = Seconds(1);
+  // Near the one-core libpaxos peak. Note the orchestrator still keeps the
+  // leader on the host: P4xos-in-a-server saves < 1 W over libpaxos even at
+  // peak (Fig 3b) — the switch, not the NIC, is where consensus pays (§9.4).
+  options.paxos_client.requests_per_second = 170000;
+  MixedRackScenario rack(sim, options);
+  rack.PrefillKvs(50000, 64);
 
-  std::printf("%-14s %9s | %12s | %14s | %s\n", "workload", "rate", "fpga tip",
-              "sw/fpga watts", "recommendation");
-  for (const auto& w : workloads) {
-    const auto fpga_advice = AdvisePlacement(w.software, w.fpga, 2e6);
-    const auto switch_advice = AdvisePlacement(w.software, switch_marginal, 2e6);
-    const double sw_watts = w.software(w.rate_pps);
-    const double fpga_watts = w.fpga(w.rate_pps);
-    std::string recommendation;
-    if (switch_advice.network_always_wins) {
-      recommendation = "ToR switch (marginal power ~0)";
-    }
-    if (fpga_advice.tipping_rate_pps.has_value() &&
-        w.rate_pps >= *fpga_advice.tipping_rate_pps) {
-      recommendation += recommendation.empty() ? "" : " or ";
-      recommendation += "FPGA NIC";
-    }
-    if (recommendation.empty()) {
-      recommendation = "stay in software";
-    }
-    std::printf("%-14s %6.0fkps | %9.1fkps | %5.1f / %5.1f W | %s\n", w.name.c_str(),
-                w.rate_pps / 1000.0,
-                fpga_advice.tipping_rate_pps.value_or(-1) / 1000.0, sw_watts,
-                fpga_watts, recommendation.c_str());
+  // KVS: quiet start, morning surge at 3 s.
+  EtcWorkloadConfig etc_config;
+  etc_config.kvs_service = kRackKvsServerNode;
+  etc_config.key_population = 50000;
+  EtcWorkload etc(etc_config);
+  auto kvs_arrival = std::make_unique<PoissonArrival>(20000.0);
+  PoissonArrival* kvs_knob = kvs_arrival.get();
+  LoadClient& kvs_client =
+      rack.AddKvsClient(LoadClientConfig{}, std::move(kvs_arrival), etc.MakeFactory());
+
+  // DNS: steady 300 kqps edge traffic.
+  DnsWorkloadConfig dns_config;
+  dns_config.dns_service = kRackDnsServerNode;
+  LoadClient& dns_client = rack.AddDnsClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(300000.0),
+      MakeDnsRequestFactory(dns_config));
+
+  sim.Schedule(Seconds(3), [&] {
+    kvs_knob->SetRate(500000.0);
+    std::printf("[%5.1fs] load: kvs morning surge (500 kqps)\n", ToSeconds(sim.Now()));
+  });
+  sim.Schedule(Seconds(10), [&] {
+    kvs_knob->SetRate(20000.0);
+    std::printf("[%5.1fs] load: kvs night (20 kqps)\n", ToSeconds(sim.Now()));
+  });
+
+  rack.orchestrator().Start();
+  kvs_client.Start();
+  dns_client.Start();
+  rack.paxos_client()->Start();
+
+  std::printf("%-8s %-22s %-22s %-22s %10s %10s\n", "time", "kvs", "dns", "paxos",
+              "committed", "budget");
+  SchedulePeriodic(sim, Seconds(1), Seconds(1), [&] {
+    std::printf("[%5.1fs] %-22s %-22s %-22s %8.1f W %8.1f W\n", ToSeconds(sim.Now()),
+                AppPlacement(rack, rack.kvs_app_index()).c_str(),
+                AppPlacement(rack, rack.dns_app_index()).c_str(),
+                AppPlacement(rack, rack.paxos_app_index()).c_str(),
+                rack.orchestrator().ledger().committed_watts(),
+                rack.orchestrator().ledger().budget_watts());
+    return sim.Now() < Seconds(15);
+  });
+
+  sim.RunUntil(Seconds(15));
+
+  std::printf("\nshifts by target:\n");
+  std::printf("  %-24s %llu\n", rack.kvs_fpga().TargetName().c_str(),
+              static_cast<unsigned long long>(
+                  rack.orchestrator().ShiftsToTarget(rack.kvs_fpga())));
+  std::printf("  %-24s %llu\n", rack.dns_target().TargetName().c_str(),
+              static_cast<unsigned long long>(
+                  rack.orchestrator().ShiftsToTarget(rack.dns_target())));
+  if (rack.paxos_fpga() != nullptr) {
+    std::printf("  %-24s %llu\n", rack.paxos_fpga()->TargetName().c_str(),
+                static_cast<unsigned long long>(
+                    rack.orchestrator().ShiftsToTarget(*rack.paxos_fpga())));
   }
 
-  // Energy over a 1-hour scheduling period for the consensus workload,
-  // placed each way (eq. 1 of §8).
-  const auto& consensus = workloads[2];
-  const double packets = consensus.rate_pps * 3600;
-  const double sw_energy =
-      PeriodEnergyJoules(consensus.software, consensus.software(0), packets,
-                         consensus.rate_pps, 3600);
-  const double hw_energy = PeriodEnergyJoules(consensus.fpga, consensus.fpga(0), packets,
-                                              consensus.rate_pps, 3600);
-  std::printf("\nconsensus, 1h at %.0f kmsg/s: software %.0f kJ vs in-network %.0f kJ "
-              "(%.1f%% saved)\n",
-              consensus.rate_pps / 1000.0, sw_energy / 1000.0, hw_energy / 1000.0,
-              100.0 * (sw_energy - hw_energy) / sw_energy);
-  std::printf("\nsee DESIGN.md for the calibration sources of every constant.\n");
+  std::printf("\ntransitions:\n");
+  for (const auto& t : rack.kvs_migrator().transitions()) {
+    std::printf("  kvs   %5.1fs -> %s\n", ToSeconds(t.at), PlacementName(t.to));
+  }
+  for (const auto& t : rack.dns_migrator().transitions()) {
+    std::printf("  dns   %5.1fs -> %s\n", ToSeconds(t.at), PlacementName(t.to));
+  }
+  if (rack.paxos_migrator() != nullptr) {
+    for (const auto& t : rack.paxos_migrator()->transitions()) {
+      std::printf("  paxos %5.1fs -> %s\n", ToSeconds(t.at), PlacementName(t.to));
+    }
+  }
+
+  std::printf("\nserved: kvs %llu/%llu, dns %llu/%llu, paxos %llu/%llu\n",
+              static_cast<unsigned long long>(kvs_client.received()),
+              static_cast<unsigned long long>(kvs_client.sent()),
+              static_cast<unsigned long long>(dns_client.received()),
+              static_cast<unsigned long long>(dns_client.sent()),
+              static_cast<unsigned long long>(rack.paxos_client()->completed()),
+              static_cast<unsigned long long>(rack.paxos_client()->sent()));
+  std::printf("dns answered in ToR: %llu; kvs served in LaKe: %llu\n",
+              static_cast<unsigned long long>(rack.dns_program().answered()),
+              static_cast<unsigned long long>(rack.kvs_fpga().processed_in_hardware()));
+  std::printf("mean committed offload power: %.1f W (series of %zu samples)\n",
+              rack.orchestrator().committed_watts_series().MeanValue(),
+              rack.orchestrator().committed_watts_series().size());
   return 0;
 }

@@ -117,6 +117,23 @@ void FpgaNic::UpdateLogicStates() {
 
 void FpgaNic::SetReprogramming(bool reprogramming) { reprogramming_ = reprogramming; }
 
+void FpgaNic::PowerGateParkedApp() {
+  // The bitstream is not resident while parked: only the always-on shell,
+  // PCIe/DMA, and external memory interfaces keep drawing (§9.2).
+  for (const auto& name : ledger_.ModuleNames()) {
+    if (name != kShellModule && name != kPcieModule && !IsMemoryModule(name)) {
+      ledger_.SetState(name, ModulePowerState::kPowerGated);
+    }
+  }
+}
+
+std::string FpgaNic::TargetName() const {
+  if (app_ != nullptr) {
+    return config_.name + "/" + app_->AppName();
+  }
+  return config_.name;
+}
+
 void FpgaNic::Receive(Packet packet) {
   if (reprogramming_) {
     dropped_.Increment();

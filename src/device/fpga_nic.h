@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/device/fpga_app.h"
+#include "src/device/offload_target.h"
 #include "src/net/link.h"
 #include "src/net/packet.h"
 #include "src/power/ledger.h"
@@ -51,7 +52,7 @@ struct FpgaNicConfig {
   SimDuration rate_window = Milliseconds(100);  // For utilization/dyn power.
 };
 
-class FpgaNic : public PacketSink, public PowerSource {
+class FpgaNic : public PacketSink, public PowerSource, public OffloadTarget {
  public:
   FpgaNic(Simulation& sim, FpgaNicConfig config);
 
@@ -66,25 +67,38 @@ class FpgaNic : public PacketSink, public PowerSource {
   void SetNetworkLink(Link* link) { net_link_ = link; }
   void SetHostLink(Link* link) { host_link_ = link; }
 
-  // --- Runtime controls (the knobs of §5.1/§9.2) ---
+  // --- Runtime controls (the knobs of §5.1/§9.2, OffloadTarget surface) ---
   // When active, matching packets are processed in the app core; when
   // inactive, everything passes through to the host.
-  void SetAppActive(bool active);
-  bool app_active() const { return app_active_; }
+  void SetAppActive(bool active) override;
+  bool app_active() const override { return app_active_; }
   // Clock-gates the app logic while inactive.
-  void SetClockGating(bool enabled);
-  bool clock_gating() const { return clock_gating_; }
+  void SetClockGating(bool enabled) override;
+  bool clock_gating() const override { return clock_gating_; }
   // Holds external memory interfaces in reset while inactive.
-  void SetMemoryReset(bool enabled);
-  bool memory_reset() const { return memory_reset_; }
+  void SetMemoryReset(bool enabled) override;
+  bool memory_reset() const override { return memory_reset_; }
   // Permanently removes a module from the design (power gating / rebuild
   // without the module). Used by the Figure 4 ablations.
   void PowerGateModule(const std::string& module);
   // Models FPGA (partial) reconfiguration: while reprogramming, the device
   // forwards nothing — "a momentary traffic halt" (§9.2). All traffic in
   // either direction is dropped.
-  void SetReprogramming(bool reprogramming);
-  bool reprogramming() const { return reprogramming_; }
+  void SetReprogramming(bool reprogramming) override;
+  bool reprogramming() const override { return reprogramming_; }
+  // Reprogram-policy parking: the app core is not resident, so every module
+  // beyond the always-on shell/PCIe/memory interfaces draws nothing.
+  void PowerGateParkedApp() override;
+
+  // --- OffloadTarget identity ---
+  std::string TargetName() const override;
+  OffloadTargetTraits Traits() const override {
+    return OffloadTargetTraits{/*supports_clock_gating=*/true,
+                               /*supports_memory_reset=*/true,
+                               /*supports_reprogramming=*/true};
+  }
+  double OffloadPowerWatts() const override { return PowerWatts(); }
+  double OffloadCapacityPps() const override { return CapacityPps(); }
 
   // --- Data path ---
   void Receive(Packet packet) override;
@@ -108,12 +122,12 @@ class FpgaNic : public PacketSink, public PowerSource {
   uint64_t processed_in_hardware() const { return hw_processed_.value(); }
   uint64_t delivered_to_host() const { return to_host_.value(); }
   uint64_t dropped() const { return dropped_.value(); }
-  double ProcessedRatePerSecond() const;
+  double ProcessedRatePerSecond() const override;
   // Ingress rate of packets the classifier recognizes as the app's traffic,
   // counted whether or not the app is active. This is the signal the
   // network-controlled on-demand controller averages (§9.1).
-  double AppIngressRatePerSecond() const;
-  uint64_t app_ingress_packets() const { return app_ingress_.value(); }
+  double AppIngressRatePerSecond() const override;
+  uint64_t app_ingress_packets() const override { return app_ingress_.value(); }
 
   Simulation& sim() { return sim_; }
   const FpgaNicConfig& config() const { return config_; }

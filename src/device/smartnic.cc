@@ -1,5 +1,9 @@
 #include "src/device/smartnic.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
 namespace incod {
 
 const char* SmartNicArchName(SmartNicArch arch) {
@@ -36,6 +40,147 @@ std::vector<SmartNicPreset> StandardSmartNicPresets() {
       // SoC SmartNIC (BlueField-like): easy to program, resource-walled.
       {"bluefield-soc", SmartNicArch::kSoc, 14.0, 25.0, 30.0, 100.0, false, false},
   };
+}
+
+// ---------------------------------------------------------------------------
+
+SmartNic::SmartNic(Simulation& sim, SmartNicPreset preset, SmartNicDeviceConfig config)
+    : sim_(sim),
+      preset_(std::move(preset)),
+      config_(std::move(config)),
+      processed_rate_(config_.rate_window),
+      app_ingress_rate_(config_.rate_window) {
+  if (preset_.peak_mpps <= 0) {
+    throw std::invalid_argument("SmartNic: preset needs peak_mpps > 0");
+  }
+}
+
+std::string SmartNic::TargetName() const {
+  return config_.name + "/" + preset_.name;
+}
+
+OffloadTargetTraits SmartNic::Traits() const {
+  OffloadTargetTraits traits;
+  // Any architecture can idle its offload engine; only FPGA-bearing boards
+  // can be (partially) reconfigured at runtime.
+  traits.supports_clock_gating = true;
+  traits.supports_reprogramming = preset_.arch == SmartNicArch::kFpga ||
+                                  preset_.arch == SmartNicArch::kAsicPlusFpga;
+  return traits;
+}
+
+void SmartNic::SetAppActive(bool active) {
+  app_active_ = active;
+  if (active) {
+    engine_power_gated_ = false;  // Waking restores the engine.
+  }
+}
+
+void SmartNic::SetClockGating(bool enabled) { clock_gating_ = enabled; }
+
+void SmartNic::SetReprogramming(bool reprogramming) {
+  if (reprogramming && !Traits().supports_reprogramming) {
+    return;  // Fixed-function engine: nothing to reprogram.
+  }
+  reprogramming_ = reprogramming;
+}
+
+void SmartNic::PowerGateParkedApp() {
+  if (!Traits().supports_reprogramming) {
+    // Fixed-function engines have no bitstream to remove: the deepest park
+    // the silicon offers is clock-gating the engine.
+    clock_gating_ = true;
+    return;
+  }
+  engine_power_gated_ = true;
+}
+
+void SmartNic::Receive(Packet packet) {
+  if (reprogramming_) {
+    dropped_.Increment();  // "A momentary traffic halt" (§9.2).
+    return;
+  }
+  if (packet.src == config_.host_node) {
+    TransmitToNetwork(std::move(packet));
+    return;
+  }
+  const bool claimed = config_.offload_proto != AppProto::kRaw &&
+                       packet.proto == config_.offload_proto;
+  if (claimed) {
+    app_ingress_.Increment();
+    app_ingress_rate_.RecordEvent(sim_.Now());
+  }
+  if (!claimed || !app_active_ || handler_ == nullptr) {
+    DeliverToHost(std::move(packet));
+    return;
+  }
+  // Serialize through the engine at the preset's peak rate.
+  const SimDuration service = static_cast<SimDuration>(1e9 / (preset_.peak_mpps * 1e6));
+  const SimTime now = sim_.Now();
+  const SimTime start = std::max(now, busy_until_);
+  const double backlog = service > 0 ? static_cast<double>(start - now) /
+                                           static_cast<double>(std::max<SimDuration>(service, 1))
+                                     : 0;
+  if (backlog > static_cast<double>(config_.queue_capacity)) {
+    dropped_.Increment();
+    return;
+  }
+  busy_until_ = start + service;
+  sim_.ScheduleAt(start + service + config_.processing_latency,
+                  [this, pkt = std::move(packet)]() mutable {
+                    processed_.Increment();
+                    processed_rate_.RecordEvent(sim_.Now());
+                    auto reply = handler_(pkt);
+                    if (reply.has_value()) {
+                      TransmitToNetwork(std::move(*reply));
+                    } else {
+                      DeliverToHost(std::move(pkt));
+                    }
+                  });
+}
+
+void SmartNic::TransmitToNetwork(Packet packet) {
+  if (net_link_ == nullptr) {
+    throw std::logic_error("SmartNic: no network link");
+  }
+  net_link_->Send(this, std::move(packet));
+}
+
+void SmartNic::DeliverToHost(Packet packet) {
+  if (host_link_ == nullptr) {
+    dropped_.Increment();
+    return;
+  }
+  to_host_.Increment();
+  host_link_->Send(this, std::move(packet));
+}
+
+double SmartNic::Utilization() const {
+  const double cap = preset_.peak_mpps * 1e6;
+  return std::min(1.0, processed_rate_.RatePerSecond(sim_.Now()) / cap);
+}
+
+double SmartNic::ProcessedRatePerSecond() const {
+  return processed_rate_.RatePerSecond(sim_.Now());
+}
+
+double SmartNic::AppIngressRatePerSecond() const {
+  return app_ingress_rate_.RatePerSecond(sim_.Now());
+}
+
+double SmartNic::PowerWatts() const {
+  const double engine_idle = preset_.idle_watts * config_.offload_engine_fraction;
+  if (app_active_) {
+    return preset_.idle_watts + (preset_.max_watts - preset_.idle_watts) * Utilization();
+  }
+  if (engine_power_gated_) {
+    return preset_.idle_watts - engine_idle;
+  }
+  if (clock_gating_) {
+    // Mirror §5.1: clock gating keeps the engine's static ~60 %.
+    return preset_.idle_watts - 0.4 * engine_idle;
+  }
+  return preset_.idle_watts;
 }
 
 }  // namespace incod

@@ -1,14 +1,28 @@
-// SmartNIC presets for the §10 placement discussion.
+// SmartNIC presets and behavioral device model for the §10 placement
+// discussion.
 //
 // The paper surveys four SmartNIC architectures (FPGA, ASIC, ASIC+FPGA,
 // SoC) and anchors one concrete data point: Azure's AccelNet FPGA SmartNIC
 // at 17-19 W standalone on a 40GE board, "close to 4Mpps/W for some use
-// cases". These presets feed the placement advisor and bench_placement.
+// cases". The presets feed the placement advisor and bench_placement; the
+// SmartNic device turns a preset into a live OffloadTarget so the on-demand
+// layer can place workloads on SmartNICs exactly as it does on the NetFPGA
+// or a switch ASIC.
 #ifndef INCOD_SRC_DEVICE_SMARTNIC_H_
 #define INCOD_SRC_DEVICE_SMARTNIC_H_
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "src/device/offload_target.h"
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/power/power_source.h"
+#include "src/sim/simulation.h"
+#include "src/stats/counters.h"
+#include "src/stats/timeseries.h"
 
 namespace incod {
 
@@ -37,6 +51,96 @@ struct SmartNicPreset {
 double OpsPerWattAtPeak(const SmartNicPreset& preset);
 
 std::vector<SmartNicPreset> StandardSmartNicPresets();
+
+// ---------------------------------------------------------------------------
+// Behavioral SmartNIC: a preset brought to life as a datapath + OffloadTarget.
+// ---------------------------------------------------------------------------
+
+struct SmartNicDeviceConfig {
+  std::string name = "smartnic";
+  NodeId host_node = 1;
+  // Which application traffic the offload firmware claims (its classifier).
+  AppProto offload_proto = AppProto::kRaw;
+  SimDuration processing_latency = Microseconds(2);  // SoC/ASIC path latency.
+  SimDuration rate_window = Milliseconds(100);
+  size_t queue_capacity = 1024;
+  // Fraction of the preset's idle watts belonging to the offload engine
+  // (cores / FPGA region), as opposed to the base NIC datapath. Clock
+  // gating the parked engine saves 40 % of this share (mirroring §5.1);
+  // power gating it (reprogram-style parking) saves all of it.
+  double offload_engine_fraction = 0.3;
+};
+
+// The offloaded application's firmware: builds the reply for a claimed
+// request, or returns nullopt to punt the packet to the host.
+using SmartNicHandler = std::function<std::optional<Packet>(const Packet&)>;
+
+class SmartNic : public PacketSink, public PowerSource, public OffloadTarget {
+ public:
+  SmartNic(Simulation& sim, SmartNicPreset preset, SmartNicDeviceConfig config);
+
+  // Installs the offload firmware (what the engine does with claimed
+  // packets). Without a handler, claimed packets are counted and punted.
+  void SetHandler(SmartNicHandler handler) { handler_ = std::move(handler); }
+
+  void SetNetworkLink(Link* link) { net_link_ = link; }
+  void SetHostLink(Link* link) { host_link_ = link; }
+
+  // --- Data path ---
+  void Receive(Packet packet) override;
+  std::string SinkName() const override { return config_.name; }
+  void TransmitToNetwork(Packet packet);
+  void DeliverToHost(Packet packet);
+
+  // --- OffloadTarget ---
+  std::string TargetName() const override;
+  OffloadTargetTraits Traits() const override;
+  void SetAppActive(bool active) override;
+  bool app_active() const override { return app_active_; }
+  void SetClockGating(bool enabled) override;
+  bool clock_gating() const override { return clock_gating_; }
+  void SetReprogramming(bool reprogramming) override;
+  bool reprogramming() const override { return reprogramming_; }
+  void PowerGateParkedApp() override;
+  double AppIngressRatePerSecond() const override;
+  uint64_t app_ingress_packets() const override { return app_ingress_.value(); }
+  double ProcessedRatePerSecond() const override;
+  double OffloadPowerWatts() const override { return PowerWatts(); }
+  double OffloadCapacityPps() const override { return preset_.peak_mpps * 1e6; }
+
+  // --- Power ---
+  // idle + (max - idle) * utilization while serving; parked savings depend
+  // on the engine share and park depth.
+  double PowerWatts() const override;
+  std::string PowerName() const override { return config_.name; }
+  double Utilization() const;
+
+  uint64_t processed_in_hardware() const { return processed_.value(); }
+  uint64_t delivered_to_host() const { return to_host_.value(); }
+  uint64_t dropped() const { return dropped_.value(); }
+
+  const SmartNicPreset& preset() const { return preset_; }
+  const SmartNicDeviceConfig& config() const { return config_; }
+
+ private:
+  Simulation& sim_;
+  SmartNicPreset preset_;
+  SmartNicDeviceConfig config_;
+  SmartNicHandler handler_;
+  Link* net_link_ = nullptr;
+  Link* host_link_ = nullptr;
+  SimTime busy_until_ = 0;
+  bool app_active_ = false;
+  bool clock_gating_ = false;
+  bool engine_power_gated_ = false;
+  bool reprogramming_ = false;
+  mutable SlidingWindowRate processed_rate_;
+  mutable SlidingWindowRate app_ingress_rate_;
+  Counter app_ingress_;
+  Counter processed_;
+  Counter to_host_;
+  Counter dropped_;
+};
 
 }  // namespace incod
 

@@ -14,7 +14,12 @@ bool DiagProgram::Process(SwitchAsic& sw, Packet& packet) {
 SwitchAsic::SwitchAsic(Simulation& sim, SwitchAsicConfig config)
     : L2Switch(sim, config.name, config.pipeline_latency),
       config_(config),
-      observed_rate_(config.rate_window) {}
+      observed_rate_(config.rate_window),
+      proto_filter_(kNumAppProtos),
+      proto_ingress_(kNumAppProtos),
+      proto_consumed_(kNumAppProtos),
+      proto_ingress_rate_(kNumAppProtos, SlidingWindowRate(config.rate_window)),
+      proto_consumed_rate_(kNumAppProtos, SlidingWindowRate(config.rate_window)) {}
 
 void SwitchAsic::LoadProgram(SwitchProgram* program) {
   if (program == nullptr) {
@@ -40,13 +45,45 @@ std::vector<std::string> SwitchAsic::LoadedPrograms() const {
 
 bool SwitchAsic::ProcessInPipeline(Packet& packet) {
   observed_rate_.RecordEvent(sim_.Now());
+  const auto proto = static_cast<size_t>(packet.proto);
+  const bool classified =
+      proto < kNumAppProtos &&
+      (!proto_filter_[proto].has_value() || packet.dst == *proto_filter_[proto]);
+  if (classified) {
+    proto_ingress_[proto].Increment();
+    proto_ingress_rate_[proto].RecordEvent(sim_.Now());
+  }
   for (auto* p : programs_) {
     if (p->Process(*this, packet)) {
       consumed_.Increment();
+      if (classified) {
+        proto_consumed_[proto].Increment();
+        proto_consumed_rate_[proto].RecordEvent(sim_.Now());
+      }
       return true;
     }
   }
   return false;
+}
+
+void SwitchAsic::SetProtoIngressFilter(AppProto proto, NodeId service_dst) {
+  proto_filter_[static_cast<size_t>(proto)] = service_dst;
+}
+
+uint64_t SwitchAsic::ProtoIngressPackets(AppProto proto) const {
+  return proto_ingress_[static_cast<size_t>(proto)].value();
+}
+
+double SwitchAsic::ProtoIngressRatePerSecond(AppProto proto) const {
+  return proto_ingress_rate_[static_cast<size_t>(proto)].RatePerSecond(sim_.Now());
+}
+
+uint64_t SwitchAsic::ProtoConsumedPackets(AppProto proto) const {
+  return proto_consumed_[static_cast<size_t>(proto)].value();
+}
+
+double SwitchAsic::ProtoConsumedRatePerSecond(AppProto proto) const {
+  return proto_consumed_rate_[static_cast<size_t>(proto)].RatePerSecond(sim_.Now());
 }
 
 void SwitchAsic::TransmitFromPipeline(Packet packet) {

@@ -16,6 +16,7 @@
 #define INCOD_SRC_DEVICE_SWITCH_ASIC_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,18 @@ class SwitchAsic : public L2Switch, public PowerSource {
   double ObservedPps() const;
   double UtilizationFraction() const;
 
+  // Per-protocol pipeline observation. Ingress counts every packet of the
+  // protocol traversing the pipeline — whether or not a program claims it —
+  // so offload adapters see the §9.1 classifier signal even while parked.
+  // With a filter installed, only packets addressed to the service count:
+  // without it, replies (host-originated or program-emitted) crossing the
+  // switch would double the apparent request rate.
+  void SetProtoIngressFilter(AppProto proto, NodeId service_dst);
+  uint64_t ProtoIngressPackets(AppProto proto) const;
+  double ProtoIngressRatePerSecond(AppProto proto) const;
+  uint64_t ProtoConsumedPackets(AppProto proto) const;
+  double ProtoConsumedRatePerSecond(AppProto proto) const;
+
   double PowerWatts() const override;
   double NormalizedPower() const { return PowerWatts() / config_.max_power_watts; }
   // Power of the same load with L2 forwarding only (for §6 comparisons).
@@ -107,6 +120,11 @@ class SwitchAsic : public L2Switch, public PowerSource {
   std::vector<SwitchProgram*> programs_;
   mutable SlidingWindowRate observed_rate_;
   Counter consumed_;
+  std::vector<std::optional<NodeId>> proto_filter_;
+  std::vector<Counter> proto_ingress_;
+  std::vector<Counter> proto_consumed_;
+  mutable std::vector<SlidingWindowRate> proto_ingress_rate_;
+  mutable std::vector<SlidingWindowRate> proto_consumed_rate_;
 };
 
 }  // namespace incod

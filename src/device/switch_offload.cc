@@ -1,0 +1,57 @@
+#include "src/device/switch_offload.h"
+
+#include <algorithm>
+
+namespace incod {
+
+SwitchOffloadTarget::SwitchOffloadTarget(SwitchAsic& asic, SwitchProgram& program,
+                                         AppProto proto, NodeId service)
+    : asic_(asic), program_(program), proto_(proto) {
+  if (service != 0) {
+    asic_.SetProtoIngressFilter(proto_, service);
+  }
+  const auto loaded = asic_.LoadedPrograms();
+  active_ = std::find(loaded.begin(), loaded.end(), program_.ProgramName()) != loaded.end();
+}
+
+std::string SwitchOffloadTarget::TargetName() const {
+  return asic_.PowerName() + "/" + program_.ProgramName();
+}
+
+void SwitchOffloadTarget::SetAppActive(bool active) {
+  if (active == active_) {
+    return;
+  }
+  if (active) {
+    asic_.LoadProgram(&program_);
+  } else {
+    asic_.UnloadProgram(program_.ProgramName());
+  }
+  active_ = active;
+}
+
+double SwitchOffloadTarget::AppIngressRatePerSecond() const {
+  return asic_.ProtoIngressRatePerSecond(proto_);
+}
+
+uint64_t SwitchOffloadTarget::app_ingress_packets() const {
+  return asic_.ProtoIngressPackets(proto_);
+}
+
+double SwitchOffloadTarget::ProcessedRatePerSecond() const {
+  return asic_.ProtoConsumedRatePerSecond(proto_);
+}
+
+double SwitchOffloadTarget::OffloadPowerWatts() const {
+  if (!active_) {
+    return 0;
+  }
+  // Marginal draw of this program alone: base power times its own overhead
+  // fraction scaled by pipeline activity (P(rate) model, §6).
+  return asic_.ForwardingOnlyWatts() * program_.PowerOverheadAtFullLoad() *
+         asic_.UtilizationFraction();
+}
+
+double SwitchOffloadTarget::OffloadCapacityPps() const { return asic_.LineRatePps(); }
+
+}  // namespace incod

@@ -1,0 +1,58 @@
+// OffloadTarget adapter for a programmable switch ASIC.
+//
+// A Tofino-style switch is an offload destination with very different
+// economics from a NIC: the forwarding pipeline runs at line rate whether or
+// not an in-network program is loaded, so the power attributable to the
+// offload is only the program's marginal draw (§9.4 — which is why the
+// tipping point for a ToR-resident app approaches zero). "Activating" the
+// app means loading the program into the pipeline; there is no clock gating
+// or memory reset to apply — the pipeline is always warm.
+#ifndef INCOD_SRC_DEVICE_SWITCH_OFFLOAD_H_
+#define INCOD_SRC_DEVICE_SWITCH_OFFLOAD_H_
+
+#include <string>
+
+#include "src/device/offload_target.h"
+#include "src/device/switch_asic.h"
+
+namespace incod {
+
+class SwitchOffloadTarget : public OffloadTarget {
+ public:
+  // Adapts (switch, program) into an offload target for `proto` traffic.
+  // Neither is owned; if the program is already loaded the target starts
+  // active. The switch keeps forwarding all traffic either way. A non-zero
+  // `service` narrows the classifier signal to packets addressed to that
+  // node, so replies crossing the switch don't double the measured rate.
+  SwitchOffloadTarget(SwitchAsic& asic, SwitchProgram& program, AppProto proto,
+                      NodeId service = 0);
+
+  std::string TargetName() const override;
+  // Default traits: no park knobs — an ASIC pipeline is always warm, so
+  // every park policy behaves like kKeepWarm.
+
+  void SetAppActive(bool active) override;
+  bool app_active() const override { return active_; }
+
+  double AppIngressRatePerSecond() const override;
+  uint64_t app_ingress_packets() const override;
+  double ProcessedRatePerSecond() const override;
+
+  // Marginal program watts at the current pipeline utilization — zero while
+  // unloaded, and near zero at idle (§9.4).
+  double OffloadPowerWatts() const override;
+  double OffloadCapacityPps() const override;
+
+  SwitchAsic& asic() { return asic_; }
+  AppProto proto() const { return proto_; }
+
+ private:
+  SwitchAsic& asic_;
+  SwitchProgram& program_;
+  AppProto proto_;
+  bool active_ = false;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DEVICE_SWITCH_OFFLOAD_H_

@@ -36,8 +36,10 @@
 #include "src/device/conventional_nic.h"
 #include "src/device/fpga_app.h"
 #include "src/device/fpga_nic.h"
+#include "src/device/offload_target.h"
 #include "src/device/smartnic.h"
 #include "src/device/switch_asic.h"
+#include "src/device/switch_offload.h"
 #include "src/host/server.h"
 #include "src/host/software_app.h"
 
@@ -63,11 +65,14 @@
 #include "src/ondemand/energy_advisor.h"
 #include "src/ondemand/energy_controller.h"
 #include "src/ondemand/migrator.h"
+#include "src/ondemand/rack.h"
 
 // Workloads and testbeds.
 #include "src/scenarios/dns_testbed.h"
 #include "src/scenarios/kvs_testbed.h"
 #include "src/scenarios/paxos_testbed.h"
+#include "src/scenarios/rack_scenario.h"
+#include "src/scenarios/testbed_builder.h"
 #include "src/workload/arrival.h"
 #include "src/workload/client.h"
 #include "src/workload/dns_workload.h"

@@ -7,6 +7,7 @@
 #define INCOD_SRC_NET_PACKET_H_
 
 #include <any>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -28,6 +29,10 @@ enum class AppProto : uint8_t {
   kDns,        // NSD / Emu DNS
   kControl,    // On-demand controller messages.
 };
+
+// Number of AppProto values (for per-protocol counter arrays). Derived from
+// the last enumerator so the two cannot drift apart.
+constexpr size_t kNumAppProtos = static_cast<size_t>(AppProto::kControl) + 1;
 
 const char* AppProtoName(AppProto proto);
 

@@ -2,10 +2,10 @@
 
 namespace incod {
 
-NetworkController::NetworkController(Simulation& sim, FpgaNic& nic, Migrator& migrator,
+NetworkController::NetworkController(Simulation& sim, OffloadTarget& target, Migrator& migrator,
                                      NetworkControllerConfig config)
     : sim_(sim),
-      nic_(nic),
+      target_(target),
       migrator_(migrator),
       config_(config),
       up_mean_(config.up_window),
@@ -17,7 +17,7 @@ void NetworkController::Start() {
   }
   started_ = true;
   last_tick_ = sim_.Now();
-  last_ingress_count_ = nic_.app_ingress_packets();
+  last_ingress_count_ = target_.app_ingress_packets();
   SchedulePeriodic(sim_, config_.check_period, config_.check_period, [this] {
     if (stopped_) {
       return false;
@@ -34,7 +34,7 @@ void NetworkController::Tick() {
     return;
   }
   // Classifier-visible message rate since the last check.
-  const uint64_t count = nic_.app_ingress_packets();
+  const uint64_t count = target_.app_ingress_packets();
   const double rate = static_cast<double>(count - last_ingress_count_) / ToSeconds(dt);
   last_ingress_count_ = count;
   last_tick_ = now;
@@ -61,13 +61,13 @@ void NetworkController::Tick() {
 }
 
 HostController::HostController(Simulation& sim, Server& server, AppProto app,
-                               RaplCounter& rapl, FpgaNic& nic, Migrator& migrator,
+                               RaplCounter& rapl, OffloadTarget& target, Migrator& migrator,
                                HostControllerConfig config)
     : sim_(sim),
       server_(server),
       app_(app),
       rapl_(rapl),
-      nic_(nic),
+      target_(target),
       migrator_(migrator),
       config_(config),
       power_mean_(config.up_window),
@@ -104,7 +104,7 @@ void HostController::Tick() {
 
   power_mean_.AddSample(now, last_rapl_watts_);
   cpu_mean_.AddSample(now, server_.AppCpuUsage(app_));
-  rate_mean_.AddSample(now, nic_.ProcessedRatePerSecond());
+  rate_mean_.AddSample(now, target_.ProcessedRatePerSecond());
 
   if (now - last_shift_ < config_.min_dwell) {
     return;

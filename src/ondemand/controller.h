@@ -13,6 +13,10 @@
 //    usage and RAPL package power, inspected over time to avoid "harsh
 //    decisions based on spikes and outliers"; shifting back additionally
 //    requires rate feedback from the network device.
+//
+// Both controllers read their device signals through the OffloadTarget
+// interface, so the same decision code runs against an FPGA NIC, a
+// SmartNIC, or a switch ASIC program.
 #ifndef INCOD_SRC_ONDEMAND_CONTROLLER_H_
 #define INCOD_SRC_ONDEMAND_CONTROLLER_H_
 
@@ -20,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "src/device/fpga_nic.h"
+#include "src/device/offload_target.h"
 #include "src/host/server.h"
 #include "src/ondemand/migrator.h"
 #include "src/power/meter.h"
@@ -59,7 +63,7 @@ struct NetworkControllerConfig {
 
 class NetworkController : public OffloadController {
  public:
-  NetworkController(Simulation& sim, FpgaNic& nic, Migrator& migrator,
+  NetworkController(Simulation& sim, OffloadTarget& target, Migrator& migrator,
                     NetworkControllerConfig config = {});
 
   void Start() override;
@@ -72,7 +76,7 @@ class NetworkController : public OffloadController {
   void Tick();
 
   Simulation& sim_;
-  FpgaNic& nic_;
+  OffloadTarget& target_;
   Migrator& migrator_;
   NetworkControllerConfig config_;
   SlidingWindowMean up_mean_;
@@ -106,7 +110,8 @@ struct HostControllerConfig {
 class HostController : public OffloadController {
  public:
   HostController(Simulation& sim, Server& server, AppProto app, RaplCounter& rapl,
-                 FpgaNic& nic, Migrator& migrator, HostControllerConfig config = {});
+                 OffloadTarget& target, Migrator& migrator,
+                 HostControllerConfig config = {});
 
   void Start() override;
   std::string ControllerName() const override { return "host-controlled"; }
@@ -122,7 +127,7 @@ class HostController : public OffloadController {
   Server& server_;
   AppProto app_;
   RaplCounter& rapl_;
-  FpgaNic& nic_;
+  OffloadTarget& target_;
   Migrator& migrator_;
   HostControllerConfig config_;
   SlidingWindowMean power_mean_;

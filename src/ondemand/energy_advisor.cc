@@ -42,6 +42,14 @@ RatePowerFn MakeSwitchMarginalPower(double program_overhead_fraction,
   };
 }
 
+RatePowerFn MakeSmartNicRatePower(double host_idle_watts, double board_idle_watts,
+                                  double board_max_watts, double capacity_pps) {
+  // Same shape as the FPGA model with the dynamic term parameterized as the
+  // idle-to-max swing (how SmartNIC presets are specified, §10).
+  return MakeFpgaRatePower(host_idle_watts, board_idle_watts,
+                           board_max_watts - board_idle_watts, capacity_pps);
+}
+
 PlacementAdvice AdvisePlacement(const RatePowerFn& software, const RatePowerFn& network,
                                 double max_rate_pps) {
   PlacementAdvice advice;

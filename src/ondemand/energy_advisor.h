@@ -39,6 +39,12 @@ RatePowerFn MakeFpgaRatePower(double host_idle_watts, double board_idle_watts,
 RatePowerFn MakeSwitchMarginalPower(double program_overhead_fraction,
                                     double max_power_watts, double line_rate_pps);
 
+// Host + SmartNIC deployment (§10 presets): host idle watts plus board
+// power scaling linearly from idle to max at `capacity_pps` (the preset's
+// peak_mpps). Same shape the behavioral SmartNic device reports live.
+RatePowerFn MakeSmartNicRatePower(double host_idle_watts, double board_idle_watts,
+                                  double board_max_watts, double capacity_pps);
+
 struct PlacementAdvice {
   // Rate at/above which the network deployment draws no more power.
   std::optional<double> tipping_rate_pps;

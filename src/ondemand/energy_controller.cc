@@ -5,13 +5,13 @@
 
 namespace incod {
 
-EnergyAwareController::EnergyAwareController(Simulation& sim, FpgaNic& nic,
+EnergyAwareController::EnergyAwareController(Simulation& sim, OffloadTarget& target,
                                              Migrator& migrator,
                                              RatePowerFn software_watts,
                                              RatePowerFn network_watts,
                                              EnergyAwareControllerConfig config)
     : sim_(sim),
-      nic_(nic),
+      target_(target),
       migrator_(migrator),
       software_watts_(std::move(software_watts)),
       network_watts_(std::move(network_watts)),
@@ -28,7 +28,7 @@ void EnergyAwareController::Start() {
   }
   started_ = true;
   last_tick_ = sim_.Now();
-  last_ingress_count_ = nic_.app_ingress_packets();
+  last_ingress_count_ = target_.app_ingress_packets();
   SchedulePeriodic(sim_, config_.check_period, config_.check_period, [this] {
     if (stopped_) {
       return false;
@@ -44,7 +44,7 @@ void EnergyAwareController::Tick() {
   if (dt <= 0) {
     return;
   }
-  const uint64_t count = nic_.app_ingress_packets();
+  const uint64_t count = target_.app_ingress_packets();
   const double rate = static_cast<double>(count - last_ingress_count_) / ToSeconds(dt);
   last_ingress_count_ = count;
   last_tick_ = now;

@@ -13,7 +13,7 @@
 
 #include <string>
 
-#include "src/device/fpga_nic.h"
+#include "src/device/offload_target.h"
 #include "src/ondemand/controller.h"
 #include "src/ondemand/energy_advisor.h"
 #include "src/ondemand/migrator.h"
@@ -35,9 +35,10 @@ class EnergyAwareController : public OffloadController {
  public:
   // `software_watts` / `network_watts` are the calibrated rate->power
   // functions for the two placements (see MakeServerRatePower /
-  // MakeFpgaRatePower). The application rate is read from the device
-  // classifier, which sees the traffic regardless of placement.
-  EnergyAwareController(Simulation& sim, FpgaNic& nic, Migrator& migrator,
+  // MakeFpgaRatePower / MakeSmartNicRatePower). The application rate is
+  // read from the target's classifier, which sees the traffic regardless
+  // of placement.
+  EnergyAwareController(Simulation& sim, OffloadTarget& target, Migrator& migrator,
                         RatePowerFn software_watts, RatePowerFn network_watts,
                         EnergyAwareControllerConfig config = {});
 
@@ -53,7 +54,7 @@ class EnergyAwareController : public OffloadController {
   void Tick();
 
   Simulation& sim_;
-  FpgaNic& nic_;
+  OffloadTarget& target_;
   Migrator& migrator_;
   RatePowerFn software_watts_;
   RatePowerFn network_watts_;

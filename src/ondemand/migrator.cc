@@ -40,57 +40,53 @@ ClassifierMigrator::Options ClassifierMigrator::Options::FromPolicy(
   return options;
 }
 
-ClassifierMigrator::ClassifierMigrator(Simulation& sim, FpgaNic& nic, Options options)
-    : sim_(sim), nic_(nic), options_(options) {
+ClassifierMigrator::ClassifierMigrator(Simulation& sim, OffloadTarget& target,
+                                       Options options)
+    : sim_(sim), target_(target), options_(options) {
   // Start in the host placement with the configured idle power savings.
-  nic_.SetAppActive(false);
+  target_.SetAppActive(false);
   ApplyParkedState();
 }
 
 void ClassifierMigrator::ApplyParkedState() {
-  nic_.SetClockGating(options_.clock_gate_when_idle);
-  nic_.SetMemoryReset(options_.reset_memories_when_idle);
+  target_.SetClockGating(options_.clock_gate_when_idle);
+  target_.SetMemoryReset(options_.reset_memories_when_idle);
   if (options_.policy == ParkPolicy::kReprogram) {
-    // The app core is not resident while parked: its logic draws nothing.
-    for (const auto& name : nic_.ledger().ModuleNames()) {
-      if (name != "shell" && name != "pcie_dma" && name != "dram_if" &&
-          name != "sram_if") {
-        nic_.ledger().SetState(name, ModulePowerState::kPowerGated);
-      }
-    }
+    target_.PowerGateParkedApp();
   }
 }
 
 std::string ClassifierMigrator::MigratorName() const {
-  return "classifier/" + (nic_.app() != nullptr ? nic_.app()->AppName() : "none");
+  return "classifier/" + target_.TargetName();
 }
 
 void ClassifierMigrator::ShiftToNetwork() {
   if (placement() == Placement::kNetwork) {
     return;
   }
-  if (options_.policy == ParkPolicy::kReprogram && options_.reprogram_halt > 0) {
+  if (options_.policy == ParkPolicy::kReprogram && options_.reprogram_halt > 0 &&
+      target_.Traits().supports_reprogramming) {
     // Loading the bitstream halts the data path (§9.2: partial
     // reconfiguration "may result in a momentary traffic halt").
-    nic_.SetReprogramming(true);
+    target_.SetReprogramming(true);
     RecordTransition(sim_.Now(), Placement::kNetwork);
     sim_.Schedule(options_.reprogram_halt, [this] {
       if (placement() != Placement::kNetwork) {
         return;  // Shifted back while reprogramming.
       }
-      nic_.SetReprogramming(false);
-      nic_.SetMemoryReset(false);
-      nic_.SetClockGating(false);
-      nic_.SetAppActive(true);  // Re-activation restores module states.
+      target_.SetReprogramming(false);
+      target_.SetMemoryReset(false);
+      target_.SetClockGating(false);
+      target_.SetAppActive(true);  // Re-activation restores module states.
     });
     return;
   }
   // Order matters: wake memories and clocks, then divert traffic. The
   // caches start cold (all misses go to the host) and warm up; query rate
   // is maintained throughout (§9.2).
-  nic_.SetMemoryReset(false);
-  nic_.SetClockGating(false);
-  nic_.SetAppActive(true);
+  target_.SetMemoryReset(false);
+  target_.SetClockGating(false);
+  target_.SetAppActive(true);
   RecordTransition(sim_.Now(), Placement::kNetwork);
 }
 
@@ -98,8 +94,8 @@ void ClassifierMigrator::ShiftToHost() {
   if (placement() == Placement::kHost) {
     return;
   }
-  nic_.SetReprogramming(false);
-  nic_.SetAppActive(false);
+  target_.SetReprogramming(false);
+  target_.SetAppActive(false);
   ApplyParkedState();
   RecordTransition(sim_.Now(), Placement::kHost);
 }
@@ -107,7 +103,7 @@ void ClassifierMigrator::ShiftToHost() {
 PaxosLeaderMigrator::PaxosLeaderMigrator(Simulation& sim, L2Switch& sw,
                                          NodeId leader_service,
                                          SoftwareLeader& software_leader,
-                                         int software_port, FpgaNic& hardware_nic,
+                                         int software_port, OffloadTarget& hardware_target,
                                          P4xosFpgaApp& hardware_leader, int hardware_port,
                                          Options options)
     : sim_(sim),
@@ -115,7 +111,7 @@ PaxosLeaderMigrator::PaxosLeaderMigrator(Simulation& sim, L2Switch& sw,
       leader_service_(leader_service),
       software_leader_(software_leader),
       software_port_(software_port),
-      hardware_nic_(hardware_nic),
+      hardware_target_(hardware_target),
       hardware_leader_(hardware_leader),
       hardware_port_(hardware_port),
       options_(options),
@@ -123,7 +119,7 @@ PaxosLeaderMigrator::PaxosLeaderMigrator(Simulation& sim, L2Switch& sw,
   // Initial placement: software leader serves the service address.
   RepointService(software_port_);
   software_leader_.SetActive(true);
-  hardware_nic_.SetAppActive(false);
+  hardware_target_.SetAppActive(false);
 }
 
 void PaxosLeaderMigrator::RepointService(int port) {
@@ -143,7 +139,7 @@ void PaxosLeaderMigrator::ShiftToNetwork() {
   // The new leader "starts with an initial sequence number of 1 and must
   // learn the next sequence number that it can use" (§9.2).
   hardware_leader_.leader()->Reset(ballot_);
-  hardware_nic_.SetAppActive(true);
+  hardware_target_.SetAppActive(true);
   software_leader_.SetActive(false);
   RepointService(hardware_port_);
   // §9.2: the incoming leader learns the latest instance from the acceptors
@@ -180,7 +176,7 @@ void PaxosLeaderMigrator::ShiftToHost() {
   ++ballot_;
   software_leader_.state().Reset(ballot_);
   software_leader_.SetActive(true);
-  hardware_nic_.SetAppActive(false);
+  hardware_target_.SetAppActive(false);
   RepointService(software_port_);
   software_leader_.BeginSequenceLearning(options_.active_probe);
   RecordTransition(sim_.Now(), Placement::kHost);

@@ -1,10 +1,11 @@
 // Application migrators: the "application-specific task ... in charge of the
 // actual transition" (§9).
 //
-// A Migrator knows how to move one application between host software and
-// network hardware. Controllers (network- or host-controlled) decide *when*;
-// migrators implement *how*. KVS and DNS shifts are classifier flips plus
-// power-state housekeeping; the Paxos shift is a leader election through the
+// A Migrator knows how to move one application between host software and a
+// network offload target. Controllers (network- or host-controlled) decide
+// *when*; migrators implement *how*. KVS and DNS shifts are classifier flips
+// plus power-state housekeeping on any OffloadTarget (FPGA NIC, SmartNIC, or
+// switch ASIC program); the Paxos shift is a leader election through the
 // central controller's switch-rule rewrite (§9.2).
 #ifndef INCOD_SRC_ONDEMAND_MIGRATOR_H_
 #define INCOD_SRC_ONDEMAND_MIGRATOR_H_
@@ -12,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "src/device/fpga_nic.h"
+#include "src/device/offload_target.h"
 #include "src/net/switch.h"
 #include "src/paxos/p4xos.h"
 #include "src/paxos/software_roles.h"
@@ -66,9 +67,11 @@ enum class ParkPolicy { kGatedPark, kKeepWarm, kReprogram };
 
 const char* ParkPolicyName(ParkPolicy policy);
 
-// KVS / DNS migrator: flips the device classifier, applying the configured
-// park policy while the host serves. Configurable to reproduce the Fig 6
-// experiment (which ran with gating disabled -> kKeepWarm).
+// KVS / DNS migrator: flips the target's classifier, applying the configured
+// park policy while the host serves. Works against any OffloadTarget —
+// unsupported park knobs are no-ops (a switch ASIC parks as kKeepWarm no
+// matter what). Configurable to reproduce the Fig 6 experiment (which ran
+// with gating disabled -> kKeepWarm).
 class ClassifierMigrator : public Migrator {
  public:
   struct Options {
@@ -82,21 +85,22 @@ class ClassifierMigrator : public Migrator {
                               SimDuration reprogram_halt = Milliseconds(40));
   };
 
-  ClassifierMigrator(Simulation& sim, FpgaNic& nic, Options options);
-  ClassifierMigrator(Simulation& sim, FpgaNic& nic)
-      : ClassifierMigrator(sim, nic, Options{}) {}
+  ClassifierMigrator(Simulation& sim, OffloadTarget& target, Options options);
+  ClassifierMigrator(Simulation& sim, OffloadTarget& target)
+      : ClassifierMigrator(sim, target, Options{}) {}
 
   void ShiftToNetwork() override;
   void ShiftToHost() override;
   std::string MigratorName() const override;
 
   const Options& options() const { return options_; }
+  OffloadTarget& target() { return target_; }
 
  private:
   void ApplyParkedState();
 
   Simulation& sim_;
-  FpgaNic& nic_;
+  OffloadTarget& target_;
   Options options_;
 };
 
@@ -118,14 +122,14 @@ class PaxosLeaderMigrator : public Migrator {
 
   PaxosLeaderMigrator(Simulation& sim, L2Switch& sw, NodeId leader_service,
                       SoftwareLeader& software_leader, int software_port,
-                      FpgaNic& hardware_nic, P4xosFpgaApp& hardware_leader,
+                      OffloadTarget& hardware_target, P4xosFpgaApp& hardware_leader,
                       int hardware_port, Options options);
   PaxosLeaderMigrator(Simulation& sim, L2Switch& sw, NodeId leader_service,
                       SoftwareLeader& software_leader, int software_port,
-                      FpgaNic& hardware_nic, P4xosFpgaApp& hardware_leader,
+                      OffloadTarget& hardware_target, P4xosFpgaApp& hardware_leader,
                       int hardware_port)
       : PaxosLeaderMigrator(sim, sw, leader_service, software_leader, software_port,
-                            hardware_nic, hardware_leader, hardware_port, Options{}) {}
+                            hardware_target, hardware_leader, hardware_port, Options{}) {}
 
   void ShiftToNetwork() override;
   void ShiftToHost() override;
@@ -143,7 +147,7 @@ class PaxosLeaderMigrator : public Migrator {
   NodeId leader_service_;
   SoftwareLeader& software_leader_;
   int software_port_;
-  FpgaNic& hardware_nic_;
+  OffloadTarget& hardware_target_;
   P4xosFpgaApp& hardware_leader_;
   int hardware_port_;
   Options options_;

@@ -1,0 +1,278 @@
+#include "src/ondemand/rack.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace incod {
+
+RackPowerLedger::RackPowerLedger(double budget_watts) : budget_(budget_watts) {}
+
+double RackPowerLedger::committed_watts() const {
+  double total = 0;
+  for (const auto& [key, watts] : commitments_) {
+    total += watts;
+  }
+  return total;
+}
+
+double RackPowerLedger::RemainingWatts() const {
+  if (unlimited()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return budget_ - committed_watts();
+}
+
+bool RackPowerLedger::TryCommit(const std::string& key, double watts) {
+  if (watts < 0) {
+    throw std::invalid_argument("RackPowerLedger: negative commitment");
+  }
+  if (!unlimited()) {
+    double prior = 0;
+    auto it = commitments_.find(key);
+    if (it != commitments_.end()) {
+      prior = it->second;
+    }
+    if (committed_watts() - prior + watts > budget_) {
+      return false;
+    }
+  }
+  commitments_[key] = watts;
+  return true;
+}
+
+void RackPowerLedger::Release(const std::string& key) { commitments_.erase(key); }
+
+// ---------------------------------------------------------------------------
+
+RackOrchestrator::RackOrchestrator(Simulation& sim, RackOrchestratorConfig config)
+    : sim_(sim), config_(config), ledger_(config.power_budget_watts) {}
+
+size_t RackOrchestrator::AddApp(RackAppSpec spec) {
+  if (started_) {
+    throw std::logic_error("RackOrchestrator: AddApp after Start");
+  }
+  if (spec.software_watts == nullptr || spec.measured_rate_pps == nullptr) {
+    throw std::invalid_argument("RackOrchestrator: app needs rate + power models");
+  }
+  // App names key the shared ledger: duplicates would silently merge two
+  // apps' budget commitments into one slot.
+  if (spec.name.empty()) {
+    throw std::invalid_argument("RackOrchestrator: app needs a name");
+  }
+  for (const auto& existing : apps_) {
+    if (existing.spec.name == spec.name) {
+      throw std::invalid_argument("RackOrchestrator: duplicate app name " + spec.name);
+    }
+  }
+  for (const auto& option : spec.options) {
+    if (option.target == nullptr || option.migrator == nullptr ||
+        option.network_watts == nullptr) {
+      throw std::invalid_argument("RackOrchestrator: incomplete placement option");
+    }
+  }
+  AppState state;
+  state.spec = std::move(spec);
+  apps_.push_back(std::move(state));
+  return apps_.size() - 1;
+}
+
+void RackOrchestrator::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  SchedulePeriodic(sim_, config_.check_period, config_.check_period, [this] {
+    if (stopped_) {
+      return false;
+    }
+    Tick();
+    return true;
+  });
+  SchedulePeriodic(sim_, config_.sample_period, config_.sample_period, [this] {
+    if (stopped_) {
+      return false;
+    }
+    Sample();
+    return true;
+  });
+}
+
+const RackPlacementOption* RackOrchestrator::current_option(size_t index) const {
+  const AppState& app = apps_.at(index);
+  if (app.active_option < 0) {
+    return nullptr;
+  }
+  return &app.spec.options[static_cast<size_t>(app.active_option)];
+}
+
+uint64_t RackOrchestrator::ShiftsToTarget(const OffloadTarget& target) const {
+  auto it = shifts_to_target_.find(&target);
+  return it == shifts_to_target_.end() ? 0 : it->second;
+}
+
+double RackOrchestrator::CommittedPps(const OffloadTarget& target) const {
+  double total = 0;
+  for (const auto& app : apps_) {
+    if (app.active_option >= 0 &&
+        app.spec.options[static_cast<size_t>(app.active_option)].target == &target) {
+      total += app.committed_rate_pps;
+    }
+  }
+  return total;
+}
+
+void RackOrchestrator::Tick() {
+  for (auto& app : apps_) {
+    DecideForApp(app);
+  }
+}
+
+void RackOrchestrator::Sample() {
+  const SimTime now = sim_.Now();
+  committed_series_.Append(now, ledger_.committed_watts());
+  // Measured watts across the distinct targets the rack can offload to.
+  double measured = 0;
+  std::vector<const OffloadTarget*> seen;
+  size_t offloaded = 0;
+  for (const auto& app : apps_) {
+    if (app.active_option >= 0) {
+      ++offloaded;
+    }
+    for (const auto& option : app.spec.options) {
+      if (std::find(seen.begin(), seen.end(), option.target) == seen.end()) {
+        seen.push_back(option.target);
+        measured += option.target->OffloadPowerWatts();
+      }
+    }
+  }
+  measured_series_.Append(now, measured);
+  offloaded_series_.Append(now, static_cast<double>(offloaded));
+}
+
+bool RackOrchestrator::OptionEligible(const AppState& app,
+                                      const RackPlacementOption& option,
+                                      double rate, bool is_current) const {
+  if (!is_current && option.target->reprogramming()) {
+    return false;  // Mid-reconfiguration: the data path is halted.
+  }
+  const double capacity = option.target->OffloadCapacityPps();
+  if (capacity > 0) {
+    // Capacity already promised to *other* apps on this target.
+    double committed = CommittedPps(*option.target);
+    if (app.active_option >= 0 &&
+        app.spec.options[static_cast<size_t>(app.active_option)].target == option.target) {
+      committed -= app.committed_rate_pps;
+    }
+    if (committed + rate > capacity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double RackOrchestrator::PredictOptionWatts(const RackPlacementOption& option,
+                                            double rate) const {
+  double watts = option.network_watts(rate);
+  if (option.policy == ParkPolicy::kReprogram &&
+      option.target->Traits().supports_reprogramming) {
+    // Bias against halt-incurring placements so warm targets win ties.
+    watts += config_.reprogram_penalty_watts;
+  }
+  return watts;
+}
+
+void RackOrchestrator::DecideForApp(AppState& app) {
+  ++decisions_;
+  const SimTime now = sim_.Now();
+  if (now - app.last_shift < config_.min_dwell) {
+    return;
+  }
+  const double rate = app.spec.measured_rate_pps();
+  const double software = app.spec.software_watts(rate);
+
+  // Greedy choice: cheapest eligible target at the measured rate. Ranking
+  // uses the reprogram-penalized prediction so warm targets win ties; the
+  // ledger only ever carries the unpenalized (real) watts.
+  int best = -1;
+  double best_ranked = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < app.spec.options.size(); ++i) {
+    const auto& option = app.spec.options[i];
+    if (!OptionEligible(app, option, rate,
+                        static_cast<int>(i) == app.active_option)) {
+      continue;
+    }
+    const double ranked = PredictOptionWatts(option, rate);
+    if (ranked < best_ranked) {
+      best_ranked = ranked;
+      best = static_cast<int>(i);
+    }
+  }
+
+  // PDU headroom an offload actually consumes: the increment over what the
+  // host draws anyway when the app idles at home.
+  auto commit_watts = [&](int index) {
+    const double real = app.spec.options[static_cast<size_t>(index)].network_watts(rate);
+    return std::max(0.0, real - app.spec.software_watts(0));
+  };
+
+  auto place_on = [&](int index) {
+    auto& option = app.spec.options[static_cast<size_t>(index)];
+    option.migrator->ShiftToNetwork();
+    app.active_option = index;
+    app.committed_rate_pps = rate;
+    app.last_shift = now;
+    ++shifts_to_target_[option.target];
+    ++total_shifts_;
+  };
+  auto go_home = [&](RackPlacementOption& from) {
+    from.migrator->ShiftToHost();
+    ledger_.Release(LedgerKey(app));
+    app.active_option = -1;
+    app.committed_rate_pps = 0;
+    app.last_shift = now;
+    ++total_shifts_;
+  };
+
+  if (app.active_option < 0) {
+    // On host: offload if the best target saves enough and the shared
+    // budget can absorb it.
+    if (best < 0 || software - best_ranked < config_.min_saving_watts) {
+      return;
+    }
+    if (!ledger_.TryCommit(LedgerKey(app), commit_watts(best))) {
+      return;  // PDU headroom exhausted: stay home.
+    }
+    place_on(best);
+    return;
+  }
+
+  // Offloaded: re-evaluate the current placement at today's rate.
+  auto& current = app.spec.options[static_cast<size_t>(app.active_option)];
+  const double current_watts = current.network_watts(rate);
+  const bool over_capacity = !OptionEligible(app, current, rate, /*is_current=*/true);
+  if (over_capacity || software + config_.min_saving_watts < current_watts) {
+    go_home(current);
+    return;
+  }
+  // A strictly cheaper eligible target may have freed up since placement:
+  // keep the greedy invariant by migrating over (through a host bounce, the
+  // only transition migrators provide).
+  if (best >= 0 && best != app.active_option &&
+      PredictOptionWatts(current, rate) - best_ranked >= config_.min_saving_watts) {
+    if (ledger_.TryCommit(LedgerKey(app), commit_watts(best))) {
+      current.migrator->ShiftToHost();
+      place_on(best);
+      return;
+    }
+  }
+  // Keep the ledger tracking the rate actually served (budget re-check: a
+  // risen rate may no longer fit the shared headroom — if so, go home).
+  if (!ledger_.TryCommit(LedgerKey(app), commit_watts(app.active_option))) {
+    go_home(current);
+    return;
+  }
+  app.committed_rate_pps = rate;
+}
+
+}  // namespace incod

@@ -1,0 +1,163 @@
+// Rack-scale on-demand orchestration.
+//
+// §9.1's controllers manage one (host, device, app) pair. A rack runs many:
+// several servers, a mix of offload targets (FPGA NICs, SmartNICs, the
+// programmable ToR switch), and a shared power budget at the PDU. The
+// orchestrator generalizes the paper's placement decision to that setting:
+// every decision period it reads each application's classifier-visible rate,
+// predicts both placements' power with the §8 models, and greedily places
+// each app on the cheapest *eligible* target — eligible meaning the target
+// has spare packet capacity, is not mid-reprogram, and the rack's shared
+// power ledger can absorb the predicted draw. Apps whose offload stops
+// paying for itself are shifted home and their budget released.
+#ifndef INCOD_SRC_ONDEMAND_RACK_H_
+#define INCOD_SRC_ONDEMAND_RACK_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/device/offload_target.h"
+#include "src/ondemand/energy_advisor.h"
+#include "src/ondemand/migrator.h"
+#include "src/sim/simulation.h"
+#include "src/stats/timeseries.h"
+
+namespace incod {
+
+// Shared rack power budget: tracks watts committed to offload placements so
+// concurrent shifts cannot oversubscribe the PDU headroom reserved for
+// in-network computing.
+class RackPowerLedger {
+ public:
+  // budget_watts <= 0 means unlimited.
+  explicit RackPowerLedger(double budget_watts = 0);
+
+  // Commits `watts` under `key` (replacing any prior commitment for the
+  // key). Returns false — and leaves the prior commitment intact — if the
+  // budget would be exceeded.
+  bool TryCommit(const std::string& key, double watts);
+  void Release(const std::string& key);
+
+  double budget_watts() const { return budget_; }
+  bool unlimited() const { return budget_ <= 0; }
+  double committed_watts() const;
+  double RemainingWatts() const;
+  const std::map<std::string, double>& commitments() const { return commitments_; }
+
+ private:
+  double budget_;
+  std::map<std::string, double> commitments_;
+};
+
+// One way to place an app in the network: a target, the migrator that moves
+// the app onto it, and the predicted placement power at a given rate.
+struct RackPlacementOption {
+  OffloadTarget* target = nullptr;
+  Migrator* migrator = nullptr;
+  // Predicted *total* watts of serving at `rate` on this target, on the
+  // same absolute scale as RackAppSpec::software_watts — include the host's
+  // idle draw whenever the host stays powered (it almost always does), and
+  // only the §9.4 marginal program watts on top for a ToR switch. The
+  // ledger does not commit this number directly: it commits the increment
+  // over the app's software idle (network_watts(rate) - software_watts(0)),
+  // which is the PDU headroom the offload actually consumes.
+  RatePowerFn network_watts;
+  // Park policy the migrator applies; kReprogram placements pay the
+  // configured penalty so warm targets win ties (§9.2's halt trade-off).
+  ParkPolicy policy = ParkPolicy::kGatedPark;
+};
+
+struct RackAppSpec {
+  std::string name;
+  // Predicted host-placement watts at a given rate (§8 server curves).
+  RatePowerFn software_watts;
+  // Classifier-visible request rate, readable regardless of placement.
+  std::function<double()> measured_rate_pps;
+  std::vector<RackPlacementOption> options;
+};
+
+struct RackOrchestratorConfig {
+  // Shared offload power budget (<= 0: unlimited).
+  double power_budget_watts = 0;
+  // Shift only when the predicted saving exceeds this margin (hysteresis
+  // falls out of applying it in both directions, like EnergyAwareController).
+  double min_saving_watts = 2.0;
+  // Predicted-watts penalty for choosing a reprogram-parked target.
+  double reprogram_penalty_watts = 1.0;
+  // Per-app damping.
+  SimDuration check_period = Milliseconds(100);
+  SimDuration min_dwell = Seconds(1);
+  // Power/commitment timeseries cadence.
+  SimDuration sample_period = Milliseconds(100);
+};
+
+class RackOrchestrator {
+ public:
+  RackOrchestrator(Simulation& sim, RackOrchestratorConfig config = {});
+
+  // Registers an application with its candidate placements. All referenced
+  // targets/migrators must outlive the orchestrator. Returns the app index.
+  size_t AddApp(RackAppSpec spec);
+
+  void Start();
+  void Stop() { stopped_ = true; }
+
+  // --- Introspection ---
+  const RackPowerLedger& ledger() const { return ledger_; }
+  size_t app_count() const { return apps_.size(); }
+  const std::string& app_name(size_t index) const { return apps_[index].spec.name; }
+  // Currently chosen placement option for the app (nullptr: on host).
+  const RackPlacementOption* current_option(size_t index) const;
+  // Shifts the orchestrator performed onto the given target.
+  uint64_t ShiftsToTarget(const OffloadTarget& target) const;
+  uint64_t total_shifts() const { return total_shifts_; }
+  uint64_t decisions_evaluated() const { return decisions_; }
+  // Rate a target is currently committed to absorb (capacity accounting).
+  double CommittedPps(const OffloadTarget& target) const;
+
+  // Per-rack timeseries, sampled every `sample_period` after Start():
+  // committed offload watts, measured target watts, and offloaded-app count.
+  const TimeSeries& committed_watts_series() const { return committed_series_; }
+  const TimeSeries& measured_target_watts_series() const { return measured_series_; }
+  const TimeSeries& offloaded_apps_series() const { return offloaded_series_; }
+
+ private:
+  struct AppState {
+    RackAppSpec spec;
+    int active_option = -1;  // Index into spec.options; -1: host placement.
+    SimTime last_shift = 0;
+    double committed_rate_pps = 0;
+  };
+
+  void Tick();
+  void Sample();
+  void DecideForApp(AppState& app);
+  // `is_current` exempts the app's own placement from the mid-reprogram
+  // exclusion (yanking an app home because its own reconfiguration is
+  // still in flight would abort the very shift we started).
+  bool OptionEligible(const AppState& app, const RackPlacementOption& option,
+                      double rate, bool is_current) const;
+  double PredictOptionWatts(const RackPlacementOption& option, double rate) const;
+  std::string LedgerKey(const AppState& app) const { return app.spec.name; }
+
+  Simulation& sim_;
+  RackOrchestratorConfig config_;
+  RackPowerLedger ledger_;
+  std::vector<AppState> apps_;
+  std::map<const OffloadTarget*, uint64_t> shifts_to_target_;
+  TimeSeries committed_series_{"rack_committed_watts"};
+  TimeSeries measured_series_{"rack_target_watts"};
+  TimeSeries offloaded_series_{"rack_offloaded_apps"};
+  uint64_t total_shifts_ = 0;
+  uint64_t decisions_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_ONDEMAND_RACK_H_

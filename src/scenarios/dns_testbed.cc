@@ -8,26 +8,9 @@
 
 namespace incod {
 
-namespace {
-Link::Config TenGigLink() {
-  Link::Config config;
-  config.gigabits_per_second = 10.0;
-  config.propagation_delay = Nanoseconds(500);
-  return config;
-}
-
-Link::Config PcieLink() {
-  Link::Config config;
-  config.gigabits_per_second = 32.0;
-  config.propagation_delay = Nanoseconds(900);
-  return config;
-}
-}  // namespace
-
 DnsTestbed::DnsTestbed(Simulation& sim, DnsTestbedOptions options)
-    : sim_(sim), options_(std::move(options)), topology_(sim) {
+    : sim_(sim), options_(std::move(options)), builder_(sim, options_.meter_period) {
   zone_.FillSynthetic(options_.zone_size);
-  meter_ = std::make_unique<WallPowerMeter>(sim_, options_.meter_period);
 
   const bool has_host = options_.mode != DnsMode::kEmuStandalone;
   if (has_host) {
@@ -36,21 +19,15 @@ DnsTestbed::DnsTestbed(Simulation& sim, DnsTestbedOptions options)
     server_config.node = kTestbedServerNode;
     server_config.num_cores = 4;
     server_config.power_curve = I7NsdCurve();
-    server_ = std::make_unique<Server>(sim_, server_config);
+    server_ = builder_.AddServer(server_config);
     nsd_ = std::make_unique<NsdServer>(&zone_, options_.nsd);
     server_->BindApp(nsd_.get());
-    meter_->Attach(server_.get());
   }
 
   switch (options_.mode) {
     case DnsMode::kSoftwareOnly: {
-      nic_ = std::make_unique<ConventionalNic>(
-          sim_, MellanoxConnectX3Config(kTestbedServerNode));
-      Link* host_link = topology_.Connect(nic_.get(), server_.get(), PcieLink(), "pcie");
-      nic_->SetHostLink(host_link);
-      server_->SetUplink(host_link);
-      ingress_ = nic_.get();
-      meter_->Attach(nic_.get());
+      nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(kTestbedServerNode));
+      builder_.ConnectPcie(nic_, server_);
       break;
     }
     case DnsMode::kEmu:
@@ -60,21 +37,16 @@ DnsTestbed::DnsTestbed(Simulation& sim, DnsTestbedOptions options)
       fpga_config.host_node = kTestbedServerNode;
       fpga_config.device_node = kTestbedDeviceNode;
       fpga_config.standalone = options_.mode == DnsMode::kEmuStandalone;
-      fpga_ = std::make_unique<FpgaNic>(sim_, fpga_config);
       emu_ = std::make_unique<EmuDns>(&zone_, options_.emu);
-      fpga_->InstallApp(emu_.get());
+      fpga_ = builder_.AddFpgaNic(fpga_config, emu_.get());
       if (has_host) {
-        Link* host_link = topology_.Connect(fpga_.get(), server_.get(), PcieLink(), "pcie");
-        fpga_->SetHostLink(host_link);
-        server_->SetUplink(host_link);
+        builder_.ConnectPcie(fpga_, server_);
       }
       fpga_->SetAppActive(options_.emu_initially_active);
-      ingress_ = fpga_.get();
-      meter_->Attach(fpga_.get());
       break;
     }
   }
-  meter_->Start();
+  builder_.StartMeter();
 }
 
 NodeId DnsTestbed::ServiceNode() const {
@@ -88,15 +60,12 @@ LoadClient& DnsTestbed::AddClient(LoadClientConfig config,
   if (client_ != nullptr) {
     throw std::logic_error("DnsTestbed: client already attached");
   }
-  client_ = std::make_unique<LoadClient>(sim_, std::move(config), std::move(arrival),
-                                         std::move(factory));
-  Link* link = topology_.Connect(client_.get(), ingress_, TenGigLink(), "client-10ge");
-  client_->SetUplink(link);
+  client_ = builder_.AddLoadClient(std::move(config), std::move(arrival),
+                                   std::move(factory));
   if (fpga_ != nullptr) {
-    fpga_->SetNetworkLink(link);
-  }
-  if (nic_ != nullptr) {
-    nic_->SetNetworkLink(link);
+    builder_.ConnectClient(client_, fpga_);
+  } else {
+    builder_.ConnectClient(client_, nic_);
   }
   return *client_;
 }

@@ -1,6 +1,6 @@
 // DNS experiment testbed (Fig 3c and the §9.2 DNS shift).
 //
-// Same topology family as the KVS testbed:
+// Same topology family as the KVS testbed, built through TestbedBuilder:
 //   kSoftwareOnly:  client --10GE-- conventional NIC --PCIe-- i7 server (NSD)
 //   kEmu:           client --10GE-- NetFPGA(Emu DNS) --PCIe-- i7 server
 //   kEmuStandalone: client --10GE-- NetFPGA(Emu DNS) (hostless)
@@ -9,16 +9,10 @@
 
 #include <memory>
 
-#include "src/device/conventional_nic.h"
-#include "src/device/fpga_nic.h"
 #include "src/dns/emu_dns.h"
 #include "src/dns/nsd_server.h"
 #include "src/dns/zone.h"
-#include "src/host/server.h"
-#include "src/net/topology.h"
-#include "src/power/meter.h"
-#include "src/sim/simulation.h"
-#include "src/workload/client.h"
+#include "src/scenarios/testbed_builder.h"
 
 namespace incod {
 
@@ -37,33 +31,32 @@ class DnsTestbed {
  public:
   DnsTestbed(Simulation& sim, DnsTestbedOptions options);
 
-  Server* server() { return server_.get(); }
-  FpgaNic* fpga() { return fpga_.get(); }
+  Server* server() { return server_; }
+  FpgaNic* fpga() { return fpga_; }
   EmuDns* emu() { return emu_.get(); }
   NsdServer* nsd() { return nsd_.get(); }
   Zone& zone() { return zone_; }
-  WallPowerMeter& meter() { return *meter_; }
+  WallPowerMeter& meter() { return builder_.meter(); }
   Simulation& sim() { return sim_; }
+  TestbedBuilder& builder() { return builder_; }
 
   LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
                         RequestFactory factory);
-  LoadClient* client() { return client_.get(); }
+  LoadClient* client() { return client_; }
 
   NodeId ServiceNode() const;
 
  private:
   Simulation& sim_;
   DnsTestbedOptions options_;
-  Topology topology_;
+  TestbedBuilder builder_;
   Zone zone_;
-  std::unique_ptr<Server> server_;
   std::unique_ptr<NsdServer> nsd_;
-  std::unique_ptr<FpgaNic> fpga_;
   std::unique_ptr<EmuDns> emu_;
-  std::unique_ptr<ConventionalNic> nic_;
-  std::unique_ptr<WallPowerMeter> meter_;
-  std::unique_ptr<LoadClient> client_;
-  PacketSink* ingress_ = nullptr;
+  Server* server_ = nullptr;
+  FpgaNic* fpga_ = nullptr;
+  ConventionalNic* nic_ = nullptr;
+  LoadClient* client_ = nullptr;
 };
 
 }  // namespace incod

@@ -7,29 +7,8 @@
 
 namespace incod {
 
-namespace {
-Link::Config TenGigLink() {
-  Link::Config config;
-  config.gigabits_per_second = 10.0;
-  config.propagation_delay = Nanoseconds(100);  // ToR-adjacent client.
-  return config;
-}
-
-Link::Config PcieLink() {
-  Link::Config config;
-  config.gigabits_per_second = 32.0;  // PCIe gen3 x4-ish effective.
-  // PCIe + DMA + driver + kernel wakeup: crossing into the host costs
-  // microseconds (§9.5, citing "Where has my time gone?" [88]) — this is
-  // what makes a hardware miss ~an order of magnitude above a cache hit.
-  config.propagation_delay = Nanoseconds(2500);
-  return config;
-}
-}  // namespace
-
 KvsTestbed::KvsTestbed(Simulation& sim, KvsTestbedOptions options)
-    : sim_(sim), options_(std::move(options)), topology_(sim) {
-  meter_ = std::make_unique<WallPowerMeter>(sim_, options_.meter_period);
-
+    : sim_(sim), options_(std::move(options)), builder_(sim, options_.meter_period) {
   const bool has_host = options_.mode != KvsMode::kLakeStandalone;
   if (has_host) {
     ServerConfig server_config;
@@ -37,10 +16,9 @@ KvsTestbed::KvsTestbed(Simulation& sim, KvsTestbedOptions options)
     server_config.node = kTestbedServerNode;
     server_config.num_cores = 4;
     server_config.power_curve = I7MemcachedCurve();
-    server_ = std::make_unique<Server>(sim_, server_config);
+    server_ = builder_.AddServer(server_config);
     memcached_ = std::make_unique<MemcachedServer>(options_.memcached);
     server_->BindApp(memcached_.get());
-    meter_->Attach(server_.get());
   }
 
   switch (options_.mode) {
@@ -48,12 +26,8 @@ KvsTestbed::KvsTestbed(Simulation& sim, KvsTestbedOptions options)
       ConventionalNicConfig nic_config = options_.intel_nic
                                              ? IntelX520Config(kTestbedServerNode)
                                              : MellanoxConnectX3Config(kTestbedServerNode);
-      nic_ = std::make_unique<ConventionalNic>(sim_, nic_config);
-      Link* host_link = topology_.Connect(nic_.get(), server_.get(), PcieLink(), "pcie");
-      nic_->SetHostLink(host_link);
-      server_->SetUplink(host_link);
-      ingress_ = nic_.get();
-      meter_->Attach(nic_.get());
+      nic_ = builder_.AddConventionalNic(nic_config);
+      builder_.ConnectPcie(nic_, server_, TestbedBuilder::PcieLink(Nanoseconds(2500)));
       break;
     }
     case KvsMode::kLake:
@@ -63,21 +37,16 @@ KvsTestbed::KvsTestbed(Simulation& sim, KvsTestbedOptions options)
       fpga_config.host_node = kTestbedServerNode;
       fpga_config.device_node = kTestbedDeviceNode;
       fpga_config.standalone = options_.mode == KvsMode::kLakeStandalone;
-      fpga_ = std::make_unique<FpgaNic>(sim_, fpga_config);
       lake_ = std::make_unique<LakeCache>(options_.lake);
-      fpga_->InstallApp(lake_.get());
+      fpga_ = builder_.AddFpgaNic(fpga_config, lake_.get());
       if (has_host) {
-        Link* host_link = topology_.Connect(fpga_.get(), server_.get(), PcieLink(), "pcie");
-        fpga_->SetHostLink(host_link);
-        server_->SetUplink(host_link);
+        builder_.ConnectPcie(fpga_, server_, TestbedBuilder::PcieLink(Nanoseconds(2500)));
       }
       fpga_->SetAppActive(options_.lake_initially_active);
-      ingress_ = fpga_.get();
-      meter_->Attach(fpga_.get());
       break;
     }
   }
-  meter_->Start();
+  builder_.StartMeter();
 }
 
 NodeId KvsTestbed::ServiceNode() const {
@@ -93,15 +62,13 @@ LoadClient& KvsTestbed::AddClient(LoadClientConfig config,
   if (client_ != nullptr) {
     throw std::logic_error("KvsTestbed: client already attached");
   }
-  client_ = std::make_unique<LoadClient>(sim_, std::move(config), std::move(arrival),
-                                         std::move(factory));
-  Link* link = topology_.Connect(client_.get(), ingress_, TenGigLink(), "client-10ge");
-  client_->SetUplink(link);
+  client_ = builder_.AddLoadClient(std::move(config), std::move(arrival),
+                                   std::move(factory));
+  const Link::Config client_link = TestbedBuilder::TenGigLink(Nanoseconds(100));
   if (fpga_ != nullptr) {
-    fpga_->SetNetworkLink(link);
-  }
-  if (nic_ != nullptr) {
-    nic_->SetNetworkLink(link);
+    builder_.ConnectClient(client_, fpga_, client_link);
+  } else {
+    builder_.ConnectClient(client_, nic_, client_link);
   }
   return *client_;
 }

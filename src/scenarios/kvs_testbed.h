@@ -5,21 +5,16 @@
 //   kLake:           client --10GE-- NetFPGA(LaKe)    --PCIe-- i7 server
 //   kLakeStandalone: client --10GE-- NetFPGA(LaKe) (hostless, own PSU)
 // and attaches a wall power meter to exactly the components the paper's
-// SHW-3A saw for that configuration.
+// SHW-3A saw for that configuration. All construction goes through the
+// shared TestbedBuilder.
 #ifndef INCOD_SRC_SCENARIOS_KVS_TESTBED_H_
 #define INCOD_SRC_SCENARIOS_KVS_TESTBED_H_
 
 #include <memory>
 
-#include "src/device/conventional_nic.h"
-#include "src/device/fpga_nic.h"
-#include "src/host/server.h"
 #include "src/kvs/lake.h"
 #include "src/kvs/memcached_server.h"
-#include "src/net/topology.h"
-#include "src/power/meter.h"
-#include "src/sim/simulation.h"
-#include "src/workload/client.h"
+#include "src/scenarios/testbed_builder.h"
 
 namespace incod {
 
@@ -44,18 +39,19 @@ class KvsTestbed {
   KvsTestbed(Simulation& sim, KvsTestbedOptions options);
 
   // Null when the mode lacks the component.
-  Server* server() { return server_.get(); }
-  FpgaNic* fpga() { return fpga_.get(); }
+  Server* server() { return server_; }
+  FpgaNic* fpga() { return fpga_; }
   LakeCache* lake() { return lake_.get(); }
-  ConventionalNic* nic() { return nic_.get(); }
+  ConventionalNic* nic() { return nic_; }
   MemcachedServer* memcached() { return memcached_.get(); }
-  WallPowerMeter& meter() { return *meter_; }
+  WallPowerMeter& meter() { return builder_.meter(); }
   Simulation& sim() { return sim_; }
+  TestbedBuilder& builder() { return builder_; }
 
   // Creates the (single) load client wired to the testbed ingress.
   LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
                         RequestFactory factory);
-  LoadClient* client() { return client_.get(); }
+  LoadClient* client() { return client_; }
 
   // Address clients should target.
   NodeId ServiceNode() const;
@@ -67,15 +63,13 @@ class KvsTestbed {
  private:
   Simulation& sim_;
   KvsTestbedOptions options_;
-  Topology topology_;
-  std::unique_ptr<Server> server_;
+  TestbedBuilder builder_;
   std::unique_ptr<MemcachedServer> memcached_;
-  std::unique_ptr<FpgaNic> fpga_;
   std::unique_ptr<LakeCache> lake_;
-  std::unique_ptr<ConventionalNic> nic_;
-  std::unique_ptr<WallPowerMeter> meter_;
-  std::unique_ptr<LoadClient> client_;
-  PacketSink* ingress_ = nullptr;  // What the client link attaches to.
+  Server* server_ = nullptr;
+  FpgaNic* fpga_ = nullptr;
+  ConventionalNic* nic_ = nullptr;
+  LoadClient* client_ = nullptr;
 };
 
 }  // namespace incod

@@ -7,22 +7,6 @@
 
 namespace incod {
 
-namespace {
-Link::Config TenGigLink() {
-  Link::Config config;
-  config.gigabits_per_second = 10.0;
-  config.propagation_delay = Nanoseconds(500);
-  return config;
-}
-
-Link::Config PcieLink() {
-  Link::Config config;
-  config.gigabits_per_second = 32.0;
-  config.propagation_delay = Nanoseconds(900);
-  return config;
-}
-}  // namespace
-
 const char* PaxosDeploymentName(PaxosDeployment deployment) {
   switch (deployment) {
     case PaxosDeployment::kLibpaxos:
@@ -38,7 +22,7 @@ const char* PaxosDeploymentName(PaxosDeployment deployment) {
 }
 
 PaxosTestbed::PaxosTestbed(Simulation& sim, PaxosTestbedOptions options)
-    : sim_(sim), options_(std::move(options)), topology_(sim) {
+    : sim_(sim), options_(std::move(options)), builder_(sim, options_.meter_period) {
   if (options_.num_acceptors < 1) {
     throw std::invalid_argument("PaxosTestbed: need >= 1 acceptor");
   }
@@ -51,39 +35,25 @@ PaxosTestbed::PaxosTestbed(Simulation& sim, PaxosTestbedOptions options)
   group_.learners.push_back(kPaxosLearnerNode);
   group_.leader_service = kPaxosLeaderService;
 
-  switch_ = std::make_unique<L2Switch>(sim_, "tor-switch");
-  meter_ = std::make_unique<WallPowerMeter>(sim_, options_.meter_period);
+  switch_ = builder_.AddL2Switch("tor-switch");
 
   // Client.
   options_.client.node = kPaxosClientNode;
   options_.client.leader_service = kPaxosLeaderService;
   client_ = std::make_unique<PaxosClient>(sim_, options_.client);
   Link* client_link =
-      topology_.ConnectToSwitch(switch_.get(), client_.get(), kPaxosClientNode,
-                                TenGigLink(), "client-10ge");
+      builder_.topology().ConnectToSwitch(switch_, client_.get(), kPaxosClientNode,
+                                          TestbedBuilder::TenGigLink(), "client-10ge");
   client_->SetUplink(client_link);
 
   WireLeader();
   WireAcceptors();
   WireLearner();
-  meter_->Start();
+  builder_.StartMeter();
 }
 
-Server* PaxosTestbed::MakeAuxServer(NodeId node, const char* name, int cores,
-                                    SimDuration cpu_time_hint) {
-  (void)cpu_time_hint;
-  ServerConfig config;
-  config.name = name;
-  config.node = node;
-  config.num_cores = cores;
-  config.power_curve = I7SyntheticCurve();
-  config.stack_rx_cost = Nanoseconds(100);  // Aux boxes must never bottleneck.
-  config.stack_tx_cost = Nanoseconds(50);
-  servers_.push_back(std::make_unique<Server>(sim_, config));
-  Server* server = servers_.back().get();
-  Link* link = topology_.ConnectToSwitch(switch_.get(), server, node, TenGigLink());
-  server->SetUplink(link);
-  return server;
+Server* PaxosTestbed::MakeAuxServer(NodeId node, const char* name, int cores) {
+  return builder_.AddAuxServer(switch_, node, name, cores);
 }
 
 void PaxosTestbed::WireLeader() {
@@ -98,8 +68,7 @@ void PaxosTestbed::WireLeader() {
     server_config.node = kPaxosLeaderHostNode;
     server_config.num_cores = 4;
     server_config.power_curve = I7LibpaxosCurve();
-    servers_.push_back(std::make_unique<Server>(sim_, server_config));
-    Server* host = servers_.back().get();
+    Server* host = builder_.AddServer(server_config);
     sut_server_ = host;
     software_leader_ = std::make_unique<SoftwareLeader>(group_, /*ballot=*/1);
     host->BindApp(software_leader_.get());
@@ -108,25 +77,16 @@ void PaxosTestbed::WireLeader() {
     fpga_config.name = "netfpga-p4xos-leader";
     fpga_config.host_node = kPaxosLeaderHostNode;
     fpga_config.device_node = kPaxosLeaderDeviceNode;
-    sut_fpga_ = std::make_unique<FpgaNic>(sim_, fpga_config);
     fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
                                                   /*role_id=*/1, kPaxosLeaderService);
-    sut_fpga_->InstallApp(fpga_leader_.get());
+    sut_fpga_ = builder_.AddFpgaNic(fpga_config, fpga_leader_.get());
     sut_fpga_->SetAppActive(false);  // Software leader serves initially.
 
-    Link* net_link = topology_.Connect(switch_.get(), sut_fpga_.get(), TenGigLink(),
-                                       "leader-10ge");
-    leader_port_ = switch_->AttachLink(net_link);
-    switch_->AddRoute(kPaxosLeaderService, leader_port_);
-    switch_->AddRoute(kPaxosLeaderHostNode, leader_port_);
-    switch_->AddRoute(kPaxosLeaderDeviceNode, leader_port_);
-    sut_fpga_->SetNetworkLink(net_link);
-    Link* pcie = topology_.Connect(sut_fpga_.get(), host, PcieLink(), "leader-pcie");
-    sut_fpga_->SetHostLink(pcie);
-    host->SetUplink(pcie);
-
-    meter_->Attach(host);
-    meter_->Attach(sut_fpga_.get());
+    leader_port_ = builder_.ConnectToSwitchPort(
+        switch_, sut_fpga_,
+        {kPaxosLeaderService, kPaxosLeaderHostNode, kPaxosLeaderDeviceNode},
+        TestbedBuilder::TenGigLink(), "leader-10ge");
+    builder_.ConnectPcie(sut_fpga_, host, TestbedBuilder::PcieLink(), "leader-pcie");
     return;
   }
 
@@ -146,28 +106,20 @@ void PaxosTestbed::WireLeader() {
       } else {
         server_config.power_curve = I7LibpaxosCurve();
       }
-      servers_.push_back(std::make_unique<Server>(sim_, server_config));
-      Server* host = servers_.back().get();
+      Server* host = builder_.AddServer(server_config, /*metered=*/leader_is_sut);
       software_leader_ = std::make_unique<SoftwareLeader>(
           group_, /*ballot=*/1,
           deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig() : LibpaxosConfig());
       host->BindApp(software_leader_.get());
 
-      sut_nic_ = std::make_unique<ConventionalNic>(
-          sim_, MellanoxConnectX3Config(kPaxosLeaderHostNode));
-      Link* net_link = topology_.Connect(switch_.get(), sut_nic_.get(), TenGigLink(),
-                                         "leader-10ge");
-      leader_port_ = switch_->AttachLink(net_link);
-      switch_->AddRoute(kPaxosLeaderService, leader_port_);
-      switch_->AddRoute(kPaxosLeaderHostNode, leader_port_);
-      sut_nic_->SetNetworkLink(net_link);
-      Link* pcie = topology_.Connect(sut_nic_.get(), host, PcieLink(), "leader-pcie");
-      sut_nic_->SetHostLink(pcie);
-      host->SetUplink(pcie);
+      sut_nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(kPaxosLeaderHostNode),
+                                             /*metered=*/leader_is_sut);
+      leader_port_ = builder_.ConnectToSwitchPort(
+          switch_, sut_nic_, {kPaxosLeaderService, kPaxosLeaderHostNode},
+          TestbedBuilder::TenGigLink(), "leader-10ge");
+      builder_.ConnectPcie(sut_nic_, host, TestbedBuilder::PcieLink(), "leader-pcie");
       if (leader_is_sut) {
         sut_server_ = host;
-        meter_->Attach(host);
-        meter_->Attach(sut_nic_.get());
       }
       break;
     }
@@ -179,19 +131,16 @@ void PaxosTestbed::WireLeader() {
       fpga_config.host_node = kPaxosLeaderHostNode;
       fpga_config.device_node = kPaxosLeaderDeviceNode;
       fpga_config.standalone = standalone;
-      auto& fpga_slot = leader_is_sut ? sut_fpga_ : aux_fpga_;
-      fpga_slot = std::make_unique<FpgaNic>(sim_, fpga_config);
       fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
                                                     /*role_id=*/1, kPaxosLeaderService);
-      fpga_slot->InstallApp(fpga_leader_.get());
-      fpga_slot->SetAppActive(true);
+      FpgaNic* fpga = builder_.AddFpgaNic(fpga_config, fpga_leader_.get(),
+                                          /*metered=*/leader_is_sut);
+      (leader_is_sut ? sut_fpga_ : aux_fpga_) = fpga;
+      fpga->SetAppActive(true);
 
-      Link* net_link = topology_.Connect(switch_.get(), fpga_slot.get(), TenGigLink(),
-                                         "leader-10ge");
-      leader_port_ = switch_->AttachLink(net_link);
-      switch_->AddRoute(kPaxosLeaderService, leader_port_);
-      switch_->AddRoute(kPaxosLeaderDeviceNode, leader_port_);
-      fpga_slot->SetNetworkLink(net_link);
+      leader_port_ = builder_.ConnectToSwitchPort(
+          switch_, fpga, {kPaxosLeaderService, kPaxosLeaderDeviceNode},
+          TestbedBuilder::TenGigLink(), "leader-10ge");
 
       if (!standalone && leader_is_sut) {
         // The board sits in an otherwise idle host whose power the paper
@@ -201,17 +150,10 @@ void PaxosTestbed::WireLeader() {
         host_config.node = kPaxosLeaderHostNode;
         host_config.num_cores = 4;
         host_config.power_curve = I7LibpaxosCurve();
-        servers_.push_back(std::make_unique<Server>(sim_, host_config));
-        Server* host = servers_.back().get();
+        Server* host = builder_.AddServer(host_config);
         switch_->AddRoute(kPaxosLeaderHostNode, leader_port_);
-        Link* pcie = topology_.Connect(fpga_slot.get(), host, PcieLink(), "leader-pcie");
-        fpga_slot->SetHostLink(pcie);
-        host->SetUplink(pcie);
+        builder_.ConnectPcie(fpga, host, TestbedBuilder::PcieLink(), "leader-pcie");
         sut_server_ = host;
-        meter_->Attach(host);
-      }
-      if (leader_is_sut) {
-        meter_->Attach(fpga_slot.get());
       }
       break;
     }
@@ -224,7 +166,7 @@ void PaxosTestbed::WireAcceptors() {
     const bool is_sut = options_.sut == PaxosSut::kAcceptor && i == 0;
     if (!is_sut) {
       // Aux acceptor: fast enough to never bottleneck leader-SUT sweeps.
-      Server* server = MakeAuxServer(node, "aux-acceptor", 4, Nanoseconds(300));
+      Server* server = MakeAuxServer(node, "aux-acceptor", 4);
       auto acceptor = std::make_unique<SoftwareAcceptor>(
           group_, static_cast<uint32_t>(i), PaxosSoftwareConfig{Nanoseconds(300), 2});
       server->BindApp(acceptor.get());
@@ -246,8 +188,7 @@ void PaxosTestbed::WireAcceptors() {
         } else {
           server_config.power_curve = I7LibpaxosCurve();
         }
-        servers_.push_back(std::make_unique<Server>(sim_, server_config));
-        Server* host = servers_.back().get();
+        Server* host = builder_.AddServer(server_config);
         auto acceptor = std::make_unique<SoftwareAcceptor>(
             group_, static_cast<uint32_t>(i),
             options_.deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig()
@@ -255,18 +196,11 @@ void PaxosTestbed::WireAcceptors() {
         host->BindApp(acceptor.get());
         software_acceptors_.insert(software_acceptors_.begin(), std::move(acceptor));
 
-        sut_nic_ = std::make_unique<ConventionalNic>(sim_, MellanoxConnectX3Config(node));
-        Link* net_link =
-            topology_.Connect(switch_.get(), sut_nic_.get(), TenGigLink(), "acceptor-10ge");
-        const int port = switch_->AttachLink(net_link);
-        switch_->AddRoute(node, port);
-        sut_nic_->SetNetworkLink(net_link);
-        Link* pcie = topology_.Connect(sut_nic_.get(), host, PcieLink(), "acceptor-pcie");
-        sut_nic_->SetHostLink(pcie);
-        host->SetUplink(pcie);
+        sut_nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(node));
+        builder_.ConnectToSwitchPort(switch_, sut_nic_, {node},
+                                     TestbedBuilder::TenGigLink(), "acceptor-10ge");
+        builder_.ConnectPcie(sut_nic_, host, TestbedBuilder::PcieLink(), "acceptor-pcie");
         sut_server_ = host;
-        meter_->Attach(host);
-        meter_->Attach(sut_nic_.get());
         break;
       }
       case PaxosDeployment::kP4xosFpga:
@@ -277,18 +211,14 @@ void PaxosTestbed::WireAcceptors() {
         fpga_config.host_node = 40;  // Distinct host address.
         fpga_config.device_node = kPaxosAcceptorDeviceNode;
         fpga_config.standalone = standalone;
-        sut_fpga_ = std::make_unique<FpgaNic>(sim_, fpga_config);
         fpga_acceptor_ = std::make_unique<P4xosFpgaApp>(
             P4xosRole::kAcceptor, group_, static_cast<uint32_t>(i), node);
-        sut_fpga_->InstallApp(fpga_acceptor_.get());
+        sut_fpga_ = builder_.AddFpgaNic(fpga_config, fpga_acceptor_.get());
         sut_fpga_->SetAppActive(true);
 
-        Link* net_link = topology_.Connect(switch_.get(), sut_fpga_.get(), TenGigLink(),
-                                           "acceptor-10ge");
-        const int port = switch_->AttachLink(net_link);
-        switch_->AddRoute(node, port);
-        switch_->AddRoute(kPaxosAcceptorDeviceNode, port);
-        sut_fpga_->SetNetworkLink(net_link);
+        const int port = builder_.ConnectToSwitchPort(
+            switch_, sut_fpga_, {node, kPaxosAcceptorDeviceNode},
+            TestbedBuilder::TenGigLink(), "acceptor-10ge");
 
         if (!standalone) {
           ServerConfig host_config;
@@ -296,17 +226,12 @@ void PaxosTestbed::WireAcceptors() {
           host_config.node = 40;
           host_config.num_cores = 4;
           host_config.power_curve = I7LibpaxosCurve();
-          servers_.push_back(std::make_unique<Server>(sim_, host_config));
-          Server* host = servers_.back().get();
+          Server* host = builder_.AddServer(host_config);
           switch_->AddRoute(40, port);
-          Link* pcie =
-              topology_.Connect(sut_fpga_.get(), host, PcieLink(), "acceptor-pcie");
-          sut_fpga_->SetHostLink(pcie);
-          host->SetUplink(pcie);
+          builder_.ConnectPcie(sut_fpga_, host, TestbedBuilder::PcieLink(),
+                               "acceptor-pcie");
           sut_server_ = host;
-          meter_->Attach(host);
         }
-        meter_->Attach(sut_fpga_.get());
         break;
       }
     }
@@ -314,7 +239,7 @@ void PaxosTestbed::WireAcceptors() {
 }
 
 void PaxosTestbed::WireLearner() {
-  Server* server = MakeAuxServer(kPaxosLearnerNode, "learner-host", 8, Nanoseconds(100));
+  Server* server = MakeAuxServer(kPaxosLearnerNode, "learner-host", 8);
   learner_ = std::make_unique<SoftwareLearner>(
       group_, PaxosSoftwareConfig{Nanoseconds(100), 8}, options_.learner_gap_timeout);
   server->BindApp(learner_.get());

@@ -1,11 +1,12 @@
 // Paxos experiment testbed (Fig 3b sweeps, §6 spot checks, Fig 7 migration).
 //
 // Topology: a client, three acceptor hosts, a learner host, and a leader
-// deployment, all hanging off one L2 switch. The system under test (leader
-// or one acceptor) is deployed per the requested variant — libpaxos on the
-// kernel stack, the DPDK port, P4xos on a NetFPGA in a server, or P4xos on
-// a standalone board — and only the SUT's components are metered, matching
-// §4.1 ("the isolated ... application under test, traffic source excluded").
+// deployment, all hanging off one L2 switch, built through the shared
+// TestbedBuilder. The system under test (leader or one acceptor) is deployed
+// per the requested variant — libpaxos on the kernel stack, the DPDK port,
+// P4xos on a NetFPGA in a server, or P4xos on a standalone board — and only
+// the SUT's components are metered, matching §4.1 ("the isolated ...
+// application under test, traffic source excluded").
 //
 // The `dual_leader` option builds the Fig 7 testbed: the software leader on
 // the host *and* the P4xos leader on that host's NetFPGA NIC, shiftable via
@@ -16,15 +17,10 @@
 #include <memory>
 #include <vector>
 
-#include "src/device/conventional_nic.h"
-#include "src/device/fpga_nic.h"
-#include "src/host/server.h"
-#include "src/net/topology.h"
 #include "src/paxos/p4xos.h"
 #include "src/paxos/paxos_client.h"
 #include "src/paxos/software_roles.h"
-#include "src/power/meter.h"
-#include "src/sim/simulation.h"
+#include "src/scenarios/testbed_builder.h"
 
 namespace incod {
 
@@ -57,13 +53,14 @@ class PaxosTestbed {
   PaxosTestbed(Simulation& sim, PaxosTestbedOptions options);
 
   PaxosClient& client() { return *client_; }
-  WallPowerMeter& meter() { return *meter_; }
+  WallPowerMeter& meter() { return builder_.meter(); }
   L2Switch& net_switch() { return *switch_; }
   Simulation& sim() { return sim_; }
+  TestbedBuilder& builder() { return builder_; }
 
   // SUT components (null when absent in the chosen variant).
   Server* sut_server() { return sut_server_; }
-  FpgaNic* sut_fpga() { return sut_fpga_.get(); }
+  FpgaNic* sut_fpga() { return sut_fpga_; }
 
   // Roles.
   SoftwareLeader* software_leader() { return software_leader_.get(); }
@@ -81,30 +78,26 @@ class PaxosTestbed {
   uint64_t SutMessagesHandled() const;
 
  private:
-  Server* MakeAuxServer(NodeId node, const char* name, int cores,
-                        SimDuration cpu_time_hint);
+  Server* MakeAuxServer(NodeId node, const char* name, int cores);
   void WireLeader();
   void WireAcceptors();
   void WireLearner();
 
   Simulation& sim_;
   PaxosTestbedOptions options_;
-  Topology topology_;
+  TestbedBuilder builder_;
   PaxosGroupConfig group_;
-  std::unique_ptr<L2Switch> switch_;
-  std::unique_ptr<WallPowerMeter> meter_;
+  L2Switch* switch_ = nullptr;
   std::unique_ptr<PaxosClient> client_;
 
-  std::vector<std::unique_ptr<Server>> servers_;
-  std::vector<std::unique_ptr<PaxosSoftwareApp>> aux_apps_;
   std::unique_ptr<SoftwareLeader> software_leader_;
   std::unique_ptr<SoftwareLearner> learner_;
   std::vector<std::unique_ptr<SoftwareAcceptor>> software_acceptors_;
-  std::unique_ptr<FpgaNic> sut_fpga_;
-  std::unique_ptr<FpgaNic> aux_fpga_;  // Unmetered fast leader for acceptor SUTs.
   std::unique_ptr<P4xosFpgaApp> fpga_leader_;
   std::unique_ptr<P4xosFpgaApp> fpga_acceptor_;
-  std::unique_ptr<ConventionalNic> sut_nic_;
+  FpgaNic* sut_fpga_ = nullptr;
+  FpgaNic* aux_fpga_ = nullptr;  // Unmetered fast leader for acceptor SUTs.
+  ConventionalNic* sut_nic_ = nullptr;
   Server* sut_server_ = nullptr;
   int leader_port_ = -1;
 };

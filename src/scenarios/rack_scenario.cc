@@ -1,0 +1,224 @@
+#include "src/scenarios/rack_scenario.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/power/cpu_power.h"
+
+namespace incod {
+
+size_t MixedRackScenario::paxos_app_index() const {
+  if (paxos_app_ == kNoApp) {
+    throw std::logic_error("MixedRackScenario: built without paxos");
+  }
+  return paxos_app_;
+}
+
+MixedRackScenario::MixedRackScenario(Simulation& sim, MixedRackOptions options)
+    : sim_(sim), options_(std::move(options)), builder_(sim, options_.meter_period) {
+  zone_.FillSynthetic(options_.zone_size);
+
+  // Rack ToR: a Tofino-class ASIC forwarding everything at line rate.
+  SwitchAsicConfig tor_config;
+  tor_config.name = "rack-tor";
+  tor_ = builder_.AddSwitchAsic(tor_config, /*metered=*/true);
+
+  WireKvs();
+  WireDns();
+  if (options_.enable_paxos) {
+    WirePaxos();
+  }
+  RegisterApps();
+  builder_.StartMeter();
+}
+
+void MixedRackScenario::WireKvs() {
+  ServerConfig config;
+  config.name = "kvs-host";
+  config.node = kRackKvsServerNode;
+  config.num_cores = 4;
+  config.power_curve = I7MemcachedCurve();
+  kvs_server_ = builder_.AddServer(config);
+  memcached_ = std::make_unique<MemcachedServer>(options_.memcached);
+  kvs_server_->BindApp(memcached_.get());
+
+  FpgaNicConfig fpga_config;
+  fpga_config.name = "netfpga-lake";
+  fpga_config.host_node = kRackKvsServerNode;
+  fpga_config.device_node = kRackKvsDeviceNode;
+  lake_ = std::make_unique<LakeCache>(options_.lake);
+  kvs_fpga_ = builder_.AddFpgaNic(fpga_config, lake_.get());
+  builder_.ConnectToSwitchPort(tor_, kvs_fpga_,
+                               {kRackKvsServerNode, kRackKvsDeviceNode},
+                               TestbedBuilder::TenGigLink(), "kvs-10ge");
+  builder_.ConnectPcie(kvs_fpga_, kvs_server_, TestbedBuilder::PcieLink(), "kvs-pcie");
+
+  // Starts parked on the host placement (the migrator applies the policy).
+  kvs_migrator_ = std::make_unique<ClassifierMigrator>(
+      sim_, *kvs_fpga_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kGatedPark));
+}
+
+void MixedRackScenario::WireDns() {
+  ServerConfig config;
+  config.name = "dns-host";
+  config.node = kRackDnsServerNode;
+  config.num_cores = 4;
+  config.power_curve = I7NsdCurve();
+  dns_server_ = builder_.AddServer(config);
+  nsd_ = std::make_unique<NsdServer>(&zone_, options_.nsd);
+  dns_server_->BindApp(nsd_.get());
+
+  dns_nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(kRackDnsServerNode));
+  builder_.ConnectToSwitchPort(tor_, dns_nic_, {kRackDnsServerNode},
+                               TestbedBuilder::TenGigLink(), "dns-10ge");
+  builder_.ConnectPcie(dns_nic_, dns_server_, TestbedBuilder::PcieLink(), "dns-pcie");
+
+  // DNS offloads into the ToR pipeline itself (§9.2's switch-DNS argument).
+  DnsSwitchConfig dns_config;
+  dns_config.dns_service = kRackDnsServerNode;
+  dns_program_ = std::make_unique<DnsSwitchProgram>(&zone_, dns_config);
+  dns_target_ = std::make_unique<SwitchOffloadTarget>(*tor_, *dns_program_,
+                                                      AppProto::kDns, kRackDnsServerNode);
+  dns_migrator_ = std::make_unique<ClassifierMigrator>(
+      sim_, *dns_target_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm));
+}
+
+void MixedRackScenario::WirePaxos() {
+  for (int i = 0; i < options_.num_acceptors; ++i) {
+    group_.acceptors.push_back(kRackAcceptorBaseNode + static_cast<NodeId>(i));
+  }
+  group_.learners.push_back(kRackLearnerNode);
+  group_.leader_service = kRackPaxosLeaderService;
+
+  // Dual leader (Fig 7 style): software leader on the host, P4xos on its NIC.
+  ServerConfig host_config;
+  host_config.name = "paxos-leader-host";
+  host_config.node = kRackPaxosHostNode;
+  host_config.num_cores = 4;
+  host_config.power_curve = I7LibpaxosCurve();
+  paxos_host_ = builder_.AddServer(host_config);
+  software_leader_ = std::make_unique<SoftwareLeader>(group_, /*ballot=*/1);
+  paxos_host_->BindApp(software_leader_.get());
+
+  FpgaNicConfig fpga_config;
+  fpga_config.name = "netfpga-p4xos";
+  fpga_config.host_node = kRackPaxosHostNode;
+  fpga_config.device_node = kRackPaxosDeviceNode;
+  fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
+                                                /*role_id=*/1, kRackPaxosLeaderService);
+  paxos_fpga_ = builder_.AddFpgaNic(fpga_config, fpga_leader_.get());
+  paxos_fpga_->SetAppActive(false);
+  paxos_port_ = builder_.ConnectToSwitchPort(
+      tor_, paxos_fpga_,
+      {kRackPaxosLeaderService, kRackPaxosHostNode, kRackPaxosDeviceNode},
+      TestbedBuilder::TenGigLink(), "paxos-10ge");
+  builder_.ConnectPcie(paxos_fpga_, paxos_host_, TestbedBuilder::PcieLink(),
+                       "paxos-pcie");
+
+  // Acceptors and learner on aux boxes that never bottleneck.
+  for (int i = 0; i < options_.num_acceptors; ++i) {
+    Server* server = builder_.AddAuxServer(
+        tor_, kRackAcceptorBaseNode + static_cast<NodeId>(i), "aux-acceptor", 4);
+    auto acceptor = std::make_unique<SoftwareAcceptor>(
+        group_, static_cast<uint32_t>(i), PaxosSoftwareConfig{Nanoseconds(300), 2});
+    server->BindApp(acceptor.get());
+    acceptors_.push_back(std::move(acceptor));
+  }
+  Server* learner_host = builder_.AddAuxServer(tor_, kRackLearnerNode, "learner-host", 8);
+  learner_ = std::make_unique<SoftwareLearner>(group_, PaxosSoftwareConfig{Nanoseconds(100), 8},
+                                               Milliseconds(50));
+  learner_host->BindApp(learner_.get());
+  learner_->StartGapTimer();
+
+  paxos_migrator_ = std::make_unique<PaxosLeaderMigrator>(
+      sim_, *tor_, kRackPaxosLeaderService, *software_leader_, paxos_port_,
+      *paxos_fpga_, *fpga_leader_, paxos_port_);
+
+  options_.paxos_client.node = kRackPaxosClientNode;
+  options_.paxos_client.leader_service = kRackPaxosLeaderService;
+  paxos_client_ = std::make_unique<PaxosClient>(sim_, options_.paxos_client);
+  Link* link = builder_.topology().ConnectToSwitch(tor_, paxos_client_.get(),
+                                                   kRackPaxosClientNode,
+                                                   TestbedBuilder::TenGigLink());
+  paxos_client_->SetUplink(link);
+}
+
+void MixedRackScenario::RegisterApps() {
+  RackOrchestratorConfig config = options_.orchestrator;
+  config.power_budget_watts = options_.power_budget_watts;
+  orchestrator_ = std::make_unique<RackOrchestrator>(sim_, config);
+
+  // §8-calibrated placement models. Both sides include the host (it stays
+  // powered either way) so the delta is the true placement cost.
+  const double kHostIdleWatts = 35.0;
+
+  RackAppSpec kvs;
+  kvs.name = "kvs";
+  auto kvs_curve = MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4);
+  kvs.software_watts = [kvs_curve](double r) { return kvs_curve(r) + 4.0; };
+  kvs.measured_rate_pps = [this] { return kvs_fpga_->AppIngressRatePerSecond(); };
+  kvs.options.push_back(RackPlacementOption{
+      kvs_fpga_, kvs_migrator_.get(),
+      MakeFpgaRatePower(kHostIdleWatts, 24.0, 1.0, 13e6), ParkPolicy::kGatedPark});
+  kvs_app_ = orchestrator_->AddApp(std::move(kvs));
+
+  RackAppSpec dns;
+  dns.name = "dns";
+  auto dns_curve = MakeServerRatePower(I7NsdCurve(), Nanoseconds(4180), 4);
+  dns.software_watts = [dns_curve](double r) { return dns_curve(r) + 4.0; };
+  auto dns_marginal = MakeSwitchMarginalPower(
+      dns_program_->PowerOverheadAtFullLoad(), tor_->asic_config().max_power_watts,
+      tor_->LineRatePps());
+  // Host idles (rate 0) while the ToR answers; marginal program watts on top.
+  RatePowerFn dns_network = [dns_curve, dns_marginal](double r) {
+    return dns_curve(0) + 4.0 + dns_marginal(r);
+  };
+  dns.measured_rate_pps = [this] { return dns_target_->AppIngressRatePerSecond(); };
+  dns.options.push_back(RackPlacementOption{dns_target_.get(), dns_migrator_.get(),
+                                            std::move(dns_network), ParkPolicy::kKeepWarm});
+  dns_app_ = orchestrator_->AddApp(std::move(dns));
+
+  if (options_.enable_paxos) {
+    RackAppSpec paxos;
+    paxos.name = "paxos";
+    paxos.software_watts = MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1);
+    paxos.measured_rate_pps = [this] { return paxos_fpga_->AppIngressRatePerSecond(); };
+    paxos.options.push_back(RackPlacementOption{
+        paxos_fpga_, paxos_migrator_.get(),
+        MakeFpgaRatePower(kHostIdleWatts, 12.6, 1.2, 10e6), ParkPolicy::kKeepWarm});
+    paxos_app_ = orchestrator_->AddApp(std::move(paxos));
+  }
+}
+
+LoadClient& MixedRackScenario::AddKvsClient(LoadClientConfig config,
+                                            std::unique_ptr<ArrivalProcess> arrival,
+                                            RequestFactory factory) {
+  config.node = kRackKvsClientNode;
+  LoadClient* client =
+      builder_.AddLoadClient(std::move(config), std::move(arrival), std::move(factory));
+  Link* link = builder_.topology().ConnectToSwitch(tor_, client, kRackKvsClientNode,
+                                                   TestbedBuilder::TenGigLink());
+  client->SetUplink(link);
+  return *client;
+}
+
+LoadClient& MixedRackScenario::AddDnsClient(LoadClientConfig config,
+                                            std::unique_ptr<ArrivalProcess> arrival,
+                                            RequestFactory factory) {
+  config.node = kRackDnsClientNode;
+  LoadClient* client =
+      builder_.AddLoadClient(std::move(config), std::move(arrival), std::move(factory));
+  Link* link = builder_.topology().ConnectToSwitch(tor_, client, kRackDnsClientNode,
+                                                   TestbedBuilder::TenGigLink());
+  client->SetUplink(link);
+  return *client;
+}
+
+void MixedRackScenario::PrefillKvs(uint64_t count, uint32_t value_bytes) {
+  for (uint64_t k = 0; k < count; ++k) {
+    memcached_->store().Set(k, value_bytes);
+  }
+  lake_->WarmFill(0, count, value_bytes);
+}
+
+}  // namespace incod

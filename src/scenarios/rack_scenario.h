@@ -1,0 +1,152 @@
+// Mixed-workload rack scenario: KVS + DNS + Paxos under one orchestrator.
+//
+// The rack-scale composition the OffloadTarget refactor unlocks: three
+// applications on three servers behind one programmable ToR, with
+// heterogeneous offload destinations managed against a shared power budget:
+//
+//   kvs client --+                                  +-- NetFPGA(LaKe) -- kvs host
+//   dns client --+-- ToR (Tofino, switch-dns prog) -+-- ConvNIC       -- dns host
+//   paxos client-+                                  +-- NetFPGA(P4xos)-- leader host
+//                                                   +-- acceptors / learner
+//
+// KVS offloads to its FPGA NIC, DNS to a program in the ToR pipeline
+// (marginal watts ~0, §9.4), and the Paxos leader to its P4xos NIC via the
+// switch-rule rewrite of §9.2 — all driven by the same RackOrchestrator.
+// Thanks to TestbedBuilder this is a composition, not a fourth testbed.
+#ifndef INCOD_SRC_SCENARIOS_RACK_SCENARIO_H_
+#define INCOD_SRC_SCENARIOS_RACK_SCENARIO_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/device/switch_offload.h"
+#include "src/dns/nsd_server.h"
+#include "src/dns/switch_dns.h"
+#include "src/dns/zone.h"
+#include "src/kvs/lake.h"
+#include "src/kvs/memcached_server.h"
+#include "src/ondemand/rack.h"
+#include "src/paxos/p4xos.h"
+#include "src/paxos/paxos_client.h"
+#include "src/paxos/software_roles.h"
+#include "src/scenarios/testbed_builder.h"
+
+namespace incod {
+
+// Rack-local addresses.
+constexpr NodeId kRackKvsServerNode = 1;
+constexpr NodeId kRackDnsServerNode = 2;
+constexpr NodeId kRackPaxosHostNode = 3;
+constexpr NodeId kRackKvsDeviceNode = 50;
+constexpr NodeId kRackPaxosDeviceNode = 51;
+constexpr NodeId kRackKvsClientNode = 100;
+constexpr NodeId kRackDnsClientNode = 101;
+constexpr NodeId kRackPaxosClientNode = 102;
+constexpr NodeId kRackPaxosLeaderService = 200;
+constexpr NodeId kRackAcceptorBaseNode = 10;
+constexpr NodeId kRackLearnerNode = 30;
+
+struct MixedRackOptions {
+  // Shared offload power budget at the PDU (<= 0: unlimited).
+  double power_budget_watts = 0;
+  bool enable_paxos = true;
+  int num_acceptors = 3;
+  RackOrchestratorConfig orchestrator;  // budget field is overridden.
+  LakeConfig lake;
+  MemcachedConfig memcached;
+  NsdConfig nsd;
+  size_t zone_size = 10000;
+  PaxosClientConfig paxos_client;
+  SimDuration meter_period = Milliseconds(1);
+};
+
+class MixedRackScenario {
+ public:
+  MixedRackScenario(Simulation& sim, MixedRackOptions options = {});
+
+  Simulation& sim() { return sim_; }
+  TestbedBuilder& builder() { return builder_; }
+  WallPowerMeter& meter() { return builder_.meter(); }
+  RackOrchestrator& orchestrator() { return *orchestrator_; }
+
+  // Targets (two OffloadTarget implementations + optionally a third).
+  SwitchAsic& tor() { return *tor_; }
+  FpgaNic& kvs_fpga() { return *kvs_fpga_; }
+  SwitchOffloadTarget& dns_target() { return *dns_target_; }
+  FpgaNic* paxos_fpga() { return paxos_fpga_; }
+
+  Server& kvs_server() { return *kvs_server_; }
+  Server& dns_server() { return *dns_server_; }
+  Server* paxos_host() { return paxos_host_; }
+
+  ClassifierMigrator& kvs_migrator() { return *kvs_migrator_; }
+  ClassifierMigrator& dns_migrator() { return *dns_migrator_; }
+  PaxosLeaderMigrator* paxos_migrator() { return paxos_migrator_.get(); }
+
+  DnsSwitchProgram& dns_program() { return *dns_program_; }
+  Zone& zone() { return zone_; }
+
+  // Orchestrator app indices (for current_option / shift introspection).
+  // paxos_app_index() throws when the scenario was built without Paxos.
+  size_t kvs_app_index() const { return kvs_app_; }
+  size_t dns_app_index() const { return dns_app_; }
+  size_t paxos_app_index() const;
+
+  // Load clients (owned; callers Start() them).
+  LoadClient& AddKvsClient(LoadClientConfig config,
+                           std::unique_ptr<ArrivalProcess> arrival,
+                           RequestFactory factory);
+  LoadClient& AddDnsClient(LoadClientConfig config,
+                           std::unique_ptr<ArrivalProcess> arrival,
+                           RequestFactory factory);
+  PaxosClient* paxos_client() { return paxos_client_.get(); }
+
+  // Fills the KVS store and LaKe caches with keys [0, count).
+  void PrefillKvs(uint64_t count, uint32_t value_bytes);
+
+ private:
+  void WireKvs();
+  void WireDns();
+  void WirePaxos();
+  void RegisterApps();
+
+  Simulation& sim_;
+  MixedRackOptions options_;
+  TestbedBuilder builder_;
+  Zone zone_;
+
+  SwitchAsic* tor_ = nullptr;
+  Server* kvs_server_ = nullptr;
+  Server* dns_server_ = nullptr;
+  Server* paxos_host_ = nullptr;
+  FpgaNic* kvs_fpga_ = nullptr;
+  FpgaNic* paxos_fpga_ = nullptr;
+  ConventionalNic* dns_nic_ = nullptr;
+  int paxos_port_ = -1;
+
+  std::unique_ptr<MemcachedServer> memcached_;
+  std::unique_ptr<LakeCache> lake_;
+  std::unique_ptr<NsdServer> nsd_;
+  std::unique_ptr<DnsSwitchProgram> dns_program_;
+  std::unique_ptr<SwitchOffloadTarget> dns_target_;
+  std::unique_ptr<SoftwareLeader> software_leader_;
+  std::unique_ptr<P4xosFpgaApp> fpga_leader_;
+  std::vector<std::unique_ptr<SoftwareAcceptor>> acceptors_;
+  std::unique_ptr<SoftwareLearner> learner_;
+  PaxosGroupConfig group_;
+
+  std::unique_ptr<ClassifierMigrator> kvs_migrator_;
+  std::unique_ptr<ClassifierMigrator> dns_migrator_;
+  std::unique_ptr<PaxosLeaderMigrator> paxos_migrator_;
+  std::unique_ptr<RackOrchestrator> orchestrator_;
+  std::unique_ptr<PaxosClient> paxos_client_;
+
+  static constexpr size_t kNoApp = static_cast<size_t>(-1);
+  size_t kvs_app_ = kNoApp;
+  size_t dns_app_ = kNoApp;
+  size_t paxos_app_ = kNoApp;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SCENARIOS_RACK_SCENARIO_H_

@@ -1,0 +1,94 @@
+#include "src/scenarios/testbed_builder.h"
+
+namespace incod {
+
+TestbedBuilder::TestbedBuilder(Simulation& sim, SimDuration meter_period)
+    : sim_(sim), topology_(sim) {
+  meter_ = std::make_unique<WallPowerMeter>(sim_, meter_period);
+}
+
+Link::Config TestbedBuilder::TenGigLink(SimDuration propagation_delay) {
+  Link::Config config;
+  config.gigabits_per_second = 10.0;
+  config.propagation_delay = propagation_delay;
+  return config;
+}
+
+Link::Config TestbedBuilder::PcieLink(SimDuration propagation_delay) {
+  Link::Config config;
+  config.gigabits_per_second = 32.0;  // PCIe gen3 x4-ish effective.
+  config.propagation_delay = propagation_delay;
+  return config;
+}
+
+Server* TestbedBuilder::AddServer(ServerConfig config, bool metered) {
+  Server* server = Own<Server>(sim_, std::move(config));
+  if (metered) {
+    meter_->Attach(server);
+  }
+  return server;
+}
+
+FpgaNic* TestbedBuilder::AddFpgaNic(FpgaNicConfig config, FpgaApp* app, bool metered) {
+  FpgaNic* nic = Own<FpgaNic>(sim_, std::move(config));
+  if (app != nullptr) {
+    nic->InstallApp(app);
+  }
+  if (metered) {
+    meter_->Attach(nic);
+  }
+  return nic;
+}
+
+ConventionalNic* TestbedBuilder::AddConventionalNic(ConventionalNicConfig config,
+                                                    bool metered) {
+  ConventionalNic* nic = Own<ConventionalNic>(sim_, std::move(config));
+  if (metered) {
+    meter_->Attach(nic);
+  }
+  return nic;
+}
+
+SmartNic* TestbedBuilder::AddSmartNic(SmartNicPreset preset, SmartNicDeviceConfig config,
+                                      bool metered) {
+  SmartNic* nic = Own<SmartNic>(sim_, std::move(preset), std::move(config));
+  if (metered) {
+    meter_->Attach(nic);
+  }
+  return nic;
+}
+
+SwitchAsic* TestbedBuilder::AddSwitchAsic(SwitchAsicConfig config, bool metered) {
+  SwitchAsic* asic = Own<SwitchAsic>(sim_, std::move(config));
+  if (metered) {
+    meter_->Attach(asic);
+  }
+  return asic;
+}
+
+L2Switch* TestbedBuilder::AddL2Switch(std::string name) {
+  return Own<L2Switch>(sim_, std::move(name));
+}
+
+Server* TestbedBuilder::AddAuxServer(L2Switch* sw, NodeId node, std::string name,
+                                     int cores) {
+  ServerConfig config;
+  config.name = std::move(name);
+  config.node = node;
+  config.num_cores = cores;
+  config.power_curve = I7SyntheticCurve();
+  config.stack_rx_cost = Nanoseconds(100);  // Aux boxes must never bottleneck.
+  config.stack_tx_cost = Nanoseconds(50);
+  Server* server = AddServer(std::move(config), /*metered=*/false);
+  Link* link = topology_.ConnectToSwitch(sw, server, node, TenGigLink());
+  server->SetUplink(link);
+  return server;
+}
+
+LoadClient* TestbedBuilder::AddLoadClient(LoadClientConfig config,
+                                          std::unique_ptr<ArrivalProcess> arrival,
+                                          RequestFactory factory) {
+  return Own<LoadClient>(sim_, std::move(config), std::move(arrival), std::move(factory));
+}
+
+}  // namespace incod

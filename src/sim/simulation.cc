@@ -21,38 +21,27 @@ uint64_t Simulation::ScheduleAt(SimTime at, std::function<void()> fn) {
   }
   const uint64_t id = next_id_++;
   queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
   return id;
 }
 
 bool Simulation::Cancel(uint64_t id) {
   // We cannot remove from the middle of a priority_queue; record the id and
-  // skip the event when it surfaces. The cancelled list stays small because
-  // entries are erased on pop.
-  if (id == 0 || id >= next_id_) {
-    return false;
+  // skip the event when it surfaces. The set stays small because entries
+  // are erased on pop.
+  if (pending_ids_.find(id) == pending_ids_.end()) {
+    return false;  // Never scheduled, already ran, or already cancelled.
   }
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
-    return false;
-  }
-  cancelled_.push_back(id);
-  ++cancelled_pending_;
-  return true;
+  return cancelled_.insert(id).second;
 }
 
-bool Simulation::IsCancelled(uint64_t id) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end()) {
-    return false;
-  }
-  cancelled_.erase(it);
-  --cancelled_pending_;
-  return true;
-}
+bool Simulation::IsCancelled(uint64_t id) { return cancelled_.erase(id) > 0; }
 
 bool Simulation::RunNext() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
+    pending_ids_.erase(ev.id);
     if (IsCancelled(ev.id)) {
       continue;
     }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "src/sim/random.h"
@@ -50,7 +51,7 @@ class Simulation {
   uint64_t events_executed() const { return events_executed_; }
 
   // Number of events currently pending.
-  size_t pending_events() const { return queue_.size() - cancelled_pending_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
 
   // Root RNG. Components should call rng().Fork() once at setup.
   Rng& rng() { return rng_; }
@@ -75,9 +76,13 @@ class Simulation {
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
   uint64_t events_executed_ = 0;
-  size_t cancelled_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::vector<uint64_t> cancelled_;  // Sorted insertion not needed; small.
+  // Ids still in the queue; keeps Cancel() of an already-run id a true
+  // no-op (and Cancel honest about it) instead of poisoning bookkeeping.
+  std::unordered_set<uint64_t> pending_ids_;
+  // Consulted on every pop; entries are erased on hit so heavy cancel
+  // workloads (rack orchestrator timers) stay O(1) per event.
+  std::unordered_set<uint64_t> cancelled_;
   Rng rng_;
 
   bool IsCancelled(uint64_t id);

@@ -274,6 +274,150 @@ TEST(HostControllerTest, ShiftsBackOnLowDeviceRate) {
   EXPECT_EQ(h.migrator.placement(), Placement::kHost);
 }
 
+// ---- Park policies under migration (§9.2) ----
+
+TEST(ParkPolicyMigrationTest, ReprogramHaltSuppressesClassifierTraffic) {
+  // §9.2: loading the bitstream causes "a momentary traffic halt" — for the
+  // configured halt window the classifier sees (and forwards) nothing.
+  MigratorHarness h;
+  const SimDuration halt = Milliseconds(40);
+  ClassifierMigrator migrator(
+      h.sim, h.fpga, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kReprogram, halt));
+
+  auto offer_packet = [&] {
+    Packet pkt;
+    pkt.src = 100;
+    pkt.dst = 1;
+    pkt.proto = AppProto::kKv;
+    pkt.payload = KvRequest{KvOp::kGet, 1, 0};
+    h.fpga.Receive(pkt);
+  };
+
+  migrator.ShiftToNetwork();
+  EXPECT_TRUE(h.fpga.reprogramming());
+  // Traffic offered through the whole halt window is dropped unseen.
+  const int kDuringHalt = 10;
+  for (int i = 0; i < kDuringHalt; ++i) {
+    h.sim.Schedule(halt * i / kDuringHalt, offer_packet);
+  }
+  h.sim.RunUntil(halt - Milliseconds(1));
+  EXPECT_EQ(h.fpga.app_ingress_packets(), 0u);
+  EXPECT_EQ(h.fpga.processed_in_hardware(), 0u);
+  EXPECT_EQ(h.fpga.dropped(), static_cast<uint64_t>(kDuringHalt));
+  EXPECT_TRUE(h.fpga.reprogramming());
+
+  // Once the halt elapses the app is live and traffic flows again.
+  h.sim.RunUntil(halt + Milliseconds(1));
+  EXPECT_FALSE(h.fpga.reprogramming());
+  EXPECT_TRUE(h.fpga.app_active());
+  offer_packet();
+  h.sim.Run();
+  EXPECT_EQ(h.fpga.app_ingress_packets(), 1u);
+  EXPECT_EQ(h.fpga.processed_in_hardware(), 1u);
+}
+
+TEST(ParkPolicyMigrationTest, KeepWarmShiftsAreInstant) {
+  // kKeepWarm pays idle watts for instant shifts: no reprogramming window,
+  // app active the moment the migrator flips the classifier.
+  MigratorHarness h;
+  ClassifierMigrator migrator(
+      h.sim, h.fpga, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm));
+  migrator.ShiftToNetwork();
+  EXPECT_FALSE(h.fpga.reprogramming());
+  EXPECT_TRUE(h.fpga.app_active());
+  // A packet at the shift instant is classified and processed.
+  Packet pkt;
+  pkt.src = 100;
+  pkt.dst = 1;
+  pkt.proto = AppProto::kKv;
+  pkt.payload = KvRequest{KvOp::kGet, 1, 0};
+  h.fpga.Receive(pkt);
+  h.sim.Run();
+  EXPECT_EQ(h.fpga.processed_in_hardware(), 1u);
+  // And the shift back is just as instant (memories stay warm).
+  h.lake.WarmFill(0, 10, 64);
+  migrator.ShiftToHost();
+  EXPECT_FALSE(h.fpga.reprogramming());
+  EXPECT_EQ(h.lake.l1().size(), 10u);
+}
+
+// ---- Hysteresis dwell under oscillating signals (§9.1) ----
+
+// Migrator that stamps transitions with simulated time.
+class TimedFakeMigrator : public Migrator {
+ public:
+  explicit TimedFakeMigrator(Simulation& sim) : sim_(sim) {}
+  void ShiftToNetwork() override { RecordTransition(sim_.Now(), Placement::kNetwork); }
+  void ShiftToHost() override { RecordTransition(sim_.Now(), Placement::kHost); }
+  std::string MigratorName() const override { return "timed-fake"; }
+
+ private:
+  Simulation& sim_;
+};
+
+void ExpectDwellRespected(const std::vector<TransitionEvent>& transitions,
+                          SimDuration min_dwell) {
+  for (size_t i = 1; i < transitions.size(); ++i) {
+    EXPECT_GE(transitions[i].at - transitions[i - 1].at, min_dwell)
+        << "shift " << i << " violated min_dwell";
+  }
+}
+
+TEST(NetworkControllerTest, OscillatingRateShiftsAtMostOncePerDwell) {
+  // A rate square-wave straddling up_rate_pps (and, once offloaded, the
+  // down threshold) tempts the controller to flip every window; min_dwell
+  // must cap it at one shift per dwell period.
+  NetworkControllerHarness h;
+  TimedFakeMigrator migrator(h.sim);
+  NetworkControllerConfig config;
+  config.up_rate_pps = 100000;
+  config.up_window = Milliseconds(200);
+  config.down_rate_pps = 90000;  // Narrow band: both thresholds crossable.
+  config.down_window = Milliseconds(200);
+  config.min_dwell = Seconds(1);
+  NetworkController controller(h.sim, h.fpga, migrator, config);
+  controller.Start();
+  // 250 ms bursts of 150 kpps alternating with 250 ms of ~20 kpps.
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    const SimTime start = cycle * Milliseconds(500);
+    h.sim.ScheduleAt(start, [&h] { h.OfferTraffic(150000, Milliseconds(250)); });
+    h.sim.ScheduleAt(start + Milliseconds(250),
+                     [&h] { h.OfferTraffic(20000, Milliseconds(250)); });
+  }
+  h.sim.RunUntil(Seconds(8));
+  ASSERT_GE(migrator.transitions().size(), 2u);  // It did oscillate...
+  ExpectDwellRespected(migrator.transitions(), config.min_dwell);
+  // ...but never faster than one shift per dwell: <= sim_time / dwell + 1.
+  EXPECT_LE(migrator.transitions().size(), 9u);
+}
+
+TEST(HostControllerTest, OscillatingPowerShiftsAtMostOncePerDwell) {
+  HostControllerHarness h;
+  TimedFakeMigrator migrator(h.sim);
+  HostControllerConfig config;
+  config.up_power_watts = 25.0;
+  config.up_cpu_usage = -1.0;  // Power-only gate for a clean square wave.
+  config.up_window = Milliseconds(200);
+  config.down_rate_pps = 1000;  // Device idle: rate condition always true.
+  config.down_power_watts = 25.0;
+  config.down_window = Milliseconds(200);
+  config.min_dwell = Seconds(1);
+  HostController controller(h.sim, h.server, AppProto::kKv, h.rapl, h.fpga, migrator,
+                            config);
+  controller.Start();
+  // RAPL square wave straddling the 25 W threshold every 300 ms.
+  for (int cycle = 0; cycle < 14; ++cycle) {
+    const SimTime start = cycle * Milliseconds(600);
+    h.sim.ScheduleAt(start, [&h] { h.server.SetBackgroundUtilization(3.5); });
+    h.sim.ScheduleAt(start + Milliseconds(300),
+                     [&h] { h.server.SetBackgroundUtilization(0.0); });
+  }
+  h.sim.RunUntil(Seconds(8));
+  ASSERT_GE(migrator.transitions().size(), 2u);
+  ExpectDwellRespected(migrator.transitions(), config.min_dwell);
+  EXPECT_LE(migrator.transitions().size(), 9u);
+}
+
 // ---- Energy advisor ----
 
 TEST(EnergyAdvisorTest, ServerRatePowerSaturates) {

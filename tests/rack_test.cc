@@ -1,0 +1,408 @@
+// Tests for the rack-scale orchestration layer: the shared power ledger,
+// greedy placement across heterogeneous OffloadTargets, and the mixed
+// KVS+DNS rack scenario (FPGA NIC + switch ASIC under one orchestrator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "src/ondemand/rack.h"
+#include "src/scenarios/rack_scenario.h"
+#include "src/sim/simulation.h"
+#include "src/workload/arrival.h"
+#include "src/workload/etc_workload.h"
+#include "src/workload/dns_workload.h"
+
+namespace incod {
+namespace {
+
+// ---- Shared power ledger ----
+
+TEST(RackPowerLedgerTest, CommitReleaseAccounting) {
+  RackPowerLedger ledger(100.0);
+  EXPECT_TRUE(ledger.TryCommit("a", 40.0));
+  EXPECT_TRUE(ledger.TryCommit("b", 50.0));
+  EXPECT_DOUBLE_EQ(ledger.committed_watts(), 90.0);
+  EXPECT_DOUBLE_EQ(ledger.RemainingWatts(), 10.0);
+  // Over budget: rejected, state unchanged.
+  EXPECT_FALSE(ledger.TryCommit("c", 20.0));
+  EXPECT_DOUBLE_EQ(ledger.committed_watts(), 90.0);
+  ledger.Release("a");
+  EXPECT_DOUBLE_EQ(ledger.committed_watts(), 50.0);
+  EXPECT_TRUE(ledger.TryCommit("c", 20.0));
+}
+
+TEST(RackPowerLedgerTest, RecommitReplacesNotAdds) {
+  RackPowerLedger ledger(100.0);
+  EXPECT_TRUE(ledger.TryCommit("a", 60.0));
+  // Re-commit under the same key replaces the prior value: 80 fits because
+  // the old 60 is released in the same operation.
+  EXPECT_TRUE(ledger.TryCommit("a", 80.0));
+  EXPECT_DOUBLE_EQ(ledger.committed_watts(), 80.0);
+  EXPECT_FALSE(ledger.TryCommit("a", 120.0));
+  EXPECT_DOUBLE_EQ(ledger.committed_watts(), 80.0);  // Prior intact.
+}
+
+TEST(RackPowerLedgerTest, UnlimitedBudget) {
+  RackPowerLedger ledger(0);
+  EXPECT_TRUE(ledger.unlimited());
+  EXPECT_TRUE(ledger.TryCommit("a", 1e9));
+  EXPECT_TRUE(std::isinf(ledger.RemainingWatts()));
+}
+
+TEST(RackPowerLedgerTest, NegativeCommitThrows) {
+  RackPowerLedger ledger(10.0);
+  EXPECT_THROW(ledger.TryCommit("a", -1.0), std::invalid_argument);
+}
+
+// ---- Orchestrator decisions against fake targets ----
+
+class FakeTarget : public OffloadTarget {
+ public:
+  explicit FakeTarget(std::string name, double capacity = 1e6)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  std::string TargetName() const override { return name_; }
+  void SetAppActive(bool active) override { active_ = active; }
+  bool app_active() const override { return active_; }
+  double AppIngressRatePerSecond() const override { return rate_; }
+  uint64_t app_ingress_packets() const override { return 0; }
+  double ProcessedRatePerSecond() const override { return active_ ? rate_ : 0; }
+  double OffloadPowerWatts() const override { return 0; }
+  double OffloadCapacityPps() const override { return capacity_; }
+
+  void set_rate(double rate) { rate_ = rate; }
+
+ private:
+  std::string name_;
+  double capacity_;
+  double rate_ = 0;
+  bool active_ = false;
+};
+
+class FakeMigrator : public Migrator {
+ public:
+  explicit FakeMigrator(Simulation& sim, FakeTarget& target)
+      : sim_(sim), target_(target) {}
+  void ShiftToNetwork() override {
+    target_.SetAppActive(true);
+    RecordTransition(sim_.Now(), Placement::kNetwork);
+  }
+  void ShiftToHost() override {
+    target_.SetAppActive(false);
+    RecordTransition(sim_.Now(), Placement::kHost);
+  }
+  std::string MigratorName() const override { return "fake/" + target_.TargetName(); }
+
+ private:
+  Simulation& sim_;
+  FakeTarget& target_;
+};
+
+struct OrchestratorHarness {
+  OrchestratorHarness()
+      : cheap("cheap-asic"), pricey("pricey-fpga"),
+        cheap_migrator(sim, cheap), pricey_migrator(sim, pricey) {}
+
+  // Absolute-scale models (host included on both sides, like the real
+  // scenario): software idles at 35 W and climbs with rate; the targets
+  // hold flat 65 W / 45 W, i.e. 30 W / 10 W of offload headroom.
+  RackAppSpec AppWithBothOptions(double rate) {
+    rate_value = rate;
+    RackAppSpec spec;
+    spec.name = "app";
+    spec.software_watts = [](double r) { return 35.0 + r / 5000.0; };
+    spec.measured_rate_pps = [this] { return rate_value; };
+    spec.options.push_back(RackPlacementOption{
+        &pricey, &pricey_migrator, [](double) { return 65.0; }, ParkPolicy::kGatedPark});
+    spec.options.push_back(RackPlacementOption{
+        &cheap, &cheap_migrator, [](double) { return 45.0; }, ParkPolicy::kKeepWarm});
+    return spec;
+  }
+
+  Simulation sim;
+  FakeTarget cheap;
+  FakeTarget pricey;
+  FakeMigrator cheap_migrator;
+  FakeMigrator pricey_migrator;
+  double rate_value = 0;
+};
+
+TEST(RackOrchestratorTest, GreedyPicksCheapestEligibleTarget) {
+  OrchestratorHarness h;
+  RackOrchestrator orchestrator(h.sim, RackOrchestratorConfig{});
+  const size_t app = orchestrator.AddApp(h.AppWithBothOptions(200000));
+  orchestrator.Start();
+  h.sim.RunUntil(Seconds(1));
+  ASSERT_NE(orchestrator.current_option(app), nullptr);
+  EXPECT_EQ(orchestrator.current_option(app)->target, &h.cheap);
+  EXPECT_EQ(orchestrator.ShiftsToTarget(h.cheap), 1u);
+  EXPECT_EQ(orchestrator.ShiftsToTarget(h.pricey), 0u);
+  EXPECT_TRUE(h.cheap.app_active());
+}
+
+TEST(RackOrchestratorTest, CapacityExhaustionFallsBackToNextTarget) {
+  OrchestratorHarness h;
+  // The cheap target can only absorb 50 kpps; the app runs at 200 kpps.
+  FakeTarget tiny("tiny-asic", 50000);
+  FakeMigrator tiny_migrator(h.sim, tiny);
+  RackAppSpec spec = h.AppWithBothOptions(200000);
+  spec.options[1] = RackPlacementOption{&tiny, &tiny_migrator,
+                                        [](double) { return 45.0; },
+                                        ParkPolicy::kKeepWarm};
+  RackOrchestrator orchestrator(h.sim, RackOrchestratorConfig{});
+  const size_t app = orchestrator.AddApp(std::move(spec));
+  orchestrator.Start();
+  h.sim.RunUntil(Seconds(1));
+  ASSERT_NE(orchestrator.current_option(app), nullptr);
+  EXPECT_EQ(orchestrator.current_option(app)->target, &h.pricey);
+}
+
+TEST(RackOrchestratorTest, SharedBudgetBlocksSecondApp) {
+  OrchestratorHarness h;
+  RackOrchestratorConfig config;
+  // Each placement consumes 45 - 35 = 10 W of headroom: room for one only.
+  config.power_budget_watts = 15.0;
+  RackOrchestrator orchestrator(h.sim, config);
+
+  FakeTarget other("other-asic");
+  FakeMigrator other_migrator(h.sim, other);
+  RackAppSpec first = h.AppWithBothOptions(200000);
+  first.name = "first";
+  first.options.erase(first.options.begin());  // Cheap option only.
+  RackAppSpec second;
+  second.name = "second";
+  second.software_watts = [](double r) { return 35.0 + r / 5000.0; };
+  second.measured_rate_pps = [] { return 200000.0; };
+  second.options.push_back(RackPlacementOption{
+      &other, &other_migrator, [](double) { return 45.0; }, ParkPolicy::kKeepWarm});
+  const size_t a = orchestrator.AddApp(std::move(first));
+  const size_t b = orchestrator.AddApp(std::move(second));
+  orchestrator.Start();
+  h.sim.RunUntil(Seconds(1));
+  // First-registered app won the headroom; the second stays home.
+  EXPECT_NE(orchestrator.current_option(a), nullptr);
+  EXPECT_EQ(orchestrator.current_option(b), nullptr);
+  EXPECT_LE(orchestrator.ledger().committed_watts(),
+            orchestrator.ledger().budget_watts());
+}
+
+TEST(RackOrchestratorTest, LedgerCommitsOffloadHeadroomNotAbsoluteWatts) {
+  OrchestratorHarness h;
+  RackOrchestratorConfig config;
+  config.min_dwell = Milliseconds(200);
+  RackOrchestrator orchestrator(h.sim, config);
+  const size_t app = orchestrator.AddApp(h.AppWithBothOptions(200000));
+  orchestrator.Start();
+  h.sim.RunUntil(Seconds(1));
+  ASSERT_NE(orchestrator.current_option(app), nullptr);
+  // The ledger holds the increment over software idle (45 - 35 = 10 W),
+  // not the 45 W absolute placement power — host idle draws either way.
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 10.0);
+  // A milder rate (60 kpps -> software 47 W) still loses to the 45 W
+  // placement within the margin: the app stays put, commitment unchanged.
+  h.rate_value = 60000;
+  h.sim.RunUntil(Seconds(2));
+  EXPECT_NE(orchestrator.current_option(app), nullptr);
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 10.0);
+}
+
+TEST(RackOrchestratorTest, ReturnsHomeWhenNetworkStopsPaying) {
+  Simulation sim;
+  FakeTarget target("fpga");
+  FakeMigrator migrator(sim, target);
+  double rate = 300000;
+  RackAppSpec spec;
+  spec.name = "app";
+  spec.software_watts = [](double r) { return 35.0 + r / 10000.0; };  // 65 W @300k.
+  spec.measured_rate_pps = [&rate] { return rate; };
+  spec.options.push_back(RackPlacementOption{
+      &target, &migrator, [](double) { return 45.0; }, ParkPolicy::kKeepWarm});
+  RackOrchestratorConfig config;
+  config.min_dwell = Milliseconds(200);
+  RackOrchestrator orchestrator(sim, config);
+  const size_t app = orchestrator.AddApp(std::move(spec));
+  orchestrator.Start();
+  sim.RunUntil(Seconds(1));
+  ASSERT_NE(orchestrator.current_option(app), nullptr);
+  rate = 0;  // Software now 35 W vs 45 W network: shift home.
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(orchestrator.current_option(app), nullptr);
+  EXPECT_FALSE(target.app_active());
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 0.0);
+  EXPECT_EQ(orchestrator.total_shifts(), 2u);
+}
+
+TEST(RackOrchestratorTest, RejectsIncompleteSpecs) {
+  Simulation sim;
+  RackOrchestrator orchestrator(sim);
+  RackAppSpec spec;
+  spec.name = "bad";
+  EXPECT_THROW(orchestrator.AddApp(spec), std::invalid_argument);
+}
+
+TEST(RackOrchestratorTest, RejectsDuplicateOrEmptyAppNames) {
+  OrchestratorHarness h;
+  RackOrchestrator orchestrator(h.sim);
+  orchestrator.AddApp(h.AppWithBothOptions(100000));  // name "app"
+  RackAppSpec duplicate = h.AppWithBothOptions(100000);
+  EXPECT_THROW(orchestrator.AddApp(std::move(duplicate)), std::invalid_argument);
+  RackAppSpec unnamed = h.AppWithBothOptions(100000);
+  unnamed.name.clear();
+  EXPECT_THROW(orchestrator.AddApp(std::move(unnamed)), std::invalid_argument);
+}
+
+TEST(RackOrchestratorTest, MigratesToCheaperTargetWhenCapacityFrees) {
+  // App A fills the cheap target; app B settles for the pricey one. When
+  // A's load collapses enough to fit both, B must migrate over to keep the
+  // greedy cheapest-eligible-target invariant.
+  Simulation sim;
+  FakeTarget cheap("cheap-asic", 250000);
+  FakeTarget pricey("pricey-fpga");
+  FakeMigrator cheap_a(sim, cheap), cheap_b(sim, cheap), pricey_b(sim, pricey);
+  double rate_a = 200000, rate_b = 100000;
+
+  RackAppSpec a;
+  a.name = "a";
+  a.software_watts = [](double r) { return 35.0 + r / 5000.0; };
+  a.measured_rate_pps = [&rate_a] { return rate_a; };
+  a.options.push_back(RackPlacementOption{&cheap, &cheap_a, [](double) { return 45.0; },
+                                          ParkPolicy::kKeepWarm});
+  RackAppSpec b;
+  b.name = "b";
+  b.software_watts = [](double r) { return 35.0 + r / 5000.0; };
+  b.measured_rate_pps = [&rate_b] { return rate_b; };
+  b.options.push_back(RackPlacementOption{&cheap, &cheap_b, [](double) { return 45.0; },
+                                          ParkPolicy::kKeepWarm});
+  b.options.push_back(RackPlacementOption{&pricey, &pricey_b, [](double) { return 50.0; },
+                                          ParkPolicy::kKeepWarm});
+
+  RackOrchestratorConfig config;
+  config.min_dwell = Milliseconds(200);
+  RackOrchestrator orchestrator(sim, config);
+  const size_t app_a = orchestrator.AddApp(std::move(a));
+  const size_t app_b = orchestrator.AddApp(std::move(b));
+  orchestrator.Start();
+  sim.RunUntil(Seconds(1));
+  ASSERT_NE(orchestrator.current_option(app_a), nullptr);
+  ASSERT_NE(orchestrator.current_option(app_b), nullptr);
+  EXPECT_EQ(orchestrator.current_option(app_a)->target, &cheap);
+  EXPECT_EQ(orchestrator.current_option(app_b)->target, &pricey);
+
+  rate_a = 50000;  // 50k + 100k now fit the cheap target's 250k.
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(orchestrator.current_option(app_b)->target, &cheap);
+  EXPECT_FALSE(pricey.app_active());
+  // Ledger reflects the two real placements, without phantom entries.
+  EXPECT_EQ(orchestrator.ledger().commitments().size(), 2u);
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 20.0);
+}
+
+// ---- Acceptance: one rack, FPGA NIC + switch ASIC, shared ledger ----
+
+TEST(MixedRackScenarioTest, TwoTargetKindsUnderOneOrchestrator) {
+  Simulation sim(/*seed=*/5);
+  MixedRackOptions options;
+  options.power_budget_watts = 150.0;
+  options.enable_paxos = false;  // KVS (FPGA NIC) + DNS (switch ASIC).
+  options.orchestrator.min_dwell = Milliseconds(500);
+  MixedRackScenario rack(sim, options);
+  rack.PrefillKvs(20000, 64);
+
+  // KVS: quiet, surge at 1 s, quiet again at 4 s.
+  EtcWorkloadConfig etc_config;
+  etc_config.kvs_service = kRackKvsServerNode;
+  etc_config.key_population = 20000;
+  EtcWorkload etc(etc_config);
+  auto kvs_arrival = std::make_unique<PoissonArrival>(15000.0);
+  PoissonArrival* kvs_knob = kvs_arrival.get();
+  LoadClient& kvs_client =
+      rack.AddKvsClient(LoadClientConfig{}, std::move(kvs_arrival), etc.MakeFactory());
+  sim.Schedule(Seconds(1), [&] { kvs_knob->SetRate(400000.0); });
+  sim.Schedule(Seconds(4), [&] { kvs_knob->SetRate(5000.0); });
+
+  // DNS: steady 250 kqps — the ToR program wins immediately (§9.4).
+  DnsWorkloadConfig dns_config;
+  dns_config.dns_service = kRackDnsServerNode;
+  LoadClient& dns_client = rack.AddDnsClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(250000.0),
+      MakeDnsRequestFactory(dns_config));
+
+  rack.orchestrator().Start();
+  kvs_client.Start();
+  dns_client.Start();
+  sim.RunUntil(Seconds(3));
+
+  // Mid-run: both apps offloaded, each on its own kind of target, and the
+  // shared ledger holds exactly their two commitments within budget.
+  const auto* kvs_option = rack.orchestrator().current_option(rack.kvs_app_index());
+  const auto* dns_option = rack.orchestrator().current_option(rack.dns_app_index());
+  ASSERT_NE(kvs_option, nullptr);
+  ASSERT_NE(dns_option, nullptr);
+  EXPECT_EQ(kvs_option->target, &rack.kvs_fpga());
+  EXPECT_EQ(dns_option->target, &rack.dns_target());
+  EXPECT_EQ(rack.orchestrator().ledger().commitments().size(), 2u);
+  double sum = 0;
+  for (const auto& [key, watts] : rack.orchestrator().ledger().commitments()) {
+    EXPECT_TRUE(key == "kvs" || key == "dns") << key;
+    EXPECT_GT(watts, 0.0);
+    sum += watts;
+  }
+  EXPECT_DOUBLE_EQ(rack.orchestrator().ledger().committed_watts(), sum);
+  EXPECT_LE(sum, options.power_budget_watts);
+
+  // Both data paths really served in the network.
+  EXPECT_GT(rack.kvs_fpga().processed_in_hardware(), 0u);
+  EXPECT_GT(rack.dns_program().answered(), 0u);
+  EXPECT_TRUE(rack.tor().LoadedPrograms().size() == 1u);
+
+  // Night: the KVS comes home and releases its budget; DNS stays in the ToR
+  // (its marginal watts keep beating the NSD server at any rate).
+  sim.RunUntil(Seconds(7));
+  EXPECT_EQ(rack.orchestrator().current_option(rack.kvs_app_index()), nullptr);
+  EXPECT_NE(rack.orchestrator().current_option(rack.dns_app_index()), nullptr);
+  EXPECT_EQ(rack.orchestrator().ledger().commitments().size(), 1u);
+  EXPECT_EQ(rack.orchestrator().ledger().commitments().count("dns"), 1u);
+
+  // Per-target shift counts: one shift onto each target kind.
+  EXPECT_EQ(rack.orchestrator().ShiftsToTarget(rack.kvs_fpga()), 1u);
+  EXPECT_EQ(rack.orchestrator().ShiftsToTarget(rack.dns_target()), 1u);
+  EXPECT_EQ(rack.orchestrator().total_shifts(), 3u);  // kvs up+down, dns up.
+
+  // Migrator transition logs agree with the orchestrator's accounting.
+  EXPECT_EQ(rack.kvs_migrator().transitions().size(), 2u);
+  EXPECT_EQ(rack.dns_migrator().transitions().size(), 1u);
+
+  // Sanity: clients were actually served throughout.
+  EXPECT_GT(kvs_client.received(), 0u);
+  EXPECT_GT(dns_client.received(), 0u);
+  EXPECT_LT(kvs_client.LossFraction(), 0.05);
+
+  // The rack timeseries recorded the whole run.
+  EXPECT_GT(rack.orchestrator().committed_watts_series().size(), 10u);
+  EXPECT_GT(rack.orchestrator().committed_watts_series().MaxValue(), 0.0);
+}
+
+TEST(MixedRackScenarioTest, PaxosLeaderRegistersThirdApp) {
+  Simulation sim(/*seed=*/6);
+  MixedRackOptions options;
+  options.enable_paxos = true;
+  options.paxos_client.requests_per_second = 20000;
+  MixedRackScenario rack(sim, options);
+  EXPECT_EQ(rack.orchestrator().app_count(), 3u);
+  ASSERT_NE(rack.paxos_migrator(), nullptr);
+  // Drive a little consensus traffic end to end (software leader serves).
+  rack.paxos_client()->Start();
+  sim.RunUntil(Milliseconds(500));
+  EXPECT_GT(rack.paxos_client()->completed(), 0u);
+  // The same migrator interface shifts the leader into the P4xos NIC.
+  rack.paxos_migrator()->ShiftToNetwork();
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(rack.paxos_migrator()->placement(), Placement::kNetwork);
+  EXPECT_TRUE(rack.paxos_fpga()->app_active());
+  EXPECT_GT(rack.paxos_fpga()->processed_in_hardware(), 0u);
+}
+
+}  // namespace
+}  // namespace incod

@@ -105,6 +105,18 @@ TEST(SimulationTest, CancelTwiceFails) {
   EXPECT_FALSE(sim.Cancel(9999));
 }
 
+TEST(SimulationTest, CancelAfterExecutionIsHonestNoOp) {
+  // Cancelling a stale id (the event already ran) must report false and
+  // leave the pending-event accounting intact.
+  Simulation sim;
+  const uint64_t id = sim.Schedule(Microseconds(10), [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Schedule(Microseconds(10), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
 TEST(SimulationTest, PendingEventsAccountsForCancellations) {
   Simulation sim;
   sim.Schedule(Microseconds(10), [] {});

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "src/device/fpga_nic.h"
 #include "src/device/switch_asic.h"
 #include "src/dns/switch_dns.h"
 #include "src/host/server.h"
