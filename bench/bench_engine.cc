@@ -1,0 +1,392 @@
+// Engine performance trajectory: BENCH_engine.json.
+//
+// Three measurements, recorded so every PR can see the event engine's perf
+// history on the same machine:
+//
+//  1. Engine micro ("churn"): an identical synthetic event workload — sub-us
+//     packet-like hops, same-tick bursts, ms-scale timers, schedule+cancel
+//     pairs — run on three engines:
+//       legacy:   a faithful replica of the seed engine (binary heap of
+//                 std::function events, pending/cancelled unordered_sets)
+//       heap:     Simulation EngineKind::kHeap (InlineEvent + slot table)
+//       calendar: the default calendar-queue engine
+//     The headline number is calendar_vs_legacy_speedup (target: >= 3x),
+//     which is also what CI's bench-smoke job tracks — a ratio measured
+//     within one run is far less machine-sensitive than absolute rates.
+//
+//  2. KVS testbed end-to-end (client -> NetFPGA LaKe -> host) at a fixed
+//     offered load: events/sec and simulated packets/sec of wall time.
+//
+//  3. Mixed rack testbed (KVS + DNS + Paxos under the orchestrator):
+//     events/sec and simulated packets/sec of wall time.
+//
+// Usage: bench_engine [--quick] [--out PATH]
+#include <any>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/scenarios/kvs_testbed.h"
+#include "src/scenarios/rack_scenario.h"
+#include "src/sim/simulation.h"
+#include "src/workload/client.h"
+#include "src/workload/dns_workload.h"
+#include "src/workload/etc_workload.h"
+
+namespace incod {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Replica of the seed event engine (pre-calendar-queue), kept verbatim so the
+// speedup baseline cannot drift as src/sim evolves: a binary heap of
+// heap-allocated std::function closures with two hash-set probes per event.
+// ---------------------------------------------------------------------------
+class LegacySimulation {
+ public:
+  SimTime Now() const { return now_; }
+
+  uint64_t Schedule(SimDuration delay, std::function<void()> fn) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  uint64_t ScheduleAt(SimTime at, std::function<void()> fn) {
+    if (at < now_) {
+      at = now_;
+    }
+    const uint64_t id = next_id_++;
+    queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+    pending_ids_.insert(id);
+    return id;
+  }
+
+  bool Cancel(uint64_t id) {
+    if (pending_ids_.find(id) == pending_ids_.end()) {
+      return false;
+    }
+    return cancelled_.insert(id).second;
+  }
+
+  bool RunNext() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      pending_ids_.erase(ev.id);
+      if (cancelled_.erase(ev.id) > 0) {
+        continue;
+      }
+      now_ = ev.at;
+      ++events_executed_;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  void Run() {
+    while (RunNext()) {
+    }
+  }
+
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    uint64_t id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<uint64_t> pending_ids_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+// ---------------------------------------------------------------------------
+// Synthetic churn: identical event pattern on any engine with the
+// Schedule/Cancel/Run interface. 1024 concurrent sources model the in-flight
+// event population of a multi-Mpps load sweep (the regime the paper's
+// figures need).
+//
+// Each event drags a Packet-sized blob through the queue, because that is
+// what the real hot path does: a Link/NIC/server event captures the Packet
+// it is moving. The modern engines carry the blob inline (InlineEvent +
+// variant payload); the legacy replica carries it the way the seed engine
+// did — inside a heap-allocated std::function whose Packet held a
+// heap-allocated std::any. Same bytes, the seed's representation.
+// ---------------------------------------------------------------------------
+struct ChurnParams {
+  int sources = 1024;
+  uint64_t events_per_source = 5000;
+};
+
+struct PacketBlob {
+  unsigned char bytes[112] = {};  // ~sizeof(Packet) with its inline variant.
+};
+struct InlinePayload {
+  PacketBlob blob;
+  unsigned char* data() { return blob.bytes; }
+};
+struct AnyPayload {  // The seed's std::any packet payload.
+  std::any blob = PacketBlob{};
+  unsigned char* data() { return std::any_cast<PacketBlob>(&blob)->bytes; }
+};
+
+template <typename Sim, typename Payload>
+struct ChurnSource {
+  Sim* sim;
+  uint64_t remaining;
+  uint64_t state;  // Per-source LCG so the pattern is engine-independent.
+  Payload payload;
+
+  void operator()() {
+    if (remaining == 0) {
+      return;
+    }
+    --remaining;
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint64_t r = state >> 33;
+    SimDuration gap = static_cast<SimDuration>(100 + r % 1500);  // Packet-like hop.
+    if (r % 16 == 0) {
+      gap = 0;  // Same-tick burst (FIFO path).
+    } else if (r % 64 == 0) {
+      gap = Milliseconds(static_cast<int64_t>(1 + r % 5));  // Far-list timer.
+    }
+    if (r % 32 == 0) {
+      // Schedule-then-cancel pair: the on-demand controllers' timer pattern.
+      const uint64_t id = sim->Schedule(gap + 50, [] {});
+      sim->Cancel(id);
+    }
+    payload.data()[r % sizeof(PacketBlob)]++;
+    sim->Schedule(gap, *this);
+  }
+};
+
+struct MicroResult {
+  uint64_t events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+};
+
+template <typename Payload, typename Sim>
+MicroResult RunChurn(Sim& sim, const ChurnParams& params) {
+  for (int i = 0; i < params.sources; ++i) {
+    sim.Schedule(i, ChurnSource<Sim, Payload>{&sim, params.events_per_source,
+                                              0x9e3779b97f4a7c15ULL * (i + 1),
+                                              {}});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  sim.Run();
+  const auto end = std::chrono::steady_clock::now();
+  MicroResult result;
+  result.events = sim.events_executed();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.events) / result.wall_seconds : 0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end testbed measurements on the real (calendar) engine.
+// ---------------------------------------------------------------------------
+struct TestbedResult {
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  uint64_t events_executed = 0;
+  double events_per_sec = 0;
+  uint64_t sim_packets = 0;       // Client-edge packets (requests + responses).
+  double sim_packets_per_sec = 0;  // ...per wall-clock second.
+};
+
+TestbedResult FinishTestbed(Simulation& sim, SimTime measured, double wall_seconds,
+                            uint64_t packets) {
+  TestbedResult result;
+  result.sim_seconds = ToSeconds(measured);
+  result.wall_seconds = wall_seconds;
+  result.events_executed = sim.events_executed();
+  result.events_per_sec =
+      wall_seconds > 0 ? static_cast<double>(sim.events_executed()) / wall_seconds : 0;
+  result.sim_packets = packets;
+  result.sim_packets_per_sec =
+      wall_seconds > 0 ? static_cast<double>(packets) / wall_seconds : 0;
+  return result;
+}
+
+TestbedResult MeasureKvsTestbed(SimDuration sim_time) {
+  Simulation sim(7);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  options.lake.l1_entries = 1024;
+  KvsTestbed testbed(sim, options);
+  const uint64_t keys = 1000;
+  testbed.Prefill(keys, 0);
+  auto& client = testbed.AddClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(1000000.0),
+      [service = testbed.ServiceNode(), keys](NodeId src, uint64_t id, SimTime now,
+                                              Rng& rng) {
+        const uint64_t key =
+            static_cast<uint64_t>(rng.UniformInt(0, static_cast<int64_t>(keys) - 1));
+        return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
+      });
+  client.Start();
+  const auto start = std::chrono::steady_clock::now();
+  sim.RunUntil(sim_time);
+  const auto end = std::chrono::steady_clock::now();
+  return FinishTestbed(sim, sim_time, std::chrono::duration<double>(end - start).count(),
+                       client.sent() + client.received());
+}
+
+TestbedResult MeasureRackTestbed(SimDuration sim_time) {
+  Simulation sim(11);
+  MixedRackOptions options;
+  options.power_budget_watts = 120.0;
+  options.paxos_client.requests_per_second = 100000;
+  MixedRackScenario rack(sim, options);
+  rack.PrefillKvs(10000, 64);
+
+  EtcWorkloadConfig etc_config;
+  etc_config.kvs_service = kRackKvsServerNode;
+  etc_config.key_population = 10000;
+  EtcWorkload etc(etc_config);
+  LoadClient& kvs_client = rack.AddKvsClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(300000.0), etc.MakeFactory());
+
+  DnsWorkloadConfig dns_config;
+  dns_config.dns_service = kRackDnsServerNode;
+  LoadClient& dns_client =
+      rack.AddDnsClient(LoadClientConfig{}, std::make_unique<PoissonArrival>(300000.0),
+                        MakeDnsRequestFactory(dns_config));
+
+  kvs_client.Start();
+  dns_client.Start();
+  const auto start = std::chrono::steady_clock::now();
+  sim.RunUntil(sim_time);
+  const auto end = std::chrono::steady_clock::now();
+  const uint64_t packets = kvs_client.sent() + kvs_client.received() + dns_client.sent() +
+                           dns_client.received();
+  return FinishTestbed(sim, sim_time, std::chrono::duration<double>(end - start).count(),
+                       packets);
+}
+
+void WriteTestbedJson(bench::JsonWriter& json, const std::string& key,
+                      const TestbedResult& result) {
+  json.BeginObject(key);
+  json.Field("sim_seconds", result.sim_seconds);
+  json.Field("wall_seconds", result.wall_seconds);
+  json.Field("events_executed", result.events_executed);
+  json.Field("events_per_sec", result.events_per_sec);
+  json.Field("sim_packets", result.sim_packets);
+  json.Field("sim_packets_per_sec", result.sim_packets_per_sec);
+  json.EndObject();
+}
+
+}  // namespace
+}  // namespace incod
+
+int main(int argc, char** argv) {
+  using namespace incod;
+  using namespace incod::bench;
+
+  bool quick = false;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_engine [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  PrintHeader("Engine: events/sec trajectory",
+              "Calendar-queue + InlineEvent engine vs the seed heap engine "
+              "(replica), plus end-to-end KVS and mixed-rack runs.");
+
+  ChurnParams params;
+  if (quick) {
+    params.events_per_source = 2500;
+  }
+
+  LegacySimulation legacy;
+  const MicroResult legacy_result = RunChurn<AnyPayload>(legacy, params);
+  Simulation heap_sim(1, Simulation::EngineKind::kHeap);
+  const MicroResult heap_result = RunChurn<InlinePayload>(heap_sim, params);
+  Simulation calendar_sim(1, Simulation::EngineKind::kCalendar);
+  const MicroResult calendar_result = RunChurn<InlinePayload>(calendar_sim, params);
+
+  const double vs_legacy = legacy_result.events_per_sec > 0
+                               ? calendar_result.events_per_sec / legacy_result.events_per_sec
+                               : 0;
+  const double vs_heap = heap_result.events_per_sec > 0
+                             ? calendar_result.events_per_sec / heap_result.events_per_sec
+                             : 0;
+
+  std::cout << "micro (churn, " << calendar_result.events << " events each):\n"
+            << "  legacy heap (seed replica): " << legacy_result.events_per_sec / 1e6
+            << " Mev/s\n"
+            << "  heap + InlineEvent/slots:   " << heap_result.events_per_sec / 1e6
+            << " Mev/s\n"
+            << "  calendar queue:             " << calendar_result.events_per_sec / 1e6
+            << " Mev/s\n"
+            << "  calendar vs legacy: x" << vs_legacy << " (target >= 3)\n"
+            << "  calendar vs heap:   x" << vs_heap << "\n\n";
+
+  const SimDuration testbed_time = quick ? Milliseconds(100) : Milliseconds(500);
+  const TestbedResult kvs = MeasureKvsTestbed(testbed_time);
+  std::cout << "kvs testbed:  " << kvs.events_per_sec / 1e6 << " Mev/s, "
+            << kvs.sim_packets_per_sec / 1e6 << " M simulated client packets/s ("
+            << kvs.events_executed << " events in " << kvs.wall_seconds << " s)\n";
+  const TestbedResult rack = MeasureRackTestbed(testbed_time);
+  std::cout << "rack testbed: " << rack.events_per_sec / 1e6 << " Mev/s, "
+            << rack.sim_packets_per_sec / 1e6 << " M simulated client packets/s ("
+            << rack.events_executed << " events in " << rack.wall_seconds << " s)\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Field("bench", std::string("engine"));
+  json.Field("build_type", std::string(BuildTypeName()));
+  json.Field("quick", quick);
+  json.BeginObject("micro");
+  json.Field("events", calendar_result.events);
+  json.Field("legacy_events_per_sec", legacy_result.events_per_sec);
+  json.Field("heap_events_per_sec", heap_result.events_per_sec);
+  json.Field("calendar_events_per_sec", calendar_result.events_per_sec);
+  json.Field("calendar_vs_legacy_speedup", vs_legacy);
+  json.Field("calendar_vs_heap_speedup", vs_heap);
+  json.EndObject();
+  WriteTestbedJson(json, "kvs_testbed", kvs);
+  WriteTestbedJson(json, "rack_testbed", rack);
+  json.EndObject();
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -2,12 +2,98 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace incod {
 namespace bench {
 
+const char* BuildTypeName() {
+#ifdef INCOD_BUILD_TYPE
+  return INCOD_BUILD_TYPE;
+#else
+  return "unspecified";
+#endif
+}
+
 void PrintHeader(const std::string& figure, const std::string& description) {
-  std::cout << "\n=== " << figure << " ===\n" << description << "\n\n";
+  std::cout << "\n=== " << figure << " ===\n"
+            << "[build: " << BuildTypeName() << "]\n"
+            << description << "\n\n";
+}
+
+void JsonWriter::Indent() {
+  for (size_t i = 0; i < first_in_scope_.size(); ++i) {
+    out_ << "  ";
+  }
+}
+
+void JsonWriter::Prefix(const std::string* key) {
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) {
+      out_ << ",";
+    }
+    first_in_scope_.back() = false;
+    out_ << "\n";
+    Indent();
+  }
+  if (key != nullptr) {
+    out_ << '"' << *key << "\": ";
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Prefix(nullptr);
+  out_ << "{";
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::BeginObject(const std::string& key) {
+  Prefix(&key);
+  out_ << "{";
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  const bool empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    Indent();
+  }
+  out_ << "}";
+  if (first_in_scope_.empty()) {
+    out_ << "\n";
+  }
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Prefix(&key);
+  if (!std::isfinite(value)) {
+    out_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ << buf;
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Prefix(&key);
+  out_ << value;
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Prefix(&key);
+  out_ << '"' << value << '"';
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Field(key, std::string(value));
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Prefix(&key);
+  out_ << (value ? "true" : "false");
 }
 
 void PrintSeries(const std::vector<SweepSeries>& series) {

@@ -7,6 +7,7 @@
 #ifndef INCOD_BENCH_BENCH_UTIL_H_
 #define INCOD_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -16,6 +17,38 @@
 
 namespace incod {
 namespace bench {
+
+// Build type baked in at configure time ("Release", "Debug", ...). Bench
+// numbers from unoptimized builds are meaningless; PrintHeader surfaces the
+// build type so a Debug measurement is visibly suspect.
+const char* BuildTypeName();
+
+// Minimal streaming JSON writer for bench artifacts (BENCH_engine.json and
+// friends): nested objects, numeric/string/bool fields, automatic commas.
+// Enough for flat metric trees; not a general serializer.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void BeginObject();                        // Root object.
+  void BeginObject(const std::string& key);  // Nested object.
+  void EndObject();
+
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, const std::string& value);
+  // Without this overload a string literal would silently pick the bool
+  // overload (const char* -> bool is a standard conversion).
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, bool value);
+
+ private:
+  void Prefix(const std::string* key);
+  void Indent();
+
+  std::ostream& out_;
+  std::vector<bool> first_in_scope_;
+};
 
 struct SweepPoint {
   double offered_pps = 0;

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate for CI's bench-smoke job.
+
+Compares a fresh BENCH_engine.json against the checked-in
+bench/baseline_engine.json. Absolute events/sec vary wildly across runner
+hardware, so the gate uses the within-run speedup ratio of the calendar
+engine over the seed-replica heap engine: that ratio must not regress more
+than the tolerance (default 20%) below the recorded baseline.
+
+Usage: check_bench_regression.py BENCH_engine.json [baseline.json] [--tolerance 0.2]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    args = []
+    tolerance = 0.2
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg.startswith("--tolerance"):
+            if "=" in arg:
+                tolerance = float(arg.split("=", 1)[1])
+            else:
+                i += 1
+                tolerance = float(argv[i])
+        else:
+            args.append(arg)
+        i += 1
+    if not args:
+        print(__doc__)
+        return 2
+    current_path = args[0]
+    baseline_path = args[1] if len(args) > 1 else "bench/baseline_engine.json"
+
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    measured = current["micro"]["calendar_vs_legacy_speedup"]
+    reference = baseline["micro"]["calendar_vs_legacy_speedup"]
+    floor = reference * (1.0 - tolerance)
+
+    print(f"calendar_vs_legacy_speedup: measured x{measured:.2f}, "
+          f"baseline x{reference:.2f}, floor x{floor:.2f} "
+          f"(tolerance {tolerance:.0%})")
+    print(f"calendar events/sec: {current['micro']['calendar_events_per_sec']:.3g} "
+          f"(reference machine: "
+          f"{baseline['micro']['reference_calendar_events_per_sec']:.3g})")
+
+    if measured < floor:
+        print("FAIL: engine speedup regressed beyond tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

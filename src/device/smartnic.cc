@@ -126,17 +126,19 @@ void SmartNic::Receive(Packet packet) {
     return;
   }
   busy_until_ = start + service;
-  sim_.ScheduleAt(start + service + config_.processing_latency,
-                  [this, pkt = std::move(packet)]() mutable {
-                    processed_.Increment();
-                    processed_rate_.RecordEvent(sim_.Now());
-                    auto reply = handler_(pkt);
-                    if (reply.has_value()) {
-                      TransmitToNetwork(std::move(*reply));
-                    } else {
-                      DeliverToHost(std::move(pkt));
-                    }
-                  });
+  auto process = [this, pkt = std::move(packet)]() mutable {
+    processed_.Increment();
+    processed_rate_.RecordEvent(sim_.Now());
+    auto reply = handler_(pkt);
+    if (reply.has_value()) {
+      TransmitToNetwork(std::move(*reply));
+    } else {
+      DeliverToHost(std::move(pkt));
+    }
+  };
+  static_assert(sizeof(process) <= InlineEvent::kInlineCapacity,
+                "SmartNic processing events must stay inline");
+  sim_.ScheduleAt(start + service + config_.processing_latency, std::move(process));
 }
 
 void SmartNic::TransmitToNetwork(Packet packet) {

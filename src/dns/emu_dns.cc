@@ -34,20 +34,20 @@ FpgaPipelineSpec EmuDns::PipelineSpec() const {
 }
 
 void EmuDns::Process(Packet packet) {
-  if (!PayloadIs<DnsMessage>(packet)) {
+  const DnsMessage* query = PayloadIf<DnsMessage>(packet);
+  if (query == nullptr) {
     nic()->DeliverToHost(std::move(packet));
     return;
   }
-  const auto& query = PayloadAs<DnsMessage>(packet);
-  if (!query.questions.empty() &&
-      CountLabels(query.questions.front().name) > config_.max_labels) {
+  if (!query->questions.empty() &&
+      CountLabels(query->questions.front().name) > config_.max_labels) {
     // Parser depth exceeded: let the host handle it (worst case the client
     // treats it as an iterative request, §9.2).
     punted_.Increment();
     nic()->DeliverToHost(std::move(packet));
     return;
   }
-  DnsMessage resp = NsdServer::Resolve(*zone_, query);
+  DnsMessage resp = NsdServer::Resolve(*zone_, *query);
   if (resp.rcode == DnsRcode::kNoError) {
     answered_.Increment();
   } else if (resp.rcode == DnsRcode::kNxDomain) {

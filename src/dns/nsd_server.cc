@@ -50,12 +50,12 @@ DnsMessage NsdServer::Resolve(const Zone& zone, const DnsMessage& query) {
 }
 
 void NsdServer::Execute(Packet packet) {
-  if (!PayloadIs<DnsMessage>(packet)) {
+  const DnsMessage* query = PayloadIf<DnsMessage>(packet);
+  if (query == nullptr) {
     malformed_.Increment();
     return;
   }
-  const auto& query = PayloadAs<DnsMessage>(packet);
-  DnsMessage resp = Resolve(*zone_, query);
+  DnsMessage resp = Resolve(*zone_, *query);
   switch (resp.rcode) {
     case DnsRcode::kNoError:
       answered_.Increment();

@@ -21,10 +21,11 @@ bool DnsSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
   if (packet.proto != AppProto::kDns || packet.dst != config_.dns_service) {
     return false;
   }
-  if (!PayloadIs<DnsMessage>(packet)) {
+  const DnsMessage* query_if = PayloadIf<DnsMessage>(packet);
+  if (query_if == nullptr) {
     return false;
   }
-  const auto& query = PayloadAs<DnsMessage>(packet);
+  const DnsMessage& query = *query_if;
   if (query.is_response || query.questions.empty()) {
     return false;  // Responses and junk just forward.
   }

@@ -102,13 +102,17 @@ void Server::StartService(BoundApp& bound, size_t thread_index) {
   thread.queue.pop_front();
   const SimDuration service = config_.stack_rx_cost +
                               bound.app->CpuTimePerRequest(pkt) + config_.stack_tx_cost;
-  sim_.Schedule(service, [this, &bound, thread_index, service,
-                          pkt = std::move(pkt)]() mutable {
+  auto complete = [this, &bound, thread_index, service, pkt = std::move(pkt)]() mutable {
     bound.threads[thread_index].cumulative_busy += service;
     completed_.Increment();
     bound.app->Execute(std::move(pkt));
     StartService(bound, thread_index);
-  });
+  };
+  // The per-request completion event is the largest hot capture in the
+  // simulator; it must not spill the event engine's inline buffer.
+  static_assert(sizeof(complete) <= InlineEvent::kInlineCapacity,
+                "Server completion events must stay inline");
+  sim_.Schedule(service, std::move(complete));
 }
 
 void Server::Transmit(Packet packet) {

@@ -1,0 +1,32 @@
+// memcached-style key-value wire messages (struct-only).
+//
+// Split from kv_protocol.h so packet.h can include the message structs for
+// the payload variant without a circular include; kv_protocol.h re-exports
+// these alongside the wire-size and packet-building helpers.
+#ifndef INCOD_SRC_KVS_KV_MESSAGES_H_
+#define INCOD_SRC_KVS_KV_MESSAGES_H_
+
+#include <cstdint>
+
+namespace incod {
+
+enum class KvOp : uint8_t { kGet, kSet, kDelete };
+
+const char* KvOpName(KvOp op);
+
+struct KvRequest {
+  KvOp op = KvOp::kGet;
+  uint64_t key = 0;
+  uint32_t value_bytes = 0;  // SET payload size (value content is not modeled).
+};
+
+struct KvResponse {
+  KvOp op = KvOp::kGet;
+  uint64_t key = 0;
+  bool hit = false;          // GET: found; SET/DELETE: stored/deleted.
+  uint32_t value_bytes = 0;  // GET hit: returned value size.
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_KVS_KV_MESSAGES_H_

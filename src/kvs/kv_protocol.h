@@ -9,27 +9,11 @@
 #include <cstdint>
 #include <string>
 
+#include "src/kvs/kv_messages.h"
 #include "src/net/packet.h"
 #include "src/sim/time.h"
 
 namespace incod {
-
-enum class KvOp : uint8_t { kGet, kSet, kDelete };
-
-const char* KvOpName(KvOp op);
-
-struct KvRequest {
-  KvOp op = KvOp::kGet;
-  uint64_t key = 0;
-  uint32_t value_bytes = 0;  // SET payload size (value content is not modeled).
-};
-
-struct KvResponse {
-  KvOp op = KvOp::kGet;
-  uint64_t key = 0;
-  bool hit = false;          // GET: found; SET/DELETE: stored/deleted.
-  uint32_t value_bytes = 0;  // GET hit: returned value size.
-};
 
 // Wire sizes (UDP + memcached binary framing).
 constexpr uint32_t kKvHeaderBytes = 66;

@@ -55,7 +55,7 @@ void LakeCache::Reply(const Packet& request, const KvResponse& response,
 }
 
 void LakeCache::Process(Packet packet) {
-  const auto req = PayloadAs<KvRequest>(packet);
+  const KvRequest req = PayloadAs<KvRequest>(packet);
   switch (req.op) {
     case KvOp::kGet: {
       uint32_t bytes = 0;
@@ -108,10 +108,11 @@ void LakeCache::OnMemoryReset() {
 }
 
 void LakeCache::OnHostEgress(const Packet& packet) {
-  if (!PayloadIs<KvResponse>(packet)) {
+  const KvResponse* resp_if = PayloadIf<KvResponse>(packet);
+  if (resp_if == nullptr) {
     return;
   }
-  const auto& resp = PayloadAs<KvResponse>(packet);
+  const KvResponse& resp = *resp_if;
   if (resp.op == KvOp::kGet && resp.hit) {
     // Fill on the way out: the next GET for this key hits in hardware.
     if (l2_ != nullptr) {

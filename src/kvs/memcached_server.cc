@@ -10,7 +10,7 @@ MemcachedServer::MemcachedServer(MemcachedConfig config)
     : config_(config), store_(config.capacity_entries) {}
 
 SimDuration MemcachedServer::CpuTimePerRequest(const Packet& packet) const {
-  const auto& req = PayloadAs<KvRequest>(packet);
+  const KvRequest& req = PayloadAs<KvRequest>(packet);
   switch (req.op) {
     case KvOp::kGet:
       return config_.get_cpu_time;
@@ -22,7 +22,7 @@ SimDuration MemcachedServer::CpuTimePerRequest(const Packet& packet) const {
 }
 
 void MemcachedServer::Execute(Packet packet) {
-  const auto req = PayloadAs<KvRequest>(packet);
+  const KvRequest req = PayloadAs<KvRequest>(packet);
   KvResponse resp;
   resp.op = req.op;
   resp.key = req.key;

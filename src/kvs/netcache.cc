@@ -55,23 +55,24 @@ bool KvSwitchCache::Process(SwitchAsic& sw, Packet& packet) {
   if (packet.proto != AppProto::kKv) {
     return false;
   }
-  if (PayloadIs<KvRequest>(packet) && packet.dst == config_.kvs_service) {
-    const auto& request = PayloadAs<KvRequest>(packet);
-    switch (request.op) {
+  if (const KvRequest* request = PayloadIf<KvRequest>(packet);
+      request != nullptr && packet.dst == config_.kvs_service) {
+    switch (request->op) {
       case KvOp::kGet:
-        return HandleGet(sw, packet, request);
+        return HandleGet(sw, packet, *request);
       case KvOp::kSet:
       case KvOp::kDelete:
         // Write-around with invalidation: the server owns the data.
-        if (cache_.Delete(request.key)) {
+        if (cache_.Delete(request->key)) {
           invalidations_.Increment();
         }
         return false;
     }
     return false;
   }
-  if (PayloadIs<KvResponse>(packet) && packet.src == config_.kvs_service) {
-    ObserveResponse(packet, PayloadAs<KvResponse>(packet));
+  if (const KvResponse* response = PayloadIf<KvResponse>(packet);
+      response != nullptr && packet.src == config_.kvs_service) {
+    ObserveResponse(packet, *response);
     return false;  // Responses always continue to the client.
   }
   return false;

@@ -1,0 +1,37 @@
+// On-demand control-plane messages (AppProto::kControl).
+//
+// The §9.1 controllers and the rack orchestrator steer offload targets over
+// the same links the data plane uses; a ControlMessage is the typed payload
+// of those packets. Kept dependency-free (only node.h) so packet.h can hold
+// it in the payload variant.
+#ifndef INCOD_SRC_NET_CONTROL_MSG_H_
+#define INCOD_SRC_NET_CONTROL_MSG_H_
+
+#include <cstdint>
+
+#include "src/net/node.h"
+
+namespace incod {
+
+struct ControlMessage {
+  enum class Kind : uint8_t {
+    kActivateOffload,    // Start serving `target_proto` on the device.
+    kDeactivateOffload,  // Park the offload; traffic falls back to software.
+    kReprogram,          // Begin an FPGA partial reconfiguration.
+    kStatsRequest,       // Poll a device for its app ingress rate.
+    kStatsReport,        // Response: `value` carries the polled rate/counter.
+  };
+
+  Kind kind = Kind::kStatsRequest;
+  AppProto target_proto = AppProto::kRaw;  // Which offload the message steers.
+  uint64_t value = 0;                      // Kind-specific argument/result.
+};
+
+// Control-plane wire size (UDP + a fixed TLV body).
+constexpr uint32_t kControlWireBytes = 64;
+
+const char* ControlKindName(ControlMessage::Kind kind);
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_NET_CONTROL_MSG_H_

@@ -1,9 +1,13 @@
 #include "src/net/link.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace incod {
+
+static_assert(sizeof(Link*) + sizeof(int) <= InlineEvent::kInlineCapacity,
+              "Link delivery events must stay inline");
 
 Link::Link(Simulation& sim, Config config, std::string name)
     : sim_(sim), config_(config), name_(std::move(name)) {
@@ -35,35 +39,42 @@ int Link::IndexToward(const PacketSink* to) const {
   throw std::invalid_argument("Link: sink not connected to " + name_);
 }
 
-Link::Direction& Link::DirectionToward(const PacketSink* to) {
-  return dir_[IndexToward(to)];
-}
-
 void Link::Send(const PacketSink* from, Packet packet) {
   if (ends_[0] == nullptr || ends_[1] == nullptr) {
     throw std::logic_error("Link::Send before Connect on " + name_);
   }
-  PacketSink* to = (from == ends_[0]) ? ends_[1] : (from == ends_[1]) ? ends_[0] : nullptr;
-  if (to == nullptr) {
+  const int index = (from == ends_[0]) ? 1 : (from == ends_[1]) ? 0 : -1;
+  if (index < 0) {
     throw std::invalid_argument("Link::Send: sender not connected to " + name_);
   }
-  Direction& d = DirectionToward(to);
-  if (d.queued >= config_.queue_capacity_packets) {
+  Direction& d = dir_[index];
+  const SimTime now = sim_.Now();
+  // The queue holds packets whose serialization has not started; the packet
+  // occupying the transmitter (service_start <= now) and packets already on
+  // the wire do not count against the capacity. Service starts are
+  // non-decreasing in FIFO order, so the waiting backlog is the deque tail
+  // past upper_bound(now).
+  const auto first_waiting =
+      std::upper_bound(d.in_flight.begin(), d.in_flight.end(), now,
+                       [](SimTime t, const InFlight& f) { return t < f.service_start; });
+  const size_t waiting = static_cast<size_t>(d.in_flight.end() - first_waiting);
+  if (waiting >= config_.queue_capacity_packets) {
     ++d.dropped;
     return;
   }
-  const SimTime now = sim_.Now();
   const SimTime start = std::max(now, d.busy_until);
   const SimDuration ser = SerializationDelay(packet.size_bytes);
   d.busy_until = start + ser;
-  ++d.queued;
-  const SimTime deliver_at = start + ser + config_.propagation_delay;
-  sim_.ScheduleAt(deliver_at, [this, to, pkt = std::move(packet)]() mutable {
-    Direction& dd = DirectionToward(to);
-    --dd.queued;
-    ++dd.delivered;
-    to->Receive(std::move(pkt));
-  });
+  d.in_flight.push_back(InFlight{start, std::move(packet)});
+  sim_.ScheduleAt(start + ser + config_.propagation_delay, Deliver{this, index});
+}
+
+void Link::CompleteDelivery(int dir) {
+  Direction& d = dir_[dir];
+  Packet pkt = std::move(d.in_flight.front().pkt);
+  d.in_flight.pop_front();
+  ++d.delivered;
+  d.to->Receive(std::move(pkt));
 }
 
 uint64_t Link::delivered(const PacketSink* toward) const {
@@ -72,6 +83,10 @@ uint64_t Link::delivered(const PacketSink* toward) const {
 
 uint64_t Link::dropped(const PacketSink* toward) const {
   return dir_[IndexToward(toward)].dropped;
+}
+
+size_t Link::in_flight(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].in_flight.size();
 }
 
 }  // namespace incod

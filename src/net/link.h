@@ -3,11 +3,18 @@
 // Models a 10GE (or faster) cable: serialization delay from the configured
 // rate, fixed propagation delay, and a bounded per-direction FIFO that drops
 // on overflow (UDP semantics — the applications tolerate loss).
+//
+// Fast path: packets in flight live in a per-direction deque owned by the
+// link, not in event captures. Each Send schedules a 16-byte delivery event
+// ({link, direction}); because per-direction service is FIFO and deliver
+// times are strictly increasing, the event just pops the deque front. No
+// closure allocation, and the Packet moves exactly twice (in, out).
 #ifndef INCOD_SRC_NET_LINK_H_
 #define INCOD_SRC_NET_LINK_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
 
 #include "src/net/packet.h"
@@ -29,28 +36,44 @@ class Link {
   void Connect(PacketSink* end_a, PacketSink* end_b);
 
   // Sends a packet from one endpoint toward the other. `from` must be one of
-  // the two connected endpoints.
+  // the two connected endpoints. Drops when the backlog of packets *waiting*
+  // for the serializer reaches queue_capacity_packets; the packet currently
+  // being serialized occupies the transmitter, not the queue.
   void Send(const PacketSink* from, Packet packet);
 
   uint64_t delivered(const PacketSink* toward) const;
   uint64_t dropped(const PacketSink* toward) const;
   uint64_t total_dropped() const { return dir_[0].dropped + dir_[1].dropped; }
+  // Packets accepted but not yet delivered (in service, queued, or on the
+  // wire) toward the given endpoint.
+  size_t in_flight(const PacketSink* toward) const;
 
   const std::string& name() const { return name_; }
   const Config& config() const { return config_; }
 
  private:
+  struct InFlight {
+    SimTime service_start = 0;  // When (or when scheduled) serialization begins.
+    Packet pkt;
+  };
   struct Direction {
     PacketSink* to = nullptr;
     SimTime busy_until = 0;
-    size_t queued = 0;
+    std::deque<InFlight> in_flight;  // FIFO; delivery events pop the front.
     uint64_t delivered = 0;
     uint64_t dropped = 0;
   };
+  // The scheduled delivery callable: small enough that the event engine
+  // stores it inline (asserted in link.cc).
+  struct Deliver {
+    Link* link;
+    int dir;
+    void operator()() const { link->CompleteDelivery(dir); }
+  };
 
   SimDuration SerializationDelay(uint32_t bytes) const;
-  Direction& DirectionToward(const PacketSink* to);
   int IndexToward(const PacketSink* to) const;
+  void CompleteDelivery(int dir);
 
   Simulation& sim_;
   Config config_;

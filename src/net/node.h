@@ -1,0 +1,38 @@
+// Node addressing and application protocol tags.
+//
+// Split out of packet.h so the per-application wire-message headers
+// (kvs/kv_messages.h, paxos/paxos_wire.h, net/control_msg.h) can name
+// NodeId/AppProto without pulling in Packet — packet.h itself includes them
+// to build the typed payload variant.
+#ifndef INCOD_SRC_NET_NODE_H_
+#define INCOD_SRC_NET_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace incod {
+
+// Flat node address (stands in for MAC/IP; the simulation needs no subnets).
+using NodeId = uint32_t;
+
+constexpr NodeId kBroadcastNode = 0xffffffff;
+
+// Application protocol, as identified by the packet classifiers in LaKe /
+// Emu DNS / the P4xos parser (derived from UDP port in the real designs).
+enum class AppProto : uint8_t {
+  kRaw = 0,    // Ordinary traffic: passes through NICs untouched.
+  kKv,         // memcached / LaKe
+  kPaxos,      // libpaxos / P4xos
+  kDns,        // NSD / Emu DNS
+  kControl,    // On-demand controller messages.
+};
+
+// Number of AppProto values (for per-protocol counter arrays). Derived from
+// the last enumerator so the two cannot drift apart.
+constexpr size_t kNumAppProtos = static_cast<size_t>(AppProto::kControl) + 1;
+
+const char* AppProtoName(AppProto proto);
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_NET_NODE_H_

@@ -18,4 +18,33 @@ const char* AppProtoName(AppProto proto) {
   return "?";
 }
 
+const char* ControlKindName(ControlMessage::Kind kind) {
+  switch (kind) {
+    case ControlMessage::Kind::kActivateOffload:
+      return "activate";
+    case ControlMessage::Kind::kDeactivateOffload:
+      return "deactivate";
+    case ControlMessage::Kind::kReprogram:
+      return "reprogram";
+    case ControlMessage::Kind::kStatsRequest:
+      return "stats-request";
+    case ControlMessage::Kind::kStatsReport:
+      return "stats-report";
+  }
+  return "?";
+}
+
+Packet MakeControlPacket(NodeId src, NodeId dst, const ControlMessage& msg, uint64_t id,
+                         SimTime now) {
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.proto = AppProto::kControl;
+  pkt.size_bytes = kControlWireBytes;
+  pkt.id = id;
+  pkt.created_at = now;
+  pkt.payload = msg;
+  return pkt;
+}
+
 }  // namespace incod

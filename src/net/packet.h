@@ -3,38 +3,36 @@
 // All three case-study applications are UDP based (§3.4), so a Packet models
 // a single UDP datagram: addresses, an application protocol tag (what the
 // hardware packet classifiers match on), a wire size, and a typed payload.
+//
+// The payload is a tagged variant over the four concrete wire-message
+// families (KV, Paxos, DNS, control) rather than std::any: every packet hop
+// used to heap-allocate the payload and cast through RTTI; the variant keeps
+// the message inline in the Packet and turns PayloadIs/PayloadIf into a tag
+// compare. The message structs live in dependency-free wire headers
+// (kvs/kv_messages.h, paxos/paxos_wire.h, dns/dns_message.h, control_msg.h)
+// so including them here does not invert the net <- application layering.
 #ifndef INCOD_SRC_NET_PACKET_H_
 #define INCOD_SRC_NET_PACKET_H_
 
-#include <any>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <variant>
 
+#include "src/dns/dns_message.h"
+#include "src/kvs/kv_messages.h"
+#include "src/net/control_msg.h"
+#include "src/net/node.h"
+#include "src/paxos/paxos_wire.h"
 #include "src/sim/time.h"
 
 namespace incod {
 
-// Flat node address (stands in for MAC/IP; the simulation needs no subnets).
-using NodeId = uint32_t;
-
-constexpr NodeId kBroadcastNode = 0xffffffff;
-
-// Application protocol, as identified by the packet classifiers in LaKe /
-// Emu DNS / the P4xos parser (derived from UDP port in the real designs).
-enum class AppProto : uint8_t {
-  kRaw = 0,    // Ordinary traffic: passes through NICs untouched.
-  kKv,         // memcached / LaKe
-  kPaxos,      // libpaxos / P4xos
-  kDns,        // NSD / Emu DNS
-  kControl,    // On-demand controller messages.
-};
-
-// Number of AppProto values (for per-protocol counter arrays). Derived from
-// the last enumerator so the two cannot drift apart.
-constexpr size_t kNumAppProtos = static_cast<size_t>(AppProto::kControl) + 1;
-
-const char* AppProtoName(AppProto proto);
+// Typed per-application payload. std::monostate marks raw traffic with no
+// modeled message body.
+using PayloadVariant =
+    std::variant<std::monostate, KvRequest, KvResponse, PaxosMessage, DnsMessage,
+                 ControlMessage>;
 
 struct Packet {
   NodeId src = 0;
@@ -43,8 +41,14 @@ struct Packet {
   uint32_t size_bytes = 64;  // Wire size including headers.
   uint64_t id = 0;           // Request-correlation id (set by clients).
   SimTime created_at = 0;    // Set by the sender; used for latency capture.
-  std::any payload;          // Typed per-application message struct.
+  PayloadVariant payload;    // Typed per-application message struct.
+
+  bool has_payload() const { return !std::holds_alternative<std::monostate>(payload); }
 };
+
+// Packets move through event captures on every hop; keep them compact enough
+// to stay inside InlineEvent's inline buffer (see sim/inline_event.h).
+static_assert(sizeof(Packet) <= 120, "Packet grew past the inline-event budget");
 
 // Anything that can accept a packet: hosts, NICs, switches, devices.
 class PacketSink {
@@ -57,16 +61,28 @@ class PacketSink {
   virtual std::string SinkName() const = 0;
 };
 
-// Payload accessor with a clear failure mode.
+// Payload accessor with a clear failure mode: throws std::bad_variant_access
+// when the packet holds a different message type.
 template <typename T>
 const T& PayloadAs(const Packet& packet) {
-  return std::any_cast<const T&>(packet.payload);
+  return std::get<T>(packet.payload);
 }
 
 template <typename T>
 bool PayloadIs(const Packet& packet) {
-  return std::any_cast<T>(&packet.payload) != nullptr;
+  return std::holds_alternative<T>(packet.payload);
 }
+
+// Single-probe accessor for the hot consumers: returns nullptr when the
+// packet holds a different message type.
+template <typename T>
+const T* PayloadIf(const Packet& packet) {
+  return std::get_if<T>(&packet.payload);
+}
+
+// Builds a control-plane packet (AppProto::kControl).
+Packet MakeControlPacket(NodeId src, NodeId dst, const ControlMessage& msg, uint64_t id,
+                         SimTime now);
 
 }  // namespace incod
 

@@ -45,14 +45,14 @@ bool P4xosFpgaApp::Matches(const Packet& packet) const {
 }
 
 void P4xosFpgaApp::Process(Packet packet) {
-  if (!PayloadIs<PaxosMessage>(packet)) {
+  const PaxosMessage* msg = PayloadIf<PaxosMessage>(packet);
+  if (msg == nullptr) {
     nic()->DeliverToHost(std::move(packet));
     return;
   }
   handled_.Increment();
-  const auto& msg = PayloadAs<PaxosMessage>(packet);
-  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(msg)
-                                            : acceptor_->HandleMessage(msg);
+  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(*msg)
+                                            : acceptor_->HandleMessage(*msg);
   const NodeId src =
       nic()->config().device_node != 0 ? nic()->config().device_node : role_address_;
   for (auto& out : outbox) {
@@ -94,13 +94,13 @@ bool P4xosSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
   if (packet.proto != AppProto::kPaxos || packet.dst != role_address_) {
     return false;
   }
-  if (!PayloadIs<PaxosMessage>(packet)) {
+  const PaxosMessage* msg = PayloadIf<PaxosMessage>(packet);
+  if (msg == nullptr) {
     return false;
   }
   handled_.Increment();
-  const auto& msg = PayloadAs<PaxosMessage>(packet);
-  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(msg)
-                                            : acceptor_->HandleMessage(msg);
+  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(*msg)
+                                            : acceptor_->HandleMessage(*msg);
   for (auto& out : outbox) {
     sw.TransmitFromPipeline(
         MakePaxosPacket(role_address_, out.dst, out.msg, sw.sim().Now()));

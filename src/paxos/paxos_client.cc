@@ -91,10 +91,11 @@ void PaxosClient::ArmTimeout(PaxosValue value) {
 }
 
 void PaxosClient::Receive(Packet packet) {
-  if (!PayloadIs<PaxosMessage>(packet)) {
+  const PaxosMessage* msg_if = PayloadIf<PaxosMessage>(packet);
+  if (msg_if == nullptr) {
     return;
   }
-  const auto& msg = PayloadAs<PaxosMessage>(packet);
+  const PaxosMessage& msg = *msg_if;
   if (msg.type != PaxosMsgType::kClientResponse) {
     return;
   }

@@ -22,11 +22,12 @@ SimDuration PaxosSoftwareApp::CpuTimePerRequest(const Packet& packet) const {
 }
 
 void PaxosSoftwareApp::Execute(Packet packet) {
-  if (!active_ || !PayloadIs<PaxosMessage>(packet)) {
+  const PaxosMessage* msg_if = active_ ? PayloadIf<PaxosMessage>(packet) : nullptr;
+  if (msg_if == nullptr) {
     return;
   }
   handled_.Increment();
-  const auto& msg = PayloadAs<PaxosMessage>(packet);
+  const PaxosMessage& msg = *msg_if;
   for (auto& out : Handle(msg)) {
     server()->Transmit(
         MakePaxosPacket(server()->node(), out.dst, out.msg, server()->sim().Now()));

@@ -1,54 +1,300 @@
 #include "src/sim/simulation.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstddef>
 #include <memory>
 #include <utility>
 
 namespace incod {
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
-
-uint64_t Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
+Simulation::Simulation(uint64_t seed, EngineKind engine) : engine_(engine), rng_(seed) {
+  if (engine_ == EngineKind::kCalendar) {
+    buckets_.resize(kNumBuckets);
+    occupied_.assign(kNumBuckets / 64, 0);
   }
-  return ScheduleAt(now_ + delay, std::move(fn));
-}
-
-uint64_t Simulation::ScheduleAt(SimTime at, std::function<void()> fn) {
-  if (at < now_) {
-    at = now_;
-  }
-  const uint64_t id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return id;
 }
 
 bool Simulation::Cancel(uint64_t id) {
-  // We cannot remove from the middle of a priority_queue; record the id and
-  // skip the event when it surfaces. The set stays small because entries
-  // are erased on pop.
-  if (pending_ids_.find(id) == pending_ids_.end()) {
-    return false;  // Never scheduled, already ran, or already cancelled.
+  const uint32_t slot = static_cast<uint32_t>(id >> 32);
+  const uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= slots_.size()) {
+    return false;  // Never scheduled.
   }
-  return cancelled_.insert(id).second;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || s.state != kPending) {
+    return false;  // Already ran, already cancelled, or a stale id.
+  }
+  // The event body stays in its bucket/heap and is discarded when it
+  // surfaces; only the slot flips, so Cancel is O(1) with no hashing.
+  s.state = kCancelled;
+  --live_events_;
+  return true;
 }
 
-bool Simulation::IsCancelled(uint64_t id) { return cancelled_.erase(id) > 0; }
+uint32_t Simulation::AllocSlot() {
+  uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  slots_[slot].state = kPending;
+  return slot;
+}
 
-bool Simulation::RunNext() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    pending_ids_.erase(ev.id);
-    if (IsCancelled(ev.id)) {
+void Simulation::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.state = kFree;
+  if (++s.gen == 0) {
+    s.gen = 1;  // Keep ids nonzero so Cancel(0) stays a guaranteed no-op.
+  }
+  free_slots_.push_back(slot);
+}
+
+void Simulation::InsertSorted(Bucket& b, Event ev) {
+  const auto pos = std::upper_bound(
+      b.items.begin() + static_cast<ptrdiff_t>(b.head), b.items.end(), ev,
+      [](const Event& value, const Event& elem) { return EventBefore(value, elem); });
+  b.items.insert(pos, std::move(ev));
+}
+
+Simulation::MinRef Simulation::CalendarPeek() {
+  // Migrate far events whose segment entered the near window, dropping any
+  // that were cancelled while waiting.
+  const uint64_t base_seg = Segment(now_);
+  while (!far_.empty() && Segment(far_.top().at) < base_seg + kNumBuckets) {
+    Event ev = std::move(const_cast<Event&>(far_.top()));
+    far_.pop();
+    if (SlotCancelled(ev.slot)) {
+      FreeSlot(ev.slot);
       continue;
     }
+    InsertCalendar(std::move(ev));
+  }
+  for (;;) {
+    if (active_index_ != kNoActive) {
+      // Fast path: the active segment holds the minimum until both of its
+      // streams drain (later inserts can only target >= Now()'s segment).
+      Bucket& b = buckets_[active_index_];
+      while (run_head_ < run_.size() && SlotCancelled(run_[run_head_].slot)) {
+        FreeSlot(run_[run_head_].slot);
+        run_[run_head_].fn = InlineEvent();  // Release captures promptly.
+        ++run_head_;
+      }
+      while (b.head < b.items.size() && SlotCancelled(b.items[b.head].slot)) {
+        FreeSlot(b.items[b.head].slot);
+        b.items[b.head].fn = InlineEvent();
+        ++b.head;
+      }
+      const bool run_ok = run_head_ < run_.size();
+      const bool items_ok = b.head < b.items.size();
+      if (run_ok && (!items_ok || EventBefore(run_[run_head_], b.items[b.head]))) {
+        return MinRef{&run_[run_head_], MinKind::kRun};
+      }
+      if (items_ok) {
+        if (!run_ok) {
+          // Roll the remaining same-segment inserts into stable run storage.
+          run_.clear();
+          run_head_ = b.head;
+          std::swap(run_, b.items);
+          b.head = 0;
+          return MinRef{&run_[run_head_], MinKind::kRun};
+        }
+        return MinRef{&b.items[b.head], MinKind::kItems};
+      }
+      run_.clear();
+      run_head_ = 0;
+      b.items.clear();
+      b.head = 0;
+      ClearOccupied(active_index_);
+      active_index_ = kNoActive;
+    }
+    // Scan the occupancy bitmap from the bucket holding Now() forward. All
+    // live bucketed events sit within the next kNumBuckets segments, so the
+    // first occupied bucket in circular order holds the earliest one.
+    // Buckets behind Now() can only hold already-cancelled leftovers; they
+    // purge to empty when the scan reaches them.
+    constexpr size_t kWords = kNumBuckets / 64;
+    const size_t base = static_cast<size_t>(base_seg) & kBucketMask;
+    size_t word = base >> 6;
+    uint64_t mask = ~uint64_t{0} << (base & 63);
+    for (size_t w = 0; w <= kWords; ++w) {
+      uint64_t bits = occupied_[word] & mask;
+      while (bits != 0) {
+        const size_t bucket = (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+        Bucket& b = buckets_[bucket];
+        while (b.head < b.items.size() && SlotCancelled(b.items[b.head].slot)) {
+          FreeSlot(b.items[b.head].slot);
+          b.items[b.head].fn = InlineEvent();
+          ++b.head;
+        }
+        if (b.head == b.items.size()) {
+          b.items.clear();
+          b.head = 0;
+          ClearOccupied(bucket);
+          bits &= bits - 1;
+          continue;
+        }
+        // Found the minimum segment: make it the active run.
+        active_index_ = bucket;
+        run_.clear();
+        run_head_ = b.head;
+        std::swap(run_, b.items);
+        b.head = 0;
+        return MinRef{&run_[run_head_], MinKind::kRun};
+      }
+      ++word;
+      if (word == kWords) {
+        word = 0;
+      }
+      mask = ~uint64_t{0};
+    }
+    // No live near event: the minimum is the far top (purged of cancelled
+    // entries below). Far events all sit beyond the near window, so any near
+    // candidate would have won the comparison anyway.
+    while (!far_.empty() && SlotCancelled(far_.top().slot)) {
+      FreeSlot(far_.top().slot);
+      far_.pop();
+    }
+    if (far_.empty()) {
+      return MinRef{nullptr, MinKind::kNone};
+    }
+    return MinRef{&const_cast<Event&>(far_.top()), MinKind::kFar};
+  }
+}
+
+void Simulation::PurgeHeapTop() {
+  while (!heap_.empty() && SlotCancelled(heap_.top().slot)) {
+    FreeSlot(heap_.top().slot);
+    heap_.pop();
+  }
+}
+
+SimTime Simulation::PeekNextTime() {
+  if (engine_ == EngineKind::kHeap) {
+    PurgeHeapTop();
+    return heap_.top().at;
+  }
+  return CalendarPeek().ev->at;
+}
+
+void Simulation::MaybeAdaptWidth() {
+  if (--adapt_countdown_ != 0) {
+    return;
+  }
+  adapt_countdown_ = kAdaptInterval;
+  const uint64_t span = static_cast<uint64_t>(now_ - adapt_window_start_);
+  adapt_window_start_ = now_;
+  const uint64_t inserts = near_inserts_ + far_inserts_;
+  // A busy far heap means the near window is too short for the live gap
+  // distribution (it should only hold long timers): raise the width floor.
+  // A quiet one lets the floor decay so a density burst can narrow again.
+  if (far_inserts_ * 4 > inserts) {
+    width_floor_log2_ = std::min(width_log2_ + 1, kMaxWidthLog2);
+  } else if (far_inserts_ * 64 < inserts && width_floor_log2_ > kMinWidthLog2) {
+    --width_floor_log2_;
+  }
+  near_inserts_ = 0;
+  far_inserts_ = 0;
+  // Average inter-event gap over the last interval; aim for ~2 events per
+  // bucket (bit_width(gap) == floor(log2) + 1).
+  const uint64_t gap = span / kAdaptInterval;
+  int target = gap == 0 ? kMinWidthLog2 : std::bit_width(gap);
+  target = std::clamp(target, width_floor_log2_, kMaxWidthLog2);
+  if (target > width_log2_ + 1 || target < width_log2_ - 1 ||
+      (target > width_log2_ && target == width_floor_log2_)) {
+    Rebuild(target);
+  }
+}
+
+void Simulation::Rebuild(int new_width_log2) {
+  std::vector<Event> pending;
+  pending.reserve(live_events_);
+  for (size_t j = run_head_; j < run_.size(); ++j) {
+    if (SlotCancelled(run_[j].slot)) {
+      FreeSlot(run_[j].slot);
+    } else {
+      pending.push_back(std::move(run_[j]));
+    }
+  }
+  run_.clear();
+  run_head_ = 0;
+  active_index_ = kNoActive;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    Bucket& b = buckets_[i];
+    for (size_t j = b.head; j < b.items.size(); ++j) {
+      if (SlotCancelled(b.items[j].slot)) {
+        FreeSlot(b.items[j].slot);
+      } else {
+        pending.push_back(std::move(b.items[j]));
+      }
+    }
+    b.items.clear();
+    b.head = 0;
+  }
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  width_log2_ = new_width_log2;
+  // Reinsert under the new geometry; events past the (new) window spill to
+  // the far heap, and far events now inside it migrate back on the next
+  // peek.
+  for (Event& ev : pending) {
+    InsertCalendar(std::move(ev));
+  }
+}
+
+bool Simulation::RunNext() {
+  if (live_events_ == 0) {
+    return false;
+  }
+  if (engine_ == EngineKind::kHeap) {
+    PurgeHeapTop();
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    --live_events_;
+    // Free before running so Cancel() of the running event's own id reports
+    // false (it is no longer pending) instead of poisoning a future event.
+    FreeSlot(ev.slot);
     now_ = ev.at;
     ++events_executed_;
     ev.fn();
     return true;
+  }
+  // Width adaptation may Rebuild() (relocating queued events), so it runs
+  // before we take a reference to the minimum event, never after.
+  MaybeAdaptWidth();
+  const MinRef m = CalendarPeek();
+  --live_events_;
+  FreeSlot(m.ev->slot);
+  now_ = m.ev->at;
+  ++events_executed_;
+  switch (m.kind) {
+    case MinKind::kRun: {
+      // Stable storage: execute in place with zero moves. Inserts during
+      // fn() target the bucket vector, never run_.
+      ++run_head_;
+      m.ev->fn();
+      return true;
+    }
+    case MinKind::kItems: {
+      // A same-segment insert overtook the run: its storage can move while
+      // fn() schedules, so move the event out first.
+      Bucket& b = buckets_[active_index_];
+      Event ev = std::move(b.items[b.head]);
+      ++b.head;
+      ev.fn();
+      return true;
+    }
+    case MinKind::kFar: {
+      Event ev = std::move(const_cast<Event&>(far_.top()));
+      far_.pop();
+      ev.fn();
+      return true;
+    }
+    case MinKind::kNone:
+      break;
   }
   return false;
 }
@@ -59,7 +305,7 @@ void Simulation::Run() {
 }
 
 void Simulation::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
+  while (live_events_ > 0 && PeekNextTime() <= t) {
     RunNext();
   }
   if (now_ < t) {

@@ -1,17 +1,34 @@
 // Discrete-event simulation core.
 //
-// A Simulation owns a priority queue of (time, sequence, callback) events.
-// Components schedule callbacks; RunUntil/Run drains the queue in time order
-// with FIFO tie-breaking, so results are bit-for-bit reproducible.
+// A Simulation owns a set of (time, sequence, callback) events. Components
+// schedule callbacks; RunUntil/Run drains them in (time, sequence) order, so
+// results are bit-for-bit reproducible with FIFO tie-breaking among
+// same-time events.
+//
+// Two interchangeable engines implement the event set:
+//
+//  * kCalendar (default): a calendar queue — a ring of power-of-two-width
+//    time buckets covering a sliding window ahead of Now(), with a binary
+//    heap "far list" for events beyond the window (long timers). Near-term
+//    events (packet hops) insert and pop in O(1) amortized; far events
+//    migrate into buckets once the window reaches them. Cancellation is O(1)
+//    via a generation-tagged slot table instead of hash sets.
+//
+//  * kHeap: the classic binary-heap engine, kept as the reference for
+//    differential testing (tests/engine_diff_test.cc) and for the perf
+//    trajectory recorded by bench/bench_engine.cc.
+//
+// Both engines share the slot table, sequence numbering, and counters, so
+// any divergence in event order is a bug the differential tests catch.
 #ifndef INCOD_SRC_SIM_SIMULATION_H_
 #define INCOD_SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/sim/inline_event.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
@@ -19,7 +36,9 @@ namespace incod {
 
 class Simulation {
  public:
-  explicit Simulation(uint64_t seed = 1);
+  enum class EngineKind { kCalendar, kHeap };
+
+  explicit Simulation(uint64_t seed = 1, EngineKind engine = EngineKind::kCalendar);
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -27,15 +46,30 @@ class Simulation {
   // Current simulated time.
   SimTime Now() const { return now_; }
 
-  // Schedules `fn` to run `delay` ns from now. Negative delays are clamped
-  // to zero (run "immediately", after already-queued events at Now()).
-  // Returns an id usable with Cancel().
-  uint64_t Schedule(SimDuration delay, std::function<void()> fn);
+  EngineKind engine() const { return engine_; }
+
+  // Schedules `fn` (any void() callable) to run `delay` ns from now.
+  // Negative delays are clamped to zero (run "immediately", after
+  // already-queued events at Now()). Returns an id usable with Cancel().
+  // Templated so the callable is stored (as an InlineEvent) directly in its
+  // queue slot — one copy, no intermediate moves, no heap allocation for
+  // captures up to InlineEvent::kInlineCapacity.
+  template <typename F>
+  uint64_t Schedule(SimDuration delay, F&& fn) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    return DoSchedule(now_ + delay, std::forward<F>(fn));
+  }
 
   // Schedules `fn` at absolute time `at` (clamped to Now()).
-  uint64_t ScheduleAt(SimTime at, std::function<void()> fn);
+  template <typename F>
+  uint64_t ScheduleAt(SimTime at, F&& fn) {
+    return DoSchedule(at < now_ ? now_ : at, std::forward<F>(fn));
+  }
 
-  // Cancels a pending event. Returns false if it already ran / was cancelled.
+  // Cancels a pending event in O(1). Returns false if it already ran / was
+  // cancelled.
   bool Cancel(uint64_t id);
 
   // Runs events until the queue is empty.
@@ -50,18 +84,25 @@ class Simulation {
   // Number of events executed since construction.
   uint64_t events_executed() const { return events_executed_; }
 
-  // Number of events currently pending.
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  // Number of events currently pending (scheduled, not yet run or cancelled).
+  size_t pending_events() const { return live_events_; }
 
   // Root RNG. Components should call rng().Fork() once at setup.
   Rng& rng() { return rng_; }
 
  private:
   struct Event {
-    SimTime at;
-    uint64_t seq;
-    uint64_t id;
-    std::function<void()> fn;
+    SimTime at = 0;
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+    InlineEvent fn;
+
+    Event() = default;
+    template <typename F>
+    Event(SimTime at_, uint64_t seq_, uint32_t slot_, F&& fn_)
+        : at(at_), seq(seq_), slot(slot_), fn(std::forward<F>(fn_)) {}
+    Event(Event&&) = default;
+    Event& operator=(Event&&) = default;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -71,21 +112,158 @@ class Simulation {
       return a.seq > b.seq;  // FIFO among same-time events.
     }
   };
+  // Consumable sorted run of same-window events. `head` advances as events
+  // pop; the vector is reset (keeping capacity) once drained.
+  struct Bucket {
+    std::vector<Event> items;
+    size_t head = 0;
+  };
+  // Where CalendarPeek found the minimum event.
+  enum class MinKind : uint8_t {
+    kNone,  // No live events.
+    kRun,   // run_[run_head_]: stable storage, executed in place.
+    kItems, // Active bucket's items (same-segment insert overtook the run).
+    kFar,   // Far-heap top (window empty).
+  };
+  struct MinRef {
+    Event* ev = nullptr;
+    MinKind kind = MinKind::kNone;
+  };
+  // Cancellation slots. An event id encodes (slot index, generation); the
+  // generation bumps on every free, so stale ids from already-run events
+  // fail the O(1) comparison instead of needing a pending-id hash set.
+  enum SlotState : uint8_t { kFree, kPending, kCancelled };
+  struct Slot {
+    uint32_t gen = 1;
+    SlotState state = kFree;
+  };
+
+  // Calendar geometry: 1024 buckets of power-of-two width cover a sliding
+  // window ahead of Now(); events past the window go to the far heap. The
+  // width adapts to the observed event density (kept near ~2 events per
+  // bucket) so both multi-Mpps packet storms and sparse timer-only phases
+  // stay O(1): every kAdaptInterval executed events the average inter-event
+  // gap picks a new width, and the near set is re-bucketed if it moved by
+  // two or more power-of-two steps (hysteresis against regime ping-pong).
+  static constexpr int kNumBucketsLog2 = 10;
+  static constexpr size_t kNumBuckets = size_t{1} << kNumBucketsLog2;
+  static constexpr size_t kBucketMask = kNumBuckets - 1;
+  static constexpr int kDefaultWidthLog2 = 10;
+  static constexpr int kMinWidthLog2 = 0;
+  static constexpr int kMaxWidthLog2 = 16;
+  static constexpr uint64_t kAdaptInterval = 32768;
+
+  static bool EventBefore(const Event& a, const Event& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+  uint64_t Segment(SimTime at) const { return static_cast<uint64_t>(at) >> width_log2_; }
+  static uint64_t EncodeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(slot) << 32) | gen;
+  }
+
+  template <typename F>
+  uint64_t DoSchedule(SimTime at, F&& fn) {
+    static_assert(std::is_invocable_r_v<void, std::decay_t<F>&>,
+                  "events must be void() callables");
+    const uint32_t slot = AllocSlot();
+    const uint64_t id = EncodeId(slot, slots_[slot].gen);
+    ++live_events_;
+    if (engine_ == EngineKind::kHeap) {
+      heap_.emplace(at, next_seq_++, slot, std::forward<F>(fn));
+    } else {
+      InsertCalendar(at, next_seq_++, slot, std::forward<F>(fn));
+    }
+    return id;
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+  bool SlotCancelled(uint32_t slot) const { return slots_[slot].state == kCancelled; }
+
+  // Places an event with as few callable copies as possible: the common path
+  // constructs the Event (and its InlineEvent) directly in its bucket slot.
+  template <typename F>
+  void InsertCalendar(SimTime at, uint64_t seq, uint32_t slot, F&& fn) {
+    const uint64_t seg = Segment(at);
+    if (seg >= Segment(now_) + kNumBuckets) {
+      ++far_inserts_;
+      far_.emplace(at, seq, slot, std::forward<F>(fn));
+      return;
+    }
+    ++near_inserts_;
+    const size_t index = static_cast<size_t>(seg) & kBucketMask;
+    Bucket& b = buckets_[index];
+    if (b.head == b.items.size()) {
+      if (!b.items.empty()) {
+        b.items.clear();  // Fully consumed run; reuse the capacity.
+        b.head = 0;
+      }
+      MarkOccupied(index);
+      b.items.emplace_back(at, seq, slot, std::forward<F>(fn));
+      return;
+    }
+    const Event& back = b.items.back();
+    // Common case: sorts last (same-tick events carry the largest seq).
+    if (back.at < at || (back.at == at && back.seq < seq)) {
+      b.items.emplace_back(at, seq, slot, std::forward<F>(fn));
+      return;
+    }
+    InsertSorted(b, Event(at, seq, slot, std::forward<F>(fn)));
+  }
+  void InsertCalendar(Event&& ev) {
+    InsertCalendar(ev.at, ev.seq, ev.slot, std::move(ev.fn));
+  }
+  void InsertSorted(Bucket& b, Event ev);
+  // Re-evaluates the bucket width from the recent event rate; re-buckets the
+  // near set when the regime changed.
+  void MaybeAdaptWidth();
+  void Rebuild(int new_width_log2);
+  // Drops cancelled events it passes (freeing their slots), migrates due far
+  // events into buckets, and returns the location of the minimum live event.
+  // Precondition: live_events_ > 0.
+  MinRef CalendarPeek();
+  void PurgeHeapTop();
+  // Time of the next live event. Precondition: live_events_ > 0.
+  SimTime PeekNextTime();
+
+  void MarkOccupied(size_t bucket) {
+    occupied_[bucket >> 6] |= uint64_t{1} << (bucket & 63);
+  }
+  void ClearOccupied(size_t bucket) {
+    occupied_[bucket >> 6] &= ~(uint64_t{1} << (bucket & 63));
+  }
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  // Ids still in the queue; keeps Cancel() of an already-run id a true
-  // no-op (and Cancel honest about it) instead of poisoning bookkeeping.
-  std::unordered_set<uint64_t> pending_ids_;
-  // Consulted on every pop; entries are erased on hit so heavy cancel
-  // workloads (rack orchestrator timers) stay O(1) per event.
-  std::unordered_set<uint64_t> cancelled_;
-  Rng rng_;
+  size_t live_events_ = 0;
+  EngineKind engine_;
+  int width_log2_ = kDefaultWidthLog2;
+  // Density shouldn't narrow buckets below this: raised when the window gets
+  // too short to hold the live gap distribution (far-heap spill), lowered
+  // again once the far list goes quiet.
+  int width_floor_log2_ = kMinWidthLog2;
+  uint64_t adapt_countdown_ = kAdaptInterval;
+  SimTime adapt_window_start_ = 0;
+  uint64_t near_inserts_ = 0;
+  uint64_t far_inserts_ = 0;
 
-  bool IsCancelled(uint64_t id);
+  std::vector<Bucket> buckets_;
+  std::vector<uint64_t> occupied_;  // Bitmap: one bit per bucket.
+  // The active segment's events, swapped out of their bucket so the hot pop
+  // path executes them in place from stable storage (inserts that land in
+  // the active segment go to the bucket vector and merge by comparison).
+  std::vector<Event> run_;
+  size_t run_head_ = 0;
+  size_t active_index_ = kNoActive;
+  static constexpr size_t kNoActive = static_cast<size_t>(-1);
+  std::priority_queue<Event, std::vector<Event>, EventLater> far_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+
+  Rng rng_;
 };
 
 // Convenience: schedules `fn` every `period` until it returns false.

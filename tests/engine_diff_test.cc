@@ -1,0 +1,158 @@
+// Differential tests: the calendar-queue engine must be observationally
+// identical to the reference heap engine — same event order, same counters,
+// same end-to-end simulation results on a real testbed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/scenarios/kvs_testbed.h"
+#include "src/sim/simulation.h"
+#include "src/workload/arrival.h"
+#include "src/workload/client.h"
+
+namespace incod {
+namespace {
+
+using Trace = std::vector<std::pair<SimTime, uint64_t>>;
+
+// Deterministic self-expanding workload: every executed event records
+// (Now, tag) and, driven by its own LCG, schedules 0-2 children at near /
+// same-tick / far-future delays and cancels pseudo-randomly chosen earlier
+// ids. Identical logic on both engines => traces must match exactly.
+struct DiffDriver {
+  Simulation* sim;
+  Trace* trace;
+  std::vector<uint64_t>* ids;
+  uint64_t state;
+  uint64_t tag;
+  int depth;
+
+  void operator()() {
+    trace->push_back({sim->Now(), tag});
+    if (depth >= 6) {
+      return;
+    }
+    uint64_t s = state;
+    const auto next = [&s] {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      return s >> 33;
+    };
+    const uint64_t children = next() % 3;
+    for (uint64_t c = 0; c < children; ++c) {
+      const uint64_t r = next();
+      SimDuration gap = static_cast<SimDuration>(r % 2000);
+      if (r % 7 == 0) {
+        gap = 0;  // Same-tick FIFO path.
+      } else if (r % 11 == 0) {
+        gap = Milliseconds(static_cast<int64_t>(1 + r % 20));  // Far list.
+      }
+      ids->push_back(sim->Schedule(
+          gap, DiffDriver{sim, trace, ids, next(), tag * 31 + c + 1, depth + 1}));
+    }
+    if (next() % 4 == 0 && !ids->empty()) {
+      sim->Cancel((*ids)[next() % ids->size()]);
+    }
+  }
+};
+
+Trace RunDiffWorkload(Simulation::EngineKind kind) {
+  Simulation sim(1, kind);
+  Trace trace;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(sim.Schedule(i % 5, DiffDriver{&sim, &trace, &ids,
+                                                 0x9e3779b97f4a7c15ULL * (i + 1),
+                                                 static_cast<uint64_t>(i), 0}));
+  }
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  return trace;
+}
+
+TEST(EngineDiffTest, RandomChurnExecutesInIdenticalOrder) {
+  const Trace calendar = RunDiffWorkload(Simulation::EngineKind::kCalendar);
+  const Trace heap = RunDiffWorkload(Simulation::EngineKind::kHeap);
+  ASSERT_GT(calendar.size(), 100u);  // The workload actually expanded.
+  ASSERT_EQ(calendar.size(), heap.size());
+  for (size_t i = 0; i < calendar.size(); ++i) {
+    ASSERT_EQ(calendar[i], heap[i]) << "diverged at event " << i;
+  }
+}
+
+struct KvsRunResult {
+  uint64_t events_executed;
+  SimTime now;
+  uint64_t sent;
+  uint64_t received;
+  uint64_t lost;
+  uint64_t p50;
+  uint64_t p99;
+  double watts;
+};
+
+KvsRunResult RunSeededKvsTestbed(Simulation::EngineKind kind) {
+  Simulation sim(7, kind);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  options.lake.l1_entries = 256;
+  KvsTestbed testbed(sim, options);
+  const uint64_t keys = 500;
+  testbed.Prefill(keys, 0);
+  auto& client = testbed.AddClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(400000.0),
+      [service = testbed.ServiceNode(), keys](NodeId src, uint64_t id, SimTime now,
+                                              Rng& rng) {
+        const uint64_t key =
+            static_cast<uint64_t>(rng.UniformInt(0, static_cast<int64_t>(keys) - 1));
+        const KvOp op = rng.Bernoulli(0.1) ? KvOp::kSet : KvOp::kGet;
+        return MakeKvRequestPacket(src, service, KvRequest{op, key, 64}, id, now);
+      });
+  client.Start();
+  sim.RunUntil(Milliseconds(50));
+  return KvsRunResult{
+      sim.events_executed(),
+      sim.Now(),
+      client.sent(),
+      client.received(),
+      client.lost(),
+      client.latency().P50(),
+      client.latency().P99(),
+      testbed.meter().MeanWatts(0, sim.Now()),
+  };
+}
+
+TEST(EngineDiffTest, SeededKvsTestbedBitIdenticalAcrossEngines) {
+  const KvsRunResult calendar = RunSeededKvsTestbed(Simulation::EngineKind::kCalendar);
+  const KvsRunResult heap = RunSeededKvsTestbed(Simulation::EngineKind::kHeap);
+  EXPECT_GT(calendar.events_executed, 100000u);  // Non-trivial run.
+  EXPECT_EQ(calendar.events_executed, heap.events_executed);
+  EXPECT_EQ(calendar.now, heap.now);
+  EXPECT_EQ(calendar.sent, heap.sent);
+  EXPECT_EQ(calendar.received, heap.received);
+  EXPECT_EQ(calendar.lost, heap.lost);
+  EXPECT_EQ(calendar.p50, heap.p50);
+  EXPECT_EQ(calendar.p99, heap.p99);
+  EXPECT_DOUBLE_EQ(calendar.watts, heap.watts);
+}
+
+TEST(EngineDiffTest, RunUntilBoundaryMatchesAcrossEngines) {
+  for (const auto kind :
+       {Simulation::EngineKind::kCalendar, Simulation::EngineKind::kHeap}) {
+    Simulation sim(3, kind);
+    Trace trace;
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 20; ++i) {
+      // depth 6: record-only events, so exactly one event per 10 us slot.
+      sim.Schedule(Microseconds(10 * i), DiffDriver{&sim, &trace, &ids, 99ULL * (i + 1),
+                                                    static_cast<uint64_t>(i), 6});
+    }
+    sim.RunUntil(Microseconds(95));
+    EXPECT_EQ(trace.size(), 10u) << "engine " << static_cast<int>(kind);
+    EXPECT_EQ(sim.Now(), Microseconds(95));
+  }
+}
+
+}  // namespace
+}  // namespace incod

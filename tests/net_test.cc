@@ -51,10 +51,31 @@ TEST(PacketTest, ProtoNames) {
 
 TEST(PacketTest, PayloadAccessors) {
   Packet pkt;
-  pkt.payload = std::string("hello");
-  EXPECT_TRUE(PayloadIs<std::string>(pkt));
-  EXPECT_FALSE(PayloadIs<int>(pkt));
-  EXPECT_EQ(PayloadAs<std::string>(pkt), "hello");
+  EXPECT_FALSE(pkt.has_payload());
+  pkt.payload = KvRequest{KvOp::kSet, 7, 100};
+  EXPECT_TRUE(pkt.has_payload());
+  EXPECT_TRUE(PayloadIs<KvRequest>(pkt));
+  EXPECT_FALSE(PayloadIs<KvResponse>(pkt));
+  EXPECT_EQ(PayloadAs<KvRequest>(pkt).key, 7u);
+  ASSERT_NE(PayloadIf<KvRequest>(pkt), nullptr);
+  EXPECT_EQ(PayloadIf<KvRequest>(pkt)->value_bytes, 100u);
+  EXPECT_EQ(PayloadIf<DnsMessage>(pkt), nullptr);
+  EXPECT_THROW(PayloadAs<PaxosMessage>(pkt), std::bad_variant_access);
+}
+
+TEST(PacketTest, ControlPayloadRoundTrip) {
+  ControlMessage msg;
+  msg.kind = ControlMessage::Kind::kActivateOffload;
+  msg.target_proto = AppProto::kKv;
+  msg.value = 42;
+  const Packet pkt = MakeControlPacket(1, 2, msg, 9, Microseconds(3));
+  EXPECT_EQ(pkt.proto, AppProto::kControl);
+  EXPECT_EQ(pkt.size_bytes, kControlWireBytes);
+  ASSERT_TRUE(PayloadIs<ControlMessage>(pkt));
+  EXPECT_EQ(PayloadAs<ControlMessage>(pkt).kind, ControlMessage::Kind::kActivateOffload);
+  EXPECT_EQ(PayloadAs<ControlMessage>(pkt).target_proto, AppProto::kKv);
+  EXPECT_EQ(PayloadAs<ControlMessage>(pkt).value, 42u);
+  EXPECT_STREQ(ControlKindName(msg.kind), "activate");
 }
 
 TEST(LinkTest, DeliversWithSerializationAndPropagation) {
@@ -116,10 +137,41 @@ TEST(LinkTest, DropsWhenQueueFull) {
   for (int i = 0; i < 100; ++i) {
     link.Send(&a, MakeRawPacket(1, 2, 1500));
   }
+  // One packet serializes while 4 queue behind it; the rest drop.
+  EXPECT_EQ(link.in_flight(&b), 5u);
   sim.Run();
-  EXPECT_EQ(b.packets.size(), 4u);
-  EXPECT_EQ(link.dropped(&b), 96u);
-  EXPECT_EQ(link.total_dropped(), 96u);
+  EXPECT_EQ(b.packets.size(), 5u);
+  EXPECT_EQ(link.dropped(&b), 95u);
+  EXPECT_EQ(link.total_dropped(), 95u);
+  EXPECT_EQ(link.in_flight(&b), 0u);
+}
+
+TEST(LinkTest, InServicePacketDoesNotOccupyQueue) {
+  // Regression: the drop check used to conflate the packet being serialized
+  // with queued backlog, firing one packet early (at queue_capacity instead
+  // of queue_capacity + 1 concurrently held).
+  Simulation sim;
+  CollectorSink a(&sim);
+  CollectorSink b(&sim);
+  Link::Config config;
+  config.gigabits_per_second = 0.001;
+  config.queue_capacity_packets = 4;
+  Link link(sim, config);
+  link.Connect(&a, &b);
+  for (int i = 0; i < 5; ++i) {  // 1 in service + 4 waiting: all accepted.
+    link.Send(&a, MakeRawPacket(1, 2, 1500));
+  }
+  EXPECT_EQ(link.dropped(&b), 0u);
+  link.Send(&a, MakeRawPacket(1, 2, 1500));  // Queue genuinely full now.
+  EXPECT_EQ(link.dropped(&b), 1u);
+  sim.Run();
+  EXPECT_EQ(b.packets.size(), 5u);
+  // Once the first packet finishes serializing, a queue slot frees up and
+  // the next send is accepted again.
+  link.Send(&a, MakeRawPacket(1, 2, 1500));
+  sim.Run();
+  EXPECT_EQ(b.packets.size(), 6u);
+  EXPECT_EQ(link.dropped(&b), 1u);
 }
 
 TEST(LinkTest, RejectsUnknownSender) {

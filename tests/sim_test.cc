@@ -135,6 +135,119 @@ TEST(SimulationTest, EventsExecutedCounter) {
   EXPECT_EQ(sim.events_executed(), 5u);
 }
 
+TEST(SimulationTest, FarFutureOverflowBucketsPreserveOrder) {
+  // Events seconds apart overflow the calendar's near window into the far
+  // list; interleaved near events must still run in global time order.
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(3), [&] { order.push_back(5); });
+  sim.Schedule(Microseconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(3); });
+  sim.Schedule(Microseconds(2), [&] {
+    order.push_back(2);
+    // Scheduled mid-run, lands between the two far events.
+    sim.Schedule(Seconds(2) - Microseconds(2), [&] { order.push_back(4); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(SimulationTest, SameTickFifoAcrossFarBoundary) {
+  // Two events at the exact same far-future tick keep FIFO order after
+  // migrating from the far list into buckets.
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(2); });
+  sim.Schedule(Milliseconds(1), [&] { order.push_back(0); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulationTest, CancelFarFutureEvent) {
+  Simulation sim;
+  bool near_ran = false;
+  bool far_ran = false;
+  sim.Schedule(Microseconds(1), [&] { near_ran = true; });
+  const uint64_t id = sim.Schedule(Seconds(5), [&] { far_ran = true; });
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_TRUE(near_ran);
+  EXPECT_FALSE(far_ran);
+  EXPECT_EQ(sim.Now(), Microseconds(1));  // Never advanced to the far tick.
+}
+
+TEST(SimulationTest, CancelDuringOwnExecutionIsNoOp) {
+  Simulation sim;
+  uint64_t id = 0;
+  bool cancel_result = true;
+  id = sim.Schedule(Microseconds(1), [&] { cancel_result = sim.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);  // Already running: no longer pending.
+}
+
+TEST(SimulationTest, StaleIdAfterSlotReuseDoesNotCancelNewEvent) {
+  // Ids are generation-tagged: an id from an event that already ran must not
+  // cancel a later event that happens to reuse the same slot.
+  Simulation sim;
+  const uint64_t first = sim.Schedule(Microseconds(1), [] {});
+  sim.Run();
+  bool second_ran = false;
+  sim.Schedule(Microseconds(1), [&] { second_ran = true; });
+  EXPECT_FALSE(sim.Cancel(first));
+  sim.Run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SimulationTest, DensityShiftExercisesWidthAdaptation) {
+  // A dense ns-scale burst followed by sparse ms timers forces the calendar
+  // to re-bucket (narrow, then widen); counts and final time must be exact.
+  Simulation sim;
+  uint64_t dense = 0;
+  struct Burst {
+    Simulation* sim;
+    uint64_t* count;
+    uint64_t remaining;
+    void operator()() {
+      ++*count;
+      if (remaining > 0) {
+        sim->Schedule(3, Burst{sim, count, remaining - 1});
+      }
+    }
+  };
+  for (int i = 0; i < 8; ++i) {
+    sim.Schedule(i, Burst{&sim, &dense, 20000});
+  }
+  uint64_t sparse = 0;
+  for (int i = 1; i <= 50; ++i) {
+    sim.Schedule(Milliseconds(i), [&] { ++sparse; });
+  }
+  sim.Run();
+  EXPECT_EQ(dense, 8u * 20001u);
+  EXPECT_EQ(sparse, 50u);
+  EXPECT_EQ(sim.Now(), Milliseconds(50));
+  EXPECT_EQ(sim.events_executed(), dense + sparse);
+}
+
+TEST(SimulationTest, HeapEngineMatchesSemantics) {
+  // The reference engine passes the same core contract.
+  Simulation sim(1, Simulation::EngineKind::kHeap);
+  EXPECT_EQ(sim.engine(), Simulation::EngineKind::kHeap);
+  std::vector<int> order;
+  sim.Schedule(Microseconds(2), [&] { order.push_back(2); });
+  sim.Schedule(Microseconds(1), [&] { order.push_back(1); });
+  const uint64_t id = sim.Schedule(Microseconds(3), [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_executed(), 2u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(SimulationTest, SchedulePeriodicStopsWhenCallbackReturnsFalse) {
   Simulation sim;
   int ticks = 0;
