@@ -32,7 +32,7 @@ double LakeBoardWatts(LakeConfig config, bool active, bool clock_gating,
   double watts = fpga.PowerWatts();
   if (active && utilization > 0) {
     // Emulate the utilization-linear dynamic part at the requested load.
-    watts += lake.DynamicWattsAtCapacity() * utilization;
+    watts += lake.OffloadProfile().dynamic_watts_at_capacity * utilization;
   }
   return watts;
 }

@@ -1,30 +1,25 @@
 // Quickstart: measure the power/performance trade-off of in-network
-// computing in ~60 lines of API use.
+// computing with the declarative scenario API.
 //
-// Builds the paper's KVS testbed twice — memcached in software, then LaKe
-// on the FPGA NIC — drives both with the same load, and prints throughput,
-// latency and wall power side by side.
+// Builds the paper's KVS testbed twice from struct-literal ScenarioSpecs —
+// memcached in software, then LaKe on the FPGA NIC, both created by name
+// ("kvs") through the AppRegistry — drives both with the same declarative
+// workload, and prints throughput, latency and wall power side by side.
 //
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/quickstart
 #include <cstdio>
 #include <memory>
 
-#include "src/scenarios/kvs_testbed.h"
+#include "src/kvs/lake.h"
+#include "src/kvs/memcached_server.h"
+#include "src/power/cpu_power.h"
+#include "src/scenarios/scenario_spec.h"
 #include "src/sim/simulation.h"
-#include "src/workload/client.h"
 
 using namespace incod;
 
 namespace {
-
-// A request factory: uniform GETs over 1000 keys.
-RequestFactory MakeGets(NodeId service) {
-  return [service](NodeId src, uint64_t id, SimTime now, Rng& rng) {
-    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 999));
-    return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
-  };
-}
 
 struct Result {
   double kqps;
@@ -32,25 +27,50 @@ struct Result {
   double watts;
 };
 
-Result Run(KvsMode mode, double offered_pps) {
+Result Run(bool offload, double offered_pps) {
   // 1. A deterministic simulation.
   Simulation sim(/*seed=*/42);
 
-  // 2. The testbed: client -- (NIC or NetFPGA+LaKe) -- i7 server, with a
-  //    wall power meter attached exactly as in the paper's setup.
-  KvsTestbedOptions options;
-  options.mode = mode;
-  KvsTestbed testbed(sim, options);
-  testbed.Prefill(/*count=*/1000, /*value_bytes=*/64);
+  // 2. The scenario, declaratively: nodes, target, app by registry name,
+  //    and the workload. ScenarioTestbed wires the topology and attaches a
+  //    wall power meter exactly as in the paper's setup.
+  ScenarioSpec spec;
+  spec.name = offload ? "kvs-lake" : "kvs-software";
+  spec.host.config.name = "i7-server";
+  spec.host.config.node = 1;
+  spec.host.config.num_cores = 4;
+  spec.host.config.power_curve = I7MemcachedCurve();
+  spec.host.apps = {"kvs"};  // memcached, via the AppRegistry.
+  // The paper's link calibration (same as the KVS testbed).
+  spec.client_link = TestbedBuilder::TenGigLink(Nanoseconds(100));
+  spec.target.pcie = TestbedBuilder::PcieLink(Nanoseconds(2500));
+  if (offload) {
+    spec.target.kind = ScenarioTargetKind::kFpgaNic;
+    spec.target.name = "netfpga-lake";
+    spec.target.device_node = 50;
+    spec.target.app = "kvs";  // Same name, FPGA placement: LaKe.
+  } else {
+    spec.target.kind = ScenarioTargetKind::kConventionalNic;
+  }
+  spec.workload.kind = ScenarioWorkloadSpec::Kind::kKvUniformGets;
+  spec.workload.rate_per_second = offered_pps;
+  spec.workload.keyspace = 1000;
 
-  // 3. An open-loop client at the offered rate.
-  auto& client = testbed.AddClient(LoadClientConfig{},
-                                   std::make_unique<ConstantArrival>(offered_pps),
-                                   MakeGets(testbed.ServiceNode()));
-  client.Start();
+  ScenarioTestbed testbed(sim, spec);
+
+  // 3. Warm stores so GETs hit (the workload client is already running).
+  if (auto* memcached = testbed.host_app_as<MemcachedServer>()) {
+    for (uint64_t k = 0; k < 1000; ++k) {
+      memcached->store().Set(k, 64);
+    }
+  }
+  if (auto* lake = testbed.offload_app_as<LakeCache>()) {
+    lake->WarmFill(0, 1000, 64);
+  }
 
   // 4. Warm up, then measure a steady-state window.
   sim.RunUntil(Milliseconds(100));
+  LoadClient& client = *testbed.client();
   client.ResetStats();
   const SimTime start = sim.Now();
   sim.RunUntil(start + Milliseconds(200));
@@ -68,8 +88,8 @@ int main() {
   std::printf("offered    | memcached (software)        | LaKe (in-network)\n");
   std::printf("kqps       | kqps   p50us   watts        | kqps   p50us   watts\n");
   for (double offered : {50e3, 150e3, 400e3, 800e3}) {
-    const Result sw = Run(KvsMode::kSoftwareOnly, offered);
-    const Result hw = Run(KvsMode::kLake, offered);
+    const Result sw = Run(/*offload=*/false, offered);
+    const Result hw = Run(/*offload=*/true, offered);
     std::printf("%-10.0f | %-6.1f %-7.2f %-12.1f | %-6.1f %-7.2f %-6.1f\n",
                 offered / 1000.0, sw.kqps, sw.p50_us, sw.watts, hw.kqps, hw.p50_us,
                 hw.watts);

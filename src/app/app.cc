@@ -1,0 +1,17 @@
+#include "src/app/app.h"
+
+namespace incod {
+
+const char* PlacementKindName(PlacementKind placement) {
+  switch (placement) {
+    case PlacementKind::kHost:
+      return "host";
+    case PlacementKind::kFpgaNic:
+      return "fpga-nic";
+    case PlacementKind::kSwitchAsic:
+      return "switch-asic";
+  }
+  return "?";
+}
+
+}  // namespace incod

@@ -1,17 +1,21 @@
-// Interface between the FPGA NIC shell and an application core.
+// Legacy FPGA-side application shim over the unified incod::App contract.
 //
 // Mirrors the NetFPGA structure in Figure 2 of the paper: interfaces,
 // queueing and arbitration are provided by shell modules; the application is
-// a "main logical core" dropped into the shell, plus (for LaKe) external
-// memory interfaces. The application declares its power modules and its
-// pipeline's throughput model; the device handles classification, admission
-// and power accounting.
+// a "main logical core" dropped into the shell. New applications should
+// derive from incod::App directly (app/app.h) and advertise an
+// OffloadPlacementProfile; FpgaApp remains as a thin adapter for code
+// written against the original device-only surface (Process() + a raw
+// FpgaNic back-pointer). FpgaPipelineSpec itself now lives in app/app.h as
+// part of the placement profile.
 #ifndef INCOD_SRC_DEVICE_FPGA_APP_H_
 #define INCOD_SRC_DEVICE_FPGA_APP_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/app/app.h"
 #include "src/net/packet.h"
 #include "src/power/ledger.h"
 #include "src/sim/time.h"
@@ -20,26 +24,8 @@ namespace incod {
 
 class FpgaNic;
 
-// Throughput model of the application core.
-struct FpgaPipelineSpec {
-  // Parallel processing elements (LaKe PEs). 1 for single-pipeline designs.
-  int workers = 1;
-  // Initiation interval per worker: one packet accepted every `service` ns.
-  // Fully pipelined designs have service << latency.
-  SimDuration worker_service = Nanoseconds(100);
-  // Constant pipeline traversal latency added to every processed packet.
-  SimDuration pipeline_latency = Microseconds(1);
-  // Input buffer (packets) ahead of the workers; overflow drops (UDP).
-  size_t input_queue_capacity = 512;
-};
-
-class FpgaApp {
+class FpgaApp : public App {
  public:
-  virtual ~FpgaApp() = default;
-
-  virtual AppProto proto() const = 0;
-  virtual std::string AppName() const = 0;
-
   // Power modules the app adds to the board ledger (logic, memories).
   virtual std::vector<ModulePowerSpec> PowerModules() const = 0;
 
@@ -49,26 +35,30 @@ class FpgaApp {
 
   virtual FpgaPipelineSpec PipelineSpec() const = 0;
 
-  // Classifier predicate: should this packet enter the app core (when the
-  // app is active)? Default: protocol match.
-  virtual bool Matches(const Packet& packet) const { return packet.proto == proto(); }
-
   // Application logic, invoked after the pipeline delay. The app replies via
   // nic()->TransmitToNetwork() or punts via nic()->DeliverToHost().
   virtual void Process(Packet packet) = 0;
 
-  // Activation hooks (cache warm-up bookkeeping etc.).
-  virtual void OnActivate() {}
-  virtual void OnDeactivate() {}
-
-  // Called when the device's external memories are put into reset: on-board
-  // state is lost (LaKe must re-warm its caches, §9.2).
-  virtual void OnMemoryReset() {}
-
   // Observes host-originated packets of this protocol on their way out to
-  // the network (non-consuming). LaKe uses this to fill its caches from
-  // host replies after a miss.
+  // the network (non-consuming).
   virtual void OnHostEgress(const Packet& packet) { (void)packet; }
+
+  // --- App adaptation ---
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kFpgaNic;
+  }
+  OffloadPlacementProfile OffloadProfile() const override {
+    return OffloadPlacementProfile{PipelineSpec(), PowerModules(),
+                                   DynamicWattsAtCapacity(), 0.0};
+  }
+  void HandlePacket(AppContext& ctx, Packet packet) override {
+    (void)ctx;
+    Process(std::move(packet));
+  }
+  void OnHostEgress(AppContext& ctx, const Packet& packet) override {
+    (void)ctx;
+    OnHostEgress(packet);
+  }
 
   FpgaNic* nic() const { return nic_; }
   void set_nic(FpgaNic* nic) { nic_ = nic; }

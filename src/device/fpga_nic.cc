@@ -28,18 +28,29 @@ FpgaNic::FpgaNic(Simulation& sim, FpgaNicConfig config)
   ledger_.AddModule(pcie, ModulePowerState::kIdle);
 }
 
-void FpgaNic::InstallApp(FpgaApp* app) {
+void FpgaNic::InstallApp(App* app) {
   if (app_ != nullptr) {
     throw std::logic_error("FpgaNic: an app is already installed");
   }
+  if (app == nullptr) {
+    throw std::invalid_argument("FpgaNic::InstallApp: null app");
+  }
+  if (!app->SupportsPlacement(PlacementKind::kFpgaNic)) {
+    throw std::invalid_argument("FpgaNic: " + app->AppName() +
+                                " does not support the FPGA-NIC placement");
+  }
   app_ = app;
-  app_->set_nic(this);
-  pipeline_ = app_->PipelineSpec();
+  app_->BindContext(this);
+  if (auto* legacy = dynamic_cast<FpgaApp*>(app_)) {
+    legacy->set_nic(this);
+  }
+  profile_ = app_->OffloadProfile();
+  pipeline_ = profile_.pipeline;
   if (pipeline_.workers < 1) {
     throw std::invalid_argument("FpgaNic: pipeline needs >= 1 worker");
   }
   workers_.assign(static_cast<size_t>(pipeline_.workers), Worker{});
-  for (const auto& spec : app_->PowerModules()) {
+  for (const auto& spec : profile_.power_modules) {
     ledger_.AddModule(spec, ModulePowerState::kIdle);
     if (IsMemoryModule(spec.name)) {
       app_memory_modules_.push_back(spec.name);
@@ -142,7 +153,7 @@ void FpgaNic::Receive(Packet packet) {
   const bool from_host = packet.src == config_.host_node;
   if (from_host) {
     if (app_ != nullptr && app_active_ && app_->Matches(packet)) {
-      app_->OnHostEgress(packet);
+      app_->OnHostEgress(*this, packet);
     }
     TransmitToNetwork(std::move(packet));
     return;
@@ -184,7 +195,7 @@ void FpgaNic::AdmitToPipeline(Packet packet) {
   sim_.ScheduleAt(done, [this, pkt = std::move(packet)]() mutable {
     hw_processed_.Increment();
     processed_rate_.RecordEvent(sim_.Now());
-    app_->Process(std::move(pkt));
+    app_->HandlePacket(*this, std::move(pkt));
   });
 }
 
@@ -232,7 +243,7 @@ double FpgaNic::Utilization() const {
 double FpgaNic::PowerWatts() const {
   double dc = ledger_.PowerWatts();
   if (app_ != nullptr && app_active_) {
-    dc += app_->DynamicWattsAtCapacity() * Utilization();
+    dc += profile_.dynamic_watts_at_capacity * Utilization();
   }
   if (config_.standalone) {
     return standalone_psu_.WallWatts(dc + kStandaloneOverheadWatts);

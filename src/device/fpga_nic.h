@@ -52,15 +52,27 @@ struct FpgaNicConfig {
   SimDuration rate_window = Milliseconds(100);  // For utilization/dyn power.
 };
 
-class FpgaNic : public PacketSink, public PowerSource, public OffloadTarget {
+class FpgaNic : public PacketSink,
+                public PowerSource,
+                public OffloadTarget,
+                public AppContext {
  public:
   FpgaNic(Simulation& sim, FpgaNicConfig config);
 
-  // Installs the application core (not owned). Re-programming the FPGA at
-  // runtime is out of scope (the paper keeps the app "programmed but
-  // inactive" to avoid a traffic halt, §9.2).
-  void InstallApp(FpgaApp* app);
-  FpgaApp* app() const { return app_; }
+  // Installs the application core (not owned). Any App supporting the
+  // FPGA-NIC placement works; legacy FpgaApp subclasses additionally get
+  // their FpgaNic back-pointer set. Re-programming the FPGA at runtime is
+  // out of scope (the paper keeps the app "programmed but inactive" to
+  // avoid a traffic halt, §9.2).
+  void InstallApp(App* app);
+  App* app() const { return app_; }
+
+  // --- AppContext (the narrow surface the installed app talks through) ---
+  Simulation& sim() override { return sim_; }
+  PlacementKind placement() const override { return PlacementKind::kFpgaNic; }
+  NodeId self_node() const override { return config_.device_node; }
+  void Reply(Packet packet) override { TransmitToNetwork(std::move(packet)); }
+  void Punt(Packet packet) override { DeliverToHost(std::move(packet)); }
 
   // Attach the network-side and host-side links (both must have this device
   // as one endpoint).
@@ -129,7 +141,6 @@ class FpgaNic : public PacketSink, public PowerSource, public OffloadTarget {
   double AppIngressRatePerSecond() const override;
   uint64_t app_ingress_packets() const override { return app_ingress_.value(); }
 
-  Simulation& sim() { return sim_; }
   const FpgaNicConfig& config() const { return config_; }
 
  private:
@@ -147,7 +158,8 @@ class FpgaNic : public PacketSink, public PowerSource, public OffloadTarget {
   PsuModel standalone_psu_{kStandalonePsuRatedWatts};
   Link* net_link_ = nullptr;
   Link* host_link_ = nullptr;
-  FpgaApp* app_ = nullptr;
+  App* app_ = nullptr;
+  OffloadPlacementProfile profile_{};
   FpgaPipelineSpec pipeline_{};
   std::vector<Worker> workers_;
   size_t queued_ = 0;

@@ -94,13 +94,16 @@ bool DecodeName(const std::vector<uint8_t>& in, size_t* pos, std::string* name) 
 
 }  // namespace
 
-std::vector<uint8_t> Ipv4ToRdata(uint32_t ipv4) {
-  std::vector<uint8_t> out;
-  PutU32(out, ipv4);
+DnsRdata Ipv4ToRdata(uint32_t ipv4) {
+  DnsRdata out;
+  out.push_back(static_cast<uint8_t>((ipv4 >> 24) & 0xff));
+  out.push_back(static_cast<uint8_t>((ipv4 >> 16) & 0xff));
+  out.push_back(static_cast<uint8_t>((ipv4 >> 8) & 0xff));
+  out.push_back(static_cast<uint8_t>(ipv4 & 0xff));
   return out;
 }
 
-uint32_t RdataToIpv4(const std::vector<uint8_t>& rdata) {
+uint32_t RdataToIpv4(const DnsRdata& rdata) {
   if (rdata.size() != 4) {
     throw std::invalid_argument("RdataToIpv4: need 4 bytes");
   }
@@ -236,8 +239,10 @@ std::optional<DnsMessage> DecodeDnsMessage(const std::vector<uint8_t>& wire) {
     if (pos + rdlength > wire.size()) {
       return std::nullopt;
     }
-    rr.rdata.assign(wire.begin() + static_cast<long>(pos),
-                    wire.begin() + static_cast<long>(pos + rdlength));
+    if (!rr.rdata.assign(wire.begin() + static_cast<long>(pos),
+                         wire.begin() + static_cast<long>(pos + rdlength))) {
+      return std::nullopt;  // Beyond the modeled rdata subset (A/AAAA).
+    }
     pos += rdlength;
     msg.answers.push_back(std::move(rr));
   }

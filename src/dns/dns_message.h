@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/dns/dns_pool.h"
+
 namespace incod {
 
 // Record/query type codes (RFC 1035 §3.2.2).
@@ -43,9 +45,11 @@ struct DnsResourceRecord {
   uint16_t rtype = kDnsTypeA;
   uint16_t rclass = kDnsClassIn;
   uint32_t ttl = 300;
-  std::vector<uint8_t> rdata;  // 4 bytes for A records.
+  DnsRdata rdata;  // Inline buffer: 4 bytes for A records (dns_pool.h).
 };
 
+// Section vectors use the recycling arena (dns_pool.h) so packets carrying
+// DNS payloads allocate nothing on the steady-state hot path.
 struct DnsMessage {
   uint16_t id = 0;
   bool is_response = false;
@@ -53,13 +57,13 @@ struct DnsMessage {
   bool recursion_available = false;
   bool authoritative = false;
   DnsRcode rcode = DnsRcode::kNoError;
-  std::vector<DnsQuestion> questions;
-  std::vector<DnsResourceRecord> answers;
+  PooledVec<DnsQuestion> questions;
+  PooledVec<DnsResourceRecord> answers;
 };
 
 // IPv4 helpers.
-std::vector<uint8_t> Ipv4ToRdata(uint32_t ipv4);
-uint32_t RdataToIpv4(const std::vector<uint8_t>& rdata);
+DnsRdata Ipv4ToRdata(uint32_t ipv4);
+uint32_t RdataToIpv4(const DnsRdata& rdata);
 std::string Ipv4ToString(uint32_t ipv4);
 std::optional<uint32_t> ParseIpv4(const std::string& dotted);
 

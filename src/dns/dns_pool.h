@@ -1,0 +1,260 @@
+// Small-buffer / arena storage for DNS message sections.
+//
+// DnsMessage rides inside Packet's inline payload variant, so its section
+// vectors must stay pointer-sized — but std::vector pays a malloc/free per
+// packet hop for the questions/answers arrays and again for each record's
+// rdata. These were the last per-packet heap allocations on the hot path
+// (ROADMAP "Performance"):
+//
+//   * DnsRdata     — a fixed 16-byte inline buffer (A and AAAA records fit;
+//                    anything larger is outside the modeled Emu subset), no
+//                    allocation at all;
+//   * PooledVec<T> — a {ptr, size, capacity} vector whose buffers come from
+//                    a per-type recycling arena: freed buffers go to a
+//                    freelist bucketed by capacity class instead of back to
+//                    malloc, so steady-state traffic allocates nothing.
+//
+// The arena is process-global and single-threaded, like the simulator. The
+// memory is intentionally never returned to the OS (it is reachable from
+// the freelists, so leak checkers stay quiet).
+#ifndef INCOD_SRC_DNS_DNS_POOL_H_
+#define INCOD_SRC_DNS_DNS_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace incod {
+
+// Inline rdata buffer: 4 bytes for A records, 16 for AAAA.
+class DnsRdata {
+ public:
+  static constexpr size_t kCapacity = 16;
+
+  DnsRdata() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  // Returns false (leaving the buffer cleared) when the range exceeds the
+  // inline capacity — decoders treat that as malformed.
+  template <typename It>
+  bool assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) {
+      if (size_ >= kCapacity) {
+        clear();
+        return false;
+      }
+      bytes_[size_++] = static_cast<uint8_t>(*first);
+    }
+    return true;
+  }
+
+  bool push_back(uint8_t byte) {
+    if (size_ >= kCapacity) {
+      return false;
+    }
+    bytes_[size_++] = byte;
+    return true;
+  }
+
+  uint8_t operator[](size_t i) const { return bytes_[i]; }
+  const uint8_t* begin() const { return bytes_; }
+  const uint8_t* end() const { return bytes_ + size_; }
+  const uint8_t* data() const { return bytes_; }
+
+  friend bool operator==(const DnsRdata& a, const DnsRdata& b) {
+    if (a.size_ != b.size_) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.bytes_[i] != b.bytes_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  uint8_t size_ = 0;
+  uint8_t bytes_[kCapacity] = {};
+};
+
+// Arena-backed vector: 16 bytes inline, buffers recycled through capacity-
+// class freelists. Supports exactly the operations the DNS path uses.
+template <typename T>
+class PooledVec {
+ public:
+  PooledVec() = default;
+  PooledVec(const PooledVec& other) { CopyFrom(other); }
+  PooledVec& operator=(const PooledVec& other) {
+    if (this != &other) {
+      DestroyElements();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  PooledVec(PooledVec&& other) noexcept
+      : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  PooledVec& operator=(PooledVec&& other) noexcept {
+    if (this != &other) {
+      DestroyElements();
+      ReleaseBuffer();
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  ~PooledVec() {
+    DestroyElements();
+    ReleaseBuffer();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void clear() { DestroyElements(); }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  // Safe against arguments aliasing the vector's own storage (the new
+  // element is constructed before any relocation) and against a throwing
+  // T constructor (size_ only counts constructed elements).
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      return *GrowAndEmplace(std::forward<Args>(args)...);
+    }
+    T* slot = ::new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+ private:
+  // Capacity classes: 4 << cls elements.
+  static constexpr size_t kBaseCapacity = 4;
+  static constexpr int kNumClasses = 8;  // Up to 512 elements; beyond: malloc.
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static FreeNode** FreeLists() {
+    static FreeNode* lists[kNumClasses] = {};
+    return lists;
+  }
+
+  static int ClassFor(size_t capacity) {
+    size_t c = kBaseCapacity;
+    for (int cls = 0; cls < kNumClasses; ++cls, c <<= 1) {
+      if (capacity == c) {
+        return cls;
+      }
+    }
+    return -1;  // Oversized: plain heap, not pooled.
+  }
+
+  static T* Acquire(size_t capacity) {
+    const int cls = ClassFor(capacity);
+    if (cls >= 0 && FreeLists()[cls] != nullptr) {
+      FreeNode* node = FreeLists()[cls];
+      FreeLists()[cls] = node->next;
+      return reinterpret_cast<T*>(node);
+    }
+    return static_cast<T*>(::operator new(capacity * sizeof(T)));
+  }
+
+  static void Release(T* buffer, size_t capacity) {
+    if (buffer == nullptr) {
+      return;
+    }
+    const int cls = ClassFor(capacity);
+    if (cls >= 0) {
+      auto* node = reinterpret_cast<FreeNode*>(buffer);
+      node->next = FreeLists()[cls];
+      FreeLists()[cls] = node;
+      return;
+    }
+    ::operator delete(buffer);
+  }
+
+  static_assert(sizeof(T) >= sizeof(FreeNode),
+                "pooled element must hold a freelist pointer");
+
+  // Allocates the larger buffer and constructs the new element into it
+  // *before* relocating the old elements, so the arguments may reference
+  // the current storage (e.g. emplace_back(v[0])).
+  template <typename... Args>
+  T* GrowAndEmplace(Args&&... args) {
+    const uint32_t new_capacity =
+        capacity_ == 0 ? static_cast<uint32_t>(kBaseCapacity) : capacity_ * 2;
+    T* new_data = Acquire(new_capacity);
+    T* slot;
+    try {
+      slot = ::new (new_data + size_) T(std::forward<Args>(args)...);
+    } catch (...) {
+      Release(new_data, new_capacity);
+      throw;
+    }
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (new_data + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    ReleaseBuffer();
+    data_ = new_data;
+    capacity_ = new_capacity;
+    ++size_;
+    return slot;
+  }
+
+  void CopyFrom(const PooledVec& other) {
+    for (const T& value : other) {
+      push_back(value);
+    }
+  }
+
+  void DestroyElements() {
+    for (size_t i = 0; i < size_; ++i) {
+      data_[i].~T();
+    }
+    size_ = 0;
+  }
+
+  void ReleaseBuffer() {
+    Release(data_, capacity_);
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = 0;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DNS_DNS_POOL_H_

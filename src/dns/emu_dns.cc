@@ -5,14 +5,12 @@
 
 #include "src/device/fpga_nic.h"
 #include "src/dns/nsd_server.h"
+#include "src/sim/simulation.h"
 
 namespace incod {
 
-EmuDns::EmuDns(const Zone* zone, EmuDnsConfig config) : zone_(zone), config_(config) {
-  if (zone == nullptr) {
-    throw std::invalid_argument("EmuDns: null zone");
-  }
-}
+EmuDns::EmuDns(const Zone* zone, EmuDnsConfig config)
+    : zone_state_(zone), config_(config) {}
 
 std::vector<ModulePowerSpec> EmuDns::PowerModules() const {
   // Classifier (added by this paper, §3.3) plus the Emu main logical core.
@@ -33,10 +31,10 @@ FpgaPipelineSpec EmuDns::PipelineSpec() const {
   return spec;
 }
 
-void EmuDns::Process(Packet packet) {
+void EmuDns::HandlePacket(AppContext& ctx, Packet packet) {
   const DnsMessage* query = PayloadIf<DnsMessage>(packet);
   if (query == nullptr) {
-    nic()->DeliverToHost(std::move(packet));
+    ctx.Punt(std::move(packet));
     return;
   }
   if (!query->questions.empty() &&
@@ -44,10 +42,10 @@ void EmuDns::Process(Packet packet) {
     // Parser depth exceeded: let the host handle it (worst case the client
     // treats it as an iterative request, §9.2).
     punted_.Increment();
-    nic()->DeliverToHost(std::move(packet));
+    ctx.Punt(std::move(packet));
     return;
   }
-  DnsMessage resp = NsdServer::Resolve(*zone_, *query);
+  DnsMessage resp = NsdServer::Resolve(zone_state_.active(), *query);
   if (resp.rcode == DnsRcode::kNoError) {
     answered_.Increment();
   } else if (resp.rcode == DnsRcode::kNxDomain) {
@@ -55,13 +53,13 @@ void EmuDns::Process(Packet packet) {
   }
   Packet out;
   out.dst = packet.src;
-  out.src = nic()->config().device_node != 0 ? nic()->config().device_node : packet.dst;
+  out.src = ctx.self_node() != 0 ? ctx.self_node() : packet.dst;
   out.proto = AppProto::kDns;
   out.size_bytes = DnsWireBytes(resp);
   out.id = packet.id;
-  out.created_at = nic()->sim().Now();
+  out.created_at = ctx.sim().Now();
   out.payload = std::move(resp);
-  nic()->TransmitToNetwork(std::move(out));
+  ctx.Reply(std::move(out));
 }
 
 }  // namespace incod

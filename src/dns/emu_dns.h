@@ -1,21 +1,26 @@
-// Emu DNS: the FPGA DNS server (§3.3, §4.4).
+// Emu DNS: the FPGA DNS server (§3.3, §4.4) — the FPGA-NIC placement of
+// the DNS app family.
 //
-// Developed with Kiwi/Emu (C# to FPGA) in the paper; here a FpgaApp with the
-// same observable behaviour: authoritative A-record resolution from an
-// on-chip table, NXDOMAIN for absent names, and — because the original was
-// amended with a LaKe-style packet classifier — NIC passthrough for non-DNS
-// traffic. The design is non-pipelined ("a result of Emu's non-pipelined
-// nature"), so its peak is ~1 Mqps: one query in flight per microsecond.
-// Names deeper than the hardware parser's label budget are punted to the
-// host (cf. §9.2's discussion of parse-depth limits).
+// Developed with Kiwi/Emu (C# to FPGA) in the paper; here a unified App
+// with the same observable behaviour: authoritative A-record resolution
+// from an on-chip table, NXDOMAIN for absent names, and — because the
+// original was amended with a LaKe-style packet classifier — NIC
+// passthrough for non-DNS traffic. The design is non-pipelined ("a result
+// of Emu's non-pipelined nature"), so its peak is ~1 Mqps: one query in
+// flight per microsecond. Names deeper than the hardware parser's label
+// budget are punted to the host (cf. §9.2's discussion of parse-depth
+// limits).
 #ifndef INCOD_SRC_DNS_EMU_DNS_H_
 #define INCOD_SRC_DNS_EMU_DNS_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "src/device/fpga_app.h"
+#include "src/app/app.h"
 #include "src/dns/dns_message.h"
 #include "src/dns/zone.h"
+#include "src/dns/zone_state.h"
 #include "src/stats/counters.h"
 
 namespace incod {
@@ -30,7 +35,7 @@ struct EmuDnsConfig {
   size_t max_records = 65536;
 };
 
-class EmuDns : public FpgaApp {
+class EmuDns : public App {
  public:
   // The zone is shared (read-only) with the host's NSD so both sides answer
   // identically.
@@ -38,19 +43,30 @@ class EmuDns : public FpgaApp {
 
   AppProto proto() const override { return AppProto::kDns; }
   std::string AppName() const override { return "emu-dns"; }
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kFpgaNic;
+  }
 
-  std::vector<ModulePowerSpec> PowerModules() const override;
-  double DynamicWattsAtCapacity() const override { return 0.5; }
-  FpgaPipelineSpec PipelineSpec() const override;
+  std::vector<ModulePowerSpec> PowerModules() const;
+  FpgaPipelineSpec PipelineSpec() const;
+  OffloadPlacementProfile OffloadProfile() const override {
+    return OffloadPlacementProfile{PipelineSpec(), PowerModules(),
+                                   /*dynamic_watts_at_capacity=*/0.5, 0.0};
+  }
 
-  void Process(Packet packet) override;
+  void HandlePacket(AppContext& ctx, Packet packet) override;
+
+  // App state contract (zone_state.h): the on-chip zone copy (restore
+  // installs an owned zone — a warm table from another placement).
+  AppState SnapshotState() const override { return zone_state_.Snapshot(proto(), AppName()); }
+  void RestoreState(const AppState& state) override { zone_state_.Restore(state); }
 
   uint64_t answered() const { return answered_.value(); }
   uint64_t nxdomain() const { return nxdomain_.value(); }
   uint64_t punted_to_host() const { return punted_.value(); }
 
  private:
-  const Zone* zone_;
+  ZoneStateHolder zone_state_;
   EmuDnsConfig config_;
   Counter answered_;
   Counter nxdomain_;

@@ -3,15 +3,12 @@
 #include <stdexcept>
 #include <utility>
 
-#include "src/host/server.h"
+#include "src/sim/simulation.h"
 
 namespace incod {
 
-NsdServer::NsdServer(const Zone* zone, NsdConfig config) : zone_(zone), config_(config) {
-  if (zone == nullptr) {
-    throw std::invalid_argument("NsdServer: null zone");
-  }
-}
+NsdServer::NsdServer(const Zone* zone, NsdConfig config)
+    : zone_state_(zone), config_(config) {}
 
 SimDuration NsdServer::CpuTimePerRequest(const Packet& packet) const {
   (void)packet;
@@ -49,13 +46,13 @@ DnsMessage NsdServer::Resolve(const Zone& zone, const DnsMessage& query) {
   return resp;
 }
 
-void NsdServer::Execute(Packet packet) {
+void NsdServer::HandlePacket(AppContext& ctx, Packet packet) {
   const DnsMessage* query = PayloadIf<DnsMessage>(packet);
   if (query == nullptr) {
     malformed_.Increment();
     return;
   }
-  DnsMessage resp = Resolve(*zone_, *query);
+  DnsMessage resp = Resolve(zone_state_.active(), *query);
   switch (resp.rcode) {
     case DnsRcode::kNoError:
       answered_.Increment();
@@ -68,13 +65,14 @@ void NsdServer::Execute(Packet packet) {
       break;
   }
   Packet out;
+  out.src = ctx.self_node();
   out.dst = packet.src;
   out.proto = AppProto::kDns;
   out.size_bytes = DnsWireBytes(resp);
   out.id = packet.id;
-  out.created_at = server()->sim().Now();
+  out.created_at = ctx.sim().Now();
   out.payload = std::move(resp);
-  server()->Transmit(std::move(out));
+  ctx.Reply(std::move(out));
 }
 
 }  // namespace incod

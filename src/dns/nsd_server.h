@@ -1,4 +1,5 @@
-// NSD-like authoritative software DNS server (host side of the DNS study).
+// NSD-like authoritative software DNS server (host placement of the DNS
+// app family).
 //
 // Calibration (§4.4): NSD on the i7-6700K serves ~956 Kqps at peak with the
 // server drawing about twice Emu DNS's power. With kernel stack costs of
@@ -7,11 +8,13 @@
 #ifndef INCOD_SRC_DNS_NSD_SERVER_H_
 #define INCOD_SRC_DNS_NSD_SERVER_H_
 
+#include <memory>
 #include <string>
 
+#include "src/app/app.h"
 #include "src/dns/dns_message.h"
 #include "src/dns/zone.h"
-#include "src/host/software_app.h"
+#include "src/dns/zone_state.h"
 #include "src/stats/counters.h"
 
 namespace incod {
@@ -21,27 +24,37 @@ struct NsdConfig {
   SimDuration query_cpu_time = Nanoseconds(2680);
 };
 
-class NsdServer : public SoftwareApp {
+class NsdServer : public App {
  public:
   explicit NsdServer(const Zone* zone, NsdConfig config = {});
 
   AppProto proto() const override { return AppProto::kDns; }
   std::string AppName() const override { return "nsd"; }
-  int num_threads() const override { return config_.threads; }
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kHost;
+  }
+  HostPlacementProfile HostProfile() const override {
+    return HostPlacementProfile{config_.threads, std::nullopt};
+  }
 
   SimDuration CpuTimePerRequest(const Packet& packet) const override;
-  void Execute(Packet packet) override;
+  void HandlePacket(AppContext& ctx, Packet packet) override;
+
+  // App state contract (zone_state.h): the zone copy this placement
+  // answers from; restoring installs an owned zone (warmth transfer).
+  AppState SnapshotState() const override { return zone_state_.Snapshot(proto(), AppName()); }
+  void RestoreState(const AppState& state) override { zone_state_.Restore(state); }
 
   uint64_t answered() const { return answered_.value(); }
   uint64_t nxdomain() const { return nxdomain_.value(); }
   uint64_t malformed() const { return malformed_.value(); }
 
   // Builds an authoritative response for a query against a zone; shared with
-  // the hardware implementation so both reply identically.
+  // the hardware implementations so all placements reply identically.
   static DnsMessage Resolve(const Zone& zone, const DnsMessage& query);
 
  private:
-  const Zone* zone_;
+  ZoneStateHolder zone_state_;
   NsdConfig config_;
   Counter answered_;
   Counter nxdomain_;

@@ -4,30 +4,27 @@
 #include <utility>
 
 #include "src/dns/nsd_server.h"
+#include "src/sim/simulation.h"
 
 namespace incod {
 
 DnsSwitchProgram::DnsSwitchProgram(const Zone* zone, DnsSwitchConfig config)
-    : zone_(zone), config_(config) {
-  if (zone == nullptr) {
-    throw std::invalid_argument("DnsSwitchProgram: null zone");
-  }
+    : zone_state_(zone), config_(config) {
   if (config_.dns_service == 0) {
     throw std::invalid_argument("DnsSwitchProgram: dns_service required");
   }
 }
 
-bool DnsSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
-  if (packet.proto != AppProto::kDns || packet.dst != config_.dns_service) {
-    return false;
-  }
+void DnsSwitchProgram::HandlePacket(AppContext& ctx, Packet packet) {
   const DnsMessage* query_if = PayloadIf<DnsMessage>(packet);
   if (query_if == nullptr) {
-    return false;
+    ctx.Punt(std::move(packet));
+    return;
   }
   const DnsMessage& query = *query_if;
   if (query.is_response || query.questions.empty()) {
-    return false;  // Responses and junk just forward.
+    ctx.Punt(std::move(packet));  // Responses and junk just forward.
+    return;
   }
   const DnsQuestion& question = query.questions.front();
   if (CountLabels(question.name) > config_.max_labels ||
@@ -35,9 +32,10 @@ bool DnsSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
     // Beyond the pipeline parser: "treated as iterative requests" — the
     // host answers instead (§9.2).
     punted_.Increment();
-    return false;
+    ctx.Punt(std::move(packet));
+    return;
   }
-  DnsMessage resp = NsdServer::Resolve(*zone_, query);
+  DnsMessage resp = NsdServer::Resolve(zone_state_.active(), query);
   if (resp.rcode == DnsRcode::kNxDomain) {
     nxdomain_.Increment();
   } else {
@@ -49,10 +47,9 @@ bool DnsSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
   out.proto = AppProto::kDns;
   out.size_bytes = DnsWireBytes(resp);
   out.id = packet.id;
-  out.created_at = sw.sim().Now();
+  out.created_at = ctx.sim().Now();
   out.payload = std::move(resp);
-  sw.TransmitFromPipeline(std::move(out));
-  return true;
+  ctx.Reply(std::move(out));
 }
 
 }  // namespace incod

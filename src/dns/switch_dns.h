@@ -1,4 +1,5 @@
-// DNS resolution in the switch ASIC pipeline (§9.2).
+// DNS resolution in the switch ASIC pipeline (§9.2) — the switch-ASIC
+// placement of the DNS app family.
 //
 // "Shifting a DNS server to a programmable ASIC, like Barefoot's Tofino,
 // should also be possible ... DNS responses fit comfortably within the
@@ -11,11 +12,13 @@
 #ifndef INCOD_SRC_DNS_SWITCH_DNS_H_
 #define INCOD_SRC_DNS_SWITCH_DNS_H_
 
+#include <memory>
 #include <string>
 
-#include "src/device/switch_asic.h"
+#include "src/app/switch_app.h"
 #include "src/dns/dns_message.h"
 #include "src/dns/zone.h"
+#include "src/dns/zone_state.h"
 #include "src/stats/counters.h"
 
 namespace incod {
@@ -28,23 +31,34 @@ struct DnsSwitchConfig {
   double power_overhead_at_full_load = 0.015;
 };
 
-class DnsSwitchProgram : public SwitchProgram {
+class DnsSwitchProgram : public SwitchHostedApp {
  public:
   // The zone is shared read-only with the authoritative software server.
   DnsSwitchProgram(const Zone* zone, DnsSwitchConfig config);
 
-  std::string ProgramName() const override { return "switch-dns"; }
-  double PowerOverheadAtFullLoad() const override {
-    return config_.power_overhead_at_full_load;
+  AppProto proto() const override { return AppProto::kDns; }
+  std::string AppName() const override { return "switch-dns"; }
+  OffloadPlacementProfile OffloadProfile() const override {
+    OffloadPlacementProfile profile;
+    profile.switch_power_overhead_at_full_load = config_.power_overhead_at_full_load;
+    return profile;
   }
-  bool Process(SwitchAsic& sw, Packet& packet) override;
+
+  bool Matches(const Packet& packet) const override {
+    return packet.proto == AppProto::kDns && packet.dst == config_.dns_service;
+  }
+  void HandlePacket(AppContext& ctx, Packet packet) override;
+
+  // App state contract (zone_state.h): the on-switch zone copy.
+  AppState SnapshotState() const override { return zone_state_.Snapshot(proto(), AppName()); }
+  void RestoreState(const AppState& state) override { zone_state_.Restore(state); }
 
   uint64_t answered() const { return answered_.value(); }
   uint64_t nxdomain() const { return nxdomain_.value(); }
   uint64_t punted_to_host() const { return punted_.value(); }
 
  private:
-  const Zone* zone_;
+  ZoneStateHolder zone_state_;
   DnsSwitchConfig config_;
   Counter answered_;
   Counter nxdomain_;

@@ -1,5 +1,6 @@
 #include "src/dns/zone.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/dns/dns_message.h"
@@ -23,6 +24,13 @@ std::optional<Zone::Record> Zone::Lookup(const std::string& name) const {
 }
 
 bool Zone::Remove(const std::string& name) { return records_.erase(name) != 0; }
+
+std::vector<std::pair<std::string, Zone::Record>> Zone::SortedRecords() const {
+  std::vector<std::pair<std::string, Record>> records(records_.begin(), records_.end());
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return records;
+}
 
 int Zone::LoadZoneText(const std::string& text) {
   std::istringstream lines(text);

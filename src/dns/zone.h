@@ -9,6 +9,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace incod {
 
@@ -27,6 +29,10 @@ class Zone {
 
   size_t size() const { return records_.size(); }
   void Clear() { records_.clear(); }
+
+  // All records sorted by name — the deterministic order the App state
+  // contract serializes (zone-cache snapshots must be bit-identical).
+  std::vector<std::pair<std::string, Record>> SortedRecords() const;
 
   // Parses a minimal zone-file format, one record per line:
   //   <name> [ttl] A <dotted-ipv4>

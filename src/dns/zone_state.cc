@@ -1,0 +1,35 @@
+#include "src/dns/zone_state.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace incod {
+
+ZoneStateHolder::ZoneStateHolder(const Zone* zone) : zone_(zone) {
+  if (zone == nullptr) {
+    throw std::invalid_argument("ZoneStateHolder: null zone");
+  }
+}
+
+AppState SnapshotZoneState(AppProto proto, const std::string& app_name,
+                           const Zone& zone) {
+  DnsAppState dns;
+  for (const auto& [name, record] : zone.SortedRecords()) {
+    dns.records.push_back(DnsZoneEntry{name, record.ipv4, record.ttl});
+  }
+  return AppState{proto, app_name, std::move(dns)};
+}
+
+std::unique_ptr<Zone> ZoneFromState(const AppState& state) {
+  const DnsAppState* dns = std::get_if<DnsAppState>(&state.data);
+  if (dns == nullptr) {
+    return nullptr;
+  }
+  auto zone = std::make_unique<Zone>();
+  for (const DnsZoneEntry& r : dns->records) {
+    zone->AddRecord(r.name, r.ipv4, r.ttl);
+  }
+  return zone;
+}
+
+}  // namespace incod

@@ -1,0 +1,52 @@
+// The shared zone-warmth state contract for every DNS placement.
+//
+// NSD (host), Emu DNS (FPGA NIC), and switch-DNS (ASIC) all answer from a
+// zone: a shared read-only pointer by default, replaced by an owned copy
+// when a typed DnsAppState snapshot is restored into the placement (the
+// "zone-cache warmth" transfer). ZoneStateHolder implements that once, so
+// the three apps' SnapshotState/RestoreState are one-liners and cannot
+// diverge.
+#ifndef INCOD_SRC_DNS_ZONE_STATE_H_
+#define INCOD_SRC_DNS_ZONE_STATE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/app/app_state.h"
+#include "src/dns/zone.h"
+
+namespace incod {
+
+// Snapshot a zone into DnsAppState / rebuild a zone from a snapshot
+// (nullptr when the state is not DNS-typed).
+AppState SnapshotZoneState(AppProto proto, const std::string& app_name, const Zone& zone);
+std::unique_ptr<Zone> ZoneFromState(const AppState& state);
+
+class ZoneStateHolder {
+ public:
+  // `zone` is the shared read-only zone; must outlive the holder.
+  explicit ZoneStateHolder(const Zone* zone);
+
+  // The zone the placement currently answers from.
+  const Zone& active() const { return restored_ != nullptr ? *restored_ : *zone_; }
+
+  AppState Snapshot(AppProto proto, const std::string& app_name) const {
+    return SnapshotZoneState(proto, app_name, active());
+  }
+
+  // Installs an owned zone from a DNS-typed snapshot (no-op otherwise).
+  void Restore(const AppState& state) {
+    auto zone = ZoneFromState(state);
+    if (zone != nullptr) {
+      restored_ = std::move(zone);
+    }
+  }
+
+ private:
+  const Zone* zone_;
+  std::unique_ptr<Zone> restored_;  // Installed by Restore().
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_DNS_ZONE_STATE_H_

@@ -16,25 +16,34 @@ Server::Server(Simulation& sim, ServerConfig config)
   last_sample_at_ = sim_.Now();
 }
 
-void Server::BindApp(SoftwareApp* app) {
+void Server::BindApp(App* app) {
   if (app == nullptr) {
     throw std::invalid_argument("Server::BindApp: null app");
   }
+  if (!app->SupportsPlacement(PlacementKind::kHost)) {
+    throw std::invalid_argument("Server::BindApp: " + app->AppName() +
+                                " does not support the host placement");
+  }
+  const HostPlacementProfile profile = app->HostProfile();
   for (const auto& existing : apps_) {
     if (existing->app->proto() == app->proto() &&
-        existing->app->service_address() == app->service_address()) {
+        existing->service_address == profile.service_address) {
       throw std::invalid_argument("Server::BindApp: protocol/service already bound");
     }
   }
   auto bound = std::make_unique<BoundApp>();
   bound->app = app;
-  const int threads = std::max(1, std::min(app->num_threads(), config_.num_cores));
+  bound->service_address = profile.service_address;
+  const int threads = std::max(1, std::min(profile.num_threads, config_.num_cores));
   bound->threads.resize(static_cast<size_t>(threads));
   apps_.push_back(std::move(bound));
-  app->set_server(this);
+  app->BindContext(this);
+  if (auto* legacy = dynamic_cast<SoftwareApp*>(app)) {
+    legacy->set_server(this);
+  }
 }
 
-SoftwareApp* Server::AppFor(AppProto proto) const {
+App* Server::AppFor(AppProto proto) const {
   for (const auto& bound : apps_) {
     if (bound->app->proto() == proto) {
       return bound->app;
@@ -49,7 +58,7 @@ Server::BoundApp* Server::FindBound(const Packet& packet) {
     if (bound->app->proto() != packet.proto) {
       continue;
     }
-    const auto service = bound->app->service_address();
+    const auto& service = bound->service_address;
     if (service.has_value()) {
       if (*service == packet.dst) {
         return bound.get();
@@ -105,7 +114,7 @@ void Server::StartService(BoundApp& bound, size_t thread_index) {
   auto complete = [this, &bound, thread_index, service, pkt = std::move(pkt)]() mutable {
     bound.threads[thread_index].cumulative_busy += service;
     completed_.Increment();
-    bound.app->Execute(std::move(pkt));
+    bound.app->HandlePacket(*this, std::move(pkt));
     StartService(bound, thread_index);
   };
   // The per-request completion event is the largest hot capture in the
@@ -113,6 +122,11 @@ void Server::StartService(BoundApp& bound, size_t thread_index) {
   static_assert(sizeof(complete) <= InlineEvent::kInlineCapacity,
                 "Server completion events must stay inline");
   sim_.Schedule(service, std::move(complete));
+}
+
+void Server::Punt(Packet packet) {
+  (void)packet;
+  dropped_.Increment();
 }
 
 void Server::Transmit(Packet packet) {

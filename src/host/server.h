@@ -11,10 +11,12 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/app/app.h"
 #include "src/host/software_app.h"
 #include "src/net/link.h"
 #include "src/net/packet.h"
@@ -42,15 +44,26 @@ struct ServerConfig {
   SimDuration utilization_sample_period = Milliseconds(1);
 };
 
-class Server : public PacketSink, public PowerSource {
+class Server : public PacketSink, public PowerSource, public AppContext {
  public:
   Server(Simulation& sim, ServerConfig config);
 
-  // Binds an application (not owned). Several apps may share a protocol if
-  // they declare distinct service addresses.
-  void BindApp(SoftwareApp* app);
+  // Binds an application (not owned). Any App supporting the host placement
+  // works; legacy SoftwareApp subclasses additionally get their Server
+  // back-pointer set. Several apps may share a protocol if they declare
+  // distinct service addresses in their host profile.
+  void BindApp(App* app);
   // First app bound for the protocol (nullptr if none).
-  SoftwareApp* AppFor(AppProto proto) const;
+  App* AppFor(AppProto proto) const;
+
+  // --- AppContext (the narrow surface bound apps talk through) ---
+  Simulation& sim() override { return sim_; }
+  PlacementKind placement() const override { return PlacementKind::kHost; }
+  NodeId self_node() const override { return config_.node; }
+  // Replies leave via the uplink (stamps src with the host node).
+  void Reply(Packet packet) override { Transmit(std::move(packet)); }
+  // A host has no placement below it: punted packets are dropped by the OS.
+  void Punt(Packet packet) override;
 
   // Network attachment: replies and originated packets leave via this link.
   void SetUplink(Link* link) { uplink_ = link; }
@@ -94,8 +107,6 @@ class Server : public PacketSink, public PowerSource {
   uint64_t requests_completed() const { return completed_.value(); }
   uint64_t requests_dropped() const { return dropped_.value(); }
 
-  Simulation& sim() { return sim_; }
-
  private:
   struct WorkerThread {
     std::deque<Packet> queue;
@@ -103,7 +114,8 @@ class Server : public PacketSink, public PowerSource {
     SimDuration cumulative_busy = 0;
   };
   struct BoundApp {
-    SoftwareApp* app = nullptr;
+    App* app = nullptr;
+    std::optional<NodeId> service_address;  // Cached from the host profile.
     std::vector<WorkerThread> threads;
   };
 

@@ -1,14 +1,17 @@
-// Base class for software (host-side) application implementations.
+// Legacy host-side application shim over the unified incod::App contract.
 //
-// A SoftwareApp is bound to a Server and consumes CPU time per request; the
-// server's execution model (threads, queues) and power model account for it.
-// Concrete apps: kvs::MemcachedServer, paxos software roles, dns::NsdServer.
+// New applications should derive from incod::App directly (app/app.h) and
+// talk to the substrate through AppContext. SoftwareApp remains as a thin
+// adapter for code written against the original host-only surface
+// (Execute() + a raw Server back-pointer); the Server binds either kind.
 #ifndef INCOD_SRC_HOST_SOFTWARE_APP_H_
 #define INCOD_SRC_HOST_SOFTWARE_APP_H_
 
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "src/app/app.h"
 #include "src/net/packet.h"
 #include "src/sim/time.h"
 
@@ -16,16 +19,10 @@ namespace incod {
 
 class Server;
 
-class SoftwareApp {
+class SoftwareApp : public App {
  public:
-  virtual ~SoftwareApp() = default;
-
-  // The protocol this app serves; the server dispatches by this tag.
-  virtual AppProto proto() const = 0;
-
-  // Pure CPU time consumed by one request, excluding network-stack costs
-  // (the server adds those per its stack configuration).
-  virtual SimDuration CpuTimePerRequest(const Packet& packet) const = 0;
+  // Pure CPU time consumed by one request, excluding network-stack costs.
+  SimDuration CpuTimePerRequest(const Packet& packet) const override = 0;
 
   // Runs the application logic for a request whose service time elapsed.
   // Replies are sent through server().
@@ -35,11 +32,19 @@ class SoftwareApp {
   virtual int num_threads() const { return 1; }
 
   // If set, the app only receives packets addressed to this service address.
-  // Used when several apps of the same protocol (e.g. Paxos roles) share a
-  // host; unset apps receive any packet of their protocol.
   virtual std::optional<NodeId> service_address() const { return std::nullopt; }
 
-  virtual std::string AppName() const = 0;
+  // --- App adaptation ---
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kHost;
+  }
+  HostPlacementProfile HostProfile() const override {
+    return HostPlacementProfile{num_threads(), service_address()};
+  }
+  void HandlePacket(AppContext& ctx, Packet packet) override {
+    (void)ctx;
+    Execute(std::move(packet));
+  }
 
   Server* server() const { return server_; }
   void set_server(Server* server) { server_ = server; }

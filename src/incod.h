@@ -32,6 +32,14 @@
 #include "src/net/switch.h"
 #include "src/net/topology.h"
 
+// Unified application layer: one App contract across host / FPGA NIC /
+// switch-ASIC placements, typed state snapshots, and the name -> factory
+// registry scenarios build from.
+#include "src/app/app.h"
+#include "src/app/app_registry.h"
+#include "src/app/app_state.h"
+#include "src/app/switch_app.h"
+
 // Hosts and devices.
 #include "src/device/conventional_nic.h"
 #include "src/device/fpga_app.h"
@@ -72,6 +80,7 @@
 #include "src/scenarios/kvs_testbed.h"
 #include "src/scenarios/paxos_testbed.h"
 #include "src/scenarios/rack_scenario.h"
+#include "src/scenarios/scenario_spec.h"
 #include "src/scenarios/testbed_builder.h"
 #include "src/workload/arrival.h"
 #include "src/workload/client.h"

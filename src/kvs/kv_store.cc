@@ -56,4 +56,21 @@ void KvStore::Clear() {
   index_.clear();
 }
 
+std::vector<std::pair<uint64_t, uint32_t>> KvStore::SnapshotLru() const {
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(lru_.size());
+  // Front of the list is most recently used; emit coldest first.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    entries.emplace_back(it->key, it->value_bytes);
+  }
+  return entries;
+}
+
+void KvStore::RestoreLru(const std::vector<std::pair<uint64_t, uint32_t>>& entries) {
+  Clear();
+  for (const auto& [key, value_bytes] : entries) {
+    Set(key, value_bytes);
+  }
+}
+
 }  // namespace incod

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/stats/counters.h"
 
@@ -33,6 +35,13 @@ class KvStore {
   bool Contains(uint64_t key) const { return index_.count(key) != 0; }
 
   void Clear();
+
+  // State-transfer support (the App snapshot contract): entries in least-
+  // to most-recently-used order, so replaying them through Set() rebuilds
+  // the exact LRU order. RestoreLru clears first; restoring into a smaller
+  // store evicts the coldest entries, as a real transfer would.
+  std::vector<std::pair<uint64_t, uint32_t>> SnapshotLru() const;
+  void RestoreLru(const std::vector<std::pair<uint64_t, uint32_t>>& entries);
 
   size_t size() const { return index_.size(); }
   size_t capacity() const { return capacity_; }

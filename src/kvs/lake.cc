@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/device/fpga_nic.h"
+#include "src/sim/simulation.h"
 
 namespace incod {
 
@@ -43,25 +44,25 @@ FpgaPipelineSpec LakeCache::PipelineSpec() const {
   return spec;
 }
 
-void LakeCache::Reply(const Packet& request, const KvResponse& response,
+void LakeCache::Reply(AppContext& ctx, const Packet& request, const KvResponse& response,
                       SimDuration extra_delay) {
-  FpgaNic* dev = nic();
-  Packet out = MakeKvResponsePacket(
-      dev->config().device_node != 0 ? dev->config().device_node : request.dst,
-      request.src, response, request.id, dev->sim().Now());
-  dev->sim().Schedule(extra_delay, [dev, out = std::move(out)]() mutable {
-    dev->TransmitToNetwork(std::move(out));
+  const NodeId src = ctx.self_node() != 0 ? ctx.self_node() : request.dst;
+  Packet out = MakeKvResponsePacket(src, request.src, response, request.id,
+                                    ctx.sim().Now());
+  AppContext* c = &ctx;
+  ctx.sim().Schedule(extra_delay, [c, out = std::move(out)]() mutable {
+    c->Reply(std::move(out));
   });
 }
 
-void LakeCache::Process(Packet packet) {
+void LakeCache::HandlePacket(AppContext& ctx, Packet packet) {
   const KvRequest req = PayloadAs<KvRequest>(packet);
   switch (req.op) {
     case KvOp::kGet: {
       uint32_t bytes = 0;
       if (l1_->Get(req.key, &bytes)) {
         l1_hits_.Increment();
-        Reply(packet, KvResponse{KvOp::kGet, req.key, true, bytes},
+        Reply(ctx, packet, KvResponse{KvOp::kGet, req.key, true, bytes},
               config_.l1_reply_delay);
         return;
       }
@@ -69,12 +70,12 @@ void LakeCache::Process(Packet packet) {
         l2_hits_.Increment();
         // Promote to L1 for subsequent hits.
         l1_->Set(req.key, bytes);
-        Reply(packet, KvResponse{KvOp::kGet, req.key, true, bytes},
+        Reply(ctx, packet, KvResponse{KvOp::kGet, req.key, true, bytes},
               config_.l2_reply_delay);
         return;
       }
       misses_to_host_.Increment();
-      nic()->DeliverToHost(std::move(packet));
+      ctx.Punt(std::move(packet));
       return;
     }
     case KvOp::kSet: {
@@ -84,7 +85,7 @@ void LakeCache::Process(Packet packet) {
       if (l2_ != nullptr) {
         l2_->Set(req.key, req.value_bytes);
       }
-      nic()->DeliverToHost(std::move(packet));
+      ctx.Punt(std::move(packet));
       return;
     }
     case KvOp::kDelete: {
@@ -92,7 +93,7 @@ void LakeCache::Process(Packet packet) {
       if (l2_ != nullptr) {
         l2_->Delete(req.key);
       }
-      nic()->DeliverToHost(std::move(packet));
+      ctx.Punt(std::move(packet));
       return;
     }
   }
@@ -107,7 +108,8 @@ void LakeCache::OnMemoryReset() {
   }
 }
 
-void LakeCache::OnHostEgress(const Packet& packet) {
+void LakeCache::OnHostEgress(AppContext& ctx, const Packet& packet) {
+  (void)ctx;
   const KvResponse* resp_if = PayloadIf<KvResponse>(packet);
   if (resp_if == nullptr) {
     return;
@@ -137,6 +139,29 @@ double LakeCache::HardwareHitRatio() const {
   const uint64_t hw = l1_hits_.value() + l2_hits_.value();
   const uint64_t total = hw + misses_to_host_.value();
   return total == 0 ? 0.0 : static_cast<double>(hw) / static_cast<double>(total);
+}
+
+AppState LakeCache::SnapshotState() const {
+  KvAppState kv;
+  kv.primary = KvEntriesFromPairs(l1_->SnapshotLru());
+  if (l2_ != nullptr) {
+    kv.secondary = KvEntriesFromPairs(l2_->SnapshotLru());
+  }
+  return AppState{proto(), AppName(), std::move(kv)};
+}
+
+void LakeCache::RestoreState(const AppState& state) {
+  const KvAppState* kv = std::get_if<KvAppState>(&state.data);
+  if (kv == nullptr) {
+    return;
+  }
+  l1_->RestoreLru(KvPairsFromEntries(kv->primary));
+  if (l2_ != nullptr) {
+    // A host store's snapshot has everything in `primary`; LaKe fills its
+    // large L2 from whichever side carries the bulk contents.
+    l2_->RestoreLru(
+        KvPairsFromEntries(kv->secondary.empty() ? kv->primary : kv->secondary));
+  }
 }
 
 }  // namespace incod

@@ -16,8 +16,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "src/device/fpga_app.h"
+#include "src/app/app.h"
 #include "src/kvs/kv_protocol.h"
 #include "src/kvs/kv_store.h"
 #include "src/stats/counters.h"
@@ -40,20 +41,31 @@ struct LakeConfig {
   SimDuration l2_reply_delay = Nanoseconds(800);
 };
 
-class LakeCache : public FpgaApp {
+class LakeCache : public App {
  public:
   explicit LakeCache(LakeConfig config = {});
 
   AppProto proto() const override { return AppProto::kKv; }
   std::string AppName() const override { return "lake"; }
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kFpgaNic;
+  }
 
-  std::vector<ModulePowerSpec> PowerModules() const override;
-  double DynamicWattsAtCapacity() const override { return 1.0; }
-  FpgaPipelineSpec PipelineSpec() const override;
+  std::vector<ModulePowerSpec> PowerModules() const;
+  FpgaPipelineSpec PipelineSpec() const;
+  OffloadPlacementProfile OffloadProfile() const override {
+    return OffloadPlacementProfile{PipelineSpec(), PowerModules(),
+                                   /*dynamic_watts_at_capacity=*/1.0, 0.0};
+  }
 
-  void Process(Packet packet) override;
+  void HandlePacket(AppContext& ctx, Packet packet) override;
   void OnMemoryReset() override;
-  void OnHostEgress(const Packet& packet) override;
+  void OnHostEgress(AppContext& ctx, const Packet& packet) override;
+
+  // App state contract: both cache levels in LRU order (the warm state a
+  // kKeepWarm park or a generic state transfer preserves).
+  AppState SnapshotState() const override;
+  void RestoreState(const AppState& state) override;
 
   // Pre-populates both cache levels (benchmark warm start).
   void WarmFill(uint64_t first_key, uint64_t count, uint32_t value_bytes);
@@ -69,7 +81,8 @@ class LakeCache : public FpgaApp {
   double HardwareHitRatio() const;
 
  private:
-  void Reply(const Packet& request, const KvResponse& response, SimDuration extra_delay);
+  void Reply(AppContext& ctx, const Packet& request, const KvResponse& response,
+             SimDuration extra_delay);
 
   LakeConfig config_;
   std::unique_ptr<KvStore> l1_;

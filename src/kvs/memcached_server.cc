@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "src/host/server.h"
+#include "src/sim/simulation.h"
 
 namespace incod {
 
@@ -21,7 +21,7 @@ SimDuration MemcachedServer::CpuTimePerRequest(const Packet& packet) const {
   return config_.get_cpu_time;
 }
 
-void MemcachedServer::Execute(Packet packet) {
+void MemcachedServer::HandlePacket(AppContext& ctx, Packet packet) {
   const KvRequest req = PayloadAs<KvRequest>(packet);
   KvResponse resp;
   resp.op = req.op;
@@ -44,8 +44,29 @@ void MemcachedServer::Execute(Packet packet) {
       resp.hit = store_.Delete(req.key);
       break;
   }
-  server()->Transmit(MakeKvResponsePacket(server()->node(), packet.src, resp, packet.id,
-                                          server()->sim().Now()));
+  ctx.Reply(MakeKvResponsePacket(ctx.self_node(), packet.src, resp, packet.id,
+                                 ctx.sim().Now()));
+}
+
+AppState MemcachedServer::SnapshotState() const {
+  KvAppState kv;
+  kv.primary = KvEntriesFromPairs(store_.SnapshotLru());
+  return AppState{proto(), AppName(), std::move(kv)};
+}
+
+void MemcachedServer::RestoreState(const AppState& state) {
+  const KvAppState* kv = std::get_if<KvAppState>(&state.data);
+  if (kv == nullptr) {
+    return;
+  }
+  // A layered cache's snapshot splits into secondary (bulk L2) and primary
+  // (hot L1). The authoritative store takes both: bulk first, then the hot
+  // entries so they land most-recently-used (and win on duplicate keys).
+  std::vector<std::pair<uint64_t, uint32_t>> entries =
+      KvPairsFromEntries(kv->secondary);
+  const auto primary = KvPairsFromEntries(kv->primary);
+  entries.insert(entries.end(), primary.begin(), primary.end());
+  store_.RestoreLru(entries);
 }
 
 }  // namespace incod

@@ -1,4 +1,4 @@
-// Software memcached model (host side of the KVS case study).
+// Software memcached model (host placement of the KVS app family).
 //
 // Calibration (§4.2): memcached v1.5.1 on the i7-6700K peaks around 1 Mpps
 // with all four cores busy. With the kernel stack's 1 µs rx + 0.5 µs tx
@@ -9,7 +9,7 @@
 
 #include <string>
 
-#include "src/host/software_app.h"
+#include "src/app/app.h"
 #include "src/kvs/kv_protocol.h"
 #include "src/kvs/kv_store.h"
 
@@ -22,16 +22,25 @@ struct MemcachedConfig {
   SimDuration set_cpu_time = Nanoseconds(2800);
 };
 
-class MemcachedServer : public SoftwareApp {
+class MemcachedServer : public App {
  public:
   explicit MemcachedServer(MemcachedConfig config = {});
 
   AppProto proto() const override { return AppProto::kKv; }
   std::string AppName() const override { return "memcached"; }
-  int num_threads() const override { return config_.threads; }
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kHost;
+  }
+  HostPlacementProfile HostProfile() const override {
+    return HostPlacementProfile{config_.threads, std::nullopt};
+  }
 
   SimDuration CpuTimePerRequest(const Packet& packet) const override;
-  void Execute(Packet packet) override;
+  void HandlePacket(AppContext& ctx, Packet packet) override;
+
+  // App state contract: the authoritative store contents in LRU order.
+  AppState SnapshotState() const override;
+  void RestoreState(const AppState& state) override;
 
   KvStore& store() { return store_; }
   const KvStore& store() const { return store_; }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/sim/simulation.h"
+
 namespace incod {
 
 KvSwitchCache::KvSwitchCache(KvSwitchCacheConfig config)
@@ -19,14 +21,14 @@ double KvSwitchCache::HitRatio() const {
   return total == 0 ? 0.0 : static_cast<double>(hits_.value()) / static_cast<double>(total);
 }
 
-bool KvSwitchCache::HandleGet(SwitchAsic& sw, const Packet& packet,
+bool KvSwitchCache::HandleGet(AppContext& ctx, const Packet& packet,
                               const KvRequest& request) {
   uint32_t bytes = 0;
   if (cache_.Get(request.key, &bytes)) {
     hits_.Increment();
     KvResponse resp{KvOp::kGet, request.key, true, bytes};
-    sw.TransmitFromPipeline(
-        MakeKvResponsePacket(packet.dst, packet.src, resp, packet.id, sw.sim().Now()));
+    ctx.Reply(
+        MakeKvResponsePacket(packet.dst, packet.src, resp, packet.id, ctx.sim().Now()));
     return true;  // Served at line rate; request terminated in the switch.
   }
   // Miss: count towards hotness and let the server answer (the fill
@@ -51,31 +53,43 @@ void KvSwitchCache::ObserveResponse(const Packet& packet, const KvResponse& resp
   }
 }
 
-bool KvSwitchCache::Process(SwitchAsic& sw, Packet& packet) {
-  if (packet.proto != AppProto::kKv) {
-    return false;
-  }
+void KvSwitchCache::HandlePacket(AppContext& ctx, Packet packet) {
   if (const KvRequest* request = PayloadIf<KvRequest>(packet);
       request != nullptr && packet.dst == config_.kvs_service) {
     switch (request->op) {
       case KvOp::kGet:
-        return HandleGet(sw, packet, *request);
+        if (HandleGet(ctx, packet, *request)) {
+          return;
+        }
+        break;
       case KvOp::kSet:
       case KvOp::kDelete:
         // Write-around with invalidation: the server owns the data.
         if (cache_.Delete(request->key)) {
           invalidations_.Increment();
         }
-        return false;
+        break;
     }
-    return false;
-  }
-  if (const KvResponse* response = PayloadIf<KvResponse>(packet);
-      response != nullptr && packet.src == config_.kvs_service) {
+  } else if (const KvResponse* response = PayloadIf<KvResponse>(packet);
+             response != nullptr && packet.src == config_.kvs_service) {
     ObserveResponse(packet, *response);
-    return false;  // Responses always continue to the client.
   }
-  return false;
+  // Everything not answered at line rate continues through the pipeline.
+  ctx.Punt(std::move(packet));
+}
+
+AppState KvSwitchCache::SnapshotState() const {
+  KvAppState kv;
+  kv.primary = KvEntriesFromPairs(cache_.SnapshotLru());
+  return AppState{proto(), AppName(), std::move(kv)};
+}
+
+void KvSwitchCache::RestoreState(const AppState& state) {
+  const KvAppState* kv = std::get_if<KvAppState>(&state.data);
+  if (kv == nullptr) {
+    return;
+  }
+  cache_.RestoreLru(KvPairsFromEntries(kv->primary));
 }
 
 }  // namespace incod

@@ -7,12 +7,16 @@
 // answered at line rate; misses and writes pass through to the server.
 // Hot-key detection uses a count-min sketch over the miss stream, and
 // cached entries are invalidated by passing SET/DELETEs.
+//
+// Implemented as a unified App on the switch-ASIC placement: the pipeline
+// feeds it through SwitchHostedApp, replies leave via ctx.Reply() and
+// pass-through traffic via ctx.Punt().
 #ifndef INCOD_SRC_KVS_NETCACHE_H_
 #define INCOD_SRC_KVS_NETCACHE_H_
 
 #include <string>
 
-#include "src/device/switch_asic.h"
+#include "src/app/switch_app.h"
 #include "src/kvs/kv_protocol.h"
 #include "src/kvs/kv_store.h"
 #include "src/stats/count_min.h"
@@ -32,15 +36,27 @@ struct KvSwitchCacheConfig {
   double power_overhead_at_full_load = 0.02;
 };
 
-class KvSwitchCache : public SwitchProgram {
+class KvSwitchCache : public SwitchHostedApp {
  public:
   explicit KvSwitchCache(KvSwitchCacheConfig config);
 
-  std::string ProgramName() const override { return "netcache-kv"; }
-  double PowerOverheadAtFullLoad() const override {
-    return config_.power_overhead_at_full_load;
+  AppProto proto() const override { return AppProto::kKv; }
+  std::string AppName() const override { return "netcache-kv"; }
+  OffloadPlacementProfile OffloadProfile() const override {
+    OffloadPlacementProfile profile;
+    profile.switch_power_overhead_at_full_load = config_.power_overhead_at_full_load;
+    return profile;
   }
-  bool Process(SwitchAsic& sw, Packet& packet) override;
+
+  // Requests to the fronted service and responses from it (for cache fill).
+  bool Matches(const Packet& packet) const override {
+    return packet.proto == AppProto::kKv;
+  }
+  void HandlePacket(AppContext& ctx, Packet packet) override;
+
+  // App state contract: the register-array cache contents in LRU order.
+  AppState SnapshotState() const override;
+  void RestoreState(const AppState& state) override;
 
   KvStore& cache() { return cache_; }
   uint64_t hits() const { return hits_.value(); }
@@ -50,7 +66,8 @@ class KvSwitchCache : public SwitchProgram {
   double HitRatio() const;
 
  private:
-  bool HandleGet(SwitchAsic& sw, const Packet& packet, const KvRequest& request);
+  // Returns true when the GET was answered from the cache.
+  bool HandleGet(AppContext& ctx, const Packet& packet, const KvRequest& request);
   void ObserveResponse(const Packet& packet, const KvResponse& response);
 
   KvSwitchCacheConfig config_;

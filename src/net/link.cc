@@ -65,16 +65,29 @@ void Link::Send(const PacketSink* from, Packet packet) {
   const SimTime start = std::max(now, d.busy_until);
   const SimDuration ser = SerializationDelay(packet.size_bytes);
   d.busy_until = start + ser;
-  d.in_flight.push_back(InFlight{start, std::move(packet)});
-  sim_.ScheduleAt(start + ser + config_.propagation_delay, Deliver{this, index});
+  const SimTime deliver_at = start + ser + config_.propagation_delay;
+  // Same-deliver-tick coalescing: FIFO service makes deliver times
+  // non-decreasing, so an equal tick can only be the deque tail's. Ride the
+  // already-scheduled event instead of adding another.
+  const bool coalesce = config_.coalesce_same_tick_delivery &&
+                        !d.in_flight.empty() &&
+                        d.in_flight.back().deliver_at == deliver_at;
+  d.in_flight.push_back(InFlight{start, deliver_at, std::move(packet)});
+  if (!coalesce) {
+    sim_.ScheduleAt(deliver_at, Deliver{this, index});
+  }
 }
 
 void Link::CompleteDelivery(int dir) {
   Direction& d = dir_[dir];
-  Packet pkt = std::move(d.in_flight.front().pkt);
-  d.in_flight.pop_front();
-  ++d.delivered;
-  d.to->Receive(std::move(pkt));
+  const SimTime tick = d.in_flight.front().deliver_at;
+  do {
+    Packet pkt = std::move(d.in_flight.front().pkt);
+    d.in_flight.pop_front();
+    ++d.delivered;
+    d.to->Receive(std::move(pkt));
+  } while (config_.coalesce_same_tick_delivery && !d.in_flight.empty() &&
+           d.in_flight.front().deliver_at == tick);
 }
 
 uint64_t Link::delivered(const PacketSink* toward) const {

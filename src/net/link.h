@@ -7,8 +7,15 @@
 // Fast path: packets in flight live in a per-direction deque owned by the
 // link, not in event captures. Each Send schedules a 16-byte delivery event
 // ({link, direction}); because per-direction service is FIFO and deliver
-// times are strictly increasing, the event just pops the deque front. No
+// times are non-decreasing, the event just pops the deque front. No
 // closure allocation, and the Packet moves exactly twice (in, out).
+//
+// Same-tick coalescing: when serialization rounds to zero ticks (tiny
+// packets on fast links), consecutive packets share one deliver tick; with
+// coalesce_same_tick_delivery (default) they share a single delivery event
+// that drains every packet of that tick in FIFO order, instead of one
+// event per packet. Delivery order is identical either way (asserted by
+// net_test's differential check).
 #ifndef INCOD_SRC_NET_LINK_H_
 #define INCOD_SRC_NET_LINK_H_
 
@@ -28,6 +35,8 @@ class Link {
     double gigabits_per_second = 10.0;
     SimDuration propagation_delay = Nanoseconds(500);
     size_t queue_capacity_packets = 1024;
+    // Batch packets that complete delivery on the same tick into one event.
+    bool coalesce_same_tick_delivery = true;
   };
 
   Link(Simulation& sim, Config config, std::string name = "link");
@@ -54,6 +63,7 @@ class Link {
  private:
   struct InFlight {
     SimTime service_start = 0;  // When (or when scheduled) serialization begins.
+    SimTime deliver_at = 0;     // service_start + serialization + propagation.
     Packet pkt;
   };
   struct Direction {

@@ -1,5 +1,7 @@
 #include "src/ondemand/migrator.h"
 
+#include <utility>
+
 namespace incod {
 
 const char* PlacementName(Placement placement) {
@@ -18,7 +20,7 @@ const char* ParkPolicyName(ParkPolicy policy) {
   return "?";
 }
 
-ClassifierMigrator::Options ClassifierMigrator::Options::FromPolicy(
+StateTransferMigrator::Options StateTransferMigrator::Options::FromPolicy(
     ParkPolicy policy, SimDuration reprogram_halt) {
   Options options;
   options.policy = policy;
@@ -40,15 +42,20 @@ ClassifierMigrator::Options ClassifierMigrator::Options::FromPolicy(
   return options;
 }
 
-ClassifierMigrator::ClassifierMigrator(Simulation& sim, OffloadTarget& target,
-                                       Options options)
-    : sim_(sim), target_(target), options_(options) {
+StateTransferMigrator::StateTransferMigrator(Simulation& sim, OffloadTarget& target,
+                                             Options options, App* host_app,
+                                             App* offload_app)
+    : sim_(sim),
+      target_(target),
+      options_(options),
+      host_app_(host_app),
+      offload_app_(offload_app) {
   // Start in the host placement with the configured idle power savings.
   target_.SetAppActive(false);
   ApplyParkedState();
 }
 
-void ClassifierMigrator::ApplyParkedState() {
+void StateTransferMigrator::ApplyParkedState() {
   target_.SetClockGating(options_.clock_gate_when_idle);
   target_.SetMemoryReset(options_.reset_memories_when_idle);
   if (options_.policy == ParkPolicy::kReprogram) {
@@ -56,11 +63,27 @@ void ClassifierMigrator::ApplyParkedState() {
   }
 }
 
-std::string ClassifierMigrator::MigratorName() const {
-  return "classifier/" + target_.TargetName();
+void StateTransferMigrator::TransferTo(Placement to) {
+  if (!options_.transfer_state || host_app_ == nullptr || offload_app_ == nullptr) {
+    return;
+  }
+  App& from = to == Placement::kNetwork ? *host_app_ : *offload_app_;
+  App& dst = to == Placement::kNetwork ? *offload_app_ : *host_app_;
+  AppState state = from.SnapshotState();
+  MutateStateForTransfer(state, to);
+  dst.RestoreState(state);
+  ++state_transfers_;
 }
 
-void ClassifierMigrator::ShiftToNetwork() {
+std::string StateTransferMigrator::MigratorName() const {
+  return "state-transfer/" + target_.TargetName();
+}
+
+std::string ClassifierMigrator::MigratorName() const {
+  return "classifier/" + target().TargetName();
+}
+
+void StateTransferMigrator::ShiftToNetwork() {
   if (placement() == Placement::kNetwork) {
     return;
   }
@@ -77,23 +100,36 @@ void ClassifierMigrator::ShiftToNetwork() {
       target_.SetReprogramming(false);
       target_.SetMemoryReset(false);
       target_.SetClockGating(false);
+      TransferTo(Placement::kNetwork);
       target_.SetAppActive(true);  // Re-activation restores module states.
+      offload_served_ = true;
     });
     return;
   }
-  // Order matters: wake memories and clocks, then divert traffic. The
-  // caches start cold (all misses go to the host) and warm up; query rate
-  // is maintained throughout (§9.2).
+  // Order matters: wake memories and clocks, then (optionally) install the
+  // transferred state, then divert traffic. Without a transfer the caches
+  // start cold (all misses go to the host) and warm up; query rate is
+  // maintained throughout (§9.2).
   target_.SetMemoryReset(false);
   target_.SetClockGating(false);
+  TransferTo(Placement::kNetwork);
   target_.SetAppActive(true);
+  offload_served_ = true;
   RecordTransition(sim_.Now(), Placement::kNetwork);
 }
 
-void ClassifierMigrator::ShiftToHost() {
+void StateTransferMigrator::ShiftToHost() {
   if (placement() == Placement::kHost) {
     return;
   }
+  // Snapshot the offloaded app before deactivation/parking can reset the
+  // memories that hold its state — but only if it actually served: shifting
+  // back during a kReprogram halt means the offload app never activated,
+  // and transferring its initial (empty) state would wipe the host's.
+  if (offload_served_) {
+    TransferTo(Placement::kHost);
+  }
+  offload_served_ = false;
   target_.SetReprogramming(false);
   target_.SetAppActive(false);
   ApplyParkedState();
@@ -106,20 +142,28 @@ PaxosLeaderMigrator::PaxosLeaderMigrator(Simulation& sim, L2Switch& sw,
                                          int software_port, OffloadTarget& hardware_target,
                                          P4xosFpgaApp& hardware_leader, int hardware_port,
                                          Options options)
-    : sim_(sim),
+    : StateTransferMigrator(
+          sim, hardware_target,
+          [&options] {
+            // The FPGA leader keeps on-chip state only: no park knobs to
+            // apply while the host serves (kKeepWarm semantics).
+            StateTransferMigrator::Options base =
+                StateTransferMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm);
+            base.transfer_state = options.transfer_state;
+            return base;
+          }(),
+          &software_leader, &hardware_leader),
       switch_(sw),
       leader_service_(leader_service),
       software_leader_(software_leader),
       software_port_(software_port),
-      hardware_target_(hardware_target),
       hardware_leader_(hardware_leader),
       hardware_port_(hardware_port),
-      options_(options),
+      leader_options_(options),
       ballot_(software_leader.state().ballot()) {
   // Initial placement: software leader serves the service address.
   RepointService(software_port_);
   software_leader_.SetActive(true);
-  hardware_target_.SetAppActive(false);
 }
 
 void PaxosLeaderMigrator::RepointService(int port) {
@@ -131,29 +175,43 @@ void PaxosLeaderMigrator::RepointService(int port) {
   switch_.InstallRule(rule);
 }
 
+void PaxosLeaderMigrator::MutateStateForTransfer(AppState& state, Placement to) {
+  (void)to;
+  // A new leader must always run with a ballot above any prior leader's,
+  // even when it inherits the sequence position.
+  if (PaxosAppState* px = std::get_if<PaxosAppState>(&state.data)) {
+    px->ballot = ++ballot_;
+  }
+}
+
 void PaxosLeaderMigrator::ShiftToNetwork() {
   if (placement() == Placement::kNetwork) {
     return;
   }
-  ++ballot_;
-  // The new leader "starts with an initial sequence number of 1 and must
-  // learn the next sequence number that it can use" (§9.2).
-  hardware_leader_.leader()->Reset(ballot_);
-  hardware_target_.SetAppActive(true);
+  if (!leader_options_.transfer_state) {
+    ++ballot_;
+    // The new leader "starts with an initial sequence number of 1 and must
+    // learn the next sequence number that it can use" (§9.2).
+    hardware_leader_.leader()->Reset(ballot_);
+  }
+  // Classifier flip (and, on the generic path, the ballot/sequence
+  // transfer) through the shared core.
+  StateTransferMigrator::ShiftToNetwork();
   software_leader_.SetActive(false);
   RepointService(hardware_port_);
-  // §9.2: the incoming leader learns the latest instance from the acceptors
-  // before proposing (client requests are buffered meanwhile).
-  hardware_leader_.BeginSequenceLearning(options_.active_probe);
-  RecordTransition(sim_.Now(), Placement::kNetwork);
-  ArmLearningTimeout(Placement::kNetwork);
+  if (!leader_options_.transfer_state) {
+    // §9.2: the incoming leader learns the latest instance from the
+    // acceptors before proposing (client requests are buffered meanwhile).
+    hardware_leader_.BeginSequenceLearning(leader_options_.active_probe);
+    ArmLearningTimeout(Placement::kNetwork);
+  }
 }
 
 void PaxosLeaderMigrator::ArmLearningTimeout(Placement for_placement) {
   // Passive learning (the paper's mode) must not deadlock: after the
   // timeout, release buffered proposals; acceptor hints and client retries
   // then teach the sequence (§9.2, Fig 7's ~100 ms gap).
-  sim_.Schedule(options_.learning_timeout, [this, for_placement] {
+  sim().Schedule(leader_options_.learning_timeout, [this, for_placement] {
     if (placement() != for_placement) {
       return;  // Another shift happened meanwhile.
     }
@@ -173,14 +231,17 @@ void PaxosLeaderMigrator::ShiftToHost() {
   if (placement() == Placement::kHost) {
     return;
   }
-  ++ballot_;
-  software_leader_.state().Reset(ballot_);
+  if (!leader_options_.transfer_state) {
+    ++ballot_;
+    software_leader_.state().Reset(ballot_);
+  }
+  StateTransferMigrator::ShiftToHost();
   software_leader_.SetActive(true);
-  hardware_target_.SetAppActive(false);
   RepointService(software_port_);
-  software_leader_.BeginSequenceLearning(options_.active_probe);
-  RecordTransition(sim_.Now(), Placement::kHost);
-  ArmLearningTimeout(Placement::kHost);
+  if (!leader_options_.transfer_state) {
+    software_leader_.BeginSequenceLearning(leader_options_.active_probe);
+    ArmLearningTimeout(Placement::kHost);
+  }
 }
 
 }  // namespace incod

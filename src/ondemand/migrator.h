@@ -3,16 +3,23 @@
 //
 // A Migrator knows how to move one application between host software and a
 // network offload target. Controllers (network- or host-controlled) decide
-// *when*; migrators implement *how*. KVS and DNS shifts are classifier flips
-// plus power-state housekeeping on any OffloadTarget (FPGA NIC, SmartNIC, or
-// switch ASIC program); the Paxos shift is a leader election through the
-// central controller's switch-rule rewrite (§9.2).
+// *when*; migrators implement *how*.
+//
+// With the unified App contract, "how" collapses to one generic core:
+// StateTransferMigrator flips the target's classifier, applies the §9.2
+// park policy, and — when enabled — moves the application's typed AppState
+// snapshot between the host and offload placements, for *any* registered
+// app. ClassifierMigrator is the classic classifier-flip configuration of
+// that core (the paper's behaviour: caches re-warm instead of being
+// transferred); PaxosLeaderMigrator layers the §9.2 leader election
+// (switch-rule rewrite + ballot/sequence choreography) on the same core.
 #ifndef INCOD_SRC_ONDEMAND_MIGRATOR_H_
 #define INCOD_SRC_ONDEMAND_MIGRATOR_H_
 
 #include <string>
 #include <vector>
 
+#include "src/app/app.h"
 #include "src/device/offload_target.h"
 #include "src/net/switch.h"
 #include "src/paxos/p4xos.h"
@@ -67,12 +74,11 @@ enum class ParkPolicy { kGatedPark, kKeepWarm, kReprogram };
 
 const char* ParkPolicyName(ParkPolicy policy);
 
-// KVS / DNS migrator: flips the target's classifier, applying the configured
-// park policy while the host serves. Works against any OffloadTarget —
-// unsupported park knobs are no-ops (a switch ASIC parks as kKeepWarm no
-// matter what). Configurable to reproduce the Fig 6 experiment (which ran
-// with gating disabled -> kKeepWarm).
-class ClassifierMigrator : public Migrator {
+// Generic placement migrator: classifier flip + park policy on any
+// OffloadTarget, plus an optional typed-state transfer between the host and
+// offload placements of the app. Works for any registered app — the state
+// moves through the App snapshot/restore contract, not per-app plumbing.
+class StateTransferMigrator : public Migrator {
  public:
   struct Options {
     bool clock_gate_when_idle = true;
@@ -80,14 +86,19 @@ class ClassifierMigrator : public Migrator {
     // Reconfiguration halt; only used by FromPolicy(kReprogram).
     SimDuration reprogram_halt = 0;
     ParkPolicy policy = ParkPolicy::kGatedPark;
+    // Move the outgoing placement's AppState into the incoming one on every
+    // shift. Off by default (the paper's shifts re-warm caches, §9.2); on,
+    // the incoming placement starts warm.
+    bool transfer_state = false;
 
     static Options FromPolicy(ParkPolicy policy,
                               SimDuration reprogram_halt = Milliseconds(40));
   };
 
-  ClassifierMigrator(Simulation& sim, OffloadTarget& target, Options options);
-  ClassifierMigrator(Simulation& sim, OffloadTarget& target)
-      : ClassifierMigrator(sim, target, Options{}) {}
+  // `host_app` / `offload_app` are the two placements of the application
+  // (may be null when transfer_state is off — the flip needs neither).
+  StateTransferMigrator(Simulation& sim, OffloadTarget& target, Options options,
+                        App* host_app = nullptr, App* offload_app = nullptr);
 
   void ShiftToNetwork() override;
   void ShiftToHost() override;
@@ -95,21 +106,62 @@ class ClassifierMigrator : public Migrator {
 
   const Options& options() const { return options_; }
   OffloadTarget& target() { return target_; }
+  const OffloadTarget& target() const { return target_; }
+  App* host_app() const { return host_app_; }
+  App* offload_app() const { return offload_app_; }
+  uint64_t state_transfers() const { return state_transfers_; }
+
+ protected:
+  Simulation& sim() { return sim_; }
+  // Hook: adjust the snapshot in flight (e.g. the Paxos ballot bump).
+  virtual void MutateStateForTransfer(AppState& state, Placement to) {
+    (void)state;
+    (void)to;
+  }
 
  private:
+  void TransferTo(Placement to);
   void ApplyParkedState();
 
   Simulation& sim_;
   OffloadTarget& target_;
   Options options_;
+  App* host_app_;
+  App* offload_app_;
+  // The offload app has been activated since the last host shift; a shift
+  // back before activation (mid-reprogram) must not transfer its state.
+  bool offload_served_ = false;
+  uint64_t state_transfers_ = 0;
+};
+
+// KVS / DNS migrator: the classifier-flip configuration of the generic
+// core, reproducing the paper's behaviour exactly (no state transfer unless
+// asked). Works against any OffloadTarget — unsupported park knobs are
+// no-ops (a switch ASIC parks as kKeepWarm no matter what). Configurable to
+// reproduce the Fig 6 experiment (which ran with gating disabled ->
+// kKeepWarm).
+class ClassifierMigrator : public StateTransferMigrator {
+ public:
+  using Options = StateTransferMigrator::Options;
+
+  ClassifierMigrator(Simulation& sim, OffloadTarget& target, Options options,
+                     App* host_app = nullptr, App* offload_app = nullptr)
+      : StateTransferMigrator(sim, target, options, host_app, offload_app) {}
+  ClassifierMigrator(Simulation& sim, OffloadTarget& target)
+      : ClassifierMigrator(sim, target, Options{}) {}
+
+  std::string MigratorName() const override;
 };
 
 // Paxos leader migrator (§9.2): "we use a centralized controller to initiate
 // the shift ... the controller modifies switch forwarding rules to send
-// messages to the new leader". The incoming leader starts from sequence
-// number 1 with a higher ballot and re-learns the next usable instance from
-// acceptor hints and client retries.
-class PaxosLeaderMigrator : public Migrator {
+// messages to the new leader". Layers leader election on the generic core:
+//   * transfer_state off (the paper): the incoming leader Reset()s to a
+//     higher ballot, starts from sequence 1, and re-learns the next usable
+//     instance from acceptor hints and client retries — Fig 7's ~100 ms gap.
+//   * transfer_state on (the generic path): ballot and sequence ride the
+//     typed snapshot, so the incoming leader continues without a gap.
+class PaxosLeaderMigrator : public StateTransferMigrator {
  public:
   struct Options {
     // false (the paper's behaviour): the incoming leader waits passively
@@ -118,6 +170,9 @@ class PaxosLeaderMigrator : public Migrator {
     // true: an active phase-1 probe learns the sequence in one round trip.
     bool active_probe = false;
     SimDuration learning_timeout = Milliseconds(100);
+    // Carry ballot + sequence through the generic state-transfer path
+    // instead of re-learning (no service gap).
+    bool transfer_state = false;
   };
 
   PaxosLeaderMigrator(Simulation& sim, L2Switch& sw, NodeId leader_service,
@@ -136,21 +191,22 @@ class PaxosLeaderMigrator : public Migrator {
   std::string MigratorName() const override { return "paxos-leader"; }
 
   uint16_t current_ballot() const { return ballot_; }
-  const Options& options() const { return options_; }
+  const Options& leader_options() const { return leader_options_; }
+
+ protected:
+  void MutateStateForTransfer(AppState& state, Placement to) override;
 
  private:
   void RepointService(int port);
   void ArmLearningTimeout(Placement for_placement);
 
-  Simulation& sim_;
   L2Switch& switch_;
   NodeId leader_service_;
   SoftwareLeader& software_leader_;
   int software_port_;
-  OffloadTarget& hardware_target_;
   P4xosFpgaApp& hardware_leader_;
   int hardware_port_;
-  Options options_;
+  Options leader_options_;
   uint16_t ballot_;
 };
 

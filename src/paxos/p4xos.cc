@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/device/fpga_nic.h"
+#include "src/paxos/paxos_msg.h"
+#include "src/sim/simulation.h"
 
 namespace incod {
 
@@ -10,9 +12,8 @@ const char* P4xosRoleName(P4xosRole role) {
   return role == P4xosRole::kLeader ? "leader" : "acceptor";
 }
 
-P4xosFpgaApp::P4xosFpgaApp(P4xosRole role, PaxosGroupConfig group, uint32_t role_id,
-                           NodeId role_address, P4xosFpgaConfig config)
-    : role_(role), role_address_(role_address), config_(config) {
+P4xosRoleState::P4xosRoleState(P4xosRole role, PaxosGroupConfig group, uint32_t role_id)
+    : role_(role) {
   if (role_ == P4xosRole::kLeader) {
     leader_ = std::make_unique<LeaderState>(std::move(group),
                                             static_cast<uint16_t>(role_id));
@@ -21,8 +22,41 @@ P4xosFpgaApp::P4xosFpgaApp(P4xosRole role, PaxosGroupConfig group, uint32_t role
   }
 }
 
+std::vector<PaxosOut> P4xosRoleState::Dispatch(const PaxosMessage& msg) {
+  return role_ == P4xosRole::kLeader ? leader_->HandleMessage(msg)
+                                     : acceptor_->HandleMessage(msg);
+}
+
+AppState P4xosRoleState::Snapshot(AppProto proto, const std::string& name) const {
+  PaxosAppState px;
+  if (role_ == P4xosRole::kLeader) {
+    leader_->SaveTo(px);
+  } else {
+    acceptor_->SaveTo(px);
+  }
+  return AppState{proto, name, std::move(px)};
+}
+
+void P4xosRoleState::Restore(const AppState& state) {
+  const PaxosAppState* px = std::get_if<PaxosAppState>(&state.data);
+  if (px == nullptr) {
+    return;
+  }
+  if (role_ == P4xosRole::kLeader) {
+    leader_->RestoreFrom(*px);
+  } else {
+    acceptor_->RestoreFrom(*px);
+  }
+}
+
+P4xosFpgaApp::P4xosFpgaApp(P4xosRole role, PaxosGroupConfig group, uint32_t role_id,
+                           NodeId role_address, P4xosFpgaConfig config)
+    : role_address_(role_address),
+      config_(config),
+      state_(role, std::move(group), role_id) {}
+
 std::string P4xosFpgaApp::AppName() const {
-  return std::string("p4xos-fpga-") + P4xosRoleName(role_);
+  return std::string("p4xos-fpga-") + P4xosRoleName(role());
 }
 
 std::vector<ModulePowerSpec> P4xosFpgaApp::PowerModules() const {
@@ -44,68 +78,68 @@ bool P4xosFpgaApp::Matches(const Packet& packet) const {
   return packet.proto == AppProto::kPaxos && packet.dst == role_address_;
 }
 
-void P4xosFpgaApp::Process(Packet packet) {
+NodeId P4xosFpgaApp::ReplySource() const {
+  const NodeId self = context() != nullptr ? context()->self_node() : 0;
+  return self != 0 ? self : role_address_;
+}
+
+void P4xosFpgaApp::HandlePacket(AppContext& ctx, Packet packet) {
   const PaxosMessage* msg = PayloadIf<PaxosMessage>(packet);
   if (msg == nullptr) {
-    nic()->DeliverToHost(std::move(packet));
+    ctx.Punt(std::move(packet));
     return;
   }
   handled_.Increment();
-  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(*msg)
-                                            : acceptor_->HandleMessage(*msg);
-  const NodeId src =
-      nic()->config().device_node != 0 ? nic()->config().device_node : role_address_;
-  for (auto& out : outbox) {
-    nic()->TransmitToNetwork(MakePaxosPacket(src, out.dst, out.msg, nic()->sim().Now()));
-  }
+  TransmitOutbox(state_.Dispatch(*msg));
 }
 
 void P4xosFpgaApp::BeginSequenceLearning(bool active_probe) {
-  if (leader_ == nullptr) {
+  if (leader() == nullptr) {
     return;
   }
-  TransmitOutbox(leader_->StartSequenceLearning(active_probe));
+  TransmitOutbox(leader()->StartSequenceLearning(active_probe));
 }
 
 void P4xosFpgaApp::TransmitOutbox(std::vector<PaxosOut> outbox) {
-  const NodeId src =
-      nic()->config().device_node != 0 ? nic()->config().device_node : role_address_;
+  AppContext* ctx = context();
+  if (ctx == nullptr) {
+    return;
+  }
+  const NodeId src = ReplySource();
   for (auto& out : outbox) {
-    nic()->TransmitToNetwork(MakePaxosPacket(src, out.dst, out.msg, nic()->sim().Now()));
+    ctx->Reply(MakePaxosPacket(src, out.dst, out.msg, ctx->sim().Now()));
   }
 }
+
+AppState P4xosFpgaApp::SnapshotState() const { return state_.Snapshot(proto(), AppName()); }
+
+void P4xosFpgaApp::RestoreState(const AppState& state) { state_.Restore(state); }
 
 P4xosSwitchProgram::P4xosSwitchProgram(P4xosRole role, PaxosGroupConfig group,
                                        uint32_t role_id, NodeId role_address)
-    : role_(role), role_address_(role_address) {
-  if (role_ == P4xosRole::kLeader) {
-    leader_ = std::make_unique<LeaderState>(std::move(group),
-                                            static_cast<uint16_t>(role_id));
-  } else {
-    acceptor_ = std::make_unique<AcceptorState>(std::move(group), role_id);
-  }
+    : role_address_(role_address), state_(role, std::move(group), role_id) {}
+
+std::string P4xosSwitchProgram::AppName() const {
+  return std::string("p4xos-") + P4xosRoleName(role());
 }
 
-std::string P4xosSwitchProgram::ProgramName() const {
-  return std::string("p4xos-") + P4xosRoleName(role_);
-}
-
-bool P4xosSwitchProgram::Process(SwitchAsic& sw, Packet& packet) {
-  if (packet.proto != AppProto::kPaxos || packet.dst != role_address_) {
-    return false;
-  }
+void P4xosSwitchProgram::HandlePacket(AppContext& ctx, Packet packet) {
   const PaxosMessage* msg = PayloadIf<PaxosMessage>(packet);
   if (msg == nullptr) {
-    return false;
+    ctx.Punt(std::move(packet));
+    return;
   }
   handled_.Increment();
-  auto outbox = role_ == P4xosRole::kLeader ? leader_->HandleMessage(*msg)
-                                            : acceptor_->HandleMessage(*msg);
+  auto outbox = state_.Dispatch(*msg);
   for (auto& out : outbox) {
-    sw.TransmitFromPipeline(
-        MakePaxosPacket(role_address_, out.dst, out.msg, sw.sim().Now()));
+    ctx.Reply(MakePaxosPacket(role_address_, out.dst, out.msg, ctx.sim().Now()));
   }
-  return true;
 }
+
+AppState P4xosSwitchProgram::SnapshotState() const {
+  return state_.Snapshot(proto(), AppName());
+}
+
+void P4xosSwitchProgram::RestoreState(const AppState& state) { state_.Restore(state); }
 
 }  // namespace incod

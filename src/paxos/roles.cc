@@ -29,6 +29,20 @@ void LeaderState::Reset(uint16_t new_ballot) {
   pending_requests_.clear();
 }
 
+void LeaderState::SaveTo(PaxosAppState& state) const {
+  state.ballot = ballot_;
+  state.next_instance = next_instance_;
+}
+
+void LeaderState::RestoreFrom(const PaxosAppState& state) {
+  ballot_ = state.ballot;
+  next_instance_ = state.next_instance;
+  recoveries_.clear();
+  awaiting_sequence_ = false;
+  probe_promises_.clear();
+  pending_requests_.clear();
+}
+
 std::vector<PaxosOut> LeaderState::StartSequenceLearning(bool send_probe) {
   awaiting_sequence_ = true;
   probe_promises_.clear();
@@ -180,6 +194,29 @@ AcceptorState::AcceptorState(PaxosGroupConfig config, uint32_t acceptor_id)
     : config_(std::move(config)), acceptor_id_(acceptor_id) {
   if (config_.learners.empty()) {
     throw std::invalid_argument("AcceptorState: no learners");
+  }
+}
+
+void AcceptorState::SaveTo(PaxosAppState& state) const {
+  state.acceptor_id = acceptor_id_;
+  state.last_voted_instance = last_voted_instance_;
+  state.slots.clear();
+  state.slots.reserve(slots_.size());
+  for (const auto& [instance, slot] : slots_) {
+    state.slots.push_back(
+        PaxosAcceptorSlot{instance, slot.rnd, slot.vrnd, slot.value, slot.client});
+  }
+  std::sort(state.slots.begin(), state.slots.end(),
+            [](const PaxosAcceptorSlot& a, const PaxosAcceptorSlot& b) {
+              return a.instance < b.instance;
+            });
+}
+
+void AcceptorState::RestoreFrom(const PaxosAppState& state) {
+  last_voted_instance_ = state.last_voted_instance;
+  slots_.clear();
+  for (const PaxosAcceptorSlot& s : state.slots) {
+    slots_[s.instance] = Slot{s.rnd, s.vrnd, s.value, s.client};
   }
 }
 

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/app/app_state.h"
 #include "src/paxos/paxos_msg.h"
 #include "src/sim/time.h"
 
@@ -50,6 +51,12 @@ class LeaderState {
   // the current — possibly stale — sequence position.
   std::vector<PaxosOut> AbandonSequenceLearning();
   bool awaiting_sequence() const { return awaiting_sequence_; }
+
+  // App state contract: capture / install ballot and sequence position.
+  // Restoring drops in-flight recovery state (like Reset) but continues at
+  // the snapshot's sequence instead of re-learning from 1.
+  void SaveTo(PaxosAppState& state) const;
+  void RestoreFrom(const PaxosAppState& state);
 
   uint32_t next_instance() const { return next_instance_; }
   uint16_t ballot() const { return ballot_; }
@@ -89,6 +96,10 @@ class AcceptorState {
   uint32_t last_voted_instance() const { return last_voted_instance_; }
   uint32_t acceptor_id() const { return acceptor_id_; }
   size_t stored_instances() const { return slots_.size(); }
+
+  // App state contract: the per-instance vote log, sorted by instance.
+  void SaveTo(PaxosAppState& state) const;
+  void RestoreFrom(const PaxosAppState& state);
 
  private:
   struct Slot {

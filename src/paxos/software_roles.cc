@@ -2,7 +2,8 @@
 
 #include <utility>
 
-#include "src/host/server.h"
+#include "src/paxos/paxos_msg.h"
+#include "src/sim/simulation.h"
 
 namespace incod {
 
@@ -21,7 +22,7 @@ SimDuration PaxosSoftwareApp::CpuTimePerRequest(const Packet& packet) const {
   return config_.cpu_time_per_message;
 }
 
-void PaxosSoftwareApp::Execute(Packet packet) {
+void PaxosSoftwareApp::HandlePacket(AppContext& ctx, Packet packet) {
   const PaxosMessage* msg_if = active_ ? PayloadIf<PaxosMessage>(packet) : nullptr;
   if (msg_if == nullptr) {
     return;
@@ -29,8 +30,17 @@ void PaxosSoftwareApp::Execute(Packet packet) {
   handled_.Increment();
   const PaxosMessage& msg = *msg_if;
   for (auto& out : Handle(msg)) {
-    server()->Transmit(
-        MakePaxosPacket(server()->node(), out.dst, out.msg, server()->sim().Now()));
+    ctx.Reply(MakePaxosPacket(ctx.self_node(), out.dst, out.msg, ctx.sim().Now()));
+  }
+}
+
+void PaxosSoftwareApp::TransmitOutbox(std::vector<PaxosOut> outbox) {
+  AppContext* ctx = context();
+  if (ctx == nullptr) {
+    return;
+  }
+  for (auto& out : outbox) {
+    ctx->Reply(MakePaxosPacket(ctx->self_node(), out.dst, out.msg, ctx->sim().Now()));
   }
 }
 
@@ -48,10 +58,15 @@ void SoftwareLeader::BeginSequenceLearning(bool active_probe) {
   TransmitOutbox(state_.StartSequenceLearning(active_probe));
 }
 
-void SoftwareLeader::TransmitOutbox(std::vector<PaxosOut> outbox) {
-  for (auto& out : outbox) {
-    server()->Transmit(
-        MakePaxosPacket(server()->node(), out.dst, out.msg, server()->sim().Now()));
+AppState SoftwareLeader::SnapshotState() const {
+  PaxosAppState px;
+  state_.SaveTo(px);
+  return AppState{proto(), AppName(), px};
+}
+
+void SoftwareLeader::RestoreState(const AppState& state) {
+  if (const PaxosAppState* px = std::get_if<PaxosAppState>(&state.data)) {
+    state_.RestoreFrom(*px);
   }
 }
 
@@ -63,24 +78,34 @@ std::vector<PaxosOut> SoftwareAcceptor::Handle(const PaxosMessage& msg) {
   return state_.HandleMessage(msg);
 }
 
+AppState SoftwareAcceptor::SnapshotState() const {
+  PaxosAppState px;
+  state_.SaveTo(px);
+  return AppState{proto(), AppName(), std::move(px)};
+}
+
+void SoftwareAcceptor::RestoreState(const AppState& state) {
+  if (const PaxosAppState* px = std::get_if<PaxosAppState>(&state.data)) {
+    state_.RestoreFrom(*px);
+  }
+}
+
 SoftwareLearner::SoftwareLearner(PaxosGroupConfig group, PaxosSoftwareConfig config,
                                  SimDuration gap_timeout)
     : PaxosSoftwareApp(config), state_(std::move(group)), gap_timeout_(gap_timeout) {}
 
 std::vector<PaxosOut> SoftwareLearner::Handle(const PaxosMessage& msg) {
-  return state_.HandleMessage(msg, server()->sim().Now());
+  return state_.HandleMessage(msg, context()->sim().Now());
 }
 
 void SoftwareLearner::StartGapTimer() {
-  if (timer_started_ || server() == nullptr) {
+  if (timer_started_ || context() == nullptr) {
     return;
   }
   timer_started_ = true;
-  SchedulePeriodic(server()->sim(), gap_timeout_, gap_timeout_, [this] {
-    for (auto& out : state_.CheckGaps(server()->sim().Now(), gap_timeout_)) {
-      server()->Transmit(
-          MakePaxosPacket(server()->node(), out.dst, out.msg, server()->sim().Now()));
-    }
+  Simulation& sim = context()->sim();
+  SchedulePeriodic(sim, gap_timeout_, gap_timeout_, [this, &sim] {
+    TransmitOutbox(state_.CheckGaps(sim.Now(), gap_timeout_));
     return true;
   });
 }

@@ -1,4 +1,5 @@
-// Software deployments of the Paxos roles (libpaxos-like and DPDK).
+// Software deployments of the Paxos roles (libpaxos-like and DPDK) — the
+// host placement of the Paxos app family.
 //
 // Calibration (§3.2, §4.3): the libpaxos acceptor peaks at ~178 Kmsg/s on
 // one core of the i7 — a 4.1 µs application service plus kernel stack costs.
@@ -10,8 +11,9 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "src/host/software_app.h"
+#include "src/app/app.h"
 #include "src/paxos/roles.h"
 #include "src/stats/counters.h"
 
@@ -25,15 +27,27 @@ struct PaxosSoftwareConfig {
 PaxosSoftwareConfig LibpaxosConfig();
 PaxosSoftwareConfig DpdkPaxosConfig();  // 0.9 µs/message behind a polling stack.
 
-// Common plumbing: decode, run the role state machine, transmit the outbox.
-class PaxosSoftwareApp : public SoftwareApp {
+// Common plumbing: decode, run the role state machine, transmit the outbox
+// through the bound substrate context.
+class PaxosSoftwareApp : public App {
  public:
   explicit PaxosSoftwareApp(PaxosSoftwareConfig config);
 
   AppProto proto() const override { return AppProto::kPaxos; }
-  int num_threads() const override { return config_.threads; }
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kHost;
+  }
+  HostPlacementProfile HostProfile() const override {
+    return HostPlacementProfile{config_.threads, service_address()};
+  }
+  // If set, the role only receives packets addressed to this service.
+  virtual std::optional<NodeId> service_address() const { return std::nullopt; }
+
   SimDuration CpuTimePerRequest(const Packet& packet) const override;
-  void Execute(Packet packet) override;
+  void HandlePacket(AppContext& ctx, Packet packet) override;
+
+  // Transmits role-state output through the hosting substrate.
+  void TransmitOutbox(std::vector<PaxosOut> outbox);
 
   // Deactivated roles ignore traffic (used across leader migration).
   void SetActive(bool active) { active_ = active; }
@@ -62,8 +76,10 @@ class SoftwareLeader : public PaxosSoftwareApp {
   // the acceptors are probed immediately. Call after the leader service has
   // been re-pointed at this host.
   void BeginSequenceLearning(bool active_probe);
-  // Transmits role-state output through the hosting server.
-  void TransmitOutbox(std::vector<PaxosOut> outbox);
+
+  // App state contract: ballot and sequence position.
+  AppState SnapshotState() const override;
+  void RestoreState(const AppState& state) override;
 
   LeaderState& state() { return state_; }
 
@@ -81,6 +97,10 @@ class SoftwareAcceptor : public PaxosSoftwareApp {
                    PaxosSoftwareConfig config = LibpaxosConfig());
 
   std::string AppName() const override { return "libpaxos-acceptor"; }
+
+  // App state contract: the per-instance vote log.
+  AppState SnapshotState() const override;
+  void RestoreState(const AppState& state) override;
 
   AcceptorState& state() { return state_; }
 

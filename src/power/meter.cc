@@ -5,6 +5,12 @@ namespace incod {
 WallPowerMeter::WallPowerMeter(Simulation& sim, SimDuration period)
     : sim_(sim), period_(period) {}
 
+WallPowerMeter::~WallPowerMeter() {
+  if (pending_sample_ != 0) {
+    sim_.Cancel(pending_sample_);
+  }
+}
+
 void WallPowerMeter::Attach(const PowerSource* source) { sources_.push_back(source); }
 
 double WallPowerMeter::InstantWatts() const {
@@ -27,6 +33,7 @@ void WallPowerMeter::Start() {
 void WallPowerMeter::Stop() { stop_requested_ = true; }
 
 void WallPowerMeter::Sample() {
+  pending_sample_ = 0;
   if (stop_requested_) {
     running_ = false;
     return;
@@ -41,7 +48,7 @@ void WallPowerMeter::Sample() {
   last_watts_ = watts;
   last_sample_at_ = now;
   has_sample_ = true;
-  sim_.Schedule(period_, [this] { Sample(); });
+  pending_sample_ = sim_.Schedule(period_, [this] { Sample(); });
 }
 
 double WallPowerMeter::MeanWatts(SimTime from, SimTime to) const {

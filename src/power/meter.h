@@ -22,6 +22,9 @@ class WallPowerMeter {
  public:
   // Samples every `period` once Start() is called.
   WallPowerMeter(Simulation& sim, SimDuration period = Milliseconds(1));
+  // Cancels the pending self-rescheduled sample so a meter can be
+  // destroyed while its simulation keeps running.
+  ~WallPowerMeter();
 
   // Attaches a source. Not owned; must outlive the meter.
   void Attach(const PowerSource* source);
@@ -50,6 +53,7 @@ class WallPowerMeter {
   TimeSeries series_{"wall_watts"};
   bool running_ = false;
   bool stop_requested_ = false;
+  uint64_t pending_sample_ = 0;  // Event id of the next Sample (0: none).
   double energy_joules_ = 0;
   double last_watts_ = 0;
   SimTime last_sample_at_ = 0;

@@ -8,66 +8,53 @@
 
 namespace incod {
 
-DnsTestbed::DnsTestbed(Simulation& sim, DnsTestbedOptions options)
-    : sim_(sim), options_(std::move(options)), builder_(sim, options_.meter_period) {
-  zone_.FillSynthetic(options_.zone_size);
+ScenarioSpec MakeDnsScenarioSpec(const DnsTestbedOptions& options, const Zone* zone) {
+  ScenarioSpec spec;
+  spec.name = "dns";
+  spec.meter_period = options.meter_period;
+  spec.env.zone = zone;
+  spec.env.nsd = options.nsd;
+  spec.env.emu_dns = options.emu;
 
-  const bool has_host = options_.mode != DnsMode::kEmuStandalone;
-  if (has_host) {
-    ServerConfig server_config;
-    server_config.name = "i7-server";
-    server_config.node = kTestbedServerNode;
-    server_config.num_cores = 4;
-    server_config.power_curve = I7NsdCurve();
-    server_ = builder_.AddServer(server_config);
-    nsd_ = std::make_unique<NsdServer>(&zone_, options_.nsd);
-    server_->BindApp(nsd_.get());
+  spec.host.present = options.mode != DnsMode::kEmuStandalone;
+  spec.host.config.name = "i7-server";
+  spec.host.config.node = kTestbedServerNode;
+  spec.host.config.num_cores = 4;
+  spec.host.config.power_curve = I7NsdCurve();
+  if (spec.host.present) {
+    spec.host.apps = {"dns"};
   }
 
-  switch (options_.mode) {
-    case DnsMode::kSoftwareOnly: {
-      nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(kTestbedServerNode));
-      builder_.ConnectPcie(nic_, server_);
+  switch (options.mode) {
+    case DnsMode::kSoftwareOnly:
+      spec.target.kind = ScenarioTargetKind::kConventionalNic;
+      spec.target.name = "";  // Mellanox preset name.
       break;
-    }
     case DnsMode::kEmu:
-    case DnsMode::kEmuStandalone: {
-      FpgaNicConfig fpga_config;
-      fpga_config.name = "netfpga-emu";
-      fpga_config.host_node = kTestbedServerNode;
-      fpga_config.device_node = kTestbedDeviceNode;
-      fpga_config.standalone = options_.mode == DnsMode::kEmuStandalone;
-      emu_ = std::make_unique<EmuDns>(&zone_, options_.emu);
-      fpga_ = builder_.AddFpgaNic(fpga_config, emu_.get());
-      if (has_host) {
-        builder_.ConnectPcie(fpga_, server_);
-      }
-      fpga_->SetAppActive(options_.emu_initially_active);
+    case DnsMode::kEmuStandalone:
+      spec.target.kind = ScenarioTargetKind::kFpgaNic;
+      spec.target.name = "netfpga-emu";
+      spec.target.device_node = kTestbedDeviceNode;
+      spec.target.standalone = options.mode == DnsMode::kEmuStandalone;
+      spec.target.app = "dns";
+      spec.target.initially_active = options.emu_initially_active;
       break;
-    }
   }
-  builder_.StartMeter();
+  return spec;
 }
 
-NodeId DnsTestbed::ServiceNode() const {
-  return options_.mode == DnsMode::kEmuStandalone ? kTestbedDeviceNode
-                                                  : kTestbedServerNode;
+DnsTestbed::DnsTestbed(Simulation& sim, DnsTestbedOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  zone_.FillSynthetic(options_.zone_size);
+  testbed_ = std::make_unique<ScenarioTestbed>(sim, MakeDnsScenarioSpec(options_, &zone_));
+  nsd_ = testbed_->host_app_as<NsdServer>();
+  emu_ = testbed_->offload_app_as<EmuDns>();
 }
 
 LoadClient& DnsTestbed::AddClient(LoadClientConfig config,
                                   std::unique_ptr<ArrivalProcess> arrival,
                                   RequestFactory factory) {
-  if (client_ != nullptr) {
-    throw std::logic_error("DnsTestbed: client already attached");
-  }
-  client_ = builder_.AddLoadClient(std::move(config), std::move(arrival),
-                                   std::move(factory));
-  if (fpga_ != nullptr) {
-    builder_.ConnectClient(client_, fpga_);
-  } else {
-    builder_.ConnectClient(client_, nic_);
-  }
-  return *client_;
+  return testbed_->AddClient(std::move(config), std::move(arrival), std::move(factory));
 }
 
 }  // namespace incod

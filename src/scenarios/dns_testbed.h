@@ -1,6 +1,7 @@
 // DNS experiment testbed (Fig 3c and the §9.2 DNS shift).
 //
-// Same topology family as the KVS testbed, built through TestbedBuilder:
+// Same topology family as the KVS testbed, expressed as a declarative
+// ScenarioSpec ("dns" from the AppRegistry on both placements):
 //   kSoftwareOnly:  client --10GE-- conventional NIC --PCIe-- i7 server (NSD)
 //   kEmu:           client --10GE-- NetFPGA(Emu DNS) --PCIe-- i7 server
 //   kEmuStandalone: client --10GE-- NetFPGA(Emu DNS) (hostless)
@@ -12,7 +13,7 @@
 #include "src/dns/emu_dns.h"
 #include "src/dns/nsd_server.h"
 #include "src/dns/zone.h"
-#include "src/scenarios/testbed_builder.h"
+#include "src/scenarios/scenario_spec.h"
 
 namespace incod {
 
@@ -27,36 +28,37 @@ struct DnsTestbedOptions {
   SimDuration meter_period = Milliseconds(1);
 };
 
+// Builds the declarative spec the testbed wires. `zone` must outlive the
+// testbed (it is shared read-only by every DNS placement).
+ScenarioSpec MakeDnsScenarioSpec(const DnsTestbedOptions& options, const Zone* zone);
+
 class DnsTestbed {
  public:
   DnsTestbed(Simulation& sim, DnsTestbedOptions options);
 
-  Server* server() { return server_; }
-  FpgaNic* fpga() { return fpga_; }
-  EmuDns* emu() { return emu_.get(); }
-  NsdServer* nsd() { return nsd_.get(); }
+  Server* server() { return testbed_->server(); }
+  FpgaNic* fpga() { return testbed_->fpga(); }
+  EmuDns* emu() { return emu_; }
+  NsdServer* nsd() { return nsd_; }
   Zone& zone() { return zone_; }
-  WallPowerMeter& meter() { return builder_.meter(); }
+  WallPowerMeter& meter() { return testbed_->meter(); }
   Simulation& sim() { return sim_; }
-  TestbedBuilder& builder() { return builder_; }
+  TestbedBuilder& builder() { return testbed_->builder(); }
+  ScenarioTestbed& scenario() { return *testbed_; }
 
   LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
                         RequestFactory factory);
-  LoadClient* client() { return client_; }
+  LoadClient* client() { return testbed_->client(); }
 
-  NodeId ServiceNode() const;
+  NodeId ServiceNode() const { return testbed_->ServiceNode(); }
 
  private:
   Simulation& sim_;
   DnsTestbedOptions options_;
-  TestbedBuilder builder_;
   Zone zone_;
-  std::unique_ptr<NsdServer> nsd_;
-  std::unique_ptr<EmuDns> emu_;
-  Server* server_ = nullptr;
-  FpgaNic* fpga_ = nullptr;
-  ConventionalNic* nic_ = nullptr;
-  LoadClient* client_ = nullptr;
+  std::unique_ptr<ScenarioTestbed> testbed_;
+  NsdServer* nsd_ = nullptr;
+  EmuDns* emu_ = nullptr;
 };
 
 }  // namespace incod

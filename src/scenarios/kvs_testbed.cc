@@ -7,70 +7,55 @@
 
 namespace incod {
 
-KvsTestbed::KvsTestbed(Simulation& sim, KvsTestbedOptions options)
-    : sim_(sim), options_(std::move(options)), builder_(sim, options_.meter_period) {
-  const bool has_host = options_.mode != KvsMode::kLakeStandalone;
-  if (has_host) {
-    ServerConfig server_config;
-    server_config.name = "i7-server";
-    server_config.node = kTestbedServerNode;
-    server_config.num_cores = 4;
-    server_config.power_curve = I7MemcachedCurve();
-    server_ = builder_.AddServer(server_config);
-    memcached_ = std::make_unique<MemcachedServer>(options_.memcached);
-    server_->BindApp(memcached_.get());
+ScenarioSpec MakeKvsScenarioSpec(const KvsTestbedOptions& options) {
+  ScenarioSpec spec;
+  spec.name = "kvs";
+  spec.meter_period = options.meter_period;
+  spec.env.memcached = options.memcached;
+  spec.env.lake = options.lake;
+  spec.client_link = TestbedBuilder::TenGigLink(Nanoseconds(100));
+
+  spec.host.present = options.mode != KvsMode::kLakeStandalone;
+  spec.host.config.name = "i7-server";
+  spec.host.config.node = kTestbedServerNode;
+  spec.host.config.num_cores = 4;
+  spec.host.config.power_curve = I7MemcachedCurve();
+  if (spec.host.present) {
+    spec.host.apps = {"kvs"};
   }
 
-  switch (options_.mode) {
-    case KvsMode::kSoftwareOnly: {
-      ConventionalNicConfig nic_config = options_.intel_nic
-                                             ? IntelX520Config(kTestbedServerNode)
-                                             : MellanoxConnectX3Config(kTestbedServerNode);
-      nic_ = builder_.AddConventionalNic(nic_config);
-      builder_.ConnectPcie(nic_, server_, TestbedBuilder::PcieLink(Nanoseconds(2500)));
+  switch (options.mode) {
+    case KvsMode::kSoftwareOnly:
+      spec.target.kind = ScenarioTargetKind::kConventionalNic;
+      spec.target.name = "";  // Preset name (Mellanox / Intel).
+      spec.target.intel_nic = options.intel_nic;
+      spec.target.pcie = TestbedBuilder::PcieLink(Nanoseconds(2500));
       break;
-    }
     case KvsMode::kLake:
-    case KvsMode::kLakeStandalone: {
-      FpgaNicConfig fpga_config;
-      fpga_config.name = "netfpga-lake";
-      fpga_config.host_node = kTestbedServerNode;
-      fpga_config.device_node = kTestbedDeviceNode;
-      fpga_config.standalone = options_.mode == KvsMode::kLakeStandalone;
-      lake_ = std::make_unique<LakeCache>(options_.lake);
-      fpga_ = builder_.AddFpgaNic(fpga_config, lake_.get());
-      if (has_host) {
-        builder_.ConnectPcie(fpga_, server_, TestbedBuilder::PcieLink(Nanoseconds(2500)));
-      }
-      fpga_->SetAppActive(options_.lake_initially_active);
+    case KvsMode::kLakeStandalone:
+      spec.target.kind = ScenarioTargetKind::kFpgaNic;
+      spec.target.name = "netfpga-lake";
+      spec.target.device_node = kTestbedDeviceNode;
+      spec.target.standalone = options.mode == KvsMode::kLakeStandalone;
+      spec.target.app = "kvs";
+      spec.target.initially_active = options.lake_initially_active;
+      spec.target.pcie = TestbedBuilder::PcieLink(Nanoseconds(2500));
       break;
-    }
   }
-  builder_.StartMeter();
+  return spec;
 }
 
-NodeId KvsTestbed::ServiceNode() const {
-  // Clients address the KVS service by the host node (the classifier
-  // intercepts in hardware modes); standalone LaKe answers on its own.
-  return options_.mode == KvsMode::kLakeStandalone ? kTestbedDeviceNode
-                                                   : kTestbedServerNode;
+KvsTestbed::KvsTestbed(Simulation& sim, KvsTestbedOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  testbed_ = std::make_unique<ScenarioTestbed>(sim, MakeKvsScenarioSpec(options_));
+  memcached_ = testbed_->host_app_as<MemcachedServer>();
+  lake_ = testbed_->offload_app_as<LakeCache>();
 }
 
 LoadClient& KvsTestbed::AddClient(LoadClientConfig config,
                                   std::unique_ptr<ArrivalProcess> arrival,
                                   RequestFactory factory) {
-  if (client_ != nullptr) {
-    throw std::logic_error("KvsTestbed: client already attached");
-  }
-  client_ = builder_.AddLoadClient(std::move(config), std::move(arrival),
-                                   std::move(factory));
-  const Link::Config client_link = TestbedBuilder::TenGigLink(Nanoseconds(100));
-  if (fpga_ != nullptr) {
-    builder_.ConnectClient(client_, fpga_, client_link);
-  } else {
-    builder_.ConnectClient(client_, nic_, client_link);
-  }
-  return *client_;
+  return testbed_->AddClient(std::move(config), std::move(arrival), std::move(factory));
 }
 
 void KvsTestbed::Prefill(uint64_t count, uint32_t value_bytes) {

@@ -5,8 +5,10 @@
 //   kLake:           client --10GE-- NetFPGA(LaKe)    --PCIe-- i7 server
 //   kLakeStandalone: client --10GE-- NetFPGA(LaKe) (hostless, own PSU)
 // and attaches a wall power meter to exactly the components the paper's
-// SHW-3A saw for that configuration. All construction goes through the
-// shared TestbedBuilder.
+// SHW-3A saw for that configuration. The testbed is a thin veneer over a
+// declarative ScenarioSpec: it fills in the spec ("kvs" from the
+// AppRegistry on both placements) and keeps concrete-typed accessors for
+// the benches and tests.
 #ifndef INCOD_SRC_SCENARIOS_KVS_TESTBED_H_
 #define INCOD_SRC_SCENARIOS_KVS_TESTBED_H_
 
@@ -14,7 +16,7 @@
 
 #include "src/kvs/lake.h"
 #include "src/kvs/memcached_server.h"
-#include "src/scenarios/testbed_builder.h"
+#include "src/scenarios/scenario_spec.h"
 
 namespace incod {
 
@@ -34,27 +36,32 @@ struct KvsTestbedOptions {
   SimDuration meter_period = Milliseconds(1);
 };
 
+// Builds the declarative spec the testbed wires (exposed so differential
+// tests and custom scenarios can start from the same literal).
+ScenarioSpec MakeKvsScenarioSpec(const KvsTestbedOptions& options);
+
 class KvsTestbed {
  public:
   KvsTestbed(Simulation& sim, KvsTestbedOptions options);
 
   // Null when the mode lacks the component.
-  Server* server() { return server_; }
-  FpgaNic* fpga() { return fpga_; }
-  LakeCache* lake() { return lake_.get(); }
-  ConventionalNic* nic() { return nic_; }
-  MemcachedServer* memcached() { return memcached_.get(); }
-  WallPowerMeter& meter() { return builder_.meter(); }
+  Server* server() { return testbed_->server(); }
+  FpgaNic* fpga() { return testbed_->fpga(); }
+  LakeCache* lake() { return lake_; }
+  ConventionalNic* nic() { return testbed_->nic(); }
+  MemcachedServer* memcached() { return memcached_; }
+  WallPowerMeter& meter() { return testbed_->meter(); }
   Simulation& sim() { return sim_; }
-  TestbedBuilder& builder() { return builder_; }
+  TestbedBuilder& builder() { return testbed_->builder(); }
+  ScenarioTestbed& scenario() { return *testbed_; }
 
   // Creates the (single) load client wired to the testbed ingress.
   LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
                         RequestFactory factory);
-  LoadClient* client() { return client_; }
+  LoadClient* client() { return testbed_->client(); }
 
   // Address clients should target.
-  NodeId ServiceNode() const;
+  NodeId ServiceNode() const { return testbed_->ServiceNode(); }
 
   // Fills the software store (and, when present, LaKe's caches) with keys
   // [0, count) so GETs hit.
@@ -63,13 +70,9 @@ class KvsTestbed {
  private:
   Simulation& sim_;
   KvsTestbedOptions options_;
-  TestbedBuilder builder_;
-  std::unique_ptr<MemcachedServer> memcached_;
-  std::unique_ptr<LakeCache> lake_;
-  Server* server_ = nullptr;
-  FpgaNic* fpga_ = nullptr;
-  ConventionalNic* nic_ = nullptr;
-  LoadClient* client_ = nullptr;
+  std::unique_ptr<ScenarioTestbed> testbed_;
+  MemcachedServer* memcached_ = nullptr;
+  LakeCache* lake_ = nullptr;
 };
 
 }  // namespace incod

@@ -3,9 +3,26 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/app/app_registry.h"
 #include "src/power/cpu_power.h"
 
 namespace incod {
+
+namespace {
+// All Paxos roles are built through the AppRegistry ("paxos-leader",
+// "paxos-acceptor", "paxos-learner") so the testbed exercises the same
+// per-placement factories every spec-built scenario uses.
+AppFactoryEnv RoleEnv(const PaxosGroupConfig& group, uint32_t role_id,
+                      PaxosSoftwareConfig software = LibpaxosConfig(),
+                      NodeId service = 0) {
+  AppFactoryEnv env;
+  env.paxos_group = &group;
+  env.paxos_role_id = role_id;
+  env.paxos_software = software;
+  env.service = service;
+  return env;
+}
+}  // namespace
 
 const char* PaxosDeploymentName(PaxosDeployment deployment) {
   switch (deployment) {
@@ -70,15 +87,17 @@ void PaxosTestbed::WireLeader() {
     server_config.power_curve = I7LibpaxosCurve();
     Server* host = builder_.AddServer(server_config);
     sut_server_ = host;
-    software_leader_ = std::make_unique<SoftwareLeader>(group_, /*ballot=*/1);
+    software_leader_ = AppRegistry::Global().CreateAs<SoftwareLeader>(
+        "paxos-leader", PlacementKind::kHost, RoleEnv(group_, /*role_id=*/1));
     host->BindApp(software_leader_.get());
 
     FpgaNicConfig fpga_config;
     fpga_config.name = "netfpga-p4xos-leader";
     fpga_config.host_node = kPaxosLeaderHostNode;
     fpga_config.device_node = kPaxosLeaderDeviceNode;
-    fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
-                                                  /*role_id=*/1, kPaxosLeaderService);
+    fpga_leader_ = AppRegistry::Global().CreateAs<P4xosFpgaApp>(
+        "paxos-leader", PlacementKind::kFpgaNic,
+        RoleEnv(group_, /*role_id=*/1, LibpaxosConfig(), kPaxosLeaderService));
     sut_fpga_ = builder_.AddFpgaNic(fpga_config, fpga_leader_.get());
     sut_fpga_->SetAppActive(false);  // Software leader serves initially.
 
@@ -107,9 +126,11 @@ void PaxosTestbed::WireLeader() {
         server_config.power_curve = I7LibpaxosCurve();
       }
       Server* host = builder_.AddServer(server_config, /*metered=*/leader_is_sut);
-      software_leader_ = std::make_unique<SoftwareLeader>(
-          group_, /*ballot=*/1,
-          deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig() : LibpaxosConfig());
+      software_leader_ = AppRegistry::Global().CreateAs<SoftwareLeader>(
+          "paxos-leader", PlacementKind::kHost,
+          RoleEnv(group_, /*role_id=*/1,
+                  deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig()
+                                                       : LibpaxosConfig()));
       host->BindApp(software_leader_.get());
 
       sut_nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(kPaxosLeaderHostNode),
@@ -131,8 +152,9 @@ void PaxosTestbed::WireLeader() {
       fpga_config.host_node = kPaxosLeaderHostNode;
       fpga_config.device_node = kPaxosLeaderDeviceNode;
       fpga_config.standalone = standalone;
-      fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
-                                                    /*role_id=*/1, kPaxosLeaderService);
+      fpga_leader_ = AppRegistry::Global().CreateAs<P4xosFpgaApp>(
+          "paxos-leader", PlacementKind::kFpgaNic,
+          RoleEnv(group_, /*role_id=*/1, LibpaxosConfig(), kPaxosLeaderService));
       FpgaNic* fpga = builder_.AddFpgaNic(fpga_config, fpga_leader_.get(),
                                           /*metered=*/leader_is_sut);
       (leader_is_sut ? sut_fpga_ : aux_fpga_) = fpga;
@@ -167,8 +189,10 @@ void PaxosTestbed::WireAcceptors() {
     if (!is_sut) {
       // Aux acceptor: fast enough to never bottleneck leader-SUT sweeps.
       Server* server = MakeAuxServer(node, "aux-acceptor", 4);
-      auto acceptor = std::make_unique<SoftwareAcceptor>(
-          group_, static_cast<uint32_t>(i), PaxosSoftwareConfig{Nanoseconds(300), 2});
+      auto acceptor = AppRegistry::Global().CreateAs<SoftwareAcceptor>(
+          "paxos-acceptor", PlacementKind::kHost,
+          RoleEnv(group_, static_cast<uint32_t>(i),
+                  PaxosSoftwareConfig{Nanoseconds(300), 2}));
       server->BindApp(acceptor.get());
       software_acceptors_.push_back(std::move(acceptor));
       continue;
@@ -189,10 +213,11 @@ void PaxosTestbed::WireAcceptors() {
           server_config.power_curve = I7LibpaxosCurve();
         }
         Server* host = builder_.AddServer(server_config);
-        auto acceptor = std::make_unique<SoftwareAcceptor>(
-            group_, static_cast<uint32_t>(i),
-            options_.deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig()
-                                                          : LibpaxosConfig());
+        auto acceptor = AppRegistry::Global().CreateAs<SoftwareAcceptor>(
+            "paxos-acceptor", PlacementKind::kHost,
+            RoleEnv(group_, static_cast<uint32_t>(i),
+                    options_.deployment == PaxosDeployment::kDpdk ? DpdkPaxosConfig()
+                                                                  : LibpaxosConfig()));
         host->BindApp(acceptor.get());
         software_acceptors_.insert(software_acceptors_.begin(), std::move(acceptor));
 
@@ -211,8 +236,9 @@ void PaxosTestbed::WireAcceptors() {
         fpga_config.host_node = 40;  // Distinct host address.
         fpga_config.device_node = kPaxosAcceptorDeviceNode;
         fpga_config.standalone = standalone;
-        fpga_acceptor_ = std::make_unique<P4xosFpgaApp>(
-            P4xosRole::kAcceptor, group_, static_cast<uint32_t>(i), node);
+        fpga_acceptor_ = AppRegistry::Global().CreateAs<P4xosFpgaApp>(
+            "paxos-acceptor", PlacementKind::kFpgaNic,
+            RoleEnv(group_, static_cast<uint32_t>(i), LibpaxosConfig(), node));
         sut_fpga_ = builder_.AddFpgaNic(fpga_config, fpga_acceptor_.get());
         sut_fpga_->SetAppActive(true);
 
@@ -240,8 +266,10 @@ void PaxosTestbed::WireAcceptors() {
 
 void PaxosTestbed::WireLearner() {
   Server* server = MakeAuxServer(kPaxosLearnerNode, "learner-host", 8);
-  learner_ = std::make_unique<SoftwareLearner>(
-      group_, PaxosSoftwareConfig{Nanoseconds(100), 8}, options_.learner_gap_timeout);
+  AppFactoryEnv env = RoleEnv(group_, 0, PaxosSoftwareConfig{Nanoseconds(100), 8});
+  env.paxos_learner_gap_timeout = options_.learner_gap_timeout;
+  learner_ = AppRegistry::Global().CreateAs<SoftwareLearner>(
+      "paxos-learner", PlacementKind::kHost, env);
   server->BindApp(learner_.get());
   learner_->StartGapTimer();
 }

@@ -1,5 +1,7 @@
 #include "src/scenarios/rack_scenario.h"
 
+#include "src/app/app_registry.h"
+
 #include <stdexcept>
 #include <utility>
 
@@ -39,14 +41,19 @@ void MixedRackScenario::WireKvs() {
   config.num_cores = 4;
   config.power_curve = I7MemcachedCurve();
   kvs_server_ = builder_.AddServer(config);
-  memcached_ = std::make_unique<MemcachedServer>(options_.memcached);
+  AppFactoryEnv kvs_env;
+  kvs_env.memcached = options_.memcached;
+  kvs_env.lake = options_.lake;
+  memcached_ = AppRegistry::Global().CreateAs<MemcachedServer>(
+      "kvs", PlacementKind::kHost, kvs_env);
   kvs_server_->BindApp(memcached_.get());
 
   FpgaNicConfig fpga_config;
   fpga_config.name = "netfpga-lake";
   fpga_config.host_node = kRackKvsServerNode;
   fpga_config.device_node = kRackKvsDeviceNode;
-  lake_ = std::make_unique<LakeCache>(options_.lake);
+  lake_ = AppRegistry::Global().CreateAs<LakeCache>("kvs", PlacementKind::kFpgaNic,
+                                                    kvs_env);
   kvs_fpga_ = builder_.AddFpgaNic(fpga_config, lake_.get());
   builder_.ConnectToSwitchPort(tor_, kvs_fpga_,
                                {kRackKvsServerNode, kRackKvsDeviceNode},
@@ -55,7 +62,8 @@ void MixedRackScenario::WireKvs() {
 
   // Starts parked on the host placement (the migrator applies the policy).
   kvs_migrator_ = std::make_unique<ClassifierMigrator>(
-      sim_, *kvs_fpga_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kGatedPark));
+      sim_, *kvs_fpga_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kGatedPark),
+      memcached_.get(), lake_.get());
 }
 
 void MixedRackScenario::WireDns() {
@@ -65,7 +73,11 @@ void MixedRackScenario::WireDns() {
   config.num_cores = 4;
   config.power_curve = I7NsdCurve();
   dns_server_ = builder_.AddServer(config);
-  nsd_ = std::make_unique<NsdServer>(&zone_, options_.nsd);
+  AppFactoryEnv dns_env;
+  dns_env.zone = &zone_;
+  dns_env.nsd = options_.nsd;
+  dns_env.service = kRackDnsServerNode;
+  nsd_ = AppRegistry::Global().CreateAs<NsdServer>("dns", PlacementKind::kHost, dns_env);
   dns_server_->BindApp(nsd_.get());
 
   dns_nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(kRackDnsServerNode));
@@ -74,13 +86,13 @@ void MixedRackScenario::WireDns() {
   builder_.ConnectPcie(dns_nic_, dns_server_, TestbedBuilder::PcieLink(), "dns-pcie");
 
   // DNS offloads into the ToR pipeline itself (§9.2's switch-DNS argument).
-  DnsSwitchConfig dns_config;
-  dns_config.dns_service = kRackDnsServerNode;
-  dns_program_ = std::make_unique<DnsSwitchProgram>(&zone_, dns_config);
+  dns_program_ = AppRegistry::Global().CreateAs<DnsSwitchProgram>(
+      "dns", PlacementKind::kSwitchAsic, dns_env);
   dns_target_ = std::make_unique<SwitchOffloadTarget>(*tor_, *dns_program_,
                                                       AppProto::kDns, kRackDnsServerNode);
   dns_migrator_ = std::make_unique<ClassifierMigrator>(
-      sim_, *dns_target_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm));
+      sim_, *dns_target_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm),
+      nsd_.get(), dns_program_.get());
 }
 
 void MixedRackScenario::WirePaxos() {
@@ -97,15 +109,20 @@ void MixedRackScenario::WirePaxos() {
   host_config.num_cores = 4;
   host_config.power_curve = I7LibpaxosCurve();
   paxos_host_ = builder_.AddServer(host_config);
-  software_leader_ = std::make_unique<SoftwareLeader>(group_, /*ballot=*/1);
+  AppFactoryEnv leader_env;
+  leader_env.paxos_group = &group_;
+  leader_env.paxos_role_id = 1;
+  software_leader_ = AppRegistry::Global().CreateAs<SoftwareLeader>(
+      "paxos-leader", PlacementKind::kHost, leader_env);
   paxos_host_->BindApp(software_leader_.get());
 
   FpgaNicConfig fpga_config;
   fpga_config.name = "netfpga-p4xos";
   fpga_config.host_node = kRackPaxosHostNode;
   fpga_config.device_node = kRackPaxosDeviceNode;
-  fpga_leader_ = std::make_unique<P4xosFpgaApp>(P4xosRole::kLeader, group_,
-                                                /*role_id=*/1, kRackPaxosLeaderService);
+  leader_env.service = kRackPaxosLeaderService;
+  fpga_leader_ = AppRegistry::Global().CreateAs<P4xosFpgaApp>(
+      "paxos-leader", PlacementKind::kFpgaNic, leader_env);
   paxos_fpga_ = builder_.AddFpgaNic(fpga_config, fpga_leader_.get());
   paxos_fpga_->SetAppActive(false);
   paxos_port_ = builder_.ConnectToSwitchPort(
@@ -119,14 +136,21 @@ void MixedRackScenario::WirePaxos() {
   for (int i = 0; i < options_.num_acceptors; ++i) {
     Server* server = builder_.AddAuxServer(
         tor_, kRackAcceptorBaseNode + static_cast<NodeId>(i), "aux-acceptor", 4);
-    auto acceptor = std::make_unique<SoftwareAcceptor>(
-        group_, static_cast<uint32_t>(i), PaxosSoftwareConfig{Nanoseconds(300), 2});
+    AppFactoryEnv acceptor_env;
+    acceptor_env.paxos_group = &group_;
+    acceptor_env.paxos_role_id = static_cast<uint32_t>(i);
+    acceptor_env.paxos_software = PaxosSoftwareConfig{Nanoseconds(300), 2};
+    auto acceptor = AppRegistry::Global().CreateAs<SoftwareAcceptor>(
+        "paxos-acceptor", PlacementKind::kHost, acceptor_env);
     server->BindApp(acceptor.get());
     acceptors_.push_back(std::move(acceptor));
   }
   Server* learner_host = builder_.AddAuxServer(tor_, kRackLearnerNode, "learner-host", 8);
-  learner_ = std::make_unique<SoftwareLearner>(group_, PaxosSoftwareConfig{Nanoseconds(100), 8},
-                                               Milliseconds(50));
+  AppFactoryEnv learner_env;
+  learner_env.paxos_group = &group_;
+  learner_env.paxos_software = PaxosSoftwareConfig{Nanoseconds(100), 8};
+  learner_ = AppRegistry::Global().CreateAs<SoftwareLearner>(
+      "paxos-learner", PlacementKind::kHost, learner_env);
   learner_host->BindApp(learner_.get());
   learner_->StartGapTimer();
 

@@ -1,0 +1,159 @@
+#include "src/scenarios/scenario_spec.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/dns/dns_message.h"
+#include "src/kvs/kv_protocol.h"
+#include "src/workload/dns_workload.h"
+
+namespace incod {
+
+ScenarioTestbed::ScenarioTestbed(Simulation& sim, ScenarioSpec spec)
+    : sim_(sim), spec_(std::move(spec)), builder_(sim, spec_.meter_period) {
+  if (!spec_.host.present && spec_.target.kind != ScenarioTargetKind::kFpgaNic) {
+    throw std::invalid_argument("ScenarioSpec: a hostless scenario needs an FPGA NIC");
+  }
+  BuildHost();
+  BuildTarget();
+  builder_.StartMeter();
+  BuildController();
+  BuildWorkload();
+}
+
+void ScenarioTestbed::BuildHost() {
+  if (!spec_.host.present) {
+    return;
+  }
+  server_ = builder_.AddServer(spec_.host.config);
+  for (const std::string& name : spec_.host.apps) {
+    auto app = AppRegistry::Global().Create(name, PlacementKind::kHost, spec_.env);
+    server_->BindApp(app.get());
+    host_apps_.push_back(std::move(app));
+  }
+}
+
+void ScenarioTestbed::BuildTarget() {
+  switch (spec_.target.kind) {
+    case ScenarioTargetKind::kNone:
+      return;
+    case ScenarioTargetKind::kConventionalNic: {
+      if (server_ == nullptr) {
+        throw std::invalid_argument("ScenarioSpec: conventional NIC needs a host");
+      }
+      ConventionalNicConfig nic_config =
+          spec_.target.intel_nic ? IntelX520Config(spec_.host.config.node)
+                                 : MellanoxConnectX3Config(spec_.host.config.node);
+      if (!spec_.target.name.empty()) {
+        nic_config.name = spec_.target.name;
+      }
+      nic_ = builder_.AddConventionalNic(nic_config);
+      builder_.ConnectPcie(nic_, server_, spec_.target.pcie);
+      return;
+    }
+    case ScenarioTargetKind::kFpgaNic: {
+      FpgaNicConfig fpga_config;
+      fpga_config.name = spec_.target.name.empty() ? "netfpga" : spec_.target.name;
+      fpga_config.host_node = spec_.host.config.node;
+      fpga_config.device_node = spec_.target.device_node;
+      fpga_config.standalone = spec_.target.standalone;
+      if (!spec_.target.app.empty()) {
+        offload_app_ = AppRegistry::Global().Create(spec_.target.app,
+                                                    PlacementKind::kFpgaNic, spec_.env);
+      }
+      fpga_ = builder_.AddFpgaNic(fpga_config, offload_app_.get());
+      if (server_ != nullptr) {
+        builder_.ConnectPcie(fpga_, server_, spec_.target.pcie);
+      }
+      if (offload_app_ != nullptr) {
+        fpga_->SetAppActive(spec_.target.initially_active);
+      }
+      return;
+    }
+  }
+}
+
+void ScenarioTestbed::BuildController() {
+  if (!spec_.controller.present) {
+    return;
+  }
+  if (fpga_ == nullptr || offload_app_ == nullptr) {
+    throw std::invalid_argument("ScenarioSpec: controller needs an offloaded app");
+  }
+  ClassifierMigrator::Options options =
+      ClassifierMigrator::Options::FromPolicy(spec_.controller.park_policy);
+  options.transfer_state = spec_.controller.transfer_state;
+  migrator_ = std::make_unique<ClassifierMigrator>(
+      sim_, *fpga_, options, host_apps_.empty() ? nullptr : host_apps_.front().get(),
+      offload_app_.get());
+  controller_ = std::make_unique<NetworkController>(sim_, *fpga_, *migrator_,
+                                                    spec_.controller.network);
+  controller_->Start();
+}
+
+NodeId ScenarioTestbed::ServiceNode() const {
+  if (spec_.host.present) {
+    return spec_.host.config.node;
+  }
+  return spec_.target.device_node;
+}
+
+App* ScenarioTestbed::host_app(size_t index) {
+  return index < host_apps_.size() ? host_apps_[index].get() : nullptr;
+}
+
+LoadClient& ScenarioTestbed::AddClient(LoadClientConfig config,
+                                       std::unique_ptr<ArrivalProcess> arrival,
+                                       RequestFactory factory) {
+  if (client_ != nullptr) {
+    throw std::logic_error("ScenarioTestbed: client already attached");
+  }
+  client_ = builder_.AddLoadClient(std::move(config), std::move(arrival),
+                                   std::move(factory));
+  if (fpga_ != nullptr) {
+    builder_.ConnectClient(client_, fpga_, spec_.client_link);
+  } else if (nic_ != nullptr) {
+    builder_.ConnectClient(client_, nic_, spec_.client_link);
+  } else {
+    throw std::logic_error("ScenarioTestbed: no ingress device for the client");
+  }
+  return *client_;
+}
+
+void ScenarioTestbed::BuildWorkload() {
+  using Kind = ScenarioWorkloadSpec::Kind;
+  if (spec_.workload.kind == Kind::kNone) {
+    return;
+  }
+  const NodeId service = ServiceNode();
+  RequestFactory factory;
+  switch (spec_.workload.kind) {
+    case Kind::kKvUniformGets: {
+      const int64_t max_key =
+          std::max<int64_t>(0, static_cast<int64_t>(spec_.workload.keyspace) - 1);
+      factory = [service, max_key](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+        const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, max_key));
+        return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
+      };
+      break;
+    }
+    case Kind::kDnsQueries: {
+      DnsWorkloadConfig dns;
+      dns.dns_service = service;
+      dns.zone_size = spec_.env.zone != nullptr ? spec_.env.zone->size()
+                                                : spec_.workload.keyspace;
+      dns.miss_fraction = spec_.workload.dns_miss_fraction;
+      factory = MakeDnsRequestFactory(dns);
+      break;
+    }
+    case Kind::kNone:
+      return;
+  }
+  AddClient(spec_.workload.client,
+            std::make_unique<ConstantArrival>(spec_.workload.rate_per_second),
+            std::move(factory));
+  client_->Start();
+}
+
+}  // namespace incod

@@ -1,0 +1,144 @@
+// Declarative scenario description, consumed by TestbedBuilder.
+//
+// A ScenarioSpec is a struct literal naming *what* a testbed contains —
+// host node, offload target, applications by registry name, workload,
+// controller policy — and ScenarioTestbed turns it into a wired topology:
+//
+//   ScenarioSpec spec;
+//   spec.host.apps = {"kvs"};
+//   spec.target.kind = ScenarioTargetKind::kFpgaNic;
+//   spec.target.app = "kvs";                  // LaKe, via the AppRegistry
+//   ScenarioTestbed testbed(sim, spec);
+//
+// covers the paper's §4.1 chain family (client -- device -- host) that the
+// KVS and DNS testbeds, the Fig 3/4/6 benches, and the §9.1 controller
+// experiments all share. Apps are created through AppRegistry, so a new
+// application reaches every spec-built scenario by registering one factory.
+#ifndef INCOD_SRC_SCENARIOS_SCENARIO_SPEC_H_
+#define INCOD_SRC_SCENARIOS_SCENARIO_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/app_registry.h"
+#include "src/ondemand/controller.h"
+#include "src/ondemand/migrator.h"
+#include "src/scenarios/testbed_builder.h"
+
+namespace incod {
+
+enum class ScenarioTargetKind { kNone, kConventionalNic, kFpgaNic };
+
+struct ScenarioHostSpec {
+  bool present = true;
+  ServerConfig config;  // Name, node, cores, power curve, stack.
+  // Host-placement apps, by registry name, bound in order.
+  std::vector<std::string> apps;
+};
+
+struct ScenarioTargetSpec {
+  ScenarioTargetKind kind = ScenarioTargetKind::kConventionalNic;
+  std::string name = "nic";
+  NodeId device_node = 0;
+  bool standalone = false;  // FPGA NIC without a host (own PSU).
+  bool intel_nic = false;   // Conventional NIC: Intel X520 vs Mellanox.
+  // FPGA-placement app by registry name ("" = bare NIC).
+  std::string app;
+  bool initially_active = true;
+  Link::Config pcie = TestbedBuilder::PcieLink();
+};
+
+// Declarative workload: an open-loop client against the scenario's service.
+struct ScenarioWorkloadSpec {
+  enum class Kind { kNone, kKvUniformGets, kDnsQueries };
+  Kind kind = Kind::kNone;
+  double rate_per_second = 100000;
+  uint64_t keyspace = 1000;          // kKvUniformGets.
+  double dns_miss_fraction = 0.0;    // kDnsQueries.
+  LoadClientConfig client;
+};
+
+// Declarative on-demand policy: a §9.1 network controller driving a
+// classifier migrator with the chosen §9.2 park policy.
+struct ScenarioControllerSpec {
+  bool present = false;
+  ParkPolicy park_policy = ParkPolicy::kGatedPark;
+  bool transfer_state = false;  // Generic state transfer on each shift.
+  NetworkControllerConfig network;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  SimDuration meter_period = Milliseconds(1);
+  ScenarioHostSpec host;
+  ScenarioTargetSpec target;
+  Link::Config client_link = TestbedBuilder::TenGigLink();
+  ScenarioWorkloadSpec workload;
+  ScenarioControllerSpec controller;
+  // Shared factory resources/knobs (zone, paxos group, per-family configs).
+  AppFactoryEnv env;
+};
+
+// A testbed built from a spec. Owns the registry-created apps, the
+// migrator/controller when requested, and everything TestbedBuilder owns.
+class ScenarioTestbed {
+ public:
+  ScenarioTestbed(Simulation& sim, ScenarioSpec spec);
+
+  Simulation& sim() { return sim_; }
+  const ScenarioSpec& spec() const { return spec_; }
+  TestbedBuilder& builder() { return builder_; }
+  WallPowerMeter& meter() { return builder_.meter(); }
+
+  // Null when the spec lacks the component.
+  Server* server() { return server_; }
+  FpgaNic* fpga() { return fpga_; }
+  ConventionalNic* nic() { return nic_; }
+  LoadClient* client() { return client_; }
+  ClassifierMigrator* migrator() { return migrator_.get(); }
+  NetworkController* controller() { return controller_.get(); }
+
+  // Registry-built applications. Index follows spec order.
+  App* host_app(size_t index = 0);
+  App* offload_app() { return offload_app_.get(); }
+  template <typename T>
+  T* host_app_as(size_t index = 0) {
+    return dynamic_cast<T*>(host_app(index));
+  }
+  template <typename T>
+  T* offload_app_as() {
+    return dynamic_cast<T*>(offload_app_.get());
+  }
+
+  // Address clients should target (the host node, or the device when
+  // standalone).
+  NodeId ServiceNode() const;
+
+  // Attaches the (single) open-loop client to the testbed ingress. The
+  // spec's workload (if any) was already attached at construction.
+  LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
+                        RequestFactory factory);
+
+ private:
+  void BuildHost();
+  void BuildTarget();
+  void BuildWorkload();
+  void BuildController();
+
+  Simulation& sim_;
+  ScenarioSpec spec_;
+  TestbedBuilder builder_;
+  Server* server_ = nullptr;
+  FpgaNic* fpga_ = nullptr;
+  ConventionalNic* nic_ = nullptr;
+  LoadClient* client_ = nullptr;
+  std::vector<std::unique_ptr<App>> host_apps_;
+  std::unique_ptr<App> offload_app_;
+  std::unique_ptr<ClassifierMigrator> migrator_;
+  std::unique_ptr<NetworkController> controller_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SCENARIOS_SCENARIO_SPEC_H_

@@ -29,7 +29,7 @@ Server* TestbedBuilder::AddServer(ServerConfig config, bool metered) {
   return server;
 }
 
-FpgaNic* TestbedBuilder::AddFpgaNic(FpgaNicConfig config, FpgaApp* app, bool metered) {
+FpgaNic* TestbedBuilder::AddFpgaNic(FpgaNicConfig config, App* app, bool metered) {
   FpgaNic* nic = Own<FpgaNic>(sim_, std::move(config));
   if (app != nullptr) {
     nic->InstallApp(app);

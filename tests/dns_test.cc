@@ -42,7 +42,11 @@ TEST(DnsIpv4Test, RoundTrip) {
   EXPECT_FALSE(ParseIpv4("300.1.1.1").has_value());
   EXPECT_FALSE(ParseIpv4("1.2.3").has_value());
   EXPECT_FALSE(ParseIpv4("1.2.3.4.5").has_value());
-  EXPECT_THROW(RdataToIpv4({1, 2, 3}), std::invalid_argument);
+  DnsRdata three_bytes;
+  three_bytes.push_back(1);
+  three_bytes.push_back(2);
+  three_bytes.push_back(3);
+  EXPECT_THROW(RdataToIpv4(three_bytes), std::invalid_argument);
 }
 
 TEST(DnsWireTest, QueryRoundTrip) {

@@ -314,8 +314,10 @@ TEST(PaxosIntegrationTest, P4xosFpgaHandlesHighRate) {
 }
 
 TEST(PaxosIntegrationTest, PowerAnchorsPerDeployment) {
-  Simulation sim(1);
-  auto measure = [&sim](PaxosDeployment deployment) {
+  // One simulation per measurement: a testbed's self-rescheduling events
+  // (meter samples, learner gap timer) must not outlive it in a shared sim.
+  auto measure = [](PaxosDeployment deployment) {
+    Simulation sim(1);
     PaxosTestbedOptions options;
     options.deployment = deployment;
     options.client.requests_per_second = 1000;  // Near idle.

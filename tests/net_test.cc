@@ -174,6 +174,53 @@ TEST(LinkTest, InServicePacketDoesNotOccupyQueue) {
   EXPECT_EQ(link.dropped(&b), 1u);
 }
 
+// Runs the same traffic through a coalescing and a non-coalescing link and
+// returns the delivered (id, arrival-time) sequence at the far end.
+std::vector<std::pair<uint64_t, SimTime>> DeliverSequence(bool coalesce) {
+  Simulation sim(7);
+  Link::Config config;
+  config.gigabits_per_second = 1000.0;  // 64B ~ 0.5ns: rounds to same-tick.
+  config.propagation_delay = Nanoseconds(20);
+  config.coalesce_same_tick_delivery = coalesce;
+  Link link(sim, config, "batchy");
+  CollectorSink a(&sim, "a");
+  CollectorSink b(&sim, "b");
+  link.Connect(&a, &b);
+  // Bursts of tiny (zero-serialization) and larger packets: several packets
+  // share a deliver tick inside each burst.
+  uint64_t id = 0;
+  for (int burst = 0; burst < 5; ++burst) {
+    sim.ScheduleAt(burst * Nanoseconds(100), [&link, &a, &id] {
+      for (int i = 0; i < 6; ++i) {
+        Packet pkt = MakeRawPacket(1, 2, i == 3 ? 512 : 0);
+        pkt.id = ++id;
+        link.Send(&a, std::move(pkt));
+      }
+    });
+  }
+  sim.Run();
+  std::vector<std::pair<uint64_t, SimTime>> sequence;
+  for (size_t i = 0; i < b.packets.size(); ++i) {
+    sequence.emplace_back(b.packets[i].id, b.arrival_times[i]);
+  }
+  return sequence;
+}
+
+TEST(LinkTest, CoalescedDeliveryMatchesUnbatchedOrder) {
+  const auto batched = DeliverSequence(/*coalesce=*/true);
+  const auto unbatched = DeliverSequence(/*coalesce=*/false);
+  ASSERT_EQ(batched.size(), 30u);
+  ASSERT_EQ(batched.size(), unbatched.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].first, unbatched[i].first) << "order diverged at " << i;
+    EXPECT_EQ(batched[i].second, unbatched[i].second) << "time diverged at " << i;
+  }
+  // FIFO order must be the send order.
+  for (size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].first, i + 1);
+  }
+}
+
 TEST(LinkTest, RejectsUnknownSender) {
   Simulation sim;
   CollectorSink a;

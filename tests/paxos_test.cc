@@ -412,7 +412,11 @@ TEST_P(PaxosSafetyTest, NoConflictingDeliveries) {
   // 2a messages have reached the acceptors or been lost — the acceptors'
   // ingress drains before the new leader probes), repoint, then probe.
   std::vector<PaxosOut> residue;
-  for (auto& msg : wire) {
+  // Drain a snapshot: HandleMessage outputs are pushed back onto `wire`,
+  // which must not be the vector being iterated (iterator invalidation).
+  std::vector<PaxosOut> in_flight;
+  in_flight.swap(wire);
+  for (auto& msg : in_flight) {
     if (msg.dst >= 10 && msg.dst <= 12 && !rng.Bernoulli(0.2)) {
       push(acceptors[msg.dst - 10].HandleMessage(msg.msg));
     } else {

@@ -91,6 +91,96 @@ TEST(KvsTestbedTest, MeterSeesIdleAnchor) {
   EXPECT_NEAR(testbed.meter().InstantWatts(), 39.0, 0.1);
 }
 
+// Differential check for the declarative path: a spec/registry-built LaKe
+// testbed must reproduce, event for event, the results of the original
+// imperative wiring (reproduced by hand below with concrete app types and
+// direct TestbedBuilder calls).
+TEST(KvsTestbedTest, RegistryBuiltTestbedMatchesHandWiredResults) {
+  struct RunResult {
+    uint64_t received = 0;
+    uint64_t completed = 0;
+    uint64_t l1_hits = 0;
+    uint64_t misses = 0;
+    double p50 = 0;
+    double watts = 0;
+  };
+  auto factory = [](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 999));
+    return MakeKvRequestPacket(src, 1, KvRequest{KvOp::kGet, key, 0}, id, now);
+  };
+  auto drive = [&](Simulation& sim, LoadClient& client, Server& server,
+                   LakeCache& lake, WallPowerMeter& meter) {
+    client.Start();
+    sim.RunUntil(Milliseconds(100));
+    RunResult r;
+    r.received = client.received();
+    r.completed = server.requests_completed();
+    r.l1_hits = lake.l1_hits();
+    r.misses = lake.misses_to_host();
+    r.p50 = client.latency().P50();
+    r.watts = meter.MeanWatts(0, sim.Now());
+    return r;
+  };
+
+  // Spec/registry path: KvsTestbed is a veneer over MakeKvsScenarioSpec.
+  RunResult spec_result;
+  {
+    Simulation sim(21);
+    KvsTestbedOptions options;
+    options.mode = KvsMode::kLake;
+    KvsTestbed testbed(sim, options);
+    testbed.Prefill(1000, 64);
+    auto& client = testbed.AddClient(LoadClientConfig{},
+                                     std::make_unique<ConstantArrival>(300000.0),
+                                     factory);
+    spec_result = drive(sim, client, *testbed.server(), *testbed.lake(),
+                        testbed.meter());
+  }
+
+  // Hand-wired path: the pre-redesign imperative construction.
+  RunResult hand_result;
+  {
+    Simulation sim(21);
+    TestbedBuilder builder(sim, Milliseconds(1));
+    ServerConfig server_config;
+    server_config.name = "i7-server";
+    server_config.node = kTestbedServerNode;
+    server_config.num_cores = 4;
+    server_config.power_curve = I7MemcachedCurve();
+    Server* server = builder.AddServer(server_config);
+    MemcachedServer memcached;
+    server->BindApp(&memcached);
+
+    FpgaNicConfig fpga_config;
+    fpga_config.name = "netfpga-lake";
+    fpga_config.host_node = kTestbedServerNode;
+    fpga_config.device_node = kTestbedDeviceNode;
+    LakeCache lake;
+    FpgaNic* fpga = builder.AddFpgaNic(fpga_config, &lake);
+    builder.ConnectPcie(fpga, server, TestbedBuilder::PcieLink(Nanoseconds(2500)));
+    fpga->SetAppActive(true);
+    builder.StartMeter();
+
+    for (uint64_t k = 0; k < 1000; ++k) {
+      memcached.store().Set(k, 64);
+    }
+    lake.WarmFill(0, 1000, 64);
+
+    LoadClient* client = builder.AddLoadClient(
+        LoadClientConfig{}, std::make_unique<ConstantArrival>(300000.0), factory);
+    builder.ConnectClient(client, fpga, TestbedBuilder::TenGigLink(Nanoseconds(100)));
+    hand_result = drive(sim, *client, *server, lake, builder.meter());
+  }
+
+  EXPECT_GT(spec_result.received, 0u);
+  EXPECT_EQ(spec_result.received, hand_result.received);
+  EXPECT_EQ(spec_result.completed, hand_result.completed);
+  EXPECT_EQ(spec_result.l1_hits, hand_result.l1_hits);
+  EXPECT_EQ(spec_result.misses, hand_result.misses);
+  EXPECT_DOUBLE_EQ(spec_result.p50, hand_result.p50);
+  EXPECT_DOUBLE_EQ(spec_result.watts, hand_result.watts);
+}
+
 TEST(DnsTestbedTest, ModesAndZoneSharing) {
   Simulation sim(1);
   DnsTestbedOptions options;

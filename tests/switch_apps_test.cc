@@ -137,6 +137,20 @@ TEST(KvSwitchCacheTest, HotKeyGetsCachedFromResponses) {
   EXPECT_EQ(h.client.packets.size(), 4u);
 }
 
+TEST(KvSwitchCacheTest, CachedHitIsNotAlsoForwardedToServer) {
+  // Regression: the switch reply re-enters the pipeline synchronously (the
+  // response passes back through the same program); that inner pass must
+  // not clobber the outer pass's consumed-verdict, or the already-answered
+  // request would also reach the server and be answered twice.
+  SwitchKvsHarness h;
+  h.cache.cache().Set(5, 64);  // Warm the register array directly.
+  h.SendGet(5, 1);
+  h.sim.Run();
+  EXPECT_EQ(h.cache.hits(), 1u);
+  EXPECT_EQ(h.client.packets.size(), 1u);     // The line-rate reply.
+  EXPECT_TRUE(h.server_sink.packets.empty());  // Request terminated in-switch.
+}
+
 TEST(KvSwitchCacheTest, ColdKeyNotCached) {
   SwitchKvsHarness h;
   h.SendGet(9, 1);
