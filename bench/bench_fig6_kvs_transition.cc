@@ -7,8 +7,22 @@
 // stops. Expected results: throughput unaffected by the transitions,
 // query-hit latency improves roughly ten-fold within tens of microseconds,
 // power tracks the background load.
+//
+// Modes:
+//   (default)            — the paper's timeline reproduction (cold shifts).
+//   --out PATH [--quick] — warm-vs-cold comparison: shifts the KVS into
+//     LaKe with transfer_state off (the paper: caches start cold, every
+//     lookup punts to the host until egress observation re-warms them) and
+//     on (the generic state-transfer path: the host store's LRU contents
+//     arrive in LaKe's caches with the flip), measures the post-shift miss
+//     fraction and hit latency, and records the delta as a JSON part for
+//     BENCH_transitions.json (gated in CI against
+//     bench/baseline_transitions.json).
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/ondemand/controller.h"
@@ -18,8 +32,121 @@
 #include "src/stats/csv.h"
 #include "src/workload/etc_workload.h"
 
-int main() {
-  using namespace incod;
+namespace {
+
+using namespace incod;
+
+struct TransitionResult {
+  // Fraction of classifier-diverted lookups that missed to the host in the
+  // measurement window right after the shift (cold caches -> near 1).
+  double post_shift_miss_fraction = 0;
+  double post_shift_p50_us = 0;
+  uint64_t window_misses = 0;
+  uint64_t window_hits = 0;
+};
+
+TransitionResult RunTransition(bool warm, bool quick) {
+  Simulation sim(23);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  options.lake_initially_active = false;
+  KvsTestbed testbed(sim, options);
+  // Warm only the authoritative host store: LaKe's caches hold whatever the
+  // shift (and subsequent traffic) brings them.
+  constexpr uint64_t kKeys = 20000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    testbed.memcached()->store().Set(k, 64);
+  }
+
+  EtcWorkloadConfig etc_config;
+  etc_config.kvs_service = testbed.ServiceNode();
+  etc_config.key_population = kKeys;
+  EtcWorkload etc(etc_config);
+  LoadClientConfig client_config;
+  client_config.rate_bucket = Milliseconds(500);
+  auto& client = testbed.AddClient(client_config,
+                                   std::make_unique<PoissonArrival>(16000.0),
+                                   etc.MakeFactory());
+
+  // Fig 6 ran without clock gating / memory reset enabled; the warm mode
+  // additionally carries the store contents through the generic transfer.
+  ClassifierMigrator::Options migrate_options =
+      ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm);
+  migrate_options.transfer_state = warm;
+  ClassifierMigrator migrator(sim, *testbed.fpga(), migrate_options,
+                              testbed.memcached(), testbed.lake());
+
+  const SimTime shift_at = Seconds(1);
+  const SimDuration window = quick ? Milliseconds(200) : Milliseconds(500);
+
+  TransitionResult result;
+  uint64_t hits_at_shift = 0;
+  uint64_t misses_at_shift = 0;
+  sim.Schedule(shift_at, [&] {
+    migrator.ShiftToNetwork();
+    hits_at_shift = testbed.lake()->l1_hits() + testbed.lake()->l2_hits();
+    misses_at_shift = testbed.lake()->misses_to_host();
+    client.mutable_latency().Reset();
+  });
+  sim.Schedule(shift_at + window, [&] {
+    result.window_hits =
+        testbed.lake()->l1_hits() + testbed.lake()->l2_hits() - hits_at_shift;
+    result.window_misses = testbed.lake()->misses_to_host() - misses_at_shift;
+    const uint64_t total = result.window_hits + result.window_misses;
+    result.post_shift_miss_fraction =
+        total == 0 ? 0.0 : static_cast<double>(result.window_misses) / total;
+    result.post_shift_p50_us =
+        ToMicroseconds(static_cast<SimDuration>(client.latency().P50()));
+  });
+
+  client.Start();
+  sim.RunUntil(shift_at + window + Milliseconds(50));
+  return result;
+}
+
+int RunComparison(bool quick, const std::string& out_path) {
+  bench::PrintHeader("Figure 6: KVS transition warmth, warm vs cold",
+                     "Cold: the paper's classifier flip (LaKe starts empty, "
+                     "misses punt to the host). Warm: the host store's LRU "
+                     "contents ride the generic state-transfer path.");
+  const TransitionResult cold = RunTransition(/*warm=*/false, quick);
+  const TransitionResult warm = RunTransition(/*warm=*/true, quick);
+
+  std::cout << "cold: post-shift miss fraction " << cold.post_shift_miss_fraction
+            << " (" << cold.window_misses << " misses / " << cold.window_hits
+            << " hits), p50 " << cold.post_shift_p50_us << " us\n";
+  std::cout << "warm: post-shift miss fraction " << warm.post_shift_miss_fraction
+            << " (" << warm.window_misses << " misses / " << warm.window_hits
+            << " hits), p50 " << warm.post_shift_p50_us << " us\n";
+  std::cout << "delta (cold - warm) miss fraction: "
+            << cold.post_shift_miss_fraction - warm.post_shift_miss_fraction << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.Field("bench", "fig6_kvs_transition");
+  json.Field("build_type", bench::BuildTypeName());
+  json.Field("quick", quick);
+  json.BeginObject("kvs");
+  json.Field("cold_post_shift_miss_fraction", cold.post_shift_miss_fraction);
+  json.Field("warm_post_shift_miss_fraction", warm.post_shift_miss_fraction);
+  json.Field("delta_miss_fraction",
+             cold.post_shift_miss_fraction - warm.post_shift_miss_fraction);
+  json.Field("cold_post_shift_p50_us", cold.post_shift_p50_us);
+  json.Field("warm_post_shift_p50_us", warm.post_shift_p50_us);
+  json.Field("cold_window_misses", cold.window_misses);
+  json.Field("warm_window_misses", warm.window_misses);
+  json.EndObject();
+  json.EndObject();
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}
+
+int RunTimeline() {
   bench::PrintHeader("Figure 6: KVS software->network->software transition",
                      "ETC client at ~16 kpps + ChainerMN background load; "
                      "host-controlled shift after 3 s sustained high power. "
@@ -106,4 +233,25 @@ int main() {
             << "\nclient received: " << client.received() << " of " << client.sent()
             << " sent\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_fig6_kvs_transition [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+  if (!out_path.empty()) {
+    return RunComparison(quick, out_path);
+  }
+  return RunTimeline();
 }

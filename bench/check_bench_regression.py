@@ -1,37 +1,33 @@
 #!/usr/bin/env python3
 """Gate for CI's bench-smoke job.
 
-Compares a fresh BENCH_engine.json against the checked-in
+Two modes:
+
+Engine (default): compares a fresh BENCH_engine.json against the checked-in
 bench/baseline_engine.json. Absolute events/sec vary wildly across runner
 hardware, so the gate uses the within-run speedup ratio of the calendar
 engine over the seed-replica heap engine: that ratio must not regress more
 than the tolerance (default 20%) below the recorded baseline.
 
-Usage: check_bench_regression.py BENCH_engine.json [baseline.json] [--tolerance 0.2]
+    check_bench_regression.py BENCH_engine.json [baseline.json] [--tolerance 0.2]
+
+Transitions (--transitions): merges the JSON parts written by
+bench_fig6_kvs_transition / bench_fig7_paxos_transition (--out) into one
+BENCH_transitions.json and gates the warm-vs-cold transition gap against
+bench/baseline_transitions.json. All quantities are simulated-time metrics
+(deterministic per seed), so the floors are near-absolute: the warm path
+must stay gapless and the cold-minus-warm delta must not shrink below the
+recorded policy floor.
+
+    check_bench_regression.py --transitions part1.json [part2.json ...] \
+        [--baseline bench/baseline_transitions.json] \
+        [--merge-out BENCH_transitions.json]
 """
 import json
 import sys
 
 
-def main() -> int:
-    argv = sys.argv[1:]
-    args = []
-    tolerance = 0.2
-    i = 0
-    while i < len(argv):
-        arg = argv[i]
-        if arg.startswith("--tolerance"):
-            if "=" in arg:
-                tolerance = float(arg.split("=", 1)[1])
-            else:
-                i += 1
-                tolerance = float(argv[i])
-        else:
-            args.append(arg)
-        i += 1
-    if not args:
-        print(__doc__)
-        return 2
+def check_engine(args, tolerance):
     current_path = args[0]
     baseline_path = args[1] if len(args) > 1 else "bench/baseline_engine.json"
 
@@ -56,6 +52,115 @@ def main() -> int:
         return 1
     print("OK")
     return 0
+
+
+def check_transitions(parts, baseline_path, merge_out):
+    merged = {"bench": "transitions"}
+    for path in parts:
+        with open(path) as f:
+            part = json.load(f)
+        for key in ("build_type", "quick"):
+            if key in part:
+                merged[key] = part[key]
+        for key in ("kvs", "paxos"):
+            if key in part:
+                merged[key] = part[key]
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    def require(section, condition, message):
+        status = "ok" if condition else "FAIL"
+        print(f"  [{status}] {section}: {message}")
+        if not condition:
+            failures.append(f"{section}: {message}")
+
+    if "kvs" in baseline:
+        print("kvs transition (fig6):")
+        if "kvs" not in merged:
+            failures.append("kvs: missing bench part")
+        else:
+            kvs = merged["kvs"]
+            policy = baseline["kvs"]
+            delta = kvs["delta_miss_fraction"]
+            warm = kvs["warm_post_shift_miss_fraction"]
+            require("kvs", warm <= policy["warm_max_miss_fraction"],
+                    f"warm post-shift miss fraction {warm:.3f} <= "
+                    f"{policy['warm_max_miss_fraction']:.3f}")
+            require("kvs", delta >= policy["min_delta_miss_fraction"],
+                    f"cold-warm miss-fraction delta {delta:.3f} >= "
+                    f"{policy['min_delta_miss_fraction']:.3f}")
+
+    if "paxos" in baseline:
+        print("paxos transition (fig7):")
+        if "paxos" not in merged:
+            failures.append("paxos: missing bench part")
+        else:
+            paxos = merged["paxos"]
+            policy = baseline["paxos"]
+            delta = paxos["delta_to_network_gap_ms"]
+            warm = paxos["warm_to_network_gap_ms"]
+            require("paxos", warm <= policy["warm_max_gap_ms"],
+                    f"warm to-network gap {warm:.1f} ms <= "
+                    f"{policy['warm_max_gap_ms']:.1f} ms")
+            require("paxos", delta >= policy["min_delta_gap_ms"],
+                    f"cold-warm gap delta {delta:.1f} ms >= "
+                    f"{policy['min_delta_gap_ms']:.1f} ms")
+
+    if merge_out:
+        with open(merge_out, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+        print(f"wrote {merge_out}")
+
+    if failures:
+        print("FAIL: warm-vs-cold transition gate")
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    args = []
+    tolerance = 0.2
+    transitions = False
+    baseline_path = None
+    merge_out = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg.startswith("--tolerance") or arg in ("--baseline", "--merge-out"):
+            if "=" in arg:
+                value = arg.split("=", 1)[1]
+                arg = arg.split("=", 1)[0]
+            else:
+                i += 1
+                if i >= len(argv):
+                    print(f"missing value for {arg}")
+                    print(__doc__)
+                    return 2
+                value = argv[i]
+            if arg == "--tolerance":
+                tolerance = float(value)
+            elif arg == "--baseline":
+                baseline_path = value
+            else:
+                merge_out = value
+        elif arg == "--transitions":
+            transitions = True
+        else:
+            args.append(arg)
+        i += 1
+    if not args:
+        print(__doc__)
+        return 2
+    if transitions:
+        return check_transitions(
+            args, baseline_path or "bench/baseline_transitions.json", merge_out)
+    return check_engine(args, tolerance)
 
 
 if __name__ == "__main__":

@@ -105,6 +105,11 @@ class StateTransferMigrator : public Migrator {
   std::string MigratorName() const override;
 
   const Options& options() const { return options_; }
+  // Warm/cold knob for subsequent shifts: on, every shift carries the typed
+  // AppState snapshot; off, the paper's classifier-flip (caches re-warm).
+  // The rack orchestrator applies each app's per-app policy through this.
+  virtual void SetTransferState(bool enabled) { options_.transfer_state = enabled; }
+  bool transfer_state() const { return options_.transfer_state; }
   OffloadTarget& target() { return target_; }
   const OffloadTarget& target() const { return target_; }
   App* host_app() const { return host_app_; }
@@ -189,6 +194,13 @@ class PaxosLeaderMigrator : public StateTransferMigrator {
   void ShiftToNetwork() override;
   void ShiftToHost() override;
   std::string MigratorName() const override { return "paxos-leader"; }
+
+  // Keeps the leader-election options in lockstep with the generic core's
+  // transfer knob (the orchestrator's warm/cold policy flows through here).
+  void SetTransferState(bool enabled) override {
+    StateTransferMigrator::SetTransferState(enabled);
+    leader_options_.transfer_state = enabled;
+  }
 
   uint16_t current_ballot() const { return ballot_; }
   const Options& leader_options() const { return leader_options_; }

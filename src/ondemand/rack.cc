@@ -188,6 +188,14 @@ void RackOrchestrator::DecideForApp(AppState& app) {
   if (now - app.last_shift < config_.min_dwell) {
     return;
   }
+  // Park while the app's own target reprograms: the shift we started is
+  // still in flight (data path halted, state not yet installed), so any
+  // decision now would act on a placement that does not exist yet.
+  if (app.active_option >= 0 &&
+      app.spec.options[static_cast<size_t>(app.active_option)].target->reprogramming()) {
+    ++reprogram_deferrals_;
+    return;
+  }
   const double rate = app.spec.measured_rate_pps();
   const double software = app.spec.software_watts(rate);
 
@@ -216,22 +224,36 @@ void RackOrchestrator::DecideForApp(AppState& app) {
     return std::max(0.0, real - app.spec.software_watts(0));
   };
 
+  // Every shift is a classifier flip + optional typed-state transfer
+  // through the generic migrator core; the app's warm/cold policy decides
+  // whether state rides along.
+  auto apply_policy = [&](StateTransferMigrator& migrator) {
+    migrator.SetTransferState(app.spec.warm_migration);
+  };
+  auto count_shift = [&] {
+    ++total_shifts_;
+    if (app.spec.warm_migration) {
+      ++warm_shifts_;
+    }
+  };
   auto place_on = [&](int index) {
     auto& option = app.spec.options[static_cast<size_t>(index)];
+    apply_policy(*option.migrator);
     option.migrator->ShiftToNetwork();
     app.active_option = index;
     app.committed_rate_pps = rate;
     app.last_shift = now;
     ++shifts_to_target_[option.target];
-    ++total_shifts_;
+    count_shift();
   };
   auto go_home = [&](RackPlacementOption& from) {
+    apply_policy(*from.migrator);
     from.migrator->ShiftToHost();
     ledger_.Release(LedgerKey(app));
     app.active_option = -1;
     app.committed_rate_pps = 0;
     app.last_shift = now;
-    ++total_shifts_;
+    count_shift();
   };
 
   if (app.active_option < 0) {
@@ -261,6 +283,10 @@ void RackOrchestrator::DecideForApp(AppState& app) {
   if (best >= 0 && best != app.active_option &&
       PredictOptionWatts(current, rate) - best_ranked >= config_.min_saving_watts) {
     if (ledger_.TryCommit(LedgerKey(app), commit_watts(best))) {
+      // Warm apps carry their state through the host bounce: the outgoing
+      // placement snapshots into the host app, and place_on() moves the
+      // host app's state onto the incoming target.
+      apply_policy(*current.migrator);
       current.migrator->ShiftToHost();
       place_on(best);
       return;

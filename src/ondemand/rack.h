@@ -54,10 +54,13 @@ class RackPowerLedger {
 };
 
 // One way to place an app in the network: a target, the migrator that moves
-// the app onto it, and the predicted placement power at a given rate.
+// the app onto it, and the predicted placement power at a given rate. Every
+// shift goes through the generic StateTransferMigrator core (classifier
+// flip + park policy + optional typed-state transfer), so the orchestrator
+// can move any registered app warm or cold without per-app plumbing.
 struct RackPlacementOption {
   OffloadTarget* target = nullptr;
-  Migrator* migrator = nullptr;
+  StateTransferMigrator* migrator = nullptr;
   // Predicted *total* watts of serving at `rate` on this target, on the
   // same absolute scale as RackAppSpec::software_watts — include the host's
   // idle draw whenever the host stays powered (it almost always does), and
@@ -78,6 +81,12 @@ struct RackAppSpec {
   // Classifier-visible request rate, readable regardless of placement.
   std::function<double()> measured_rate_pps;
   std::vector<RackPlacementOption> options;
+  // Per-app warm/cold migration policy. Warm: every orchestrator shift
+  // carries the app's typed AppState through the generic state-transfer
+  // path (LaKe caches arrive filled, a Paxos leader keeps ballot+sequence —
+  // no Fig 6/7 transition gap). Cold (default): the paper's behaviour —
+  // classifier flip only, state re-warms/re-learns after each shift.
+  bool warm_migration = false;
 };
 
 struct RackOrchestratorConfig {
@@ -115,6 +124,11 @@ class RackOrchestrator {
   // Shifts the orchestrator performed onto the given target.
   uint64_t ShiftsToTarget(const OffloadTarget& target) const;
   uint64_t total_shifts() const { return total_shifts_; }
+  // Shifts performed with the typed-state transfer enabled (warm policy).
+  uint64_t warm_shifts() const { return warm_shifts_; }
+  // Decisions skipped because the app's own target was mid-reprogram (the
+  // app stays parked until its reconfiguration completes).
+  uint64_t reprogram_deferrals() const { return reprogram_deferrals_; }
   uint64_t decisions_evaluated() const { return decisions_; }
   // Rate a target is currently committed to absorb (capacity accounting).
   double CommittedPps(const OffloadTarget& target) const;
@@ -153,6 +167,8 @@ class RackOrchestrator {
   TimeSeries measured_series_{"rack_target_watts"};
   TimeSeries offloaded_series_{"rack_offloaded_apps"};
   uint64_t total_shifts_ = 0;
+  uint64_t warm_shifts_ = 0;
+  uint64_t reprogram_deferrals_ = 0;
   uint64_t decisions_ = 0;
   bool started_ = false;
   bool stopped_ = false;

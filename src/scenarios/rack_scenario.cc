@@ -1,7 +1,5 @@
 #include "src/scenarios/rack_scenario.h"
 
-#include "src/app/app_registry.h"
-
 #include <stdexcept>
 #include <utility>
 
@@ -16,155 +14,176 @@ size_t MixedRackScenario::paxos_app_index() const {
   return paxos_app_;
 }
 
-MixedRackScenario::MixedRackScenario(Simulation& sim, MixedRackOptions options)
-    : sim_(sim), options_(std::move(options)), builder_(sim, options_.meter_period) {
-  zone_.FillSynthetic(options_.zone_size);
+ScenarioSpec MakeMixedRackSpec(const MixedRackOptions& options, const Zone* zone) {
+  ScenarioSpec spec;
+  spec.name = "mixed-rack";
+  spec.meter_period = options.meter_period;
+  spec.host.present = false;  // Switch-centric: everything is a member.
+  spec.target.kind = ScenarioTargetKind::kNone;
+  spec.env.zone = zone;
 
   // Rack ToR: a Tofino-class ASIC forwarding everything at line rate.
-  SwitchAsicConfig tor_config;
-  tor_config.name = "rack-tor";
-  tor_ = builder_.AddSwitchAsic(tor_config, /*metered=*/true);
+  spec.tor.present = true;
+  spec.tor.asic = true;
+  spec.tor.name = "rack-tor";
+  spec.tor.metered = true;
 
-  WireKvs();
-  WireDns();
-  if (options_.enable_paxos) {
-    WirePaxos();
+  {
+    ScenarioMemberSpec kvs;
+    kvs.name = "kvs";
+    kvs.link_name = "kvs-10ge";
+    kvs.host.config.name = "kvs-host";
+    kvs.host.config.node = kRackKvsServerNode;
+    kvs.host.config.num_cores = 4;
+    kvs.host.config.power_curve = I7MemcachedCurve();
+    kvs.host.apps = {"kvs"};
+    kvs.target.kind = ScenarioTargetKind::kFpgaNic;
+    kvs.target.name = "netfpga-lake";
+    kvs.target.device_node = kRackKvsDeviceNode;
+    kvs.target.app = "kvs";
+    // The migrator parks the placement; avoid a spurious activate cycle.
+    kvs.target.initially_active = false;
+    kvs.switch_routes = {kRackKvsServerNode, kRackKvsDeviceNode};
+    kvs.env.memcached = options.memcached;
+    kvs.env.lake = options.lake;
+    spec.members.push_back(std::move(kvs));
   }
-  RegisterApps();
-  builder_.StartMeter();
+
+  {
+    ScenarioMemberSpec dns;
+    dns.name = "dns";
+    dns.link_name = "dns-10ge";
+    dns.host.config.name = "dns-host";
+    dns.host.config.node = kRackDnsServerNode;
+    dns.host.config.num_cores = 4;
+    dns.host.config.power_curve = I7NsdCurve();
+    dns.host.apps = {"dns"};
+    dns.target.kind = ScenarioTargetKind::kConventionalNic;
+    dns.target.name = "";  // Preset (Mellanox) name.
+    dns.switch_routes = {kRackDnsServerNode};
+    // DNS offloads into the ToR pipeline itself (§9.2's switch-DNS argument).
+    dns.switch_app = "dns";
+    dns.env.nsd = options.nsd;
+    dns.env.service = kRackDnsServerNode;
+    spec.members.push_back(std::move(dns));
+  }
+
+  if (options.enable_paxos) {
+    PaxosGroupConfig group;
+    for (int i = 0; i < options.num_acceptors; ++i) {
+      group.acceptors.push_back(kRackAcceptorBaseNode + static_cast<NodeId>(i));
+    }
+    group.learners.push_back(kRackLearnerNode);
+    group.leader_service = kRackPaxosLeaderService;
+    spec.paxos_group = std::move(group);
+
+    // Dual leader (Fig 7 style): software leader on the host, P4xos on its
+    // NIC.
+    ScenarioMemberSpec leader;
+    leader.name = "paxos";
+    leader.link_name = "paxos-10ge";
+    leader.host.config.name = "paxos-leader-host";
+    leader.host.config.node = kRackPaxosHostNode;
+    leader.host.config.num_cores = 4;
+    leader.host.config.power_curve = I7LibpaxosCurve();
+    leader.host.apps = {"paxos-leader"};
+    leader.target.kind = ScenarioTargetKind::kFpgaNic;
+    leader.target.name = "netfpga-p4xos";
+    leader.target.device_node = kRackPaxosDeviceNode;
+    leader.target.app = "paxos-leader";
+    leader.target.initially_active = false;
+    leader.switch_routes = {kRackPaxosLeaderService, kRackPaxosHostNode,
+                            kRackPaxosDeviceNode};
+    leader.env.paxos_role_id = 1;
+    leader.env.service = kRackPaxosLeaderService;
+    spec.members.push_back(std::move(leader));
+
+    // Acceptors and learner on aux boxes that never bottleneck.
+    for (int i = 0; i < options.num_acceptors; ++i) {
+      ScenarioMemberSpec acceptor;
+      acceptor.name = "acceptor-" + std::to_string(i);
+      acceptor.aux = true;
+      acceptor.aux_cores = 4;
+      acceptor.target.kind = ScenarioTargetKind::kNone;
+      acceptor.host.config.name = "aux-acceptor";
+      acceptor.host.config.node = kRackAcceptorBaseNode + static_cast<NodeId>(i);
+      acceptor.host.apps = {"paxos-acceptor"};
+      acceptor.env.paxos_role_id = static_cast<uint32_t>(i);
+      acceptor.env.paxos_software = PaxosSoftwareConfig{Nanoseconds(300), 2};
+      spec.members.push_back(std::move(acceptor));
+    }
+    ScenarioMemberSpec learner;
+    learner.name = "learner";
+    learner.aux = true;
+    learner.aux_cores = 8;
+    learner.target.kind = ScenarioTargetKind::kNone;
+    learner.host.config.name = "learner-host";
+    learner.host.config.node = kRackLearnerNode;
+    learner.host.apps = {"paxos-learner"};
+    learner.env.paxos_software = PaxosSoftwareConfig{Nanoseconds(100), 8};
+    spec.members.push_back(std::move(learner));
+  }
+  return spec;
 }
 
-void MixedRackScenario::WireKvs() {
-  ServerConfig config;
-  config.name = "kvs-host";
-  config.node = kRackKvsServerNode;
-  config.num_cores = 4;
-  config.power_curve = I7MemcachedCurve();
-  kvs_server_ = builder_.AddServer(config);
-  AppFactoryEnv kvs_env;
-  kvs_env.memcached = options_.memcached;
-  kvs_env.lake = options_.lake;
-  memcached_ = AppRegistry::Global().CreateAs<MemcachedServer>(
-      "kvs", PlacementKind::kHost, kvs_env);
-  kvs_server_->BindApp(memcached_.get());
+MixedRackScenario::MixedRackScenario(Simulation& sim, MixedRackOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  zone_.FillSynthetic(options_.zone_size);
+  testbed_ = std::make_unique<ScenarioTestbed>(sim_,
+                                               MakeMixedRackSpec(options_, &zone_));
+  ResolveMembers();
+  BuildMigrators();
+  RegisterApps();
+}
 
-  FpgaNicConfig fpga_config;
-  fpga_config.name = "netfpga-lake";
-  fpga_config.host_node = kRackKvsServerNode;
-  fpga_config.device_node = kRackKvsDeviceNode;
-  lake_ = AppRegistry::Global().CreateAs<LakeCache>("kvs", PlacementKind::kFpgaNic,
-                                                    kvs_env);
-  kvs_fpga_ = builder_.AddFpgaNic(fpga_config, lake_.get());
-  builder_.ConnectToSwitchPort(tor_, kvs_fpga_,
-                               {kRackKvsServerNode, kRackKvsDeviceNode},
-                               TestbedBuilder::TenGigLink(), "kvs-10ge");
-  builder_.ConnectPcie(kvs_fpga_, kvs_server_, TestbedBuilder::PcieLink(), "kvs-pcie");
+void MixedRackScenario::ResolveMembers() {
+  ScenarioMember& kvs = testbed_->member("kvs");
+  kvs_server_ = kvs.server;
+  kvs_fpga_ = kvs.fpga;
+  memcached_ = dynamic_cast<MemcachedServer*>(kvs.host_apps.front().get());
+  lake_ = dynamic_cast<LakeCache*>(kvs.offload_app.get());
 
+  ScenarioMember& dns = testbed_->member("dns");
+  dns_server_ = dns.server;
+  dns_nic_ = dns.nic;
+  nsd_ = dynamic_cast<NsdServer*>(dns.host_apps.front().get());
+  dns_program_ = dynamic_cast<DnsSwitchProgram*>(dns.switch_program_app.get());
+  dns_target_ = dns.switch_target.get();
+
+  if (options_.enable_paxos) {
+    ScenarioMember& paxos = testbed_->member("paxos");
+    paxos_host_ = paxos.server;
+    paxos_fpga_ = paxos.fpga;
+    paxos_port_ = paxos.port;
+    software_leader_ = dynamic_cast<SoftwareLeader*>(paxos.host_apps.front().get());
+    fpga_leader_ = dynamic_cast<P4xosFpgaApp*>(paxos.offload_app.get());
+    auto* learner = dynamic_cast<SoftwareLearner*>(
+        testbed_->member("learner").host_apps.front().get());
+    learner->StartGapTimer();
+  }
+}
+
+void MixedRackScenario::BuildMigrators() {
   // Starts parked on the host placement (the migrator applies the policy).
   kvs_migrator_ = std::make_unique<ClassifierMigrator>(
       sim_, *kvs_fpga_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kGatedPark),
-      memcached_.get(), lake_.get());
-}
-
-void MixedRackScenario::WireDns() {
-  ServerConfig config;
-  config.name = "dns-host";
-  config.node = kRackDnsServerNode;
-  config.num_cores = 4;
-  config.power_curve = I7NsdCurve();
-  dns_server_ = builder_.AddServer(config);
-  AppFactoryEnv dns_env;
-  dns_env.zone = &zone_;
-  dns_env.nsd = options_.nsd;
-  dns_env.service = kRackDnsServerNode;
-  nsd_ = AppRegistry::Global().CreateAs<NsdServer>("dns", PlacementKind::kHost, dns_env);
-  dns_server_->BindApp(nsd_.get());
-
-  dns_nic_ = builder_.AddConventionalNic(MellanoxConnectX3Config(kRackDnsServerNode));
-  builder_.ConnectToSwitchPort(tor_, dns_nic_, {kRackDnsServerNode},
-                               TestbedBuilder::TenGigLink(), "dns-10ge");
-  builder_.ConnectPcie(dns_nic_, dns_server_, TestbedBuilder::PcieLink(), "dns-pcie");
-
-  // DNS offloads into the ToR pipeline itself (§9.2's switch-DNS argument).
-  dns_program_ = AppRegistry::Global().CreateAs<DnsSwitchProgram>(
-      "dns", PlacementKind::kSwitchAsic, dns_env);
-  dns_target_ = std::make_unique<SwitchOffloadTarget>(*tor_, *dns_program_,
-                                                      AppProto::kDns, kRackDnsServerNode);
+      memcached_, lake_);
   dns_migrator_ = std::make_unique<ClassifierMigrator>(
       sim_, *dns_target_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm),
-      nsd_.get(), dns_program_.get());
-}
+      nsd_, dns_program_);
+  if (options_.enable_paxos) {
+    paxos_migrator_ = std::make_unique<PaxosLeaderMigrator>(
+        sim_, tor(), kRackPaxosLeaderService, *software_leader_, paxos_port_,
+        *paxos_fpga_, *fpga_leader_, paxos_port_);
 
-void MixedRackScenario::WirePaxos() {
-  for (int i = 0; i < options_.num_acceptors; ++i) {
-    group_.acceptors.push_back(kRackAcceptorBaseNode + static_cast<NodeId>(i));
+    options_.paxos_client.node = kRackPaxosClientNode;
+    options_.paxos_client.leader_service = kRackPaxosLeaderService;
+    paxos_client_ = std::make_unique<PaxosClient>(sim_, options_.paxos_client);
+    Link* link = testbed_->builder().topology().ConnectToSwitch(
+        testbed_->tor(), paxos_client_.get(), kRackPaxosClientNode,
+        TestbedBuilder::TenGigLink());
+    paxos_client_->SetUplink(link);
   }
-  group_.learners.push_back(kRackLearnerNode);
-  group_.leader_service = kRackPaxosLeaderService;
-
-  // Dual leader (Fig 7 style): software leader on the host, P4xos on its NIC.
-  ServerConfig host_config;
-  host_config.name = "paxos-leader-host";
-  host_config.node = kRackPaxosHostNode;
-  host_config.num_cores = 4;
-  host_config.power_curve = I7LibpaxosCurve();
-  paxos_host_ = builder_.AddServer(host_config);
-  AppFactoryEnv leader_env;
-  leader_env.paxos_group = &group_;
-  leader_env.paxos_role_id = 1;
-  software_leader_ = AppRegistry::Global().CreateAs<SoftwareLeader>(
-      "paxos-leader", PlacementKind::kHost, leader_env);
-  paxos_host_->BindApp(software_leader_.get());
-
-  FpgaNicConfig fpga_config;
-  fpga_config.name = "netfpga-p4xos";
-  fpga_config.host_node = kRackPaxosHostNode;
-  fpga_config.device_node = kRackPaxosDeviceNode;
-  leader_env.service = kRackPaxosLeaderService;
-  fpga_leader_ = AppRegistry::Global().CreateAs<P4xosFpgaApp>(
-      "paxos-leader", PlacementKind::kFpgaNic, leader_env);
-  paxos_fpga_ = builder_.AddFpgaNic(fpga_config, fpga_leader_.get());
-  paxos_fpga_->SetAppActive(false);
-  paxos_port_ = builder_.ConnectToSwitchPort(
-      tor_, paxos_fpga_,
-      {kRackPaxosLeaderService, kRackPaxosHostNode, kRackPaxosDeviceNode},
-      TestbedBuilder::TenGigLink(), "paxos-10ge");
-  builder_.ConnectPcie(paxos_fpga_, paxos_host_, TestbedBuilder::PcieLink(),
-                       "paxos-pcie");
-
-  // Acceptors and learner on aux boxes that never bottleneck.
-  for (int i = 0; i < options_.num_acceptors; ++i) {
-    Server* server = builder_.AddAuxServer(
-        tor_, kRackAcceptorBaseNode + static_cast<NodeId>(i), "aux-acceptor", 4);
-    AppFactoryEnv acceptor_env;
-    acceptor_env.paxos_group = &group_;
-    acceptor_env.paxos_role_id = static_cast<uint32_t>(i);
-    acceptor_env.paxos_software = PaxosSoftwareConfig{Nanoseconds(300), 2};
-    auto acceptor = AppRegistry::Global().CreateAs<SoftwareAcceptor>(
-        "paxos-acceptor", PlacementKind::kHost, acceptor_env);
-    server->BindApp(acceptor.get());
-    acceptors_.push_back(std::move(acceptor));
-  }
-  Server* learner_host = builder_.AddAuxServer(tor_, kRackLearnerNode, "learner-host", 8);
-  AppFactoryEnv learner_env;
-  learner_env.paxos_group = &group_;
-  learner_env.paxos_software = PaxosSoftwareConfig{Nanoseconds(100), 8};
-  learner_ = AppRegistry::Global().CreateAs<SoftwareLearner>(
-      "paxos-learner", PlacementKind::kHost, learner_env);
-  learner_host->BindApp(learner_.get());
-  learner_->StartGapTimer();
-
-  paxos_migrator_ = std::make_unique<PaxosLeaderMigrator>(
-      sim_, *tor_, kRackPaxosLeaderService, *software_leader_, paxos_port_,
-      *paxos_fpga_, *fpga_leader_, paxos_port_);
-
-  options_.paxos_client.node = kRackPaxosClientNode;
-  options_.paxos_client.leader_service = kRackPaxosLeaderService;
-  paxos_client_ = std::make_unique<PaxosClient>(sim_, options_.paxos_client);
-  Link* link = builder_.topology().ConnectToSwitch(tor_, paxos_client_.get(),
-                                                   kRackPaxosClientNode,
-                                                   TestbedBuilder::TenGigLink());
-  paxos_client_->SetUplink(link);
 }
 
 void MixedRackScenario::RegisterApps() {
@@ -178,6 +197,7 @@ void MixedRackScenario::RegisterApps() {
 
   RackAppSpec kvs;
   kvs.name = "kvs";
+  kvs.warm_migration = options_.warm.kvs;
   auto kvs_curve = MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4);
   kvs.software_watts = [kvs_curve](double r) { return kvs_curve(r) + 4.0; };
   kvs.measured_rate_pps = [this] { return kvs_fpga_->AppIngressRatePerSecond(); };
@@ -188,23 +208,25 @@ void MixedRackScenario::RegisterApps() {
 
   RackAppSpec dns;
   dns.name = "dns";
+  dns.warm_migration = options_.warm.dns;
   auto dns_curve = MakeServerRatePower(I7NsdCurve(), Nanoseconds(4180), 4);
   dns.software_watts = [dns_curve](double r) { return dns_curve(r) + 4.0; };
   auto dns_marginal = MakeSwitchMarginalPower(
-      dns_program_->PowerOverheadAtFullLoad(), tor_->asic_config().max_power_watts,
-      tor_->LineRatePps());
+      dns_program_->PowerOverheadAtFullLoad(), tor().asic_config().max_power_watts,
+      tor().LineRatePps());
   // Host idles (rate 0) while the ToR answers; marginal program watts on top.
   RatePowerFn dns_network = [dns_curve, dns_marginal](double r) {
     return dns_curve(0) + 4.0 + dns_marginal(r);
   };
   dns.measured_rate_pps = [this] { return dns_target_->AppIngressRatePerSecond(); };
-  dns.options.push_back(RackPlacementOption{dns_target_.get(), dns_migrator_.get(),
+  dns.options.push_back(RackPlacementOption{dns_target_, dns_migrator_.get(),
                                             std::move(dns_network), ParkPolicy::kKeepWarm});
   dns_app_ = orchestrator_->AddApp(std::move(dns));
 
   if (options_.enable_paxos) {
     RackAppSpec paxos;
     paxos.name = "paxos";
+    paxos.warm_migration = options_.warm.paxos;
     paxos.software_watts = MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1);
     paxos.measured_rate_pps = [this] { return paxos_fpga_->AppIngressRatePerSecond(); };
     paxos.options.push_back(RackPlacementOption{
@@ -218,24 +240,16 @@ LoadClient& MixedRackScenario::AddKvsClient(LoadClientConfig config,
                                             std::unique_ptr<ArrivalProcess> arrival,
                                             RequestFactory factory) {
   config.node = kRackKvsClientNode;
-  LoadClient* client =
-      builder_.AddLoadClient(std::move(config), std::move(arrival), std::move(factory));
-  Link* link = builder_.topology().ConnectToSwitch(tor_, client, kRackKvsClientNode,
-                                                   TestbedBuilder::TenGigLink());
-  client->SetUplink(link);
-  return *client;
+  return testbed_->AddTorClient(std::move(config), std::move(arrival),
+                                std::move(factory));
 }
 
 LoadClient& MixedRackScenario::AddDnsClient(LoadClientConfig config,
                                             std::unique_ptr<ArrivalProcess> arrival,
                                             RequestFactory factory) {
   config.node = kRackDnsClientNode;
-  LoadClient* client =
-      builder_.AddLoadClient(std::move(config), std::move(arrival), std::move(factory));
-  Link* link = builder_.topology().ConnectToSwitch(tor_, client, kRackDnsClientNode,
-                                                   TestbedBuilder::TenGigLink());
-  client->SetUplink(link);
-  return *client;
+  return testbed_->AddTorClient(std::move(config), std::move(arrival),
+                                std::move(factory));
 }
 
 void MixedRackScenario::PrefillKvs(uint64_t count, uint32_t value_bytes) {

@@ -11,8 +11,11 @@
 //
 // KVS offloads to its FPGA NIC, DNS to a program in the ToR pipeline
 // (marginal watts ~0, §9.4), and the Paxos leader to its P4xos NIC via the
-// switch-rule rewrite of §9.2 — all driven by the same RackOrchestrator.
-// Thanks to TestbedBuilder this is a composition, not a fourth testbed.
+// switch-rule rewrite of §9.2 — all driven by the same RackOrchestrator
+// through the generic StateTransferMigrator core, with a per-app warm/cold
+// policy. The whole topology is a switch-centric ScenarioSpec
+// (MakeMixedRackSpec): every app is a member built purely from AppRegistry
+// names; this class is a veneer keeping typed accessors for benches/tests.
 #ifndef INCOD_SRC_SCENARIOS_RACK_SCENARIO_H_
 #define INCOD_SRC_SCENARIOS_RACK_SCENARIO_H_
 
@@ -29,7 +32,7 @@
 #include "src/paxos/p4xos.h"
 #include "src/paxos/paxos_client.h"
 #include "src/paxos/software_roles.h"
-#include "src/scenarios/testbed_builder.h"
+#include "src/scenarios/scenario_spec.h"
 
 namespace incod {
 
@@ -46,11 +49,20 @@ constexpr NodeId kRackPaxosLeaderService = 200;
 constexpr NodeId kRackAcceptorBaseNode = 10;
 constexpr NodeId kRackLearnerNode = 30;
 
+// Per-app warm/cold policy for orchestrator-driven shifts (RackAppSpec's
+// warm_migration): warm apps carry their typed AppState on every shift.
+struct MixedRackWarmPolicy {
+  bool kvs = false;
+  bool dns = false;
+  bool paxos = false;
+};
+
 struct MixedRackOptions {
   // Shared offload power budget at the PDU (<= 0: unlimited).
   double power_budget_watts = 0;
   bool enable_paxos = true;
   int num_acceptors = 3;
+  MixedRackWarmPolicy warm;             // Default: the paper's cold shifts.
   RackOrchestratorConfig orchestrator;  // budget field is overridden.
   LakeConfig lake;
   MemcachedConfig memcached;
@@ -60,17 +72,23 @@ struct MixedRackOptions {
   SimDuration meter_period = Milliseconds(1);
 };
 
+// The declarative spec the scenario wires: one member per application (plus
+// acceptor/learner aux members), apps by registry name. `zone` must outlive
+// the built testbed.
+ScenarioSpec MakeMixedRackSpec(const MixedRackOptions& options, const Zone* zone);
+
 class MixedRackScenario {
  public:
   MixedRackScenario(Simulation& sim, MixedRackOptions options = {});
 
   Simulation& sim() { return sim_; }
-  TestbedBuilder& builder() { return builder_; }
-  WallPowerMeter& meter() { return builder_.meter(); }
+  TestbedBuilder& builder() { return testbed_->builder(); }
+  WallPowerMeter& meter() { return testbed_->meter(); }
   RackOrchestrator& orchestrator() { return *orchestrator_; }
+  ScenarioTestbed& scenario() { return *testbed_; }
 
   // Targets (two OffloadTarget implementations + optionally a third).
-  SwitchAsic& tor() { return *tor_; }
+  SwitchAsic& tor() { return *testbed_->tor_asic(); }
   FpgaNic& kvs_fpga() { return *kvs_fpga_; }
   SwitchOffloadTarget& dns_target() { return *dns_target_; }
   FpgaNic* paxos_fpga() { return paxos_fpga_; }
@@ -83,6 +101,10 @@ class MixedRackScenario {
   ClassifierMigrator& dns_migrator() { return *dns_migrator_; }
   PaxosLeaderMigrator* paxos_migrator() { return paxos_migrator_.get(); }
 
+  MemcachedServer& memcached() { return *memcached_; }
+  LakeCache& lake() { return *lake_; }
+  SoftwareLeader* software_leader() { return software_leader_; }
+  P4xosFpgaApp* fpga_leader() { return fpga_leader_; }
   DnsSwitchProgram& dns_program() { return *dns_program_; }
   Zone& zone() { return zone_; }
 
@@ -105,17 +127,16 @@ class MixedRackScenario {
   void PrefillKvs(uint64_t count, uint32_t value_bytes);
 
  private:
-  void WireKvs();
-  void WireDns();
-  void WirePaxos();
+  void ResolveMembers();
+  void BuildMigrators();
   void RegisterApps();
 
   Simulation& sim_;
   MixedRackOptions options_;
-  TestbedBuilder builder_;
   Zone zone_;
+  std::unique_ptr<ScenarioTestbed> testbed_;
 
-  SwitchAsic* tor_ = nullptr;
+  // Non-owning views into the spec-built members.
   Server* kvs_server_ = nullptr;
   Server* dns_server_ = nullptr;
   Server* paxos_host_ = nullptr;
@@ -123,17 +144,13 @@ class MixedRackScenario {
   FpgaNic* paxos_fpga_ = nullptr;
   ConventionalNic* dns_nic_ = nullptr;
   int paxos_port_ = -1;
-
-  std::unique_ptr<MemcachedServer> memcached_;
-  std::unique_ptr<LakeCache> lake_;
-  std::unique_ptr<NsdServer> nsd_;
-  std::unique_ptr<DnsSwitchProgram> dns_program_;
-  std::unique_ptr<SwitchOffloadTarget> dns_target_;
-  std::unique_ptr<SoftwareLeader> software_leader_;
-  std::unique_ptr<P4xosFpgaApp> fpga_leader_;
-  std::vector<std::unique_ptr<SoftwareAcceptor>> acceptors_;
-  std::unique_ptr<SoftwareLearner> learner_;
-  PaxosGroupConfig group_;
+  MemcachedServer* memcached_ = nullptr;
+  LakeCache* lake_ = nullptr;
+  NsdServer* nsd_ = nullptr;
+  DnsSwitchProgram* dns_program_ = nullptr;
+  SwitchOffloadTarget* dns_target_ = nullptr;
+  SoftwareLeader* software_leader_ = nullptr;
+  P4xosFpgaApp* fpga_leader_ = nullptr;
 
   std::unique_ptr<ClassifierMigrator> kvs_migrator_;
   std::unique_ptr<ClassifierMigrator> dns_migrator_;

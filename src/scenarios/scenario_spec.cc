@@ -12,6 +12,23 @@ namespace incod {
 
 ScenarioTestbed::ScenarioTestbed(Simulation& sim, ScenarioSpec spec)
     : sim_(sim), spec_(std::move(spec)), builder_(sim, spec_.meter_period) {
+  if (spec_.tor.present) {
+    // Switch-centric scenario: members hang off the ToR; the single-chain
+    // host/target sections are ignored.
+    if (spec_.controller.present) {
+      throw std::invalid_argument(
+          "ScenarioSpec: the single-chain controller does not apply to a "
+          "switch-centric scenario (drive members via migrators/orchestrator)");
+    }
+    BuildTor();
+    BuildMembers();
+    builder_.StartMeter();
+    BuildWorkload();
+    return;
+  }
+  if (!spec_.members.empty()) {
+    throw std::invalid_argument("ScenarioSpec: members need tor.present");
+  }
   if (!spec_.host.present && spec_.target.kind != ScenarioTargetKind::kFpgaNic) {
     throw std::invalid_argument("ScenarioSpec: a hostless scenario needs an FPGA NIC");
   }
@@ -22,11 +39,150 @@ ScenarioTestbed::ScenarioTestbed(Simulation& sim, ScenarioSpec spec)
   BuildWorkload();
 }
 
+AppFactoryEnv ScenarioTestbed::ResolveEnv(const AppFactoryEnv& env) const {
+  AppFactoryEnv resolved = env;
+  if (resolved.zone == nullptr) {
+    resolved.zone = spec_.env.zone;
+  }
+  if (resolved.paxos_group == nullptr) {
+    resolved.paxos_group =
+        spec_.paxos_group.has_value() ? &*spec_.paxos_group : spec_.env.paxos_group;
+  }
+  return resolved;
+}
+
+void ScenarioTestbed::BuildTor() {
+  if (spec_.tor.asic) {
+    SwitchAsicConfig config = spec_.tor.asic_config;
+    config.name = spec_.tor.name;
+    tor_asic_ = builder_.AddSwitchAsic(config, spec_.tor.metered);
+    tor_ = tor_asic_;
+    return;
+  }
+  tor_ = builder_.AddL2Switch(spec_.tor.name);
+}
+
+void ScenarioTestbed::BuildMembers() {
+  members_.reserve(spec_.members.size());
+  for (const ScenarioMemberSpec& member_spec : spec_.members) {
+    BuildMember(member_spec);
+  }
+}
+
+void ScenarioTestbed::BuildMember(const ScenarioMemberSpec& member_spec) {
+  const AppFactoryEnv env = ResolveEnv(member_spec.env);
+  ScenarioMember built;
+  built.name = member_spec.name;
+
+  if (member_spec.aux) {
+    if (member_spec.target.kind != ScenarioTargetKind::kNone ||
+        !member_spec.switch_app.empty()) {
+      throw std::invalid_argument("ScenarioSpec: aux member " + member_spec.name +
+                                  " cannot carry a target or switch app");
+    }
+    built.server = builder_.AddAuxServer(tor_, member_spec.host.config.node,
+                                         member_spec.host.config.name,
+                                         member_spec.aux_cores);
+  } else if (member_spec.host.present) {
+    built.server = builder_.AddServer(member_spec.host.config, member_spec.host.metered);
+  }
+  if (built.server != nullptr) {
+    for (const std::string& app_name : member_spec.host.apps) {
+      auto app = AppRegistry::Global().Create(app_name, PlacementKind::kHost, env);
+      built.server->BindApp(app.get());
+      built.host_apps.push_back(std::move(app));
+    }
+  }
+
+  switch (member_spec.target.kind) {
+    case ScenarioTargetKind::kNone:
+      if (built.server != nullptr && !member_spec.aux) {
+        throw std::invalid_argument("ScenarioSpec: member " + member_spec.name +
+                                    " host needs an ingress device (or aux)");
+      }
+      break;
+    case ScenarioTargetKind::kConventionalNic: {
+      if (built.server == nullptr) {
+        throw std::invalid_argument("ScenarioSpec: member " + member_spec.name +
+                                    " conventional NIC needs a host");
+      }
+      ConventionalNicConfig nic_config =
+          member_spec.target.intel_nic
+              ? IntelX520Config(member_spec.host.config.node)
+              : MellanoxConnectX3Config(member_spec.host.config.node);
+      if (!member_spec.target.name.empty()) {
+        nic_config.name = member_spec.target.name;
+      }
+      built.nic = builder_.AddConventionalNic(nic_config, member_spec.target.metered);
+      built.port = builder_.ConnectToSwitchPort(tor_, built.nic,
+                                                member_spec.switch_routes,
+                                                member_spec.switch_link,
+                                                member_spec.link_name);
+      builder_.ConnectPcie(built.nic, built.server, member_spec.target.pcie,
+                           member_spec.link_name + "-pcie");
+      break;
+    }
+    case ScenarioTargetKind::kFpgaNic: {
+      FpgaNicConfig fpga_config;
+      fpga_config.name = member_spec.target.name.empty() ? "netfpga"
+                                                         : member_spec.target.name;
+      fpga_config.host_node = member_spec.host.config.node;
+      fpga_config.device_node = member_spec.target.device_node;
+      fpga_config.standalone = member_spec.target.standalone;
+      if (!member_spec.target.app.empty()) {
+        built.offload_app = AppRegistry::Global().Create(
+            member_spec.target.app, PlacementKind::kFpgaNic, env);
+      }
+      built.fpga = builder_.AddFpgaNic(fpga_config, built.offload_app.get(),
+                                       member_spec.target.metered);
+      if (built.offload_app != nullptr) {
+        built.fpga->SetAppActive(member_spec.target.initially_active);
+      }
+      built.port = builder_.ConnectToSwitchPort(tor_, built.fpga,
+                                                member_spec.switch_routes,
+                                                member_spec.switch_link,
+                                                member_spec.link_name);
+      if (built.server != nullptr) {
+        builder_.ConnectPcie(built.fpga, built.server, member_spec.target.pcie,
+                             member_spec.link_name + "-pcie");
+      }
+      break;
+    }
+  }
+
+  if (!member_spec.switch_app.empty()) {
+    if (tor_asic_ == nullptr) {
+      throw std::invalid_argument("ScenarioSpec: member " + member_spec.name +
+                                  " switch app needs an ASIC ToR");
+    }
+    built.switch_program_app = AppRegistry::Global().Create(
+        member_spec.switch_app, PlacementKind::kSwitchAsic, env);
+    auto* program = dynamic_cast<SwitchProgram*>(built.switch_program_app.get());
+    if (program == nullptr) {
+      throw std::logic_error("ScenarioSpec: " + member_spec.switch_app +
+                             " kSwitchAsic placement is not a SwitchProgram");
+    }
+    built.switch_target = std::make_unique<SwitchOffloadTarget>(
+        *tor_asic_, *program, built.switch_program_app->proto(), env.service);
+  }
+
+  members_.push_back(std::move(built));
+}
+
+ScenarioMember& ScenarioTestbed::member(const std::string& name) {
+  for (ScenarioMember& m : members_) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  throw std::invalid_argument("ScenarioTestbed: no member named " + name);
+}
+
 void ScenarioTestbed::BuildHost() {
   if (!spec_.host.present) {
     return;
   }
-  server_ = builder_.AddServer(spec_.host.config);
+  server_ = builder_.AddServer(spec_.host.config, spec_.host.metered);
   for (const std::string& name : spec_.host.apps) {
     auto app = AppRegistry::Global().Create(name, PlacementKind::kHost, spec_.env);
     server_->BindApp(app.get());
@@ -48,7 +204,7 @@ void ScenarioTestbed::BuildTarget() {
       if (!spec_.target.name.empty()) {
         nic_config.name = spec_.target.name;
       }
-      nic_ = builder_.AddConventionalNic(nic_config);
+      nic_ = builder_.AddConventionalNic(nic_config, spec_.target.metered);
       builder_.ConnectPcie(nic_, server_, spec_.target.pcie);
       return;
     }
@@ -62,7 +218,7 @@ void ScenarioTestbed::BuildTarget() {
         offload_app_ = AppRegistry::Global().Create(spec_.target.app,
                                                     PlacementKind::kFpgaNic, spec_.env);
       }
-      fpga_ = builder_.AddFpgaNic(fpga_config, offload_app_.get());
+      fpga_ = builder_.AddFpgaNic(fpga_config, offload_app_.get(), spec_.target.metered);
       if (server_ != nullptr) {
         builder_.ConnectPcie(fpga_, server_, spec_.target.pcie);
       }
@@ -121,34 +277,60 @@ LoadClient& ScenarioTestbed::AddClient(LoadClientConfig config,
   return *client_;
 }
 
+LoadClient& ScenarioTestbed::AddTorClient(LoadClientConfig config,
+                                          std::unique_ptr<ArrivalProcess> arrival,
+                                          RequestFactory factory) {
+  if (tor_ == nullptr) {
+    throw std::logic_error("ScenarioTestbed: AddTorClient needs a ToR");
+  }
+  const NodeId node = config.node;
+  LoadClient* client =
+      builder_.AddLoadClient(std::move(config), std::move(arrival), std::move(factory));
+  Link* link = builder_.topology().ConnectToSwitch(tor_, client, node,
+                                                   spec_.client_link);
+  client->SetUplink(link);
+  return *client;
+}
+
+RequestFactory MakeScenarioRequestFactory(const ScenarioWorkloadSpec& workload,
+                                          NodeId service, const Zone* zone) {
+  using Kind = ScenarioWorkloadSpec::Kind;
+  switch (workload.kind) {
+    case Kind::kKvUniformGets: {
+      const int64_t max_key =
+          std::max<int64_t>(0, static_cast<int64_t>(workload.keyspace) - 1);
+      return [service, max_key](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+        const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, max_key));
+        return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
+      };
+    }
+    case Kind::kDnsQueries: {
+      DnsWorkloadConfig dns;
+      dns.dns_service = service;
+      dns.zone_size = zone != nullptr ? zone->size() : workload.keyspace;
+      dns.miss_fraction = workload.dns_miss_fraction;
+      return MakeDnsRequestFactory(dns);
+    }
+    case Kind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
 void ScenarioTestbed::BuildWorkload() {
   using Kind = ScenarioWorkloadSpec::Kind;
   if (spec_.workload.kind == Kind::kNone) {
     return;
   }
-  const NodeId service = ServiceNode();
-  RequestFactory factory;
-  switch (spec_.workload.kind) {
-    case Kind::kKvUniformGets: {
-      const int64_t max_key =
-          std::max<int64_t>(0, static_cast<int64_t>(spec_.workload.keyspace) - 1);
-      factory = [service, max_key](NodeId src, uint64_t id, SimTime now, Rng& rng) {
-        const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, max_key));
-        return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
-      };
-      break;
-    }
-    case Kind::kDnsQueries: {
-      DnsWorkloadConfig dns;
-      dns.dns_service = service;
-      dns.zone_size = spec_.env.zone != nullptr ? spec_.env.zone->size()
-                                                : spec_.workload.keyspace;
-      dns.miss_fraction = spec_.workload.dns_miss_fraction;
-      factory = MakeDnsRequestFactory(dns);
-      break;
-    }
-    case Kind::kNone:
-      return;
+  if (tor_ != nullptr) {
+    throw std::invalid_argument(
+        "ScenarioSpec: declarative workloads target the single-chain service; "
+        "attach clients to a switch-centric scenario via AddTorClient");
+  }
+  RequestFactory factory =
+      MakeScenarioRequestFactory(spec_.workload, ServiceNode(), spec_.env.zone);
+  if (factory == nullptr) {
+    return;
   }
   AddClient(spec_.workload.client,
             std::make_unique<ConstantArrival>(spec_.workload.rate_per_second),

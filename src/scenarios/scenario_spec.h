@@ -18,10 +18,12 @@
 #define INCOD_SRC_SCENARIOS_SCENARIO_SPEC_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/app/app_registry.h"
+#include "src/device/switch_offload.h"
 #include "src/ondemand/controller.h"
 #include "src/ondemand/migrator.h"
 #include "src/scenarios/testbed_builder.h"
@@ -35,6 +37,7 @@ struct ScenarioHostSpec {
   ServerConfig config;  // Name, node, cores, power curve, stack.
   // Host-placement apps, by registry name, bound in order.
   std::vector<std::string> apps;
+  bool metered = true;  // Joins the wall-meter set (§4.1 SHW-3A scope).
 };
 
 struct ScenarioTargetSpec {
@@ -47,6 +50,44 @@ struct ScenarioTargetSpec {
   std::string app;
   bool initially_active = true;
   Link::Config pcie = TestbedBuilder::PcieLink();
+  bool metered = true;
+};
+
+// Declarative ToR for switch-centric scenarios: a plain L2 switch (Paxos
+// group) or a programmable ASIC (mixed rack) that members hang off.
+struct ScenarioTorSpec {
+  bool present = false;
+  bool asic = false;  // Tofino-class SwitchAsic vs plain L2Switch.
+  std::string name = "tor";
+  SwitchAsicConfig asic_config;  // Used when asic (name overridden below).
+  bool metered = false;          // ASIC only; an L2 switch draws no modeled power.
+};
+
+// One deployment hanging off the scenario ToR: an optional host with
+// registry apps, an optional ingress device (conventional NIC or FPGA NIC,
+// possibly carrying an offload placement of the same app), and optionally a
+// switch-hosted placement loaded into the ASIC pipeline. Dual deployments
+// (Fig 7's software + P4xos leader on one host/NIC pair) are expressed by
+// filling both host.apps and target.app with target.initially_active=false.
+struct ScenarioMemberSpec {
+  std::string name;      // Diagnostics / member lookup.
+  ScenarioHostSpec host;
+  ScenarioTargetSpec target;
+  // Aux host: never bottlenecks, never metered, auto-wired to the ToR
+  // (acceptors, learners). Must not carry a target.
+  bool aux = false;
+  int aux_cores = 4;
+  // Nodes routed to this member's switch port (host node, device node,
+  // service addresses). Aux members route their host node automatically.
+  std::vector<NodeId> switch_routes;
+  Link::Config switch_link = TestbedBuilder::TenGigLink();
+  std::string link_name = "10ge";
+  // Registry app loaded into the ASIC pipeline (kSwitchAsic placement),
+  // wrapped in a SwitchOffloadTarget for migrators/orchestrators.
+  std::string switch_app;
+  // Per-member factory resources/knobs (role ids, per-app configs). A null
+  // zone/paxos_group inherits the spec-level resource.
+  AppFactoryEnv env;
 };
 
 // Declarative workload: an open-loop client against the scenario's service.
@@ -78,7 +119,34 @@ struct ScenarioSpec {
   ScenarioControllerSpec controller;
   // Shared factory resources/knobs (zone, paxos group, per-family configs).
   AppFactoryEnv env;
+  // Switch-centric topology: when tor.present, `members` are built hanging
+  // off the ToR (the single-chain host/target above may stay empty).
+  ScenarioTorSpec tor;
+  std::vector<ScenarioMemberSpec> members;
+  // Owned Paxos group, so switch-centric specs are self-contained literals:
+  // member envs with a null paxos_group resolve against this.
+  std::optional<PaxosGroupConfig> paxos_group;
 };
+
+// A built member: the components and registry-created apps of one
+// ScenarioMemberSpec (null/empty where the spec lacked the part).
+struct ScenarioMember {
+  std::string name;
+  Server* server = nullptr;
+  FpgaNic* fpga = nullptr;
+  ConventionalNic* nic = nullptr;
+  int port = -1;  // ToR port of the member's ingress device (-1: aux-wired).
+  std::vector<std::unique_ptr<App>> host_apps;
+  std::unique_ptr<App> offload_app;
+  // Switch-hosted placement (when spec.switch_app was set).
+  std::unique_ptr<App> switch_program_app;
+  std::unique_ptr<SwitchOffloadTarget> switch_target;
+};
+
+// Request factory for a declarative workload kind against `service` — wire
+// messages only, no app types involved. Null for Kind::kNone.
+RequestFactory MakeScenarioRequestFactory(const ScenarioWorkloadSpec& workload,
+                                          NodeId service, const Zone* zone);
 
 // A testbed built from a spec. Owns the registry-created apps, the
 // migrator/controller when requested, and everything TestbedBuilder owns.
@@ -98,6 +166,23 @@ class ScenarioTestbed {
   LoadClient* client() { return client_; }
   ClassifierMigrator* migrator() { return migrator_.get(); }
   NetworkController* controller() { return controller_.get(); }
+
+  // --- Switch-centric topology (spec.tor / spec.members) ---
+  L2Switch* tor() { return tor_; }
+  SwitchAsic* tor_asic() { return tor_asic_; }  // Null for a plain L2 ToR.
+  size_t member_count() const { return members_.size(); }
+  ScenarioMember& member(size_t index) { return members_.at(index); }
+  // First member with the given spec name; throws when absent.
+  ScenarioMember& member(const std::string& name);
+  template <typename T>
+  T* member_host_app_as(size_t index, size_t app_index = 0) {
+    auto& apps = members_.at(index).host_apps;
+    return app_index < apps.size() ? dynamic_cast<T*>(apps[app_index].get()) : nullptr;
+  }
+  template <typename T>
+  T* member_offload_app_as(size_t index) {
+    return dynamic_cast<T*>(members_.at(index).offload_app.get());
+  }
 
   // Registry-built applications. Index follows spec order.
   App* host_app(size_t index = 0);
@@ -119,12 +204,22 @@ class ScenarioTestbed {
   // spec's workload (if any) was already attached at construction.
   LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
                         RequestFactory factory);
+  // Switch-centric scenarios: attaches an open-loop client to the ToR
+  // (config.node becomes its address; several clients may attach).
+  LoadClient& AddTorClient(LoadClientConfig config,
+                           std::unique_ptr<ArrivalProcess> arrival,
+                           RequestFactory factory);
 
  private:
   void BuildHost();
   void BuildTarget();
   void BuildWorkload();
   void BuildController();
+  void BuildTor();
+  void BuildMembers();
+  void BuildMember(const ScenarioMemberSpec& member_spec);
+  // Member env with null shared resources resolved against the spec level.
+  AppFactoryEnv ResolveEnv(const AppFactoryEnv& env) const;
 
   Simulation& sim_;
   ScenarioSpec spec_;
@@ -133,6 +228,9 @@ class ScenarioTestbed {
   FpgaNic* fpga_ = nullptr;
   ConventionalNic* nic_ = nullptr;
   LoadClient* client_ = nullptr;
+  L2Switch* tor_ = nullptr;
+  SwitchAsic* tor_asic_ = nullptr;
+  std::vector<ScenarioMember> members_;
   std::vector<std::unique_ptr<App>> host_apps_;
   std::unique_ptr<App> offload_app_;
   std::unique_ptr<ClassifierMigrator> migrator_;

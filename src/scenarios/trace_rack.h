@@ -1,0 +1,107 @@
+// Trace-driven multi-app rack: registry names + a Google-trace load
+// timeline, nothing else.
+//
+// The §9.3 argument is that offload pays off as host load *diminishes*: the
+// cluster trace shows long-running tasks keeping every node busy, and the
+// rack orchestrator should shift an app into the network exactly when its
+// host's background load makes the software placement expensive. This
+// scenario reproduces that decision loop generically: each application is
+// named by its AppRegistry entry (any family with host + FPGA placements
+// works — no concrete app type is referenced outside src/app), placed as a
+// ScenarioSpec member behind a programmable ToR, migrated through the
+// generic StateTransferMigrator core (warm or cold per app), and driven by
+// a synthesized Google cluster trace whose per-node task timeline modulates
+// each host's background draw — which is what the orchestrator's §8 power
+// models see when they decide.
+#ifndef INCOD_SRC_SCENARIOS_TRACE_RACK_H_
+#define INCOD_SRC_SCENARIOS_TRACE_RACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dns/zone.h"
+#include "src/ondemand/rack.h"
+#include "src/scenarios/scenario_spec.h"
+#include "src/workload/google_trace.h"
+
+namespace incod {
+
+struct TraceRackAppOptions {
+  // AppRegistry family; must support kHost and kFpgaNic placements.
+  std::string registry_name;
+  // Wire-level request stream the app's client generates.
+  ScenarioWorkloadSpec workload;
+  // Host cost model input for the §8 software power curve.
+  SimDuration host_service_time = Microseconds(4);
+  // Warm: shifts carry the typed AppState (caches arrive filled).
+  bool warm_migration = false;
+};
+
+struct TraceRackOptions {
+  // Default (when empty): a KVS and a DNS app, both registry-built.
+  std::vector<TraceRackAppOptions> apps;
+  // Trace synthesis; num_nodes is clamped to the app count (one trace node
+  // of background tasks per app host). Defaults stay small enough for tests
+  // and examples — widen toward GoogleTraceConfig{} for cluster-scale runs.
+  GoogleTraceConfig trace = {.num_tasks = 4000, .num_nodes = 4};
+  // Trace horizon is compressed onto this much simulated time.
+  SimDuration sim_horizon = Seconds(10);
+  // Watts one background core adds to a host (decision-model input).
+  double background_watts_per_core = 18.0;
+  double power_budget_watts = 0;
+  RackOrchestratorConfig orchestrator;
+  size_t zone_size = 2000;
+  SimDuration meter_period = Milliseconds(1);
+  uint64_t trace_seed = 42;
+};
+
+class TraceRackScenario {
+ public:
+  TraceRackScenario(Simulation& sim, TraceRackOptions options = {});
+
+  Simulation& sim() { return sim_; }
+  ScenarioTestbed& scenario() { return *testbed_; }
+  RackOrchestrator& orchestrator() { return *orchestrator_; }
+  WallPowerMeter& meter() { return testbed_->meter(); }
+
+  size_t app_count() const { return apps_.size(); }
+  const std::string& app_name(size_t index) const;
+  size_t orchestrator_index(size_t index) const { return apps_.at(index).rack_index; }
+  App* host_app(size_t index);
+  App* offload_app(size_t index);
+  StateTransferMigrator& migrator(size_t index) { return *apps_.at(index).migrator; }
+  LoadClient& client(size_t index) { return *apps_.at(index).client; }
+  // Background cores the trace currently runs on the app's host.
+  double background_cores(size_t index) const { return apps_.at(index).background_cores; }
+  const std::vector<TraceTask>& trace_tasks() const { return tasks_; }
+
+  // Starts clients, orchestrator, and the trace playback.
+  void Start();
+
+ private:
+  struct TraceApp {
+    std::string name;
+    StateTransferMigrator* migrator = nullptr;
+    LoadClient* client = nullptr;
+    size_t rack_index = 0;
+    double background_cores = 0;
+  };
+
+  void BuildApps();
+  void ScheduleTrace();
+
+  Simulation& sim_;
+  TraceRackOptions options_;
+  Zone zone_;
+  std::unique_ptr<ScenarioTestbed> testbed_;
+  std::vector<std::unique_ptr<StateTransferMigrator>> migrators_;
+  std::unique_ptr<RackOrchestrator> orchestrator_;
+  std::vector<TraceApp> apps_;
+  std::vector<TraceTask> tasks_;
+  bool started_ = false;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_SCENARIOS_TRACE_RACK_H_

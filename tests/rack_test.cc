@@ -8,7 +8,9 @@
 #include <string>
 
 #include "src/ondemand/rack.h"
+#include "src/scenarios/paxos_testbed.h"
 #include "src/scenarios/rack_scenario.h"
+#include "src/scenarios/trace_rack.h"
 #include "src/sim/simulation.h"
 #include "src/workload/arrival.h"
 #include "src/workload/etc_workload.h"
@@ -81,23 +83,14 @@ class FakeTarget : public OffloadTarget {
   bool active_ = false;
 };
 
-class FakeMigrator : public Migrator {
+// Placement shifts go through the real generic core (classifier flip on the
+// fake target; no bound apps, so no state moves) — the orchestrator only
+// ever drives StateTransferMigrators.
+class FakeMigrator : public StateTransferMigrator {
  public:
-  explicit FakeMigrator(Simulation& sim, FakeTarget& target)
-      : sim_(sim), target_(target) {}
-  void ShiftToNetwork() override {
-    target_.SetAppActive(true);
-    RecordTransition(sim_.Now(), Placement::kNetwork);
-  }
-  void ShiftToHost() override {
-    target_.SetAppActive(false);
-    RecordTransition(sim_.Now(), Placement::kHost);
-  }
-  std::string MigratorName() const override { return "fake/" + target_.TargetName(); }
-
- private:
-  Simulation& sim_;
-  FakeTarget& target_;
+  FakeMigrator(Simulation& sim, FakeTarget& target)
+      : StateTransferMigrator(sim, target,
+                              Options::FromPolicy(ParkPolicy::kKeepWarm)) {}
 };
 
 struct OrchestratorHarness {
@@ -297,6 +290,192 @@ TEST(RackOrchestratorTest, MigratesToCheaperTargetWhenCapacityFrees) {
   // Ledger reflects the two real placements, without phantom entries.
   EXPECT_EQ(orchestrator.ledger().commitments().size(), 2u);
   EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 20.0);
+}
+
+// ---- Warm vs cold orchestrator shifts (the generic state-transfer path) ----
+
+// Differential: an orchestrator-driven warm KVS shift carries the host
+// store's contents into LaKe's caches, so post-shift lookups hit in
+// hardware; the cold shift (the paper's behaviour) starts empty and misses
+// to the host until egress observation re-warms the caches.
+TEST(RackWarmMigrationTest, WarmShiftPreservesKvsCacheContents) {
+  struct Result {
+    bool offloaded = false;
+    uint64_t misses_after_shift = 0;
+    uint64_t state_transfers = 0;
+    uint64_t warm_shifts = 0;
+    size_t l2_size_at_shift = 0;
+  };
+  auto run = [](bool warm) {
+    Simulation sim(/*seed=*/7);
+    MixedRackOptions options;
+    options.enable_paxos = false;
+    options.warm.kvs = warm;
+    options.orchestrator.min_dwell = Milliseconds(200);
+    MixedRackScenario rack(sim, options);
+    // Warm only the authoritative host store: whatever LaKe holds after the
+    // shift came through the migrator (or post-shift traffic).
+    constexpr uint64_t kKeys = 5000;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      rack.memcached().store().Set(k, 64);
+    }
+
+    EtcWorkloadConfig etc_config;
+    etc_config.kvs_service = kRackKvsServerNode;
+    etc_config.key_population = kKeys;
+    EtcWorkload etc(etc_config);
+    LoadClient& client = rack.AddKvsClient(
+        LoadClientConfig{}, std::make_unique<PoissonArrival>(400000.0),
+        etc.MakeFactory());
+
+    Result result;
+    uint64_t misses_at_shift = 0;
+    SchedulePeriodic(sim, Milliseconds(10), Milliseconds(10), [&] {
+      if (!result.offloaded &&
+          rack.kvs_migrator().placement() == Placement::kNetwork) {
+        result.offloaded = true;
+        result.l2_size_at_shift = rack.lake().l2()->size();
+        misses_at_shift = rack.lake().misses_to_host();
+      }
+      return sim.Now() < Seconds(1);
+    });
+
+    rack.orchestrator().Start();
+    client.Start();
+    sim.RunUntil(Seconds(1));
+    result.misses_after_shift = rack.lake().misses_to_host() - misses_at_shift;
+    result.state_transfers = rack.kvs_migrator().state_transfers();
+    result.warm_shifts = rack.orchestrator().warm_shifts();
+    return result;
+  };
+
+  const Result warm = run(true);
+  const Result cold = run(false);
+  ASSERT_TRUE(warm.offloaded);
+  ASSERT_TRUE(cold.offloaded);
+  // The warm shift moved the typed snapshot; the cold shift moved nothing.
+  EXPECT_GE(warm.state_transfers, 1u);
+  EXPECT_EQ(cold.state_transfers, 0u);
+  EXPECT_GE(warm.warm_shifts, 1u);
+  EXPECT_EQ(cold.warm_shifts, 0u);
+  // Cache contents survived the warm shift: L2 already holds the store at
+  // the flip, and post-shift traffic hits in hardware instead of punting.
+  EXPECT_EQ(warm.l2_size_at_shift, 5000u);
+  EXPECT_EQ(cold.l2_size_at_shift, 0u);
+  EXPECT_EQ(warm.misses_after_shift, 0u);
+  EXPECT_GT(cold.misses_after_shift, 500u);
+}
+
+// Differential: an orchestrator-driven warm Paxos leader shift carries
+// ballot + sequence through the typed snapshot, so the incoming hardware
+// leader continues without re-learning; the cold shift resets to sequence 1
+// and spends ~a client timeout recovering (Fig 7's gap).
+TEST(RackWarmMigrationTest, WarmShiftPreservesPaxosBallotAndSequence) {
+  struct Result {
+    bool offloaded = false;
+    uint64_t client_retries = 0;
+    uint64_t hw_sequence_jumps = 0;
+    uint64_t state_transfers = 0;
+    uint16_t hw_ballot = 0;
+    uint32_t hw_next_instance = 0;
+    uint32_t sw_next_instance_at_shift = 0;
+  };
+  auto run = [](bool warm) {
+    Simulation sim(/*seed=*/9);
+    PaxosTestbedOptions options;
+    options.deployment = PaxosDeployment::kP4xosFpga;
+    options.dual_leader = true;
+    options.client.requests_per_second = 10000;
+    options.client.retry_timeout = Milliseconds(100);
+    PaxosTestbed testbed(sim, options);
+
+    PaxosLeaderMigrator migrator(sim, testbed.net_switch(), kPaxosLeaderService,
+                                 *testbed.software_leader(), testbed.leader_port(),
+                                 *testbed.sut_fpga(), *testbed.fpga_leader(),
+                                 testbed.leader_port());
+
+    // Orchestrator decision: the host placement is made expensive so the
+    // leader shifts into the P4xos NIC through the generic core; the
+    // per-app policy decides whether state rides along.
+    RackOrchestratorConfig config;
+    config.min_dwell = Milliseconds(200);
+    RackOrchestrator orchestrator(sim, config);
+    RackAppSpec spec;
+    spec.name = "paxos";
+    spec.warm_migration = warm;
+    spec.software_watts = [](double) { return 100.0; };
+    FpgaNic* fpga = testbed.sut_fpga();
+    spec.measured_rate_pps = [fpga] { return fpga->AppIngressRatePerSecond(); };
+    spec.options.push_back(RackPlacementOption{
+        fpga, &migrator, [](double) { return 50.0; }, ParkPolicy::kKeepWarm});
+    orchestrator.AddApp(std::move(spec));
+
+    Result result;
+    SchedulePeriodic(sim, Milliseconds(10), Milliseconds(10), [&] {
+      if (!result.offloaded && migrator.placement() == Placement::kNetwork) {
+        result.offloaded = true;
+        result.sw_next_instance_at_shift =
+            testbed.software_leader()->state().next_instance();
+      }
+      return sim.Now() < Seconds(2);
+    });
+
+    testbed.client().Start();
+    orchestrator.Start();
+    sim.RunUntil(Seconds(2));
+    result.client_retries = testbed.client().retries();
+    result.hw_sequence_jumps = testbed.fpga_leader()->leader()->sequence_jumps();
+    result.state_transfers = migrator.state_transfers();
+    result.hw_ballot = testbed.fpga_leader()->leader()->ballot();
+    result.hw_next_instance = testbed.fpga_leader()->leader()->next_instance();
+    return result;
+  };
+
+  const Result warm = run(true);
+  const Result cold = run(false);
+  ASSERT_TRUE(warm.offloaded);
+  ASSERT_TRUE(cold.offloaded);
+  EXPECT_GE(warm.state_transfers, 1u);
+  EXPECT_EQ(cold.state_transfers, 0u);
+  // Sequence continuity: the warm hardware leader took over at (or past)
+  // the software leader's position without re-learning; the cold one reset
+  // and had to jump when the acceptors taught it the real sequence.
+  EXPECT_EQ(warm.hw_sequence_jumps, 0u);
+  EXPECT_GE(cold.hw_sequence_jumps, 1u);
+  EXPECT_GE(warm.hw_next_instance, warm.sw_next_instance_at_shift);
+  // Ballot monotonicity holds on both paths (a new leader never reuses an
+  // old ballot).
+  EXPECT_GT(warm.hw_ballot, 1u);
+  EXPECT_GT(cold.hw_ballot, 1u);
+  // No service gap on the warm path; the cold path burned client retries.
+  EXPECT_EQ(warm.client_retries, 0u);
+  EXPECT_GT(cold.client_retries, 0u);
+}
+
+// The trace-driven rack: registry-name-only apps under the orchestrator,
+// with the Google-trace background load driving the placement decisions.
+TEST(TraceRackScenarioTest, TraceLoadDrivesGenericWarmShifts) {
+  Simulation sim(/*seed=*/13);
+  TraceRackOptions options;
+  options.sim_horizon = Seconds(2);
+  options.trace.num_tasks = 400;
+  options.orchestrator.min_dwell = Milliseconds(300);
+  TraceRackScenario rack(sim, options);
+  ASSERT_EQ(rack.app_count(), 2u);
+  for (size_t i = 0; i < rack.app_count(); ++i) {
+    rack.migrator(i);  // Generic core only; apps are plain incod::App.
+    EXPECT_NE(rack.host_app(i), nullptr);
+    EXPECT_NE(rack.offload_app(i), nullptr);
+  }
+  rack.Start();
+  sim.RunUntil(Seconds(2));
+  // The compressed 24 h trace kept the hosts busy enough that at least one
+  // app was pushed into the network at some point.
+  EXPECT_GT(rack.orchestrator().total_shifts(), 0u);
+  for (size_t i = 0; i < rack.app_count(); ++i) {
+    EXPECT_GT(rack.client(i).received(), 0u);
+  }
+  EXPECT_GT(rack.trace_tasks().size(), 0u);
 }
 
 // ---- Acceptance: one rack, FPGA NIC + switch ASIC, shared ledger ----

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "src/ondemand/migrator.h"
+#include "src/power/cpu_power.h"
 #include "src/scenarios/dns_testbed.h"
 #include "src/scenarios/kvs_testbed.h"
 #include "src/scenarios/paxos_testbed.h"
@@ -264,6 +266,139 @@ TEST(PaxosTestbedTest, InvalidConfigsRejected) {
     options.sut = PaxosSut::kAcceptor;
     EXPECT_THROW(PaxosTestbed(sim, options), std::invalid_argument);
   }
+}
+
+// Differential check for the switch-centric declarative path: the
+// spec/registry-built Paxos group (PaxosTestbed is now a veneer over
+// MakePaxosGroupSpec) must reproduce, event for event, the results of the
+// original imperative wiring — reproduced by hand below with concrete app
+// types and direct TestbedBuilder calls — including a Fig 7 leader shift
+// through the switch-rule rewrite.
+TEST(PaxosTestbedTest, SpecBuiltGroupMatchesHandWiredResults) {
+  struct RunResult {
+    uint64_t completed = 0;
+    uint64_t sent = 0;
+    uint64_t retries = 0;
+    uint64_t leader_messages = 0;
+    uint64_t hw_leader_messages = 0;
+    uint64_t delivered = 0;
+    double p50 = 0;
+    double watts = 0;
+  };
+  PaxosClientConfig client_config;
+  client_config.requests_per_second = 20000;
+  client_config.retry_timeout = Milliseconds(100);
+
+  auto drive = [&](Simulation& sim, PaxosClient& client, PaxosLeaderMigrator& migrator,
+                   SoftwareLeader& sw_leader, P4xosFpgaApp& hw_leader,
+                   SoftwareLearner& learner, WallPowerMeter& meter) {
+    sim.Schedule(Milliseconds(200), [&] { migrator.ShiftToNetwork(); });
+    sim.Schedule(Milliseconds(600), [&] { migrator.ShiftToHost(); });
+    client.Start();
+    sim.RunUntil(Seconds(1));
+    RunResult r;
+    r.completed = client.completed();
+    r.sent = client.sent();
+    r.retries = client.retries();
+    r.leader_messages = sw_leader.messages_handled();
+    r.hw_leader_messages = hw_leader.messages_handled();
+    r.delivered = learner.state().delivered_count();
+    r.p50 = client.latency().P50();
+    r.watts = meter.MeanWatts(0, sim.Now());
+    return r;
+  };
+
+  // Spec/registry path: the dual-leader group as PaxosTestbed builds it.
+  RunResult spec_result;
+  {
+    Simulation sim(21);
+    PaxosTestbedOptions options;
+    options.deployment = PaxosDeployment::kP4xosFpga;
+    options.dual_leader = true;
+    options.client = client_config;
+    PaxosTestbed testbed(sim, options);
+    PaxosLeaderMigrator migrator(sim, testbed.net_switch(), kPaxosLeaderService,
+                                 *testbed.software_leader(), testbed.leader_port(),
+                                 *testbed.sut_fpga(), *testbed.fpga_leader(),
+                                 testbed.leader_port());
+    spec_result = drive(sim, testbed.client(), migrator, *testbed.software_leader(),
+                        *testbed.fpga_leader(), *testbed.learner(), testbed.meter());
+  }
+
+  // Hand-wired path: the pre-redesign imperative construction.
+  RunResult hand_result;
+  {
+    Simulation sim(21);
+    TestbedBuilder builder(sim, Milliseconds(1));
+    PaxosGroupConfig group;
+    group.acceptors = {kPaxosAcceptorBaseNode, kPaxosAcceptorBaseNode + 1,
+                       kPaxosAcceptorBaseNode + 2};
+    group.learners = {kPaxosLearnerNode};
+    group.leader_service = kPaxosLeaderService;
+
+    L2Switch* sw = builder.AddL2Switch("tor-switch");
+
+    ServerConfig server_config;
+    server_config.name = "leader-host";
+    server_config.node = kPaxosLeaderHostNode;
+    server_config.num_cores = 4;
+    server_config.power_curve = I7LibpaxosCurve();
+    Server* host = builder.AddServer(server_config);
+    SoftwareLeader sw_leader(group, /*ballot=*/1);
+    host->BindApp(&sw_leader);
+
+    FpgaNicConfig fpga_config;
+    fpga_config.name = "netfpga-p4xos-leader";
+    fpga_config.host_node = kPaxosLeaderHostNode;
+    fpga_config.device_node = kPaxosLeaderDeviceNode;
+    P4xosFpgaApp hw_leader(P4xosRole::kLeader, group, /*role_id=*/1,
+                           kPaxosLeaderService);
+    FpgaNic* fpga = builder.AddFpgaNic(fpga_config, &hw_leader);
+    fpga->SetAppActive(false);
+    const int leader_port = builder.ConnectToSwitchPort(
+        sw, fpga, {kPaxosLeaderService, kPaxosLeaderHostNode, kPaxosLeaderDeviceNode},
+        TestbedBuilder::TenGigLink(), "leader-10ge");
+    builder.ConnectPcie(fpga, host, TestbedBuilder::PcieLink(), "leader-10ge-pcie");
+
+    std::vector<std::unique_ptr<SoftwareAcceptor>> acceptors;
+    for (int i = 0; i < 3; ++i) {
+      Server* server = builder.AddAuxServer(
+          sw, kPaxosAcceptorBaseNode + static_cast<NodeId>(i), "aux-acceptor", 4);
+      acceptors.push_back(std::make_unique<SoftwareAcceptor>(
+          group, static_cast<uint32_t>(i), PaxosSoftwareConfig{Nanoseconds(300), 2}));
+      server->BindApp(acceptors.back().get());
+    }
+    Server* learner_host = builder.AddAuxServer(sw, kPaxosLearnerNode, "learner-host", 8);
+    SoftwareLearner learner(group, PaxosSoftwareConfig{Nanoseconds(100), 8},
+                            Milliseconds(50));
+    learner_host->BindApp(&learner);
+    builder.StartMeter();
+    learner.StartGapTimer();
+
+    PaxosClientConfig config = client_config;
+    config.node = kPaxosClientNode;
+    config.leader_service = kPaxosLeaderService;
+    PaxosClient client(sim, config);
+    Link* link = builder.topology().ConnectToSwitch(sw, &client, kPaxosClientNode,
+                                                    TestbedBuilder::TenGigLink(),
+                                                    "client-10ge");
+    client.SetUplink(link);
+
+    PaxosLeaderMigrator migrator(sim, *sw, kPaxosLeaderService, sw_leader, leader_port,
+                                 *fpga, hw_leader, leader_port);
+    hand_result = drive(sim, client, migrator, sw_leader, hw_leader, learner,
+                        builder.meter());
+  }
+
+  EXPECT_GT(spec_result.completed, 0u);
+  EXPECT_EQ(spec_result.completed, hand_result.completed);
+  EXPECT_EQ(spec_result.sent, hand_result.sent);
+  EXPECT_EQ(spec_result.retries, hand_result.retries);
+  EXPECT_EQ(spec_result.leader_messages, hand_result.leader_messages);
+  EXPECT_EQ(spec_result.hw_leader_messages, hand_result.hw_leader_messages);
+  EXPECT_EQ(spec_result.delivered, hand_result.delivered);
+  EXPECT_DOUBLE_EQ(spec_result.p50, hand_result.p50);
+  EXPECT_DOUBLE_EQ(spec_result.watts, hand_result.watts);
 }
 
 TEST(PaxosTestbedTest, AcceptorSutUsesHardwareLeader) {
