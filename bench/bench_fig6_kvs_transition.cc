@@ -18,6 +18,9 @@
 //     fraction and hit latency, and records the delta as a JSON part for
 //     BENCH_transitions.json (gated in CI against
 //     bench/baseline_transitions.json).
+//   The comparison additionally runs a SmartNIC leg: the same warm-vs-cold
+//   shift onto a §10 AccelNet-class board hosting the registry KVS through
+//   a ScenarioSpec (kvs_smartnic section, gated like the FPGA leg).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,9 +28,13 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/app/smartnic_app.h"
+#include "src/kvs/lake.h"
+#include "src/kvs/memcached_server.h"
 #include "src/ondemand/controller.h"
 #include "src/ondemand/migrator.h"
 #include "src/scenarios/kvs_testbed.h"
+#include "src/scenarios/scenario_spec.h"
 #include "src/sim/simulation.h"
 #include "src/stats/csv.h"
 #include "src/workload/etc_workload.h"
@@ -45,37 +52,12 @@ struct TransitionResult {
   uint64_t window_hits = 0;
 };
 
-TransitionResult RunTransition(bool warm, bool quick) {
-  Simulation sim(23);
-  KvsTestbedOptions options;
-  options.mode = KvsMode::kLake;
-  options.lake_initially_active = false;
-  KvsTestbed testbed(sim, options);
-  // Warm only the authoritative host store: LaKe's caches hold whatever the
-  // shift (and subsequent traffic) brings them.
-  constexpr uint64_t kKeys = 20000;
-  for (uint64_t k = 0; k < kKeys; ++k) {
-    testbed.memcached()->store().Set(k, 64);
-  }
-
-  EtcWorkloadConfig etc_config;
-  etc_config.kvs_service = testbed.ServiceNode();
-  etc_config.key_population = kKeys;
-  EtcWorkload etc(etc_config);
-  LoadClientConfig client_config;
-  client_config.rate_bucket = Milliseconds(500);
-  auto& client = testbed.AddClient(client_config,
-                                   std::make_unique<PoissonArrival>(16000.0),
-                                   etc.MakeFactory());
-
-  // Fig 6 ran without clock gating / memory reset enabled; the warm mode
-  // additionally carries the store contents through the generic transfer.
-  ClassifierMigrator::Options migrate_options =
-      ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm);
-  migrate_options.transfer_state = warm;
-  ClassifierMigrator migrator(sim, *testbed.fpga(), migrate_options,
-                              testbed.memcached(), testbed.lake());
-
+// Shared measurement protocol for every warm-vs-cold leg: ETC client
+// against a pre-warmed authoritative store, one shift into the network at
+// 1 s, miss fraction + p50 over the post-shift window. Only the testbed
+// (which offload substrate hosts LaKe) differs between legs.
+TransitionResult MeasureTransition(Simulation& sim, ClassifierMigrator& migrator,
+                                   LakeCache& lake, LoadClient& client, bool quick) {
   const SimTime shift_at = Seconds(1);
   const SimDuration window = quick ? Milliseconds(200) : Milliseconds(500);
 
@@ -84,14 +66,13 @@ TransitionResult RunTransition(bool warm, bool quick) {
   uint64_t misses_at_shift = 0;
   sim.Schedule(shift_at, [&] {
     migrator.ShiftToNetwork();
-    hits_at_shift = testbed.lake()->l1_hits() + testbed.lake()->l2_hits();
-    misses_at_shift = testbed.lake()->misses_to_host();
+    hits_at_shift = lake.l1_hits() + lake.l2_hits();
+    misses_at_shift = lake.misses_to_host();
     client.mutable_latency().Reset();
   });
   sim.Schedule(shift_at + window, [&] {
-    result.window_hits =
-        testbed.lake()->l1_hits() + testbed.lake()->l2_hits() - hits_at_shift;
-    result.window_misses = testbed.lake()->misses_to_host() - misses_at_shift;
+    result.window_hits = lake.l1_hits() + lake.l2_hits() - hits_at_shift;
+    result.window_misses = lake.misses_to_host() - misses_at_shift;
     const uint64_t total = result.window_hits + result.window_misses;
     result.post_shift_miss_fraction =
         total == 0 ? 0.0 : static_cast<double>(result.window_misses) / total;
@@ -104,6 +85,87 @@ TransitionResult RunTransition(bool warm, bool quick) {
   return result;
 }
 
+constexpr uint64_t kTransitionKeys = 20000;
+
+// The workload must outlive the client (MakeFactory captures it).
+EtcWorkload MakeTransitionWorkload(NodeId service) {
+  EtcWorkloadConfig etc_config;
+  etc_config.kvs_service = service;
+  etc_config.key_population = kTransitionKeys;
+  return EtcWorkload(etc_config);
+}
+
+LoadClientConfig TransitionClientConfig() {
+  LoadClientConfig client_config;
+  client_config.rate_bucket = Milliseconds(500);
+  return client_config;
+}
+
+TransitionResult RunTransition(bool warm, bool quick) {
+  Simulation sim(23);
+  KvsTestbedOptions options;
+  options.mode = KvsMode::kLake;
+  options.lake_initially_active = false;
+  KvsTestbed testbed(sim, options);
+  // Warm only the authoritative host store: LaKe's caches hold whatever the
+  // shift (and subsequent traffic) brings them.
+  for (uint64_t k = 0; k < kTransitionKeys; ++k) {
+    testbed.memcached()->store().Set(k, 64);
+  }
+  EtcWorkload etc = MakeTransitionWorkload(testbed.ServiceNode());
+  LoadClient& client =
+      testbed.AddClient(TransitionClientConfig(),
+                        std::make_unique<PoissonArrival>(16000.0), etc.MakeFactory());
+
+  // Fig 6 ran without clock gating / memory reset enabled; the warm mode
+  // additionally carries the store contents through the generic transfer.
+  ClassifierMigrator::Options migrate_options =
+      ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm);
+  migrate_options.transfer_state = warm;
+  ClassifierMigrator migrator(sim, *testbed.fpga(), migrate_options,
+                              testbed.memcached(), testbed.lake());
+  return MeasureTransition(sim, migrator, *testbed.lake(), client, quick);
+}
+
+// The SmartNIC leg of the comparison: the same host store and ETC client,
+// but the offload placement is the registry KVS hosted on an AccelNet-class
+// SmartNIC, built declaratively from a ScenarioSpec (PR 5's fourth
+// substrate). Cold shifts start the board's caches empty; warm shifts carry
+// the store through the generic state-transfer path.
+TransitionResult RunSmartNicTransition(bool warm, bool quick) {
+  Simulation sim(23);
+  ScenarioSpec spec;
+  spec.name = "fig6-smartnic";
+  spec.host.config.name = "kvs-host";
+  spec.host.config.node = 1;
+  spec.host.apps = {"kvs"};
+  spec.target.kind = ScenarioTargetKind::kSmartNic;
+  spec.target.name = "kvs-smartnic";
+  spec.target.smartnic_preset = "accelnet-fpga";
+  spec.target.device_node = 50;
+  spec.target.app = "kvs";
+  spec.target.initially_active = false;
+  ScenarioTestbed testbed(sim, std::move(spec));
+  auto* memcached = testbed.host_app_as<MemcachedServer>(0);
+  auto* hosted = testbed.offload_app_as<SmartNicHostedApp>();
+  auto* lake = hosted->inner_as<LakeCache>();
+
+  for (uint64_t k = 0; k < kTransitionKeys; ++k) {
+    memcached->store().Set(k, 64);
+  }
+  EtcWorkload etc = MakeTransitionWorkload(testbed.ServiceNode());
+  LoadClient& client =
+      testbed.AddClient(TransitionClientConfig(),
+                        std::make_unique<PoissonArrival>(16000.0), etc.MakeFactory());
+
+  ClassifierMigrator::Options migrate_options =
+      ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm);
+  migrate_options.transfer_state = warm;
+  ClassifierMigrator migrator(sim, *testbed.smartnic(), migrate_options, memcached,
+                              testbed.offload_app());
+  return MeasureTransition(sim, migrator, *lake, client, quick);
+}
+
 int RunComparison(bool quick, const std::string& out_path) {
   bench::PrintHeader("Figure 6: KVS transition warmth, warm vs cold",
                      "Cold: the paper's classifier flip (LaKe starts empty, "
@@ -111,6 +173,8 @@ int RunComparison(bool quick, const std::string& out_path) {
                      "contents ride the generic state-transfer path.");
   const TransitionResult cold = RunTransition(/*warm=*/false, quick);
   const TransitionResult warm = RunTransition(/*warm=*/true, quick);
+  const TransitionResult nic_cold = RunSmartNicTransition(/*warm=*/false, quick);
+  const TransitionResult nic_warm = RunSmartNicTransition(/*warm=*/true, quick);
 
   std::cout << "cold: post-shift miss fraction " << cold.post_shift_miss_fraction
             << " (" << cold.window_misses << " misses / " << cold.window_hits
@@ -120,6 +184,12 @@ int RunComparison(bool quick, const std::string& out_path) {
             << " hits), p50 " << warm.post_shift_p50_us << " us\n";
   std::cout << "delta (cold - warm) miss fraction: "
             << cold.post_shift_miss_fraction - warm.post_shift_miss_fraction << "\n";
+  std::cout << "smartnic cold: post-shift miss fraction "
+            << nic_cold.post_shift_miss_fraction << " (" << nic_cold.window_misses
+            << " misses / " << nic_cold.window_hits << " hits)\n";
+  std::cout << "smartnic warm: post-shift miss fraction "
+            << nic_warm.post_shift_miss_fraction << " (" << nic_warm.window_misses
+            << " misses / " << nic_warm.window_hits << " hits)\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -140,6 +210,16 @@ int RunComparison(bool quick, const std::string& out_path) {
   json.Field("warm_post_shift_p50_us", warm.post_shift_p50_us);
   json.Field("cold_window_misses", cold.window_misses);
   json.Field("warm_window_misses", warm.window_misses);
+  json.EndObject();
+  json.BeginObject("kvs_smartnic");
+  json.Field("cold_post_shift_miss_fraction", nic_cold.post_shift_miss_fraction);
+  json.Field("warm_post_shift_miss_fraction", nic_warm.post_shift_miss_fraction);
+  json.Field("delta_miss_fraction",
+             nic_cold.post_shift_miss_fraction - nic_warm.post_shift_miss_fraction);
+  json.Field("cold_post_shift_p50_us", nic_cold.post_shift_p50_us);
+  json.Field("warm_post_shift_p50_us", nic_warm.post_shift_p50_us);
+  json.Field("cold_window_misses", nic_cold.window_misses);
+  json.Field("warm_window_misses", nic_warm.window_misses);
   json.EndObject();
   json.EndObject();
   std::cout << "\nwrote " << out_path << "\n";

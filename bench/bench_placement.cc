@@ -6,7 +6,9 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/app/app_registry.h"
 #include "src/device/smartnic.h"
+#include "src/dns/zone.h"
 #include "src/ondemand/energy_advisor.h"
 #include "src/power/cpu_power.h"
 #include "src/sim/time.h"
@@ -80,5 +82,50 @@ int main() {
   std::cout << "\n(§10: the switch wins on absolute performance and perf/W; "
                "SmartNICs stay within the 25 W PCIe budget at millions of "
                "ops/W; FPGAs trade peak efficiency for flexibility.)\n";
+
+  // --- SmartNIC placement tipping points per registry family ---
+  // Each family's per-arch firmware profile (the kSmartNic registry
+  // placement) scales the board's peak; the advisor then answers the same
+  // §8 question per (app, board) pair the rack orchestrator asks per shift.
+  Zone zone;
+  zone.FillSynthetic(64);
+  PaxosGroupConfig group;
+  group.acceptors = {10, 11, 12};
+  group.learners = {30};
+  group.leader_service = 200;
+  AppFactoryEnv env;
+  env.zone = &zone;
+  env.paxos_group = &group;
+  env.service = 200;
+
+  struct SmartNicCase {
+    const char* family;
+    RatePowerFn software;
+  };
+  const SmartNicCase families[] = {
+      {"kvs", add4(MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4))},
+      {"dns", add4(MakeServerRatePower(I7NsdCurve(), Nanoseconds(4180), 4))},
+      {"paxos-leader",
+       add4(MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1))},
+  };
+  CsvTable smartnic_tips({"application", "board", "arch", "app_mpps", "tipping_kpps"});
+  std::cout << "\n";
+  for (const auto& family : families) {
+    auto app = AppRegistry::Global().Create(family.family, PlacementKind::kSmartNic, env);
+    const SmartNicPlacementProfile profile = app->OffloadProfile().smartnic;
+    for (const auto& preset : StandardSmartNicPresets()) {
+      const double fraction = profile.MppsFractionFor(preset.arch);
+      const auto network = MakeSmartNicRatePower(35.0, preset, fraction);
+      const auto nic_advice = AdvisePlacement(family.software, network, 2e6);
+      smartnic_tips.AddRow(
+          {std::string(family.family), preset.name,
+           std::string(SmartNicArchName(preset.arch)), preset.peak_mpps * fraction,
+           nic_advice.tipping_rate_pps.has_value() ? *nic_advice.tipping_rate_pps / 1000.0
+                                                   : -1.0});
+    }
+  }
+  smartnic_tips.WriteAligned(std::cout);
+  std::cout << "(per-arch firmware fractions from the registry's kSmartNic "
+               "profiles; -1 = the board never beats the host below 2 Mpps)\n";
   return 0;
 }

@@ -62,7 +62,7 @@ def check_transitions(parts, baseline_path, merge_out):
         for key in ("build_type", "quick"):
             if key in part:
                 merged[key] = part[key]
-        for key in ("kvs", "paxos"):
+        for key in ("kvs", "kvs_smartnic", "paxos"):
             if key in part:
                 merged[key] = part[key]
 
@@ -77,21 +77,26 @@ def check_transitions(parts, baseline_path, merge_out):
         if not condition:
             failures.append(f"{section}: {message}")
 
-    if "kvs" in baseline:
-        print("kvs transition (fig6):")
-        if "kvs" not in merged:
-            failures.append("kvs: missing bench part")
-        else:
-            kvs = merged["kvs"]
-            policy = baseline["kvs"]
-            delta = kvs["delta_miss_fraction"]
-            warm = kvs["warm_post_shift_miss_fraction"]
-            require("kvs", warm <= policy["warm_max_miss_fraction"],
-                    f"warm post-shift miss fraction {warm:.3f} <= "
-                    f"{policy['warm_max_miss_fraction']:.3f}")
-            require("kvs", delta >= policy["min_delta_miss_fraction"],
-                    f"cold-warm miss-fraction delta {delta:.3f} >= "
-                    f"{policy['min_delta_miss_fraction']:.3f}")
+    # The FPGA (fig6) and SmartNIC (§10 placement) legs share the
+    # miss-fraction policy shape.
+    for section, label in (("kvs", "kvs transition (fig6)"),
+                           ("kvs_smartnic", "kvs transition (smartnic leg)")):
+        if section not in baseline:
+            continue
+        print(f"{label}:")
+        if section not in merged:
+            failures.append(f"{section}: missing bench part")
+            continue
+        kvs = merged[section]
+        policy = baseline[section]
+        delta = kvs["delta_miss_fraction"]
+        warm = kvs["warm_post_shift_miss_fraction"]
+        require(section, warm <= policy["warm_max_miss_fraction"],
+                f"warm post-shift miss fraction {warm:.3f} <= "
+                f"{policy['warm_max_miss_fraction']:.3f}")
+        require(section, delta >= policy["min_delta_miss_fraction"],
+                f"cold-warm miss-fraction delta {delta:.3f} >= "
+                f"{policy['min_delta_miss_fraction']:.3f}")
 
     if "paxos" in baseline:
         print("paxos transition (fig7):")

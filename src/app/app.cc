@@ -10,8 +10,38 @@ const char* PlacementKindName(PlacementKind placement) {
       return "fpga-nic";
     case PlacementKind::kSwitchAsic:
       return "switch-asic";
+    case PlacementKind::kSmartNic:
+      return "smartnic";
   }
   return "?";
+}
+
+const char* SmartNicArchName(SmartNicArch arch) {
+  switch (arch) {
+    case SmartNicArch::kFpga:
+      return "fpga";
+    case SmartNicArch::kAsic:
+      return "asic";
+    case SmartNicArch::kAsicPlusFpga:
+      return "asic+fpga";
+    case SmartNicArch::kSoc:
+      return "soc";
+  }
+  return "?";
+}
+
+double SmartNicPlacementProfile::MppsFractionFor(SmartNicArch arch) const {
+  switch (arch) {
+    case SmartNicArch::kFpga:
+      return fpga_mpps_fraction;
+    case SmartNicArch::kAsic:
+      return asic_mpps_fraction;
+    case SmartNicArch::kAsicPlusFpga:
+      return asic_fpga_mpps_fraction;
+    case SmartNicArch::kSoc:
+      return soc_mpps_fraction;
+  }
+  return 0.0;
 }
 
 }  // namespace incod

@@ -38,14 +38,29 @@ namespace incod {
 
 class Simulation;
 
-// The substrates an application can be placed on (§4-§6 of the paper).
+// The substrates an application can be placed on (§4-§6, §10 of the paper).
 enum class PlacementKind {
   kHost,        // Software on server cores behind a network stack.
   kFpgaNic,     // Main logical core in an FPGA NIC shell (NetFPGA SUME).
   kSwitchAsic,  // Program in a programmable switch pipeline (Tofino).
+  kSmartNic,    // Offload engine of a commodity SmartNIC (§10 survey).
 };
 
 const char* PlacementKindName(PlacementKind placement);
+
+// The four SmartNIC architectures the §10 survey compares. Part of the
+// placement vocabulary (not the device model): an application's SmartNIC
+// profile is per-arch, because the same firmware sustains very different
+// fractions of a board's peak rate on wimpy SoC cores vs a fixed-function
+// ASIC vs an FPGA region.
+enum class SmartNicArch {
+  kFpga,
+  kAsic,
+  kAsicPlusFpga,
+  kSoc,
+};
+
+const char* SmartNicArchName(SmartNicArch arch);
 
 // Host-substrate profile: how the server schedules and accounts the app.
 // The CPU cost model itself is App::CpuTimePerRequest (it depends on the
@@ -70,6 +85,26 @@ struct FpgaPipelineSpec {
   size_t input_queue_capacity = 512;
 };
 
+// SmartNIC-substrate profile (§10): how the app's firmware maps onto each
+// of the surveyed architectures. The hosting SmartNic derives the app's
+// Mpps ceiling from its preset's peak scaled by the per-arch fraction, and
+// enforces the SoC "resource wall" through the slot count.
+struct SmartNicPlacementProfile {
+  // Sustained fraction of the board's peak Mpps per architecture. FPGA and
+  // ASIC+FPGA regions run the same pipeline the NetFPGA placement does;
+  // fixed-function ASIC engines may lose some flexibility-dependent speed;
+  // SoC cores parse anything but slowly.
+  double fpga_mpps_fraction = 1.0;
+  double asic_mpps_fraction = 1.0;
+  double asic_fpga_mpps_fraction = 1.0;
+  double soc_mpps_fraction = 1.0;
+  // Engine slots the firmware occupies. SoC boards expose few slots (§10:
+  // "SoCs hit the resource wall earlier"), capping concurrent apps.
+  int resource_slots = 1;
+
+  double MppsFractionFor(SmartNicArch arch) const;
+};
+
 // Offload-substrate profile: what the device needs to admit, time, and
 // power-account the app (§5 power modules; §4.3 dynamic watts).
 struct OffloadPlacementProfile {
@@ -81,6 +116,8 @@ struct OffloadPlacementProfile {
   // Switch placement: fractional power overhead at full load relative to
   // plain L2 forwarding (§6: P4xos <= 2 %).
   double switch_power_overhead_at_full_load = 0.0;
+  // SmartNIC placement: per-arch datapath and resource footprint (§10).
+  SmartNicPlacementProfile smartnic;
 };
 
 // The narrow surface a substrate exposes to a hosted application. Replies
@@ -156,9 +193,10 @@ class App {
   virtual void RestoreState(const AppState& state) { (void)state; }
 
   // The context of the substrate currently hosting this app. Set by the
-  // substrate when the app is bound/installed.
+  // substrate when the app is bound/installed. Virtual so wrapper apps
+  // (SmartNicHostedApp) can propagate the binding to the app they adapt.
   AppContext* context() const { return context_; }
-  void BindContext(AppContext* context) { context_ = context; }
+  virtual void BindContext(AppContext* context) { context_ = context; }
 
  private:
   AppContext* context_ = nullptr;

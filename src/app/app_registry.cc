@@ -1,11 +1,42 @@
 #include "src/app/app_registry.h"
 
 #include <algorithm>
+#include <iterator>
+#include <memory>
 #include <utility>
+
+#include "src/app/smartnic_app.h"
 
 namespace incod {
 
 namespace {
+
+// Per-arch SmartNIC firmware profiles (§10). The FPGA-NIC implementations
+// provide the protocol logic; these describe how that firmware maps onto
+// each surveyed SmartNIC engine: FPGA regions run the NetFPGA pipeline
+// as-is, fixed-function ASIC engines lose some flexibility-dependent speed,
+// and SoC cores parse anything but slowly. LaKe's two cache levels occupy
+// two slots, so a resource-walled SoC board fits exactly one KVS firmware.
+SmartNicPlacementProfile KvsSmartNicProfile() {
+  SmartNicPlacementProfile profile;
+  profile.asic_mpps_fraction = 0.75;
+  profile.soc_mpps_fraction = 0.35;
+  profile.resource_slots = 2;
+  return profile;
+}
+
+SmartNicPlacementProfile DnsSmartNicProfile() {
+  SmartNicPlacementProfile profile;
+  profile.soc_mpps_fraction = 0.5;
+  return profile;
+}
+
+SmartNicPlacementProfile PaxosSmartNicProfile() {
+  SmartNicPlacementProfile profile;
+  profile.asic_mpps_fraction = 0.9;
+  profile.soc_mpps_fraction = 0.6;
+  return profile;
+}
 
 [[noreturn]] void ThrowMissing(const char* family, const char* what) {
   throw std::invalid_argument(std::string("AppRegistry: ") + family +
@@ -39,6 +70,9 @@ std::unique_ptr<App> MakeKvs(PlacementKind placement, const AppFactoryEnv& env) 
       }
       return std::make_unique<KvSwitchCache>(config);
     }
+    case PlacementKind::kSmartNic:
+      return std::make_unique<SmartNicHostedApp>(
+          std::make_unique<LakeCache>(env.lake), KvsSmartNicProfile());
   }
   return nullptr;
 }
@@ -56,6 +90,10 @@ std::unique_ptr<App> MakeDns(PlacementKind placement, const AppFactoryEnv& env) 
       }
       return std::make_unique<DnsSwitchProgram>(RequireZone(env), config);
     }
+    case PlacementKind::kSmartNic:
+      return std::make_unique<SmartNicHostedApp>(
+          std::make_unique<EmuDns>(RequireZone(env), env.emu_dns),
+          DnsSmartNicProfile());
   }
   return nullptr;
 }
@@ -78,12 +116,18 @@ std::unique_ptr<App> MakePaxosRole(P4xosRole role, PlacementKind placement,
     case PlacementKind::kSwitchAsic:
       return std::make_unique<P4xosSwitchProgram>(role, std::move(group),
                                                   env.paxos_role_id, env.service);
+    case PlacementKind::kSmartNic:
+      return std::make_unique<SmartNicHostedApp>(
+          std::make_unique<P4xosFpgaApp>(role, std::move(group), env.paxos_role_id,
+                                         env.service, env.p4xos),
+          PaxosSmartNicProfile());
   }
   return nullptr;
 }
 
 constexpr PlacementKind kAllPlacements[] = {
-    PlacementKind::kHost, PlacementKind::kFpgaNic, PlacementKind::kSwitchAsic};
+    PlacementKind::kHost, PlacementKind::kFpgaNic, PlacementKind::kSwitchAsic,
+    PlacementKind::kSmartNic};
 
 }  // namespace
 
@@ -145,18 +189,16 @@ std::unique_ptr<App> AppRegistry::Create(const std::string& name,
 
 AppRegistry& AppRegistry::Global() {
   static AppRegistry* registry = [] {
+    const std::vector<PlacementKind> all(std::begin(kAllPlacements),
+                                         std::end(kAllPlacements));
     auto* r = new AppRegistry();
-    r->Register("kvs", {kAllPlacements[0], kAllPlacements[1], kAllPlacements[2]},
-                MakeKvs);
-    r->Register("dns", {kAllPlacements[0], kAllPlacements[1], kAllPlacements[2]},
-                MakeDns);
-    r->Register("paxos-leader",
-                {kAllPlacements[0], kAllPlacements[1], kAllPlacements[2]},
+    r->Register("kvs", all, MakeKvs);
+    r->Register("dns", all, MakeDns);
+    r->Register("paxos-leader", all,
                 [](PlacementKind placement, const AppFactoryEnv& env) {
                   return MakePaxosRole(P4xosRole::kLeader, placement, env);
                 });
-    r->Register("paxos-acceptor",
-                {kAllPlacements[0], kAllPlacements[1], kAllPlacements[2]},
+    r->Register("paxos-acceptor", all,
                 [](PlacementKind placement, const AppFactoryEnv& env) {
                   return MakePaxosRole(P4xosRole::kAcceptor, placement, env);
                 });

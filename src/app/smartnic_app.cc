@@ -1,0 +1,27 @@
+#include "src/app/smartnic_app.h"
+
+#include <stdexcept>
+
+namespace incod {
+
+SmartNicHostedApp::SmartNicHostedApp(std::unique_ptr<App> inner,
+                                     SmartNicPlacementProfile profile)
+    : inner_(std::move(inner)), profile_(profile) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("SmartNicHostedApp: null inner app");
+  }
+  if (profile_.resource_slots < 1) {
+    throw std::invalid_argument("SmartNicHostedApp: " + inner_->AppName() +
+                                " needs >= 1 resource slot");
+  }
+}
+
+OffloadPlacementProfile SmartNicHostedApp::OffloadProfile() const {
+  // The inner app's power modules and dynamic watts describe the firmware;
+  // the wrapper overlays the per-arch SmartNIC datapath description.
+  OffloadPlacementProfile profile = inner_->OffloadProfile();
+  profile.smartnic = profile_;
+  return profile;
+}
+
+}  // namespace incod

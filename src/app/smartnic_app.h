@@ -1,0 +1,81 @@
+// Hosting a unified App on a SmartNIC offload engine (§10).
+//
+// SmartNicHostedApp mirrors SwitchHostedApp for the fourth substrate: it
+// adapts an application's packet-processing implementation onto the
+// behavioral SmartNic datapath (device/smartnic.h). The inner App supplies
+// the protocol logic and typed state — the same implementation the FPGA-NIC
+// placement runs, re-targeted at a commodity board's offload engine — while
+// the wrapper owns the SmartNIC placement advertisement: it answers
+// SupportsPlacement(kSmartNic) only, and overlays the family's per-arch
+// SmartNicPlacementProfile on the inner app's OffloadProfile so the hosting
+// device can derive the firmware's Mpps ceiling from its preset and charge
+// the SoC "resource wall" slots.
+//
+// Context semantics on this substrate (provided by SmartNic as AppContext):
+//   * Reply — transmitted from the board's network port;
+//   * Punt  — delivered to the host across PCIe (the fallback placement).
+#ifndef INCOD_SRC_APP_SMARTNIC_APP_H_
+#define INCOD_SRC_APP_SMARTNIC_APP_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/app/app.h"
+
+namespace incod {
+
+class SmartNicHostedApp : public App {
+ public:
+  // Takes ownership of the implementation; `profile` is the family's
+  // per-arch SmartNIC datapath/footprint description.
+  SmartNicHostedApp(std::unique_ptr<App> inner, SmartNicPlacementProfile profile);
+
+  // --- Identity (forwarded) ---
+  AppProto proto() const override { return inner_->proto(); }
+  std::string AppName() const override { return inner_->AppName(); }
+
+  // --- Placement advertisement (owned by the wrapper) ---
+  bool SupportsPlacement(PlacementKind placement) const override {
+    return placement == PlacementKind::kSmartNic;
+  }
+  OffloadPlacementProfile OffloadProfile() const override;
+
+  // --- Packet path (forwarded) ---
+  bool Matches(const Packet& packet) const override { return inner_->Matches(packet); }
+  void HandlePacket(AppContext& ctx, Packet packet) override {
+    inner_->HandlePacket(ctx, std::move(packet));
+  }
+  void OnHostEgress(AppContext& ctx, const Packet& packet) override {
+    inner_->OnHostEgress(ctx, packet);
+  }
+
+  // --- Lifecycle + typed state (forwarded) ---
+  void OnActivate() override { inner_->OnActivate(); }
+  void OnDeactivate() override { inner_->OnDeactivate(); }
+  void OnMemoryReset() override { inner_->OnMemoryReset(); }
+  AppState SnapshotState() const override { return inner_->SnapshotState(); }
+  void RestoreState(const AppState& state) override { inner_->RestoreState(state); }
+
+  // The substrate binds the wrapper; implementations that transmit through
+  // their stored context (e.g. P4xos roles) need the same binding.
+  void BindContext(AppContext* context) override {
+    App::BindContext(context);
+    inner_->BindContext(context);
+  }
+
+  App* inner() { return inner_.get(); }
+  const App* inner() const { return inner_.get(); }
+  template <typename T>
+  T* inner_as() {
+    return dynamic_cast<T*>(inner_.get());
+  }
+
+ private:
+  std::unique_ptr<App> inner_;
+  SmartNicPlacementProfile profile_;
+};
+
+}  // namespace incod
+
+#endif  // INCOD_SRC_APP_SMARTNIC_APP_H_

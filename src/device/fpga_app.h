@@ -48,8 +48,11 @@ class FpgaApp : public App {
     return placement == PlacementKind::kFpgaNic;
   }
   OffloadPlacementProfile OffloadProfile() const override {
-    return OffloadPlacementProfile{PipelineSpec(), PowerModules(),
-                                   DynamicWattsAtCapacity(), 0.0};
+    OffloadPlacementProfile profile;
+    profile.pipeline = PipelineSpec();
+    profile.power_modules = PowerModules();
+    profile.dynamic_watts_at_capacity = DynamicWattsAtCapacity();
+    return profile;
   }
   void HandlePacket(AppContext& ctx, Packet packet) override {
     (void)ctx;

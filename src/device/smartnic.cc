@@ -6,19 +6,13 @@
 
 namespace incod {
 
-const char* SmartNicArchName(SmartNicArch arch) {
-  switch (arch) {
-    case SmartNicArch::kFpga:
-      return "fpga";
-    case SmartNicArch::kAsic:
-      return "asic";
-    case SmartNicArch::kAsicPlusFpga:
-      return "asic+fpga";
-    case SmartNicArch::kSoc:
-      return "soc";
-  }
-  return "?";
-}
+namespace {
+// Engine slot budgets behind AppSlotCapacity(): scalable silicon (FPGA
+// regions, ASIC engine banks) fits several firmware images; SoC boards hit
+// the §10 "resource wall" after two.
+constexpr int kScalableAppSlots = 8;
+constexpr int kSocAppSlots = 2;
+}  // namespace
 
 double OpsPerWattAtPeak(const SmartNicPreset& preset) {
   if (preset.max_watts <= 0) {
@@ -42,6 +36,15 @@ std::vector<SmartNicPreset> StandardSmartNicPresets() {
   };
 }
 
+SmartNicPreset SmartNicPresetByName(const std::string& name) {
+  for (const SmartNicPreset& preset : StandardSmartNicPresets()) {
+    if (preset.name == name) {
+      return preset;
+    }
+  }
+  throw std::invalid_argument("SmartNicPresetByName: unknown preset " + name);
+}
+
 // ---------------------------------------------------------------------------
 
 SmartNic::SmartNic(Simulation& sim, SmartNicPreset preset, SmartNicDeviceConfig config)
@@ -55,28 +58,91 @@ SmartNic::SmartNic(Simulation& sim, SmartNicPreset preset, SmartNicDeviceConfig 
   }
 }
 
+int SmartNic::AppSlotCapacity() const {
+  return preset_.scalable_resources ? kScalableAppSlots : kSocAppSlots;
+}
+
+void SmartNic::InstallApp(App* app) {
+  if (app == nullptr) {
+    throw std::invalid_argument("SmartNic::InstallApp: null app");
+  }
+  if (!app->SupportsPlacement(PlacementKind::kSmartNic)) {
+    throw std::invalid_argument("SmartNic: " + app->AppName() +
+                                " does not support the SmartNIC placement");
+  }
+  const SmartNicPlacementProfile profile = app->OffloadProfile().smartnic;
+  const double fraction = profile.MppsFractionFor(preset_.arch);
+  if (fraction <= 0) {
+    throw std::invalid_argument("SmartNic: " + app->AppName() +
+                                " firmware does not run on a " +
+                                SmartNicArchName(preset_.arch) + " engine");
+  }
+  if (slots_used_ + profile.resource_slots > AppSlotCapacity()) {
+    throw std::invalid_argument(
+        "SmartNic: " + preset_.name + " resource wall — " + app->AppName() +
+        " needs " + std::to_string(profile.resource_slots) + " slots, " +
+        std::to_string(AppSlotCapacity() - slots_used_) + " free");
+  }
+  HostedApp hosted;
+  hosted.app = app;
+  hosted.capacity_pps = preset_.peak_mpps * 1e6 * fraction;
+  hosted.service = static_cast<SimDuration>(1e9 / hosted.capacity_pps);
+  slots_used_ += profile.resource_slots;
+  app->BindContext(this);
+  apps_.push_back(hosted);
+  if (app_active_) {
+    // Late install onto a live engine: the app must see the same activation
+    // its already-installed peers received.
+    app->OnActivate();
+  }
+}
+
 std::string SmartNic::TargetName() const {
   return config_.name + "/" + preset_.name;
 }
 
 OffloadTargetTraits SmartNic::Traits() const {
   OffloadTargetTraits traits;
-  // Any architecture can idle its offload engine; only FPGA-bearing boards
-  // can be (partially) reconfigured at runtime.
+  // Any architecture can idle its offload engine and reset its memories;
+  // only FPGA-bearing boards can be (partially) reconfigured at runtime.
   traits.supports_clock_gating = true;
+  traits.supports_memory_reset = true;
   traits.supports_reprogramming = preset_.arch == SmartNicArch::kFpga ||
                                   preset_.arch == SmartNicArch::kAsicPlusFpga;
   return traits;
 }
 
 void SmartNic::SetAppActive(bool active) {
+  const bool was_active = app_active_;
   app_active_ = active;
   if (active) {
     engine_power_gated_ = false;  // Waking restores the engine.
   }
+  if (was_active == active) {
+    return;
+  }
+  for (HostedApp& hosted : apps_) {
+    if (active) {
+      hosted.app->OnActivate();
+    } else {
+      hosted.app->OnDeactivate();
+    }
+  }
 }
 
 void SmartNic::SetClockGating(bool enabled) { clock_gating_ = enabled; }
+
+void SmartNic::SetMemoryReset(bool enabled) {
+  const bool entering_reset = enabled && !memory_reset_;
+  memory_reset_ = enabled;
+  if (entering_reset) {
+    // Mirrors FpgaNic: entering reset loses the apps' on-board state, so a
+    // gated-park shift home really leaves the next cold shift cold.
+    for (HostedApp& hosted : apps_) {
+      hosted.app->OnMemoryReset();
+    }
+  }
+}
 
 void SmartNic::SetReprogramming(bool reprogramming) {
   if (reprogramming && !Traits().supports_reprogramming) {
@@ -93,6 +159,19 @@ void SmartNic::PowerGateParkedApp() {
     return;
   }
   engine_power_gated_ = true;
+  // The firmware is no longer resident: hosted apps lose on-board state.
+  for (HostedApp& hosted : apps_) {
+    hosted.app->OnMemoryReset();
+  }
+}
+
+int SmartNic::ClaimingApp(const Packet& packet) const {
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i].app->Matches(packet)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
 }
 
 void SmartNic::Receive(Packet packet) {
@@ -101,7 +180,29 @@ void SmartNic::Receive(Packet packet) {
     return;
   }
   if (packet.src == config_.host_node) {
+    // Host egress: active apps observe their protocol on the way out
+    // (LaKe-style fill from host replies after a miss).
+    if (app_active_) {
+      for (HostedApp& hosted : apps_) {
+        if (hosted.app->Matches(packet)) {
+          hosted.app->OnHostEgress(*this, packet);
+        }
+      }
+    }
     TransmitToNetwork(std::move(packet));
+    return;
+  }
+  if (!apps_.empty()) {
+    const int claimed = ClaimingApp(packet);
+    if (claimed >= 0) {
+      app_ingress_.Increment();
+      app_ingress_rate_.RecordEvent(sim_.Now());
+      if (app_active_ && !engine_power_gated_) {
+        AdmitToEngine(static_cast<size_t>(claimed), std::move(packet));
+        return;
+      }
+    }
+    DeliverToHost(std::move(packet));
     return;
   }
   const bool claimed = config_.offload_proto != AppProto::kRaw &&
@@ -114,18 +215,12 @@ void SmartNic::Receive(Packet packet) {
     DeliverToHost(std::move(packet));
     return;
   }
-  // Serialize through the engine at the preset's peak rate.
+  // Legacy handler firmware runs at the preset's full peak rate.
   const SimDuration service = static_cast<SimDuration>(1e9 / (preset_.peak_mpps * 1e6));
-  const SimTime now = sim_.Now();
-  const SimTime start = std::max(now, busy_until_);
-  const double backlog = service > 0 ? static_cast<double>(start - now) /
-                                           static_cast<double>(std::max<SimDuration>(service, 1))
-                                     : 0;
-  if (backlog > static_cast<double>(config_.queue_capacity)) {
-    dropped_.Increment();
+  const std::optional<SimTime> done = ReserveEngineSlot(service);
+  if (!done.has_value()) {
     return;
   }
-  busy_until_ = start + service;
   auto process = [this, pkt = std::move(packet)]() mutable {
     processed_.Increment();
     processed_rate_.RecordEvent(sim_.Now());
@@ -138,7 +233,40 @@ void SmartNic::Receive(Packet packet) {
   };
   static_assert(sizeof(process) <= InlineEvent::kInlineCapacity,
                 "SmartNic processing events must stay inline");
-  sim_.ScheduleAt(start + service + config_.processing_latency, std::move(process));
+  sim_.ScheduleAt(*done, std::move(process));
+}
+
+std::optional<SimTime> SmartNic::ReserveEngineSlot(SimDuration service) {
+  // One serialization point for everything the engine runs (hosted apps and
+  // legacy handler firmware share it): next free slot at `service` pacing,
+  // drop when the implied backlog overflows the input queue.
+  const SimTime now = sim_.Now();
+  const SimTime start = std::max(now, busy_until_);
+  const double backlog =
+      static_cast<double>(start - now) /
+      static_cast<double>(std::max<SimDuration>(service, 1));
+  if (backlog > static_cast<double>(config_.queue_capacity)) {
+    dropped_.Increment();
+    return std::nullopt;
+  }
+  busy_until_ = start + service;
+  return start + service + config_.processing_latency;
+}
+
+void SmartNic::AdmitToEngine(size_t app_index, Packet packet) {
+  // Each packet is timed at its app's per-arch service interval.
+  const std::optional<SimTime> done = ReserveEngineSlot(apps_[app_index].service);
+  if (!done.has_value()) {
+    return;
+  }
+  auto process = [this, app_index, pkt = std::move(packet)]() mutable {
+    processed_.Increment();
+    processed_rate_.RecordEvent(sim_.Now());
+    apps_[app_index].app->HandlePacket(*this, std::move(pkt));
+  };
+  static_assert(sizeof(process) <= InlineEvent::kInlineCapacity,
+                "SmartNic engine events must stay inline");
+  sim_.ScheduleAt(*done, std::move(process));
 }
 
 void SmartNic::TransmitToNetwork(Packet packet) {
@@ -158,7 +286,11 @@ void SmartNic::DeliverToHost(Packet packet) {
 }
 
 double SmartNic::Utilization() const {
-  const double cap = preset_.peak_mpps * 1e6;
+  // Busy fraction of the engine as provisioned: hosted firmware may sustain
+  // only a per-arch fraction of the preset's peak, and saturating *that*
+  // ceiling is 100 % utilization (keeps PowerWatts on the same envelope
+  // MakeSmartNicRatePower charges the rack ledger).
+  const double cap = OffloadCapacityPps();
   return std::min(1.0, processed_rate_.RatePerSecond(sim_.Now()) / cap);
 }
 
@@ -168,6 +300,19 @@ double SmartNic::ProcessedRatePerSecond() const {
 
 double SmartNic::AppIngressRatePerSecond() const {
   return app_ingress_rate_.RatePerSecond(sim_.Now());
+}
+
+double SmartNic::OffloadCapacityPps() const {
+  if (apps_.empty()) {
+    return preset_.peak_mpps * 1e6;
+  }
+  // Hosted apps share one engine: the binding ceiling is the slowest
+  // installed firmware's.
+  double capacity = preset_.peak_mpps * 1e6;
+  for (const HostedApp& hosted : apps_) {
+    capacity = std::min(capacity, hosted.capacity_pps);
+  }
+  return capacity;
 }
 
 double SmartNic::PowerWatts() const {

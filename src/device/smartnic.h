@@ -8,6 +8,13 @@
 // SmartNic device turns a preset into a live OffloadTarget so the on-demand
 // layer can place workloads on SmartNICs exactly as it does on the NetFPGA
 // or a switch ASIC.
+//
+// The device is also an application substrate: it implements AppContext and
+// hosts unified Apps (SmartNicHostedApp wrappers via the AppRegistry's
+// kSmartNic factories) on its offload engine. Each hosted app's firmware is
+// timed at the preset's peak Mpps scaled by the app's per-arch fraction,
+// and occupies resource slots against a preset-derived budget — the §10
+// "resource wall" that caps how many apps a SoC board can run at once.
 #ifndef INCOD_SRC_DEVICE_SMARTNIC_H_
 #define INCOD_SRC_DEVICE_SMARTNIC_H_
 
@@ -16,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/app/app.h"
 #include "src/device/offload_target.h"
 #include "src/net/link.h"
 #include "src/net/packet.h"
@@ -25,15 +33,6 @@
 #include "src/stats/timeseries.h"
 
 namespace incod {
-
-enum class SmartNicArch {
-  kFpga,
-  kAsic,
-  kAsicPlusFpga,
-  kSoc,
-};
-
-const char* SmartNicArchName(SmartNicArch arch);
 
 struct SmartNicPreset {
   std::string name;
@@ -52,6 +51,11 @@ double OpsPerWattAtPeak(const SmartNicPreset& preset);
 
 std::vector<SmartNicPreset> StandardSmartNicPresets();
 
+// Standard preset by name ("accelnet-fpga", "agilio-asic", ...); throws
+// std::invalid_argument for an unknown name. ScenarioSpecs select SmartNIC
+// boards declaratively through this.
+SmartNicPreset SmartNicPresetByName(const std::string& name);
+
 // ---------------------------------------------------------------------------
 // Behavioral SmartNIC: a preset brought to life as a datapath + OffloadTarget.
 // ---------------------------------------------------------------------------
@@ -59,7 +63,11 @@ std::vector<SmartNicPreset> StandardSmartNicPresets();
 struct SmartNicDeviceConfig {
   std::string name = "smartnic";
   NodeId host_node = 1;
-  // Which application traffic the offload firmware claims (its classifier).
+  // Optional address of the board itself (0: none); hosted apps reply from
+  // it when set.
+  NodeId device_node = 0;
+  // Which application traffic the offload firmware claims when driven
+  // through the legacy handler path (hosted Apps claim via Matches()).
   AppProto offload_proto = AppProto::kRaw;
   SimDuration processing_latency = Microseconds(2);  // SoC/ASIC path latency.
   SimDuration rate_window = Milliseconds(100);
@@ -72,19 +80,45 @@ struct SmartNicDeviceConfig {
 };
 
 // The offloaded application's firmware: builds the reply for a claimed
-// request, or returns nullopt to punt the packet to the host.
+// request, or returns nullopt to punt the packet to the host. Legacy
+// surface predating the unified App contract; InstallApp supersedes it.
 using SmartNicHandler = std::function<std::optional<Packet>(const Packet&)>;
 
-class SmartNic : public PacketSink, public PowerSource, public OffloadTarget {
+class SmartNic : public PacketSink,
+                 public PowerSource,
+                 public OffloadTarget,
+                 public AppContext {
  public:
   SmartNic(Simulation& sim, SmartNicPreset preset, SmartNicDeviceConfig config);
 
   // Installs the offload firmware (what the engine does with claimed
-  // packets). Without a handler, claimed packets are counted and punted.
+  // packets). Without a handler or hosted apps, claimed packets are counted
+  // and punted.
   void SetHandler(SmartNicHandler handler) { handler_ = std::move(handler); }
+
+  // Installs a unified App (not owned) on the offload engine. The app must
+  // support the SmartNIC placement; its per-arch profile sets the firmware's
+  // Mpps ceiling and slot footprint. Throws when the board's slot budget —
+  // the §10 resource wall — is exhausted.
+  void InstallApp(App* app);
+  size_t app_count() const { return apps_.size(); }
+  App* app(size_t index = 0) const {
+    return index < apps_.size() ? apps_[index].app : nullptr;
+  }
+  // Engine slots this board offers: SoC-class (non-scalable) boards hit the
+  // resource wall after kSocAppSlots; scalable silicon fits kScalableAppSlots.
+  int AppSlotCapacity() const;
+  int app_slots_used() const { return slots_used_; }
 
   void SetNetworkLink(Link* link) { net_link_ = link; }
   void SetHostLink(Link* link) { host_link_ = link; }
+
+  // --- AppContext (the narrow surface hosted apps talk through) ---
+  Simulation& sim() override { return sim_; }
+  PlacementKind placement() const override { return PlacementKind::kSmartNic; }
+  NodeId self_node() const override { return config_.device_node; }
+  void Reply(Packet packet) override { TransmitToNetwork(std::move(packet)); }
+  void Punt(Packet packet) override { DeliverToHost(std::move(packet)); }
 
   // --- Data path ---
   void Receive(Packet packet) override;
@@ -99,6 +133,10 @@ class SmartNic : public PacketSink, public PowerSource, public OffloadTarget {
   bool app_active() const override { return app_active_; }
   void SetClockGating(bool enabled) override;
   bool clock_gating() const override { return clock_gating_; }
+  // Holds the engine's memories in reset while parked: hosted apps lose
+  // their on-board state on entry (LaKe re-warms after a gated park, §9.2).
+  void SetMemoryReset(bool enabled) override;
+  bool memory_reset() const override { return memory_reset_; }
   void SetReprogramming(bool reprogramming) override;
   bool reprogramming() const override { return reprogramming_; }
   void PowerGateParkedApp() override;
@@ -106,7 +144,7 @@ class SmartNic : public PacketSink, public PowerSource, public OffloadTarget {
   uint64_t app_ingress_packets() const override { return app_ingress_.value(); }
   double ProcessedRatePerSecond() const override;
   double OffloadPowerWatts() const override { return PowerWatts(); }
-  double OffloadCapacityPps() const override { return preset_.peak_mpps * 1e6; }
+  double OffloadCapacityPps() const override;
 
   // --- Power ---
   // idle + (max - idle) * utilization while serving; parked savings depend
@@ -123,15 +161,33 @@ class SmartNic : public PacketSink, public PowerSource, public OffloadTarget {
   const SmartNicDeviceConfig& config() const { return config_; }
 
  private:
+  struct HostedApp {
+    App* app = nullptr;
+    // Engine initiation interval derived from the preset's peak scaled by
+    // the app's per-arch Mpps fraction.
+    SimDuration service = 0;
+    double capacity_pps = 0;
+  };
+
+  // First installed app claiming the packet (-1: none).
+  int ClaimingApp(const Packet& packet) const;
+  // Books the engine's next free slot at `service` pacing; returns the
+  // completion time, or nullopt (counted drop) on input-queue overflow.
+  std::optional<SimTime> ReserveEngineSlot(SimDuration service);
+  void AdmitToEngine(size_t app_index, Packet packet);
+
   Simulation& sim_;
   SmartNicPreset preset_;
   SmartNicDeviceConfig config_;
   SmartNicHandler handler_;
+  std::vector<HostedApp> apps_;
+  int slots_used_ = 0;
   Link* net_link_ = nullptr;
   Link* host_link_ = nullptr;
   SimTime busy_until_ = 0;
   bool app_active_ = false;
   bool clock_gating_ = false;
+  bool memory_reset_ = false;
   bool engine_power_gated_ = false;
   bool reprogramming_ = false;
   mutable SlidingWindowRate processed_rate_;

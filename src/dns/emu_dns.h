@@ -50,8 +50,11 @@ class EmuDns : public App {
   std::vector<ModulePowerSpec> PowerModules() const;
   FpgaPipelineSpec PipelineSpec() const;
   OffloadPlacementProfile OffloadProfile() const override {
-    return OffloadPlacementProfile{PipelineSpec(), PowerModules(),
-                                   /*dynamic_watts_at_capacity=*/0.5, 0.0};
+    OffloadPlacementProfile profile;
+    profile.pipeline = PipelineSpec();
+    profile.power_modules = PowerModules();
+    profile.dynamic_watts_at_capacity = 0.5;
+    return profile;
   }
 
   void HandlePacket(AppContext& ctx, Packet packet) override;

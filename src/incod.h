@@ -38,6 +38,7 @@
 #include "src/app/app.h"
 #include "src/app/app_registry.h"
 #include "src/app/app_state.h"
+#include "src/app/smartnic_app.h"
 #include "src/app/switch_app.h"
 
 // Hosts and devices.

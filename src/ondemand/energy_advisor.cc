@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/device/smartnic.h"
+
 namespace incod {
 
 RatePowerFn MakeServerRatePower(PiecewiseLinearCurve utilization_to_watts,
@@ -48,6 +50,12 @@ RatePowerFn MakeSmartNicRatePower(double host_idle_watts, double board_idle_watt
   // idle-to-max swing (how SmartNIC presets are specified, §10).
   return MakeFpgaRatePower(host_idle_watts, board_idle_watts,
                            board_max_watts - board_idle_watts, capacity_pps);
+}
+
+RatePowerFn MakeSmartNicRatePower(double host_idle_watts, const SmartNicPreset& preset,
+                                  double app_mpps_fraction) {
+  return MakeSmartNicRatePower(host_idle_watts, preset.idle_watts, preset.max_watts,
+                               preset.peak_mpps * 1e6 * app_mpps_fraction);
 }
 
 PlacementAdvice AdvisePlacement(const RatePowerFn& software, const RatePowerFn& network,

@@ -19,6 +19,8 @@
 
 namespace incod {
 
+struct SmartNicPreset;  // device/smartnic.h; this header stays device-free.
+
 // rate (pps) -> wall watts.
 using RatePowerFn = std::function<double(double)>;
 
@@ -44,6 +46,12 @@ RatePowerFn MakeSwitchMarginalPower(double program_overhead_fraction,
 // peak_mpps). Same shape the behavioral SmartNic device reports live.
 RatePowerFn MakeSmartNicRatePower(double host_idle_watts, double board_idle_watts,
                                   double board_max_watts, double capacity_pps);
+
+// Convenience over a §10 preset hosting a specific app firmware: the
+// capacity is the preset's peak scaled by the app's per-arch Mpps fraction
+// (the same ceiling the behavioral SmartNic enforces for a hosted App).
+RatePowerFn MakeSmartNicRatePower(double host_idle_watts, const SmartNicPreset& preset,
+                                  double app_mpps_fraction = 1.0);
 
 struct PlacementAdvice {
   // Rate at/above which the network deployment draws no more power.

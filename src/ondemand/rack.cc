@@ -194,6 +194,10 @@ void RackOrchestrator::DecideForApp(AppState& app) {
   if (app.active_option >= 0 &&
       app.spec.options[static_cast<size_t>(app.active_option)].target->reprogramming()) {
     ++reprogram_deferrals_;
+    decision_log_.push_back(RackDecisionRecord{
+        RackDecisionRecord::Kind::kDeferral, now, app.spec.name,
+        app.spec.options[static_cast<size_t>(app.active_option)].target->TargetName(),
+        false});
     return;
   }
   const double rate = app.spec.measured_rate_pps();
@@ -230,11 +234,13 @@ void RackOrchestrator::DecideForApp(AppState& app) {
   auto apply_policy = [&](StateTransferMigrator& migrator) {
     migrator.SetTransferState(app.spec.warm_migration);
   };
-  auto count_shift = [&] {
+  auto count_shift = [&](RackDecisionRecord::Kind kind, const std::string& target) {
     ++total_shifts_;
     if (app.spec.warm_migration) {
       ++warm_shifts_;
     }
+    decision_log_.push_back(RackDecisionRecord{kind, now, app.spec.name, target,
+                                               app.spec.warm_migration});
   };
   auto place_on = [&](int index) {
     auto& option = app.spec.options[static_cast<size_t>(index)];
@@ -244,7 +250,7 @@ void RackOrchestrator::DecideForApp(AppState& app) {
     app.committed_rate_pps = rate;
     app.last_shift = now;
     ++shifts_to_target_[option.target];
-    count_shift();
+    count_shift(RackDecisionRecord::Kind::kShift, option.target->TargetName());
   };
   auto go_home = [&](RackPlacementOption& from) {
     apply_policy(*from.migrator);
@@ -253,7 +259,7 @@ void RackOrchestrator::DecideForApp(AppState& app) {
     app.active_option = -1;
     app.committed_rate_pps = 0;
     app.last_shift = now;
-    count_shift();
+    count_shift(RackDecisionRecord::Kind::kShiftHome, std::string());
   };
 
   if (app.active_option < 0) {

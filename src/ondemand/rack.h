@@ -89,6 +89,19 @@ struct RackAppSpec {
   bool warm_migration = false;
 };
 
+// One entry of the orchestrator's decision log: every performed shift and
+// every reprogram deferral, in decision order. The log is the audit trail
+// the aggregate counters (total_shifts, warm_shifts, reprogram_deferrals)
+// must reconcile against — tested exhaustively by the rack property suite.
+struct RackDecisionRecord {
+  enum class Kind { kShift, kShiftHome, kDeferral };
+  Kind kind = Kind::kShift;
+  SimTime at = 0;
+  std::string app;
+  std::string target;  // Destination TargetName() (empty: the host placement).
+  bool warm = false;   // Typed-state transfer rode along (per-app policy).
+};
+
 struct RackOrchestratorConfig {
   // Shared offload power budget (<= 0: unlimited).
   double power_budget_watts = 0;
@@ -130,6 +143,8 @@ class RackOrchestrator {
   // app stays parked until its reconfiguration completes).
   uint64_t reprogram_deferrals() const { return reprogram_deferrals_; }
   uint64_t decisions_evaluated() const { return decisions_; }
+  // Audit trail of shifts and deferrals, in decision order.
+  const std::vector<RackDecisionRecord>& decision_log() const { return decision_log_; }
   // Rate a target is currently committed to absorb (capacity accounting).
   double CommittedPps(const OffloadTarget& target) const;
 
@@ -162,6 +177,7 @@ class RackOrchestrator {
   RackOrchestratorConfig config_;
   RackPowerLedger ledger_;
   std::vector<AppState> apps_;
+  std::vector<RackDecisionRecord> decision_log_;
   std::map<const OffloadTarget*, uint64_t> shifts_to_target_;
   TimeSeries committed_series_{"rack_committed_watts"};
   TimeSeries measured_series_{"rack_target_watts"};

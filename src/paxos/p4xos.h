@@ -72,8 +72,11 @@ class P4xosFpgaApp : public App {
   std::vector<ModulePowerSpec> PowerModules() const;
   FpgaPipelineSpec PipelineSpec() const;
   OffloadPlacementProfile OffloadProfile() const override {
-    return OffloadPlacementProfile{PipelineSpec(), PowerModules(),
-                                   config_.dynamic_watts, 0.0};
+    OffloadPlacementProfile profile;
+    profile.pipeline = PipelineSpec();
+    profile.power_modules = PowerModules();
+    profile.dynamic_watts_at_capacity = config_.dynamic_watts;
+    return profile;
   }
 
   bool Matches(const Packet& packet) const override;

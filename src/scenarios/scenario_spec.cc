@@ -148,6 +148,35 @@ void ScenarioTestbed::BuildMember(const ScenarioMemberSpec& member_spec) {
       }
       break;
     }
+    case ScenarioTargetKind::kSmartNic: {
+      if (built.server == nullptr) {
+        throw std::invalid_argument("ScenarioSpec: member " + member_spec.name +
+                                    " SmartNIC needs a host");
+      }
+      SmartNicDeviceConfig nic_config;
+      nic_config.name = member_spec.target.name.empty() ? "smartnic"
+                                                        : member_spec.target.name;
+      nic_config.host_node = member_spec.host.config.node;
+      nic_config.device_node = member_spec.target.device_node;
+      if (!member_spec.target.app.empty()) {
+        built.offload_app = AppRegistry::Global().Create(
+            member_spec.target.app, PlacementKind::kSmartNic, env);
+      }
+      built.smartnic = builder_.AddSmartNic(
+          SmartNicPresetByName(member_spec.target.smartnic_preset), nic_config,
+          member_spec.target.metered);
+      if (built.offload_app != nullptr) {
+        built.smartnic->InstallApp(built.offload_app.get());
+        built.smartnic->SetAppActive(member_spec.target.initially_active);
+      }
+      built.port = builder_.ConnectToSwitchPort(tor_, built.smartnic,
+                                                member_spec.switch_routes,
+                                                member_spec.switch_link,
+                                                member_spec.link_name);
+      builder_.ConnectPcie(built.smartnic, built.server, member_spec.target.pcie,
+                           member_spec.link_name + "-pcie");
+      break;
+    }
   }
 
   if (!member_spec.switch_app.empty()) {
@@ -227,6 +256,28 @@ void ScenarioTestbed::BuildTarget() {
       }
       return;
     }
+    case ScenarioTargetKind::kSmartNic: {
+      if (server_ == nullptr) {
+        throw std::invalid_argument("ScenarioSpec: a SmartNIC needs a host");
+      }
+      SmartNicDeviceConfig nic_config;
+      nic_config.name = spec_.target.name.empty() ? "smartnic" : spec_.target.name;
+      nic_config.host_node = spec_.host.config.node;
+      nic_config.device_node = spec_.target.device_node;
+      if (!spec_.target.app.empty()) {
+        offload_app_ = AppRegistry::Global().Create(spec_.target.app,
+                                                    PlacementKind::kSmartNic, spec_.env);
+      }
+      smartnic_ = builder_.AddSmartNic(
+          SmartNicPresetByName(spec_.target.smartnic_preset), nic_config,
+          spec_.target.metered);
+      builder_.ConnectPcie(smartnic_, server_, spec_.target.pcie);
+      if (offload_app_ != nullptr) {
+        smartnic_->InstallApp(offload_app_.get());
+        smartnic_->SetAppActive(spec_.target.initially_active);
+      }
+      return;
+    }
   }
 }
 
@@ -234,16 +285,19 @@ void ScenarioTestbed::BuildController() {
   if (!spec_.controller.present) {
     return;
   }
-  if (fpga_ == nullptr || offload_app_ == nullptr) {
+  // The classifier flip works against any offload-capable ingress device.
+  OffloadTarget* target = fpga_ != nullptr ? static_cast<OffloadTarget*>(fpga_)
+                                           : static_cast<OffloadTarget*>(smartnic_);
+  if (target == nullptr || offload_app_ == nullptr) {
     throw std::invalid_argument("ScenarioSpec: controller needs an offloaded app");
   }
   ClassifierMigrator::Options options =
       ClassifierMigrator::Options::FromPolicy(spec_.controller.park_policy);
   options.transfer_state = spec_.controller.transfer_state;
   migrator_ = std::make_unique<ClassifierMigrator>(
-      sim_, *fpga_, options, host_apps_.empty() ? nullptr : host_apps_.front().get(),
+      sim_, *target, options, host_apps_.empty() ? nullptr : host_apps_.front().get(),
       offload_app_.get());
-  controller_ = std::make_unique<NetworkController>(sim_, *fpga_, *migrator_,
+  controller_ = std::make_unique<NetworkController>(sim_, *target, *migrator_,
                                                     spec_.controller.network);
   controller_->Start();
 }
@@ -269,6 +323,8 @@ LoadClient& ScenarioTestbed::AddClient(LoadClientConfig config,
                                    std::move(factory));
   if (fpga_ != nullptr) {
     builder_.ConnectClient(client_, fpga_, spec_.client_link);
+  } else if (smartnic_ != nullptr) {
+    builder_.ConnectClient(client_, smartnic_, spec_.client_link);
   } else if (nic_ != nullptr) {
     builder_.ConnectClient(client_, nic_, spec_.client_link);
   } else {

@@ -30,7 +30,7 @@
 
 namespace incod {
 
-enum class ScenarioTargetKind { kNone, kConventionalNic, kFpgaNic };
+enum class ScenarioTargetKind { kNone, kConventionalNic, kFpgaNic, kSmartNic };
 
 struct ScenarioHostSpec {
   bool present = true;
@@ -46,9 +46,12 @@ struct ScenarioTargetSpec {
   NodeId device_node = 0;
   bool standalone = false;  // FPGA NIC without a host (own PSU).
   bool intel_nic = false;   // Conventional NIC: Intel X520 vs Mellanox.
-  // FPGA-placement app by registry name ("" = bare NIC).
+  // Offload-placement app by registry name ("" = bare NIC). Built for the
+  // kFpgaNic placement on an FPGA NIC, kSmartNic on a SmartNIC.
   std::string app;
   bool initially_active = true;
+  // SmartNIC board, by StandardSmartNicPresets() name (§10 architectures).
+  std::string smartnic_preset = "accelnet-fpga";
   Link::Config pcie = TestbedBuilder::PcieLink();
   bool metered = true;
 };
@@ -64,9 +67,9 @@ struct ScenarioTorSpec {
 };
 
 // One deployment hanging off the scenario ToR: an optional host with
-// registry apps, an optional ingress device (conventional NIC or FPGA NIC,
-// possibly carrying an offload placement of the same app), and optionally a
-// switch-hosted placement loaded into the ASIC pipeline. Dual deployments
+// registry apps, an optional ingress device (conventional NIC, FPGA NIC, or
+// SmartNIC, possibly carrying an offload placement of the same app), and
+// optionally a switch-hosted placement loaded into the ASIC pipeline. Dual deployments
 // (Fig 7's software + P4xos leader on one host/NIC pair) are expressed by
 // filling both host.apps and target.app with target.initially_active=false.
 struct ScenarioMemberSpec {
@@ -135,6 +138,7 @@ struct ScenarioMember {
   Server* server = nullptr;
   FpgaNic* fpga = nullptr;
   ConventionalNic* nic = nullptr;
+  SmartNic* smartnic = nullptr;
   int port = -1;  // ToR port of the member's ingress device (-1: aux-wired).
   std::vector<std::unique_ptr<App>> host_apps;
   std::unique_ptr<App> offload_app;
@@ -163,6 +167,7 @@ class ScenarioTestbed {
   Server* server() { return server_; }
   FpgaNic* fpga() { return fpga_; }
   ConventionalNic* nic() { return nic_; }
+  SmartNic* smartnic() { return smartnic_; }
   LoadClient* client() { return client_; }
   ClassifierMigrator* migrator() { return migrator_.get(); }
   NetworkController* controller() { return controller_.get(); }
@@ -227,6 +232,7 @@ class ScenarioTestbed {
   Server* server_ = nullptr;
   FpgaNic* fpga_ = nullptr;
   ConventionalNic* nic_ = nullptr;
+  SmartNic* smartnic_ = nullptr;
   LoadClient* client_ = nullptr;
   L2Switch* tor_ = nullptr;
   SwitchAsic* tor_asic_ = nullptr;

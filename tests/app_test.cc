@@ -6,9 +6,12 @@
 #include <memory>
 #include <vector>
 
+#include <algorithm>
+
 #include "src/app/app.h"
 #include "src/app/app_registry.h"
 #include "src/app/app_state.h"
+#include "src/app/smartnic_app.h"
 #include "src/app/switch_app.h"
 #include "src/dns/emu_dns.h"
 #include "src/dns/nsd_server.h"
@@ -235,7 +238,7 @@ TEST(AppStateTest, DnsZoneWarmthRoundTripAcrossPlacements) {
 
 // ----------------------------------------------------------- Registry -----
 
-TEST(AppRegistryTest, AllThreeAppsBuildOnAllThreePlacements) {
+TEST(AppRegistryTest, AllAppsBuildOnAllFourPlacements) {
   Zone zone;
   zone.FillSynthetic(16);
   PaxosGroupConfig group;
@@ -249,7 +252,8 @@ TEST(AppRegistryTest, AllThreeAppsBuildOnAllThreePlacements) {
   env.service = 200;
 
   const PlacementKind placements[] = {PlacementKind::kHost, PlacementKind::kFpgaNic,
-                                      PlacementKind::kSwitchAsic};
+                                      PlacementKind::kSwitchAsic,
+                                      PlacementKind::kSmartNic};
   struct Family {
     const char* name;
     AppProto proto;
@@ -270,10 +274,28 @@ TEST(AppRegistryTest, AllThreeAppsBuildOnAllThreePlacements) {
         // Switch-placement apps are loadable pipeline programs.
         EXPECT_NE(dynamic_cast<SwitchProgram*>(app.get()), nullptr);
       }
+      if (placement == PlacementKind::kSmartNic) {
+        // SmartNIC-placement apps advertise a usable per-arch datapath.
+        auto* hosted = dynamic_cast<SmartNicHostedApp*>(app.get());
+        ASSERT_NE(hosted, nullptr);
+        const SmartNicPlacementProfile profile = app->OffloadProfile().smartnic;
+        for (SmartNicArch arch : {SmartNicArch::kFpga, SmartNicArch::kAsic,
+                                  SmartNicArch::kAsicPlusFpga, SmartNicArch::kSoc}) {
+          EXPECT_GT(profile.MppsFractionFor(arch), 0.0) << SmartNicArchName(arch);
+        }
+        EXPECT_GE(profile.resource_slots, 1);
+      }
       if (placement == PlacementKind::kHost) {
         EXPECT_GE(app->HostProfile().num_threads, 1);
       }
     }
+  }
+  // The acceptance matrix: every §10-capable family advertises the SmartNIC
+  // placement through Placements().
+  for (const char* name : {"kvs", "dns", "paxos-leader", "paxos-acceptor"}) {
+    const auto all = AppRegistry::Global().Placements(name);
+    EXPECT_NE(std::find(all.begin(), all.end(), PlacementKind::kSmartNic), all.end())
+        << name;
   }
 }
 

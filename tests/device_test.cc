@@ -3,10 +3,13 @@
 
 #include <memory>
 
+#include "src/app/smartnic_app.h"
 #include "src/device/conventional_nic.h"
 #include "src/device/fpga_nic.h"
 #include "src/device/smartnic.h"
 #include "src/device/switch_asic.h"
+#include "src/kvs/kv_protocol.h"
+#include "src/kvs/lake.h"
 #include "src/net/topology.h"
 #include "src/sim/simulation.h"
 
@@ -359,6 +362,207 @@ TEST(SmartNicTest, PresetsCoverAllArchitectures) {
   EXPECT_TRUE(fpga);
   EXPECT_TRUE(soc);
   EXPECT_STREQ(SmartNicArchName(SmartNicArch::kAsicPlusFpga), "asic+fpga");
+}
+
+// Pin the preset efficiency figures. OpsPerWattAtPeak is what the placement
+// advisor ranks §10 boards by, and the AccelNet anchor is the paper's one
+// hard number ("close to 4 Mpps/W"): preset edits must not drift silently.
+TEST(SmartNicTest, OpsPerWattPinnedAgainstPaperFigures) {
+  for (const auto& p : StandardSmartNicPresets()) {
+    EXPECT_DOUBLE_EQ(OpsPerWattAtPeak(p), p.peak_mpps * 1e6 / p.max_watts) << p.name;
+  }
+  const SmartNicPreset accelnet = SmartNicPresetByName("accelnet-fpga");
+  // 72 Mpps on a 19 W board: 3.789... Mpps/W, the §10 "close to 4 Mpps/W".
+  EXPECT_DOUBLE_EQ(OpsPerWattAtPeak(accelnet), 72.0e6 / 19.0);
+  EXPECT_NEAR(OpsPerWattAtPeak(accelnet) / 1e6, 4.0, 0.25);
+  EXPECT_DOUBLE_EQ(OpsPerWattAtPeak(SmartNicPresetByName("agilio-asic")),
+                   120.0e6 / 25.0);
+  EXPECT_DOUBLE_EQ(OpsPerWattAtPeak(SmartNicPresetByName("innova-asic+fpga")),
+                   90.0e6 / 25.0);
+  EXPECT_DOUBLE_EQ(OpsPerWattAtPeak(SmartNicPresetByName("bluefield-soc")),
+                   30.0e6 / 25.0);
+  EXPECT_THROW(SmartNicPresetByName("no-such-board"), std::invalid_argument);
+}
+
+// ---- SmartNIC as an application substrate (§10 placement) ----
+
+struct SmartNicAppHarness {
+  explicit SmartNicAppHarness(const std::string& preset_name = "accelnet-fpga")
+      : nic(sim, SmartNicPresetByName(preset_name), Config()),
+        net_link(sim, Link::Config{}),
+        host_link(sim, Link::Config{}) {
+    net_link.Connect(&nic, &network);
+    host_link.Connect(&nic, &host);
+    nic.SetNetworkLink(&net_link);
+    nic.SetHostLink(&host_link);
+  }
+
+  static SmartNicDeviceConfig Config() {
+    SmartNicDeviceConfig config;
+    config.host_node = 1;
+    config.device_node = 50;
+    return config;
+  }
+
+  struct Collector : PacketSink {
+    void Receive(Packet packet) override { packets.push_back(std::move(packet)); }
+    std::string SinkName() const override { return "collector"; }
+    std::vector<Packet> packets;
+  };
+
+  Packet Get(uint64_t key) {
+    return MakeKvRequestPacket(/*src=*/100, /*dst=*/1, KvRequest{KvOp::kGet, key, 0},
+                               /*id=*/key, sim.Now());
+  }
+
+  Simulation sim;
+  Collector network;
+  Collector host;
+  SmartNic nic;
+  Link net_link;
+  Link host_link;
+};
+
+TEST(SmartNicHostingTest, HostedAppServesHitsAndPuntsMisses) {
+  SmartNicAppHarness h;
+  LakeConfig lake_config;
+  lake_config.l1_entries = 64;
+  SmartNicHostedApp app(std::make_unique<LakeCache>(lake_config),
+                        SmartNicPlacementProfile{});
+  h.nic.InstallApp(&app);
+  auto* lake = app.inner_as<LakeCache>();
+  ASSERT_NE(lake, nullptr);
+  lake->WarmFill(0, 10, 64);
+  h.nic.SetAppActive(true);
+
+  h.nic.Receive(h.Get(3));    // Hit: answered by the engine.
+  h.nic.Receive(h.Get(999));  // Miss: punted to the host.
+  h.sim.RunUntil(Milliseconds(1));
+
+  ASSERT_EQ(h.network.packets.size(), 1u);
+  const KvResponse& resp = PayloadAs<KvResponse>(h.network.packets[0]);
+  EXPECT_TRUE(resp.hit);
+  EXPECT_EQ(resp.key, 3u);
+  EXPECT_EQ(h.network.packets[0].src, 50u);  // Replies carry the board address.
+  ASSERT_EQ(h.host.packets.size(), 1u);
+  EXPECT_EQ(PayloadAs<KvRequest>(h.host.packets[0]).key, 999u);
+  EXPECT_EQ(h.nic.processed_in_hardware(), 2u);
+  EXPECT_EQ(h.nic.app_ingress_packets(), 2u);
+}
+
+TEST(SmartNicHostingTest, InactiveEnginePassesClaimedTrafficToHost) {
+  SmartNicAppHarness h;
+  SmartNicHostedApp app(std::make_unique<LakeCache>(LakeConfig{}),
+                        SmartNicPlacementProfile{});
+  h.nic.InstallApp(&app);
+  h.nic.Receive(h.Get(1));
+  h.sim.RunUntil(Milliseconds(1));
+  EXPECT_EQ(h.network.packets.size(), 0u);
+  ASSERT_EQ(h.host.packets.size(), 1u);
+  // Classifier-visible even while parked: the §9.1 controller signal.
+  EXPECT_EQ(h.nic.app_ingress_packets(), 1u);
+  EXPECT_EQ(h.nic.processed_in_hardware(), 0u);
+}
+
+TEST(SmartNicHostingTest, PerArchProfileScalesTheEngineCeiling) {
+  SmartNicPlacementProfile profile;
+  profile.asic_mpps_fraction = 0.5;
+  SmartNicAppHarness fpga_board("accelnet-fpga");
+  SmartNicHostedApp on_fpga(std::make_unique<LakeCache>(LakeConfig{}), profile);
+  fpga_board.nic.InstallApp(&on_fpga);
+  EXPECT_DOUBLE_EQ(fpga_board.nic.OffloadCapacityPps(), 72e6);
+
+  SmartNicAppHarness asic_board("agilio-asic");
+  SmartNicHostedApp on_asic(std::make_unique<LakeCache>(LakeConfig{}), profile);
+  asic_board.nic.InstallApp(&on_asic);
+  EXPECT_DOUBLE_EQ(asic_board.nic.OffloadCapacityPps(), 0.5 * 120e6);
+}
+
+TEST(SmartNicHostingTest, SocResourceWallCapsConcurrentApps) {
+  // BlueField-class SoC: 2 engine slots. A two-slot KVS firmware fills the
+  // board; the next app hits the §10 resource wall loudly.
+  SmartNicAppHarness soc("bluefield-soc");
+  EXPECT_EQ(soc.nic.AppSlotCapacity(), 2);
+  SmartNicPlacementProfile kvs_profile;
+  kvs_profile.resource_slots = 2;
+  SmartNicHostedApp kvs(std::make_unique<LakeCache>(LakeConfig{}), kvs_profile);
+  soc.nic.InstallApp(&kvs);
+  EXPECT_EQ(soc.nic.app_slots_used(), 2);
+  SmartNicHostedApp second(std::make_unique<LakeCache>(LakeConfig{}),
+                           SmartNicPlacementProfile{});
+  EXPECT_THROW(soc.nic.InstallApp(&second), std::invalid_argument);
+
+  // A scalable board fits both firmwares side by side.
+  SmartNicAppHarness fpga_board("accelnet-fpga");
+  SmartNicHostedApp kvs2(std::make_unique<LakeCache>(LakeConfig{}), kvs_profile);
+  SmartNicHostedApp extra(std::make_unique<LakeCache>(LakeConfig{}),
+                          SmartNicPlacementProfile{});
+  fpga_board.nic.InstallApp(&kvs2);
+  fpga_board.nic.InstallApp(&extra);
+  EXPECT_EQ(fpga_board.nic.app_count(), 2u);
+}
+
+TEST(SmartNicHostingTest, LateInstallOntoLiveEngineActivatesTheApp) {
+  // An app installed after SetAppActive(true) must receive the same
+  // activation its already-installed peers got with the transition.
+  struct CountingApp : App {
+    AppProto proto() const override { return AppProto::kKv; }
+    std::string AppName() const override { return "counting"; }
+    bool SupportsPlacement(PlacementKind p) const override {
+      return p == PlacementKind::kFpgaNic;
+    }
+    void HandlePacket(AppContext&, Packet) override {}
+    void OnActivate() override { ++activations; }
+    int activations = 0;
+  };
+  SmartNicAppHarness h;
+  SmartNicHostedApp early(std::make_unique<CountingApp>(), SmartNicPlacementProfile{});
+  h.nic.InstallApp(&early);
+  h.nic.SetAppActive(true);
+  SmartNicHostedApp late(std::make_unique<CountingApp>(), SmartNicPlacementProfile{});
+  h.nic.InstallApp(&late);
+  EXPECT_EQ(early.inner_as<CountingApp>()->activations, 1);
+  EXPECT_EQ(late.inner_as<CountingApp>()->activations, 1);
+}
+
+TEST(SmartNicHostingTest, ReprogramParkWipesOnBoardState) {
+  SmartNicAppHarness h("accelnet-fpga");  // Reprogrammable arch.
+  LakeConfig lake_config;
+  SmartNicHostedApp app(std::make_unique<LakeCache>(lake_config),
+                        SmartNicPlacementProfile{});
+  h.nic.InstallApp(&app);
+  auto* lake = app.inner_as<LakeCache>();
+  lake->WarmFill(0, 16, 64);
+  ASSERT_GT(lake->l1().size(), 0u);
+  h.nic.SetAppActive(false);
+  h.nic.PowerGateParkedApp();  // Bitstream removed: on-board state is lost.
+  EXPECT_EQ(lake->l1().size(), 0u);
+  EXPECT_EQ(lake->l2()->size(), 0u);
+}
+
+TEST(SmartNicHostingTest, GatedParkMemoryResetWipesOnBoardState) {
+  // The kGatedPark park policy holds memories in reset while the host
+  // serves; entering reset must lose hosted state (the §9.2 re-warm) so a
+  // later cold shift really starts cold.
+  SmartNicAppHarness h;
+  EXPECT_TRUE(h.nic.Traits().supports_memory_reset);
+  SmartNicHostedApp app(std::make_unique<LakeCache>(LakeConfig{}),
+                        SmartNicPlacementProfile{});
+  h.nic.InstallApp(&app);
+  auto* lake = app.inner_as<LakeCache>();
+  lake->WarmFill(0, 16, 64);
+  h.nic.SetAppActive(false);
+  h.nic.SetMemoryReset(true);
+  EXPECT_TRUE(h.nic.memory_reset());
+  EXPECT_EQ(lake->l1().size(), 0u);
+  EXPECT_EQ(lake->l2()->size(), 0u);
+  // Re-entering reset without leaving it does not re-fire the wipe hook.
+  lake->WarmFill(0, 4, 64);
+  h.nic.SetMemoryReset(true);
+  EXPECT_EQ(lake->l1().size(), 4u);
+  h.nic.SetMemoryReset(false);
+  h.nic.SetMemoryReset(true);
+  EXPECT_EQ(lake->l1().size(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/incod.h"
@@ -268,6 +271,160 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalResults) {
   };
   EXPECT_EQ(run(), run());
 }
+
+// ---- 4-substrate rack under randomized shift schedules ----
+//
+// Property: whatever shift schedule the orchestrator ends up executing on a
+// host/FPGA/SmartNIC/switch rack, (a) the shared power ledger never exceeds
+// the PDU budget at any sample point, and (b) the aggregate counters
+// (total_shifts, warm_shifts, reprogram_deferrals, per-target shifts)
+// reconcile exactly with the decision log — the audit trail cannot drift
+// from the numbers the tests and benches gate on.
+
+class RackShiftScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RackShiftScheduleTest, LedgerStaysWithinBudgetAndCountersReconcile) {
+  Simulation sim(GetParam());
+  Rng rng = sim.rng().Fork();
+  constexpr double kBudgetWatts = 40.0;
+
+  // The three offload substrates, alive but untrafficked: decisions are
+  // driven by randomized measured rates, not packets.
+  FpgaNicConfig fpga_config;
+  fpga_config.name = "prop-netfpga";
+  FpgaNic fpga(sim, fpga_config);
+  LakeCache fpga_lake;
+  fpga.InstallApp(&fpga_lake);
+
+  SmartNicDeviceConfig smartnic_config;
+  smartnic_config.name = "prop-smartnic";
+  SmartNic smartnic(sim, SmartNicPresetByName("accelnet-fpga"), smartnic_config);
+  AppFactoryEnv env;
+  auto smartnic_app =
+      AppRegistry::Global().Create("kvs", PlacementKind::kSmartNic, env);
+  smartnic.InstallApp(smartnic_app.get());
+
+  SwitchAsic asic(sim, SwitchAsicConfig{});
+  KvSwitchCacheConfig cache_config;
+  cache_config.kvs_service = 1;
+  KvSwitchCache switch_program(cache_config);
+  SwitchOffloadTarget switch_target(asic, switch_program, AppProto::kKv);
+
+  // One migrator per (app, target); the FPGA options park by reprogramming
+  // so mid-reconfiguration decision windows produce deferrals.
+  RackOrchestratorConfig config;
+  config.power_budget_watts = kBudgetWatts;
+  config.check_period = Milliseconds(20);
+  config.min_dwell = Milliseconds(10);
+  RackOrchestrator orchestrator(sim, config);
+
+  constexpr size_t kApps = 3;
+  std::vector<double> rates(kApps, 0.0);
+  std::vector<std::unique_ptr<StateTransferMigrator>> migrators;
+  for (size_t i = 0; i < kApps; ++i) {
+    RackAppSpec spec;
+    spec.name = "app" + std::to_string(i);
+    spec.warm_migration = rng.Bernoulli(0.5);
+    spec.software_watts = [](double r) { return 35.0 + r / 5000.0; };
+    spec.measured_rate_pps = [&rates, i] { return rates[i]; };
+    auto add_option = [&](OffloadTarget& target, RatePowerFn watts,
+                          ParkPolicy policy) {
+      migrators.push_back(std::make_unique<StateTransferMigrator>(
+          sim, target, StateTransferMigrator::Options::FromPolicy(policy)));
+      spec.options.push_back(
+          RackPlacementOption{&target, migrators.back().get(), std::move(watts),
+                              policy});
+    };
+    // App 0's firmware fits a leaner FPGA build, making the reprogram-parked
+    // board its cheapest option — the reconfiguration halts that produce
+    // deferral records are part of every schedule.
+    add_option(fpga, MakeFpgaRatePower(35.0, i == 0 ? 12.0 : 24.0, 1.0, 13e6),
+               ParkPolicy::kReprogram);
+    add_option(smartnic,
+               MakeSmartNicRatePower(35.0, smartnic.preset(),
+                                     smartnic_app->OffloadProfile()
+                                         .smartnic.MppsFractionFor(
+                                             smartnic.preset().arch)),
+               ParkPolicy::kGatedPark);
+    auto switch_marginal = MakeSwitchMarginalPower(0.02, 350.0, 2.5e9);
+    add_option(switch_target,
+               [switch_marginal](double r) { return 35.0 + 18.0 + switch_marginal(r); },
+               ParkPolicy::kKeepWarm);
+    orchestrator.AddApp(std::move(spec));
+  }
+
+  // Randomized shift schedule: every app's rate jumps at random times.
+  for (size_t i = 0; i < kApps; ++i) {
+    SimTime at = 0;
+    while (at < Seconds(3)) {
+      at += rng.UniformInt(Milliseconds(30), Milliseconds(150));
+      const double rate = rng.Bernoulli(0.3)
+                              ? 0.0
+                              : static_cast<double>(rng.UniformInt(0, 600000));
+      sim.Schedule(at, [&rates, i, rate] { rates[i] = rate; });
+    }
+  }
+
+  // Budget invariant, checked densely along the run.
+  size_t samples = 0;
+  SchedulePeriodic(sim, Milliseconds(5), Milliseconds(5), [&] {
+    EXPECT_LE(orchestrator.ledger().committed_watts(), kBudgetWatts + 1e-9);
+    ++samples;
+    return sim.Now() < Seconds(3);
+  });
+
+  orchestrator.Start();
+  sim.RunUntil(Seconds(3) + Milliseconds(200));
+  EXPECT_GT(samples, 500u);
+
+  // Counter <-> decision-log reconciliation.
+  uint64_t shifts = 0;
+  uint64_t warm = 0;
+  uint64_t deferrals = 0;
+  std::map<std::string, uint64_t> shifts_by_target;
+  for (const RackDecisionRecord& record : orchestrator.decision_log()) {
+    switch (record.kind) {
+      case RackDecisionRecord::Kind::kShift:
+        ++shifts;
+        ++shifts_by_target[record.target];
+        if (record.warm) ++warm;
+        break;
+      case RackDecisionRecord::Kind::kShiftHome:
+        ++shifts;
+        if (record.warm) ++warm;
+        break;
+      case RackDecisionRecord::Kind::kDeferral:
+        ++deferrals;
+        break;
+    }
+  }
+  EXPECT_GT(orchestrator.total_shifts(), 0u);  // The schedule actually shifted.
+  EXPECT_GT(orchestrator.reprogram_deferrals(), 0u);  // ... and deferred.
+  EXPECT_EQ(orchestrator.total_shifts(), shifts);
+  EXPECT_EQ(orchestrator.warm_shifts(), warm);
+  EXPECT_EQ(orchestrator.reprogram_deferrals(), deferrals);
+  for (const OffloadTarget* target :
+       {static_cast<const OffloadTarget*>(&fpga),
+        static_cast<const OffloadTarget*>(&smartnic),
+        static_cast<const OffloadTarget*>(&switch_target)}) {
+    EXPECT_EQ(orchestrator.ShiftsToTarget(*target),
+              shifts_by_target[target->TargetName()])
+        << target->TargetName();
+  }
+  // Ledger commitments only ever belong to currently offloaded apps.
+  size_t offloaded = 0;
+  for (size_t i = 0; i < orchestrator.app_count(); ++i) {
+    if (orchestrator.current_option(i) != nullptr) {
+      ++offloaded;
+      EXPECT_EQ(orchestrator.ledger().commitments().count(orchestrator.app_name(i)),
+                1u);
+    }
+  }
+  EXPECT_EQ(orchestrator.ledger().commitments().size(), offloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RackShiftScheduleTest,
+                         ::testing::Values(17u, 29u, 43u));
 
 // ---- Umbrella header exposes the full API (compile-time property) ----
 

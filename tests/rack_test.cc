@@ -7,9 +7,14 @@
 #include <memory>
 #include <string>
 
+#include "src/app/smartnic_app.h"
+#include "src/kvs/lake.h"
+#include "src/kvs/memcached_server.h"
+#include "src/ondemand/energy_advisor.h"
 #include "src/ondemand/rack.h"
 #include "src/scenarios/paxos_testbed.h"
 #include "src/scenarios/rack_scenario.h"
+#include "src/scenarios/scenario_spec.h"
 #include "src/scenarios/trace_rack.h"
 #include "src/sim/simulation.h"
 #include "src/workload/arrival.h"
@@ -364,6 +369,136 @@ TEST(RackWarmMigrationTest, WarmShiftPreservesKvsCacheContents) {
   EXPECT_EQ(cold.l2_size_at_shift, 0u);
   EXPECT_EQ(warm.misses_after_shift, 0u);
   EXPECT_GT(cold.misses_after_shift, 500u);
+}
+
+// Acceptance for the §10 placement seam: a rack built declaratively from a
+// ScenarioSpec hosts the registry KVS on a SmartNIC, and an
+// orchestrator-driven warm shift host->SmartNIC carries the store contents
+// into the board's caches — zero post-shift misses, against the cold
+// differential (the paper's behaviour: every post-shift lookup punts).
+TEST(RackWarmMigrationTest, ScenarioSpecRackWarmShiftsKvsOntoSmartNic) {
+  struct Result {
+    bool offloaded = false;
+    uint64_t misses_after_shift = 0;
+    uint64_t state_transfers = 0;
+    uint64_t warm_shifts = 0;
+    size_t l2_size_at_shift = 0;
+    uint64_t served_in_hardware = 0;
+  };
+  auto run = [](bool warm) {
+    Simulation sim(/*seed=*/21);
+    constexpr NodeId kHostNode = 1;
+    constexpr NodeId kBoardNode = 50;
+    constexpr NodeId kClientNode = 100;
+
+    ScenarioSpec spec;
+    spec.name = "smartnic-rack";
+    spec.host.present = false;
+    spec.target.kind = ScenarioTargetKind::kNone;
+    spec.tor.present = true;
+    ScenarioMemberSpec member;
+    member.name = "kvs";
+    member.host.config.name = "kvs-host";
+    member.host.config.node = kHostNode;
+    member.host.apps = {"kvs"};
+    member.target.kind = ScenarioTargetKind::kSmartNic;
+    member.target.name = "kvs-smartnic";
+    member.target.smartnic_preset = "accelnet-fpga";
+    member.target.device_node = kBoardNode;
+    member.target.app = "kvs";
+    member.target.initially_active = false;  // Migrator parks the placement.
+    member.switch_routes = {kHostNode, kBoardNode};
+    spec.members.push_back(std::move(member));
+
+    ScenarioTestbed testbed(sim, std::move(spec));
+    ScenarioMember& built = testbed.member("kvs");
+    auto* hosted = dynamic_cast<SmartNicHostedApp*>(built.offload_app.get());
+    if (built.smartnic == nullptr || hosted == nullptr) {
+      throw std::logic_error("spec did not build a SmartNIC-hosted kvs");
+    }
+    auto* lake = hosted->inner_as<LakeCache>();
+    auto* memcached = dynamic_cast<MemcachedServer*>(built.host_apps.front().get());
+    if (lake == nullptr || memcached == nullptr) {
+      throw std::logic_error("unexpected concrete app types");
+    }
+
+    // Warm only the authoritative host store: whatever the board holds
+    // after the shift came through the migrator (or post-shift traffic).
+    constexpr uint64_t kKeys = 5000;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      memcached->store().Set(k, 64);
+    }
+
+    StateTransferMigrator migrator(
+        sim, *built.smartnic,
+        StateTransferMigrator::Options::FromPolicy(ParkPolicy::kGatedPark),
+        memcached, built.offload_app.get());
+
+    RackOrchestratorConfig config;
+    config.min_dwell = Milliseconds(200);
+    RackOrchestrator orchestrator(sim, config);
+    RackAppSpec rack_app;
+    rack_app.name = "kvs";
+    rack_app.warm_migration = warm;
+    rack_app.software_watts = [](double r) { return 35.0 + r / 5000.0; };
+    SmartNic* board = built.smartnic;
+    rack_app.measured_rate_pps = [board] { return board->AppIngressRatePerSecond(); };
+    // The advisor models the same firmware ceiling the board enforces: the
+    // app's per-arch Mpps fraction on this preset's architecture.
+    const double app_fraction =
+        hosted->OffloadProfile().smartnic.MppsFractionFor(board->preset().arch);
+    rack_app.options.push_back(RackPlacementOption{
+        board, &migrator,
+        MakeSmartNicRatePower(/*host_idle_watts=*/35.0, board->preset(), app_fraction),
+        ParkPolicy::kGatedPark});
+    orchestrator.AddApp(std::move(rack_app));
+
+    EtcWorkloadConfig etc_config;
+    etc_config.kvs_service = kHostNode;
+    etc_config.key_population = kKeys;
+    EtcWorkload etc(etc_config);
+    LoadClientConfig client_config;
+    client_config.node = kClientNode;
+    LoadClient& client = testbed.AddTorClient(
+        std::move(client_config), std::make_unique<PoissonArrival>(400000.0),
+        etc.MakeFactory());
+
+    Result result;
+    uint64_t misses_at_shift = 0;
+    SchedulePeriodic(sim, Milliseconds(10), Milliseconds(10), [&] {
+      if (!result.offloaded && migrator.placement() == Placement::kNetwork) {
+        result.offloaded = true;
+        result.l2_size_at_shift = lake->l2()->size();
+        misses_at_shift = lake->misses_to_host();
+      }
+      return sim.Now() < Seconds(1);
+    });
+
+    orchestrator.Start();
+    client.Start();
+    sim.RunUntil(Seconds(1));
+    result.misses_after_shift = lake->misses_to_host() - misses_at_shift;
+    result.state_transfers = migrator.state_transfers();
+    result.warm_shifts = orchestrator.warm_shifts();
+    result.served_in_hardware = built.smartnic->processed_in_hardware();
+    return result;
+  };
+
+  const Result warm = run(true);
+  const Result cold = run(false);
+  ASSERT_TRUE(warm.offloaded);
+  ASSERT_TRUE(cold.offloaded);
+  EXPECT_GE(warm.state_transfers, 1u);
+  EXPECT_EQ(cold.state_transfers, 0u);
+  EXPECT_GE(warm.warm_shifts, 1u);
+  EXPECT_EQ(cold.warm_shifts, 0u);
+  // The typed snapshot arrived with the flip: the board's L2 already holds
+  // the store, and no post-shift lookup ever punts to the host.
+  EXPECT_EQ(warm.l2_size_at_shift, 5000u);
+  EXPECT_EQ(cold.l2_size_at_shift, 0u);
+  EXPECT_EQ(warm.misses_after_shift, 0u);
+  EXPECT_GT(cold.misses_after_shift, 500u);
+  EXPECT_GT(warm.served_in_hardware, 0u);
 }
 
 // Differential: an orchestrator-driven warm Paxos leader shift carries
