@@ -30,12 +30,15 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/scenarios/kvs_testbed.h"
+#include "src/scenarios/multi_rack.h"
 #include "src/scenarios/rack_scenario.h"
+#include "src/sim/sharded.h"
 #include "src/sim/simulation.h"
 #include "src/workload/client.h"
 #include "src/workload/dns_workload.h"
@@ -210,6 +213,77 @@ MicroResult RunChurn(Sim& sim, const ChurnParams& params) {
 }
 
 // ---------------------------------------------------------------------------
+// Same-tick fan-in: every tick a driver schedules a burst of delay-0 events.
+// On the calendar engine the burst rides the same-tick FIFO ring (append +
+// pop, no sorted middle-insert); the heap engine pays a push/pop per event.
+// The datapoint tracks the ring's benefit as a within-run ratio.
+// ---------------------------------------------------------------------------
+template <typename Sim>
+struct FanInDriver {
+  Sim* sim;
+  uint64_t ticks_left;
+  int fan;
+
+  void operator()() {
+    if (ticks_left == 0) {
+      return;
+    }
+    --ticks_left;
+    for (int i = 0; i < fan; ++i) {
+      sim->Schedule(0, [] {});
+    }
+    sim->Schedule(Microseconds(1), *this);
+  }
+};
+
+template <typename Sim>
+MicroResult RunSameTickFanIn(Sim& sim, uint64_t ticks, int fan) {
+  sim.Schedule(0, FanInDriver<Sim>{&sim, ticks, fan});
+  const auto start = std::chrono::steady_clock::now();
+  sim.Run();
+  const auto end = std::chrono::steady_clock::now();
+  MicroResult result;
+  result.events = sim.events_executed();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.events) / result.wall_seconds : 0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded multi-rack leg: the parallel engine's scaling curve. One scenario
+// (4 racks + spine, one shard each), run single-queue and parallel at 1/2/4
+// worker threads. The gate ratio is parallel-4t over single-queue — both
+// measured within this run, so it is robust to runner hardware.
+// ---------------------------------------------------------------------------
+struct ShardedLegResult {
+  uint64_t events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+};
+
+ShardedLegResult MeasureShardedRack(ShardedSimulation::Mode mode, int threads,
+                                    SimDuration sim_time) {
+  ShardedSimulation::Options opt;
+  opt.num_shards = 5;  // 4 racks + the spine shard.
+  opt.num_threads = threads;
+  opt.mode = mode;
+  opt.seed = 13;
+  ShardedSimulation ssim(opt);
+  MultiRackScenario fabric(ssim, MultiRackOptions{});
+  fabric.Start();
+  const auto start = std::chrono::steady_clock::now();
+  ssim.RunUntil(sim_time);
+  const auto end = std::chrono::steady_clock::now();
+  ShardedLegResult result;
+  result.events = ssim.events_executed();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.events) / result.wall_seconds : 0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end testbed measurements on the real (calendar) engine.
 // ---------------------------------------------------------------------------
 struct TestbedResult {
@@ -356,6 +430,20 @@ int main(int argc, char** argv) {
             << "  calendar vs legacy: x" << vs_legacy << " (target >= 3)\n"
             << "  calendar vs heap:   x" << vs_heap << "\n\n";
 
+  const uint64_t fan_ticks = quick ? 10000 : 20000;
+  Simulation fan_heap(1, Simulation::EngineKind::kHeap);
+  const MicroResult fan_heap_result = RunSameTickFanIn(fan_heap, fan_ticks, 64);
+  Simulation fan_calendar(1, Simulation::EngineKind::kCalendar);
+  const MicroResult fan_calendar_result = RunSameTickFanIn(fan_calendar, fan_ticks, 64);
+  const double fan_ratio = fan_heap_result.events_per_sec > 0
+                               ? fan_calendar_result.events_per_sec /
+                                     fan_heap_result.events_per_sec
+                               : 0;
+  std::cout << "same-tick fan-in (" << fan_calendar_result.events << " events, fan 64):\n"
+            << "  heap:              " << fan_heap_result.events_per_sec / 1e6 << " Mev/s\n"
+            << "  calendar (ring):   " << fan_calendar_result.events_per_sec / 1e6
+            << " Mev/s (x" << fan_ratio << " vs heap)\n\n";
+
   const SimDuration testbed_time = quick ? Milliseconds(100) : Milliseconds(500);
   const TestbedResult kvs = MeasureKvsTestbed(testbed_time);
   std::cout << "kvs testbed:  " << kvs.events_per_sec / 1e6 << " Mev/s, "
@@ -365,6 +453,34 @@ int main(int argc, char** argv) {
   std::cout << "rack testbed: " << rack.events_per_sec / 1e6 << " Mev/s, "
             << rack.sim_packets_per_sec / 1e6 << " M simulated client packets/s ("
             << rack.events_executed << " events in " << rack.wall_seconds << " s)\n";
+
+  const SimDuration sharded_time = quick ? Milliseconds(200) : Milliseconds(1000);
+  const ShardedLegResult sharded_single =
+      MeasureShardedRack(ShardedSimulation::Mode::kSingleQueue, 1, sharded_time);
+  const ShardedLegResult sharded_1t =
+      MeasureShardedRack(ShardedSimulation::Mode::kParallel, 1, sharded_time);
+  const ShardedLegResult sharded_2t =
+      MeasureShardedRack(ShardedSimulation::Mode::kParallel, 2, sharded_time);
+  const ShardedLegResult sharded_4t =
+      MeasureShardedRack(ShardedSimulation::Mode::kParallel, 4, sharded_time);
+  const double speedup_4t = sharded_single.events_per_sec > 0
+                                ? sharded_4t.events_per_sec / sharded_single.events_per_sec
+                                : 0;
+  const unsigned hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "\nsharded rack (4 racks + spine, " << sharded_single.events
+            << " events, " << hardware_threads << " hardware threads):\n"
+            << "  single queue:       " << sharded_single.events_per_sec / 1e6
+            << " Mev/s\n"
+            << "  parallel 1 thread:  " << sharded_1t.events_per_sec / 1e6 << " Mev/s\n"
+            << "  parallel 2 threads: " << sharded_2t.events_per_sec / 1e6 << " Mev/s\n"
+            << "  parallel 4 threads: " << sharded_4t.events_per_sec / 1e6 << " Mev/s\n"
+            << "  speedup (4t vs single queue): x" << speedup_4t;
+  if (hardware_threads >= 4) {
+    std::cout << " (target >= 2)\n";
+  } else {
+    std::cout << " (informational: only " << hardware_threads
+              << " hardware threads, the >=2x gate needs 4)\n";
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -384,8 +500,26 @@ int main(int argc, char** argv) {
   json.Field("calendar_vs_legacy_speedup", vs_legacy);
   json.Field("calendar_vs_heap_speedup", vs_heap);
   json.EndObject();
+  json.BeginObject("same_tick");
+  json.Field("events", fan_calendar_result.events);
+  json.Field("fan", static_cast<uint64_t>(64));
+  json.Field("heap_events_per_sec", fan_heap_result.events_per_sec);
+  json.Field("calendar_events_per_sec", fan_calendar_result.events_per_sec);
+  json.Field("calendar_vs_heap_speedup", fan_ratio);
+  json.EndObject();
   WriteTestbedJson(json, "kvs_testbed", kvs);
   WriteTestbedJson(json, "rack_testbed", rack);
+  json.BeginObject("sharded_rack");
+  json.Field("racks", static_cast<uint64_t>(4));
+  json.Field("hardware_threads", static_cast<uint64_t>(hardware_threads));
+  json.Field("sim_seconds", ToSeconds(sharded_time));
+  json.Field("events", sharded_single.events);
+  json.Field("single_queue_events_per_sec", sharded_single.events_per_sec);
+  json.Field("parallel_1t_events_per_sec", sharded_1t.events_per_sec);
+  json.Field("parallel_2t_events_per_sec", sharded_2t.events_per_sec);
+  json.Field("parallel_4t_events_per_sec", sharded_4t.events_per_sec);
+  json.Field("parallel_speedup_4t", speedup_4t);
+  json.EndObject();
   json.EndObject();
   std::cout << "\nwrote " << out_path << "\n";
   return 0;

@@ -11,6 +11,15 @@ than the tolerance (default 20%) below the recorded baseline.
 
     check_bench_regression.py BENCH_engine.json [baseline.json] [--tolerance 0.2]
 
+With --engine-parallel the engine mode additionally gates the sharded
+multi-rack leg: parallel (4 worker threads) must beat the single-queue
+reference by the baseline's min_parallel_speedup. Wall-clock parallel
+speedup needs real cores, so the floor applies only when the runner
+reports >= 4 hardware threads; below that the leg degrades to an
+overhead sanity bound (min_single_core_ratio) — the parallel engine may
+not cost more than that fraction of single-queue throughput even when
+its workers share one core.
+
 Transitions (--transitions): merges the JSON parts written by
 bench_fig6_kvs_transition / bench_fig7_paxos_transition (--out) into one
 BENCH_transitions.json and gates the warm-vs-cold transition gap against
@@ -27,7 +36,37 @@ import json
 import sys
 
 
-def check_engine(args, tolerance):
+def check_engine_parallel(current, baseline):
+    leg = current.get("sharded_rack")
+    policy = baseline.get("sharded_rack")
+    if leg is None or policy is None:
+        print("FAIL: --engine-parallel needs a sharded_rack section in both "
+              "the bench output and the baseline")
+        return 1
+
+    speedup = leg["parallel_speedup_4t"]
+    threads = int(leg.get("hardware_threads", 0))
+    if threads >= 4:
+        floor = policy["min_parallel_speedup"]
+        print(f"sharded parallel_speedup_4t: measured x{speedup:.2f}, "
+              f"floor x{floor:.2f} ({threads} hardware threads)")
+        if speedup < floor:
+            print("FAIL: sharded engine parallel speedup below floor")
+            return 1
+    else:
+        # One worker per core is a physical prerequisite for wall-clock
+        # speedup; on smaller runners only bound the engine's overhead.
+        floor = policy["min_single_core_ratio"]
+        print(f"sharded parallel_speedup_4t: measured x{speedup:.2f} on "
+              f"{threads} hardware thread(s) — >=x{policy['min_parallel_speedup']:.2f} "
+              f"gate needs 4, applying overhead floor x{floor:.2f}")
+        if speedup < floor:
+            print("FAIL: sharded engine overhead exceeds the single-core bound")
+            return 1
+    return 0
+
+
+def check_engine(args, tolerance, engine_parallel=False):
     current_path = args[0]
     baseline_path = args[1] if len(args) > 1 else "bench/baseline_engine.json"
 
@@ -49,6 +88,8 @@ def check_engine(args, tolerance):
 
     if measured < floor:
         print("FAIL: engine speedup regressed beyond tolerance")
+        return 1
+    if engine_parallel and check_engine_parallel(current, baseline) != 0:
         return 1
     print("OK")
     return 0
@@ -132,6 +173,7 @@ def main() -> int:
     args = []
     tolerance = 0.2
     transitions = False
+    engine_parallel = False
     baseline_path = None
     merge_out = None
     i = 0
@@ -156,6 +198,8 @@ def main() -> int:
                 merge_out = value
         elif arg == "--transitions":
             transitions = True
+        elif arg == "--engine-parallel":
+            engine_parallel = True
         else:
             args.append(arg)
         i += 1
@@ -165,7 +209,7 @@ def main() -> int:
     if transitions:
         return check_transitions(
             args, baseline_path or "bench/baseline_transitions.json", merge_out)
-    return check_engine(args, tolerance)
+    return check_engine(args, tolerance, engine_parallel)
 
 
 if __name__ == "__main__":

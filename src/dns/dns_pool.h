@@ -14,9 +14,12 @@
 //                    freelist bucketed by capacity class instead of back to
 //                    malloc, so steady-state traffic allocates nothing.
 //
-// The arena is process-global and single-threaded, like the simulator. The
-// memory is intentionally never returned to the OS (it is reachable from
-// the freelists, so leak checkers stay quiet).
+// The arena is per-thread: each ShardedSimulation worker recycles through
+// its own freelists, so the hot path stays lock-free under the parallel
+// engine (a buffer freed on another thread simply migrates lists). A
+// thread's arena is returned to malloc when the thread exits; the main
+// thread's lives until process exit, reachable, so leak checkers stay
+// quiet either way.
 #ifndef INCOD_SRC_DNS_DNS_POOL_H_
 #define INCOD_SRC_DNS_DNS_POOL_H_
 
@@ -163,9 +166,24 @@ class PooledVec {
     FreeNode* next;
   };
 
+  // Per-thread freelists (see the file comment): engine workers recycle
+  // without synchronization, and a worker's arena is freed when it exits.
+  struct FreeListArray {
+    FreeNode* lists[kNumClasses] = {};
+    ~FreeListArray() {
+      for (FreeNode*& head : lists) {
+        while (head != nullptr) {
+          FreeNode* node = head;
+          head = node->next;
+          ::operator delete(node);
+        }
+      }
+    }
+  };
+
   static FreeNode** FreeLists() {
-    static FreeNode* lists[kNumClasses] = {};
-    return lists;
+    static thread_local FreeListArray arena;
+    return arena.lists;
   }
 
   static int ClassFor(size_t capacity) {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/sim/sharded.h"
+
 namespace incod {
 
 static_assert(sizeof(Link*) + sizeof(int) <= InlineEvent::kInlineCapacity,
@@ -21,6 +23,28 @@ void Link::Connect(PacketSink* end_a, PacketSink* end_b) {
   ends_[1] = end_b;
   dir_[0].to = end_a;
   dir_[1].to = end_b;
+}
+
+void Link::BindShards(ShardedSimulation& sharded, int shard_a, int shard_b) {
+  sharded_ = &sharded;
+  // dir_[i] carries traffic toward ends_[i]; its sender is the other end.
+  dir_[0].drive = &sharded.shard(shard_b);
+  dir_[1].drive = &sharded.shard(shard_a);
+  if (shard_a == shard_b) {
+    return;
+  }
+  if (config_.propagation_delay <= 0) {
+    throw std::invalid_argument("Link " + name_ +
+                                ": a cross-shard link needs propagation_delay > 0 "
+                                "(it bounds the conservative lookahead)");
+  }
+  sharded.RegisterCrossShardLatency(config_.propagation_delay);
+  dir_[0].cross = true;
+  dir_[0].src_shard = shard_b;
+  dir_[0].dst_shard = shard_a;
+  dir_[1].cross = true;
+  dir_[1].src_shard = shard_a;
+  dir_[1].dst_shard = shard_b;
 }
 
 SimDuration Link::SerializationDelay(uint32_t bytes) const {
@@ -48,7 +72,31 @@ void Link::Send(const PacketSink* from, Packet packet) {
     throw std::invalid_argument("Link::Send: sender not connected to " + name_);
   }
   Direction& d = dir_[index];
-  const SimTime now = sim_.Now();
+  Simulation& drive = DriveSim(d);
+  const SimTime now = drive.Now();
+  if (d.cross) {
+    static_assert(sizeof(CrossDeliver) <= 2 * InlineEvent::kInlineCapacity,
+                  "CrossDeliver grew unexpectedly; re-check the inline budget");
+    // Same waiting-backlog rule as below, tracked by service start alone:
+    // entries with service_start <= now are in service or on the wire.
+    while (!d.waiting_starts.empty() && d.waiting_starts.front() <= now) {
+      d.waiting_starts.pop_front();
+    }
+    if (d.waiting_starts.size() >= config_.queue_capacity_packets) {
+      ++d.dropped;
+      return;
+    }
+    const SimTime start = std::max(now, d.busy_until);
+    const SimDuration ser = SerializationDelay(packet.size_bytes);
+    d.busy_until = start + ser;
+    d.waiting_starts.push_back(start);
+    // deliver_at >= now + propagation >= now + lookahead, so the post always
+    // satisfies the conservative bound.
+    sharded_->PostCrossShard(d.src_shard, d.dst_shard,
+                             start + ser + config_.propagation_delay,
+                             CrossDeliver{this, index, std::move(packet)});
+    return;
+  }
   // The queue holds packets whose serialization has not started; the packet
   // occupying the transmitter (service_start <= now) and packets already on
   // the wire do not count against the capacity. Service starts are
@@ -74,8 +122,15 @@ void Link::Send(const PacketSink* from, Packet packet) {
                         d.in_flight.back().deliver_at == deliver_at;
   d.in_flight.push_back(InFlight{start, deliver_at, std::move(packet)});
   if (!coalesce) {
-    sim_.ScheduleAt(deliver_at, Deliver{this, index});
+    drive.ScheduleAt(deliver_at, Deliver{this, index});
   }
+}
+
+void Link::CompleteCrossDelivery(int dir, Packet pkt) {
+  // Runs in the receiver's shard; the sender never touches these fields.
+  Direction& d = dir_[dir];
+  ++d.delivered;
+  d.to->Receive(std::move(pkt));
 }
 
 void Link::CompleteDelivery(int dir) {

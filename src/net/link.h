@@ -29,6 +29,8 @@
 
 namespace incod {
 
+class ShardedSimulation;
+
 class Link {
  public:
   struct Config {
@@ -43,6 +45,17 @@ class Link {
 
   // Both endpoints must be set before Send() is used.
   void Connect(PacketSink* end_a, PacketSink* end_b);
+
+  // Declares which shard each endpoint lives in (end_a/end_b as passed to
+  // Connect). When the shards differ, the link becomes a cross-shard
+  // boundary: sends run in the sender's shard, deliveries are posted through
+  // the ShardedSimulation mailboxes stamped with the future delivery tick,
+  // and the link registers its propagation delay (which must be > 0) as a
+  // cross-shard latency — the conservative lookahead bound. Cross-shard
+  // directions do not coalesce same-tick deliveries (each packet is one
+  // mailbox record); delivery order is unchanged because records at one tick
+  // execute in send order.
+  void BindShards(ShardedSimulation& sharded, int shard_a, int shard_b);
 
   // Sends a packet from one endpoint toward the other. `from` must be one of
   // the two connected endpoints. Drops when the backlog of packets *waiting*
@@ -72,6 +85,17 @@ class Link {
     std::deque<InFlight> in_flight;  // FIFO; delivery events pop the front.
     uint64_t delivered = 0;
     uint64_t dropped = 0;
+    // Shard routing (BindShards). `drive` is the sender-side Simulation for
+    // this direction; null means the construction-time sim_ (unsharded).
+    Simulation* drive = nullptr;
+    bool cross = false;
+    int src_shard = -1;
+    int dst_shard = -1;
+    // Cross-shard only: service-start times of accepted packets, kept
+    // sender-side so the waiting-backlog accounting (entries with
+    // service_start > now) never touches receiver-shard state. The packets
+    // themselves travel inside the posted delivery events.
+    std::deque<SimTime> waiting_starts;
   };
   // The scheduled delivery callable: small enough that the event engine
   // stores it inline (asserted in link.cc).
@@ -80,12 +104,22 @@ class Link {
     int dir;
     void operator()() const { link->CompleteDelivery(dir); }
   };
+  // Cross-shard delivery: carries the packet to the receiver's shard.
+  struct CrossDeliver {
+    Link* link;
+    int dir;
+    Packet pkt;
+    void operator()() { link->CompleteCrossDelivery(dir, std::move(pkt)); }
+  };
 
   SimDuration SerializationDelay(uint32_t bytes) const;
   int IndexToward(const PacketSink* to) const;
   void CompleteDelivery(int dir);
+  void CompleteCrossDelivery(int dir, Packet pkt);
+  Simulation& DriveSim(const Direction& d) { return d.drive != nullptr ? *d.drive : sim_; }
 
   Simulation& sim_;
+  ShardedSimulation* sharded_ = nullptr;
   Config config_;
   std::string name_;
   PacketSink* ends_[2] = {nullptr, nullptr};

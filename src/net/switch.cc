@@ -21,6 +21,13 @@ void L2Switch::AddRoute(NodeId node, int port) {
   routes_[node] = port;
 }
 
+void L2Switch::SetDefaultRoute(int port) {
+  if (port < 0 || static_cast<size_t>(port) >= ports_.size()) {
+    throw std::out_of_range("L2Switch::SetDefaultRoute: bad port");
+  }
+  default_port_ = port;
+}
+
 void L2Switch::InstallRule(const ForwardingRule& rule) {
   if (rule.out_port < 0 || static_cast<size_t>(rule.out_port) >= ports_.size()) {
     throw std::out_of_range("L2Switch::InstallRule: bad port");
@@ -77,6 +84,10 @@ void L2Switch::Receive(Packet packet) {
   }
   auto it = routes_.find(packet.dst);
   if (it == routes_.end()) {
+    if (default_port_ >= 0) {
+      Forward(std::move(packet), default_port_);
+      return;
+    }
     dropped_no_route_.Increment();
     return;
   }

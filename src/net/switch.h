@@ -42,6 +42,12 @@ class L2Switch : public PacketSink {
   // Static route: packets for `node` leave via `port`.
   void AddRoute(NodeId node, int port);
 
+  // Uplink / default route: packets with no matching rule or static route
+  // leave via `port` instead of being dropped. Used by rack ToR switches to
+  // send non-local traffic to the spine. Unset (the default) preserves the
+  // drop-and-count behavior.
+  void SetDefaultRoute(int port);
+
   // Installs (or replaces, by identical proto+match_dst+priority) a rule.
   void InstallRule(const ForwardingRule& rule);
   // Removes all rules matching proto (+dst if given). Returns count removed.
@@ -70,6 +76,7 @@ class L2Switch : public PacketSink {
   std::string name_;
   SimDuration forwarding_latency_;
   std::vector<Link*> ports_;
+  int default_port_ = -1;
   std::unordered_map<NodeId, int> routes_;
   std::vector<ForwardingRule> rules_;
   Counter forwarded_;

@@ -4,14 +4,29 @@
 
 namespace incod {
 
+int Topology::ShardOf(const PacketSink* sink) const {
+  const auto it = shard_of_.find(sink);
+  return it != shard_of_.end() ? it->second : default_shard_;
+}
+
 Link* Topology::Connect(PacketSink* a, PacketSink* b, Link::Config config,
                         std::string name) {
   if (name.empty()) {
     name = "link-" + std::to_string(links_.size());
   }
-  links_.push_back(std::make_unique<Link>(sim_, config, std::move(name)));
+  if (sharded_ == nullptr) {
+    links_.push_back(std::make_unique<Link>(sim_, config, std::move(name)));
+    Link* link = links_.back().get();
+    link->Connect(a, b);
+    return link;
+  }
+  const int shard_a = ShardOf(a);
+  const int shard_b = ShardOf(b);
+  links_.push_back(
+      std::make_unique<Link>(sharded_->shard(shard_a), config, std::move(name)));
   Link* link = links_.back().get();
   link->Connect(a, b);
+  link->BindShards(*sharded_, shard_a, shard_b);
   return link;
 }
 

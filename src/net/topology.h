@@ -7,10 +7,12 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/link.h"
 #include "src/net/switch.h"
+#include "src/sim/sharded.h"
 #include "src/sim/simulation.h"
 
 namespace incod {
@@ -18,6 +20,23 @@ namespace incod {
 class Topology {
  public:
   explicit Topology(Simulation& sim) : sim_(sim) {}
+
+  // Declares that this topology builds into a ShardedSimulation. Sinks
+  // default to `default_shard` unless AssignShard says otherwise; every
+  // Connect from then on binds the link's endpoints to their shards, making
+  // links whose ends differ the cross-shard boundaries (and their
+  // propagation delays the lookahead candidates).
+  void SetSharded(ShardedSimulation* sharded, int default_shard = 0) {
+    sharded_ = sharded;
+    default_shard_ = default_shard;
+  }
+
+  // Pins a sink to a shard. Must happen before the sink is Connect()ed.
+  void AssignShard(const PacketSink* sink, int shard) { shard_of_[sink] = shard; }
+
+  // Shard a sink was assigned (or the default). Meaningful only when
+  // sharded.
+  int ShardOf(const PacketSink* sink) const;
 
   // Creates a link and connects both ends. Returned pointer is owned by the
   // topology and valid for its lifetime.
@@ -33,6 +52,9 @@ class Topology {
 
  private:
   Simulation& sim_;
+  ShardedSimulation* sharded_ = nullptr;
+  int default_shard_ = 0;
+  std::unordered_map<const PacketSink*, int> shard_of_;
   std::vector<std::unique_ptr<Link>> links_;
 };
 

@@ -136,6 +136,23 @@ MixedRackScenario::MixedRackScenario(Simulation& sim, MixedRackOptions options)
   RegisterApps();
 }
 
+MixedRackScenario::MixedRackScenario(ShardedSimulation& sharded,
+                                     const MixedRackShardPlan& plan,
+                                     MixedRackOptions options)
+    : sim_(sharded.shard(plan.rack)),
+      options_(std::move(options)),
+      sharded_(&sharded),
+      plan_(plan) {
+  zone_.FillSynthetic(options_.zone_size);
+  ScenarioSpec spec = MakeMixedRackSpec(options_, &zone_);
+  spec.shard = plan_.rack;
+  spec.client_link.propagation_delay = plan_.client_propagation;
+  testbed_ = std::make_unique<ScenarioTestbed>(sharded, std::move(spec));
+  ResolveMembers();
+  BuildMigrators();
+  RegisterApps();
+}
+
 void MixedRackScenario::ResolveMembers() {
   ScenarioMember& kvs = testbed_->member("kvs");
   kvs_server_ = kvs.server;
@@ -178,10 +195,20 @@ void MixedRackScenario::BuildMigrators() {
 
     options_.paxos_client.node = kRackPaxosClientNode;
     options_.paxos_client.leader_service = kRackPaxosLeaderService;
-    paxos_client_ = std::make_unique<PaxosClient>(sim_, options_.paxos_client);
+    Link::Config client_link = TestbedBuilder::TenGigLink();
+    Simulation* client_sim = &sim_;
+    if (sharded_ != nullptr) {
+      client_sim = &sharded_->shard(plan_.paxos_client);
+      client_link.propagation_delay = plan_.client_propagation;
+    }
+    paxos_client_ = std::make_unique<PaxosClient>(*client_sim, options_.paxos_client);
+    if (sharded_ != nullptr) {
+      // Before ConnectToSwitch, so the new link sees the client's shard.
+      testbed_->builder().topology().AssignShard(paxos_client_.get(),
+                                                 plan_.paxos_client);
+    }
     Link* link = testbed_->builder().topology().ConnectToSwitch(
-        testbed_->tor(), paxos_client_.get(), kRackPaxosClientNode,
-        TestbedBuilder::TenGigLink());
+        testbed_->tor(), paxos_client_.get(), kRackPaxosClientNode, client_link);
     paxos_client_->SetUplink(link);
   }
 }
@@ -241,7 +268,7 @@ LoadClient& MixedRackScenario::AddKvsClient(LoadClientConfig config,
                                             RequestFactory factory) {
   config.node = kRackKvsClientNode;
   return testbed_->AddTorClient(std::move(config), std::move(arrival),
-                                std::move(factory));
+                                std::move(factory), ClientShard(plan_.kvs_client));
 }
 
 LoadClient& MixedRackScenario::AddDnsClient(LoadClientConfig config,
@@ -249,7 +276,7 @@ LoadClient& MixedRackScenario::AddDnsClient(LoadClientConfig config,
                                             RequestFactory factory) {
   config.node = kRackDnsClientNode;
   return testbed_->AddTorClient(std::move(config), std::move(arrival),
-                                std::move(factory));
+                                std::move(factory), ClientShard(plan_.dns_client));
 }
 
 void MixedRackScenario::PrefillKvs(uint64_t count, uint32_t value_bytes) {

@@ -77,9 +77,27 @@ struct MixedRackOptions {
 // the built testbed.
 ScenarioSpec MakeMixedRackSpec(const MixedRackOptions& options, const Zone* zone);
 
+// Shard assignment for the sharded build: the whole rack (ToR, members,
+// orchestrator, migrators, meter) stays in one shard; each load client gets
+// its own, so the client--ToR links are the only cross-shard boundaries.
+// Their propagation delay becomes the engine lookahead, so it is raised
+// from the 500ns ToR default to something that buys useful rounds.
+struct MixedRackShardPlan {
+  int rack = 0;
+  int kvs_client = 1;
+  int dns_client = 2;
+  int paxos_client = 3;
+  SimDuration client_propagation = Microseconds(2);
+};
+
 class MixedRackScenario {
  public:
   MixedRackScenario(Simulation& sim, MixedRackOptions options = {});
+
+  // Sharded build per `plan`. Event-identical to the single-Simulation
+  // build only when that build uses the same client-link propagation.
+  MixedRackScenario(ShardedSimulation& sharded, const MixedRackShardPlan& plan,
+                    MixedRackOptions options = {});
 
   Simulation& sim() { return sim_; }
   TestbedBuilder& builder() { return testbed_->builder(); }
@@ -130,9 +148,12 @@ class MixedRackScenario {
   void ResolveMembers();
   void BuildMigrators();
   void RegisterApps();
+  int ClientShard(int shard) const { return sharded_ != nullptr ? shard : -1; }
 
   Simulation& sim_;
   MixedRackOptions options_;
+  ShardedSimulation* sharded_ = nullptr;
+  MixedRackShardPlan plan_;
   Zone zone_;
   std::unique_ptr<ScenarioTestbed> testbed_;
 

@@ -12,6 +12,17 @@ namespace incod {
 
 ScenarioTestbed::ScenarioTestbed(Simulation& sim, ScenarioSpec spec)
     : sim_(sim), spec_(std::move(spec)), builder_(sim, spec_.meter_period) {
+  Build();
+}
+
+ScenarioTestbed::ScenarioTestbed(ShardedSimulation& sharded, ScenarioSpec spec)
+    : sim_(sharded.shard(spec.shard)),
+      spec_(std::move(spec)),
+      builder_(sharded, spec_.shard, spec_.meter_period) {
+  Build();
+}
+
+void ScenarioTestbed::Build() {
   if (spec_.tor.present) {
     // Switch-centric scenario: members hang off the ToR; the single-chain
     // host/target sections are ignored.
@@ -335,13 +346,13 @@ LoadClient& ScenarioTestbed::AddClient(LoadClientConfig config,
 
 LoadClient& ScenarioTestbed::AddTorClient(LoadClientConfig config,
                                           std::unique_ptr<ArrivalProcess> arrival,
-                                          RequestFactory factory) {
+                                          RequestFactory factory, int shard) {
   if (tor_ == nullptr) {
     throw std::logic_error("ScenarioTestbed: AddTorClient needs a ToR");
   }
   const NodeId node = config.node;
-  LoadClient* client =
-      builder_.AddLoadClient(std::move(config), std::move(arrival), std::move(factory));
+  LoadClient* client = builder_.AddLoadClient(std::move(config), std::move(arrival),
+                                              std::move(factory), shard);
   Link* link = builder_.topology().ConnectToSwitch(tor_, client, node,
                                                    spec_.client_link);
   client->SetUplink(link);

@@ -115,6 +115,10 @@ struct ScenarioControllerSpec {
 struct ScenarioSpec {
   std::string name = "scenario";
   SimDuration meter_period = Milliseconds(1);
+  // Home shard when built into a ShardedSimulation: the ToR, members, meter
+  // and any migrators live here. Clients may be placed in other shards via
+  // AddTorClient's shard argument. Ignored for plain Simulation builds.
+  int shard = 0;
   ScenarioHostSpec host;
   ScenarioTargetSpec target;
   Link::Config client_link = TestbedBuilder::TenGigLink();
@@ -157,6 +161,10 @@ RequestFactory MakeScenarioRequestFactory(const ScenarioWorkloadSpec& workload,
 class ScenarioTestbed {
  public:
   ScenarioTestbed(Simulation& sim, ScenarioSpec spec);
+
+  // Sharded build: everything lands in spec.shard of the ShardedSimulation
+  // (clients may override per AddTorClient). sim() then returns that shard.
+  ScenarioTestbed(ShardedSimulation& sharded, ScenarioSpec spec);
 
   Simulation& sim() { return sim_; }
   const ScenarioSpec& spec() const { return spec_; }
@@ -210,12 +218,15 @@ class ScenarioTestbed {
   LoadClient& AddClient(LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
                         RequestFactory factory);
   // Switch-centric scenarios: attaches an open-loop client to the ToR
-  // (config.node becomes its address; several clients may attach).
+  // (config.node becomes its address; several clients may attach). `shard`
+  // >= 0 places the client in that shard of a sharded build, making its ToR
+  // link a cross-shard boundary.
   LoadClient& AddTorClient(LoadClientConfig config,
                            std::unique_ptr<ArrivalProcess> arrival,
-                           RequestFactory factory);
+                           RequestFactory factory, int shard = -1);
 
  private:
+  void Build();
   void BuildHost();
   void BuildTarget();
   void BuildWorkload();

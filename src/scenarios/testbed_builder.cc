@@ -1,9 +1,19 @@
 #include "src/scenarios/testbed_builder.h"
 
+#include <stdexcept>
+
 namespace incod {
 
 TestbedBuilder::TestbedBuilder(Simulation& sim, SimDuration meter_period)
     : sim_(sim), topology_(sim) {
+  meter_ = std::make_unique<WallPowerMeter>(sim_, meter_period);
+}
+
+TestbedBuilder::TestbedBuilder(ShardedSimulation& sharded, int shard,
+                               SimDuration meter_period)
+    : sim_(sharded.shard(shard)), sharded_(&sharded), default_shard_(shard),
+      topology_(sim_) {
+  topology_.SetSharded(&sharded, shard);
   meter_ = std::make_unique<WallPowerMeter>(sim_, meter_period);
 }
 
@@ -87,8 +97,18 @@ Server* TestbedBuilder::AddAuxServer(L2Switch* sw, NodeId node, std::string name
 
 LoadClient* TestbedBuilder::AddLoadClient(LoadClientConfig config,
                                           std::unique_ptr<ArrivalProcess> arrival,
-                                          RequestFactory factory) {
-  return Own<LoadClient>(sim_, std::move(config), std::move(arrival), std::move(factory));
+                                          RequestFactory factory, int shard) {
+  if (shard >= 0 && sharded_ == nullptr) {
+    throw std::logic_error("AddLoadClient: shard placement needs a sharded build");
+  }
+  Simulation& client_sim =
+      (shard >= 0 && shard != default_shard_) ? sharded_->shard(shard) : sim_;
+  LoadClient* client =
+      Own<LoadClient>(client_sim, std::move(config), std::move(arrival), std::move(factory));
+  if (shard >= 0) {
+    topology_.AssignShard(client, shard);
+  }
+  return client;
 }
 
 }  // namespace incod

@@ -29,6 +29,13 @@ class TestbedBuilder {
  public:
   explicit TestbedBuilder(Simulation& sim, SimDuration meter_period = Milliseconds(1));
 
+  // Sharded build: components default into `shard` of the ShardedSimulation
+  // (the rack's home shard); AddLoadClient can place clients in other
+  // shards, making their links the cross-shard boundaries. The wall meter
+  // lives in `shard`, so every metered component must stay there too.
+  TestbedBuilder(ShardedSimulation& sharded, int shard,
+                 SimDuration meter_period = Milliseconds(1));
+
   // Link presets shared by every testbed (§4.1 topology family).
   static Link::Config TenGigLink(SimDuration propagation_delay = Nanoseconds(500));
   // PCIe + DMA + driver + kernel wakeup: crossing into the host costs
@@ -54,9 +61,11 @@ class TestbedBuilder {
   // (acceptors, learners): fast stack costs, synthetic curve, attached to
   // a switch port with a route for `node`.
   Server* AddAuxServer(L2Switch* sw, NodeId node, std::string name, int cores);
+  // `shard` >= 0 places the client in that shard (sharded builds only);
+  // -1 keeps it in the builder's default shard.
   LoadClient* AddLoadClient(LoadClientConfig config,
                             std::unique_ptr<ArrivalProcess> arrival,
-                            RequestFactory factory);
+                            RequestFactory factory, int shard = -1);
 
   // --- Wiring idioms ---
   // device --PCIe-- server: sets the device's host link and the server's
@@ -109,6 +118,8 @@ class TestbedBuilder {
   }
 
   Simulation& sim_;
+  ShardedSimulation* sharded_ = nullptr;
+  int default_shard_ = 0;
   Topology topology_;
   std::unique_ptr<WallPowerMeter> meter_;
   std::vector<std::unique_ptr<PacketSink>> components_;

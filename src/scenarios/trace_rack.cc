@@ -31,6 +31,20 @@ std::vector<TraceRackAppOptions> DefaultApps() {
 
 TraceRackScenario::TraceRackScenario(Simulation& sim, TraceRackOptions options)
     : sim_(sim), options_(std::move(options)) {
+  Init();
+}
+
+TraceRackScenario::TraceRackScenario(ShardedSimulation& sharded,
+                                     const TraceRackShardPlan& plan,
+                                     TraceRackOptions options)
+    : sim_(sharded.shard(plan.rack)),
+      options_(std::move(options)),
+      sharded_(&sharded),
+      plan_(plan) {
+  Init();
+}
+
+void TraceRackScenario::Init() {
   if (options_.apps.empty()) {
     options_.apps = DefaultApps();
   }
@@ -71,7 +85,13 @@ TraceRackScenario::TraceRackScenario(Simulation& sim, TraceRackOptions options)
     spec.members.push_back(std::move(member));
   }
 
-  testbed_ = std::make_unique<ScenarioTestbed>(sim_, std::move(spec));
+  if (sharded_ != nullptr) {
+    spec.shard = plan_.rack;
+    spec.client_link.propagation_delay = plan_.client_propagation;
+    testbed_ = std::make_unique<ScenarioTestbed>(*sharded_, std::move(spec));
+  } else {
+    testbed_ = std::make_unique<ScenarioTestbed>(sim_, std::move(spec));
+  }
   BuildApps();
 
   GoogleTraceConfig trace = options_.trace;
@@ -128,10 +148,12 @@ void TraceRackScenario::BuildApps() {
       throw std::invalid_argument("TraceRackScenario: app " + traced.name +
                                   " needs a workload kind");
     }
+    const int client_shard =
+        sharded_ != nullptr ? plan_.first_client + static_cast<int>(i) : -1;
     traced.client = &testbed_->AddTorClient(
         std::move(client_config),
         std::make_unique<PoissonArrival>(app_options.workload.rate_per_second),
-        std::move(factory));
+        std::move(factory), client_shard);
     apps_.push_back(std::move(traced));
   }
 }

@@ -56,9 +56,24 @@ struct TraceRackOptions {
   uint64_t trace_seed = 42;
 };
 
+// Shard assignment for the sharded build: the rack (ToR, members,
+// orchestrator, migrators, meter, trace playback) lives in `rack`; client i
+// goes to shard first_client + i, so the client--ToR links are the only
+// cross-shard boundaries and their propagation is the engine lookahead.
+struct TraceRackShardPlan {
+  int rack = 0;
+  int first_client = 1;
+  SimDuration client_propagation = Microseconds(2);
+};
+
 class TraceRackScenario {
  public:
   TraceRackScenario(Simulation& sim, TraceRackOptions options = {});
+
+  // Sharded build per `plan`. Event-identical to the single-Simulation
+  // build only when that build uses the same client-link propagation.
+  TraceRackScenario(ShardedSimulation& sharded, const TraceRackShardPlan& plan,
+                    TraceRackOptions options = {});
 
   Simulation& sim() { return sim_; }
   ScenarioTestbed& scenario() { return *testbed_; }
@@ -88,11 +103,14 @@ class TraceRackScenario {
     double background_cores = 0;
   };
 
+  void Init();
   void BuildApps();
   void ScheduleTrace();
 
   Simulation& sim_;
   TraceRackOptions options_;
+  ShardedSimulation* sharded_ = nullptr;
+  TraceRackShardPlan plan_;
   Zone zone_;
   std::unique_ptr<ScenarioTestbed> testbed_;
   std::vector<std::unique_ptr<StateTransferMigrator>> migrators_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -15,7 +16,13 @@ Simulation::Simulation(uint64_t seed, EngineKind engine) : engine_(engine), rng_
   }
 }
 
+Simulation::Simulation(Simulation* queue_owner, uint64_t seed)
+    : engine_(queue_owner->engine_), queue_(queue_owner), rng_(seed) {}
+
 bool Simulation::Cancel(uint64_t id) {
+  if (queue_ != this) {
+    return queue_->Cancel(id);
+  }
   const uint32_t slot = static_cast<uint32_t>(id >> 32);
   const uint32_t gen = static_cast<uint32_t>(id);
   if (slot >= slots_.size()) {
@@ -54,6 +61,49 @@ void Simulation::FreeSlot(uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
+uint64_t Simulation::ScheduleAtExternal(SimTime at, uint64_t external_seq, InlineEvent fn) {
+  Simulation& q = *queue_;
+  if (at < q.now_) {
+    at = q.now_;
+  }
+  const uint32_t slot = q.AllocSlot();
+  const uint64_t id = EncodeId(slot, q.slots_[slot].gen);
+  ++q.live_events_;
+  // External seqs must stay above every local seq and must not enter the
+  // same-tick ring (they would break its seq-monotone order).
+  if (q.engine_ == EngineKind::kHeap) {
+    q.heap_.emplace(at, external_seq, slot, std::move(fn));
+  } else {
+    q.InsertCalendar(at, external_seq, slot, std::move(fn));
+  }
+  return id;
+}
+
+void Simulation::DemoteActiveRun() {
+  // Both ranges are sorted by (at, seq); merge them back into the bucket.
+  // Safe even mid-peek: callers re-read active_index_ afterwards, and events
+  // executing out of run_ storage (MinKind::kRun) cannot reach here — their
+  // inserts are at >= now_, whose segment is the active one.
+  Bucket& b = buckets_[active_index_];
+  std::vector<Event> merged;
+  merged.reserve((run_.size() - run_head_) + (b.items.size() - b.head));
+  std::merge(std::make_move_iterator(run_.begin() + static_cast<ptrdiff_t>(run_head_)),
+             std::make_move_iterator(run_.end()),
+             std::make_move_iterator(b.items.begin() + static_cast<ptrdiff_t>(b.head)),
+             std::make_move_iterator(b.items.end()), std::back_inserter(merged),
+             [](const Event& x, const Event& y) { return EventBefore(x, y); });
+  b.items = std::move(merged);
+  b.head = 0;
+  if (b.items.empty()) {
+    ClearOccupied(active_index_);
+  } else {
+    MarkOccupied(active_index_);
+  }
+  run_.clear();
+  run_head_ = 0;
+  active_index_ = kNoActive;
+}
+
 void Simulation::InsertSorted(Bucket& b, Event ev) {
   const auto pos = std::upper_bound(
       b.items.begin() + static_cast<ptrdiff_t>(b.head), b.items.end(), ev,
@@ -62,6 +112,31 @@ void Simulation::InsertSorted(Bucket& b, Event ev) {
 }
 
 Simulation::MinRef Simulation::CalendarPeek() {
+  // Purge cancelled ring entries up front so the front compare below sees a
+  // live event (ring entries sit at Now(), the earliest possible time).
+  while (same_tick_head_ < same_tick_.size() &&
+         SlotCancelled(same_tick_[same_tick_head_].slot)) {
+    FreeSlot(same_tick_[same_tick_head_].slot);
+    same_tick_[same_tick_head_].fn = InlineEvent();
+    ++same_tick_head_;
+  }
+  if (same_tick_head_ == same_tick_.size() && !same_tick_.empty()) {
+    same_tick_.clear();
+    same_tick_head_ = 0;
+  }
+  MinRef m = CalendarPeekQueues();
+  if (same_tick_head_ < same_tick_.size()) {
+    Event& front = same_tick_[same_tick_head_];
+    // Queued events at Now() with a smaller seq (scheduled earlier for this
+    // tick) still win; the ring only holds fresh (largest-seq) schedules.
+    if (m.kind == MinKind::kNone || EventBefore(front, *m.ev)) {
+      return MinRef{&front, MinKind::kSameTick};
+    }
+  }
+  return m;
+}
+
+Simulation::MinRef Simulation::CalendarPeekQueues() {
   // Migrate far events whose segment entered the near window, dropping any
   // that were cancelled while waiting.
   const uint64_t base_seg = Segment(now_);
@@ -77,7 +152,9 @@ Simulation::MinRef Simulation::CalendarPeek() {
   for (;;) {
     if (active_index_ != kNoActive) {
       // Fast path: the active segment holds the minimum until both of its
-      // streams drain (later inserts can only target >= Now()'s segment).
+      // streams drain. Inserts into an earlier segment (possible only out of
+      // band, e.g. a mailbox drain) demote the run first, so reaching here
+      // means no live event precedes the active segment.
       Bucket& b = buckets_[active_index_];
       while (run_head_ < run_.size() && SlotCancelled(run_[run_head_].slot)) {
         FreeSlot(run_[run_head_].slot);
@@ -144,6 +221,7 @@ Simulation::MinRef Simulation::CalendarPeek() {
         run_head_ = b.head;
         std::swap(run_, b.items);
         b.head = 0;
+        active_seg_ = Segment(run_[run_head_].at);
         return MinRef{&run_[run_head_], MinKind::kRun};
       }
       ++word;
@@ -223,6 +301,17 @@ void Simulation::Rebuild(int new_width_log2) {
   run_.clear();
   run_head_ = 0;
   active_index_ = kNoActive;
+  // Ring entries re-enter through the bucket path (their at == Now()); the
+  // ring must stay fresh-schedules-only so its seq order holds.
+  for (size_t j = same_tick_head_; j < same_tick_.size(); ++j) {
+    if (SlotCancelled(same_tick_[j].slot)) {
+      FreeSlot(same_tick_[j].slot);
+    } else {
+      pending.push_back(std::move(same_tick_[j]));
+    }
+  }
+  same_tick_.clear();
+  same_tick_head_ = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     Bucket& b = buckets_[i];
     for (size_t j = b.head; j < b.items.size(); ++j) {
@@ -246,6 +335,9 @@ void Simulation::Rebuild(int new_width_log2) {
 }
 
 bool Simulation::RunNext() {
+  if (queue_ != this) {
+    return queue_->RunNext();
+  }
   if (live_events_ == 0) {
     return false;
   }
@@ -293,6 +385,18 @@ bool Simulation::RunNext() {
       ev.fn();
       return true;
     }
+    case MinKind::kSameTick: {
+      // fn() may append to the ring; move out first so growth can't
+      // invalidate the executing event.
+      Event ev = std::move(same_tick_[same_tick_head_]);
+      ++same_tick_head_;
+      if (same_tick_head_ == same_tick_.size()) {
+        same_tick_.clear();
+        same_tick_head_ = 0;
+      }
+      ev.fn();
+      return true;
+    }
     case MinKind::kNone:
       break;
   }
@@ -305,12 +409,41 @@ void Simulation::Run() {
 }
 
 void Simulation::RunUntil(SimTime t) {
+  if (queue_ != this) {
+    queue_->RunUntil(t);
+    return;
+  }
   while (live_events_ > 0 && PeekNextTime() <= t) {
     RunNext();
   }
   if (now_ < t) {
     now_ = t;
   }
+}
+
+void Simulation::RunWhileBefore(SimTime bound) {
+  if (queue_ != this) {
+    queue_->RunWhileBefore(bound);
+    return;
+  }
+  while (live_events_ > 0 && PeekNextTime() < bound) {
+    RunNext();
+  }
+}
+
+void Simulation::AdvanceNowTo(SimTime t) {
+  Simulation& q = *queue_;
+  if (q.now_ < t) {
+    q.now_ = t;
+  }
+}
+
+SimTime Simulation::NextEventTime() {
+  Simulation& q = *queue_;
+  if (q.live_events_ == 0) {
+    return kNoEventTime;
+  }
+  return q.PeekNextTime();
 }
 
 void SchedulePeriodic(Simulation& sim, SimDuration initial_delay, SimDuration period,

@@ -38,13 +38,29 @@ class Simulation {
  public:
   enum class EngineKind { kCalendar, kHeap };
 
+  // Sentinel returned by NextEventTime() when the queue is empty.
+  static constexpr SimTime kNoEventTime = INT64_MAX;
+
+  // Seq values >= kExternalSeqBase are reserved for cross-shard deliveries
+  // (sim/sharded.h): they order after every locally scheduled event at the
+  // same tick, by (source shard, per-pair send sequence). The local counter
+  // would need 2^48 events to collide — far beyond any run.
+  static constexpr uint64_t kExternalSeqBase = uint64_t{1} << 48;
+
   explicit Simulation(uint64_t seed = 1, EngineKind engine = EngineKind::kCalendar);
+
+  // Shard view: shares `queue_owner`'s event queue and clock but owns a
+  // private RNG root. ShardedSimulation's single-queue reference mode hands
+  // each shard's components such a view, so they fork the exact RNG streams
+  // they would own in parallel mode while all events still run in one
+  // deterministic queue.
+  Simulation(Simulation* queue_owner, uint64_t seed);
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   // Current simulated time.
-  SimTime Now() const { return now_; }
+  SimTime Now() const { return queue_->now_; }
 
   EngineKind engine() const { return engine_; }
 
@@ -59,14 +75,22 @@ class Simulation {
     if (delay < 0) {
       delay = 0;
     }
-    return DoSchedule(now_ + delay, std::forward<F>(fn));
+    Simulation& q = *queue_;
+    return q.DoSchedule(q.now_ + delay, std::forward<F>(fn));
   }
 
   // Schedules `fn` at absolute time `at` (clamped to Now()).
   template <typename F>
   uint64_t ScheduleAt(SimTime at, F&& fn) {
-    return DoSchedule(at < now_ ? now_ : at, std::forward<F>(fn));
+    Simulation& q = *queue_;
+    return q.DoSchedule(at < q.now_ ? q.now_ : at, std::forward<F>(fn));
   }
+
+  // Schedules a cross-shard delivery under an explicit external sequence key
+  // (>= kExternalSeqBase, see above). Used by ShardedSimulation so both the
+  // parallel and the single-queue reference mode order cross-shard events
+  // identically. `at` is clamped to Now().
+  uint64_t ScheduleAtExternal(SimTime at, uint64_t external_seq, InlineEvent fn);
 
   // Cancels a pending event in O(1). Returns false if it already ran / was
   // cancelled.
@@ -78,14 +102,28 @@ class Simulation {
   // Runs events with time <= t, then sets Now() to t.
   void RunUntil(SimTime t);
 
+  // Runs events with time strictly < bound, leaving Now() at the last
+  // executed event. The conservative-lookahead window primitive: unlike
+  // RunUntil it does not advance the clock past the final event, so a later
+  // window (or a cross-shard delivery at >= bound) continues seamlessly.
+  void RunWhileBefore(SimTime bound);
+
+  // Advances Now() to `t` without running anything. Requires every pending
+  // event to be later than `t`; used by ShardedSimulation to finish a
+  // RunUntil round once the global horizon passed `t`.
+  void AdvanceNowTo(SimTime t);
+
+  // Time of the next live event, or kNoEventTime when the queue is empty.
+  SimTime NextEventTime();
+
   // Runs a single event. Returns false if the queue is empty.
   bool RunNext();
 
   // Number of events executed since construction.
-  uint64_t events_executed() const { return events_executed_; }
+  uint64_t events_executed() const { return queue_->events_executed_; }
 
   // Number of events currently pending (scheduled, not yet run or cancelled).
-  size_t pending_events() const { return live_events_; }
+  size_t pending_events() const { return queue_->live_events_; }
 
   // Root RNG. Components should call rng().Fork() once at setup.
   Rng& rng() { return rng_; }
@@ -120,10 +158,11 @@ class Simulation {
   };
   // Where CalendarPeek found the minimum event.
   enum class MinKind : uint8_t {
-    kNone,  // No live events.
-    kRun,   // run_[run_head_]: stable storage, executed in place.
-    kItems, // Active bucket's items (same-segment insert overtook the run).
-    kFar,   // Far-heap top (window empty).
+    kNone,      // No live events.
+    kRun,       // run_[run_head_]: stable storage, executed in place.
+    kItems,     // Active bucket's items (same-segment insert overtook the run).
+    kFar,       // Far-heap top (window empty).
+    kSameTick,  // Same-tick FIFO ring front (at == Now()).
   };
   struct MinRef {
     Event* ev = nullptr;
@@ -170,6 +209,16 @@ class Simulation {
     ++live_events_;
     if (engine_ == EngineKind::kHeap) {
       heap_.emplace(at, next_seq_++, slot, std::forward<F>(fn));
+    } else if (at == now_) {
+      // Same-tick FIFO ring: fresh delay-0 schedules carry the largest seq
+      // at Now(), so a plain append keeps the ring sorted — no same-segment
+      // sorted middle-insert on heavy fan-in. Only fresh schedules may take
+      // this path: re-inserts (far migration, Rebuild) carry old seqs.
+      if (same_tick_head_ == same_tick_.size() && !same_tick_.empty()) {
+        same_tick_.clear();
+        same_tick_head_ = 0;
+      }
+      same_tick_.emplace_back(at, next_seq_++, slot, std::forward<F>(fn));
     } else {
       InsertCalendar(at, next_seq_++, slot, std::forward<F>(fn));
     }
@@ -191,6 +240,15 @@ class Simulation {
       return;
     }
     ++near_inserts_;
+    // Out-of-band inserts (a cross-shard mailbox drain between rounds, a far
+    // migration) may land in a segment behind the active run; the fast path
+    // would never look back at it. Fold the run into its bucket so the next
+    // peek rescans from Now()'s segment. Inserts made while an event runs
+    // never take this path: now_ sits inside the active segment, so their
+    // segment is >= the active one.
+    if (active_index_ != kNoActive && seg < active_seg_) {
+      DemoteActiveRun();
+    }
     const size_t index = static_cast<size_t>(seg) & kBucketMask;
     Bucket& b = buckets_[index];
     if (b.head == b.items.size()) {
@@ -214,14 +272,19 @@ class Simulation {
     InsertCalendar(ev.at, ev.seq, ev.slot, std::move(ev.fn));
   }
   void InsertSorted(Bucket& b, Event ev);
+  // Folds the active run (and the bucket's overtaking inserts) back into its
+  // bucket and clears the active state, re-arming the occupancy-bitmap scan.
+  void DemoteActiveRun();
   // Re-evaluates the bucket width from the recent event rate; re-buckets the
   // near set when the regime changed.
   void MaybeAdaptWidth();
   void Rebuild(int new_width_log2);
   // Drops cancelled events it passes (freeing their slots), migrates due far
-  // events into buckets, and returns the location of the minimum live event.
-  // Precondition: live_events_ > 0.
+  // events into buckets, and returns the location of the minimum live event
+  // (including the same-tick ring). Returns kNone when nothing is live.
   MinRef CalendarPeek();
+  // CalendarPeek minus the same-tick ring (buckets / run / far only).
+  MinRef CalendarPeekQueues();
   void PurgeHeapTop();
   // Time of the next live event. Precondition: live_events_ > 0.
   SimTime PeekNextTime();
@@ -256,13 +319,24 @@ class Simulation {
   std::vector<Event> run_;
   size_t run_head_ = 0;
   size_t active_index_ = kNoActive;
+  // Absolute segment number of the active run (valid iff active_index_ is
+  // set); DemoteActiveRun() triggers on inserts into earlier segments.
+  uint64_t active_seg_ = 0;
   static constexpr size_t kNoActive = static_cast<size_t>(-1);
+  // Same-tick FIFO ring: fresh events scheduled at exactly Now(). Always
+  // sorted by seq (fresh schedules are seq-monotone) and always <= every
+  // queued event's time, so the ring drains before Now() can advance.
+  std::vector<Event> same_tick_;
+  size_t same_tick_head_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> far_;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
 
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
 
+  // The Simulation whose queue this instance schedules into: `this` for a
+  // normal Simulation, the owner for a shard view.
+  Simulation* queue_ = this;
   Rng rng_;
 };
 

@@ -7,10 +7,16 @@
 #include <utility>
 #include <vector>
 
+#include "src/kvs/kv_protocol.h"
 #include "src/scenarios/kvs_testbed.h"
+#include "src/scenarios/multi_rack.h"
+#include "src/scenarios/rack_scenario.h"
+#include "src/scenarios/trace_rack.h"
+#include "src/sim/sharded.h"
 #include "src/sim/simulation.h"
 #include "src/workload/arrival.h"
 #include "src/workload/client.h"
+#include "src/workload/dns_workload.h"
 
 namespace incod {
 namespace {
@@ -135,6 +141,151 @@ TEST(EngineDiffTest, SeededKvsTestbedBitIdenticalAcrossEngines) {
   EXPECT_EQ(calendar.p50, heap.p50);
   EXPECT_EQ(calendar.p99, heap.p99);
   EXPECT_DOUBLE_EQ(calendar.watts, heap.watts);
+}
+
+// --- Sharded engine: kParallel must be event-identical to kSingleQueue ---
+
+using Mode = ShardedSimulation::Mode;
+
+// Every externally observable number a scenario run produces: engine event
+// count, per-client traffic counters and latency percentiles, mean wall
+// watts. Event-identical runs must agree on all of them exactly.
+struct ShardedScenarioResult {
+  uint64_t events = 0;
+  std::vector<uint64_t> counters;
+  double watts = 0;
+};
+
+void ExpectIdentical(const ShardedScenarioResult& want,
+                     const ShardedScenarioResult& got, uint64_t seed) {
+  EXPECT_EQ(want.events, got.events) << "seed " << seed;
+  ASSERT_EQ(want.counters.size(), got.counters.size());
+  for (size_t i = 0; i < want.counters.size(); ++i) {
+    EXPECT_EQ(want.counters[i], got.counters[i]) << "counter " << i << " seed " << seed;
+  }
+  EXPECT_DOUBLE_EQ(want.watts, got.watts) << "seed " << seed;
+}
+
+void AppendClient(ShardedScenarioResult* result, const LoadClient& client) {
+  result->counters.push_back(client.sent());
+  result->counters.push_back(client.received());
+  result->counters.push_back(client.lost());
+  result->counters.push_back(client.latency().P50());
+  result->counters.push_back(client.latency().P99());
+}
+
+ShardedSimulation::Options ShardOptions(Mode mode, int shards, int threads,
+                                        uint64_t seed) {
+  ShardedSimulation::Options options;
+  options.num_shards = shards;
+  options.num_threads = threads;
+  options.mode = mode;
+  options.seed = seed;
+  return options;
+}
+
+ShardedScenarioResult RunShardedMixedRack(Mode mode, int threads, uint64_t seed) {
+  ShardedSimulation ssim(ShardOptions(mode, 4, threads, seed));
+  MixedRackScenario rack(ssim, MixedRackShardPlan{});
+  rack.PrefillKvs(2000, 64);
+  LoadClient& kvs = rack.AddKvsClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(300000.0),
+      [](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+        const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 1999));
+        return MakeKvRequestPacket(src, kRackKvsServerNode,
+                                   KvRequest{KvOp::kGet, key, 0}, id, now);
+      });
+  DnsWorkloadConfig dns_config;
+  dns_config.dns_service = kRackDnsServerNode;
+  LoadClient& dns = rack.AddDnsClient(LoadClientConfig{},
+                                      std::make_unique<PoissonArrival>(200000.0),
+                                      MakeDnsRequestFactory(dns_config));
+  rack.orchestrator().Start();
+  rack.paxos_client()->Start();
+  kvs.Start();
+  dns.Start();
+  ssim.RunUntil(Milliseconds(15));
+
+  ShardedScenarioResult result;
+  result.events = ssim.events_executed();
+  AppendClient(&result, kvs);
+  AppendClient(&result, dns);
+  result.watts = rack.meter().MeanWatts(0, Milliseconds(15));
+  return result;
+}
+
+TEST(EngineDiffTest, ShardedMixedRackIdenticalToSingleQueue) {
+  for (const uint64_t seed : {7u, 11u, 13u}) {
+    const ShardedScenarioResult reference =
+        RunShardedMixedRack(Mode::kSingleQueue, 1, seed);
+    EXPECT_GT(reference.events, 50000u);  // Non-trivial run.
+    const ShardedScenarioResult parallel =
+        RunShardedMixedRack(Mode::kParallel, 4, seed);
+    ExpectIdentical(reference, parallel, seed);
+  }
+}
+
+ShardedScenarioResult RunShardedTraceRack(Mode mode, int threads, uint64_t seed) {
+  ShardedSimulation ssim(ShardOptions(mode, 3, threads, seed));
+  TraceRackOptions options;
+  options.trace = {.num_tasks = 500, .num_nodes = 2};
+  options.sim_horizon = Milliseconds(20);
+  options.trace_seed = seed;
+  TraceRackScenario rack(ssim, TraceRackShardPlan{}, options);
+  rack.Start();
+  ssim.RunUntil(Milliseconds(15));
+
+  ShardedScenarioResult result;
+  result.events = ssim.events_executed();
+  for (size_t i = 0; i < rack.app_count(); ++i) {
+    AppendClient(&result, rack.client(i));
+  }
+  result.watts = rack.meter().MeanWatts(0, Milliseconds(15));
+  return result;
+}
+
+TEST(EngineDiffTest, ShardedTraceRackIdenticalToSingleQueue) {
+  for (const uint64_t seed : {7u, 11u, 13u}) {
+    const ShardedScenarioResult reference =
+        RunShardedTraceRack(Mode::kSingleQueue, 1, seed);
+    EXPECT_GT(reference.events, 20000u);
+    const ShardedScenarioResult parallel =
+        RunShardedTraceRack(Mode::kParallel, 4, seed);
+    ExpectIdentical(reference, parallel, seed);
+  }
+}
+
+ShardedScenarioResult RunShardedMultiRack(Mode mode, int threads, uint64_t seed) {
+  ShardedSimulation ssim(ShardOptions(mode, 3, threads, seed));
+  MultiRackOptions options;
+  options.num_racks = 2;
+  options.kvs_rate_per_second = 200000;
+  options.dns_rate_per_second = 100000;
+  options.prefill = 1000;
+  options.keyspace = 1000;
+  MultiRackScenario fabric(ssim, options);
+  fabric.Start();
+  ssim.RunUntil(Milliseconds(15));
+
+  ShardedScenarioResult result;
+  result.events = ssim.events_executed();
+  for (int r = 0; r < fabric.num_racks(); ++r) {
+    AppendClient(&result, fabric.kvs_client(r));
+    AppendClient(&result, fabric.dns_client(r));
+    result.watts += fabric.rack(r).meter().MeanWatts(0, Milliseconds(15));
+  }
+  return result;
+}
+
+TEST(EngineDiffTest, ShardedMultiRackIdenticalToSingleQueue) {
+  for (const uint64_t seed : {7u, 11u}) {
+    const ShardedScenarioResult reference =
+        RunShardedMultiRack(Mode::kSingleQueue, 1, seed);
+    EXPECT_GT(reference.events, 50000u);
+    const ShardedScenarioResult parallel =
+        RunShardedMultiRack(Mode::kParallel, 4, seed);
+    ExpectIdentical(reference, parallel, seed);
+  }
 }
 
 TEST(EngineDiffTest, RunUntilBoundaryMatchesAcrossEngines) {
