@@ -31,6 +31,18 @@ recorded policy floor.
     check_bench_regression.py --transitions part1.json [part2.json ...] \
         [--baseline bench/baseline_transitions.json] \
         [--merge-out BENCH_transitions.json]
+
+Recovery (--recovery): gates the crash-recovery part written by
+bench_recovery --out against bench/baseline_recovery.json. Same
+deterministic-floor philosophy as --transitions: the heartbeat detector
+must fire within the policy bound, the warm (checkpointed) restore must
+stay near-lossless, and the cold-minus-warm delta must not shrink below
+the recorded floor — i.e. checkpointed warm restore strictly beats cold
+restart, by at least the policy margin.
+
+    check_bench_regression.py --recovery BENCH_recovery.json \
+        [--baseline bench/baseline_recovery.json] \
+        [--merge-out BENCH_recovery.json]
 """
 import json
 import sys
@@ -168,11 +180,84 @@ def check_transitions(parts, baseline_path, merge_out):
     return 0
 
 
+def check_recovery(parts, baseline_path, merge_out):
+    merged = {"bench": "recovery"}
+    for path in parts:
+        with open(path) as f:
+            part = json.load(f)
+        for key in ("build_type", "quick", "kvs", "paxos"):
+            if key in part:
+                merged[key] = part[key]
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    def require(section, condition, message):
+        status = "ok" if condition else "FAIL"
+        print(f"  [{status}] {section}: {message}")
+        if not condition:
+            failures.append(f"{section}: {message}")
+
+    for section, label in (("kvs", "kvs recovery (LaKe death -> NetCache)"),
+                           ("paxos", "paxos recovery (P4xos death -> software)")):
+        if section not in baseline:
+            continue
+        print(f"{label}:")
+        if section not in merged:
+            failures.append(f"{section}: missing bench part")
+            continue
+        leg = merged[section]
+        policy = baseline[section]
+        detection = leg["detection_ms"]
+        require(section, 0 <= detection <= policy["max_detection_ms"],
+                f"detection latency {detection:.1f} ms within "
+                f"(0, {policy['max_detection_ms']:.1f}] ms")
+        if policy.get("require_warm_recovery"):
+            require(section, bool(leg.get("warm_recovery_flag")),
+                    "recovery restored from a checkpoint (warm)")
+            require(section, leg.get("warm_checkpoints", 0) > 0,
+                    f"checkpoints taken before the kill "
+                    f"({leg.get('warm_checkpoints', 0)} > 0)")
+        if section == "kvs":
+            warm = leg["warm_post_recovery_miss_fraction"]
+            delta = leg["delta_miss_fraction"]
+            require(section, warm <= policy["warm_max_miss_fraction"],
+                    f"warm post-recovery miss fraction {warm:.3f} <= "
+                    f"{policy['warm_max_miss_fraction']:.3f}")
+            require(section, delta >= policy["min_delta_miss_fraction"],
+                    f"cold-warm miss-fraction delta {delta:.3f} >= "
+                    f"{policy['min_delta_miss_fraction']:.3f}")
+        else:
+            warm = leg["warm_gap_ms"]
+            delta = leg["delta_gap_ms"]
+            require(section, 0 <= warm <= policy["warm_max_gap_ms"],
+                    f"warm service gap {warm:.1f} ms <= "
+                    f"{policy['warm_max_gap_ms']:.1f} ms")
+            require(section, delta >= policy["min_delta_gap_ms"],
+                    f"cold-warm gap delta {delta:.1f} ms >= "
+                    f"{policy['min_delta_gap_ms']:.1f} ms")
+
+    if merge_out:
+        with open(merge_out, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+        print(f"wrote {merge_out}")
+
+    if failures:
+        print("FAIL: crash-recovery gate")
+        return 1
+    print("OK")
+    return 0
+
+
 def main() -> int:
     argv = sys.argv[1:]
     args = []
     tolerance = 0.2
     transitions = False
+    recovery = False
     engine_parallel = False
     baseline_path = None
     merge_out = None
@@ -198,6 +283,8 @@ def main() -> int:
                 merge_out = value
         elif arg == "--transitions":
             transitions = True
+        elif arg == "--recovery":
+            recovery = True
         elif arg == "--engine-parallel":
             engine_parallel = True
         else:
@@ -209,6 +296,9 @@ def main() -> int:
     if transitions:
         return check_transitions(
             args, baseline_path or "bench/baseline_transitions.json", merge_out)
+    if recovery:
+        return check_recovery(
+            args, baseline_path or "bench/baseline_recovery.json", merge_out)
     return check_engine(args, tolerance, engine_parallel)
 
 

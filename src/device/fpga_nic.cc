@@ -152,19 +152,28 @@ void FpgaNic::Receive(Packet packet) {
   }
   const bool from_host = packet.src == config_.host_node;
   if (from_host) {
-    if (app_ != nullptr && app_active_ && app_->Matches(packet)) {
+    if (app_ != nullptr && app_active_ && !engine_dead() && app_->Matches(packet)) {
       app_->OnHostEgress(*this, packet);
     }
     TransmitToNetwork(std::move(packet));
     return;
   }
   // Network-side ingress: the packet classifier decides (LaKe's classifier,
-  // and the one this paper adds to Emu DNS, §3.3).
+  // and the one this paper adds to Emu DNS, §3.3). Ingress is counted even
+  // after engine death so the rate signal the orchestrator re-places on
+  // survives the fault.
   if (app_ != nullptr && app_->Matches(packet)) {
     app_ingress_.Increment();
     app_ingress_rate_.RecordEvent(sim_.Now());
   }
   if (app_active_ && app_ != nullptr && app_->Matches(packet)) {
+    if (engine_dead()) {
+      // Classifier still steers into the (dead) app core: the packet is
+      // lost, not silently serviced and not punted — the host placement is
+      // only authoritative again after recovery flips the classifier.
+      dead_dropped_.Increment();
+      return;
+    }
     sim_.Schedule(config_.classifier_latency,
                   [this, pkt = std::move(packet)]() mutable { AdmitToPipeline(std::move(pkt)); });
     return;
@@ -173,6 +182,10 @@ void FpgaNic::Receive(Packet packet) {
 }
 
 void FpgaNic::AdmitToPipeline(Packet packet) {
+  if (engine_dead()) {
+    dead_dropped_.Increment();
+    return;
+  }
   // Pick the worker that frees up first (input arbiter).
   const SimTime now = sim_.Now();
   Worker* best = nullptr;
@@ -193,6 +206,12 @@ void FpgaNic::AdmitToPipeline(Packet packet) {
   best->busy_until = start + pipeline_.worker_service;
   const SimTime done = start + pipeline_.worker_service + pipeline_.pipeline_latency;
   sim_.ScheduleAt(done, [this, pkt = std::move(packet)]() mutable {
+    if (engine_dead()) {
+      // The engine died while this packet sat in the pipeline: the scheduled
+      // completion must not run app code against dead hardware.
+      dead_dropped_.Increment();
+      return;
+    }
     hw_processed_.Increment();
     processed_rate_.RecordEvent(sim_.Now());
     app_->HandlePacket(*this, std::move(pkt));
@@ -242,7 +261,7 @@ double FpgaNic::Utilization() const {
 
 double FpgaNic::PowerWatts() const {
   double dc = ledger_.PowerWatts();
-  if (app_ != nullptr && app_active_) {
+  if (app_ != nullptr && app_active_ && !engine_dead()) {
     dc += profile_.dynamic_watts_at_capacity * Utilization();
   }
   if (config_.standalone) {

@@ -111,6 +111,9 @@ class FpgaNic : public PacketSink,
   }
   double OffloadPowerWatts() const override { return PowerWatts(); }
   double OffloadCapacityPps() const override { return CapacityPps(); }
+  // Packets (and pipeline completions) discarded because the app engine was
+  // killed by a fault. The shell keeps forwarding — only app work dies.
+  uint64_t dead_dropped() const override { return dead_dropped_.value(); }
 
   // --- Data path ---
   void Receive(Packet packet) override;
@@ -176,6 +179,7 @@ class FpgaNic : public PacketSink,
   Counter hw_processed_;
   Counter to_host_;
   Counter dropped_;
+  Counter dead_dropped_;
 };
 
 }  // namespace incod

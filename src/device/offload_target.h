@@ -74,6 +74,24 @@ class OffloadTarget {
   virtual double OffloadPowerWatts() const = 0;
   // Packets/second the offloaded app can absorb (0: unknown/unbounded).
   virtual double OffloadCapacityPps() const = 0;
+
+  // --- Fault surface ---
+  // Kills the offload engine mid-service: the device stops processing app
+  // traffic (matching packets and already-admitted pipeline work are dropped
+  // and counted, never serviced) until recovery logic re-places the app
+  // elsewhere. Pass-through forwarding may survive where the silicon
+  // separates the two (an FPGA shell keeps forwarding; a switch keeps
+  // routing). Irreversible within a run — recovery means re-placement, not
+  // resurrection.
+  virtual void KillEngine() { engine_dead_ = true; }
+  // Heartbeat signal the failure detector polls.
+  virtual bool TargetAlive() const { return !engine_dead_; }
+  bool engine_dead() const { return engine_dead_; }
+  // Packets/completions dropped because the engine was dead.
+  virtual uint64_t dead_dropped() const { return 0; }
+
+ protected:
+  bool engine_dead_ = false;
 };
 
 }  // namespace incod

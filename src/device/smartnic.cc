@@ -182,7 +182,7 @@ void SmartNic::Receive(Packet packet) {
   if (packet.src == config_.host_node) {
     // Host egress: active apps observe their protocol on the way out
     // (LaKe-style fill from host replies after a miss).
-    if (app_active_) {
+    if (app_active_ && !engine_dead()) {
       for (HostedApp& hosted : apps_) {
         if (hosted.app->Matches(packet)) {
           hosted.app->OnHostEgress(*this, packet);
@@ -198,6 +198,12 @@ void SmartNic::Receive(Packet packet) {
       app_ingress_.Increment();
       app_ingress_rate_.RecordEvent(sim_.Now());
       if (app_active_ && !engine_power_gated_) {
+        if (engine_dead()) {
+          // The engine died with the classifier still steering into it:
+          // claimed traffic is lost until recovery re-places the app.
+          dead_dropped_.Increment();
+          return;
+        }
         AdmitToEngine(static_cast<size_t>(claimed), std::move(packet));
         return;
       }
@@ -215,6 +221,10 @@ void SmartNic::Receive(Packet packet) {
     DeliverToHost(std::move(packet));
     return;
   }
+  if (engine_dead()) {
+    dead_dropped_.Increment();
+    return;
+  }
   // Legacy handler firmware runs at the preset's full peak rate.
   const SimDuration service = static_cast<SimDuration>(1e9 / (preset_.peak_mpps * 1e6));
   const std::optional<SimTime> done = ReserveEngineSlot(service);
@@ -222,6 +232,10 @@ void SmartNic::Receive(Packet packet) {
     return;
   }
   auto process = [this, pkt = std::move(packet)]() mutable {
+    if (engine_dead()) {
+      dead_dropped_.Increment();
+      return;
+    }
     processed_.Increment();
     processed_rate_.RecordEvent(sim_.Now());
     auto reply = handler_(pkt);
@@ -260,6 +274,12 @@ void SmartNic::AdmitToEngine(size_t app_index, Packet packet) {
     return;
   }
   auto process = [this, app_index, pkt = std::move(packet)]() mutable {
+    if (engine_dead()) {
+      // Killed while this packet sat in the engine queue: the scheduled
+      // completion must not run firmware on dead hardware.
+      dead_dropped_.Increment();
+      return;
+    }
     processed_.Increment();
     processed_rate_.RecordEvent(sim_.Now());
     apps_[app_index].app->HandlePacket(*this, std::move(pkt));
@@ -317,6 +337,10 @@ double SmartNic::OffloadCapacityPps() const {
 
 double SmartNic::PowerWatts() const {
   const double engine_idle = preset_.idle_watts * config_.offload_engine_fraction;
+  if (engine_dead()) {
+    // A dead engine draws nothing beyond the base NIC datapath.
+    return preset_.idle_watts - engine_idle;
+  }
   if (app_active_) {
     return preset_.idle_watts + (preset_.max_watts - preset_.idle_watts) * Utilization();
   }

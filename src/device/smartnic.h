@@ -145,6 +145,9 @@ class SmartNic : public PacketSink,
   double ProcessedRatePerSecond() const override;
   double OffloadPowerWatts() const override { return PowerWatts(); }
   double OffloadCapacityPps() const override;
+  // Packets (and engine completions) discarded because the offload engine
+  // was killed by a fault. The base NIC datapath keeps forwarding.
+  uint64_t dead_dropped() const override { return dead_dropped_.value(); }
 
   // --- Power ---
   // idle + (max - idle) * utilization while serving; parked savings depend
@@ -196,6 +199,7 @@ class SmartNic : public PacketSink,
   Counter processed_;
   Counter to_host_;
   Counter dropped_;
+  Counter dead_dropped_;
 };
 
 }  // namespace incod

@@ -22,12 +22,21 @@ void SwitchOffloadTarget::SetAppActive(bool active) {
   if (active == active_) {
     return;
   }
+  if (active && engine_dead()) {
+    // Recovery must re-place elsewhere; a killed pipeline slot stays dead.
+    return;
+  }
   if (active) {
     asic_.LoadProgram(&program_);
   } else {
     asic_.UnloadProgram(program_.ProgramName());
   }
   active_ = active;
+}
+
+void SwitchOffloadTarget::KillEngine() {
+  SetAppActive(false);
+  OffloadTarget::KillEngine();
 }
 
 double SwitchOffloadTarget::AppIngressRatePerSecond() const {

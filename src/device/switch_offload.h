@@ -34,6 +34,12 @@ class SwitchOffloadTarget : public OffloadTarget {
   void SetAppActive(bool active) override;
   bool app_active() const override { return active_; }
 
+  // A pipeline program cannot half-die: killing the "engine" unloads it, so
+  // matching traffic immediately falls through to the normal route toward
+  // the host placement instead of being serviced by dead match-action
+  // stages. The switch itself keeps forwarding.
+  void KillEngine() override;
+
   double AppIngressRatePerSecond() const override;
   uint64_t app_ingress_packets() const override;
   double ProcessedRatePerSecond() const override;

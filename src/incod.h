@@ -52,6 +52,9 @@
 #include "src/host/server.h"
 #include "src/host/software_app.h"
 
+// Fault injection.
+#include "src/fault/fault_injector.h"
+
 // Applications.
 #include "src/dns/dns_message.h"
 #include "src/dns/emu_dns.h"

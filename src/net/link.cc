@@ -72,6 +72,12 @@ void Link::Send(const PacketSink* from, Packet packet) {
     throw std::invalid_argument("Link::Send: sender not connected to " + name_);
   }
   Direction& d = dir_[index];
+  if (d.tx_down) {
+    // Cable is down at the sender: refuse the packet at the NIC, like a
+    // carrier-loss TX error. Counted separately from queue-overflow drops.
+    ++d.dropped_down_tx;
+    return;
+  }
   Simulation& drive = DriveSim(d);
   const SimTime now = drive.Now();
   if (d.cross) {
@@ -129,6 +135,14 @@ void Link::Send(const PacketSink* from, Packet packet) {
 void Link::CompleteCrossDelivery(int dir, Packet pkt) {
   // Runs in the receiver's shard; the sender never touches these fields.
   Direction& d = dir_[dir];
+  if (d.rx_down) {
+    ++d.dropped_down_rx;
+    return;
+  }
+  if (!d.to->alive()) {
+    ++d.dropped_dead;
+    return;
+  }
   ++d.delivered;
   d.to->Receive(std::move(pkt));
 }
@@ -139,11 +153,48 @@ void Link::CompleteDelivery(int dir) {
   do {
     Packet pkt = std::move(d.in_flight.front().pkt);
     d.in_flight.pop_front();
-    ++d.delivered;
-    d.to->Receive(std::move(pkt));
+    if (d.rx_down) {
+      // The cable went down while this packet was in flight: lost on the
+      // wire, never handed to the sink.
+      ++d.dropped_down_rx;
+    } else if (!d.to->alive()) {
+      // The receiving node died: the frame arrives at a dead port and is
+      // dropped, not silently serviced.
+      ++d.dropped_dead;
+    } else {
+      ++d.delivered;
+      d.to->Receive(std::move(pkt));
+    }
   } while (config_.coalesce_same_tick_delivery && !d.in_flight.empty() &&
            d.in_flight.front().deliver_at == tick);
 }
+
+Simulation& Link::RxSim(const Direction& d) {
+  // Receiver-side state (rx_down and the dead/rx-drop counters) is owned by
+  // the destination shard for cross-shard directions.
+  if (d.cross) {
+    return sharded_->shard(d.dst_shard);
+  }
+  return DriveSim(d);
+}
+
+void Link::ScheduleAdmin(SimTime at, bool down) {
+  if (ends_[0] == nullptr || ends_[1] == nullptr) {
+    throw std::logic_error("Link: schedule down/up before Connect on " + name_);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Direction& d = dir_[i];
+    // Two flips per direction: the TX flag in the sender's sim, the RX flag
+    // in the receiver's — each shard only ever mutates state it owns. Both
+    // are plain events, so engine modes stay event-identical.
+    DriveSim(d).ScheduleAt(at, [&d, down] { d.tx_down = down; });
+    RxSim(d).ScheduleAt(at, [&d, down] { d.rx_down = down; });
+  }
+}
+
+void Link::ScheduleDown(SimTime at) { ScheduleAdmin(at, true); }
+
+void Link::ScheduleUp(SimTime at) { ScheduleAdmin(at, false); }
 
 uint64_t Link::delivered(const PacketSink* toward) const {
   return dir_[IndexToward(toward)].delivered;
@@ -151,6 +202,19 @@ uint64_t Link::delivered(const PacketSink* toward) const {
 
 uint64_t Link::dropped(const PacketSink* toward) const {
   return dir_[IndexToward(toward)].dropped;
+}
+
+bool Link::link_down(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].tx_down;
+}
+
+uint64_t Link::dropped_link_down(const PacketSink* toward) const {
+  const Direction& d = dir_[IndexToward(toward)];
+  return d.dropped_down_tx + d.dropped_down_rx;
+}
+
+uint64_t Link::dropped_to_dead(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].dropped_dead;
 }
 
 size_t Link::in_flight(const PacketSink* toward) const {

@@ -63,9 +63,26 @@ class Link {
   // being serialized occupies the transmitter, not the queue.
   void Send(const PacketSink* from, Packet packet);
 
+  // Fault layer: takes the cable down / brings it back up at `at`, in both
+  // directions. While down, new sends are refused at the sender and packets
+  // already in flight are dropped at their delivery tick; both are counted
+  // in dropped_link_down. The flips are ordinary scheduled events (one per
+  // direction endpoint, in the shard that owns that side's state), so
+  // single-queue and sharded runs stay event-identical. Setup-time API:
+  // call before the simulation runs, with a future `at`.
+  void ScheduleDown(SimTime at);
+  void ScheduleUp(SimTime at);
+
   uint64_t delivered(const PacketSink* toward) const;
   uint64_t dropped(const PacketSink* toward) const;
   uint64_t total_dropped() const { return dir_[0].dropped + dir_[1].dropped; }
+  // Whether the direction toward the given endpoint currently refuses sends.
+  bool link_down(const PacketSink* toward) const;
+  // Packets refused or dropped because the link was down (send-side refusals
+  // plus in-flight packets whose delivery tick fell inside a down window).
+  uint64_t dropped_link_down(const PacketSink* toward) const;
+  // Packets dropped at delivery because the receiving sink was dead.
+  uint64_t dropped_to_dead(const PacketSink* toward) const;
   // Packets accepted but not yet delivered (in service, queued, or on the
   // wire) toward the given endpoint.
   size_t in_flight(const PacketSink* toward) const;
@@ -85,6 +102,14 @@ class Link {
     std::deque<InFlight> in_flight;  // FIFO; delivery events pop the front.
     uint64_t delivered = 0;
     uint64_t dropped = 0;
+    // Fault state. tx_down lives sender-side (checked in Send), rx_down
+    // receiver-side (checked at delivery) — split so cross-shard flips only
+    // ever touch state owned by the shard the flip event runs in.
+    bool tx_down = false;
+    bool rx_down = false;
+    uint64_t dropped_down_tx = 0;  // Sends refused while down (sender-side).
+    uint64_t dropped_down_rx = 0;  // In-flight dropped at delivery (receiver-side).
+    uint64_t dropped_dead = 0;     // Delivery suppressed: sink not alive().
     // Shard routing (BindShards). `drive` is the sender-side Simulation for
     // this direction; null means the construction-time sim_ (unsharded).
     Simulation* drive = nullptr;
@@ -116,6 +141,8 @@ class Link {
   int IndexToward(const PacketSink* to) const;
   void CompleteDelivery(int dir);
   void CompleteCrossDelivery(int dir, Packet pkt);
+  void ScheduleAdmin(SimTime at, bool down);
+  Simulation& RxSim(const Direction& d);
   Simulation& DriveSim(const Direction& d) { return d.drive != nullptr ? *d.drive : sim_; }
 
   Simulation& sim_;

@@ -59,6 +59,16 @@ class PacketSink {
 
   // Diagnostic name.
   virtual std::string SinkName() const = 0;
+
+  // Whole-node liveness. A dead sink must not service traffic: links check
+  // alive() at delivery time and drop (counted) instead of calling Receive.
+  // The fault layer flips this via SetAlive; overridable so composite
+  // devices can cascade (e.g. also halt their offload engine).
+  bool alive() const { return alive_; }
+  virtual void SetAlive(bool alive) { alive_ = alive; }
+
+ private:
+  bool alive_ = true;
 };
 
 // Payload accessor with a clear failure mode: throws std::bad_variant_access

@@ -4,6 +4,15 @@
 
 namespace incod {
 
+Link* Topology::FindLink(const std::string& name) const {
+  for (const auto& link : links_) {
+    if (link->name() == name) {
+      return link.get();
+    }
+  }
+  return nullptr;
+}
+
 int Topology::ShardOf(const PacketSink* sink) const {
   const auto it = shard_of_.find(sink);
   return it != shard_of_.end() ? it->second : default_shard_;

@@ -48,6 +48,10 @@ class Topology {
   Link* ConnectToSwitch(L2Switch* sw, PacketSink* sink, NodeId node,
                         Link::Config config = {}, std::string name = "");
 
+  // Looks a link up by the name passed to Connect (first match); nullptr when
+  // absent. Lets fault plans target links declaratively.
+  Link* FindLink(const std::string& name) const;
+
   size_t num_links() const { return links_.size(); }
 
  private:

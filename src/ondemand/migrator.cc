@@ -136,6 +136,36 @@ void StateTransferMigrator::ShiftToHost() {
   RecordTransition(sim_.Now(), Placement::kHost);
 }
 
+void StateTransferMigrator::AbandonToHost() {
+  if (placement() == Placement::kHost) {
+    return;
+  }
+  // No TransferTo: the offload placement is dead, its state unreachable.
+  offload_served_ = false;
+  target_.SetReprogramming(false);
+  target_.SetAppActive(false);
+  ApplyParkedState();
+  RecordTransition(sim_.Now(), Placement::kHost);
+}
+
+std::optional<AppState> StateTransferMigrator::CheckpointOffloadState() const {
+  if (offload_app_ == nullptr || !offload_served_ ||
+      placement() != Placement::kNetwork) {
+    return std::nullopt;
+  }
+  return offload_app_->SnapshotState();
+}
+
+void StateTransferMigrator::RestoreCheckpointTo(Placement to, AppState state) {
+  App* dst = to == Placement::kNetwork ? offload_app_ : host_app_;
+  if (dst == nullptr) {
+    return;
+  }
+  MutateStateForTransfer(state, to);
+  dst->RestoreState(state);
+  ++checkpoint_restores_;
+}
+
 PaxosLeaderMigrator::PaxosLeaderMigrator(Simulation& sim, L2Switch& sw,
                                          NodeId leader_service,
                                          SoftwareLeader& software_leader,
@@ -225,6 +255,24 @@ void PaxosLeaderMigrator::ArmLearningTimeout(Placement for_placement) {
           software_leader_.state().AbandonSequenceLearning());
     }
   });
+}
+
+void PaxosLeaderMigrator::AbandonToHost() {
+  if (placement() == Placement::kHost) {
+    return;
+  }
+  // The dead hardware leader's ballot/sequence are gone: the software leader
+  // always restarts from a fresh higher ballot, whatever the transfer knob
+  // says. A checkpoint restore (RestoreCheckpointTo) may follow — its
+  // RestoreFrom cancels the learning and MutateStateForTransfer bumps the
+  // ballot above this Reset's.
+  ++ballot_;
+  software_leader_.state().Reset(ballot_);
+  StateTransferMigrator::AbandonToHost();
+  software_leader_.SetActive(true);
+  RepointService(software_port_);
+  software_leader_.BeginSequenceLearning(leader_options_.active_probe);
+  ArmLearningTimeout(Placement::kHost);
 }
 
 void PaxosLeaderMigrator::ShiftToHost() {

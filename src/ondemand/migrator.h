@@ -16,6 +16,7 @@
 #ifndef INCOD_SRC_ONDEMAND_MIGRATOR_H_
 #define INCOD_SRC_ONDEMAND_MIGRATOR_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,23 @@ class StateTransferMigrator : public Migrator {
   void ShiftToHost() override;
   std::string MigratorName() const override;
 
+  // Crash-recovery surface. AbandonToHost is ShiftToHost minus the state
+  // transfer: the offload placement is dead, so nothing can be snapshotted
+  // out of it — the classifier flips home and the park state is applied, but
+  // the host app keeps whatever it had (or gets a checkpoint restored
+  // separately). Safe on a killed target: only classifier/park setters run.
+  virtual void AbandonToHost();
+  // Snapshot of the *offload* placement's typed state, for periodic
+  // checkpointing to the home host. Empty unless the app is offloaded and
+  // has actually served there (mid-reprogram snapshots would be empty-state).
+  std::optional<AppState> CheckpointOffloadState() const;
+  // Installs a previously-taken checkpoint into the given placement's app,
+  // running the same MutateStateForTransfer hook a live transfer would (the
+  // Paxos ballot bump applies to restores too).
+  void RestoreCheckpointTo(Placement to, AppState state);
+  bool offload_served() const { return offload_served_; }
+  uint64_t checkpoint_restores() const { return checkpoint_restores_; }
+
   const Options& options() const { return options_; }
   // Warm/cold knob for subsequent shifts: on, every shift carries the typed
   // AppState snapshot; off, the paper's classifier-flip (caches re-warm).
@@ -137,6 +155,7 @@ class StateTransferMigrator : public Migrator {
   // back before activation (mid-reprogram) must not transfer its state.
   bool offload_served_ = false;
   uint64_t state_transfers_ = 0;
+  uint64_t checkpoint_restores_ = 0;
 };
 
 // KVS / DNS migrator: the classifier-flip configuration of the generic
@@ -193,6 +212,10 @@ class PaxosLeaderMigrator : public StateTransferMigrator {
 
   void ShiftToNetwork() override;
   void ShiftToHost() override;
+  // Failover: the hardware leader died, so there is no outgoing state to
+  // carry — the software leader Reset()s to a fresh higher ballot and
+  // re-learns (or a checkpoint restore follows and supersedes the learning).
+  void AbandonToHost() override;
   std::string MigratorName() const override { return "paxos-leader"; }
 
   // Keeps the leader-election options in lockstep with the generic core's

@@ -71,7 +71,7 @@ size_t RackOrchestrator::AddApp(RackAppSpec spec) {
       throw std::invalid_argument("RackOrchestrator: incomplete placement option");
     }
   }
-  AppState state;
+  ManagedApp state;
   state.spec = std::move(spec);
   apps_.push_back(std::move(state));
   return apps_.size() - 1;
@@ -96,10 +96,37 @@ void RackOrchestrator::Start() {
     Sample();
     return true;
   });
+  if (config_.heartbeat_period > 0) {
+    SchedulePeriodic(sim_, config_.heartbeat_period, config_.heartbeat_period, [this] {
+      if (stopped_) {
+        return false;
+      }
+      Heartbeat();
+      return true;
+    });
+  }
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    const SimDuration period = CheckpointPeriodFor(apps_[i]);
+    if (period <= 0) {
+      continue;
+    }
+    SchedulePeriodic(sim_, period, period, [this, i] {
+      if (stopped_) {
+        return false;
+      }
+      CheckpointApp(apps_[i]);
+      return true;
+    });
+  }
+}
+
+SimDuration RackOrchestrator::CheckpointPeriodFor(const ManagedApp& app) const {
+  return app.spec.checkpoint_period >= 0 ? app.spec.checkpoint_period
+                                         : config_.checkpoint_period;
 }
 
 const RackPlacementOption* RackOrchestrator::current_option(size_t index) const {
-  const AppState& app = apps_.at(index);
+  const ManagedApp& app = apps_.at(index);
   if (app.active_option < 0) {
     return nullptr;
   }
@@ -150,9 +177,12 @@ void RackOrchestrator::Sample() {
   offloaded_series_.Append(now, static_cast<double>(offloaded));
 }
 
-bool RackOrchestrator::OptionEligible(const AppState& app,
+bool RackOrchestrator::OptionEligible(const ManagedApp& app,
                                       const RackPlacementOption& option,
                                       double rate, bool is_current) const {
+  if (!option.target->TargetAlive()) {
+    return false;  // Dead silicon cannot host anything.
+  }
   if (!is_current && option.target->reprogramming()) {
     return false;  // Mid-reconfiguration: the data path is halted.
   }
@@ -182,10 +212,18 @@ double RackOrchestrator::PredictOptionWatts(const RackPlacementOption& option,
   return watts;
 }
 
-void RackOrchestrator::DecideForApp(AppState& app) {
+void RackOrchestrator::DecideForApp(ManagedApp& app) {
   ++decisions_;
   const SimTime now = sim_.Now();
   if (now - app.last_shift < config_.min_dwell) {
+    return;
+  }
+  // A dead current placement belongs to the failure detector: recovery must
+  // abandon (never snapshot state out of dead hardware), so an economics
+  // tick that would ShiftToHost has to stand aside until the heartbeat
+  // declares the target failed.
+  if (app.active_option >= 0 &&
+      !app.spec.options[static_cast<size_t>(app.active_option)].target->TargetAlive()) {
     return;
   }
   // Park while the app's own target reprograms: the shift we started is
@@ -252,15 +290,7 @@ void RackOrchestrator::DecideForApp(AppState& app) {
     ++shifts_to_target_[option.target];
     count_shift(RackDecisionRecord::Kind::kShift, option.target->TargetName());
   };
-  auto go_home = [&](RackPlacementOption& from) {
-    apply_policy(*from.migrator);
-    from.migrator->ShiftToHost();
-    ledger_.Release(LedgerKey(app));
-    app.active_option = -1;
-    app.committed_rate_pps = 0;
-    app.last_shift = now;
-    count_shift(RackDecisionRecord::Kind::kShiftHome, std::string());
-  };
+  auto go_home = [&]() { ShiftAppHome(app, /*abandon=*/false); };
 
   if (app.active_option < 0) {
     // On host: offload if the best target saves enough and the shared
@@ -280,7 +310,7 @@ void RackOrchestrator::DecideForApp(AppState& app) {
   const double current_watts = current.network_watts(rate);
   const bool over_capacity = !OptionEligible(app, current, rate, /*is_current=*/true);
   if (over_capacity || software + config_.min_saving_watts < current_watts) {
-    go_home(current);
+    go_home();
     return;
   }
   // A strictly cheaper eligible target may have freed up since placement:
@@ -301,10 +331,194 @@ void RackOrchestrator::DecideForApp(AppState& app) {
   // Keep the ledger tracking the rate actually served (budget re-check: a
   // risen rate may no longer fit the shared headroom — if so, go home).
   if (!ledger_.TryCommit(LedgerKey(app), commit_watts(app.active_option))) {
-    go_home(current);
+    go_home();
     return;
   }
   app.committed_rate_pps = rate;
+}
+
+void RackOrchestrator::ShiftAppHome(ManagedApp& app, bool abandon) {
+  if (app.active_option < 0) {
+    return;
+  }
+  const SimTime now = sim_.Now();
+  auto& option = app.spec.options[static_cast<size_t>(app.active_option)];
+  option.migrator->SetTransferState(app.spec.warm_migration);
+  if (abandon) {
+    option.migrator->AbandonToHost();
+  } else {
+    option.migrator->ShiftToHost();
+  }
+  ledger_.Release(LedgerKey(app));
+  app.active_option = -1;
+  app.committed_rate_pps = 0;
+  app.last_shift = now;
+  ++total_shifts_;
+  if (app.spec.warm_migration) {
+    ++warm_shifts_;
+  }
+  decision_log_.push_back(RackDecisionRecord{RackDecisionRecord::Kind::kShiftHome,
+                                             now, app.spec.name, std::string(),
+                                             app.spec.warm_migration});
+}
+
+void RackOrchestrator::ForcePlacement(size_t app_index, int option_index) {
+  ManagedApp& app = apps_.at(app_index);
+  if (option_index < 0 ||
+      static_cast<size_t>(option_index) >= app.spec.options.size()) {
+    throw std::invalid_argument("RackOrchestrator: bad option index for " +
+                                app.spec.name);
+  }
+  if (app.active_option == option_index) {
+    return;
+  }
+  if (app.active_option >= 0) {
+    ShiftAppHome(app, /*abandon=*/false);
+  }
+  const SimTime now = sim_.Now();
+  auto& option = app.spec.options[static_cast<size_t>(option_index)];
+  const double rate = app.spec.measured_rate_pps();
+  const double commit =
+      std::max(0.0, option.network_watts(rate) - app.spec.software_watts(0));
+  if (!ledger_.TryCommit(LedgerKey(app), commit)) {
+    throw std::logic_error("RackOrchestrator: ForcePlacement of " + app.spec.name +
+                           " does not fit the power budget");
+  }
+  option.migrator->SetTransferState(app.spec.warm_migration);
+  option.migrator->ShiftToNetwork();
+  app.active_option = option_index;
+  app.committed_rate_pps = rate;
+  app.last_shift = now;
+  ++shifts_to_target_[option.target];
+  ++total_shifts_;
+  if (app.spec.warm_migration) {
+    ++warm_shifts_;
+  }
+  decision_log_.push_back(RackDecisionRecord{RackDecisionRecord::Kind::kShift, now,
+                                             app.spec.name,
+                                             option.target->TargetName(),
+                                             app.spec.warm_migration});
+}
+
+void RackOrchestrator::CheckpointApp(ManagedApp& app) {
+  if (app.active_option < 0) {
+    return;  // At home: the host copy *is* the state; nothing to snapshot.
+  }
+  auto& option = app.spec.options[static_cast<size_t>(app.active_option)];
+  if (!option.target->TargetAlive()) {
+    return;  // Cannot snapshot dead hardware; keep the previous checkpoint.
+  }
+  std::optional<AppState> state = option.migrator->CheckpointOffloadState();
+  if (!state.has_value()) {
+    return;  // Not serving yet (e.g. mid-reprogram): nothing meaningful.
+  }
+  app.latest_checkpoint = std::move(*state);
+  app.checkpoint_at = sim_.Now();
+  ++checkpoints_taken_;
+}
+
+void RackOrchestrator::Heartbeat() {
+  // Poll every distinct target referenced by any app's options; declare a
+  // target failed after `failure_threshold` consecutive missed heartbeats.
+  std::set<OffloadTarget*> polled;
+  for (auto& app : apps_) {
+    for (auto& option : app.spec.options) {
+      polled.insert(option.target);
+    }
+  }
+  for (OffloadTarget* target : polled) {
+    if (failed_targets_.count(target) != 0) {
+      continue;  // Already declared; recovery ran.
+    }
+    if (target->TargetAlive()) {
+      heartbeat_misses_[target] = 0;
+      continue;
+    }
+    if (++heartbeat_misses_[target] >= config_.failure_threshold) {
+      DeclareTargetFailed(target);
+    }
+  }
+}
+
+void RackOrchestrator::DeclareTargetFailed(OffloadTarget* target) {
+  failed_targets_.insert(target);
+  ++failures_detected_;
+  decision_log_.push_back(RackDecisionRecord{RackDecisionRecord::Kind::kFailure,
+                                             sim_.Now(), std::string(),
+                                             target->TargetName(), false});
+  for (auto& app : apps_) {
+    if (app.active_option >= 0 &&
+        app.spec.options[static_cast<size_t>(app.active_option)].target == target) {
+      RecoverApp(app);
+    }
+  }
+}
+
+void RackOrchestrator::RecoverApp(ManagedApp& app) {
+  const SimTime now = sim_.Now();
+  auto& failed = app.spec.options[static_cast<size_t>(app.active_option)];
+  // Abandon, never shift: a shift home would snapshot the dead placement's
+  // state. The classifier flips home, the ledger commitment is released.
+  failed.migrator->AbandonToHost();
+  ledger_.Release(LedgerKey(app));
+  app.active_option = -1;
+  app.committed_rate_pps = 0;
+  const bool warm = app.checkpoint_at >= 0;
+  if (warm && app.spec.restore_checkpoint_to_home) {
+    // The host copy is stale by design (e.g. a Paxos leader's ballot and
+    // sequence live wherever the leader last ran): install the checkpoint
+    // before the host placement resumes service.
+    failed.migrator->RestoreCheckpointTo(Placement::kHost, app.latest_checkpoint);
+  }
+  // Re-run the greedy placement pass immediately, dwell-exempt: the fault
+  // already cost the app its placement, waiting out min_dwell would only
+  // stretch the outage.
+  app.last_shift = now - config_.min_dwell;
+  DecideForApp(app);
+  std::string landed;
+  if (app.active_option >= 0) {
+    auto& option = app.spec.options[static_cast<size_t>(app.active_option)];
+    landed = option.target->TargetName();
+    if (warm && !app.spec.warm_migration) {
+      // The cold-policy shift carried no state: warm-start the surviving
+      // placement from the checkpoint (the whole point of taking them).
+      option.migrator->RestoreCheckpointTo(Placement::kNetwork,
+                                           app.latest_checkpoint);
+    }
+  }
+  ++recoveries_;
+  decision_log_.push_back(RackDecisionRecord{RackDecisionRecord::Kind::kRecovery,
+                                             now, app.spec.name, landed, warm});
+}
+
+void RackOrchestrator::ApplyPowerCap(double watts) {
+  ledger_.SetBudgetWatts(watts);
+  if (ledger_.unlimited()) {
+    return;
+  }
+  // Restore the invariant committed <= budget immediately: evict the
+  // largest commitments first (fewest victims).
+  while (ledger_.committed_watts() > ledger_.budget_watts()) {
+    ManagedApp* victim = nullptr;
+    double victim_watts = -1;
+    for (auto& app : apps_) {
+      if (app.active_option < 0) {
+        continue;
+      }
+      const auto it = ledger_.commitments().find(LedgerKey(app));
+      const double committed = it != ledger_.commitments().end() ? it->second : 0;
+      if (committed > victim_watts) {
+        victim = &app;
+        victim_watts = committed;
+      }
+    }
+    if (victim == nullptr) {
+      break;  // Nothing left to evict; the budget is simply lower now.
+    }
+    const auto& option =
+        victim->spec.options[static_cast<size_t>(victim->active_option)];
+    ShiftAppHome(*victim, /*abandon=*/!option.target->TargetAlive());
+  }
 }
 
 }  // namespace incod

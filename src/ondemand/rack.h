@@ -17,9 +17,11 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/app/app_state.h"
 #include "src/device/offload_target.h"
 #include "src/ondemand/energy_advisor.h"
 #include "src/ondemand/migrator.h"
@@ -41,6 +43,10 @@ class RackPowerLedger {
   // budget would be exceeded.
   bool TryCommit(const std::string& key, double watts);
   void Release(const std::string& key);
+
+  // PSU brownout: steps the budget (existing commitments may now exceed it;
+  // the orchestrator's ApplyPowerCap evicts until the invariant holds again).
+  void SetBudgetWatts(double watts) { budget_ = watts; }
 
   double budget_watts() const { return budget_; }
   bool unlimited() const { return budget_ <= 0; }
@@ -87,6 +93,15 @@ struct RackAppSpec {
   // no Fig 6/7 transition gap). Cold (default): the paper's behaviour —
   // classifier flip only, state re-warms/re-learns after each shift.
   bool warm_migration = false;
+  // Checkpoint cadence for this app while offloaded (< 0: inherit the
+  // orchestrator config's checkpoint_period; 0: never checkpoint).
+  SimDuration checkpoint_period = -1;
+  // On crash recovery, also restore the latest checkpoint into the *host*
+  // placement before re-deciding. Right when the host copy is not
+  // authoritative (a Paxos leader's ballot/sequence live only where the
+  // leader last ran); wrong for caches whose host store is the source of
+  // truth (restoring a stale LRU over memcached would lose writes).
+  bool restore_checkpoint_to_home = false;
 };
 
 // One entry of the orchestrator's decision log: every performed shift and
@@ -94,7 +109,11 @@ struct RackAppSpec {
 // the aggregate counters (total_shifts, warm_shifts, reprogram_deferrals)
 // must reconcile against — tested exhaustively by the rack property suite.
 struct RackDecisionRecord {
-  enum class Kind { kShift, kShiftHome, kDeferral };
+  // kFailure: the heartbeat detector declared a target dead (app empty,
+  // target = the dead target). kRecovery: a victim app finished its
+  // recovery pass (target = where it landed, empty for the host; warm = a
+  // checkpoint was available to restore from).
+  enum class Kind { kShift, kShiftHome, kDeferral, kFailure, kRecovery };
   Kind kind = Kind::kShift;
   SimTime at = 0;
   std::string app;
@@ -115,6 +134,14 @@ struct RackOrchestratorConfig {
   SimDuration min_dwell = Seconds(1);
   // Power/commitment timeseries cadence.
   SimDuration sample_period = Milliseconds(100);
+  // Failure detector: poll every target's TargetAlive() at this cadence
+  // (0: detector off); declare a target failed after this many consecutive
+  // missed heartbeats and warm-restore its victims.
+  SimDuration heartbeat_period = 0;
+  int failure_threshold = 2;
+  // Default checkpoint cadence for offloaded apps (0: off); RackAppSpec
+  // overrides per app.
+  SimDuration checkpoint_period = 0;
 };
 
 class RackOrchestrator {
@@ -127,6 +154,18 @@ class RackOrchestrator {
 
   void Start();
   void Stop() { stopped_ = true; }
+
+  // Places an app on one of its options regardless of economics (benches
+  // and failure drills: put the app where the fault will strike). Goes
+  // through the same migrator/ledger machinery as a decided shift and is
+  // logged as one; throws if the ledger cannot absorb the commitment.
+  void ForcePlacement(size_t app_index, int option_index);
+
+  // PSU brownout step: re-bases the shared budget and, when the committed
+  // watts now exceed it, shifts the largest-commitment apps home until the
+  // ledger invariant (committed <= budget) holds again. Victims on dead
+  // targets are abandoned (no state transfer out of dead hardware).
+  void ApplyPowerCap(double watts);
 
   // --- Introspection ---
   const RackPowerLedger& ledger() const { return ledger_; }
@@ -143,6 +182,15 @@ class RackOrchestrator {
   // app stays parked until its reconfiguration completes).
   uint64_t reprogram_deferrals() const { return reprogram_deferrals_; }
   uint64_t decisions_evaluated() const { return decisions_; }
+  // Crash-recovery counters, reconciled against the decision log's
+  // kFailure/kRecovery records by the property suite.
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t failures_detected() const { return failures_detected_; }
+  uint64_t recoveries() const { return recoveries_; }
+  // Checkpoint staleness surface: when the app's latest snapshot was taken
+  // (-1: none yet).
+  bool has_checkpoint(size_t index) const { return apps_.at(index).checkpoint_at >= 0; }
+  SimTime last_checkpoint_at(size_t index) const { return apps_.at(index).checkpoint_at; }
   // Audit trail of shifts and deferrals, in decision order.
   const std::vector<RackDecisionRecord>& decision_log() const { return decision_log_; }
   // Rate a target is currently committed to absorb (capacity accounting).
@@ -155,30 +203,46 @@ class RackOrchestrator {
   const TimeSeries& offloaded_apps_series() const { return offloaded_series_; }
 
  private:
-  struct AppState {
+  // Renamed from the historical nested AppState: `latest_checkpoint` below
+  // is an incod::AppState (the typed application snapshot).
+  struct ManagedApp {
     RackAppSpec spec;
     int active_option = -1;  // Index into spec.options; -1: host placement.
     SimTime last_shift = 0;
     double committed_rate_pps = 0;
+    // Latest periodic checkpoint of the offloaded placement, held "at the
+    // home host" for warm restore; checkpoint_at < 0 means none taken.
+    AppState latest_checkpoint;
+    SimTime checkpoint_at = -1;
   };
 
   void Tick();
   void Sample();
-  void DecideForApp(AppState& app);
+  void Heartbeat();
+  void DecideForApp(ManagedApp& app);
+  void CheckpointApp(ManagedApp& app);
+  void DeclareTargetFailed(OffloadTarget* target);
+  void RecoverApp(ManagedApp& app);
+  // Shift (or, when the placement is dead, abandon) the app back to the
+  // host, releasing its ledger commitment and logging kShiftHome.
+  void ShiftAppHome(ManagedApp& app, bool abandon);
+  SimDuration CheckpointPeriodFor(const ManagedApp& app) const;
   // `is_current` exempts the app's own placement from the mid-reprogram
   // exclusion (yanking an app home because its own reconfiguration is
   // still in flight would abort the very shift we started).
-  bool OptionEligible(const AppState& app, const RackPlacementOption& option,
+  bool OptionEligible(const ManagedApp& app, const RackPlacementOption& option,
                       double rate, bool is_current) const;
   double PredictOptionWatts(const RackPlacementOption& option, double rate) const;
-  std::string LedgerKey(const AppState& app) const { return app.spec.name; }
+  std::string LedgerKey(const ManagedApp& app) const { return app.spec.name; }
 
   Simulation& sim_;
   RackOrchestratorConfig config_;
   RackPowerLedger ledger_;
-  std::vector<AppState> apps_;
+  std::vector<ManagedApp> apps_;
   std::vector<RackDecisionRecord> decision_log_;
   std::map<const OffloadTarget*, uint64_t> shifts_to_target_;
+  std::map<const OffloadTarget*, int> heartbeat_misses_;
+  std::set<const OffloadTarget*> failed_targets_;
   TimeSeries committed_series_{"rack_committed_watts"};
   TimeSeries measured_series_{"rack_target_watts"};
   TimeSeries offloaded_series_{"rack_offloaded_apps"};
@@ -186,6 +250,9 @@ class RackOrchestrator {
   uint64_t warm_shifts_ = 0;
   uint64_t reprogram_deferrals_ = 0;
   uint64_t decisions_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t failures_detected_ = 0;
+  uint64_t recoveries_ = 0;
   bool started_ = false;
   bool stopped_ = false;
 };

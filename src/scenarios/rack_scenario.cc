@@ -46,6 +46,13 @@ ScenarioSpec MakeMixedRackSpec(const MixedRackOptions& options, const Zone* zone
     kvs.switch_routes = {kRackKvsServerNode, kRackKvsDeviceNode};
     kvs.env.memcached = options.memcached;
     kvs.env.lake = options.lake;
+    if (options.kvs_switch_placement) {
+      // Second in-network placement: a NetCache program fronting the same
+      // service in the ToR pipeline.
+      kvs.switch_app = "kvs";
+      kvs.env.netcache = options.netcache;
+      kvs.env.service = kRackKvsServerNode;
+    }
     spec.members.push_back(std::move(kvs));
   }
 
@@ -123,6 +130,7 @@ ScenarioSpec MakeMixedRackSpec(const MixedRackOptions& options, const Zone* zone
     learner.env.paxos_software = PaxosSoftwareConfig{Nanoseconds(100), 8};
     spec.members.push_back(std::move(learner));
   }
+  spec.faults = options.faults;
   return spec;
 }
 
@@ -159,6 +167,8 @@ void MixedRackScenario::ResolveMembers() {
   kvs_fpga_ = kvs.fpga;
   memcached_ = dynamic_cast<MemcachedServer*>(kvs.host_apps.front().get());
   lake_ = dynamic_cast<LakeCache*>(kvs.offload_app.get());
+  netcache_ = dynamic_cast<KvSwitchCache*>(kvs.switch_program_app.get());
+  kvs_switch_target_ = kvs.switch_target.get();
 
   ScenarioMember& dns = testbed_->member("dns");
   dns_server_ = dns.server;
@@ -188,6 +198,12 @@ void MixedRackScenario::BuildMigrators() {
   dns_migrator_ = std::make_unique<ClassifierMigrator>(
       sim_, *dns_target_, ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm),
       nsd_, dns_program_);
+  if (kvs_switch_target_ != nullptr) {
+    kvs_switch_migrator_ = std::make_unique<ClassifierMigrator>(
+        sim_, *kvs_switch_target_,
+        ClassifierMigrator::Options::FromPolicy(ParkPolicy::kKeepWarm), memcached_,
+        netcache_);
+  }
   if (options_.enable_paxos) {
     paxos_migrator_ = std::make_unique<PaxosLeaderMigrator>(
         sim_, tor(), kRackPaxosLeaderService, *software_leader_, paxos_port_,
@@ -225,12 +241,31 @@ void MixedRackScenario::RegisterApps() {
   RackAppSpec kvs;
   kvs.name = "kvs";
   kvs.warm_migration = options_.warm.kvs;
+  kvs.checkpoint_period = options_.kvs_checkpoint_period;
   auto kvs_curve = MakeServerRatePower(I7MemcachedCurve(), Microseconds(4), 4);
   kvs.software_watts = [kvs_curve](double r) { return kvs_curve(r) + 4.0; };
   kvs.measured_rate_pps = [this] { return kvs_fpga_->AppIngressRatePerSecond(); };
   kvs.options.push_back(RackPlacementOption{
       kvs_fpga_, kvs_migrator_.get(),
       MakeFpgaRatePower(kHostIdleWatts, 24.0, 1.0, 13e6), ParkPolicy::kGatedPark});
+  if (kvs_switch_target_ != nullptr) {
+    // NetCache placement: host idles while the ToR answers; the program's
+    // marginal pipeline watts ride on top (same model as the DNS program).
+    auto kvs_marginal = MakeSwitchMarginalPower(
+        netcache_->PowerOverheadAtFullLoad(), tor().asic_config().max_power_watts,
+        tor().LineRatePps());
+    RatePowerFn kvs_switch_watts = [kvs_curve, kvs_marginal](double r) {
+      return kvs_curve(0) + 4.0 + kvs_marginal(r);
+    };
+    kvs.measured_rate_pps = [this] {
+      return kvs_fpga_->AppIngressRatePerSecond() +
+             kvs_switch_target_->AppIngressRatePerSecond();
+    };
+    kvs.options.push_back(RackPlacementOption{kvs_switch_target_,
+                                              kvs_switch_migrator_.get(),
+                                              std::move(kvs_switch_watts),
+                                              ParkPolicy::kKeepWarm});
+  }
   kvs_app_ = orchestrator_->AddApp(std::move(kvs));
 
   RackAppSpec dns;
@@ -254,6 +289,8 @@ void MixedRackScenario::RegisterApps() {
     RackAppSpec paxos;
     paxos.name = "paxos";
     paxos.warm_migration = options_.warm.paxos;
+    paxos.checkpoint_period = options_.paxos_checkpoint_period;
+    paxos.restore_checkpoint_to_home = options_.paxos_restore_to_home;
     paxos.software_watts = MakeServerRatePower(I7LibpaxosCurve(), Nanoseconds(5600), 1);
     paxos.measured_rate_pps = [this] { return paxos_fpga_->AppIngressRatePerSecond(); };
     paxos.options.push_back(RackPlacementOption{
@@ -261,6 +298,11 @@ void MixedRackScenario::RegisterApps() {
         MakeFpgaRatePower(kHostIdleWatts, 12.6, 1.2, 10e6), ParkPolicy::kKeepWarm});
     paxos_app_ = orchestrator_->AddApp(std::move(paxos));
   }
+
+  // PSU brownouts step the shared budget through the orchestrator's
+  // eviction pass. Read at fire time, so arming before this wiring is fine.
+  testbed_->faults().SetPowerCapHandler(
+      [this](double watts) { orchestrator_->ApplyPowerCap(watts); });
 }
 
 LoadClient& MixedRackScenario::AddKvsClient(LoadClientConfig config,

@@ -28,6 +28,7 @@
 #include "src/dns/zone.h"
 #include "src/kvs/lake.h"
 #include "src/kvs/memcached_server.h"
+#include "src/kvs/netcache.h"
 #include "src/ondemand/rack.h"
 #include "src/paxos/p4xos.h"
 #include "src/paxos/paxos_client.h"
@@ -70,6 +71,20 @@ struct MixedRackOptions {
   size_t zone_size = 10000;
   PaxosClientConfig paxos_client;
   SimDuration meter_period = Milliseconds(1);
+  // Second in-network KVS placement: a NetCache-style program in the ToR
+  // pipeline, so FPGA death leaves recovery a surviving in-network landing
+  // spot (and the orchestrator a cheaper fallback under power caps).
+  bool kvs_switch_placement = false;
+  KvSwitchCacheConfig netcache;
+  // Per-app checkpoint cadences (< 0: inherit orchestrator.checkpoint_period;
+  // 0: never checkpoint this app).
+  SimDuration kvs_checkpoint_period = -1;
+  SimDuration paxos_checkpoint_period = -1;
+  // On crash recovery, restore the Paxos leader's checkpoint into the
+  // software leader (its ballot/sequence live wherever the leader last ran).
+  bool paxos_restore_to_home = false;
+  // Declarative fault plan, armed by the testbed at build time.
+  FaultPlanSpec faults;
 };
 
 // The declarative spec the scenario wires: one member per application (plus
@@ -105,11 +120,17 @@ class MixedRackScenario {
   RackOrchestrator& orchestrator() { return *orchestrator_; }
   ScenarioTestbed& scenario() { return *testbed_; }
 
-  // Targets (two OffloadTarget implementations + optionally a third).
+  // Targets (two OffloadTarget implementations + optionally more).
   SwitchAsic& tor() { return *testbed_->tor_asic(); }
   FpgaNic& kvs_fpga() { return *kvs_fpga_; }
   SwitchOffloadTarget& dns_target() { return *dns_target_; }
   FpgaNic* paxos_fpga() { return paxos_fpga_; }
+  // Second KVS placement (null unless options.kvs_switch_placement).
+  SwitchOffloadTarget* kvs_switch_target() { return kvs_switch_target_; }
+
+  // Fault injection: every server/device/link of the rack is registered by
+  // name; options.faults was armed at build time.
+  FaultInjector& faults() { return testbed_->faults(); }
 
   Server& kvs_server() { return *kvs_server_; }
   Server& dns_server() { return *dns_server_; }
@@ -118,9 +139,11 @@ class MixedRackScenario {
   ClassifierMigrator& kvs_migrator() { return *kvs_migrator_; }
   ClassifierMigrator& dns_migrator() { return *dns_migrator_; }
   PaxosLeaderMigrator* paxos_migrator() { return paxos_migrator_.get(); }
+  ClassifierMigrator* kvs_switch_migrator() { return kvs_switch_migrator_.get(); }
 
   MemcachedServer& memcached() { return *memcached_; }
   LakeCache& lake() { return *lake_; }
+  KvSwitchCache* netcache() { return netcache_; }
   SoftwareLeader* software_leader() { return software_leader_; }
   P4xosFpgaApp* fpga_leader() { return fpga_leader_; }
   DnsSwitchProgram& dns_program() { return *dns_program_; }
@@ -170,11 +193,14 @@ class MixedRackScenario {
   NsdServer* nsd_ = nullptr;
   DnsSwitchProgram* dns_program_ = nullptr;
   SwitchOffloadTarget* dns_target_ = nullptr;
+  KvSwitchCache* netcache_ = nullptr;
+  SwitchOffloadTarget* kvs_switch_target_ = nullptr;
   SoftwareLeader* software_leader_ = nullptr;
   P4xosFpgaApp* fpga_leader_ = nullptr;
 
   std::unique_ptr<ClassifierMigrator> kvs_migrator_;
   std::unique_ptr<ClassifierMigrator> dns_migrator_;
+  std::unique_ptr<ClassifierMigrator> kvs_switch_migrator_;
   std::unique_ptr<PaxosLeaderMigrator> paxos_migrator_;
   std::unique_ptr<RackOrchestrator> orchestrator_;
   std::unique_ptr<PaxosClient> paxos_client_;

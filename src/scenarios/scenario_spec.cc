@@ -35,6 +35,7 @@ void ScenarioTestbed::Build() {
     BuildMembers();
     builder_.StartMeter();
     BuildWorkload();
+    BuildFaults();
     return;
   }
   if (!spec_.members.empty()) {
@@ -48,6 +49,7 @@ void ScenarioTestbed::Build() {
   builder_.StartMeter();
   BuildController();
   BuildWorkload();
+  BuildFaults();
 }
 
 AppFactoryEnv ScenarioTestbed::ResolveEnv(const AppFactoryEnv& env) const {
@@ -207,6 +209,63 @@ void ScenarioTestbed::BuildMember(const ScenarioMemberSpec& member_spec) {
   }
 
   members_.push_back(std::move(built));
+}
+
+void ScenarioTestbed::BuildFaults() {
+  faults_ = std::make_unique<FaultInjector>(sim_);
+  const auto register_link = [this](const std::string& name) {
+    if (name.empty()) {
+      return;
+    }
+    if (Link* link = builder_.topology().FindLink(name)) {
+      faults_->RegisterLink(name, link);
+    }
+  };
+  if (tor_ != nullptr) {
+    faults_->RegisterNode(tor_->SinkName(), tor_);
+  }
+  if (server_ != nullptr) {
+    faults_->RegisterNode(server_->SinkName(), server_);
+  }
+  if (fpga_ != nullptr) {
+    // Both names mean engine death: TargetName ("netfpga/app") is what the
+    // orchestrator logs, SinkName ("netfpga") is what specs naturally say.
+    faults_->RegisterTarget(fpga_->TargetName(), fpga_);
+    faults_->RegisterTarget(fpga_->SinkName(), fpga_);
+  }
+  if (smartnic_ != nullptr) {
+    faults_->RegisterTarget(smartnic_->TargetName(), smartnic_);
+    faults_->RegisterTarget(smartnic_->SinkName(), smartnic_);
+  }
+  if (nic_ != nullptr) {
+    faults_->RegisterNode(nic_->SinkName(), nic_);
+  }
+  register_link("pcie");
+  register_link("client-10ge");
+  for (size_t i = 0; i < members_.size(); ++i) {
+    ScenarioMember& m = members_[i];
+    const ScenarioMemberSpec& member_spec = spec_.members[i];
+    if (m.server != nullptr) {
+      faults_->RegisterNode(m.server->SinkName(), m.server);
+    }
+    if (m.fpga != nullptr) {
+      faults_->RegisterTarget(m.fpga->TargetName(), m.fpga);
+      faults_->RegisterTarget(m.fpga->SinkName(), m.fpga);
+    }
+    if (m.smartnic != nullptr) {
+      faults_->RegisterTarget(m.smartnic->TargetName(), m.smartnic);
+      faults_->RegisterTarget(m.smartnic->SinkName(), m.smartnic);
+    }
+    if (m.nic != nullptr) {
+      faults_->RegisterNode(m.nic->SinkName(), m.nic);
+    }
+    if (m.switch_target != nullptr) {
+      faults_->RegisterTarget(m.switch_target->TargetName(), m.switch_target.get());
+    }
+    register_link(member_spec.link_name);
+    register_link(member_spec.link_name + "-pcie");
+  }
+  faults_->Arm(spec_.faults);
 }
 
 ScenarioMember& ScenarioTestbed::member(const std::string& name) {

@@ -24,6 +24,7 @@
 
 #include "src/app/app_registry.h"
 #include "src/device/switch_offload.h"
+#include "src/fault/fault_injector.h"
 #include "src/ondemand/controller.h"
 #include "src/ondemand/migrator.h"
 #include "src/scenarios/testbed_builder.h"
@@ -133,6 +134,13 @@ struct ScenarioSpec {
   // Owned Paxos group, so switch-centric specs are self-contained literals:
   // member envs with a null paxos_group resolve against this.
   std::optional<PaxosGroupConfig> paxos_group;
+  // Declarative fault plan, armed at the end of Build(). Names resolve
+  // against what the testbed registered: every built server / ToR by its
+  // SinkName (whole-node death), every offload-capable device by both its
+  // TargetName ("device/app") and bare device name (engine death — the
+  // device keeps forwarding), every link by the spec's link name (plus
+  // "<link>-pcie" for the member PCIe hops).
+  FaultPlanSpec faults;
 };
 
 // A built member: the components and registry-created apps of one
@@ -179,6 +187,9 @@ class ScenarioTestbed {
   LoadClient* client() { return client_; }
   ClassifierMigrator* migrator() { return migrator_.get(); }
   NetworkController* controller() { return controller_.get(); }
+  // Always present: the spec's fault plan was armed against it at Build();
+  // callers may register more entities (or a power-cap handler) afterwards.
+  FaultInjector& faults() { return *faults_; }
 
   // --- Switch-centric topology (spec.tor / spec.members) ---
   L2Switch* tor() { return tor_; }
@@ -234,6 +245,9 @@ class ScenarioTestbed {
   void BuildTor();
   void BuildMembers();
   void BuildMember(const ScenarioMemberSpec& member_spec);
+  // Registers every built entity with the fault injector and arms the
+  // spec's plan (last build step, so all names are resolvable).
+  void BuildFaults();
   // Member env with null shared resources resolved against the spec level.
   AppFactoryEnv ResolveEnv(const AppFactoryEnv& env) const;
 
@@ -252,6 +266,7 @@ class ScenarioTestbed {
   std::unique_ptr<App> offload_app_;
   std::unique_ptr<ClassifierMigrator> migrator_;
   std::unique_ptr<NetworkController> controller_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace incod

@@ -225,6 +225,73 @@ TEST(EngineDiffTest, ShardedMixedRackIdenticalToSingleQueue) {
   }
 }
 
+// The engine-identity contract extends to faulted runs: fault flips are
+// ordinary scheduled events in the shard that owns the entity, so a scenario
+// with a device death mid-offload (heartbeat detection, checkpointed warm
+// recovery) plus a link flap must stay event-identical across modes.
+ShardedScenarioResult RunShardedFaultedRack(Mode mode, int threads, uint64_t seed) {
+  ShardedSimulation ssim(ShardOptions(mode, 4, threads, seed));
+  MixedRackOptions options;
+  options.orchestrator.heartbeat_period = Milliseconds(1);
+  options.orchestrator.min_dwell = Seconds(1);  // Keep the forced placement.
+  options.kvs_checkpoint_period = Milliseconds(2);
+  options.faults.events.push_back(
+      FaultEventSpec{FaultKind::kDeviceDeath, Milliseconds(5), "netfpga-lake", 0});
+  options.faults.events.push_back(
+      FaultEventSpec{FaultKind::kLinkDown, Milliseconds(4), "dns-10ge", 0});
+  options.faults.events.push_back(
+      FaultEventSpec{FaultKind::kLinkUp, Milliseconds(8), "dns-10ge", 0});
+  MixedRackScenario rack(ssim, MixedRackShardPlan{}, options);
+  rack.PrefillKvs(2000, 64);
+  LoadClient& kvs = rack.AddKvsClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(300000.0),
+      [](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+        const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 1999));
+        return MakeKvRequestPacket(src, kRackKvsServerNode,
+                                   KvRequest{KvOp::kGet, key, 0}, id, now);
+      });
+  DnsWorkloadConfig dns_config;
+  dns_config.dns_service = kRackDnsServerNode;
+  LoadClient& dns = rack.AddDnsClient(LoadClientConfig{},
+                                      std::make_unique<PoissonArrival>(200000.0),
+                                      MakeDnsRequestFactory(dns_config));
+  rack.orchestrator().Start();
+  // On the FPGA when the death fires, so the recovery path runs too.
+  rack.orchestrator().ForcePlacement(rack.kvs_app_index(), 0);
+  rack.paxos_client()->Start();
+  kvs.Start();
+  dns.Start();
+  ssim.RunUntil(Milliseconds(15));
+
+  ShardedScenarioResult result;
+  result.events = ssim.events_executed();
+  AppendClient(&result, kvs);
+  AppendClient(&result, dns);
+  result.counters.push_back(rack.faults().fault_log().size());
+  result.counters.push_back(rack.faults().device_deaths());
+  result.counters.push_back(rack.faults().link_down_events());
+  result.counters.push_back(rack.orchestrator().failures_detected());
+  result.counters.push_back(rack.orchestrator().recoveries());
+  result.counters.push_back(rack.orchestrator().checkpoints_taken());
+  result.watts = rack.meter().MeanWatts(0, Milliseconds(15));
+  return result;
+}
+
+TEST(EngineDiffTest, ShardedFaultedRackIdenticalToSingleQueue) {
+  for (const uint64_t seed : {7u, 11u, 13u}) {
+    const ShardedScenarioResult reference =
+        RunShardedFaultedRack(Mode::kSingleQueue, 1, seed);
+    EXPECT_GT(reference.events, 50000u);
+    // The plan actually fired and the orchestrator actually recovered.
+    EXPECT_EQ(reference.counters[10], 3u) << "fault log";
+    EXPECT_GE(reference.counters[13], 1u) << "failures detected";
+    EXPECT_GE(reference.counters[14], 1u) << "recoveries";
+    const ShardedScenarioResult parallel =
+        RunShardedFaultedRack(Mode::kParallel, 4, seed);
+    ExpectIdentical(reference, parallel, seed);
+  }
+}
+
 ShardedScenarioResult RunShardedTraceRack(Mode mode, int threads, uint64_t seed) {
   ShardedSimulation ssim(ShardOptions(mode, 3, threads, seed));
   TraceRackOptions options;

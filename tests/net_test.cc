@@ -419,6 +419,122 @@ TEST(SwitchTest, DefaultRouteForwardsUnroutedTraffic) {
   EXPECT_EQ(sw.dropped_no_route(), 0u);
 }
 
+TEST(LinkTest, DeliveryToDeadSinkDroppedAndCounted) {
+  Simulation sim;
+  CollectorSink a(&sim);
+  CollectorSink b(&sim);
+  Link link(sim, {});
+  link.Connect(&a, &b);
+  link.Send(&a, MakeRawPacket(1, 2));  // In flight when the sink dies.
+  b.SetAlive(false);
+  sim.Run();
+  EXPECT_TRUE(b.packets.empty());
+  EXPECT_EQ(link.dropped_to_dead(&b), 1u);
+  EXPECT_EQ(link.delivered(&b), 0u);
+  // Death is receiver-side only: the reverse direction still works, and a
+  // revived sink receives again.
+  link.Send(&b, MakeRawPacket(2, 1));
+  b.SetAlive(true);
+  link.Send(&a, MakeRawPacket(1, 2));
+  sim.Run();
+  EXPECT_EQ(a.packets.size(), 1u);
+  EXPECT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(link.dropped_to_dead(&b), 1u);
+}
+
+TEST(LinkTest, LinkFlapDropsInFlightAndRefusesSends) {
+  Simulation sim;
+  CollectorSink a(&sim);
+  CollectorSink b(&sim);
+  Link::Config config;
+  config.gigabits_per_second = 10.0;
+  config.propagation_delay = Microseconds(10);
+  Link link(sim, config);
+  link.Connect(&a, &b);
+  link.ScheduleDown(Microseconds(5));
+  link.ScheduleUp(Microseconds(50));
+  // Sent before the flap but delivered (1 us serialization + 10 us
+  // propagation = t=11) inside the down window: dropped at delivery.
+  link.Send(&a, MakeRawPacket(1, 2, 1250));
+  // Sent while down: refused at the sender.
+  sim.Schedule(Microseconds(20), [&link, &a, &b] {
+    EXPECT_TRUE(link.link_down(&b));
+    link.Send(&a, MakeRawPacket(1, 2, 1250));
+  });
+  // Sent after the link came back: delivered normally.
+  sim.Schedule(Microseconds(60), [&link, &a, &b] {
+    EXPECT_FALSE(link.link_down(&b));
+    link.Send(&a, MakeRawPacket(1, 2, 1250));
+  });
+  sim.Run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(b.arrival_times[0], Microseconds(71));
+  EXPECT_EQ(link.delivered(&b), 1u);
+  EXPECT_EQ(link.dropped_link_down(&b), 2u);
+  EXPECT_EQ(link.in_flight(&b), 0u);
+}
+
+// The same flap schedule across a shard boundary must deliver the same
+// packets at the same times and count the same drops as the intra-shard
+// topology, in both engine modes: the down/up flips are per-side events
+// running in the shard that owns that side's state.
+TEST(LinkTest, CrossShardLinkFlapMatchesIntraShard) {
+  const auto drive = [](Simulation& send_shard, Link* link, CollectorSink* a) {
+    link->ScheduleDown(Microseconds(10));
+    link->ScheduleUp(Microseconds(30));
+    // Bursts: all-delivered / in-flight-at-down / refused-while-down /
+    // delivered-after-up.
+    for (const SimTime at :
+         {SimTime{0}, Microseconds(8), Microseconds(15), Microseconds(40)}) {
+      send_shard.ScheduleAt(at, [link, a] {
+        for (int i = 0; i < 4; ++i) {
+          link->Send(a, MakeRawPacket(1, 2, 1500));
+        }
+      });
+    }
+  };
+
+  std::vector<SimTime> want;
+  uint64_t want_down_drops = 0;
+  {
+    Simulation sim;
+    CollectorSink a(&sim);
+    CollectorSink b(&sim);
+    Link::Config config;
+    config.propagation_delay = Microseconds(2);
+    Link link(sim, config);
+    link.Connect(&a, &b);
+    drive(sim, &link, &a);
+    sim.Run();
+    want = b.arrival_times;
+    want_down_drops = link.dropped_link_down(&b);
+    ASSERT_EQ(want.size(), 8u);        // First and last bursts.
+    ASSERT_EQ(want_down_drops, 8u);    // Middle two bursts.
+  }
+  for (const auto mode : {ShardedSimulation::Mode::kSingleQueue,
+                          ShardedSimulation::Mode::kParallel}) {
+    ShardedSimulation::Options opt;
+    opt.num_shards = 2;
+    opt.num_threads = 2;
+    opt.mode = mode;
+    ShardedSimulation ssim(opt);
+    Topology topo(ssim.shard(0));
+    topo.SetSharded(&ssim, 0);
+    CollectorSink a(&ssim.shard(0));
+    CollectorSink b(&ssim.shard(1));
+    topo.AssignShard(&b, 1);
+    Link::Config config;
+    config.propagation_delay = Microseconds(2);
+    Link* link = topo.Connect(&a, &b, config);
+    drive(ssim.shard(0), link, &a);
+    ssim.Run();
+    EXPECT_EQ(b.arrival_times, want) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(link->dropped_link_down(&b), want_down_drops)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(link->delivered(&b), want.size());
+  }
+}
+
 // A cross-shard link must deliver the same packets at the same times as the
 // identical intra-shard topology: delivery timing (serialization + queueing +
 // propagation) is computed sender-side and carried in the mailbox stamp.

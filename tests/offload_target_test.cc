@@ -280,6 +280,26 @@ TEST(SwitchOffloadTargetTest, MarginalPowerZeroWhileParked) {
   EXPECT_FALSE(h.target->Traits().supports_reprogramming);
 }
 
+TEST(SwitchOffloadTargetTest, KilledProgramUnloadsAndStaysDead) {
+  SwitchTargetHarness h;
+  h.target->SetAppActive(true);
+  EXPECT_EQ(h.sw.LoadedPrograms().size(), 1u);
+  h.target->KillEngine();
+  EXPECT_FALSE(h.target->TargetAlive());
+  EXPECT_FALSE(h.target->app_active());
+  EXPECT_TRUE(h.sw.LoadedPrograms().empty());
+  // A pipeline program cannot half-die: matching traffic falls through to
+  // the normal route toward the host, never into dead match-action stages.
+  h.sw.Receive(h.Query(3));
+  h.sim.Run();
+  EXPECT_EQ(h.host.packets.size(), 1u);
+  EXPECT_EQ(h.program->answered(), 0u);
+  // Reactivation is refused: recovery means re-placement, not resurrection.
+  h.target->SetAppActive(true);
+  EXPECT_FALSE(h.target->app_active());
+  EXPECT_TRUE(h.sw.LoadedPrograms().empty());
+}
+
 // ---- The same §9.1 controller code drives a switch target ----
 
 TEST(ControllerPortabilityTest, NetworkControllerDrivesSwitchTarget) {
@@ -340,6 +360,30 @@ TEST(FpgaTargetTest, PowerGateParkedAppKeepsInfrastructure) {
   EXPECT_LT(after, before);
   // Shell and PCIe stay up (§9.2): at least the 11 W reference NIC remains.
   EXPECT_GE(after, kFpgaShellWatts + kFpgaPcieWatts);
+}
+
+TEST(FpgaTargetTest, KilledEngineDropsClaimedTrafficAndCounts) {
+  Simulation sim(1);
+  FpgaNic fpga(sim, FpgaNicConfig{});
+  LakeCache lake{LakeConfig{}};
+  fpga.InstallApp(&lake);
+  fpga.SetAppActive(true);
+  fpga.KillEngine();
+  EXPECT_FALSE(fpga.TargetAlive());
+  // The classifier still steers KV traffic into the (dead) app core: the
+  // packet is dropped and counted, never serviced and never punted to the
+  // host — that placement only becomes authoritative after recovery.
+  Packet pkt;
+  pkt.src = 100;
+  pkt.dst = 1;
+  pkt.proto = AppProto::kKv;
+  pkt.payload = KvRequest{KvOp::kGet, 3, 0};
+  fpga.Receive(pkt);
+  sim.Run();
+  EXPECT_EQ(fpga.dead_dropped(), 1u);
+  EXPECT_EQ(fpga.processed_in_hardware(), 0u);
+  // A dead engine stops drawing dynamic power.
+  EXPECT_DOUBLE_EQ(fpga.ProcessedRatePerSecond(), 0.0);
 }
 
 }  // namespace

@@ -426,6 +426,123 @@ TEST_P(RackShiftScheduleTest, LedgerStaysWithinBudgetAndCountersReconcile) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RackShiftScheduleTest,
                          ::testing::Values(17u, 29u, 43u));
 
+// ---- Mixed rack under randomized fault schedules ----
+//
+// Property: whatever deterministic fault plan MakeRandomFaultPlan draws —
+// device deaths, link flaps, PSU brownout cap steps — (a) the shared power
+// ledger never exceeds the *currently active* cap at any sample point
+// (brownouts shrink it mid-run), and (b) the fault injector's counters
+// reconcile exactly with its fault log, and the orchestrator's
+// failure/recovery/shift counters reconcile exactly with the decision log.
+
+class RackFaultScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RackFaultScheduleTest, LedgerRespectsCapsAndFaultCountersReconcile) {
+  Simulation sim(GetParam());
+  Rng rng = sim.rng().Fork();
+  constexpr double kBudgetWatts = 40.0;
+
+  MixedRackOptions options;
+  options.power_budget_watts = kBudgetWatts;
+  options.kvs_switch_placement = true;  // A surviving landing spot.
+  options.orchestrator.heartbeat_period = Milliseconds(2);
+  options.orchestrator.check_period = Milliseconds(20);
+  options.orchestrator.min_dwell = Milliseconds(10);
+  options.kvs_checkpoint_period = Milliseconds(25);
+  options.paxos_checkpoint_period = Milliseconds(25);
+  MixedRackScenario rack(sim, options);
+  rack.PrefillKvs(1000, 64);
+
+  LoadClient& kvs = rack.AddKvsClient(
+      LoadClientConfig{}, std::make_unique<PoissonArrival>(150000.0),
+      [](NodeId src, uint64_t id, SimTime now, Rng& req_rng) {
+        const uint64_t key = static_cast<uint64_t>(req_rng.UniformInt(0, 999));
+        return MakeKvRequestPacket(src, kRackKvsServerNode,
+                                   KvRequest{KvOp::kGet, key, 0}, id, now);
+      });
+
+  // The plan is drawn against whatever the testbed registered; brownout caps
+  // may dip below what the apps would like to commit.
+  RandomFaultPlanConfig plan_config;
+  plan_config.horizon = Seconds(1);
+  plan_config.death_probability = 0.4;
+  plan_config.max_flaps_per_link = 2;
+  plan_config.max_brownouts = 2;
+  plan_config.min_cap_watts = 5.0;
+  plan_config.max_cap_watts = kBudgetWatts;
+  const FaultPlanSpec plan = MakeRandomFaultPlan(
+      rng, rack.faults().TargetNames(), rack.faults().LinkNames(), plan_config);
+  rack.faults().Arm(plan);
+
+  // Budget invariant under the active cap, checked densely along the run.
+  size_t samples = 0;
+  SchedulePeriodic(sim, Milliseconds(5), Milliseconds(5), [&] {
+    const auto& ledger = rack.orchestrator().ledger();
+    if (!ledger.unlimited()) {
+      EXPECT_LE(ledger.committed_watts(), ledger.budget_watts() + 1e-9)
+          << "at " << sim.Now();
+    }
+    ++samples;
+    return sim.Now() < Seconds(1);
+  });
+
+  rack.orchestrator().Start();
+  rack.paxos_client()->Start();
+  kvs.Start();
+  sim.RunUntil(Seconds(1) + Milliseconds(100));
+  EXPECT_GT(samples, 150u);
+
+  // Fault counters <-> fault log.
+  const FaultInjector& faults = rack.faults();
+  std::map<FaultKind, uint64_t> by_kind;
+  for (const FaultRecord& record : faults.fault_log()) {
+    ++by_kind[record.kind];
+  }
+  EXPECT_EQ(faults.fault_log().size(), plan.events.size());
+  EXPECT_EQ(faults.device_deaths(), by_kind[FaultKind::kDeviceDeath]);
+  EXPECT_EQ(faults.link_down_events(), by_kind[FaultKind::kLinkDown]);
+  EXPECT_EQ(faults.link_up_events(), by_kind[FaultKind::kLinkUp]);
+  EXPECT_EQ(faults.brownouts(), by_kind[FaultKind::kPsuBrownout]);
+
+  // Orchestrator counters <-> decision log.
+  uint64_t shifts = 0;
+  uint64_t failures = 0;
+  uint64_t recoveries = 0;
+  for (const RackDecisionRecord& record : rack.orchestrator().decision_log()) {
+    switch (record.kind) {
+      case RackDecisionRecord::Kind::kShift:
+      case RackDecisionRecord::Kind::kShiftHome:
+        ++shifts;
+        break;
+      case RackDecisionRecord::Kind::kFailure:
+        ++failures;
+        break;
+      case RackDecisionRecord::Kind::kRecovery:
+        ++recoveries;
+        break;
+      case RackDecisionRecord::Kind::kDeferral:
+        break;
+    }
+  }
+  EXPECT_EQ(rack.orchestrator().total_shifts(), shifts);
+  EXPECT_EQ(rack.orchestrator().failures_detected(), failures);
+  EXPECT_EQ(rack.orchestrator().recoveries(), recoveries);
+  // A recovery implies a detected failure; recovery can't outrun detection.
+  EXPECT_LE(recoveries, failures * rack.orchestrator().app_count());
+
+  // Ledger commitments only ever belong to currently offloaded apps.
+  size_t offloaded = 0;
+  for (size_t i = 0; i < rack.orchestrator().app_count(); ++i) {
+    if (rack.orchestrator().current_option(i) != nullptr) {
+      ++offloaded;
+    }
+  }
+  EXPECT_EQ(rack.orchestrator().ledger().commitments().size(), offloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RackFaultScheduleTest,
+                         ::testing::Values(17u, 29u, 43u));
+
 // ---- Umbrella header exposes the full API (compile-time property) ----
 
 TEST(UmbrellaHeaderTest, CoreTypesAreVisible) {

@@ -297,6 +297,144 @@ TEST(RackOrchestratorTest, MigratesToCheaperTargetWhenCapacityFrees) {
   EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 20.0);
 }
 
+// ---- Crash recovery units: detection, re-placement, power caps ----
+
+RackOrchestratorConfig RecoveryConfig() {
+  RackOrchestratorConfig config;
+  config.heartbeat_period = Milliseconds(2);
+  config.failure_threshold = 2;
+  // Economics passes out of the way: recovery is the only mover.
+  config.check_period = Seconds(10);
+  config.checkpoint_period = Milliseconds(1);
+  return config;
+}
+
+TEST(RackRecoveryTest, HeartbeatDetectsDeathAndReplacesOnSurvivor) {
+  OrchestratorHarness h;
+  RackOrchestrator orchestrator(h.sim, RecoveryConfig());
+  const size_t app = orchestrator.AddApp(h.AppWithBothOptions(200000));
+  orchestrator.Start();
+  orchestrator.ForcePlacement(app, 1);  // The cheap target.
+  ASSERT_EQ(orchestrator.current_option(app)->target, &h.cheap);
+
+  const SimTime kill_at = Milliseconds(10);
+  h.sim.Schedule(kill_at, [&h] { h.cheap.KillEngine(); });
+  h.sim.RunUntil(Milliseconds(30));
+
+  EXPECT_EQ(orchestrator.failures_detected(), 1u);
+  EXPECT_EQ(orchestrator.recoveries(), 1u);
+  ASSERT_NE(orchestrator.current_option(app), nullptr);
+  EXPECT_EQ(orchestrator.current_option(app)->target, &h.pricey);
+  EXPECT_TRUE(h.pricey.app_active());
+  // Detection latency is bounded by threshold consecutive missed heartbeats.
+  SimTime detected_at = -1;
+  bool saw_recovery = false;
+  for (const RackDecisionRecord& record : orchestrator.decision_log()) {
+    if (record.kind == RackDecisionRecord::Kind::kFailure) {
+      detected_at = record.at;
+      EXPECT_EQ(record.target, h.cheap.TargetName());
+    }
+    if (record.kind == RackDecisionRecord::Kind::kRecovery) {
+      saw_recovery = true;
+      EXPECT_EQ(record.app, "app");
+      EXPECT_EQ(record.target, h.pricey.TargetName());
+      // The fake migrator carries no typed state, so no checkpoint existed
+      // and the restore is cold.
+      EXPECT_FALSE(record.warm);
+    }
+  }
+  ASSERT_GE(detected_at, kill_at);
+  EXPECT_LE(detected_at, kill_at + 3 * Milliseconds(2));
+  EXPECT_TRUE(saw_recovery);
+  EXPECT_EQ(orchestrator.checkpoints_taken(), 0u);  // Nothing to snapshot.
+  EXPECT_FALSE(orchestrator.has_checkpoint(app));
+  // The replacement placement is a real ledger commitment.
+  EXPECT_EQ(orchestrator.ledger().commitments().size(), 1u);
+}
+
+TEST(RackRecoveryTest, RecoveryFallsBackToHostWithoutSurvivor) {
+  OrchestratorHarness h;
+  RackOrchestrator orchestrator(h.sim, RecoveryConfig());
+  RackAppSpec spec = h.AppWithBothOptions(200000);
+  spec.options.pop_back();  // Pricey is the only option.
+  const size_t app = orchestrator.AddApp(std::move(spec));
+  orchestrator.Start();
+  orchestrator.ForcePlacement(app, 0);
+  h.sim.Schedule(Milliseconds(10), [&h] { h.pricey.KillEngine(); });
+  h.sim.RunUntil(Milliseconds(30));
+
+  EXPECT_EQ(orchestrator.failures_detected(), 1u);
+  EXPECT_EQ(orchestrator.recoveries(), 1u);
+  EXPECT_EQ(orchestrator.current_option(app), nullptr);  // Home.
+  EXPECT_TRUE(orchestrator.ledger().commitments().empty());
+  bool saw_recovery = false;
+  for (const RackDecisionRecord& record : orchestrator.decision_log()) {
+    if (record.kind == RackDecisionRecord::Kind::kRecovery) {
+      saw_recovery = true;
+      EXPECT_TRUE(record.target.empty());
+    }
+  }
+  EXPECT_TRUE(saw_recovery);
+}
+
+TEST(RackRecoveryTest, PowerCapEvictsLargestCommitmentsFirst) {
+  OrchestratorHarness h;
+  FakeMigrator pricey_b(h.sim, h.pricey);
+  RackOrchestratorConfig config = RecoveryConfig();
+  config.power_budget_watts = 100.0;
+  RackOrchestrator orchestrator(h.sim, config);
+  // App a on the cheap target commits 10 W of headroom (45 - 35); app b on
+  // the pricey one commits 30 W (65 - 35).
+  const size_t app_a = orchestrator.AddApp(h.AppWithBothOptions(200000));
+  RackAppSpec b;
+  b.name = "b";
+  b.software_watts = [](double r) { return 35.0 + r / 5000.0; };
+  b.measured_rate_pps = [] { return 100000.0; };
+  b.options.push_back(RackPlacementOption{&h.pricey, &pricey_b,
+                                          [](double) { return 65.0; },
+                                          ParkPolicy::kKeepWarm});
+  const size_t app_b = orchestrator.AddApp(std::move(b));
+  orchestrator.Start();
+  orchestrator.ForcePlacement(app_a, 1);
+  orchestrator.ForcePlacement(app_b, 0);
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 40.0);
+
+  // Brownout to 15 W: the 30 W commitment (app b) must go; 10 W still fits.
+  orchestrator.ApplyPowerCap(15.0);
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().budget_watts(), 15.0);
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 10.0);
+  EXPECT_EQ(orchestrator.current_option(app_b), nullptr);
+  ASSERT_NE(orchestrator.current_option(app_a), nullptr);
+
+  // Brownout below everything: the rack runs entirely in software.
+  orchestrator.ApplyPowerCap(5.0);
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 0.0);
+  EXPECT_EQ(orchestrator.current_option(app_a), nullptr);
+  // Recovery restores the cap's headroom accounting, not the placements:
+  // raising the cap back does not re-place by itself (the next economics
+  // pass does), but the ledger must accept new commitments again.
+  orchestrator.ApplyPowerCap(100.0);
+  orchestrator.ForcePlacement(app_a, 1);
+  EXPECT_DOUBLE_EQ(orchestrator.ledger().committed_watts(), 10.0);
+}
+
+TEST(RackRecoveryTest, ForcePlacementRespectsLedgerAndLogsShift) {
+  OrchestratorHarness h;
+  RackOrchestratorConfig config = RecoveryConfig();
+  config.power_budget_watts = 15.0;  // Fits cheap (10 W), not pricey (30 W).
+  RackOrchestrator orchestrator(h.sim, config);
+  const size_t app = orchestrator.AddApp(h.AppWithBothOptions(200000));
+  orchestrator.Start();
+  orchestrator.ForcePlacement(app, 1);
+  EXPECT_EQ(orchestrator.total_shifts(), 1u);
+  EXPECT_EQ(orchestrator.ShiftsToTarget(h.cheap), 1u);
+  // Re-forcing the current placement is a no-op, not a second shift.
+  orchestrator.ForcePlacement(app, 1);
+  EXPECT_EQ(orchestrator.total_shifts(), 1u);
+  // The pricey option cannot fit the 15 W budget.
+  EXPECT_THROW(orchestrator.ForcePlacement(app, 0), std::logic_error);
+}
+
 // ---- Warm vs cold orchestrator shifts (the generic state-transfer path) ----
 
 // Differential: an orchestrator-driven warm KVS shift carries the host
