@@ -66,6 +66,22 @@ void JsonWriter::EndObject() {
   }
 }
 
+void JsonWriter::BeginArray(const std::string& key) {
+  Prefix(&key);
+  out_ << "[";
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  const bool empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    Indent();
+  }
+  out_ << "]";
+}
+
 void JsonWriter::Field(const std::string& key, double value) {
   Prefix(&key);
   if (!std::isfinite(value)) {

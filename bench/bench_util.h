@@ -24,15 +24,17 @@ namespace bench {
 const char* BuildTypeName();
 
 // Minimal streaming JSON writer for bench artifacts (BENCH_engine.json and
-// friends): nested objects, numeric/string/bool fields, automatic commas.
-// Enough for flat metric trees; not a general serializer.
+// friends): nested objects, object arrays, numeric/string/bool fields,
+// automatic commas. Enough for flat metric trees; not a general serializer.
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& out) : out_(out) {}
 
-  void BeginObject();                        // Root object.
+  void BeginObject();                        // Root object, or array element.
   void BeginObject(const std::string& key);  // Nested object.
   void EndObject();
+  void BeginArray(const std::string& key);   // Array of objects/values.
+  void EndArray();
 
   void Field(const std::string& key, double value);
   void Field(const std::string& key, uint64_t value);

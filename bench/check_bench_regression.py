@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate for CI's bench-smoke job.
 
-Two modes:
+Four modes, dispatched through a table-driven gate registry (GATES):
 
 Engine (default): compares a fresh BENCH_engine.json against the checked-in
 bench/baseline_engine.json. Absolute events/sec vary wildly across runner
@@ -43,10 +43,268 @@ restart, by at least the policy margin.
     check_bench_regression.py --recovery BENCH_recovery.json \
         [--baseline bench/baseline_recovery.json] \
         [--merge-out BENCH_recovery.json]
+
+Row (--row): gates the datacenter-row part written by bench_row --out
+against bench/baseline_row.json. Two sections: the global-brownout
+re-placement wave must evict every over-budget rack within the latency
+ceiling, and the post-brownout miss fraction must fall monotonically with
+the per-rack checkpoint cadence — fine-cadence warm restores near-lossless,
+cold restarts worse by at least the recorded margin.
+
+    check_bench_regression.py --row BENCH_row.json \
+        [--baseline bench/baseline_row.json] \
+        [--merge-out BENCH_row.json]
 """
 import json
 import sys
 
+
+class GateContext:
+    """Per-run check state: prints [ok]/[FAIL] lines and collects failures."""
+
+    def __init__(self, merged, baseline):
+        self.merged = merged
+        self.baseline = baseline
+        self.failures = []
+
+    def require(self, section, condition, message):
+        status = "ok" if condition else "FAIL"
+        print(f"  [{status}] {section}: {message}")
+        if not condition:
+            self.failures.append(f"{section}: {message}")
+
+
+# --- Reusable section checks -------------------------------------------------
+# Each check is a callable (ctx, section, leg, policy) -> None that calls
+# ctx.require. The per-gate tables below compose them declaratively.
+
+def le(field, policy_key, label, fmt="{:.3f}", suffix=""):
+    def check(ctx, section, leg, policy):
+        value = leg[field]
+        bound = policy[policy_key]
+        ctx.require(section, value <= bound,
+                    f"{label} {fmt.format(value)}{suffix} <= "
+                    f"{fmt.format(bound)}{suffix}")
+    return check
+
+
+def ge(field, policy_key, label, fmt="{:.3f}", suffix=""):
+    def check(ctx, section, leg, policy):
+        value = leg[field]
+        bound = policy[policy_key]
+        ctx.require(section, value >= bound,
+                    f"{label} {fmt.format(value)}{suffix} >= "
+                    f"{fmt.format(bound)}{suffix}")
+    return check
+
+
+def nonneg_le(field, policy_key, label, fmt="{:.1f}", suffix=" ms"):
+    """0 <= value <= bound — for latencies where a negative value means
+    'never happened' rather than 'instant'."""
+    def check(ctx, section, leg, policy):
+        value = leg[field]
+        bound = policy[policy_key]
+        ctx.require(section, 0 <= value <= bound,
+                    f"{label} {fmt.format(value)}{suffix} <= "
+                    f"{fmt.format(bound)}{suffix}")
+    return check
+
+
+def detection_within(ctx, section, leg, policy):
+    detection = leg["detection_ms"]
+    ctx.require(section, 0 <= detection <= policy["max_detection_ms"],
+                f"detection latency {detection:.1f} ms within "
+                f"(0, {policy['max_detection_ms']:.1f}] ms")
+
+
+def warm_recovery_flags(ctx, section, leg, policy):
+    if not policy.get("require_warm_recovery"):
+        return
+    ctx.require(section, bool(leg.get("warm_recovery_flag")),
+                "recovery restored from a checkpoint (warm)")
+    ctx.require(section, leg.get("warm_checkpoints", 0) > 0,
+                f"checkpoints taken before the kill "
+                f"({leg.get('warm_checkpoints', 0)} > 0)")
+
+
+def row_wave_evictions(ctx, section, leg, policy):
+    evicted = leg["racks_evicted"]
+    floor = policy["min_racks_evicted"]
+    ctx.require(section, evicted >= floor,
+                f"racks evicted by the cap cascade {evicted} >= {floor}")
+
+
+def row_wave_latency(ctx, section, leg, policy):
+    latency = leg["wave_latency_ms"]
+    ceiling = policy["max_wave_latency_ms"]
+    ctx.require(section, 0 <= latency <= ceiling,
+                f"cap-to-last-eviction wave latency {latency:.3f} ms within "
+                f"(0, {ceiling:.3f}] ms")
+
+
+def row_cadence_monotone(ctx, section, leg, policy):
+    if not policy.get("require_monotone"):
+        return
+    epsilon = policy.get("monotone_epsilon", 0.0)
+    points = leg["points"]
+    ordered = all(points[i]["miss_fraction"] + epsilon
+                  >= points[i + 1]["miss_fraction"]
+                  for i in range(len(points) - 1))
+    curve = " >= ".join(f"{p['label']} {p['miss_fraction']:.3f}"
+                        for p in points)
+    ctx.require(section, ordered,
+                f"miss fraction falls with cadence ({curve}, "
+                f"epsilon {epsilon:.3f})")
+
+
+def row_cadence_warm_recoveries(ctx, section, leg, policy):
+    if not policy.get("require_warm_recovery"):
+        return
+    fine = leg["points"][-1]
+    racks = leg["racks"]
+    ctx.require(section, fine.get("warm_recoveries", 0) == racks,
+                f"fine cadence recovered warm on every rack "
+                f"({fine.get('warm_recoveries', 0)}/{racks})")
+
+
+# --- Gate registry -----------------------------------------------------------
+# A gate is a merge recipe (which part keys to fold into the merged JSON)
+# plus a table of sections; each section names its policy/part key, a
+# human label, and the checks to run when the baseline carries the section.
+
+class Section:
+    def __init__(self, key, label, checks):
+        self.key = key
+        self.label = label
+        self.checks = checks
+
+
+class Gate:
+    def __init__(self, name, default_baseline, merge_keys, sections,
+                 fail_banner):
+        self.name = name
+        self.default_baseline = default_baseline
+        self.merge_keys = merge_keys
+        self.sections = sections
+        self.fail_banner = fail_banner
+
+
+GATES = {
+    "transitions": Gate(
+        name="transitions",
+        default_baseline="bench/baseline_transitions.json",
+        merge_keys=("kvs", "kvs_smartnic", "paxos"),
+        sections=[
+            # The FPGA (fig6) and SmartNIC (§10 placement) legs share the
+            # miss-fraction policy shape.
+            Section("kvs", "kvs transition (fig6)", [
+                le("warm_post_shift_miss_fraction", "warm_max_miss_fraction",
+                   "warm post-shift miss fraction"),
+                ge("delta_miss_fraction", "min_delta_miss_fraction",
+                   "cold-warm miss-fraction delta"),
+            ]),
+            Section("kvs_smartnic", "kvs transition (smartnic leg)", [
+                le("warm_post_shift_miss_fraction", "warm_max_miss_fraction",
+                   "warm post-shift miss fraction"),
+                ge("delta_miss_fraction", "min_delta_miss_fraction",
+                   "cold-warm miss-fraction delta"),
+            ]),
+            Section("paxos", "paxos transition (fig7)", [
+                le("warm_to_network_gap_ms", "warm_max_gap_ms",
+                   "warm to-network gap", fmt="{:.1f}", suffix=" ms"),
+                ge("delta_to_network_gap_ms", "min_delta_gap_ms",
+                   "cold-warm gap delta", fmt="{:.1f}", suffix=" ms"),
+            ]),
+        ],
+        fail_banner="FAIL: warm-vs-cold transition gate",
+    ),
+    "recovery": Gate(
+        name="recovery",
+        default_baseline="bench/baseline_recovery.json",
+        merge_keys=("kvs", "paxos"),
+        sections=[
+            Section("kvs", "kvs recovery (LaKe death -> NetCache)", [
+                detection_within,
+                warm_recovery_flags,
+                le("warm_post_recovery_miss_fraction",
+                   "warm_max_miss_fraction",
+                   "warm post-recovery miss fraction"),
+                ge("delta_miss_fraction", "min_delta_miss_fraction",
+                   "cold-warm miss-fraction delta"),
+            ]),
+            Section("paxos", "paxos recovery (P4xos death -> software)", [
+                detection_within,
+                warm_recovery_flags,
+                nonneg_le("warm_gap_ms", "warm_max_gap_ms",
+                          "warm service gap"),
+                ge("delta_gap_ms", "min_delta_gap_ms",
+                   "cold-warm gap delta", fmt="{:.1f}", suffix=" ms"),
+            ]),
+        ],
+        fail_banner="FAIL: crash-recovery gate",
+    ),
+    "row": Gate(
+        name="row",
+        default_baseline="bench/baseline_row.json",
+        merge_keys=("wave", "cadence"),
+        sections=[
+            Section("wave", "re-placement wave (global brownout -> evictions)", [
+                row_wave_evictions,
+                row_wave_latency,
+            ]),
+            Section("cadence", "post-brownout miss vs checkpoint cadence", [
+                le("fine_miss_fraction", "warm_max_miss_fraction",
+                   "fine-cadence post-recovery miss fraction"),
+                ge("delta_miss_fraction", "min_delta_miss_fraction",
+                   "cold-fine miss-fraction delta"),
+                row_cadence_monotone,
+                row_cadence_warm_recoveries,
+            ]),
+        ],
+        fail_banner="FAIL: datacenter-row gate",
+    ),
+}
+
+
+def run_gate(gate, parts, baseline_path, merge_out):
+    merged = {"bench": gate.name}
+    for path in parts:
+        with open(path) as f:
+            part = json.load(f)
+        for key in ("build_type", "quick") + gate.merge_keys:
+            if key in part:
+                merged[key] = part[key]
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    ctx = GateContext(merged, baseline)
+    for section in gate.sections:
+        if section.key not in baseline:
+            continue
+        print(f"{section.label}:")
+        if section.key not in merged:
+            ctx.failures.append(f"{section.key}: missing bench part")
+            continue
+        leg = merged[section.key]
+        policy = baseline[section.key]
+        for check in section.checks:
+            check(ctx, section.key, leg, policy)
+
+    if merge_out:
+        with open(merge_out, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+        print(f"wrote {merge_out}")
+
+    if ctx.failures:
+        print(gate.fail_banner)
+        return 1
+    print("OK")
+    return 0
+
+
+# --- Engine mode (hardware-relative ratios, not part merging) ----------------
 
 def check_engine_parallel(current, baseline):
     leg = current.get("sharded_rack")
@@ -107,157 +365,11 @@ def check_engine(args, tolerance, engine_parallel=False):
     return 0
 
 
-def check_transitions(parts, baseline_path, merge_out):
-    merged = {"bench": "transitions"}
-    for path in parts:
-        with open(path) as f:
-            part = json.load(f)
-        for key in ("build_type", "quick"):
-            if key in part:
-                merged[key] = part[key]
-        for key in ("kvs", "kvs_smartnic", "paxos"):
-            if key in part:
-                merged[key] = part[key]
-
-    with open(baseline_path) as f:
-        baseline = json.load(f)
-
-    failures = []
-
-    def require(section, condition, message):
-        status = "ok" if condition else "FAIL"
-        print(f"  [{status}] {section}: {message}")
-        if not condition:
-            failures.append(f"{section}: {message}")
-
-    # The FPGA (fig6) and SmartNIC (§10 placement) legs share the
-    # miss-fraction policy shape.
-    for section, label in (("kvs", "kvs transition (fig6)"),
-                           ("kvs_smartnic", "kvs transition (smartnic leg)")):
-        if section not in baseline:
-            continue
-        print(f"{label}:")
-        if section not in merged:
-            failures.append(f"{section}: missing bench part")
-            continue
-        kvs = merged[section]
-        policy = baseline[section]
-        delta = kvs["delta_miss_fraction"]
-        warm = kvs["warm_post_shift_miss_fraction"]
-        require(section, warm <= policy["warm_max_miss_fraction"],
-                f"warm post-shift miss fraction {warm:.3f} <= "
-                f"{policy['warm_max_miss_fraction']:.3f}")
-        require(section, delta >= policy["min_delta_miss_fraction"],
-                f"cold-warm miss-fraction delta {delta:.3f} >= "
-                f"{policy['min_delta_miss_fraction']:.3f}")
-
-    if "paxos" in baseline:
-        print("paxos transition (fig7):")
-        if "paxos" not in merged:
-            failures.append("paxos: missing bench part")
-        else:
-            paxos = merged["paxos"]
-            policy = baseline["paxos"]
-            delta = paxos["delta_to_network_gap_ms"]
-            warm = paxos["warm_to_network_gap_ms"]
-            require("paxos", warm <= policy["warm_max_gap_ms"],
-                    f"warm to-network gap {warm:.1f} ms <= "
-                    f"{policy['warm_max_gap_ms']:.1f} ms")
-            require("paxos", delta >= policy["min_delta_gap_ms"],
-                    f"cold-warm gap delta {delta:.1f} ms >= "
-                    f"{policy['min_delta_gap_ms']:.1f} ms")
-
-    if merge_out:
-        with open(merge_out, "w") as f:
-            json.dump(merged, f, indent=2)
-            f.write("\n")
-        print(f"wrote {merge_out}")
-
-    if failures:
-        print("FAIL: warm-vs-cold transition gate")
-        return 1
-    print("OK")
-    return 0
-
-
-def check_recovery(parts, baseline_path, merge_out):
-    merged = {"bench": "recovery"}
-    for path in parts:
-        with open(path) as f:
-            part = json.load(f)
-        for key in ("build_type", "quick", "kvs", "paxos"):
-            if key in part:
-                merged[key] = part[key]
-
-    with open(baseline_path) as f:
-        baseline = json.load(f)
-
-    failures = []
-
-    def require(section, condition, message):
-        status = "ok" if condition else "FAIL"
-        print(f"  [{status}] {section}: {message}")
-        if not condition:
-            failures.append(f"{section}: {message}")
-
-    for section, label in (("kvs", "kvs recovery (LaKe death -> NetCache)"),
-                           ("paxos", "paxos recovery (P4xos death -> software)")):
-        if section not in baseline:
-            continue
-        print(f"{label}:")
-        if section not in merged:
-            failures.append(f"{section}: missing bench part")
-            continue
-        leg = merged[section]
-        policy = baseline[section]
-        detection = leg["detection_ms"]
-        require(section, 0 <= detection <= policy["max_detection_ms"],
-                f"detection latency {detection:.1f} ms within "
-                f"(0, {policy['max_detection_ms']:.1f}] ms")
-        if policy.get("require_warm_recovery"):
-            require(section, bool(leg.get("warm_recovery_flag")),
-                    "recovery restored from a checkpoint (warm)")
-            require(section, leg.get("warm_checkpoints", 0) > 0,
-                    f"checkpoints taken before the kill "
-                    f"({leg.get('warm_checkpoints', 0)} > 0)")
-        if section == "kvs":
-            warm = leg["warm_post_recovery_miss_fraction"]
-            delta = leg["delta_miss_fraction"]
-            require(section, warm <= policy["warm_max_miss_fraction"],
-                    f"warm post-recovery miss fraction {warm:.3f} <= "
-                    f"{policy['warm_max_miss_fraction']:.3f}")
-            require(section, delta >= policy["min_delta_miss_fraction"],
-                    f"cold-warm miss-fraction delta {delta:.3f} >= "
-                    f"{policy['min_delta_miss_fraction']:.3f}")
-        else:
-            warm = leg["warm_gap_ms"]
-            delta = leg["delta_gap_ms"]
-            require(section, 0 <= warm <= policy["warm_max_gap_ms"],
-                    f"warm service gap {warm:.1f} ms <= "
-                    f"{policy['warm_max_gap_ms']:.1f} ms")
-            require(section, delta >= policy["min_delta_gap_ms"],
-                    f"cold-warm gap delta {delta:.1f} ms >= "
-                    f"{policy['min_delta_gap_ms']:.1f} ms")
-
-    if merge_out:
-        with open(merge_out, "w") as f:
-            json.dump(merged, f, indent=2)
-            f.write("\n")
-        print(f"wrote {merge_out}")
-
-    if failures:
-        print("FAIL: crash-recovery gate")
-        return 1
-    print("OK")
-    return 0
-
-
 def main() -> int:
     argv = sys.argv[1:]
     args = []
     tolerance = 0.2
-    transitions = False
-    recovery = False
+    mode = None
     engine_parallel = False
     baseline_path = None
     merge_out = None
@@ -281,10 +393,8 @@ def main() -> int:
                 baseline_path = value
             else:
                 merge_out = value
-        elif arg == "--transitions":
-            transitions = True
-        elif arg == "--recovery":
-            recovery = True
+        elif arg.startswith("--") and arg[2:] in GATES:
+            mode = arg[2:]
         elif arg == "--engine-parallel":
             engine_parallel = True
         else:
@@ -293,12 +403,10 @@ def main() -> int:
     if not args:
         print(__doc__)
         return 2
-    if transitions:
-        return check_transitions(
-            args, baseline_path or "bench/baseline_transitions.json", merge_out)
-    if recovery:
-        return check_recovery(
-            args, baseline_path or "bench/baseline_recovery.json", merge_out)
+    if mode is not None:
+        gate = GATES[mode]
+        return run_gate(gate, args, baseline_path or gate.default_baseline,
+                        merge_out)
     return check_engine(args, tolerance, engine_parallel)
 
 

@@ -138,6 +138,32 @@ uint64_t RackOrchestrator::ShiftsToTarget(const OffloadTarget& target) const {
   return it == shifts_to_target_.end() ? 0 : it->second;
 }
 
+double RackOrchestrator::OffloadDemandWatts() const {
+  double demand = 0;
+  for (const auto& app : apps_) {
+    if (app.active_option >= 0) {
+      const auto it = ledger_.commitments().find(app.spec.name);
+      demand += it != ledger_.commitments().end() ? it->second : 0;
+      continue;
+    }
+    // At home: the cheapest alive option's would-be ledger increment at the
+    // measured rate (an upper bound on what the next tick could commit).
+    const double rate = app.spec.measured_rate_pps();
+    const double home_idle = app.spec.software_watts(0);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& option : app.spec.options) {
+      if (!option.target->TargetAlive()) {
+        continue;
+      }
+      best = std::min(best, std::max(0.0, option.network_watts(rate) - home_idle));
+    }
+    if (best < std::numeric_limits<double>::infinity()) {
+      demand += best;
+    }
+  }
+  return demand;
+}
+
 double RackOrchestrator::CommittedPps(const OffloadTarget& target) const {
   double total = 0;
   for (const auto& app : apps_) {
@@ -417,9 +443,27 @@ void RackOrchestrator::CheckpointApp(ManagedApp& app) {
   ++checkpoints_taken_;
 }
 
+void RackOrchestrator::SetHeartbeatReachability(const OffloadTarget* target,
+                                                std::function<bool()> reachable) {
+  if (reachable == nullptr) {
+    reachability_.erase(target);
+    return;
+  }
+  reachability_[target] = std::move(reachable);
+}
+
 void RackOrchestrator::Heartbeat() {
-  // Poll every distinct target referenced by any app's options; declare a
-  // target failed after `failure_threshold` consecutive missed heartbeats.
+  // Poll every distinct target referenced by any app's options. A heartbeat
+  // is missed when the device is dead *or* the probe path to it is down;
+  // the two only become distinguishable once the path answers again, so the
+  // detector acts at the failure threshold on what it can actually know:
+  //  * reachable and dead      -> declare the target failed (recovery runs);
+  //  * unreachable (any state) -> a flap in progress looks identical to a
+  //    death from here, but declaring failure would abandon a live
+  //    placement — suppress, log kFlapSuppressed once per streak, and keep
+  //    counting. A flap that heals with the device alive resets the streak
+  //    (no recovery ever fires); one that heals onto a dead device crosses
+  //    straight into the failure branch on the next poll.
   std::set<OffloadTarget*> polled;
   for (auto& app : apps_) {
     for (auto& option : app.spec.options) {
@@ -430,18 +474,32 @@ void RackOrchestrator::Heartbeat() {
     if (failed_targets_.count(target) != 0) {
       continue;  // Already declared; recovery ran.
     }
-    if (target->TargetAlive()) {
+    const auto channel = reachability_.find(target);
+    const bool reachable = channel == reachability_.end() || channel->second();
+    if (target->TargetAlive() && reachable) {
       heartbeat_misses_[target] = 0;
+      flap_suspected_.erase(target);
       continue;
     }
-    if (++heartbeat_misses_[target] >= config_.failure_threshold) {
+    if (++heartbeat_misses_[target] < config_.failure_threshold) {
+      continue;
+    }
+    if (reachable) {
       DeclareTargetFailed(target);
+      continue;
+    }
+    if (flap_suspected_.insert(target).second) {
+      ++flap_suppressions_;
+      decision_log_.push_back(
+          RackDecisionRecord{RackDecisionRecord::Kind::kFlapSuppressed, sim_.Now(),
+                             std::string(), target->TargetName(), false});
     }
   }
 }
 
 void RackOrchestrator::DeclareTargetFailed(OffloadTarget* target) {
   failed_targets_.insert(target);
+  flap_suspected_.erase(target);
   ++failures_detected_;
   decision_log_.push_back(RackDecisionRecord{RackDecisionRecord::Kind::kFailure,
                                              sim_.Now(), std::string(),

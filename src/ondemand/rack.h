@@ -112,8 +112,13 @@ struct RackDecisionRecord {
   // kFailure: the heartbeat detector declared a target dead (app empty,
   // target = the dead target). kRecovery: a victim app finished its
   // recovery pass (target = where it landed, empty for the host; warm = a
-  // checkpoint was available to restore from).
-  enum class Kind { kShift, kShiftHome, kDeferral, kFailure, kRecovery };
+  // checkpoint was available to restore from). kFlapSuppressed: the miss
+  // count crossed the failure threshold but the device itself is alive —
+  // the orchestrator<->target path is flapping, so recovery was withheld
+  // (one record per unreachability streak, app empty, target = the
+  // unreachable target).
+  enum class Kind { kShift, kShiftHome, kDeferral, kFailure, kRecovery,
+                    kFlapSuppressed };
   Kind kind = Kind::kShift;
   SimTime at = 0;
   std::string app;
@@ -167,6 +172,16 @@ class RackOrchestrator {
   // targets are abandoned (no state transfer out of dead hardware).
   void ApplyPowerCap(double watts);
 
+  // Declares how the orchestrator's heartbeats reach `target` (typically a
+  // closure over the member link's down state). A heartbeat is missed when
+  // the target is dead *or* unreachable; if the miss count crosses the
+  // failure threshold while the device itself is alive, the detector
+  // suppresses recovery (a link flap is not a death) and logs
+  // kFlapSuppressed instead. Without a channel the target is always
+  // considered reachable (the pre-PR god's-eye behaviour).
+  void SetHeartbeatReachability(const OffloadTarget* target,
+                                std::function<bool()> reachable);
+
   // --- Introspection ---
   const RackPowerLedger& ledger() const { return ledger_; }
   size_t app_count() const { return apps_.size(); }
@@ -187,6 +202,10 @@ class RackOrchestrator {
   uint64_t checkpoints_taken() const { return checkpoints_taken_; }
   uint64_t failures_detected() const { return failures_detected_; }
   uint64_t recoveries() const { return recoveries_; }
+  // Unreachability streaks that crossed the failure threshold with the
+  // device still alive (heartbeat link flaps, not deaths) — recovery was
+  // suppressed. Reconciled against kFlapSuppressed decision records.
+  uint64_t flap_suppressions() const { return flap_suppressions_; }
   // Checkpoint staleness surface: when the app's latest snapshot was taken
   // (-1: none yet).
   bool has_checkpoint(size_t index) const { return apps_.at(index).checkpoint_at >= 0; }
@@ -195,6 +214,13 @@ class RackOrchestrator {
   const std::vector<RackDecisionRecord>& decision_log() const { return decision_log_; }
   // Rate a target is currently committed to absorb (capacity accounting).
   double CommittedPps(const OffloadTarget& target) const;
+
+  // Watts of PDU headroom this rack would like for offloads right now: the
+  // actual ledger commitment for offloaded apps plus, for each app still at
+  // home, the cheapest alive option's would-be commitment at the measured
+  // rate. The row orchestrator's demand-weighted apportionment reads this
+  // through the periodic rack reports.
+  double OffloadDemandWatts() const;
 
   // Per-rack timeseries, sampled every `sample_period` after Start():
   // committed offload watts, measured target watts, and offloaded-app count.
@@ -242,6 +268,9 @@ class RackOrchestrator {
   std::vector<RackDecisionRecord> decision_log_;
   std::map<const OffloadTarget*, uint64_t> shifts_to_target_;
   std::map<const OffloadTarget*, int> heartbeat_misses_;
+  std::map<const OffloadTarget*, std::function<bool()>> reachability_;
+  // Targets in a logged flap-suppression streak (cleared when reachable).
+  std::set<const OffloadTarget*> flap_suspected_;
   std::set<const OffloadTarget*> failed_targets_;
   TimeSeries committed_series_{"rack_committed_watts"};
   TimeSeries measured_series_{"rack_target_watts"};
@@ -253,6 +282,7 @@ class RackOrchestrator {
   uint64_t checkpoints_taken_ = 0;
   uint64_t failures_detected_ = 0;
   uint64_t recoveries_ = 0;
+  uint64_t flap_suppressions_ = 0;
   bool started_ = false;
   bool stopped_ = false;
 };

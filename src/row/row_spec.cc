@@ -1,0 +1,55 @@
+#include "src/row/row_spec.h"
+
+namespace incod {
+
+namespace {
+
+RowFaultEventSpec BaseEvent(RowFaultEventSpec::Kind kind, int rack, SimTime at) {
+  RowFaultEventSpec event;
+  event.kind = kind;
+  event.at = at;
+  event.racks = {rack};
+  return event;
+}
+
+}  // namespace
+
+void AppendUplinkFlapWave(RowFaultPlanSpec& plan, const std::vector<int>& racks,
+                          SimTime first_down, SimDuration down_for,
+                          SimDuration stagger) {
+  SimTime at = first_down;
+  for (int rack : racks) {
+    plan.events.push_back(BaseEvent(RowFaultEventSpec::Kind::kUplinkDown, rack, at));
+    plan.events.push_back(
+        BaseEvent(RowFaultEventSpec::Kind::kUplinkUp, rack, at + down_for));
+    at += stagger;
+  }
+}
+
+void AppendRackBrownoutWave(RowFaultPlanSpec& plan, const std::vector<int>& racks,
+                            SimTime first_at, double watts, SimDuration stagger) {
+  SimTime at = first_at;
+  for (int rack : racks) {
+    RowFaultEventSpec event =
+        BaseEvent(RowFaultEventSpec::Kind::kRackBrownout, rack, at);
+    event.watts = watts;
+    plan.events.push_back(event);
+    at += stagger;
+  }
+}
+
+void AppendDeviceDeathWave(RowFaultPlanSpec& plan, const std::vector<int>& racks,
+                           const std::string& target, SimTime first_at,
+                           SimDuration stagger) {
+  SimTime at = first_at;
+  for (int rack : racks) {
+    RowFaultEventSpec event =
+        BaseEvent(RowFaultEventSpec::Kind::kRackFault, rack, at);
+    event.rack_event.kind = FaultKind::kDeviceDeath;
+    event.rack_event.target = target;
+    plan.events.push_back(event);
+    at += stagger;
+  }
+}
+
+}  // namespace incod

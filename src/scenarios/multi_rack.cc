@@ -1,154 +1,105 @@
 #include "src/scenarios/multi_rack.h"
 
-#include <stdexcept>
 #include <string>
 #include <utility>
 
-#include "src/kvs/kv_protocol.h"
 #include "src/kvs/lake.h"
 #include "src/kvs/memcached_server.h"
 #include "src/power/cpu_power.h"
-#include "src/workload/arrival.h"
 
 namespace incod {
 
-namespace {
+RowSpec MakeMultiRackRowSpec(const MultiRackOptions& options) {
+  RowSpec row;
+  row.name = "multi-rack";
+  row.zone_size = options.zone_size;
+  row.inter_rack_propagation = options.inter_rack_propagation;
+  row.uplink_gigabits_per_second = options.uplink_gigabits_per_second;
 
-// Uniform gets split between the local rack's server and the next rack's.
-// The cross-rack decision consumes one extra draw per request in *every*
-// mode, so sharded and single-queue runs stay stream-identical.
-RequestFactory MakeCrossRackKvFactory(NodeId local_service, NodeId remote_service,
-                                      uint64_t keyspace, double cross_fraction) {
-  const int64_t max_key = std::max<int64_t>(0, static_cast<int64_t>(keyspace) - 1);
-  return [local_service, remote_service, max_key,
-          cross_fraction](NodeId src, uint64_t id, SimTime now, Rng& rng) {
-    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, max_key));
-    const bool remote = rng.UniformDouble(0.0, 1.0) < cross_fraction;
-    const NodeId service = remote ? remote_service : local_service;
-    return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);
-  };
+  for (int r = 0; r < options.num_racks; ++r) {
+    RowRackSpec rack;
+    ScenarioSpec& spec = rack.scenario;
+    spec.name = "rack-" + std::to_string(r);
+    spec.meter_period = options.meter_period;
+    spec.host.present = false;
+    spec.target.kind = ScenarioTargetKind::kNone;
+    spec.tor.present = true;
+    spec.tor.asic = false;  // Plain L2 ToR; the spine handles inter-rack.
+    spec.tor.name = "tor-" + std::to_string(r);
+
+    {
+      ScenarioMemberSpec kvs;
+      kvs.name = "kvs";
+      kvs.link_name = "kvs-10ge";
+      kvs.host.config.name = spec.name + "-kvs-host";
+      kvs.host.config.node = MultiRackScenario::KvsHostNode(r);
+      kvs.host.config.num_cores = 4;
+      kvs.host.config.power_curve = I7MemcachedCurve();
+      kvs.host.apps = {"kvs"};
+      kvs.target.kind = ScenarioTargetKind::kFpgaNic;
+      kvs.target.name = spec.name + "-lake";
+      kvs.target.device_node = MultiRackScenario::KvsDeviceNode(r);
+      kvs.target.app = "kvs";
+      kvs.switch_routes = {MultiRackScenario::KvsHostNode(r),
+                           MultiRackScenario::KvsDeviceNode(r)};
+      spec.members.push_back(std::move(kvs));
+    }
+    {
+      ScenarioMemberSpec dns;
+      dns.name = "dns";
+      dns.link_name = "dns-10ge";
+      dns.host.config.name = spec.name + "-dns-host";
+      dns.host.config.node = MultiRackScenario::DnsHostNode(r);
+      dns.host.config.num_cores = 4;
+      dns.host.config.power_curve = I7NsdCurve();
+      dns.host.apps = {"dns"};
+      dns.target.kind = ScenarioTargetKind::kConventionalNic;
+      dns.switch_routes = {MultiRackScenario::DnsHostNode(r)};
+      dns.env.service = MultiRackScenario::DnsHostNode(r);
+      spec.members.push_back(std::move(dns));
+    }
+
+    {
+      // Uniform gets split between the local rack's server and the next
+      // rack's. The cross-rack decision consumes one extra draw per request
+      // in *every* mode, so sharded and single-queue runs stay
+      // stream-identical.
+      RowClientSpec kvs_client;
+      kvs_client.client.node = MultiRackScenario::KvsClientNode(r);
+      kvs_client.rate_per_second = options.kvs_rate_per_second;
+      kvs_client.workload.kind = ScenarioWorkloadSpec::Kind::kKvUniformGets;
+      kvs_client.workload.keyspace = options.keyspace;
+      kvs_client.workload.cross_service =
+          MultiRackScenario::KvsHostNode((r + 1) % options.num_racks);
+      kvs_client.workload.cross_fraction = options.cross_rack_fraction;
+      kvs_client.service = MultiRackScenario::KvsHostNode(r);
+      rack.clients.push_back(std::move(kvs_client));
+    }
+    {
+      RowClientSpec dns_client;
+      dns_client.client.node = MultiRackScenario::DnsClientNode(r);
+      dns_client.rate_per_second = options.dns_rate_per_second;
+      dns_client.workload.kind = ScenarioWorkloadSpec::Kind::kDnsQueries;
+      dns_client.service = MultiRackScenario::DnsHostNode(r);
+      rack.clients.push_back(std::move(dns_client));
+    }
+
+    row.racks.push_back(std::move(rack));
+  }
+  return row;
 }
-
-}  // namespace
 
 MultiRackScenario::MultiRackScenario(ShardedSimulation& sharded,
                                      MultiRackOptions options)
-    : sharded_(sharded),
-      num_racks_(options.num_racks),
-      options_(std::move(options)),
-      spine_topology_(sharded.shard(num_racks_)) {
-  if (num_racks_ < 1) {
-    throw std::invalid_argument("MultiRackScenario: need at least one rack");
-  }
-  if (sharded_.num_shards() != num_racks_ + 1) {
-    throw std::invalid_argument(
-        "MultiRackScenario: need num_racks + 1 shards (racks + spine)");
-  }
-  if (options_.inter_rack_propagation <= 0) {
-    throw std::invalid_argument("MultiRackScenario: inter-rack propagation must be > 0");
-  }
-  zone_.FillSynthetic(options_.zone_size);
-
-  spine_ = std::make_unique<L2Switch>(sharded_.shard(num_racks_), "spine");
-  spine_topology_.SetSharded(&sharded_, num_racks_);
-  spine_topology_.AssignShard(spine_.get(), num_racks_);
-
-  for (int r = 0; r < num_racks_; ++r) {
-    BuildRack(r);
-  }
-  for (int r = 0; r < num_racks_; ++r) {
-    ConnectRackToSpine(r);
+    : options_(options), row_(sharded, MakeMultiRackRowSpec(options)) {
+  for (int r = 0; r < num_racks(); ++r) {
     PrefillRack(r);
   }
 }
 
-void MultiRackScenario::BuildRack(int r) {
-  ScenarioSpec spec;
-  spec.name = "rack-" + std::to_string(r);
-  spec.shard = r;
-  spec.meter_period = options_.meter_period;
-  spec.host.present = false;
-  spec.target.kind = ScenarioTargetKind::kNone;
-  spec.env.zone = &zone_;
-  spec.tor.present = true;
-  spec.tor.asic = false;  // Plain L2 ToR; the spine handles inter-rack.
-  spec.tor.name = "tor-" + std::to_string(r);
-
-  {
-    ScenarioMemberSpec kvs;
-    kvs.name = "kvs";
-    kvs.link_name = "kvs-10ge";
-    kvs.host.config.name = spec.name + "-kvs-host";
-    kvs.host.config.node = KvsHostNode(r);
-    kvs.host.config.num_cores = 4;
-    kvs.host.config.power_curve = I7MemcachedCurve();
-    kvs.host.apps = {"kvs"};
-    kvs.target.kind = ScenarioTargetKind::kFpgaNic;
-    kvs.target.name = spec.name + "-lake";
-    kvs.target.device_node = KvsDeviceNode(r);
-    kvs.target.app = "kvs";
-    kvs.switch_routes = {KvsHostNode(r), KvsDeviceNode(r)};
-    spec.members.push_back(std::move(kvs));
-  }
-  {
-    ScenarioMemberSpec dns;
-    dns.name = "dns";
-    dns.link_name = "dns-10ge";
-    dns.host.config.name = spec.name + "-dns-host";
-    dns.host.config.node = DnsHostNode(r);
-    dns.host.config.num_cores = 4;
-    dns.host.config.power_curve = I7NsdCurve();
-    dns.host.apps = {"dns"};
-    dns.target.kind = ScenarioTargetKind::kConventionalNic;
-    dns.switch_routes = {DnsHostNode(r)};
-    dns.env.service = DnsHostNode(r);
-    spec.members.push_back(std::move(dns));
-  }
-
-  racks_.push_back(std::make_unique<ScenarioTestbed>(sharded_, std::move(spec)));
-  ScenarioTestbed& rack = *racks_.back();
-
-  LoadClientConfig kvs_client;
-  kvs_client.node = KvsClientNode(r);
-  const NodeId remote = KvsHostNode((r + 1) % num_racks_);
-  kvs_clients_.push_back(&rack.AddTorClient(
-      kvs_client, std::make_unique<PoissonArrival>(options_.kvs_rate_per_second),
-      MakeCrossRackKvFactory(KvsHostNode(r), remote, options_.keyspace,
-                             options_.cross_rack_fraction)));
-
-  LoadClientConfig dns_client;
-  dns_client.node = DnsClientNode(r);
-  ScenarioWorkloadSpec dns_workload;
-  dns_workload.kind = ScenarioWorkloadSpec::Kind::kDnsQueries;
-  dns_clients_.push_back(&rack.AddTorClient(
-      dns_client, std::make_unique<PoissonArrival>(options_.dns_rate_per_second),
-      MakeScenarioRequestFactory(dns_workload, DnsHostNode(r), &zone_)));
-}
-
-void MultiRackScenario::ConnectRackToSpine(int r) {
-  L2Switch* tor = racks_[static_cast<size_t>(r)]->tor();
-  spine_topology_.AssignShard(tor, r);
-
-  Link::Config uplink;
-  uplink.gigabits_per_second = options_.uplink_gigabits_per_second;
-  uplink.propagation_delay = options_.inter_rack_propagation;
-  Link* link = spine_topology_.Connect(tor, spine_.get(), uplink,
-                                       "uplink-" + std::to_string(r));
-
-  const int tor_port = tor->AttachLink(link);
-  tor->SetDefaultRoute(tor_port);  // Non-local traffic heads to the spine.
-
-  const int spine_port = spine_->AttachLink(link);
-  for (NodeId node : {KvsHostNode(r), DnsHostNode(r), KvsDeviceNode(r),
-                      KvsClientNode(r), DnsClientNode(r)}) {
-    spine_->AddRoute(node, spine_port);
-  }
-}
-
 void MultiRackScenario::PrefillRack(int r) {
-  ScenarioTestbed& rack = *racks_[static_cast<size_t>(r)];
-  auto* memcached = rack.member_host_app_as<MemcachedServer>(0);
-  auto* lake = rack.member_offload_app_as<LakeCache>(0);
+  auto* memcached = rack(r).member_host_app_as<MemcachedServer>(0);
+  auto* lake = rack(r).member_offload_app_as<LakeCache>(0);
   for (uint64_t k = 0; k < options_.prefill; ++k) {
     memcached->store().Set(k, options_.value_bytes);
   }
@@ -156,34 +107,12 @@ void MultiRackScenario::PrefillRack(int r) {
 }
 
 void MultiRackScenario::Start() {
-  for (LoadClient* client : kvs_clients_) {
-    client->Start();
+  for (int r = 0; r < num_racks(); ++r) {
+    kvs_client(r).Start();
   }
-  for (LoadClient* client : dns_clients_) {
-    client->Start();
+  for (int r = 0; r < num_racks(); ++r) {
+    dns_client(r).Start();
   }
-}
-
-uint64_t MultiRackScenario::TotalSent() const {
-  uint64_t total = 0;
-  for (const LoadClient* client : kvs_clients_) {
-    total += client->sent();
-  }
-  for (const LoadClient* client : dns_clients_) {
-    total += client->sent();
-  }
-  return total;
-}
-
-uint64_t MultiRackScenario::TotalReceived() const {
-  uint64_t total = 0;
-  for (const LoadClient* client : kvs_clients_) {
-    total += client->received();
-  }
-  for (const LoadClient* client : dns_clients_) {
-    total += client->received();
-  }
-  return total;
 }
 
 }  // namespace incod

@@ -13,15 +13,17 @@
 // server (cross-rack traffic through ToR default routes and the spine), so
 // the shards genuinely exchange events rather than running N disjoint
 // simulations.
+//
+// Since the row subsystem landed, this scenario is a thin veneer:
+// MakeMultiRackRowSpec builds the declarative RowSpec and RowScenario does
+// all the wiring. Only the KVS prefill and the legacy client start order
+// (all KVS clients, then all DNS clients) live here.
 #ifndef INCOD_SRC_SCENARIOS_MULTI_RACK_H_
 #define INCOD_SRC_SCENARIOS_MULTI_RACK_H_
 
-#include <memory>
-#include <vector>
-
-#include "src/dns/zone.h"
 #include "src/net/switch.h"
-#include "src/net/topology.h"
+#include "src/row/row_scenario.h"
+#include "src/row/row_spec.h"
 #include "src/scenarios/scenario_spec.h"
 #include "src/sim/sharded.h"
 
@@ -57,35 +59,35 @@ class MultiRackScenario {
   // rack plus the spine shard).
   explicit MultiRackScenario(ShardedSimulation& sharded, MultiRackOptions options = {});
 
-  int num_racks() const { return num_racks_; }
-  ScenarioTestbed& rack(int r) { return *racks_.at(static_cast<size_t>(r)); }
-  L2Switch& spine() { return *spine_; }
-  LoadClient& kvs_client(int r) { return *kvs_clients_.at(static_cast<size_t>(r)); }
-  LoadClient& dns_client(int r) { return *dns_clients_.at(static_cast<size_t>(r)); }
+  int num_racks() const { return row_.num_racks(); }
+  ScenarioTestbed& rack(int r) { return row_.rack(r); }
+  L2Switch& spine() { return row_.spine(); }
+  LoadClient& kvs_client(int r) { return row_.client(r, 0); }
+  LoadClient& dns_client(int r) { return row_.client(r, 1); }
+  // The RowScenario doing the actual wiring.
+  RowScenario& row() { return row_; }
 
-  // Starts every rack's clients.
+  // Starts every rack's clients (all KVS clients first, then all DNS
+  // clients — the order the hand-wired scenario always used).
   void Start();
 
-  uint64_t TotalSent() const;
-  uint64_t TotalReceived() const;
+  uint64_t TotalSent() const { return row_.TotalSent(); }
+  uint64_t TotalReceived() const { return row_.TotalReceived(); }
 
  private:
-  void BuildRack(int r);
-  void ConnectRackToSpine(int r);
   void PrefillRack(int r);
 
-  ShardedSimulation& sharded_;
-  int num_racks_;
   MultiRackOptions options_;
-  // One synthetic zone shared by every rack's DNS server. Filled once at
-  // construction and read-only afterwards, so cross-shard sharing is safe.
-  Zone zone_;
-  std::vector<std::unique_ptr<ScenarioTestbed>> racks_;
-  std::unique_ptr<L2Switch> spine_;
-  Topology spine_topology_;
-  std::vector<LoadClient*> kvs_clients_;
-  std::vector<LoadClient*> dns_clients_;
+  RowScenario row_;
 };
+
+// The declarative form of the scenario above: N rack ScenarioSpecs (KVS
+// member with an active LaKe FPGA, DNS member on a conventional NIC) plus
+// per-rack KVS/DNS clients, with each KVS client's workload sending
+// cross_rack_fraction of its gets to the next rack's server. Exposed so
+// tests can diff the veneer against hand-wired construction and so row
+// scenarios can start from the same racks.
+RowSpec MakeMultiRackRowSpec(const MultiRackOptions& options);
 
 }  // namespace incod
 

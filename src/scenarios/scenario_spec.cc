@@ -425,6 +425,20 @@ RequestFactory MakeScenarioRequestFactory(const ScenarioWorkloadSpec& workload,
     case Kind::kKvUniformGets: {
       const int64_t max_key =
           std::max<int64_t>(0, static_cast<int64_t>(workload.keyspace) - 1);
+      if (workload.cross_service != 0) {
+        // Key first, then the cross-service decision: the draw order is part
+        // of the stream contract (see ScenarioWorkloadSpec::cross_service).
+        const NodeId remote = workload.cross_service;
+        const double cross_fraction = workload.cross_fraction;
+        return [service, remote, max_key,
+                cross_fraction](NodeId src, uint64_t id, SimTime now, Rng& rng) {
+          const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, max_key));
+          const bool cross = rng.UniformDouble(0.0, 1.0) < cross_fraction;
+          const NodeId target = cross ? remote : service;
+          return MakeKvRequestPacket(src, target, KvRequest{KvOp::kGet, key, 0}, id,
+                                     now);
+        };
+      }
       return [service, max_key](NodeId src, uint64_t id, SimTime now, Rng& rng) {
         const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, max_key));
         return MakeKvRequestPacket(src, service, KvRequest{KvOp::kGet, key, 0}, id, now);

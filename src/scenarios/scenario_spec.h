@@ -101,6 +101,14 @@ struct ScenarioWorkloadSpec {
   double rate_per_second = 100000;
   uint64_t keyspace = 1000;          // kKvUniformGets.
   double dns_miss_fraction = 0.0;    // kDnsQueries.
+  // kKvUniformGets cross-service traffic (multi-rack rows): when
+  // cross_service != 0, each request draws its key and then an independent
+  // cross decision — with probability cross_fraction the get targets
+  // cross_service instead of the local service. The extra draw happens on
+  // *every* request of the stream (even at fraction 0), so sharded and
+  // single-queue runs of the same seed stay stream-identical.
+  NodeId cross_service = 0;
+  double cross_fraction = 0.0;
   LoadClientConfig client;
 };
 

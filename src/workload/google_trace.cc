@@ -1,13 +1,48 @@
 #include "src/workload/google_trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace incod {
 
+double DiurnalDensity(const GoogleTraceConfig& config, int64_t at_seconds) {
+  if (config.diurnal_amplitude <= 0 || config.diurnal_period_seconds <= 0) {
+    return 1.0;
+  }
+  const double phase = 2.0 * M_PI * static_cast<double>(at_seconds) /
+                       static_cast<double>(config.diurnal_period_seconds);
+  return 1.0 + config.diurnal_amplitude * std::sin(phase - M_PI / 2.0);
+}
+
+namespace {
+
+// Start time with the diurnal density over [0, latest_start], via rejection
+// against the (bounded) density peak. Deterministic given the rng stream;
+// with amplitude 0 this is a single uniform draw — the historical stream.
+int64_t DrawStartSeconds(const GoogleTraceConfig& config, Rng& rng,
+                         int64_t latest_start) {
+  if (config.diurnal_amplitude <= 0 || config.diurnal_period_seconds <= 0 ||
+      latest_start <= 0) {
+    return rng.UniformInt(0, latest_start);
+  }
+  const double peak = 1.0 + config.diurnal_amplitude;
+  for (;;) {
+    const int64_t candidate = rng.UniformInt(0, latest_start);
+    if (rng.UniformDouble(0.0, peak) <= DiurnalDensity(config, candidate)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<TraceTask> SynthesizeGoogleTrace(const GoogleTraceConfig& config, Rng& rng) {
   if (config.num_nodes == 0 || config.num_tasks == 0) {
     throw std::invalid_argument("SynthesizeGoogleTrace: empty config");
+  }
+  if (config.diurnal_amplitude < 0 || config.diurnal_amplitude > 1) {
+    throw std::invalid_argument("SynthesizeGoogleTrace: amplitude in [0, 1]");
   }
   std::vector<TraceTask> tasks;
   tasks.reserve(config.num_tasks);
@@ -28,7 +63,7 @@ std::vector<TraceTask> SynthesizeGoogleTrace(const GoogleTraceConfig& config, Rn
     t.cpu_cores = std::min(t.cpu_cores, 4.0);
     const int64_t latest_start = std::max<int64_t>(
         0, config.horizon_seconds - t.duration_seconds);
-    t.start_seconds = rng.UniformInt(0, latest_start);
+    t.start_seconds = DrawStartSeconds(config, rng, latest_start);
     tasks.push_back(t);
   }
   return tasks;

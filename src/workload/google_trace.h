@@ -40,10 +40,21 @@ struct GoogleTraceConfig {
   int64_t short_job_max_seconds = 1800;
   double long_job_cpu_mean = 0.55;
   double short_job_cpu_mean = 0.08;
+  // Diurnal load shape: task start times follow the density
+  // 1 + A * sin(2*pi*(t/period) - pi/2), i.e. a trough at t = 0 and a peak
+  // half a period in. A = 0 (default) keeps the historical uniform starts
+  // (and draws nothing extra from the rng). 0 <= A <= 1.
+  double diurnal_amplitude = 0;
+  int64_t diurnal_period_seconds = 24 * 3600;
 };
 
 // Deterministic synthetic trace with the configured statistics.
 std::vector<TraceTask> SynthesizeGoogleTrace(const GoogleTraceConfig& config, Rng& rng);
+
+// Task-start density multiplier at `at_seconds` under the config's diurnal
+// shape (1.0 everywhere when the amplitude is 0). Lets tests and scenarios
+// reason about where the synthesized day peaks.
+double DiurnalDensity(const GoogleTraceConfig& config, int64_t at_seconds);
 
 struct OffloadCandidateStats {
   uint64_t candidate_tasks = 0;      // >= cpu_threshold for >= min_duration.

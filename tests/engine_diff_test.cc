@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "src/kvs/kv_protocol.h"
+#include "src/row/row_scenario.h"
+#include "src/row/row_spec.h"
 #include "src/scenarios/kvs_testbed.h"
 #include "src/scenarios/multi_rack.h"
 #include "src/scenarios/rack_scenario.h"
@@ -351,6 +353,100 @@ TEST(EngineDiffTest, ShardedMultiRackIdenticalToSingleQueue) {
     EXPECT_GT(reference.events, 50000u);
     const ShardedScenarioResult parallel =
         RunShardedMultiRack(Mode::kParallel, 4, seed);
+    ExpectIdentical(reference, parallel, seed);
+  }
+}
+
+// The identity contract's hardest case: a 4-rack row under a *global* power
+// budget, with a correlated fault plan armed — uplink flap wave across three
+// racks, a staggered FPGA death wave, a global brownout whose cap cascade
+// evicts across racks. Row reports and caps ride PostCrossShard (the same
+// conservative path packets use), so everything — client traffic, rack
+// orchestrator decisions, row ledger history — must stay event-identical.
+ShardedScenarioResult RunShardedPowerRow(Mode mode, int threads, uint64_t seed) {
+  const int kRacks = 4;
+  MultiRackOptions fabric_options;
+  fabric_options.num_racks = kRacks;
+  fabric_options.kvs_rate_per_second = 150000;
+  fabric_options.dns_rate_per_second = 75000;
+  fabric_options.prefill = 1000;
+  fabric_options.keyspace = 1000;
+  RowSpec spec = MakeMultiRackRowSpec(fabric_options);
+  for (RowRackSpec& rack : spec.racks) {
+    rack.scenario.members[0].target.initially_active = false;
+    rack.scenario.members[0].target.name = "lake";
+    rack.orchestrate = true;
+    rack.orchestrator.check_period = Milliseconds(2);
+    rack.orchestrator.min_dwell = Milliseconds(2);
+    rack.orchestrator.sample_period = Milliseconds(2);
+    rack.orchestrator.heartbeat_period = Milliseconds(1);
+    rack.orchestrator.checkpoint_period = Milliseconds(2);
+    RowAppSpec app;
+    app.member = 0;
+    rack.apps.push_back(app);
+  }
+  spec.power.global_budget_watts = 120;
+  spec.power.report_period = Milliseconds(2);
+  spec.power.apportion_period = Milliseconds(5);
+  spec.power.sample_period = Milliseconds(2);
+  spec.power.min_rack_watts = 5;
+  AppendUplinkFlapWave(spec.faults, {0, 1, 2}, Milliseconds(6), Milliseconds(3),
+                       /*stagger=*/Microseconds(500));
+  AppendDeviceDeathWave(spec.faults, {0, 1, 2, 3}, "lake", Milliseconds(10),
+                        /*stagger=*/Milliseconds(1));
+  RowFaultEventSpec brownout;
+  brownout.kind = RowFaultEventSpec::Kind::kGlobalBrownout;
+  brownout.at = Milliseconds(14);
+  brownout.watts = 50;
+  spec.faults.events.push_back(brownout);
+
+  ShardedSimulation ssim(ShardOptions(mode, kRacks + 1, threads, seed));
+  RowScenario row(ssim, std::move(spec));
+  row.Start();
+  ssim.RunUntil(Milliseconds(20));
+
+  ShardedScenarioResult result;
+  result.events = ssim.events_executed();
+  for (int r = 0; r < kRacks; ++r) {
+    for (size_t c = 0; c < row.client_count(r); ++c) {
+      AppendClient(&result, row.client(r, c));
+    }
+    const RackOrchestrator& rack = *row.rack_orchestrator(r);
+    result.counters.push_back(rack.total_shifts());
+    result.counters.push_back(rack.failures_detected());
+    result.counters.push_back(rack.recoveries());
+    result.counters.push_back(rack.flap_suppressions());
+    result.counters.push_back(rack.checkpoints_taken());
+    result.counters.push_back(rack.decision_log().size());
+    result.counters.push_back(row.rack(r).faults().fault_log().size());
+    result.counters.push_back(row.rack(r).faults().device_deaths());
+    result.counters.push_back(
+        static_cast<uint64_t>(rack.ledger().committed_watts() * 1e6));
+    result.watts += row.rack(r).meter().MeanWatts(0, Milliseconds(20));
+  }
+  const RowOrchestrator& orch = *row.row_orchestrator();
+  result.counters.push_back(orch.caps_issued());
+  result.counters.push_back(orch.reports_received());
+  result.counters.push_back(orch.apportion_rounds());
+  result.counters.push_back(orch.global_brownouts());
+  result.counters.push_back(orch.decision_log().size());
+  result.counters.push_back(
+      static_cast<uint64_t>(orch.ledger().apportioned_watts() * 1e6));
+  return result;
+}
+
+TEST(EngineDiffTest, ShardedPowerRowIdenticalToSingleQueue) {
+  for (const uint64_t seed : {7u, 11u, 13u}) {
+    const ShardedScenarioResult reference =
+        RunShardedPowerRow(Mode::kSingleQueue, 1, seed);
+    EXPECT_GT(reference.events, 50000u) << "seed " << seed;
+    // The row machinery actually ran: reports crossed shards, the global
+    // brownout fired and the wave of deaths was detected.
+    const size_t row_base = reference.counters.size() - 6;
+    EXPECT_GT(reference.counters[row_base + 1], 0u) << "reports";
+    EXPECT_EQ(reference.counters[row_base + 3], 1u) << "global brownout";
+    const ShardedScenarioResult parallel =
+        RunShardedPowerRow(Mode::kParallel, 4, seed);
     ExpectIdentical(reference, parallel, seed);
   }
 }

@@ -396,6 +396,8 @@ TEST_P(RackShiftScheduleTest, LedgerStaysWithinBudgetAndCountersReconcile) {
       case RackDecisionRecord::Kind::kDeferral:
         ++deferrals;
         break;
+      default:
+        break;  // No detector in this schedule: no failure/flap records.
     }
   }
   EXPECT_GT(orchestrator.total_shifts(), 0u);  // The schedule actually shifted.
@@ -508,6 +510,7 @@ TEST_P(RackFaultScheduleTest, LedgerRespectsCapsAndFaultCountersReconcile) {
   uint64_t shifts = 0;
   uint64_t failures = 0;
   uint64_t recoveries = 0;
+  uint64_t flaps_suppressed = 0;
   for (const RackDecisionRecord& record : rack.orchestrator().decision_log()) {
     switch (record.kind) {
       case RackDecisionRecord::Kind::kShift:
@@ -520,6 +523,9 @@ TEST_P(RackFaultScheduleTest, LedgerRespectsCapsAndFaultCountersReconcile) {
       case RackDecisionRecord::Kind::kRecovery:
         ++recoveries;
         break;
+      case RackDecisionRecord::Kind::kFlapSuppressed:
+        ++flaps_suppressed;
+        break;
       case RackDecisionRecord::Kind::kDeferral:
         break;
     }
@@ -527,6 +533,7 @@ TEST_P(RackFaultScheduleTest, LedgerRespectsCapsAndFaultCountersReconcile) {
   EXPECT_EQ(rack.orchestrator().total_shifts(), shifts);
   EXPECT_EQ(rack.orchestrator().failures_detected(), failures);
   EXPECT_EQ(rack.orchestrator().recoveries(), recoveries);
+  EXPECT_EQ(rack.orchestrator().flap_suppressions(), flaps_suppressed);
   // A recovery implies a detected failure; recovery can't outrun detection.
   EXPECT_LE(recoveries, failures * rack.orchestrator().app_count());
 

@@ -377,6 +377,56 @@ TEST(RackRecoveryTest, RecoveryFallsBackToHostWithoutSurvivor) {
   EXPECT_TRUE(saw_recovery);
 }
 
+// Regression: before the reachability channel, a flapping heartbeat path
+// was indistinguishable from dead silicon — the detector fired a spurious
+// failure + recovery and abandoned a perfectly healthy placement.
+TEST(RackRecoveryTest, LinkFlapDoesNotTriggerRecovery) {
+  OrchestratorHarness h;
+  RackOrchestrator orchestrator(h.sim, RecoveryConfig());
+  const size_t app = orchestrator.AddApp(h.AppWithBothOptions(200000));
+  bool reachable = true;
+  orchestrator.SetHeartbeatReachability(&h.cheap, [&reachable] { return reachable; });
+  orchestrator.Start();
+  orchestrator.ForcePlacement(app, 1);  // The cheap target.
+
+  // Flap 1 heals inside the failure window (threshold 2 x 2 ms): invisible.
+  h.sim.Schedule(Milliseconds(10), [&reachable] { reachable = false; });
+  h.sim.Schedule(Milliseconds(11), [&reachable] { reachable = true; });
+  // Flap 2 outlasts the window many times over, device alive throughout.
+  h.sim.Schedule(Milliseconds(20), [&reachable] { reachable = false; });
+  h.sim.Schedule(Milliseconds(40), [&reachable] { reachable = true; });
+  h.sim.RunUntil(Milliseconds(60));
+
+  // Neither flap is a death: no failure, no recovery, placement intact.
+  EXPECT_EQ(orchestrator.failures_detected(), 0u);
+  EXPECT_EQ(orchestrator.recoveries(), 0u);
+  ASSERT_NE(orchestrator.current_option(app), nullptr);
+  EXPECT_EQ(orchestrator.current_option(app)->target, &h.cheap);
+  // Only the long flap crossed the threshold, logged once per streak.
+  EXPECT_EQ(orchestrator.flap_suppressions(), 1u);
+  uint64_t flap_records = 0;
+  for (const RackDecisionRecord& record : orchestrator.decision_log()) {
+    if (record.kind == RackDecisionRecord::Kind::kFlapSuppressed) {
+      ++flap_records;
+      EXPECT_EQ(record.target, h.cheap.TargetName());
+    }
+  }
+  EXPECT_EQ(flap_records, 1u);
+
+  // A real death behind a flap is still caught: misses keep accruing while
+  // the path is down, and the moment it answers with dead silicon the
+  // detector declares the failure and recovery replaces onto the survivor.
+  // (Absolute times: the clock already sits at 60 ms here.)
+  h.sim.ScheduleAt(Milliseconds(70), [&reachable] { reachable = false; });
+  h.sim.ScheduleAt(Milliseconds(72), [&h] { h.cheap.KillEngine(); });
+  h.sim.ScheduleAt(Milliseconds(80), [&reachable] { reachable = true; });
+  h.sim.RunUntil(Milliseconds(100));
+  EXPECT_EQ(orchestrator.failures_detected(), 1u);
+  EXPECT_EQ(orchestrator.recoveries(), 1u);
+  ASSERT_NE(orchestrator.current_option(app), nullptr);
+  EXPECT_EQ(orchestrator.current_option(app)->target, &h.pricey);
+}
+
 TEST(RackRecoveryTest, PowerCapEvictsLargestCommitmentsFirst) {
   OrchestratorHarness h;
   FakeMigrator pricey_b(h.sim, h.pricey);

@@ -2,13 +2,25 @@
 // configuration validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "src/dns/zone.h"
+#include "src/kvs/kv_protocol.h"
+#include "src/kvs/lake.h"
+#include "src/kvs/memcached_server.h"
+#include "src/net/switch.h"
+#include "src/net/topology.h"
 #include "src/ondemand/migrator.h"
 #include "src/power/cpu_power.h"
 #include "src/scenarios/dns_testbed.h"
 #include "src/scenarios/kvs_testbed.h"
+#include "src/scenarios/multi_rack.h"
 #include "src/scenarios/paxos_testbed.h"
+#include "src/sim/sharded.h"
+#include "src/workload/arrival.h"
 
 namespace incod {
 namespace {
@@ -412,6 +424,249 @@ TEST(PaxosTestbedTest, AcceptorSutUsesHardwareLeader) {
   EXPECT_NE(testbed.fpga_leader(), nullptr);
   EXPECT_NE(testbed.software_acceptor(0), nullptr);
   EXPECT_NE(testbed.sut_server(), nullptr);
+}
+
+// --- MultiRackScenario: veneer over RowSpec vs hand-wired construction ---
+
+struct MultiRackRunResult {
+  uint64_t events = 0;
+  std::vector<uint64_t> counters;
+  double watts = 0;
+};
+
+void AppendClientCounters(MultiRackRunResult* result, const LoadClient& client) {
+  result->counters.push_back(client.sent());
+  result->counters.push_back(client.received());
+  result->counters.push_back(client.lost());
+  result->counters.push_back(client.latency().P50());
+  result->counters.push_back(client.latency().P99());
+}
+
+ShardedSimulation::Options MultiRackShardOptions(ShardedSimulation::Mode mode,
+                                                 int shards, int threads,
+                                                 uint64_t seed) {
+  ShardedSimulation::Options sharded;
+  sharded.num_shards = shards;
+  sharded.num_threads = threads;
+  sharded.mode = mode;
+  sharded.seed = seed;
+  return sharded;
+}
+
+MultiRackOptions SmallMultiRackOptions() {
+  MultiRackOptions options;
+  options.num_racks = 2;
+  options.kvs_rate_per_second = 200000;
+  options.dns_rate_per_second = 100000;
+  options.prefill = 1000;
+  options.keyspace = 1000;
+  return options;
+}
+
+// The pre-row imperative construction, kept verbatim as the differential
+// reference: every rack a ScenarioTestbed wired by hand, clients added with
+// hand-rolled factories, uplinks and spine routes strung up one by one.
+MultiRackRunResult RunHandWiredMultiRack(ShardedSimulation::Mode mode, int threads,
+                                         uint64_t seed) {
+  const MultiRackOptions options = SmallMultiRackOptions();
+  const int num_racks = options.num_racks;
+  ShardedSimulation ssim(
+      MultiRackShardOptions(mode, num_racks + 1, threads, seed));
+
+  Zone zone;
+  zone.FillSynthetic(options.zone_size);
+  auto spine = std::make_unique<L2Switch>(ssim.shard(num_racks), "spine");
+  Topology spine_topology(ssim.shard(num_racks));
+  spine_topology.SetSharded(&ssim, num_racks);
+  spine_topology.AssignShard(spine.get(), num_racks);
+
+  std::vector<std::unique_ptr<ScenarioTestbed>> racks;
+  std::vector<LoadClient*> kvs_clients;
+  std::vector<LoadClient*> dns_clients;
+  const auto kvs_host = [](int r) { return MultiRackScenario::KvsHostNode(r); };
+
+  for (int r = 0; r < num_racks; ++r) {
+    ScenarioSpec spec;
+    spec.name = "rack-" + std::to_string(r);
+    spec.shard = r;
+    spec.meter_period = options.meter_period;
+    spec.host.present = false;
+    spec.target.kind = ScenarioTargetKind::kNone;
+    spec.env.zone = &zone;
+    spec.tor.present = true;
+    spec.tor.asic = false;
+    spec.tor.name = "tor-" + std::to_string(r);
+    {
+      ScenarioMemberSpec kvs;
+      kvs.name = "kvs";
+      kvs.link_name = "kvs-10ge";
+      kvs.host.config.name = spec.name + "-kvs-host";
+      kvs.host.config.node = kvs_host(r);
+      kvs.host.config.num_cores = 4;
+      kvs.host.config.power_curve = I7MemcachedCurve();
+      kvs.host.apps = {"kvs"};
+      kvs.target.kind = ScenarioTargetKind::kFpgaNic;
+      kvs.target.name = spec.name + "-lake";
+      kvs.target.device_node = MultiRackScenario::KvsDeviceNode(r);
+      kvs.target.app = "kvs";
+      kvs.switch_routes = {kvs_host(r), MultiRackScenario::KvsDeviceNode(r)};
+      spec.members.push_back(std::move(kvs));
+    }
+    {
+      ScenarioMemberSpec dns;
+      dns.name = "dns";
+      dns.link_name = "dns-10ge";
+      dns.host.config.name = spec.name + "-dns-host";
+      dns.host.config.node = MultiRackScenario::DnsHostNode(r);
+      dns.host.config.num_cores = 4;
+      dns.host.config.power_curve = I7NsdCurve();
+      dns.host.apps = {"dns"};
+      dns.target.kind = ScenarioTargetKind::kConventionalNic;
+      dns.switch_routes = {MultiRackScenario::DnsHostNode(r)};
+      dns.env.service = MultiRackScenario::DnsHostNode(r);
+      spec.members.push_back(std::move(dns));
+    }
+    racks.push_back(std::make_unique<ScenarioTestbed>(ssim, std::move(spec)));
+    ScenarioTestbed& rack = *racks.back();
+
+    LoadClientConfig kvs_client;
+    kvs_client.node = MultiRackScenario::KvsClientNode(r);
+    const NodeId local = kvs_host(r);
+    const NodeId remote = kvs_host((r + 1) % num_racks);
+    const int64_t max_key =
+        std::max<int64_t>(0, static_cast<int64_t>(options.keyspace) - 1);
+    const double cross_fraction = options.cross_rack_fraction;
+    kvs_clients.push_back(&rack.AddTorClient(
+        kvs_client, std::make_unique<PoissonArrival>(options.kvs_rate_per_second),
+        [local, remote, max_key, cross_fraction](NodeId src, uint64_t id,
+                                                 SimTime now, Rng& rng) {
+          const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, max_key));
+          const bool cross = rng.UniformDouble(0.0, 1.0) < cross_fraction;
+          return MakeKvRequestPacket(src, cross ? remote : local,
+                                     KvRequest{KvOp::kGet, key, 0}, id, now);
+        }));
+
+    LoadClientConfig dns_client;
+    dns_client.node = MultiRackScenario::DnsClientNode(r);
+    ScenarioWorkloadSpec dns_workload;
+    dns_workload.kind = ScenarioWorkloadSpec::Kind::kDnsQueries;
+    dns_clients.push_back(&rack.AddTorClient(
+        dns_client, std::make_unique<PoissonArrival>(options.dns_rate_per_second),
+        MakeScenarioRequestFactory(dns_workload, MultiRackScenario::DnsHostNode(r),
+                                   &zone)));
+  }
+
+  for (int r = 0; r < num_racks; ++r) {
+    ScenarioTestbed& rack = *racks[static_cast<size_t>(r)];
+    L2Switch* tor = rack.tor();
+    spine_topology.AssignShard(tor, r);
+    Link::Config uplink;
+    uplink.gigabits_per_second = options.uplink_gigabits_per_second;
+    uplink.propagation_delay = options.inter_rack_propagation;
+    Link* link = spine_topology.Connect(tor, spine.get(), uplink,
+                                        "uplink-" + std::to_string(r));
+    const int tor_port = tor->AttachLink(link);
+    tor->SetDefaultRoute(tor_port);
+    const int spine_port = spine->AttachLink(link);
+    for (NodeId node :
+         {kvs_host(r), MultiRackScenario::DnsHostNode(r),
+          MultiRackScenario::KvsDeviceNode(r), MultiRackScenario::KvsClientNode(r),
+          MultiRackScenario::DnsClientNode(r)}) {
+      spine->AddRoute(node, spine_port);
+    }
+
+    auto* memcached = rack.member_host_app_as<MemcachedServer>(0);
+    auto* lake = rack.member_offload_app_as<LakeCache>(0);
+    for (uint64_t k = 0; k < options.prefill; ++k) {
+      memcached->store().Set(k, options.value_bytes);
+    }
+    lake->WarmFill(0, options.prefill, options.value_bytes);
+  }
+
+  for (LoadClient* client : kvs_clients) {
+    client->Start();
+  }
+  for (LoadClient* client : dns_clients) {
+    client->Start();
+  }
+  ssim.RunUntil(Milliseconds(15));
+
+  MultiRackRunResult result;
+  result.events = ssim.events_executed();
+  for (int r = 0; r < num_racks; ++r) {
+    AppendClientCounters(&result, *kvs_clients[static_cast<size_t>(r)]);
+    AppendClientCounters(&result, *dns_clients[static_cast<size_t>(r)]);
+    result.watts +=
+        racks[static_cast<size_t>(r)]->meter().MeanWatts(0, Milliseconds(15));
+  }
+  return result;
+}
+
+MultiRackRunResult RunVeneerMultiRack(ShardedSimulation::Mode mode, int threads,
+                                      uint64_t seed) {
+  const MultiRackOptions options = SmallMultiRackOptions();
+  ShardedSimulation ssim(
+      MultiRackShardOptions(mode, options.num_racks + 1, threads, seed));
+  MultiRackScenario fabric(ssim, options);
+  fabric.Start();
+  ssim.RunUntil(Milliseconds(15));
+
+  MultiRackRunResult result;
+  result.events = ssim.events_executed();
+  for (int r = 0; r < fabric.num_racks(); ++r) {
+    AppendClientCounters(&result, fabric.kvs_client(r));
+    AppendClientCounters(&result, fabric.dns_client(r));
+    result.watts += fabric.rack(r).meter().MeanWatts(0, Milliseconds(15));
+  }
+  return result;
+}
+
+// The RowSpec veneer must be event-identical to the pre-row hand-wired
+// construction — in the single-queue engine *and* when the veneer runs
+// sharded-parallel against the hand-wired single-queue reference.
+TEST(MultiRackTest, VeneerMatchesHandWiredEventStream) {
+  for (const uint64_t seed : {7u, 21u}) {
+    const MultiRackRunResult hand =
+        RunHandWiredMultiRack(ShardedSimulation::Mode::kSingleQueue, 1, seed);
+    EXPECT_GT(hand.events, 50000u) << "seed " << seed;  // Non-trivial run.
+    for (const auto mode : {ShardedSimulation::Mode::kSingleQueue,
+                            ShardedSimulation::Mode::kParallel}) {
+      const int threads = mode == ShardedSimulation::Mode::kParallel ? 3 : 1;
+      const MultiRackRunResult veneer = RunVeneerMultiRack(mode, threads, seed);
+      EXPECT_EQ(hand.events, veneer.events)
+          << "seed " << seed << " mode " << static_cast<int>(mode);
+      ASSERT_EQ(hand.counters.size(), veneer.counters.size());
+      for (size_t i = 0; i < hand.counters.size(); ++i) {
+        EXPECT_EQ(hand.counters[i], veneer.counters[i])
+            << "counter " << i << " seed " << seed << " mode "
+            << static_cast<int>(mode);
+      }
+      EXPECT_DOUBLE_EQ(hand.watts, veneer.watts) << "seed " << seed;
+    }
+  }
+}
+
+TEST(MultiRackTest, VeneerExposesRowWiring) {
+  MultiRackOptions options = SmallMultiRackOptions();
+  ShardedSimulation ssim(MultiRackShardOptions(
+      ShardedSimulation::Mode::kSingleQueue, options.num_racks + 1, 1, 7));
+  MultiRackScenario fabric(ssim, options);
+  EXPECT_EQ(fabric.num_racks(), 2);
+  EXPECT_EQ(fabric.row().num_racks(), 2);
+  EXPECT_EQ(fabric.row().spine_shard(), 2);
+  // Plain fabric: no orchestration, no global budget.
+  EXPECT_EQ(fabric.row().rack_orchestrator(0), nullptr);
+  EXPECT_EQ(fabric.row().row_orchestrator(), nullptr);
+  // The spec builder names racks and uplinks the way the fabric always has.
+  const RowSpec spec = MakeMultiRackRowSpec(options);
+  ASSERT_EQ(spec.racks.size(), 2u);
+  EXPECT_EQ(spec.racks[0].scenario.name, "rack-0");
+  EXPECT_EQ(spec.racks[1].scenario.name, "rack-1");
+  EXPECT_EQ(spec.racks[0].clients.size(), 2u);
+  EXPECT_EQ(spec.racks[0].clients[0].workload.cross_service,
+            MultiRackScenario::KvsHostNode(1));
+  EXPECT_EQ(spec.racks[1].clients[0].workload.cross_service,
+            MultiRackScenario::KvsHostNode(0));
 }
 
 }  // namespace

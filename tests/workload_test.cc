@@ -295,6 +295,52 @@ TEST(GoogleTraceTest, OffloadCandidateAnalysis) {
   EXPECT_LT(stats.candidate_fraction, 0.5);
 }
 
+TEST(GoogleTraceTest, DiurnalAmplitudeShapesStartDensity) {
+  GoogleTraceConfig config;
+  config.num_tasks = 50000;
+  config.diurnal_amplitude = 0.8;
+  // Density bottoms at the day start (phase -pi/2) and peaks mid-day.
+  EXPECT_NEAR(DiurnalDensity(config, 0), 0.2, 1e-9);
+  EXPECT_NEAR(DiurnalDensity(config, config.horizon_seconds / 2), 1.8, 1e-9);
+  Rng rng(15);
+  const auto tasks = SynthesizeGoogleTrace(config, rng);
+  uint64_t first_quarter = 0, mid_half = 0;
+  for (const TraceTask& task : tasks) {
+    if (task.start_seconds < config.horizon_seconds / 4) {
+      ++first_quarter;
+    }
+    if (task.start_seconds >= config.horizon_seconds / 4 &&
+        task.start_seconds < 3 * config.horizon_seconds / 4) {
+      ++mid_half;
+    }
+  }
+  // Starts pile mid-day: the middle half draws far more than the off-peak
+  // first quarter (a uniform trace would put ~25 % in each quarter).
+  EXPECT_GT(mid_half, 2 * first_quarter);
+}
+
+TEST(GoogleTraceTest, ZeroAmplitudeKeepsHistoricalStream) {
+  GoogleTraceConfig config;
+  config.num_tasks = 2000;
+  {
+    // Amplitude 0 must be draw-for-draw the historical uniform stream.
+    Rng a(16), b(16);
+    const auto uniform = SynthesizeGoogleTrace(config, a);
+    GoogleTraceConfig flat = config;
+    flat.diurnal_amplitude = 0;
+    const auto same = SynthesizeGoogleTrace(flat, b);
+    ASSERT_EQ(uniform.size(), same.size());
+    for (size_t i = 0; i < uniform.size(); ++i) {
+      EXPECT_EQ(uniform[i].start_seconds, same[i].start_seconds) << "task " << i;
+      EXPECT_EQ(uniform[i].node, same[i].node) << "task " << i;
+    }
+  }
+  GoogleTraceConfig bad = config;
+  bad.diurnal_amplitude = 1.5;
+  Rng rng(17);
+  EXPECT_THROW(SynthesizeGoogleTrace(bad, rng), std::invalid_argument);
+}
+
 TEST(GoogleTraceTest, EmptyInputsHandled) {
   const auto stats = AnalyzeOffloadCandidates({}, 10);
   EXPECT_EQ(stats.candidate_tasks, 0u);
