@@ -54,6 +54,23 @@ cold restarts worse by at least the recorded margin.
     check_bench_regression.py --row BENCH_row.json \
         [--baseline bench/baseline_row.json] \
         [--merge-out BENCH_row.json]
+
+Flow (--flow): gates the backpressure part written by bench_flow --out
+against bench/baseline_flow.json. The drop-tail leg must actually shed
+load, the flow-control leg must convert that loss into backpressure
+(zero chain drops, pause frames and CNPs observed, goodput preserved),
+and the host-vs-offload p99 slowdown ratio must shift measurably when
+backpressure is on.
+
+    check_bench_regression.py --flow BENCH_flow.json \
+        [--baseline bench/baseline_flow.json] \
+        [--merge-out BENCH_flow.json]
+
+Self-test (--self-test): exercises every gate closure in the GATES
+registry against canned in-memory JSON — each section must pass on its
+good fixture and each tampered fixture must trip at least one check.
+Run by CI's lint step so a gate edit that silently stops failing (or
+starts false-failing) is caught without real bench output.
 """
 import json
 import sys
@@ -263,7 +280,143 @@ GATES = {
         ],
         fail_banner="FAIL: datacenter-row gate",
     ),
+    "flow": Gate(
+        name="flow",
+        default_baseline="bench/baseline_flow.json",
+        merge_keys=("backpressure", "offload"),
+        sections=[
+            Section("backpressure", "overload backpressure (drop-tail vs PFC+DCQCN)", [
+                ge("droptail_drop_fraction", "min_droptail_drop_fraction",
+                   "drop-tail drop fraction"),
+                le("flow_drop_fraction", "max_flow_drop_fraction",
+                   "flow-control chain drop fraction", fmt="{:.4f}"),
+                ge("flow_pause_frames", "min_flow_pause_frames",
+                   "host pause frames", fmt="{:.0f}"),
+                ge("flow_cnps", "min_flow_cnps", "CNPs sent", fmt="{:.0f}"),
+                ge("goodput_ratio", "min_goodput_ratio",
+                   "goodput ratio (flow / drop-tail)"),
+            ]),
+            Section("offload", "host-vs-offload shift under backpressure", [
+                ge("flow_slowdown", "min_flow_slowdown",
+                   "host-vs-offload p99 slowdown (flow)", fmt="{:.0f}",
+                   suffix="x"),
+                ge("slowdown_shift", "min_slowdown_shift",
+                   "slowdown shift (flow / drop-tail)", fmt="{:.2f}",
+                   suffix="x"),
+                le("offload_flow_drop_fraction",
+                   "max_offload_flow_drop_fraction",
+                   "offload chain drop fraction under flow", fmt="{:.4f}"),
+            ]),
+        ],
+        fail_banner="FAIL: flow-control backpressure gate",
+    ),
 }
+
+# --- Self-test fixtures ------------------------------------------------------
+# One canned (merged, baseline) pair per gate that must pass every check,
+# plus tampered field values that must each trip at least one check.
+
+SELF_TEST_FIXTURES = {
+    "transitions": {
+        "merged": {
+            "kvs": {"warm_post_shift_miss_fraction": 0.01,
+                    "delta_miss_fraction": 0.5},
+            "kvs_smartnic": {"warm_post_shift_miss_fraction": 0.02,
+                             "delta_miss_fraction": 0.4},
+            "paxos": {"warm_to_network_gap_ms": 1.0,
+                      "delta_to_network_gap_ms": 80.0},
+        },
+        "baseline": {
+            "kvs": {"warm_max_miss_fraction": 0.05,
+                    "min_delta_miss_fraction": 0.2},
+            "kvs_smartnic": {"warm_max_miss_fraction": 0.05,
+                             "min_delta_miss_fraction": 0.2},
+            "paxos": {"warm_max_gap_ms": 5.0, "min_delta_gap_ms": 50.0},
+        },
+        "tampers": [("kvs", "warm_post_shift_miss_fraction", 0.5),
+                    ("paxos", "delta_to_network_gap_ms", 0.0)],
+    },
+    "recovery": {
+        "merged": {
+            "kvs": {"detection_ms": 3.0, "warm_recovery_flag": True,
+                    "warm_checkpoints": 4,
+                    "warm_post_recovery_miss_fraction": 0.01,
+                    "delta_miss_fraction": 0.4},
+            "paxos": {"detection_ms": 3.0, "warm_recovery_flag": True,
+                      "warm_checkpoints": 2, "warm_gap_ms": 2.0,
+                      "delta_gap_ms": 60.0},
+        },
+        "baseline": {
+            "kvs": {"max_detection_ms": 10.0, "require_warm_recovery": True,
+                    "warm_max_miss_fraction": 0.05,
+                    "min_delta_miss_fraction": 0.2},
+            "paxos": {"max_detection_ms": 10.0, "require_warm_recovery": True,
+                      "warm_max_gap_ms": 5.0, "min_delta_gap_ms": 20.0},
+        },
+        "tampers": [("kvs", "detection_ms", -1.0),
+                    ("kvs", "warm_recovery_flag", False),
+                    ("paxos", "warm_gap_ms", 50.0)],
+    },
+    "row": {
+        "merged": {
+            "wave": {"racks_evicted": 3, "wave_latency_ms": 5.0},
+            "cadence": {"fine_miss_fraction": 0.01,
+                        "delta_miss_fraction": 0.3, "racks": 4,
+                        "points": [
+                            {"label": "cold", "miss_fraction": 0.4},
+                            {"label": "coarse", "miss_fraction": 0.2},
+                            {"label": "fine", "miss_fraction": 0.01,
+                             "warm_recoveries": 4},
+                        ]},
+        },
+        "baseline": {
+            "wave": {"min_racks_evicted": 2, "max_wave_latency_ms": 10.0},
+            "cadence": {"warm_max_miss_fraction": 0.05,
+                        "min_delta_miss_fraction": 0.1,
+                        "require_monotone": True, "monotone_epsilon": 0.0,
+                        "require_warm_recovery": True},
+        },
+        "tampers": [("wave", "racks_evicted", 0),
+                    ("wave", "wave_latency_ms", 50.0),
+                    ("cadence", "fine_miss_fraction", 0.5)],
+    },
+    "flow": {
+        "merged": {
+            "backpressure": {"droptail_drop_fraction": 0.85,
+                             "flow_drop_fraction": 0.0,
+                             "flow_pause_frames": 40, "flow_cnps": 39,
+                             "goodput_ratio": 1.0},
+            "offload": {"flow_slowdown": 8000.0, "slowdown_shift": 4.0,
+                        "offload_flow_drop_fraction": 0.0},
+        },
+        "baseline": {
+            "backpressure": {"min_droptail_drop_fraction": 0.5,
+                             "max_flow_drop_fraction": 0.001,
+                             "min_flow_pause_frames": 10, "min_flow_cnps": 10,
+                             "min_goodput_ratio": 0.8},
+            "offload": {"min_flow_slowdown": 3000.0,
+                        "min_slowdown_shift": 2.0,
+                        "max_offload_flow_drop_fraction": 0.001},
+        },
+        "tampers": [("backpressure", "flow_drop_fraction", 0.5),
+                    ("backpressure", "flow_cnps", 0),
+                    ("offload", "slowdown_shift", 1.0)],
+    },
+}
+
+
+def run_sections(ctx, gate):
+    for section in gate.sections:
+        if section.key not in ctx.baseline:
+            continue
+        print(f"{section.label}:")
+        if section.key not in ctx.merged:
+            ctx.failures.append(f"{section.key}: missing bench part")
+            continue
+        leg = ctx.merged[section.key]
+        policy = ctx.baseline[section.key]
+        for check in section.checks:
+            check(ctx, section.key, leg, policy)
 
 
 def run_gate(gate, parts, baseline_path, merge_out):
@@ -279,17 +432,7 @@ def run_gate(gate, parts, baseline_path, merge_out):
         baseline = json.load(f)
 
     ctx = GateContext(merged, baseline)
-    for section in gate.sections:
-        if section.key not in baseline:
-            continue
-        print(f"{section.label}:")
-        if section.key not in merged:
-            ctx.failures.append(f"{section.key}: missing bench part")
-            continue
-        leg = merged[section.key]
-        policy = baseline[section.key]
-        for check in section.checks:
-            check(ctx, section.key, leg, policy)
+    run_sections(ctx, gate)
 
     if merge_out:
         with open(merge_out, "w") as f:
@@ -301,6 +444,45 @@ def run_gate(gate, parts, baseline_path, merge_out):
         print(gate.fail_banner)
         return 1
     print("OK")
+    return 0
+
+
+# --- Self-test (gate-closure fixtures, no real bench output) -----------------
+
+def self_test() -> int:
+    import copy
+
+    problems = []
+    missing = sorted(set(GATES) - set(SELF_TEST_FIXTURES))
+    if missing:
+        problems.append(f"gates without self-test fixtures: {missing}")
+
+    for name, gate in sorted(GATES.items()):
+        fixture = SELF_TEST_FIXTURES.get(name)
+        if fixture is None:
+            continue
+        print(f"--- self-test: {name} (good fixture) ---")
+        ctx = GateContext(fixture["merged"], fixture["baseline"])
+        run_sections(ctx, gate)
+        if ctx.failures:
+            problems.append(f"{name}: good fixture failed {ctx.failures}")
+
+        for section_key, field, bad_value in fixture["tampers"]:
+            print(f"--- self-test: {name} (tamper {section_key}.{field} "
+                  f"= {bad_value!r}, must trip) ---")
+            tampered = copy.deepcopy(fixture["merged"])
+            tampered[section_key][field] = bad_value
+            ctx = GateContext(tampered, fixture["baseline"])
+            run_sections(ctx, gate)
+            if not ctx.failures:
+                problems.append(
+                    f"{name}: tampering {section_key}.{field} tripped no check")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: self-test: {problem}")
+        return 1
+    print(f"OK: self-test exercised {len(GATES)} gates")
     return 0
 
 
@@ -397,6 +579,8 @@ def main() -> int:
             mode = arg[2:]
         elif arg == "--engine-parallel":
             engine_parallel = True
+        elif arg == "--self-test":
+            return self_test()
         else:
             args.append(arg)
         i += 1

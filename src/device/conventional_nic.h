@@ -30,12 +30,22 @@ struct ConventionalNicConfig {
 ConventionalNicConfig MellanoxConnectX3Config(NodeId host_node);
 ConventionalNicConfig IntelX520Config(NodeId host_node);
 
-class ConventionalNic : public PacketSink, public PowerSource {
+class ConventionalNic : public PacketSink, public PowerSource, public FlowListener {
  public:
   ConventionalNic(Simulation& sim, ConventionalNicConfig config);
 
   void SetNetworkLink(Link* link) { net_link_ = link; }
-  void SetHostLink(Link* link) { host_link_ = link; }
+  void SetHostLink(Link* link) {
+    host_link_ = link;
+    if (link != nullptr && link->config().flow.pfc) {
+      link->SetFlowListener(this, this);
+    }
+  }
+
+  // FlowListener: PCIe backlog toward the host crossed a watermark —
+  // propagate the pause out to the network side.
+  void OnLinkCongestion(Link* link, bool congested) override;
+  uint64_t pause_propagations() const { return pause_propagations_; }
 
   void Receive(Packet packet) override;
   std::string SinkName() const override { return config_.name; }
@@ -52,6 +62,7 @@ class ConventionalNic : public PacketSink, public PowerSource {
   Link* host_link_ = nullptr;
   SimTime busy_until_ = 0;
   Counter dropped_;
+  uint64_t pause_propagations_ = 0;
 };
 
 }  // namespace incod

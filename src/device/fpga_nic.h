@@ -55,7 +55,8 @@ struct FpgaNicConfig {
 class FpgaNic : public PacketSink,
                 public PowerSource,
                 public OffloadTarget,
-                public AppContext {
+                public AppContext,
+                public FlowListener {
  public:
   FpgaNic(Simulation& sim, FpgaNicConfig config);
 
@@ -77,7 +78,17 @@ class FpgaNic : public PacketSink,
   // Attach the network-side and host-side links (both must have this device
   // as one endpoint).
   void SetNetworkLink(Link* link) { net_link_ = link; }
-  void SetHostLink(Link* link) { host_link_ = link; }
+  void SetHostLink(Link* link) {
+    host_link_ = link;
+    if (link != nullptr && link->config().flow.pfc) {
+      link->SetFlowListener(this, this);
+    }
+  }
+
+  // FlowListener: the PCIe (host) direction backed up — the host stopped
+  // draining — so propagate the pause out the network link toward the ToR.
+  void OnLinkCongestion(Link* link, bool congested) override;
+  uint64_t pause_propagations() const { return pause_propagations_; }
 
   // --- Runtime controls (the knobs of §5.1/§9.2, OffloadTarget surface) ---
   // When active, matching packets are processed in the app core; when
@@ -161,6 +172,7 @@ class FpgaNic : public PacketSink,
   PsuModel standalone_psu_{kStandalonePsuRatedWatts};
   Link* net_link_ = nullptr;
   Link* host_link_ = nullptr;
+  uint64_t pause_propagations_ = 0;
   App* app_ = nullptr;
   OffloadPlacementProfile profile_{};
   FpgaPipelineSpec pipeline_{};

@@ -87,7 +87,8 @@ using SmartNicHandler = std::function<std::optional<Packet>(const Packet&)>;
 class SmartNic : public PacketSink,
                  public PowerSource,
                  public OffloadTarget,
-                 public AppContext {
+                 public AppContext,
+                 public FlowListener {
  public:
   SmartNic(Simulation& sim, SmartNicPreset preset, SmartNicDeviceConfig config);
 
@@ -111,7 +112,17 @@ class SmartNic : public PacketSink,
   int app_slots_used() const { return slots_used_; }
 
   void SetNetworkLink(Link* link) { net_link_ = link; }
-  void SetHostLink(Link* link) { host_link_ = link; }
+  void SetHostLink(Link* link) {
+    host_link_ = link;
+    if (link != nullptr && link->config().flow.pfc) {
+      link->SetFlowListener(this, this);
+    }
+  }
+
+  // FlowListener: PCIe backlog toward the host crossed a watermark —
+  // propagate the pause out to the network side.
+  void OnLinkCongestion(Link* link, bool congested) override;
+  uint64_t pause_propagations() const { return pause_propagations_; }
 
   // --- AppContext (the narrow surface hosted apps talk through) ---
   Simulation& sim() override { return sim_; }
@@ -187,6 +198,7 @@ class SmartNic : public PacketSink,
   int slots_used_ = 0;
   Link* net_link_ = nullptr;
   Link* host_link_ = nullptr;
+  uint64_t pause_propagations_ = 0;
   SimTime busy_until_ = 0;
   bool app_active_ = false;
   bool clock_gating_ = false;

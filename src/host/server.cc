@@ -77,6 +77,11 @@ void Server::Receive(Packet packet) {
     dropped_.Increment();
     return;
   }
+  if (config_.flow.cnp && packet.ecn) {
+    // The packet crossed a congested queue on the way here: DCQCN
+    // notification point, CNP back to the sender (rate-limited per source).
+    MaybeSendCnp(packet);
+  }
   BoundApp& bound = *found;
   // Dispatch to the least-loaded worker thread (memcached-style per-thread
   // UDP sockets with RSS spreading).
@@ -95,9 +100,41 @@ void Server::Receive(Packet packet) {
     return;
   }
   thread.queue.push_back(std::move(packet));
+  ++rx_queued_;
+  MaybeUpdateIngressPause();
   if (!thread.busy) {
     StartService(bound, best);
   }
+}
+
+void Server::MaybeUpdateIngressPause() {
+  if (!config_.flow.pfc || uplink_ == nullptr || !uplink_->config().flow.pfc) {
+    return;
+  }
+  if (!ingress_paused_ && rx_queued_ >= config_.flow.pause_high_watermark) {
+    ingress_paused_ = true;
+    pauses_sent_.Increment();
+    uplink_->PauseUpstream(this, true);
+  } else if (ingress_paused_ && rx_queued_ <= config_.flow.pause_low_watermark) {
+    ingress_paused_ = false;
+    uplink_->PauseUpstream(this, false);
+  }
+}
+
+void Server::MaybeSendCnp(const Packet& packet) {
+  const SimTime now = sim_.Now();
+  auto [it, first] = last_cnp_at_.try_emplace(packet.src, now);
+  if (!first) {
+    if (now - it->second < config_.flow.cnp_min_interval) {
+      return;
+    }
+    it->second = now;
+  }
+  ControlMessage msg;
+  msg.kind = ControlMessage::Kind::kCongestion;
+  msg.target_proto = packet.proto;
+  cnps_sent_.Increment();
+  Transmit(MakeControlPacket(config_.node, packet.src, msg, 0, now));
 }
 
 void Server::StartService(BoundApp& bound, size_t thread_index) {
@@ -109,6 +146,8 @@ void Server::StartService(BoundApp& bound, size_t thread_index) {
   thread.busy = true;
   Packet pkt = std::move(thread.queue.front());
   thread.queue.pop_front();
+  --rx_queued_;
+  MaybeUpdateIngressPause();
   const SimDuration service = config_.stack_rx_cost +
                               bound.app->CpuTimePerRequest(pkt) + config_.stack_tx_cost;
   auto complete = [this, &bound, thread_index, service, pkt = std::move(pkt)]() mutable {

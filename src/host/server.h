@@ -18,6 +18,7 @@
 
 #include "src/app/app.h"
 #include "src/host/software_app.h"
+#include "src/net/flow_control.h"
 #include "src/net/link.h"
 #include "src/net/packet.h"
 #include "src/power/cpu_power.h"
@@ -42,6 +43,9 @@ struct ServerConfig {
   int dpdk_poll_cores = 1;                        // Cores pinned to polling (kDpdk).
   size_t rx_queue_capacity = 1024;                // Per worker thread.
   SimDuration utilization_sample_period = Milliseconds(1);
+  // Host ingress flow control: pause the uplink at rx-backlog watermarks,
+  // CNP-notify senders of ECN-marked arrivals (requires a PFC uplink).
+  HostFlowConfig flow;
 };
 
 class Server : public PacketSink, public PowerSource, public AppContext {
@@ -107,6 +111,12 @@ class Server : public PacketSink, public PowerSource, public AppContext {
   uint64_t requests_completed() const { return completed_.value(); }
   uint64_t requests_dropped() const { return dropped_.value(); }
 
+  // Host ingress flow-control state/counters (config().flow).
+  bool ingress_paused() const { return ingress_paused_; }
+  size_t rx_queued() const { return rx_queued_; }
+  uint64_t pause_frames_sent() const { return pauses_sent_.value(); }
+  uint64_t cnps_sent() const { return cnps_sent_.value(); }
+
  private:
   struct WorkerThread {
     std::deque<Packet> queue;
@@ -121,6 +131,11 @@ class Server : public PacketSink, public PowerSource, public AppContext {
 
   BoundApp* FindBound(const Packet& packet);
   void StartService(BoundApp& bound, size_t thread_index);
+  // Pause/resume the uplink when the total rx backlog crosses the
+  // watermarks (config_.flow.pfc).
+  void MaybeUpdateIngressPause();
+  // Rate-limited CNP back to the sender of an ECN-marked packet.
+  void MaybeSendCnp(const Packet& packet);
   // Lazily re-samples utilization into the power model when at least one
   // sample period has elapsed. Called from every power/utilization read so
   // the simulation needs no perpetual sampling event (runs terminate).
@@ -137,6 +152,12 @@ class Server : public PacketSink, public PowerSource, public AppContext {
   mutable double last_app_utilization_ = 0;
   Counter completed_;
   Counter dropped_;
+  // Ingress flow control.
+  bool ingress_paused_ = false;
+  size_t rx_queued_ = 0;  // Total queued across all bound apps' threads.
+  Counter pauses_sent_;
+  Counter cnps_sent_;
+  std::unordered_map<NodeId, SimTime> last_cnp_at_;
 };
 
 // A co-running CPU-bound workload (the paper uses ChainerMN as the second

@@ -20,6 +20,7 @@ struct ControlMessage {
     kReprogram,          // Begin an FPGA partial reconfiguration.
     kStatsRequest,       // Poll a device for its app ingress rate.
     kStatsReport,        // Response: `value` carries the polled rate/counter.
+    kCongestion,         // CNP: receiver saw ECN-marked ingress from you.
   };
 
   Kind kind = Kind::kStatsRequest;

@@ -10,6 +10,8 @@ namespace incod {
 
 static_assert(sizeof(Link*) + sizeof(int) <= InlineEvent::kInlineCapacity,
               "Link delivery events must stay inline");
+static_assert(sizeof(Link*) + sizeof(int) + sizeof(bool) <= InlineEvent::kInlineCapacity,
+              "Pause flip events must stay inline");
 
 Link::Link(Simulation& sim, Config config, std::string name)
     : sim_(sim), config_(config), name_(std::move(name)) {
@@ -78,6 +80,10 @@ void Link::Send(const PacketSink* from, Packet packet) {
     ++d.dropped_down_tx;
     return;
   }
+  if (config_.flow.pfc) {
+    SendPaced(index, std::move(packet));
+    return;
+  }
   Simulation& drive = DriveSim(d);
   const SimTime now = drive.Now();
   if (d.cross) {
@@ -89,7 +95,7 @@ void Link::Send(const PacketSink* from, Packet packet) {
       d.waiting_starts.pop_front();
     }
     if (d.waiting_starts.size() >= config_.queue_capacity_packets) {
-      ++d.dropped;
+      ++d.dropped_overflow;
       return;
     }
     const SimTime start = std::max(now, d.busy_until);
@@ -113,7 +119,7 @@ void Link::Send(const PacketSink* from, Packet packet) {
                        [](SimTime t, const InFlight& f) { return t < f.service_start; });
   const size_t waiting = static_cast<size_t>(d.in_flight.end() - first_waiting);
   if (waiting >= config_.queue_capacity_packets) {
-    ++d.dropped;
+    ++d.dropped_overflow;
     return;
   }
   const SimTime start = std::max(now, d.busy_until);
@@ -129,6 +135,119 @@ void Link::Send(const PacketSink* from, Packet packet) {
   d.in_flight.push_back(InFlight{start, deliver_at, std::move(packet)});
   if (!coalesce) {
     drive.ScheduleAt(deliver_at, Deliver{this, index});
+  }
+}
+
+void Link::SendPaced(int index, Packet packet) {
+  Direction& d = dir_[index];
+  // In paced mode the waiting backlog is explicit: everything in tx_queue
+  // except the packet occupying the serializer.
+  const size_t waiting = d.tx_queue.size() - (d.serving ? 1u : 0u);
+  if (waiting >= config_.queue_capacity_packets) {
+    ++d.dropped_overflow;
+    return;
+  }
+  if (d.peer_paused) {
+    // Deferred behind the pause, not lost: it stays queued and delivers
+    // after resume. Must never show up in the drop accounting.
+    ++d.paused_deferred;
+  }
+  d.tx_queue.push_back(std::move(packet));
+  if (!d.congested &&
+      d.tx_queue.size() - (d.serving ? 1u : 0u) >= config_.flow.pause_high_watermark) {
+    d.congested = true;
+    if (d.listener != nullptr) {
+      d.listener->OnLinkCongestion(this, true);
+    }
+  }
+  if (!d.serving && !d.peer_paused) {
+    StartService(index);
+  }
+}
+
+void Link::StartService(int dir) {
+  Direction& d = dir_[dir];
+  d.serving = true;
+  Simulation& drive = DriveSim(d);
+  Packet& front = d.tx_queue.front();
+  if (config_.flow.ecn && !front.ecn &&
+      d.tx_queue.size() >= config_.flow.ecn_threshold_packets) {
+    front.ecn = true;
+    ++d.ecn_marked;
+  }
+  drive.ScheduleAt(drive.Now() + SerializationDelay(front.size_bytes),
+                   ServeDone{this, dir});
+}
+
+void Link::CompleteService(int dir) {
+  Direction& d = dir_[dir];
+  Packet pkt = std::move(d.tx_queue.front());
+  d.tx_queue.pop_front();
+  Simulation& drive = DriveSim(d);
+  const SimTime now = drive.Now();
+  if (d.congested && d.tx_queue.size() <= config_.flow.pause_low_watermark) {
+    d.congested = false;
+    if (d.listener != nullptr) {
+      d.listener->OnLinkCongestion(this, false);
+    }
+  }
+  // Put the serialized packet on the wire (one delivery event per packet;
+  // paced directions never coalesce, CompleteDelivery pops exactly one).
+  if (d.tx_down) {
+    ++d.dropped_down_tx;
+  } else if (d.cross) {
+    sharded_->PostCrossShard(d.src_shard, d.dst_shard, now + config_.propagation_delay,
+                             CrossDeliver{this, dir, std::move(pkt)});
+  } else {
+    d.in_flight.push_back(InFlight{now, now + config_.propagation_delay, std::move(pkt)});
+    drive.ScheduleAt(now + config_.propagation_delay, Deliver{this, dir});
+  }
+  if (!d.tx_queue.empty() && !d.peer_paused) {
+    StartService(dir);
+  } else {
+    d.serving = false;
+  }
+}
+
+void Link::SetFlowListener(const PacketSink* sender_end, FlowListener* listener) {
+  if (!config_.flow.pfc) {
+    throw std::logic_error("Link::SetFlowListener on non-PFC link " + name_);
+  }
+  // The direction `sender_end` transmits on is the one toward the other end.
+  dir_[1 - IndexToward(sender_end)].listener = listener;
+}
+
+void Link::PauseUpstream(const PacketSink* self, bool paused) {
+  if (!config_.flow.pfc) {
+    throw std::logic_error("Link::PauseUpstream on non-PFC link " + name_);
+  }
+  const int index = IndexToward(self);
+  Direction& d = dir_[index];
+  // The pause frame travels from `self` back to the direction's sender: one
+  // propagation delay, applied as an ordinary event in the sender's shard.
+  if (d.cross) {
+    // The caller runs in the receiver's shard for this direction; the flip
+    // crosses to the sender's shard through the mailbox path.
+    sharded_->PostCrossShard(d.dst_shard, d.src_shard,
+                             sharded_->shard(d.dst_shard).Now() + config_.propagation_delay,
+                             PauseFlip{this, index, paused});
+    return;
+  }
+  Simulation& drive = DriveSim(d);
+  drive.ScheduleAt(drive.Now() + config_.propagation_delay, PauseFlip{this, index, paused});
+}
+
+void Link::ApplyPauseFlip(int dir, bool paused) {
+  Direction& d = dir_[dir];
+  if (paused) {
+    ++d.pause_frames;
+  }
+  if (paused == d.peer_paused) {
+    return;  // Duplicate frame (watermark chatter): idempotent.
+  }
+  d.peer_paused = paused;
+  if (!paused && !d.serving && !d.tx_queue.empty()) {
+    StartService(dir);
   }
 }
 
@@ -165,8 +284,8 @@ void Link::CompleteDelivery(int dir) {
       ++d.delivered;
       d.to->Receive(std::move(pkt));
     }
-  } while (config_.coalesce_same_tick_delivery && !d.in_flight.empty() &&
-           d.in_flight.front().deliver_at == tick);
+  } while (config_.coalesce_same_tick_delivery && !config_.flow.pfc &&
+           !d.in_flight.empty() && d.in_flight.front().deliver_at == tick);
 }
 
 Simulation& Link::RxSim(const Direction& d) {
@@ -200,8 +319,29 @@ uint64_t Link::delivered(const PacketSink* toward) const {
   return dir_[IndexToward(toward)].delivered;
 }
 
-uint64_t Link::dropped(const PacketSink* toward) const {
-  return dir_[IndexToward(toward)].dropped;
+uint64_t Link::dropped_overflow(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].dropped_overflow;
+}
+
+bool Link::paused(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].peer_paused;
+}
+
+size_t Link::queued(const PacketSink* toward) const {
+  const Direction& d = dir_[IndexToward(toward)];
+  return d.tx_queue.size() - (d.serving ? 1u : 0u);
+}
+
+uint64_t Link::pause_frames(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].pause_frames;
+}
+
+uint64_t Link::ecn_marked(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].ecn_marked;
+}
+
+uint64_t Link::paused_deferred(const PacketSink* toward) const {
+  return dir_[IndexToward(toward)].paused_deferred;
 }
 
 bool Link::link_down(const PacketSink* toward) const {
@@ -218,7 +358,8 @@ uint64_t Link::dropped_to_dead(const PacketSink* toward) const {
 }
 
 size_t Link::in_flight(const PacketSink* toward) const {
-  return dir_[IndexToward(toward)].in_flight.size();
+  const Direction& d = dir_[IndexToward(toward)];
+  return d.in_flight.size() + d.tx_queue.size();
 }
 
 }  // namespace incod

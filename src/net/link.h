@@ -16,6 +16,16 @@
 // that drains every packet of that tick in FIFO order, instead of one
 // event per packet. Delivery order is identical either way (asserted by
 // net_test's differential check).
+//
+// PFC paced mode (config.flow.pfc): the direction instead runs a serve loop
+// over an explicit transmit queue — one ServeDone event per packet — so the
+// serializer can stop at a packet boundary when the receiver asserts pause.
+// Pause/resume travel as ordinary scheduled events delayed by the
+// propagation time (cross-shard via the mailbox path), the sender-side
+// FlowListener hears high/low watermark crossings, and packets entering the
+// serializer over the ECN threshold leave with packet.ecn set. Packets
+// accepted while paused are deferred (counted in paused_deferred), never
+// dropped — only a genuinely full waiting queue drops (dropped_overflow).
 #ifndef INCOD_SRC_NET_LINK_H_
 #define INCOD_SRC_NET_LINK_H_
 
@@ -24,6 +34,7 @@
 #include <deque>
 #include <string>
 
+#include "src/net/flow_control.h"
 #include "src/net/packet.h"
 #include "src/sim/simulation.h"
 
@@ -39,6 +50,8 @@ class Link {
     size_t queue_capacity_packets = 1024;
     // Batch packets that complete delivery on the same tick into one event.
     bool coalesce_same_tick_delivery = true;
+    // PFC/ECN flow control; flow.pfc switches the link into paced mode.
+    LinkFlowConfig flow;
   };
 
   Link(Simulation& sim, Config config, std::string name = "link");
@@ -73,9 +86,44 @@ class Link {
   void ScheduleDown(SimTime at);
   void ScheduleUp(SimTime at);
 
+  // --- PFC flow control (requires config.flow.pfc) ---
+
+  // Registers the sender-side congestion listener for the direction *away
+  // from* `sender_end` (i.e. the direction that endpoint transmits on).
+  // Fires synchronously from the shard owning that direction's serializer.
+  void SetFlowListener(const PacketSink* sender_end, FlowListener* listener);
+
+  // Emits a PFC pause (paused=true) or resume (false) frame from `self`
+  // toward the peer transmitting at it: after one propagation delay the
+  // direction toward `self` stops (or restarts) serializing at the next
+  // packet boundary. The flip is an ordinary scheduled event in the sender's
+  // shard — cross-shard directions post it through the mailbox path — so
+  // engine modes stay event-identical. Must be called from the shard that
+  // owns `self`'s side of the link.
+  void PauseUpstream(const PacketSink* self, bool paused);
+
+  // Whether the direction toward the given endpoint is currently paused by
+  // the receiver (i.e. that endpoint asserted pause and it has taken effect).
+  bool paused(const PacketSink* toward) const;
+  // Waiting transmit backlog (excludes the packet being serialized).
+  size_t queued(const PacketSink* toward) const;
+  // Pause assertions that took effect on the direction.
+  uint64_t pause_frames(const PacketSink* toward) const;
+  // Packets ECN-marked entering the serializer.
+  uint64_t ecn_marked(const PacketSink* toward) const;
+  // Packets accepted into the transmit queue while the peer had the
+  // direction paused: deferred, later delivered — never counted as drops.
+  uint64_t paused_deferred(const PacketSink* toward) const;
+
   uint64_t delivered(const PacketSink* toward) const;
-  uint64_t dropped(const PacketSink* toward) const;
-  uint64_t total_dropped() const { return dir_[0].dropped + dir_[1].dropped; }
+  // Packets dropped because the waiting queue was at capacity. `dropped` is
+  // the legacy alias; paused-then-delivered packets never count here (they
+  // show up in paused_deferred instead).
+  uint64_t dropped_overflow(const PacketSink* toward) const;
+  uint64_t dropped(const PacketSink* toward) const { return dropped_overflow(toward); }
+  uint64_t total_dropped() const {
+    return dir_[0].dropped_overflow + dir_[1].dropped_overflow;
+  }
   // Whether the direction toward the given endpoint currently refuses sends.
   bool link_down(const PacketSink* toward) const;
   // Packets refused or dropped because the link was down (send-side refusals
@@ -101,7 +149,18 @@ class Link {
     SimTime busy_until = 0;
     std::deque<InFlight> in_flight;  // FIFO; delivery events pop the front.
     uint64_t delivered = 0;
-    uint64_t dropped = 0;
+    uint64_t dropped_overflow = 0;  // Waiting queue at capacity.
+    // PFC paced mode (config.flow.pfc). tx_queue holds packets not yet on
+    // the wire, front included while it is being serialized (`serving`).
+    // All of this is sender-side state.
+    std::deque<Packet> tx_queue;
+    bool serving = false;
+    bool peer_paused = false;  // Receiver asserted pause; stop at boundary.
+    bool congested = false;    // Watermark latch driving the FlowListener.
+    FlowListener* listener = nullptr;
+    uint64_t paused_deferred = 0;  // Accepted while paused (deferred, not dropped).
+    uint64_t pause_frames = 0;     // Pause assertions that took effect.
+    uint64_t ecn_marked = 0;
     // Fault state. tx_down lives sender-side (checked in Send), rx_down
     // receiver-side (checked at delivery) — split so cross-shard flips only
     // ever touch state owned by the shard the flip event runs in.
@@ -136,9 +195,26 @@ class Link {
     Packet pkt;
     void operator()() { link->CompleteCrossDelivery(dir, std::move(pkt)); }
   };
+  // Paced mode: the serializer finished the tx_queue front.
+  struct ServeDone {
+    Link* link;
+    int dir;
+    void operator()() const { link->CompleteService(dir); }
+  };
+  // A pause/resume frame arriving at the direction's sender.
+  struct PauseFlip {
+    Link* link;
+    int dir;
+    bool paused;
+    void operator()() const { link->ApplyPauseFlip(dir, paused); }
+  };
 
   SimDuration SerializationDelay(uint32_t bytes) const;
   int IndexToward(const PacketSink* to) const;
+  void SendPaced(int index, Packet packet);
+  void StartService(int dir);
+  void CompleteService(int dir);
+  void ApplyPauseFlip(int dir, bool paused);
   void CompleteDelivery(int dir);
   void CompleteCrossDelivery(int dir, Packet pkt);
   void ScheduleAdmin(SimTime at, bool down);

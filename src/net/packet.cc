@@ -30,6 +30,8 @@ const char* ControlKindName(ControlMessage::Kind kind) {
       return "stats-request";
     case ControlMessage::Kind::kStatsReport:
       return "stats-report";
+    case ControlMessage::Kind::kCongestion:
+      return "congestion";
   }
   return "?";
 }

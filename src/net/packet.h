@@ -38,6 +38,10 @@ struct Packet {
   NodeId src = 0;
   NodeId dst = 0;
   AppProto proto = AppProto::kRaw;
+  // ECN-style congestion-experienced mark, set by a link whose transmit
+  // backlog is past its ECN threshold (see LinkFlowConfig). Sits in the
+  // padding after `proto`, so the Packet stays inside the inline budget.
+  bool ecn = false;
   uint32_t size_bytes = 64;  // Wire size including headers.
   uint64_t id = 0;           // Request-correlation id (set by clients).
   SimTime created_at = 0;    // Set by the sender; used for latency capture.

@@ -11,6 +11,11 @@ L2Switch::L2Switch(Simulation& sim, std::string name, SimDuration forwarding_lat
 
 int L2Switch::AttachLink(Link* link) {
   ports_.push_back(link);
+  congested_egress_.push_back(false);
+  upstream_paused_.push_back(false);
+  if (link->config().flow.pfc) {
+    link->SetFlowListener(this, this);
+  }
   return static_cast<int>(ports_.size()) - 1;
 }
 
@@ -92,6 +97,50 @@ void L2Switch::Receive(Packet packet) {
     return;
   }
   Forward(std::move(packet), it->second);
+}
+
+void L2Switch::OnLinkCongestion(Link* link, bool congested) {
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    if (ports_[p] == link) {
+      congested_egress_[p] = congested;
+    }
+  }
+  UpdateUpstreamPauses();
+}
+
+void L2Switch::UpdateUpstreamPauses() {
+  bool any = false;
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    any = any || congested_egress_[p];
+  }
+  // Pause (or resume) the upstream sender of every flow-enabled port that is
+  // not itself congested, in ascending port order for determinism.
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    if (!ports_[p]->config().flow.pfc) {
+      continue;
+    }
+    const bool want = any && !congested_egress_[p];
+    if (want == static_cast<bool>(upstream_paused_[p])) {
+      continue;
+    }
+    upstream_paused_[p] = want;
+    if (want) {
+      pauses_sent_.Increment();
+    }
+    ports_[p]->PauseUpstream(this, want);
+  }
+}
+
+size_t L2Switch::congested_ports() const {
+  size_t n = 0;
+  for (const bool c : congested_egress_) {
+    n += c ? 1u : 0u;
+  }
+  return n;
+}
+
+bool L2Switch::upstream_paused(int port) const {
+  return upstream_paused_.at(static_cast<size_t>(port));
 }
 
 void L2Switch::Forward(Packet packet, int port) {

@@ -22,7 +22,14 @@
 
 namespace incod {
 
-class L2Switch : public PacketSink {
+// PFC pause propagation: for ports attached with a flow-enabled link, the
+// switch listens to its own egress backlog. While any egress port is
+// congested (high watermark), every *other* flow-enabled port's upstream
+// sender is paused — the classic PFC hop-by-hop spread that turns one
+// overloaded server into head-of-line blocking for its rack neighbors. The
+// congested port's own upstream stays unpaused so its drain (and replies)
+// keep flowing.
+class L2Switch : public PacketSink, public FlowListener {
  public:
   struct ForwardingRule {
     AppProto proto = AppProto::kRaw;
@@ -56,12 +63,20 @@ class L2Switch : public PacketSink {
   void Receive(Packet packet) override;
   std::string SinkName() const override { return name_; }
 
+  // FlowListener: one of this switch's egress directions crossed a pause
+  // watermark. Recomputes which upstream senders must be paused.
+  void OnLinkCongestion(Link* link, bool congested) override;
+
   Simulation& sim() { return sim_; }
 
   uint64_t forwarded() const { return forwarded_.value(); }
   uint64_t dropped_no_route() const { return dropped_no_route_.value(); }
   size_t num_ports() const { return ports_.size(); }
   size_t num_rules() const { return rules_.size(); }
+  // PFC propagation state/counters.
+  size_t congested_ports() const;
+  bool upstream_paused(int port) const;
+  uint64_t pause_frames_sent() const { return pauses_sent_.value(); }
 
  protected:
   // Hook for derived devices (the programmable ASIC) to intercept packets
@@ -72,6 +87,7 @@ class L2Switch : public PacketSink {
 
  private:
   void Forward(Packet packet, int port);
+  void UpdateUpstreamPauses();
 
   std::string name_;
   SimDuration forwarding_latency_;
@@ -81,6 +97,10 @@ class L2Switch : public PacketSink {
   std::vector<ForwardingRule> rules_;
   Counter forwarded_;
   Counter dropped_no_route_;
+  // Per-port PFC state (parallel to ports_).
+  std::vector<bool> congested_egress_;
+  std::vector<bool> upstream_paused_;
+  Counter pauses_sent_;
 };
 
 }  // namespace incod

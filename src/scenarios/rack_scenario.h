@@ -85,6 +85,10 @@ struct MixedRackOptions {
   bool paxos_restore_to_home = false;
   // Declarative fault plan, armed by the testbed at build time.
   FaultPlanSpec faults;
+  // Rack-wide congestion control (PFC pause propagation + DCQCN clients);
+  // forwarded into the spec's flow section. Off by default so existing
+  // drop-tail scenarios keep their event streams.
+  ScenarioFlowSpec flow;
 };
 
 // The declarative spec the scenario wires: one member per application (plus

@@ -22,7 +22,32 @@ ScenarioTestbed::ScenarioTestbed(ShardedSimulation& sharded, ScenarioSpec spec)
   Build();
 }
 
+void ScenarioTestbed::ApplyFlowSpec() {
+  if (!spec_.flow.enabled) {
+    return;
+  }
+  LinkFlowConfig link_flow = spec_.flow.link;
+  link_flow.pfc = true;
+  link_flow.ecn = true;
+  HostFlowConfig host_flow = spec_.flow.host;
+  host_flow.pfc = true;
+  host_flow.cnp = spec_.flow.dcqcn;
+  spec_.client_link.flow = link_flow;
+  spec_.target.pcie.flow = link_flow;
+  spec_.host.config.flow = host_flow;
+  for (auto& member : spec_.members) {
+    member.switch_link.flow = link_flow;
+    member.target.pcie.flow = link_flow;
+    member.host.config.flow = host_flow;
+  }
+  if (spec_.flow.dcqcn && !spec_.workload.client.dcqcn.enabled) {
+    spec_.workload.client.dcqcn = spec_.flow.dcqcn_config;
+    spec_.workload.client.dcqcn.enabled = true;
+  }
+}
+
 void ScenarioTestbed::Build() {
+  ApplyFlowSpec();
   if (spec_.tor.present) {
     // Switch-centric scenario: members hang off the ToR; the single-chain
     // host/target sections are ignored.
@@ -389,6 +414,10 @@ LoadClient& ScenarioTestbed::AddClient(LoadClientConfig config,
   if (client_ != nullptr) {
     throw std::logic_error("ScenarioTestbed: client already attached");
   }
+  if (spec_.flow.enabled && spec_.flow.dcqcn && !config.dcqcn.enabled) {
+    config.dcqcn = spec_.flow.dcqcn_config;
+    config.dcqcn.enabled = true;
+  }
   client_ = builder_.AddLoadClient(std::move(config), std::move(arrival),
                                    std::move(factory));
   if (fpga_ != nullptr) {
@@ -408,6 +437,10 @@ LoadClient& ScenarioTestbed::AddTorClient(LoadClientConfig config,
                                           RequestFactory factory, int shard) {
   if (tor_ == nullptr) {
     throw std::logic_error("ScenarioTestbed: AddTorClient needs a ToR");
+  }
+  if (spec_.flow.enabled && spec_.flow.dcqcn && !config.dcqcn.enabled) {
+    config.dcqcn = spec_.flow.dcqcn_config;
+    config.dcqcn.enabled = true;
   }
   const NodeId node = config.node;
   LoadClient* client = builder_.AddLoadClient(std::move(config), std::move(arrival),

@@ -121,6 +121,21 @@ struct ScenarioControllerSpec {
   NetworkControllerConfig network;
 };
 
+// Rack-wide congestion-control knobs, applied to the spec at Build(). When
+// `enabled`, every built link (client uplinks, member ToR links, PCIe hops)
+// gets the PFC/ECN template below, every built server pauses its uplink at
+// the host rx watermarks and CNPs ECN-marked ingress, and — unless dcqcn is
+// cleared — every attached LoadClient runs the DCQCN rate machine. Overload
+// then produces pause propagation, head-of-line blocking and sender
+// slowdown instead of silent queue-overflow loss.
+struct ScenarioFlowSpec {
+  bool enabled = false;
+  bool dcqcn = true;     // Give clients the rate machine (plus host CNPs).
+  LinkFlowConfig link;   // Template; pfc/ecn are forced on when enabled.
+  HostFlowConfig host;   // Template; pfc (and cnp, per dcqcn) forced on.
+  DcqcnConfig dcqcn_config;  // Template; `enabled` forced on per dcqcn.
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   SimDuration meter_period = Milliseconds(1);
@@ -131,6 +146,7 @@ struct ScenarioSpec {
   ScenarioHostSpec host;
   ScenarioTargetSpec target;
   Link::Config client_link = TestbedBuilder::TenGigLink();
+  ScenarioFlowSpec flow;
   ScenarioWorkloadSpec workload;
   ScenarioControllerSpec controller;
   // Shared factory resources/knobs (zone, paxos group, per-family configs).
@@ -246,6 +262,8 @@ class ScenarioTestbed {
 
  private:
   void Build();
+  // Stamps spec_.flow onto every link/host/client config before building.
+  void ApplyFlowSpec();
   void BuildHost();
   void BuildTarget();
   void BuildWorkload();

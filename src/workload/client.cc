@@ -19,6 +19,9 @@ LoadClient::LoadClient(Simulation& sim, LoadClientConfig config,
   if (factory_ == nullptr) {
     throw std::invalid_argument("LoadClient: null request factory");
   }
+  if (config_.dcqcn.enabled) {
+    dcqcn_ = std::make_unique<DcqcnRateController>(sim_, config_.dcqcn);
+  }
 }
 
 void LoadClient::Start() {
@@ -45,7 +48,11 @@ void LoadClient::SendNext() {
     if (uplink_ == nullptr) {
       throw std::logic_error("LoadClient: no uplink");
     }
-    uplink_->Send(this, std::move(pkt));
+    if (dcqcn_ != nullptr) {
+      dcqcn_->Submit(std::move(pkt));
+    } else {
+      uplink_->Send(this, std::move(pkt));
+    }
     SendNext();
   });
 }
@@ -82,6 +89,15 @@ void LoadClient::SweepTimeouts() {
 }
 
 void LoadClient::Receive(Packet packet) {
+  if (const auto* ctrl = PayloadIf<ControlMessage>(packet)) {
+    if (ctrl->kind == ControlMessage::Kind::kCongestion) {
+      // CNP from a receiver: not a response, feed the rate machine.
+      if (dcqcn_ != nullptr) {
+        dcqcn_->OnCnp();
+      }
+      return;
+    }
+  }
   auto it = outstanding_.find(packet.id);
   if (it == outstanding_.end()) {
     return;  // Late or duplicate response.
@@ -90,6 +106,13 @@ void LoadClient::Receive(Packet packet) {
   ++bucket_completions_;
   latency_.Record(static_cast<uint64_t>(sim_.Now() - it->second));
   outstanding_.erase(it);
+}
+
+void LoadClient::OnLinkCongestion(Link* link, bool congested) {
+  (void)link;
+  if (dcqcn_ != nullptr) {
+    dcqcn_->SetUplinkCongested(congested);
+  }
 }
 
 double LoadClient::LossFraction() const {

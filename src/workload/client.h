@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/net/flow_control.h"
 #include "src/net/link.h"
 #include "src/net/packet.h"
 #include "src/sim/simulation.h"
@@ -32,20 +33,42 @@ struct LoadClientConfig {
   SimDuration rate_bucket = Milliseconds(100);  // Completion-series bucket.
   // Outstanding requests are abandoned (counted as lost) after this long.
   SimDuration loss_timeout = Seconds(1);
+  // DCQCN sender rate control: requests are still *generated* on the
+  // arrival schedule (RNG stream identity is preserved), but transmission
+  // is paced by the rate machine, which reacts to CNPs from receivers and
+  // holds while the uplink is PFC-congested. Queueing at the source shows
+  // up as end-to-end latency — overload becomes slowdown, not loss.
+  DcqcnConfig dcqcn;
 };
 
-class LoadClient : public PacketSink {
+class LoadClient : public PacketSink, public FlowListener {
  public:
   LoadClient(Simulation& sim, LoadClientConfig config, std::unique_ptr<ArrivalProcess> arrival,
              RequestFactory factory);
 
-  void SetUplink(Link* link) { uplink_ = link; }
+  void SetUplink(Link* link) {
+    uplink_ = link;
+    if (dcqcn_ != nullptr) {
+      dcqcn_->AttachUplink(link, this);
+    }
+    if (link != nullptr && link->config().flow.pfc) {
+      link->SetFlowListener(this, this);
+    }
+  }
 
   void Start();
   void StopAt(SimTime at) { stop_at_ = at; }
 
   void Receive(Packet packet) override;
   std::string SinkName() const override { return config_.name; }
+
+  // FlowListener: our own uplink's transmit backlog crossed a watermark.
+  // Holds/releases the DCQCN pacer so the source queues instead of piling
+  // into the paused link queue.
+  void OnLinkCongestion(Link* link, bool congested) override;
+
+  // The DCQCN rate machine (nullptr unless config.dcqcn.enabled).
+  const DcqcnRateController* dcqcn() const { return dcqcn_.get(); }
 
   uint64_t sent() const { return sent_.value(); }
   uint64_t received() const { return received_.value(); }
@@ -83,6 +106,7 @@ class LoadClient : public PacketSink {
   TimeSeries completion_series_{"completions_per_sec"};
   uint64_t bucket_completions_ = 0;
   Rng rng_;
+  std::unique_ptr<DcqcnRateController> dcqcn_;
 };
 
 }  // namespace incod
