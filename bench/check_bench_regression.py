@@ -66,6 +66,18 @@ backpressure is on.
         [--baseline bench/baseline_flow.json] \
         [--merge-out BENCH_flow.json]
 
+Hostnic (--hostnic): gates the measured host-NIC load-shape part written
+by bench_placement --out against bench/baseline_hostnic.json. The host's
+host->offload tipping point must track packet rate (flood-vs-bulk kpps
+tipping ratio pinned near 1) while shifting in byte-rate terms (Gbps
+tipping shift floor), the interrupt path must cost real capacity
+(ideal/mechanistic ratio floor, interrupt count floor), and the
+small-ring leg must actually shed at the descriptor rings.
+
+    check_bench_regression.py --hostnic BENCH_hostnic_part.json \
+        [--baseline bench/baseline_hostnic.json] \
+        [--merge-out BENCH_hostnic.json]
+
 Self-test (--self-test): exercises every gate closure in the GATES
 registry against canned in-memory JSON — each section must pass on its
 good fixture and each tampered fixture must trip at least one check.
@@ -310,6 +322,28 @@ GATES = {
         ],
         fail_banner="FAIL: flow-control backpressure gate",
     ),
+    "hostnic": Gate(
+        name="hostnic",
+        default_baseline="bench/baseline_hostnic.json",
+        merge_keys=("hostnic",),
+        sections=[
+            Section("hostnic", "host-NIC load shapes (packet-rate vs byte-rate tipping)", [
+                ge("kpps_tipping_ratio", "min_kpps_tipping_ratio",
+                   "flood/bulk tipping ratio (kpps)"),
+                le("kpps_tipping_ratio", "max_kpps_tipping_ratio",
+                   "flood/bulk tipping ratio (kpps)"),
+                ge("gbps_tipping_shift", "min_gbps_tipping_shift",
+                   "bulk/flood tipping shift (Gbps)", suffix="x"),
+                ge("irq_capacity_ratio", "min_irq_capacity_ratio",
+                   "ideal/mechanistic capacity ratio"),
+                ge("mech_interrupts", "min_mech_interrupts",
+                   "NIC interrupts raised", fmt="{:.0f}"),
+                ge("smallring_ring_drops", "min_smallring_ring_drops",
+                   "small-ring descriptor drops", fmt="{:.0f}"),
+            ]),
+        ],
+        fail_banner="FAIL: host-NIC load-shape gate",
+    ),
 }
 
 # --- Self-test fixtures ------------------------------------------------------
@@ -401,6 +435,26 @@ SELF_TEST_FIXTURES = {
         "tampers": [("backpressure", "flow_drop_fraction", 0.5),
                     ("backpressure", "flow_cnps", 0),
                     ("offload", "slowdown_shift", 1.0)],
+    },
+    "hostnic": {
+        "merged": {
+            "hostnic": {"kpps_tipping_ratio": 1.0,
+                        "gbps_tipping_shift": 8.4,
+                        "irq_capacity_ratio": 1.10,
+                        "mech_interrupts": 9800,
+                        "smallring_ring_drops": 15000},
+        },
+        "baseline": {
+            "hostnic": {"min_kpps_tipping_ratio": 0.9,
+                        "max_kpps_tipping_ratio": 1.1,
+                        "min_gbps_tipping_shift": 4.0,
+                        "min_irq_capacity_ratio": 1.03,
+                        "min_mech_interrupts": 1000,
+                        "min_smallring_ring_drops": 1000},
+        },
+        "tampers": [("hostnic", "kpps_tipping_ratio", 2.0),
+                    ("hostnic", "gbps_tipping_shift", 1.0),
+                    ("hostnic", "smallring_ring_drops", 0)],
     },
 }
 

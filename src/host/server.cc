@@ -71,10 +71,11 @@ Server::BoundApp* Server::FindBound(const Packet& packet) {
 }
 
 void Server::Receive(Packet packet) {
+  received_.Increment();
   BoundApp* found = FindBound(packet);
   if (found == nullptr) {
     // No application for this packet: host OS drops it.
-    dropped_.Increment();
+    dropped_no_app_.Increment();
     return;
   }
   if (config_.flow.cnp && packet.ecn) {
@@ -83,8 +84,28 @@ void Server::Receive(Packet packet) {
     MaybeSendCnp(packet);
   }
   BoundApp& bound = *found;
-  // Dispatch to the least-loaded worker thread (memcached-style per-thread
-  // UDP sockets with RSS spreading).
+  const size_t index = PickThread(bound, packet);
+  WorkerThread& thread = bound.threads[index];
+  if (thread.queue.size() >= config_.rx_queue_capacity) {
+    dropped_overflow_.Increment();
+    return;
+  }
+  thread.queue.push_back(std::move(packet));
+  ++rx_queued_;
+  MaybeUpdateIngressPause();
+  if (!thread.busy) {
+    StartService(bound, index);
+  }
+}
+
+size_t Server::PickThread(const BoundApp& bound, const Packet& packet) const {
+  if (config_.dispatch == HostDispatch::kRssHash) {
+    // RSS steering: the flow hash pins a flow to one worker (the same hash
+    // the mechanistic NIC uses for its rx queues). Collisions mean real
+    // imbalance — the price of hardware dispatch over the ideal below.
+    return static_cast<size_t>(FlowHash(packet) % bound.threads.size());
+  }
+  // Idealized least-loaded dispatch (shortest queue wins).
   size_t best = 0;
   size_t best_depth = SIZE_MAX;
   for (size_t i = 0; i < bound.threads.size(); ++i) {
@@ -94,17 +115,7 @@ void Server::Receive(Packet packet) {
       best = i;
     }
   }
-  WorkerThread& thread = bound.threads[best];
-  if (thread.queue.size() >= config_.rx_queue_capacity) {
-    dropped_.Increment();
-    return;
-  }
-  thread.queue.push_back(std::move(packet));
-  ++rx_queued_;
-  MaybeUpdateIngressPause();
-  if (!thread.busy) {
-    StartService(bound, best);
-  }
+  return best;
 }
 
 void Server::MaybeUpdateIngressPause() {
@@ -148,8 +159,20 @@ void Server::StartService(BoundApp& bound, size_t thread_index) {
   thread.queue.pop_front();
   --rx_queued_;
   MaybeUpdateIngressPause();
-  const SimDuration service = config_.stack_rx_cost +
-                              bound.app->CpuTimePerRequest(pkt) + config_.stack_tx_cost;
+  // Per-packet stack cost follows the stack type: the kernel's socket path
+  // vs the DPDK poll-mode fast path (the kDpdk "low per-packet cost"
+  // contract above).
+  const SimDuration rx_cost = config_.stack == NetStackType::kDpdk
+                                  ? config_.dpdk_stack_rx_cost
+                                  : config_.stack_rx_cost;
+  SimDuration service =
+      rx_cost + bound.app->CpuTimePerRequest(pkt) + config_.stack_tx_cost;
+  if (pkt.irq && config_.stack == NetStackType::kKernel) {
+    // First packet of an interrupt batch: the irq handler runs on this
+    // core before the request is serviced.
+    irqs_serviced_.Increment();
+    service += config_.interrupt_cpu_cost;
+  }
   auto complete = [this, &bound, thread_index, service, pkt = std::move(pkt)]() mutable {
     bound.threads[thread_index].cumulative_busy += service;
     completed_.Increment();
@@ -165,7 +188,10 @@ void Server::StartService(BoundApp& bound, size_t thread_index) {
 
 void Server::Punt(Packet packet) {
   (void)packet;
-  dropped_.Increment();
+  // An OS-level drop of a packet no app claimed; count it as received so
+  // the received == completed + dropped (+ queued) invariant spans punts.
+  received_.Increment();
+  dropped_no_app_.Increment();
 }
 
 void Server::Transmit(Packet packet) {

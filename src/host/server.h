@@ -32,16 +32,37 @@ enum class NetStackType {
   kDpdk,    // Busy polling: poll cores always at 100 %, low per-packet cost.
 };
 
+// How arriving requests pick a worker thread.
+enum class HostDispatch {
+  // Idealized least-loaded dispatch (shortest queue wins). No real NIC does
+  // this; kept as the differential reference against kRssHash.
+  kIdealLb,
+  // RSS-style steering: FlowHash(packet) % threads, the same hash a
+  // mechanistic conventional NIC uses for its rx queues, so a NIC queue
+  // maps stably onto a worker. Hash collisions make load imbalance real.
+  kRssHash,
+};
+
 struct ServerConfig {
   std::string name = "server";
   NodeId node = 1;
   int num_cores = 4;
   PiecewiseLinearCurve power_curve = I7SyntheticCurve();
   NetStackType stack = NetStackType::kKernel;
-  SimDuration stack_rx_cost = Microseconds(1);    // Added to each request's service.
+  SimDuration stack_rx_cost = Microseconds(1);    // Per-request rx cost (kKernel).
+  // Per-request rx cost on the kDpdk stack: poll-mode drivers skip the
+  // kernel's socket path, so the per-packet cost is ~5x smaller. Which of
+  // the two costs applies follows `stack` (see StartService).
+  SimDuration dpdk_stack_rx_cost = Nanoseconds(200);
   SimDuration stack_tx_cost = Nanoseconds(500);   // Added to each reply.
   int dpdk_poll_cores = 1;                        // Cores pinned to polling (kDpdk).
   size_t rx_queue_capacity = 1024;                // Per worker thread.
+  HostDispatch dispatch = HostDispatch::kIdealLb;
+  // CPU cost of taking one rx interrupt (kKernel only): charged into the
+  // service time of the request carrying Packet::irq — the first packet of
+  // each interrupt batch a mechanistic NIC (HostNicSpec) delivers. Bigger
+  // coalescing batches amortize this over more requests.
+  SimDuration interrupt_cpu_cost = Microseconds(1);
   SimDuration utilization_sample_period = Milliseconds(1);
   // Host ingress flow control: pause the uplink at rx-backlog watermarks,
   // CNP-notify senders of ECN-marked arrivals (requires a PFC uplink).
@@ -109,7 +130,21 @@ class Server : public PacketSink, public PowerSource, public AppContext {
   const ServerConfig& config() const { return config_; }
   NodeId node() const { return config_.node; }
   uint64_t requests_completed() const { return completed_.value(); }
-  uint64_t requests_dropped() const { return dropped_.value(); }
+  // Packets handed to Receive() (plus OS-level punts), before any drop.
+  uint64_t requests_received() const { return received_.value(); }
+  // Split drop accounting (mirrors the link-side dropped_overflow /
+  // paused_deferred split): no bound app for the packet vs a full worker rx
+  // queue. requests_dropped() stays the total, and
+  //   requests_received() == requests_completed() + requests_dropped()
+  //                          + still-queued + in-service
+  // holds at any instant.
+  uint64_t requests_dropped() const {
+    return dropped_no_app_.value() + dropped_overflow_.value();
+  }
+  uint64_t dropped_no_app() const { return dropped_no_app_.value(); }
+  uint64_t dropped_overflow() const { return dropped_overflow_.value(); }
+  // Rx interrupts serviced (packets carrying Packet::irq on kKernel).
+  uint64_t interrupts_serviced() const { return irqs_serviced_.value(); }
 
   // Host ingress flow-control state/counters (config().flow).
   bool ingress_paused() const { return ingress_paused_; }
@@ -130,6 +165,8 @@ class Server : public PacketSink, public PowerSource, public AppContext {
   };
 
   BoundApp* FindBound(const Packet& packet);
+  // Worker index for `packet` per config_.dispatch.
+  size_t PickThread(const BoundApp& bound, const Packet& packet) const;
   void StartService(BoundApp& bound, size_t thread_index);
   // Pause/resume the uplink when the total rx backlog crosses the
   // watermarks (config_.flow.pfc).
@@ -151,7 +188,10 @@ class Server : public PacketSink, public PowerSource, public AppContext {
   mutable SimTime last_sample_at_ = 0;
   mutable double last_app_utilization_ = 0;
   Counter completed_;
-  Counter dropped_;
+  Counter received_;
+  Counter dropped_no_app_;
+  Counter dropped_overflow_;
+  Counter irqs_serviced_;
   // Ingress flow control.
   bool ingress_paused_ = false;
   size_t rx_queued_ = 0;  // Total queued across all bound apps' threads.

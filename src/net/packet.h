@@ -42,6 +42,11 @@ struct Packet {
   // backlog is past its ECN threshold (see LinkFlowConfig). Sits in the
   // padding after `proto`, so the Packet stays inside the inline budget.
   bool ecn = false;
+  // First packet of an interrupt batch: set by a mechanistic conventional
+  // NIC (HostNicSpec) when it raises an rx interrupt toward a kernel-stack
+  // host. The server charges its per-interrupt CPU cost into the request
+  // that carries the flag. Shares the `proto` padding with `ecn`.
+  bool irq = false;
   uint32_t size_bytes = 64;  // Wire size including headers.
   uint64_t id = 0;           // Request-correlation id (set by clients).
   SimTime created_at = 0;    // Set by the sender; used for latency capture.
@@ -53,6 +58,25 @@ struct Packet {
 // Packets move through event captures on every hop; keep them compact enough
 // to stay inside InlineEvent's inline buffer (see sim/inline_event.h).
 static_assert(sizeof(Packet) <= 120, "Packet grew past the inline-event budget");
+
+// Deterministic flow hash over the UDP 4-tuple surrogate (src, dst, proto,
+// id — the correlation id stands in for the client's ephemeral source
+// port). One hash shared by the NIC's RSS queue selection and the server's
+// kRssHash worker dispatch, so a NIC rx queue maps stably onto a worker
+// thread. splitmix64-style finalizer: cheap, well-mixed, identical on every
+// platform (no std::hash, whose value is implementation-defined).
+inline uint64_t FlowHash(const Packet& packet) {
+  uint64_t x = static_cast<uint64_t>(packet.src) * 0x9e3779b97f4a7c15ull;
+  x ^= static_cast<uint64_t>(packet.dst) + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+  x ^= static_cast<uint64_t>(packet.proto) * 0xbf58476d1ce4e5b9ull;
+  x ^= packet.id + 0x94d049bb133111ebull + (x << 6) + (x >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
 
 // Anything that can accept a packet: hosts, NICs, switches, devices.
 class PacketSink {

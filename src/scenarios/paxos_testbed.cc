@@ -57,7 +57,7 @@ ScenarioMemberSpec MakeLeaderMember(const PaxosTestbedOptions& options) {
       if (deployment == PaxosDeployment::kDpdk) {
         member.host.config.power_curve = I7DpdkCurve();
         member.host.config.stack = NetStackType::kDpdk;
-        member.host.config.stack_rx_cost = Nanoseconds(200);
+        member.host.config.dpdk_stack_rx_cost = Nanoseconds(200);
         member.host.config.stack_tx_cost = Nanoseconds(50);
         member.host.config.dpdk_poll_cores = 1;
       } else {
@@ -130,7 +130,7 @@ ScenarioMemberSpec MakeAcceptorMember(const PaxosTestbedOptions& options, int i)
       if (options.deployment == PaxosDeployment::kDpdk) {
         member.host.config.power_curve = I7DpdkCurve();
         member.host.config.stack = NetStackType::kDpdk;
-        member.host.config.stack_rx_cost = Nanoseconds(200);
+        member.host.config.dpdk_stack_rx_cost = Nanoseconds(200);
         member.host.config.stack_tx_cost = Nanoseconds(50);
       } else {
         member.host.config.power_curve = I7LibpaxosCurve();

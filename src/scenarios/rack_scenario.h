@@ -89,6 +89,10 @@ struct MixedRackOptions {
   // forwarded into the spec's flow section. Off by default so existing
   // drop-tail scenarios keep their event streams.
   ScenarioFlowSpec flow;
+  // Mechanistic host-NIC datapath (RSS rings + interrupt moderation on the
+  // conventional-NIC members, RSS worker dispatch on every host); forwarded
+  // into the spec's hostnic section. Off by default, same contract as flow.
+  ScenarioHostNicSpec hostnic;
 };
 
 // The declarative spec the scenario wires: one member per application (plus

@@ -46,8 +46,30 @@ void ScenarioTestbed::ApplyFlowSpec() {
   }
 }
 
+void ScenarioTestbed::ApplyHostNicSpec() {
+  if (!spec_.hostnic.enabled) {
+    return;
+  }
+  const auto stamp = [this](ServerConfig& config) {
+    config.dispatch = spec_.hostnic.dispatch;
+    config.interrupt_cpu_cost = spec_.hostnic.interrupt_cpu_cost;
+  };
+  stamp(spec_.host.config);
+  for (ScenarioMemberSpec& member : spec_.members) {
+    stamp(member.host.config);
+  }
+}
+
+HostNicSpec ScenarioTestbed::ResolveHostNic(const ServerConfig& host_config) const {
+  HostNicSpec nic = spec_.hostnic.nic;
+  nic.enabled = true;
+  nic.host_interrupts = host_config.stack == NetStackType::kKernel;
+  return nic;
+}
+
 void ScenarioTestbed::Build() {
   ApplyFlowSpec();
+  ApplyHostNicSpec();
   if (spec_.tor.present) {
     // Switch-centric scenario: members hang off the ToR; the single-chain
     // host/target sections are ignored.
@@ -150,6 +172,9 @@ void ScenarioTestbed::BuildMember(const ScenarioMemberSpec& member_spec) {
               : MellanoxConnectX3Config(member_spec.host.config.node);
       if (!member_spec.target.name.empty()) {
         nic_config.name = member_spec.target.name;
+      }
+      if (spec_.hostnic.enabled) {
+        nic_config.hostnic = ResolveHostNic(member_spec.host.config);
       }
       built.nic = builder_.AddConventionalNic(nic_config, member_spec.target.metered);
       built.port = builder_.ConnectToSwitchPort(tor_, built.nic,
@@ -327,6 +352,9 @@ void ScenarioTestbed::BuildTarget() {
                                  : MellanoxConnectX3Config(spec_.host.config.node);
       if (!spec_.target.name.empty()) {
         nic_config.name = spec_.target.name;
+      }
+      if (spec_.hostnic.enabled) {
+        nic_config.hostnic = ResolveHostNic(spec_.host.config);
       }
       nic_ = builder_.AddConventionalNic(nic_config, spec_.target.metered);
       builder_.ConnectPcie(nic_, server_, spec_.target.pcie);

@@ -136,6 +136,24 @@ struct ScenarioFlowSpec {
   DcqcnConfig dcqcn_config;  // Template; `enabled` forced on per dcqcn.
 };
 
+// Opt-in mechanistic host-NIC datapath, applied at Build(). When `enabled`,
+// every conventional-NIC target/member gets the HostNicSpec datapath (RSS
+// rx rings, interrupt moderation toward kernel hosts / poll draining toward
+// DPDK hosts, tx doorbell batching — host_interrupts is derived from each
+// host's NetStackType), and every built server switches to the `dispatch`
+// worker policy with the per-interrupt CPU cost below. FPGA/SmartNIC
+// ingress keeps its own pipeline model; only their hosts pick up the
+// dispatch change. Off by default, so existing scenarios keep their event
+// streams bit-identical (the PR 9 flow-spec pattern).
+struct ScenarioHostNicSpec {
+  bool enabled = false;
+  HostNicSpec nic;  // Template; `enabled`/`host_interrupts` are overridden.
+  // kRssHash is the mechanistic default; kIdealLb keeps the idealized
+  // least-loaded dispatch for differential runs against it.
+  HostDispatch dispatch = HostDispatch::kRssHash;
+  SimDuration interrupt_cpu_cost = Microseconds(1);
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   SimDuration meter_period = Milliseconds(1);
@@ -147,6 +165,7 @@ struct ScenarioSpec {
   ScenarioTargetSpec target;
   Link::Config client_link = TestbedBuilder::TenGigLink();
   ScenarioFlowSpec flow;
+  ScenarioHostNicSpec hostnic;
   ScenarioWorkloadSpec workload;
   ScenarioControllerSpec controller;
   // Shared factory resources/knobs (zone, paxos group, per-family configs).
@@ -264,6 +283,12 @@ class ScenarioTestbed {
   void Build();
   // Stamps spec_.flow onto every link/host/client config before building.
   void ApplyFlowSpec();
+  // Stamps spec_.hostnic onto every host config before building (the NIC
+  // side is resolved per conventional-NIC target in BuildTarget/BuildMember,
+  // where the host's stack type is known).
+  void ApplyHostNicSpec();
+  // spec_.hostnic resolved against one host's stack type.
+  HostNicSpec ResolveHostNic(const ServerConfig& host_config) const;
   void BuildHost();
   void BuildTarget();
   void BuildWorkload();

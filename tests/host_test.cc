@@ -278,5 +278,172 @@ TEST(ServerTest, RejectsZeroCores) {
   EXPECT_THROW(Server(sim, config), std::invalid_argument);
 }
 
+// ---- Stack-dependent per-packet rx cost ----
+
+TEST(ServerTest, DefaultStackCostsArePinned) {
+  // The kernel socket path costs ~1 us per packet; a DPDK poll-mode driver
+  // ~5x less. These two constants anchor the kpps capacity gap between the
+  // stacks, so pin them.
+  const ServerConfig config;
+  EXPECT_EQ(config.stack_rx_cost, Microseconds(1));
+  EXPECT_EQ(config.dpdk_stack_rx_cost, Nanoseconds(200));
+}
+
+TEST(ServerTest, DpdkStackUsesLowerRxCost) {
+  ServerConfig config = BasicConfig();
+  config.stack = NetStackType::kDpdk;
+  ServerHarness h(config);
+  EchoApp app(AppProto::kKv, Microseconds(2), 1);
+  h.server.BindApp(&app);
+  h.server.Receive(RequestTo(1, AppProto::kKv));
+  // Completion at dpdk rx(0.2us) + cpu(2us) + tx(0.5us) = 2.7 us — not the
+  // kernel stack's 3.5 us.
+  bool probed = false;
+  h.sim.Schedule(Microseconds(2) + Nanoseconds(699), [&] {
+    EXPECT_EQ(app.executed, 0);
+    probed = true;
+  });
+  h.sim.Run();
+  EXPECT_TRUE(probed);
+  EXPECT_EQ(app.executed, 1);
+}
+
+// ---- Split drop accounting ----
+
+TEST(ServerTest, DropCountersSplitNoAppFromOverflow) {
+  ServerConfig config = BasicConfig();
+  config.rx_queue_capacity = 2;
+  ServerHarness h(config);
+  EchoApp app(AppProto::kKv, Milliseconds(1), 1);
+  h.server.BindApp(&app);
+  // 5 same-tick kKv arrivals against 1 slow worker with a 2-deep queue:
+  // 1 in service + 2 queued + 2 overflow drops.
+  for (uint64_t i = 0; i < 5; ++i) {
+    h.server.Receive(RequestTo(1, AppProto::kKv, i));
+  }
+  // 3 packets for a protocol nobody bound.
+  for (uint64_t i = 0; i < 3; ++i) {
+    h.server.Receive(RequestTo(1, AppProto::kDns, i));
+  }
+  h.sim.Run();
+  EXPECT_EQ(h.server.requests_received(), 8u);
+  EXPECT_EQ(h.server.dropped_no_app(), 3u);
+  EXPECT_EQ(h.server.dropped_overflow(), 2u);
+  EXPECT_EQ(h.server.requests_dropped(), 5u);
+  EXPECT_EQ(h.server.requests_completed(), 3u);
+}
+
+TEST(ServerTest, ReceivedEqualsCompletedPlusSplitDrops) {
+  // The conservation invariant under a sustained overload mix: every packet
+  // handed to Receive() is accounted for in exactly one terminal counter
+  // once the run drains.
+  ServerConfig config = BasicConfig();
+  config.rx_queue_capacity = 8;
+  ServerHarness h(config);
+  EchoApp app(AppProto::kKv, Nanoseconds(2500), 2);
+  h.server.BindApp(&app);
+  for (int i = 0; i < 20000; ++i) {
+    h.sim.Schedule(i * Microseconds(50) / 40, [&h, i] {
+      // Every 7th packet targets an unbound protocol.
+      const AppProto proto = i % 7 == 0 ? AppProto::kDns : AppProto::kKv;
+      h.server.Receive(RequestTo(1, proto, static_cast<uint64_t>(i)));
+    });
+  }
+  h.sim.Run();  // Drain everything queued.
+  EXPECT_EQ(h.server.requests_received(), 20000u);
+  EXPECT_GT(h.server.dropped_no_app(), 0u);
+  EXPECT_GT(h.server.dropped_overflow(), 0u);
+  EXPECT_EQ(h.server.requests_received(),
+            h.server.requests_completed() + h.server.dropped_no_app() +
+                h.server.dropped_overflow());
+}
+
+// ---- Worker dispatch ----
+
+TEST(ServerTest, RssHashDispatchSerializesAFlow) {
+  // 8 packets of ONE flow against 4 workers: ideal least-loaded dispatch
+  // spreads them (2 per worker), RSS hashing pins them all to one worker.
+  auto run_mode = [](HostDispatch dispatch, SimDuration probe_at) {
+    ServerConfig config = BasicConfig();
+    config.dispatch = dispatch;
+    ServerHarness h(config);
+    auto app = std::make_unique<EchoApp>(AppProto::kKv, Microseconds(10), 4);
+    h.server.BindApp(app.get());
+    for (int i = 0; i < 8; ++i) {
+      h.server.Receive(RequestTo(1, AppProto::kKv, /*id=*/42));
+    }
+    int executed_at_probe = -1;
+    h.sim.Schedule(probe_at, [&] { executed_at_probe = app->executed; });
+    h.sim.Run();
+    EXPECT_EQ(app->executed, 8);  // Both modes finish the work eventually.
+    return executed_at_probe;
+  };
+  // Per-request service = 1 + 10 + 0.5 = 11.5 us. At t=25us the ideal mode
+  // has finished both waves (23 us); the serialized RSS worker only two.
+  const SimDuration probe = Microseconds(25);
+  EXPECT_EQ(run_mode(HostDispatch::kIdealLb, probe), 8);
+  EXPECT_EQ(run_mode(HostDispatch::kRssHash, probe), 2);
+}
+
+TEST(ServerTest, RssHashDispatchIsDeterministic) {
+  ServerConfig config = BasicConfig();
+  config.dispatch = HostDispatch::kRssHash;
+  ServerHarness h(config);
+  EchoApp app(AppProto::kKv, Microseconds(10), 4);
+  h.server.BindApp(&app);
+  // Two bursts of the same flow arrive back-to-back: with deterministic
+  // steering both land on the same worker, so completions stay serialized
+  // (16 x 11.5 us) rather than splitting across workers.
+  for (int i = 0; i < 16; ++i) {
+    h.server.Receive(RequestTo(1, AppProto::kKv, /*id=*/42));
+  }
+  int executed_mid = -1;
+  h.sim.Schedule(Microseconds(100), [&] { executed_mid = app.executed; });
+  h.sim.Run();
+  EXPECT_EQ(executed_mid, 8);  // floor(100 / 11.5) on a single worker.
+  EXPECT_EQ(app.executed, 16);
+}
+
+// ---- Interrupt cost accounting ----
+
+TEST(ServerTest, InterruptCostChargedOnKernelStack) {
+  ServerHarness h;
+  EchoApp app(AppProto::kKv, Microseconds(2), 1);
+  h.server.BindApp(&app);
+  Packet pkt = RequestTo(1, AppProto::kKv);
+  pkt.irq = true;  // First packet of an interrupt batch from the NIC.
+  h.server.Receive(pkt);
+  // Completion at rx(1us) + irq(1us) + cpu(2us) + tx(0.5us) = 4.5 us.
+  bool probed = false;
+  h.sim.Schedule(Microseconds(4) + Nanoseconds(499), [&] {
+    EXPECT_EQ(app.executed, 0);
+    probed = true;
+  });
+  h.sim.Run();
+  EXPECT_TRUE(probed);
+  EXPECT_EQ(app.executed, 1);
+  EXPECT_EQ(h.server.interrupts_serviced(), 1u);
+}
+
+TEST(ServerTest, DpdkStackIgnoresIrqMarker) {
+  ServerConfig config = BasicConfig();
+  config.stack = NetStackType::kDpdk;
+  ServerHarness h(config);
+  EchoApp app(AppProto::kKv, Microseconds(2), 1);
+  h.server.BindApp(&app);
+  Packet pkt = RequestTo(1, AppProto::kKv);
+  pkt.irq = true;  // A polling stack takes no interrupt.
+  h.server.Receive(pkt);
+  // Still completes at the DPDK 2.7 us — no interrupt surcharge.
+  bool probed = false;
+  h.sim.Schedule(Microseconds(2) + Nanoseconds(701), [&] {
+    EXPECT_EQ(app.executed, 1);
+    probed = true;
+  });
+  h.sim.Run();
+  EXPECT_TRUE(probed);
+  EXPECT_EQ(h.server.interrupts_serviced(), 0u);
+}
+
 }  // namespace
 }  // namespace incod
